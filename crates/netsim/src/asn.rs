@@ -1,0 +1,113 @@
+//! Autonomous-system registry.
+//!
+//! The paper breaks results down by AS (Figure 8b) and observes, e.g., a
+//! 385-host certificate-reuse cluster spanning 24 ASes, concentrated at
+//! an ISP specialized in connecting (I)IoT devices.
+
+use crate::cidr::{Cidr, Ipv4};
+
+/// Coarse AS categories appearing in the paper's discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsKind {
+    /// Regional consumer/business ISP.
+    RegionalIsp,
+    /// ISP focused on connecting (I)IoT devices (Appendix B.1.2).
+    IotIsp,
+    /// Hosting / cloud provider.
+    Hosting,
+    /// Enterprise network.
+    Enterprise,
+    /// Research & education.
+    Research,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsInfo {
+    /// AS number.
+    pub number: u32,
+    /// Operator name (synthetic).
+    pub name: String,
+    /// Category.
+    pub kind: AsKind,
+}
+
+/// Maps address space to autonomous systems (longest-prefix match).
+#[derive(Debug, Clone, Default)]
+pub struct AsRegistry {
+    systems: Vec<AsInfo>,
+    // (cidr, index into systems), sorted by descending prefix length for
+    // longest-prefix-first scanning.
+    prefixes: Vec<(Cidr, usize)>,
+}
+
+impl AsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an AS, returning its index handle.
+    pub fn register(&mut self, number: u32, name: impl Into<String>, kind: AsKind) -> usize {
+        self.systems.push(AsInfo {
+            number,
+            name: name.into(),
+            kind,
+        });
+        self.systems.len() - 1
+    }
+
+    /// Announces a prefix for the AS with handle `handle`.
+    pub fn announce(&mut self, handle: usize, prefix: Cidr) {
+        assert!(handle < self.systems.len(), "unknown AS handle");
+        self.prefixes.push((prefix, handle));
+        self.prefixes
+            .sort_by(|a, b| b.0.prefix_len.cmp(&a.0.prefix_len));
+    }
+
+    /// Longest-prefix lookup of the AS owning `addr`.
+    pub fn lookup(&self, addr: Ipv4) -> Option<&AsInfo> {
+        self.prefixes
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .map(|(_, idx)| &self.systems[*idx])
+    }
+
+    /// AS number owning `addr` (0 when unannounced).
+    pub fn as_number(&self, addr: Ipv4) -> u32 {
+        self.lookup(addr).map_or(0, |a| a.number)
+    }
+
+    /// All registered systems.
+    pub fn systems(&self) -> &[AsInfo] {
+        &self.systems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut reg = AsRegistry::new();
+        let big = reg.register(64500, "TransitCo", AsKind::RegionalIsp);
+        let small = reg.register(64501, "IoT-Connect", AsKind::IotIsp);
+        reg.announce(big, "10.0.0.0/8".parse().unwrap());
+        reg.announce(small, "10.99.0.0/16".parse().unwrap());
+
+        assert_eq!(reg.as_number(Ipv4::new(10, 1, 1, 1)), 64500);
+        assert_eq!(reg.as_number(Ipv4::new(10, 99, 5, 5)), 64501);
+        assert_eq!(reg.lookup(Ipv4::new(10, 99, 5, 5)).unwrap().kind, AsKind::IotIsp);
+        assert_eq!(reg.as_number(Ipv4::new(11, 0, 0, 1)), 0);
+        assert!(reg.lookup(Ipv4::new(11, 0, 0, 1)).is_none());
+        assert_eq!(reg.systems().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn announce_unknown_handle_panics() {
+        let mut reg = AsRegistry::new();
+        reg.announce(3, "10.0.0.0/8".parse().unwrap());
+    }
+}

@@ -1,0 +1,277 @@
+//! IPv4 addresses, CIDR blocks, and blocklists.
+//!
+//! The paper excludes 5.79 M addresses (0.13 % of the IPv4 space) on
+//! opt-out request (Appendix A.2); [`Blocklist`] models that.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address as a `u32` (network byte order semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Builds from dotted octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl FromStr for Ipv4 {
+    type Err = CidrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 4 {
+            return Err(CidrParseError);
+        }
+        let mut octets = [0u8; 4];
+        for (i, p) in parts.iter().enumerate() {
+            octets[i] = p.parse().map_err(|_| CidrParseError)?;
+        }
+        Ok(Ipv4(u32::from_be_bytes(octets)))
+    }
+}
+
+/// Error parsing an address or CIDR block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CidrParseError;
+
+impl fmt::Display for CidrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address or CIDR block")
+    }
+}
+
+impl std::error::Error for CidrParseError {}
+
+/// A CIDR block (`base/prefix_len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cidr {
+    /// Network base address (host bits zeroed).
+    pub base: Ipv4,
+    /// Prefix length 0–32.
+    pub prefix_len: u8,
+}
+
+impl Cidr {
+    /// Builds a block, zeroing host bits.
+    pub fn new(addr: Ipv4, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32);
+        Cidr {
+            base: Ipv4(addr.0 & Self::mask(prefix_len)),
+            prefix_len,
+        }
+    }
+
+    fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// True if `addr` lies in the block.
+    pub fn contains(&self, addr: Ipv4) -> bool {
+        addr.0 & Self::mask(self.prefix_len) == self.base.0
+    }
+
+    /// Number of addresses in the block.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// First address.
+    pub fn first(&self) -> Ipv4 {
+        self.base
+    }
+
+    /// Last address.
+    pub fn last(&self) -> Ipv4 {
+        Ipv4(self.base.0 | !Self::mask(self.prefix_len))
+    }
+
+    /// Iterates all addresses in the block (ascending).
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4> {
+        let first = self.base.0 as u64;
+        let size = self.size();
+        (first..first + size).map(|v| Ipv4(v as u32))
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.prefix_len)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = CidrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(CidrParseError)?;
+        let addr: Ipv4 = addr.parse()?;
+        let len: u8 = len.parse().map_err(|_| CidrParseError)?;
+        if len > 32 {
+            return Err(CidrParseError);
+        }
+        Ok(Cidr::new(addr, len))
+    }
+}
+
+/// An opt-out blocklist of CIDR blocks with O(log n) lookups.
+#[derive(Debug, Clone, Default)]
+pub struct Blocklist {
+    // Sorted by base address; non-overlapping is not required, lookups
+    // scan neighbours.
+    blocks: Vec<Cidr>,
+}
+
+impl Blocklist {
+    /// An empty blocklist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block.
+    pub fn add(&mut self, block: Cidr) {
+        self.blocks.push(block);
+        self.blocks.sort_by_key(|b| b.base.0);
+    }
+
+    /// Parses and adds a block.
+    pub fn add_str(&mut self, s: &str) -> Result<(), CidrParseError> {
+        self.add(s.parse()?);
+        Ok(())
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if no blocks are present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total number of excluded addresses (counting overlaps twice).
+    pub fn excluded_addresses(&self) -> u64 {
+        self.blocks.iter().map(|b| b.size()).sum()
+    }
+
+    /// True if `addr` is blocklisted.
+    pub fn contains(&self, addr: Ipv4) -> bool {
+        // Binary search for the last block whose base <= addr, then check
+        // it and earlier neighbours that could still cover addr (blocks
+        // are at most /0, so checking backwards until base > addr - max
+        // size is bounded; in practice opt-out lists are small and
+        // non-overlapping, so we check a handful).
+        let idx = self.blocks.partition_point(|b| b.base.0 <= addr.0);
+        self.blocks[..idx]
+            .iter()
+            .rev()
+            .take(32)
+            .any(|b| b.contains(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let ip: Ipv4 = "198.51.100.7".parse().unwrap();
+        assert_eq!(ip, Ipv4::new(198, 51, 100, 7));
+        assert_eq!(ip.to_string(), "198.51.100.7");
+        assert!("300.1.1.1".parse::<Ipv4>().is_err());
+        assert!("1.2.3".parse::<Ipv4>().is_err());
+
+        let cidr: Cidr = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(cidr.to_string(), "10.0.0.0/8");
+        assert!("10.0.0.0/33".parse::<Cidr>().is_err());
+        assert!("10.0.0.0".parse::<Cidr>().is_err());
+    }
+
+    #[test]
+    fn cidr_normalizes_host_bits() {
+        let cidr = Cidr::new(Ipv4::new(192, 168, 5, 77), 16);
+        assert_eq!(cidr.base, Ipv4::new(192, 168, 0, 0));
+        assert_eq!(cidr.last(), Ipv4::new(192, 168, 255, 255));
+        assert_eq!(cidr.size(), 65536);
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let cidr: Cidr = "198.51.100.0/24".parse().unwrap();
+        assert!(cidr.contains(Ipv4::new(198, 51, 100, 0)));
+        assert!(cidr.contains(Ipv4::new(198, 51, 100, 255)));
+        assert!(!cidr.contains(Ipv4::new(198, 51, 101, 0)));
+        assert!(!cidr.contains(Ipv4::new(198, 51, 99, 255)));
+    }
+
+    #[test]
+    fn slash_zero_and_slash_32() {
+        let all: Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(all.contains(Ipv4(u32::MAX)));
+        assert_eq!(all.size(), 1 << 32);
+        let one: Cidr = "1.2.3.4/32".parse().unwrap();
+        assert!(one.contains(Ipv4::new(1, 2, 3, 4)));
+        assert!(!one.contains(Ipv4::new(1, 2, 3, 5)));
+        assert_eq!(one.size(), 1);
+    }
+
+    #[test]
+    fn iter_covers_block() {
+        let cidr: Cidr = "10.1.2.0/30".parse().unwrap();
+        let addrs: Vec<Ipv4> = cidr.iter().collect();
+        assert_eq!(addrs.len(), 4);
+        assert_eq!(addrs[0], Ipv4::new(10, 1, 2, 0));
+        assert_eq!(addrs[3], Ipv4::new(10, 1, 2, 3));
+    }
+
+    #[test]
+    fn blocklist_lookup() {
+        let mut bl = Blocklist::new();
+        bl.add_str("10.0.0.0/8").unwrap();
+        bl.add_str("198.51.100.0/24").unwrap();
+        bl.add_str("203.0.113.7/32").unwrap();
+        assert!(bl.contains(Ipv4::new(10, 200, 1, 1)));
+        assert!(bl.contains(Ipv4::new(198, 51, 100, 99)));
+        assert!(bl.contains(Ipv4::new(203, 0, 113, 7)));
+        assert!(!bl.contains(Ipv4::new(203, 0, 113, 8)));
+        assert!(!bl.contains(Ipv4::new(8, 8, 8, 8)));
+        assert_eq!(bl.len(), 3);
+        assert_eq!(bl.excluded_addresses(), (1 << 24) + 256 + 1);
+    }
+
+    #[test]
+    fn blocklist_overlapping_blocks() {
+        let mut bl = Blocklist::new();
+        bl.add_str("10.0.0.0/8").unwrap();
+        bl.add_str("10.5.0.0/16").unwrap();
+        assert!(bl.contains(Ipv4::new(10, 5, 1, 1)));
+        assert!(bl.contains(Ipv4::new(10, 99, 1, 1)));
+    }
+
+    #[test]
+    fn empty_blocklist() {
+        let bl = Blocklist::new();
+        assert!(bl.is_empty());
+        assert!(!bl.contains(Ipv4::new(1, 1, 1, 1)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Virtual time.
+//!
+//! The study spans seven months of wall-clock time with per-request
+//! politeness delays (500 ms) and per-host time budgets (60 min). All of
+//! that runs in *virtual* time: a shared clock that simulation components
+//! advance explicitly. Deterministic, and seven months pass in
+//! milliseconds.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Microseconds since the unix epoch, virtual.
+pub type Micros = u64;
+
+/// A shareable virtual clock.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    inner: Arc<Mutex<Micros>>,
+}
+
+impl VirtualClock {
+    /// Creates a clock starting at `start_unix_seconds`.
+    pub fn starting_at(start_unix_seconds: u64) -> Self {
+        VirtualClock {
+            inner: Arc::new(Mutex::new(start_unix_seconds * 1_000_000)),
+        }
+    }
+
+    /// Current virtual time in microseconds since the epoch.
+    pub fn now_micros(&self) -> Micros {
+        *self.inner.lock()
+    }
+
+    /// Current virtual time in unix seconds.
+    pub fn now_unix_seconds(&self) -> i64 {
+        (self.now_micros() / 1_000_000) as i64
+    }
+
+    /// Advances the clock by `micros`.
+    pub fn advance_micros(&self, micros: u64) {
+        *self.inner.lock() += micros;
+    }
+
+    /// Advances the clock by `millis`.
+    pub fn advance_millis(&self, millis: u64) {
+        self.advance_micros(millis * 1000);
+    }
+
+    /// Advances the clock by `seconds`.
+    pub fn advance_seconds(&self, seconds: u64) {
+        self.advance_micros(seconds * 1_000_000);
+    }
+
+    /// Jumps to an absolute time; panics when moving backwards (virtual
+    /// time is monotonic).
+    pub fn jump_to_unix_seconds(&self, unix_seconds: u64) {
+        let mut t = self.inner.lock();
+        let target = unix_seconds * 1_000_000;
+        assert!(target >= *t, "virtual clock cannot move backwards");
+        *t = target;
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        // 2020-02-09, the paper's first measurement.
+        Self::starting_at(1_581_206_400)
+    }
+}
+
+/// A stopwatch over the virtual clock.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    clock: VirtualClock,
+    start: Micros,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start(clock: &VirtualClock) -> Self {
+        Stopwatch {
+            clock: clock.clone(),
+            start: clock.now_micros(),
+        }
+    }
+
+    /// Elapsed virtual microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.clock.now_micros().saturating_sub(self.start)
+    }
+
+    /// Elapsed virtual milliseconds.
+    pub fn elapsed_millis(&self) -> u64 {
+        self.elapsed_micros() / 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reads() {
+        let clock = VirtualClock::starting_at(1_000);
+        assert_eq!(clock.now_unix_seconds(), 1_000);
+        clock.advance_millis(1500);
+        assert_eq!(clock.now_micros(), 1_000 * 1_000_000 + 1_500_000);
+        clock.advance_seconds(10);
+        assert_eq!(clock.now_unix_seconds(), 1_011);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VirtualClock::starting_at(0);
+        let b = a.clone();
+        a.advance_seconds(5);
+        assert_eq!(b.now_unix_seconds(), 5);
+    }
+
+    #[test]
+    fn default_starts_at_first_measurement() {
+        let clock = VirtualClock::default();
+        assert_eq!(clock.now_unix_seconds(), 1_581_206_400);
+    }
+
+    #[test]
+    fn jump_forward_ok() {
+        let clock = VirtualClock::starting_at(100);
+        clock.jump_to_unix_seconds(200);
+        assert_eq!(clock.now_unix_seconds(), 200);
+    }
+
+    #[test]
+    #[should_panic]
+    fn jump_backward_panics() {
+        let clock = VirtualClock::starting_at(100);
+        clock.jump_to_unix_seconds(50);
+    }
+
+    #[test]
+    fn stopwatch_measures() {
+        let clock = VirtualClock::starting_at(0);
+        let sw = Stopwatch::start(&clock);
+        clock.advance_millis(110_000);
+        assert_eq!(sw.elapsed_millis(), 110_000);
+    }
+}

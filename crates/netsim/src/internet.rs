@@ -1,0 +1,296 @@
+//! The simulated IPv4 Internet: hosts, listeners, and connections.
+//!
+//! Smoltcp-style poll-driven design: a server registers a [`Service`]
+//! factory on `(ip, port)`; each accepted connection is a byte-level
+//! state machine ([`Connection`]) that consumes client bytes and emits
+//! reply bytes. No threads, no async runtime — determinism first.
+
+use crate::asn::AsRegistry;
+use crate::cidr::Ipv4;
+use crate::clock::VirtualClock;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a connection state machine produced for one input.
+#[derive(Debug, Default)]
+pub struct ConnectionOutput {
+    /// Bytes to deliver back to the peer.
+    pub reply: Vec<u8>,
+    /// True when the server closes the connection after this reply.
+    pub close: bool,
+}
+
+impl ConnectionOutput {
+    /// Reply without closing.
+    pub fn reply(bytes: Vec<u8>) -> Self {
+        ConnectionOutput {
+            reply: bytes,
+            close: false,
+        }
+    }
+
+    /// Reply and close.
+    pub fn close_with(bytes: Vec<u8>) -> Self {
+        ConnectionOutput {
+            reply: bytes,
+            close: true,
+        }
+    }
+
+    /// No output, keep open.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// A per-connection byte-level state machine.
+pub trait Connection: Send {
+    /// Feeds bytes received from the peer.
+    fn on_data(&mut self, data: &[u8]) -> ConnectionOutput;
+}
+
+/// A listener that accepts connections.
+pub trait Service: Send + Sync {
+    /// Opens a new connection state machine for an accepted client.
+    fn open_connection(&self, peer: Ipv4) -> Box<dyn Connection>;
+}
+
+/// Why a connect attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectError {
+    /// No host answers at this address (SYN timeout).
+    NoRoute,
+    /// Host exists but nothing listens on the port (RST).
+    Refused,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::NoRoute => write!(f, "no route to host (timeout)"),
+            ConnectError::Refused => write!(f, "connection refused"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+struct HostEntry {
+    services: HashMap<u16, Arc<dyn Service>>,
+    rtt_micros: u32,
+}
+
+/// The simulated Internet. Cheap to clone (shared interior).
+#[derive(Clone)]
+pub struct Internet {
+    clock: VirtualClock,
+    hosts: Arc<RwLock<HashMap<u32, HostEntry>>>,
+    registry: Arc<RwLock<AsRegistry>>,
+}
+
+impl Internet {
+    /// Creates an empty Internet on `clock`.
+    pub fn new(clock: VirtualClock) -> Self {
+        Internet {
+            clock,
+            hosts: Arc::new(RwLock::new(HashMap::new())),
+            registry: Arc::new(RwLock::new(AsRegistry::new())),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Replaces the AS registry.
+    pub fn set_registry(&self, registry: AsRegistry) {
+        *self.registry.write() = registry;
+    }
+
+    /// AS number owning `addr` (0 if unannounced).
+    pub fn as_number(&self, addr: Ipv4) -> u32 {
+        self.registry.read().as_number(addr)
+    }
+
+    /// Runs `f` with read access to the AS registry.
+    pub fn with_registry<T>(&self, f: impl FnOnce(&AsRegistry) -> T) -> T {
+        f(&self.registry.read())
+    }
+
+    /// Adds (or replaces) a host with the given round-trip time.
+    pub fn add_host(&self, addr: Ipv4, rtt_micros: u32) {
+        self.hosts.write().insert(
+            addr.0,
+            HostEntry {
+                services: HashMap::new(),
+                rtt_micros,
+            },
+        );
+    }
+
+    /// Removes a host entirely (device went offline / changed IP).
+    pub fn remove_host(&self, addr: Ipv4) {
+        self.hosts.write().remove(&addr.0);
+    }
+
+    /// Binds a service to `(addr, port)`; the host must exist.
+    pub fn bind(&self, addr: Ipv4, port: u16, service: Arc<dyn Service>) {
+        let mut hosts = self.hosts.write();
+        let host = hosts
+            .get_mut(&addr.0)
+            .unwrap_or_else(|| panic!("bind on unknown host {addr}"));
+        host.services.insert(port, service);
+    }
+
+    /// Unbinds a port.
+    pub fn unbind(&self, addr: Ipv4, port: u16) {
+        if let Some(host) = self.hosts.write().get_mut(&addr.0) {
+            host.services.remove(&port);
+        }
+    }
+
+    /// True if a host exists at `addr`.
+    pub fn host_exists(&self, addr: Ipv4) -> bool {
+        self.hosts.read().contains_key(&addr.0)
+    }
+
+    /// SYN-probe semantics: does anything listen on `(addr, port)`?
+    /// (No clock cost — probe pacing is accounted by the sweep.)
+    pub fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
+        self.hosts
+            .read()
+            .get(&addr.0)
+            .map_or(false, |h| h.services.contains_key(&port))
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.read().len()
+    }
+
+    /// All host addresses, ascending (deterministic iteration for
+    /// tests/ground truth; a real scanner cannot do this).
+    pub fn host_addresses(&self) -> Vec<Ipv4> {
+        let mut v: Vec<Ipv4> = self.hosts.read().keys().map(|&ip| Ipv4(ip)).collect();
+        v.sort();
+        v
+    }
+
+    /// Opens a TCP-like connection, applying one RTT of virtual latency
+    /// for the handshake.
+    pub fn connect(&self, from: Ipv4, to: Ipv4, port: u16) -> Result<crate::stream::TcpStreamSim, ConnectError> {
+        let hosts = self.hosts.read();
+        let host = hosts.get(&to.0).ok_or_else(|| {
+            // SYN timeout: a scanner waits ~1s for silence.
+            self.clock.advance_millis(1000);
+            ConnectError::NoRoute
+        })?;
+        let service = host.services.get(&port).ok_or_else(|| {
+            // RST comes back after one RTT.
+            self.clock.advance_micros(host.rtt_micros as u64);
+            ConnectError::Refused
+        })?;
+        let conn = service.open_connection(from);
+        self.clock.advance_micros(host.rtt_micros as u64);
+        Ok(crate::stream::TcpStreamSim::new(
+            self.clock.clone(),
+            conn,
+            host.rtt_micros,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo service for tests.
+    struct Echo;
+    struct EchoConn;
+    impl Connection for EchoConn {
+        fn on_data(&mut self, data: &[u8]) -> ConnectionOutput {
+            ConnectionOutput::reply(data.to_vec())
+        }
+    }
+    impl Service for Echo {
+        fn open_connection(&self, _peer: Ipv4) -> Box<dyn Connection> {
+            Box::new(EchoConn)
+        }
+    }
+
+    #[test]
+    fn connect_routes_and_errors() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let ip = Ipv4::new(198, 51, 100, 1);
+        net.add_host(ip, 10_000);
+        net.bind(ip, 4840, Arc::new(Echo));
+
+        assert!(net.host_exists(ip));
+        assert!(net.has_listener(ip, 4840));
+        assert!(!net.has_listener(ip, 80));
+
+        // Refused on closed port.
+        assert_eq!(
+            net.connect(Ipv4::new(1, 1, 1, 1), ip, 80).err(),
+            Some(ConnectError::Refused)
+        );
+        // No route to unknown host.
+        assert_eq!(
+            net.connect(Ipv4::new(1, 1, 1, 1), Ipv4::new(9, 9, 9, 9), 4840)
+                .err(),
+            Some(ConnectError::NoRoute)
+        );
+        // Success.
+        let mut stream = net.connect(Ipv4::new(1, 1, 1, 1), ip, 4840).unwrap();
+        stream.send(b"ping").unwrap();
+        assert_eq!(stream.recv().unwrap(), Some(b"ping".to_vec()));
+    }
+
+    #[test]
+    fn latency_advances_clock() {
+        let clock = VirtualClock::starting_at(0);
+        let net = Internet::new(clock.clone());
+        let ip = Ipv4::new(10, 0, 0, 1);
+        net.add_host(ip, 50_000); // 50 ms RTT
+        net.bind(ip, 4840, Arc::new(Echo));
+        let before = clock.now_micros();
+        let _ = net.connect(Ipv4::new(1, 1, 1, 1), ip, 4840).unwrap();
+        assert!(clock.now_micros() >= before + 50_000);
+    }
+
+    #[test]
+    fn syn_timeout_costs_a_second() {
+        let clock = VirtualClock::starting_at(0);
+        let net = Internet::new(clock.clone());
+        let _ = net.connect(Ipv4::new(1, 1, 1, 1), Ipv4::new(2, 2, 2, 2), 4840);
+        assert_eq!(clock.now_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn unbind_and_remove() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let ip = Ipv4::new(10, 0, 0, 2);
+        net.add_host(ip, 1000);
+        net.bind(ip, 4840, Arc::new(Echo));
+        net.unbind(ip, 4840);
+        assert!(!net.has_listener(ip, 4840));
+        net.remove_host(ip);
+        assert!(!net.host_exists(ip));
+        assert_eq!(net.host_count(), 0);
+    }
+
+    #[test]
+    fn host_addresses_sorted() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        net.add_host(Ipv4::new(9, 0, 0, 1), 0);
+        net.add_host(Ipv4::new(1, 0, 0, 1), 0);
+        net.add_host(Ipv4::new(5, 0, 0, 1), 0);
+        let addrs = net.host_addresses();
+        assert_eq!(
+            addrs,
+            vec![Ipv4::new(1, 0, 0, 1), Ipv4::new(5, 0, 0, 1), Ipv4::new(9, 0, 0, 1)]
+        );
+    }
+}

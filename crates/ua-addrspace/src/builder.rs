@@ -1,0 +1,147 @@
+//! Fluent construction of industrial address spaces.
+//!
+//! The population generator uses this to build realistic device models:
+//! folders per subsystem, process variables (`m3InflowPerHour`,
+//! `rSetFillLevel`, …), and maintenance methods (`AddEndpoint`, …).
+
+use crate::ids;
+use crate::node::{Node, NodeAccess};
+use crate::space::AddressSpace;
+use ua_types::{NodeId, QualifiedName, Variant};
+
+/// Builds an [`AddressSpace`] incrementally.
+pub struct SpaceBuilder {
+    space: AddressSpace,
+    namespace: u16,
+}
+
+impl SpaceBuilder {
+    /// Starts from the standard skeleton with `extra_namespaces`; new
+    /// nodes are created in namespace index 1 (the first extra
+    /// namespace).
+    pub fn new(extra_namespaces: &[&str], software_version: &str) -> Self {
+        assert!(
+            !extra_namespaces.is_empty(),
+            "builder needs at least one application namespace"
+        );
+        SpaceBuilder {
+            space: AddressSpace::new(extra_namespaces, software_version),
+            namespace: 1,
+        }
+    }
+
+    /// Switches the namespace index for subsequently added nodes.
+    pub fn in_namespace(mut self, index: u16) -> Self {
+        self.namespace = index;
+        self
+    }
+
+    /// Adds a folder under `parent` (or Objects when `None`), returning
+    /// its id.
+    pub fn folder(&mut self, parent: Option<&NodeId>, name: &str) -> NodeId {
+        let id = NodeId::string(self.namespace, name);
+        self.space.insert(Node::object(
+            id.clone(),
+            QualifiedName::new(self.namespace, name),
+            NodeId::numeric(0, ids::TYPE_FOLDER),
+        ));
+        let parent = parent
+            .cloned()
+            .unwrap_or_else(|| NodeId::numeric(0, ids::OBJECTS_FOLDER));
+        self.space.add_reference(&parent, ids::REF_ORGANIZES, id.clone());
+        id
+    }
+
+    /// Adds a variable under `parent`.
+    pub fn variable(
+        &mut self,
+        parent: &NodeId,
+        name: &str,
+        value: Variant,
+        access: NodeAccess,
+    ) -> NodeId {
+        let id = NodeId::string(self.namespace, name);
+        self.space.insert(Node::variable(
+            id.clone(),
+            QualifiedName::new(self.namespace, name),
+            value,
+            access,
+        ));
+        self.space
+            .add_reference(parent, ids::REF_HAS_COMPONENT, id.clone());
+        id
+    }
+
+    /// Adds a method under `parent`.
+    pub fn method(&mut self, parent: &NodeId, name: &str, anonymous_executable: bool) -> NodeId {
+        let id = NodeId::string(self.namespace, name);
+        self.space.insert(Node::method(
+            id.clone(),
+            QualifiedName::new(self.namespace, name),
+            anonymous_executable,
+        ));
+        self.space
+            .add_reference(parent, ids::REF_HAS_COMPONENT, id.clone());
+        id
+    }
+
+    /// Finishes building.
+    pub fn finish(self) -> AddressSpace {
+        self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::UserClass;
+    use ua_types::{AttributeId, StatusCode};
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = SpaceBuilder::new(&["urn:waterworks:plant1"], "3.4.1");
+        let plant = b.folder(None, "Plant");
+        let pumps = b.folder(Some(&plant), "Pumps");
+        b.variable(
+            &pumps,
+            "m3InflowPerHour",
+            Variant::Double(42.0),
+            NodeAccess::read_only(),
+        );
+        b.variable(
+            &pumps,
+            "rSetFillLevel",
+            Variant::Float(80.0),
+            NodeAccess::read_write_all(),
+        );
+        b.method(&pumps, "FlushPipes", false);
+        let space = b.finish();
+
+        // Objects -> Server + Plant.
+        let objects = space.browse(&NodeId::numeric(0, ids::OBJECTS_FOLDER));
+        assert_eq!(objects.references.len(), 2);
+        let pumps_out = space.browse(&NodeId::string(1, "Pumps"));
+        assert_eq!(pumps_out.references.len(), 3);
+        // Anonymous cannot execute FlushPipes.
+        assert_eq!(
+            space.call_method(&NodeId::string(1, "FlushPipes"), &UserClass::Anonymous),
+            StatusCode::BAD_NOT_EXECUTABLE
+        );
+        // NamespaceArray has 2 entries.
+        let dv = space.read_attribute(
+            &NodeId::numeric(0, ids::SERVER_NAMESPACE_ARRAY),
+            AttributeId::Value,
+            &UserClass::Anonymous,
+        );
+        match dv.value.unwrap() {
+            Variant::Array(a) => assert_eq!(a.len(), 2),
+            _ => panic!("expected array"),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn requires_namespace() {
+        SpaceBuilder::new(&[], "1.0");
+    }
+}

@@ -1,0 +1,27 @@
+//! # ua-addrspace
+//!
+//! The OPC UA address space: a store of typed, cross-referenced nodes
+//! with per-user access control (OPC 10000-3).
+//!
+//! The paper's §5.4 measures exactly this surface: which fraction of
+//! nodes an *anonymous* user can read, write, and execute (Figure 7), and
+//! which namespaces a server registers (used to classify systems as
+//! production or test). This crate provides:
+//!
+//! * [`node::Node`] — node records with class, value, access levels;
+//! * [`space::AddressSpace`] — the store, with the standard namespace-0
+//!   skeleton (Root/Objects/Server incl. `SoftwareVersion`), browsing,
+//!   attribute reads, writes, and method calls, all user-aware;
+//! * [`builder`] — convenience construction of industrial object trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod ids;
+pub mod node;
+pub mod space;
+
+pub use builder::SpaceBuilder;
+pub use node::{Node, NodeAccess, Reference, UserClass};
+pub use space::{AddressSpace, BrowseOutcome};

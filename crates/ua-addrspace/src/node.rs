@@ -1,0 +1,275 @@
+//! Node records and per-user access resolution.
+
+use ua_types::{AccessLevel, LocalizedText, NodeClass, NodeId, QualifiedName, Variant};
+
+/// The identity class a request executes under. OPC UA servers can grant
+/// different rights per user; the study contrasts the *anonymous* user
+/// (what any Internet attacker gets) with authenticated users.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UserClass {
+    /// No credentials presented.
+    Anonymous,
+    /// Authenticated (username, certificate, or issued token).
+    Authenticated,
+}
+
+/// Per-node access configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeAccess {
+    /// What the node supports at all (`AccessLevel` attribute).
+    pub access_level: AccessLevel,
+    /// Effective rights of anonymous users (`UserAccessLevel` when
+    /// anonymous).
+    pub anonymous: AccessLevel,
+    /// Effective rights of authenticated users.
+    pub authenticated: AccessLevel,
+    /// Whether the method is executable at all (`Executable`).
+    pub executable: bool,
+    /// Whether anonymous users may execute (`UserExecutable`).
+    pub anonymous_executable: bool,
+    /// Whether authenticated users may execute.
+    pub authenticated_executable: bool,
+}
+
+impl Default for NodeAccess {
+    fn default() -> Self {
+        NodeAccess {
+            access_level: AccessLevel::CURRENT_READ,
+            anonymous: AccessLevel::CURRENT_READ,
+            authenticated: AccessLevel::CURRENT_READ,
+            executable: false,
+            anonymous_executable: false,
+            authenticated_executable: false,
+        }
+    }
+}
+
+impl NodeAccess {
+    /// Read-only for everyone.
+    pub fn read_only() -> Self {
+        Self::default()
+    }
+
+    /// Readable and writable by everyone (the unprotected configuration
+    /// §5.4 finds on a third of accessible hosts).
+    pub fn read_write_all() -> Self {
+        NodeAccess {
+            access_level: AccessLevel::READ_WRITE,
+            anonymous: AccessLevel::READ_WRITE,
+            authenticated: AccessLevel::READ_WRITE,
+            ..Self::default()
+        }
+    }
+
+    /// Readable by all, writable only by authenticated users.
+    pub fn write_authenticated() -> Self {
+        NodeAccess {
+            access_level: AccessLevel::READ_WRITE,
+            anonymous: AccessLevel::CURRENT_READ,
+            authenticated: AccessLevel::READ_WRITE,
+            ..Self::default()
+        }
+    }
+
+    /// Completely hidden from anonymous users.
+    pub fn authenticated_only() -> Self {
+        NodeAccess {
+            access_level: AccessLevel::READ_WRITE,
+            anonymous: AccessLevel::NONE,
+            authenticated: AccessLevel::READ_WRITE,
+            ..Self::default()
+        }
+    }
+
+    /// A method executable by the given user classes.
+    pub fn method(anonymous_executable: bool) -> Self {
+        NodeAccess {
+            access_level: AccessLevel::NONE,
+            anonymous: AccessLevel::NONE,
+            authenticated: AccessLevel::NONE,
+            executable: true,
+            anonymous_executable,
+            authenticated_executable: true,
+        }
+    }
+
+    /// Effective `UserAccessLevel` for `user` (intersected with the node
+    /// capability, as Part 3 requires).
+    pub fn user_access_level(&self, user: &UserClass) -> AccessLevel {
+        let granted = match user {
+            UserClass::Anonymous => self.anonymous,
+            UserClass::Authenticated => self.authenticated,
+        };
+        granted.intersect(self.access_level)
+    }
+
+    /// Effective `UserExecutable` for `user`.
+    pub fn user_executable(&self, user: &UserClass) -> bool {
+        self.executable
+            && match user {
+                UserClass::Anonymous => self.anonymous_executable,
+                UserClass::Authenticated => self.authenticated_executable,
+            }
+    }
+}
+
+/// A typed reference to another node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reference {
+    /// Reference type (e.g. Organizes, HasComponent).
+    pub reference_type: NodeId,
+    /// Target node.
+    pub target: NodeId,
+    /// Forward (source → target) or inverse.
+    pub is_forward: bool,
+}
+
+/// A node in the address space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Unique id.
+    pub node_id: NodeId,
+    /// Browse name (namespace-qualified).
+    pub browse_name: QualifiedName,
+    /// Display name.
+    pub display_name: LocalizedText,
+    /// Node class.
+    pub node_class: NodeClass,
+    /// Current value (variables only).
+    pub value: Option<Variant>,
+    /// Access configuration.
+    pub access: NodeAccess,
+    /// Outgoing/incoming references.
+    pub references: Vec<Reference>,
+    /// HasTypeDefinition target (folders/variables).
+    pub type_definition: NodeId,
+}
+
+impl Node {
+    /// Creates an object node.
+    pub fn object(node_id: NodeId, browse_name: QualifiedName, type_definition: NodeId) -> Self {
+        Node {
+            node_id,
+            display_name: LocalizedText::new(
+                browse_name.name.clone().unwrap_or_default(),
+            ),
+            browse_name,
+            node_class: NodeClass::Object,
+            value: None,
+            access: NodeAccess::read_only(),
+            references: Vec::new(),
+            type_definition,
+        }
+    }
+
+    /// Creates a variable node.
+    pub fn variable(
+        node_id: NodeId,
+        browse_name: QualifiedName,
+        value: Variant,
+        access: NodeAccess,
+    ) -> Self {
+        Node {
+            node_id,
+            display_name: LocalizedText::new(
+                browse_name.name.clone().unwrap_or_default(),
+            ),
+            browse_name,
+            node_class: NodeClass::Variable,
+            value: Some(value),
+            access,
+            references: Vec::new(),
+            type_definition: NodeId::numeric(0, crate::ids::TYPE_BASE_DATA_VARIABLE),
+        }
+    }
+
+    /// Creates a method node.
+    pub fn method(node_id: NodeId, browse_name: QualifiedName, anonymous_executable: bool) -> Self {
+        Node {
+            node_id,
+            display_name: LocalizedText::new(
+                browse_name.name.clone().unwrap_or_default(),
+            ),
+            browse_name,
+            node_class: NodeClass::Method,
+            value: None,
+            access: NodeAccess::method(anonymous_executable),
+            references: Vec::new(),
+            type_definition: NodeId::NULL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_access_is_intersection() {
+        // Node only supports read; even if a user class is granted RW the
+        // effective level is read-only.
+        let access = NodeAccess {
+            access_level: AccessLevel::CURRENT_READ,
+            anonymous: AccessLevel::READ_WRITE,
+            authenticated: AccessLevel::READ_WRITE,
+            ..NodeAccess::default()
+        };
+        assert_eq!(
+            access.user_access_level(&UserClass::Anonymous),
+            AccessLevel::CURRENT_READ
+        );
+    }
+
+    #[test]
+    fn presets_differentiate_users() {
+        let a = NodeAccess::write_authenticated();
+        assert!(a.user_access_level(&UserClass::Anonymous).readable());
+        assert!(!a.user_access_level(&UserClass::Anonymous).writable());
+        assert!(a.user_access_level(&UserClass::Authenticated).writable());
+
+        let h = NodeAccess::authenticated_only();
+        assert!(!h.user_access_level(&UserClass::Anonymous).readable());
+        assert!(h.user_access_level(&UserClass::Authenticated).readable());
+
+        let rw = NodeAccess::read_write_all();
+        assert!(rw.user_access_level(&UserClass::Anonymous).writable());
+    }
+
+    #[test]
+    fn method_executability() {
+        let m = NodeAccess::method(false);
+        assert!(!m.user_executable(&UserClass::Anonymous));
+        assert!(m.user_executable(&UserClass::Authenticated));
+        let open = NodeAccess::method(true);
+        assert!(open.user_executable(&UserClass::Anonymous));
+        // Non-executable method stays dead for everyone.
+        let dead = NodeAccess {
+            executable: false,
+            anonymous_executable: true,
+            authenticated_executable: true,
+            ..NodeAccess::method(true)
+        };
+        assert!(!dead.user_executable(&UserClass::Authenticated));
+    }
+
+    #[test]
+    fn constructors_set_class() {
+        let o = Node::object(
+            NodeId::numeric(2, 1),
+            QualifiedName::new(2, "Device"),
+            NodeId::numeric(0, crate::ids::TYPE_FOLDER),
+        );
+        assert_eq!(o.node_class, NodeClass::Object);
+        let v = Node::variable(
+            NodeId::string(2, "m3InflowPerHour"),
+            QualifiedName::new(2, "m3InflowPerHour"),
+            Variant::Double(1.5),
+            NodeAccess::read_only(),
+        );
+        assert_eq!(v.node_class, NodeClass::Variable);
+        assert_eq!(v.value, Some(Variant::Double(1.5)));
+        let m = Node::method(NodeId::string(2, "AddEndpoint"), QualifiedName::new(2, "AddEndpoint"), true);
+        assert_eq!(m.node_class, NodeClass::Method);
+        assert!(m.access.user_executable(&UserClass::Anonymous));
+    }
+}

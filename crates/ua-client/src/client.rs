@@ -1,0 +1,515 @@
+//! The OPC UA client: handshake, secure channels, sessions, services.
+
+use crate::error::ClientError;
+use netsim::{ByteStream, VirtualClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ua_crypto::{Certificate, RsaPrivateKey};
+use ua_proto::chunk::{chunk_message, Reassembler};
+use ua_proto::secure::{
+    derive_keys, open_asymmetric, open_symmetric, policy_crypto, seal_asymmetric, DerivedKeys,
+    SequenceHeader,
+};
+use ua_proto::services::*;
+use ua_proto::transport::{FrameReader, Hello, TransportMessage};
+use ua_types::*;
+
+/// Client configuration. The paper's scanner identifies itself through
+/// `application_name` and its certificate (Appendix A.2: contact data in
+/// both).
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// Application URI.
+    pub application_uri: String,
+    /// Application name (the scanner places contact info here).
+    pub application_name: String,
+    /// Client certificate for secure channels.
+    pub certificate: Option<Certificate>,
+    /// Matching private key.
+    pub private_key: Option<RsaPrivateKey>,
+    /// Delay between consecutive requests to one server, in virtual
+    /// milliseconds (the paper used 500 ms).
+    pub politeness_delay_millis: u64,
+    /// Payload bytes per outgoing chunk.
+    pub chunk_body: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            application_uri: "urn:research:scanner".into(),
+            application_name:
+                "Internet measurement study - contact research@scan.example.org".into(),
+            certificate: None,
+            private_key: None,
+            politeness_delay_millis: 500,
+            chunk_body: 8192,
+        }
+    }
+}
+
+struct Channel {
+    id: u32,
+    token_id: u32,
+    policy: SecurityPolicy,
+    mode: MessageSecurityMode,
+    /// Keys for messages the client sends.
+    local_keys: Option<DerivedKeys>,
+    /// Keys for messages the server sends.
+    remote_keys: Option<DerivedKeys>,
+    next_sequence: u32,
+    next_request_id: u32,
+    reassembler: Reassembler,
+}
+
+struct SessionHandle {
+    authentication_token: NodeId,
+}
+
+/// An OPC UA client over any [`ByteStream`].
+pub struct UaClient<S: ByteStream> {
+    stream: S,
+    clock: VirtualClock,
+    config: ClientConfig,
+    rng: StdRng,
+    channel: Option<Channel>,
+    session: Option<SessionHandle>,
+    requests_sent: u64,
+    first_request_done: bool,
+}
+
+impl<S: ByteStream> UaClient<S> {
+    /// Wraps a connected stream.
+    pub fn new(stream: S, clock: VirtualClock, config: ClientConfig, seed: u64) -> Self {
+        UaClient {
+            stream,
+            clock,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            channel: None,
+            session: None,
+            requests_sent: 0,
+            first_request_done: false,
+        }
+    }
+
+    /// Number of requests sent so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// Traffic statistics from the underlying stream.
+    pub fn stats(&self) -> netsim::ConnectionStats {
+        self.stream.stats()
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn politeness_pause(&mut self) {
+        if self.first_request_done {
+            self.clock
+                .advance_millis(self.config.politeness_delay_millis);
+        }
+        self.first_request_done = true;
+        self.requests_sent += 1;
+    }
+
+    fn now(&self) -> UaDateTime {
+        UaDateTime::from_unix_seconds(self.clock.now_unix_seconds())
+    }
+
+    fn auth_token(&self) -> NodeId {
+        self.session
+            .as_ref()
+            .map(|s| s.authentication_token.clone())
+            .unwrap_or(NodeId::NULL)
+    }
+
+    /// Collects all currently available reply bytes into frames.
+    fn drain_frames(&mut self) -> Result<Vec<Vec<u8>>, ClientError> {
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match self.stream.recv() {
+                Ok(Some(bytes)) => reader.push(&bytes),
+                Ok(None) => break,
+                // Peer closed: anything already queued (e.g. a final ERR
+                // before the RST) is still parsed below.
+                Err(netsim::StreamError::Closed) => break,
+            }
+        }
+        while let Some(frame) = reader.next_raw_frame()? {
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+
+    /// UACP handshake: HEL → ACK.
+    pub fn handshake(&mut self, endpoint_url: &str) -> Result<(), ClientError> {
+        self.politeness_pause();
+        let hello = TransportMessage::Hello(Hello {
+            endpoint_url: Some(endpoint_url.to_string()),
+            ..Hello::default()
+        });
+        self.stream.send(&hello.encode())?;
+        let frames = self.drain_frames()?;
+        let frame = frames.first().ok_or(ClientError::NoReply)?;
+        match TransportMessage::decode(frame)? {
+            TransportMessage::Acknowledge(_) => Ok(()),
+            TransportMessage::Error(e) => Err(ClientError::Remote {
+                status: e.error,
+                reason: e.reason,
+            }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Opens a secure channel with the given policy/mode. For policies
+    /// other than `None`, `server_certificate` (from GetEndpoints) and a
+    /// client certificate/key (from the config) are required.
+    pub fn open_channel(
+        &mut self,
+        policy: SecurityPolicy,
+        mode: MessageSecurityMode,
+        server_certificate: Option<&Certificate>,
+    ) -> Result<(), ClientError> {
+        self.politeness_pause();
+        let client_nonce = if policy == SecurityPolicy::None {
+            None
+        } else {
+            let params = policy_crypto(policy).expect("non-None policy");
+            let nonce: Vec<u8> = (0..params.nonce_len)
+                .map(|_| rand::Rng::gen(&mut self.rng))
+                .collect();
+            Some(nonce)
+        };
+
+        let body = ServiceBody::OpenSecureChannelRequest(OpenSecureChannelRequest {
+            request_header: RequestHeader::new(NodeId::NULL, 1, self.now()),
+            client_protocol_version: 0,
+            request_type: SecurityTokenRequestType::Issue,
+            security_mode: mode,
+            client_nonce: client_nonce.clone(),
+            requested_lifetime: 3_600_000,
+        })
+        .encode_to_vec();
+
+        let cert_der = self.config.certificate.as_ref().map(|c| c.to_der());
+        let raw = seal_asymmetric(
+            &mut self.rng,
+            policy,
+            self.config.private_key.as_ref(),
+            cert_der.as_deref(),
+            server_certificate,
+            0,
+            SequenceHeader {
+                sequence_number: 1,
+                request_id: 1,
+            },
+            &body,
+        )?;
+        self.stream.send(&raw)?;
+
+        let frames = self.drain_frames()?;
+        let frame = frames.first().ok_or(ClientError::NoReply)?;
+        if &frame[0..3] == b"ERR" {
+            return match TransportMessage::decode(frame)? {
+                TransportMessage::Error(e) => Err(ClientError::Remote {
+                    status: e.error,
+                    reason: e.reason,
+                }),
+                _ => Err(ClientError::UnexpectedResponse),
+            };
+        }
+        let opened = open_asymmetric(self.config.private_key.as_ref(), frame)?;
+        let response = match ServiceBody::decode_all(&opened.opened.body)? {
+            ServiceBody::OpenSecureChannelResponse(r) => r,
+            ServiceBody::ServiceFault(f) => {
+                return Err(ClientError::Fault(f.response_header.service_result))
+            }
+            _ => return Err(ClientError::UnexpectedResponse),
+        };
+
+        let (local_keys, remote_keys) = match (&client_nonce, &response.server_nonce) {
+            (Some(cn), Some(sn)) if policy != SecurityPolicy::None => {
+                // Client keys: P_SHA(secret=serverNonce, seed=clientNonce).
+                (derive_keys(policy, sn, cn), derive_keys(policy, cn, sn))
+            }
+            _ => (None, None),
+        };
+
+        self.channel = Some(Channel {
+            id: response.security_token.channel_id,
+            token_id: response.security_token.token_id,
+            policy,
+            mode,
+            local_keys,
+            remote_keys,
+            next_sequence: 2,
+            next_request_id: 2,
+            reassembler: Reassembler::new(4096, 16 * 1024 * 1024),
+        });
+        Ok(())
+    }
+
+    /// Sends one service request over the open channel and returns the
+    /// response body.
+    pub fn request(&mut self, body: ServiceBody) -> Result<ServiceBody, ClientError> {
+        self.politeness_pause();
+        let channel = self
+            .channel
+            .as_mut()
+            .ok_or(ClientError::BadState("no open channel"))?;
+        let request_id = channel.next_request_id;
+        channel.next_request_id += 1;
+        let first_seq = channel.next_sequence;
+        let chunks = chunk_message(
+            channel.policy,
+            channel.mode,
+            channel.local_keys.as_ref(),
+            channel.id,
+            channel.token_id,
+            first_seq,
+            request_id,
+            &body.encode_to_vec(),
+            self.config.chunk_body,
+        )?;
+        channel.next_sequence = first_seq + chunks.len() as u32;
+        let policy = channel.policy;
+        let mode = channel.mode;
+
+        for chunk in &chunks {
+            self.stream.send(chunk)?;
+        }
+
+        let frames = self.drain_frames()?;
+        if frames.is_empty() {
+            return Err(ClientError::NoReply);
+        }
+        let channel = self.channel.as_mut().expect("channel still open");
+        let mut assembled = None;
+        for frame in &frames {
+            if &frame[0..3] == b"ERR" {
+                return match TransportMessage::decode(frame)? {
+                    TransportMessage::Error(e) => Err(ClientError::Remote {
+                        status: e.error,
+                        reason: e.reason,
+                    }),
+                    _ => Err(ClientError::UnexpectedResponse),
+                };
+            }
+            let opened = open_symmetric(policy, mode, channel.remote_keys.as_ref(), frame)?;
+            if let Some(msg) = channel
+                .reassembler
+                .push(opened.chunk, opened.sequence, &opened.body)
+                .map_err(|_| ClientError::UnexpectedResponse)?
+            {
+                assembled = Some(msg);
+            }
+        }
+        let assembled = assembled.ok_or(ClientError::NoReply)?;
+        match ServiceBody::decode_all(&assembled.body)? {
+            ServiceBody::ServiceFault(f) => {
+                Err(ClientError::Fault(f.response_header.service_result))
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// GetEndpoints over the open channel.
+    pub fn get_endpoints(
+        &mut self,
+        endpoint_url: &str,
+    ) -> Result<Vec<EndpointDescription>, ClientError> {
+        let body = ServiceBody::GetEndpointsRequest(GetEndpointsRequest {
+            request_header: RequestHeader::new(NodeId::NULL, 2, self.now()),
+            endpoint_url: Some(endpoint_url.to_string()),
+            locale_ids: vec![],
+            profile_uris: vec![],
+        });
+        match self.request(body)? {
+            ServiceBody::GetEndpointsResponse(r) => Ok(r.endpoints),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// FindServers over the open channel (discovery servers announce
+    /// other hosts/ports here).
+    pub fn find_servers(
+        &mut self,
+        endpoint_url: &str,
+    ) -> Result<Vec<ApplicationDescription>, ClientError> {
+        let body = ServiceBody::FindServersRequest(FindServersRequest {
+            request_header: RequestHeader::new(NodeId::NULL, 2, self.now()),
+            endpoint_url: Some(endpoint_url.to_string()),
+            locale_ids: vec![],
+            server_uris: vec![],
+        });
+        match self.request(body)? {
+            ServiceBody::FindServersResponse(r) => Ok(r.servers),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Creates a session.
+    pub fn create_session(&mut self, endpoint_url: &str) -> Result<(), ClientError> {
+        let cert_der = self.config.certificate.as_ref().map(|c| c.to_der());
+        let body = ServiceBody::CreateSessionRequest(CreateSessionRequest {
+            request_header: RequestHeader::new(NodeId::NULL, 3, self.now()),
+            client_description: ApplicationDescription::server(
+                self.config.application_uri.clone(),
+                self.config.application_name.clone(),
+            ),
+            server_uri: None,
+            endpoint_url: Some(endpoint_url.to_string()),
+            session_name: Some("measurement".into()),
+            client_nonce: Some((0..32).map(|_| rand::Rng::gen(&mut self.rng)).collect()),
+            client_certificate: cert_der,
+            requested_session_timeout: 120_000.0,
+            max_response_message_size: 1 << 20,
+        });
+        match self.request(body)? {
+            ServiceBody::CreateSessionResponse(r) => {
+                self.session = Some(SessionHandle {
+                    authentication_token: r.authentication_token,
+                });
+                Ok(())
+            }
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Activates the session with the given identity.
+    pub fn activate_session(&mut self, identity: IdentityToken) -> Result<(), ClientError> {
+        let token = self.auth_token();
+        if token.is_null() {
+            return Err(ClientError::BadState("no session"));
+        }
+        let body = ServiceBody::ActivateSessionRequest(ActivateSessionRequest {
+            request_header: RequestHeader::new(token, 4, self.now()),
+            client_signature: SignatureData::default(),
+            locale_ids: vec!["en".into()],
+            user_identity_token: identity.to_extension_object(),
+            user_token_signature: SignatureData::default(),
+        });
+        match self.request(body)? {
+            ServiceBody::ActivateSessionResponse(_) => Ok(()),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Browses forward references of `node`.
+    pub fn browse(&mut self, node: NodeId, max_refs: u32) -> Result<BrowseResult, ClientError> {
+        let token = self.auth_token();
+        let body = ServiceBody::BrowseRequest(BrowseRequest {
+            request_header: RequestHeader::new(token, 5, self.now()),
+            view: ViewDescription::default(),
+            requested_max_references_per_node: max_refs,
+            nodes_to_browse: vec![BrowseDescription::all_forward(node)],
+        });
+        match self.request(body)? {
+            ServiceBody::BrowseResponse(mut r) if !r.results.is_empty() => {
+                Ok(r.results.remove(0))
+            }
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Continues a browse with a continuation point.
+    pub fn browse_next(&mut self, continuation: Vec<u8>) -> Result<BrowseResult, ClientError> {
+        let token = self.auth_token();
+        let body = ServiceBody::BrowseNextRequest(BrowseNextRequest {
+            request_header: RequestHeader::new(token, 6, self.now()),
+            release_continuation_points: false,
+            continuation_points: vec![continuation],
+        });
+        match self.request(body)? {
+            ServiceBody::BrowseNextResponse(mut r) if !r.results.is_empty() => {
+                Ok(r.results.remove(0))
+            }
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Reads attributes.
+    pub fn read(
+        &mut self,
+        nodes: Vec<(NodeId, AttributeId)>,
+    ) -> Result<Vec<DataValue>, ClientError> {
+        let token = self.auth_token();
+        let body = ServiceBody::ReadRequest(ReadRequest {
+            request_header: RequestHeader::new(token, 7, self.now()),
+            max_age: 0.0,
+            timestamps_to_return: 3,
+            nodes_to_read: nodes
+                .into_iter()
+                .map(|(n, a)| ReadValueId::new(n, a.id()))
+                .collect(),
+        });
+        match self.request(body)? {
+            ServiceBody::ReadResponse(r) => Ok(r.results),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Writes a variable value. The *paper's scanner never writes*
+    /// (Appendix A.1); this exists for the operator-facing examples and
+    /// access-control tests.
+    pub fn write(&mut self, node: NodeId, value: Variant) -> Result<StatusCode, ClientError> {
+        let token = self.auth_token();
+        let body = ServiceBody::WriteRequest(WriteRequest {
+            request_header: RequestHeader::new(token, 8, self.now()),
+            nodes_to_write: vec![WriteValue {
+                node_id: node,
+                attribute_id: AttributeId::Value.id(),
+                index_range: None,
+                value: DataValue::new(value),
+            }],
+        });
+        match self.request(body)? {
+            ServiceBody::WriteResponse(r) => {
+                Ok(r.results.first().copied().unwrap_or(StatusCode::GOOD))
+            }
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Calls a method (not used by the scanner; see [`Self::write`]).
+    pub fn call(
+        &mut self,
+        object: NodeId,
+        method: NodeId,
+    ) -> Result<CallMethodResult, ClientError> {
+        let token = self.auth_token();
+        let body = ServiceBody::CallRequest(CallRequest {
+            request_header: RequestHeader::new(token, 9, self.now()),
+            methods_to_call: vec![CallMethodRequest {
+                object_id: object,
+                method_id: method,
+                input_arguments: vec![],
+            }],
+        });
+        match self.request(body)? {
+            ServiceBody::CallResponse(mut r) if !r.results.is_empty() => Ok(r.results.remove(0)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Closes the session.
+    pub fn close_session(&mut self) -> Result<(), ClientError> {
+        let token = self.auth_token();
+        if token.is_null() {
+            return Ok(());
+        }
+        let body = ServiceBody::CloseSessionRequest(CloseSessionRequest {
+            request_header: RequestHeader::new(token, 10, self.now()),
+            delete_subscriptions: true,
+        });
+        let _ = self.request(body)?;
+        self.session = None;
+        Ok(())
+    }
+}

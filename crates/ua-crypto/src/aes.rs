@@ -1,0 +1,382 @@
+//! AES-128/AES-256 block cipher with CBC mode (FIPS 197 / SP 800-38A).
+//!
+//! OPC UA's symmetric channel encryption uses AES-CBC with keys derived by
+//! `P_SHA` (Part 6). The secure-channel code in `ua-proto` uses this
+//! implementation for `SignAndEncrypt` endpoints.
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Inverse S-box.
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+fn gmul(a: u8, b: u8) -> u8 {
+    let mut result = 0u8;
+    let mut a = a;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 != 0 {
+            result ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    result
+}
+
+/// AES errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AesError {
+    /// Key length is not 16 or 32 bytes.
+    BadKeyLength(usize),
+    /// IV is not 16 bytes.
+    BadIvLength(usize),
+    /// Ciphertext length is not a multiple of the block size.
+    BadCiphertextLength(usize),
+    /// PKCS#7 padding check failed.
+    BadPadding,
+}
+
+impl std::fmt::Display for AesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AesError::BadKeyLength(n) => write!(f, "bad AES key length {n}"),
+            AesError::BadIvLength(n) => write!(f, "bad AES IV length {n}"),
+            AesError::BadCiphertextLength(n) => write!(f, "bad ciphertext length {n}"),
+            AesError::BadPadding => write!(f, "bad PKCS#7 padding"),
+        }
+    }
+}
+
+impl std::error::Error for AesError {}
+
+/// An expanded AES key (128- or 256-bit).
+#[derive(Debug, Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expands a 16-byte (AES-128) or 32-byte (AES-256) key.
+    pub fn new(key: &[u8]) -> Result<Self, AesError> {
+        let (nk, rounds) = match key.len() {
+            16 => (4usize, 10usize),
+            32 => (8, 14),
+            n => return Err(AesError::BadKeyLength(n)),
+        };
+        let total_words = 4 * (rounds + 1);
+        let mut w = vec![[0u8; 4]; total_words];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = Vec::with_capacity(rounds + 1);
+        for r in 0..=rounds {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            round_keys.push(rk);
+        }
+        Ok(Aes { round_keys, rounds })
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        for r in (1..self.rounds).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (column-major,
+// matching the FIPS-197 byte order of a block).
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] =
+            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] =
+            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] =
+            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+/// Encrypts with AES-CBC and PKCS#7 padding.
+pub fn cbc_encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, AesError> {
+    let aes = Aes::new(key)?;
+    if iv.len() != 16 {
+        return Err(AesError::BadIvLength(iv.len()));
+    }
+    let pad = 16 - plaintext.len() % 16;
+    let mut data = Vec::with_capacity(plaintext.len() + pad);
+    data.extend_from_slice(plaintext);
+    data.extend(std::iter::repeat(pad as u8).take(pad));
+
+    let mut prev: [u8; 16] = iv.try_into().unwrap();
+    for chunk in data.chunks_exact_mut(16) {
+        let mut block: [u8; 16] = chunk.try_into().unwrap();
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        aes.encrypt_block(&mut block);
+        chunk.copy_from_slice(&block);
+        prev = block;
+    }
+    Ok(data)
+}
+
+/// Decrypts AES-CBC with PKCS#7 padding.
+pub fn cbc_decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, AesError> {
+    let aes = Aes::new(key)?;
+    if iv.len() != 16 {
+        return Err(AesError::BadIvLength(iv.len()));
+    }
+    if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
+        return Err(AesError::BadCiphertextLength(ciphertext.len()));
+    }
+    let mut out = ciphertext.to_vec();
+    let mut prev: [u8; 16] = iv.try_into().unwrap();
+    for chunk in out.chunks_exact_mut(16) {
+        let cipher_block: [u8; 16] = chunk.try_into().unwrap();
+        let mut block = cipher_block;
+        aes.decrypt_block(&mut block);
+        for i in 0..16 {
+            block[i] ^= prev[i];
+        }
+        chunk.copy_from_slice(&block);
+        prev = cipher_block;
+    }
+    let pad = *out.last().unwrap() as usize;
+    if pad == 0 || pad > 16 || pad > out.len() {
+        return Err(AesError::BadPadding);
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b == pad as u8) {
+        return Err(AesError::BadPadding);
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::to_hex;
+
+    #[test]
+    fn aes128_fips197_vector() {
+        // FIPS-197 Appendix C.1.
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new(&key).unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        aes.decrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn aes256_fips197_vector() {
+        // FIPS-197 Appendix C.3.
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new(&key).unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+        aes.decrypt_block(&mut block);
+        assert_eq!(to_hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn cbc_sp80038a_vector() {
+        // NIST SP 800-38A F.2.1 (CBC-AES128, first block), without padding
+        // interference: we check the first ciphertext block only.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv = hex("000102030405060708090a0b0c0d0e0f");
+        let pt = hex("6bc1bee22e409f96e93d7e117393172a");
+        let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+        assert_eq!(to_hex(&ct[..16]), "7649abac8119b246cee98e9b12e9197d");
+    }
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv = [7u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > pt.len()); // always padded
+            assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), pt, "len={len}");
+        }
+    }
+
+    #[test]
+    fn cbc_aes256_roundtrip() {
+        let key = [0x42u8; 32];
+        let iv = [9u8; 16];
+        let pt = b"open secure channel".to_vec();
+        let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+        assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails_or_corrupts() {
+        let key = [1u8; 16];
+        let iv = [2u8; 16];
+        let pt = b"sensitive fill level".to_vec();
+        let mut ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+        let last = ct.len() - 1;
+        ct[last] ^= 0xFF;
+        // Either padding fails or the plaintext differs.
+        match cbc_decrypt(&key, &iv, &ct) {
+            Err(AesError::BadPadding) => {}
+            Ok(out) => assert_ne!(out, pt),
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(Aes::new(&[0; 5]).unwrap_err(), AesError::BadKeyLength(5));
+        assert_eq!(
+            cbc_encrypt(&[0; 16], &[0; 3], b"x").unwrap_err(),
+            AesError::BadIvLength(3)
+        );
+        assert_eq!(
+            cbc_decrypt(&[0; 16], &[0; 16], &[0; 15]).unwrap_err(),
+            AesError::BadCiphertextLength(15)
+        );
+        assert_eq!(
+            cbc_decrypt(&[0; 16], &[0; 16], &[]).unwrap_err(),
+            AesError::BadCiphertextLength(0)
+        );
+    }
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+}

@@ -1,0 +1,465 @@
+//! Cryptographic hash functions used by OPC UA security policies.
+//!
+//! Implements MD5 (RFC 1321), SHA-1 (FIPS 180-1), and SHA-256 (FIPS 180-4)
+//! from scratch, plus HMAC (RFC 2104) and the `P_SHA` pseudo-random
+//! function that OPC UA Part 6 uses to derive symmetric channel keys.
+//!
+//! MD5 and SHA-1 are implemented *because the study needs them*: the paper
+//! finds servers delivering MD5- and SHA-1-signed certificates (Figure 4)
+//! and security policies deprecated for their SHA-1 use (Table 1).
+//! They must never be used for new designs.
+
+/// Identifies a hash algorithm, as recorded in certificates and policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HashAlgorithm {
+    /// MD5 — broken; appears in the wild on old embedded devices (§5.2).
+    Md5,
+    /// SHA-1 — deprecated since 2017 for OPC UA policies (Table 1).
+    Sha1,
+    /// SHA-256 — the recommended baseline.
+    Sha256,
+}
+
+impl HashAlgorithm {
+    /// Digest length in bytes.
+    pub fn digest_len(self) -> usize {
+        match self {
+            HashAlgorithm::Md5 => 16,
+            HashAlgorithm::Sha1 => 20,
+            HashAlgorithm::Sha256 => 32,
+        }
+    }
+
+    /// Hashes `data` with this algorithm.
+    pub fn digest(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            HashAlgorithm::Md5 => md5(data).to_vec(),
+            HashAlgorithm::Sha1 => sha1(data).to_vec(),
+            HashAlgorithm::Sha256 => sha256(data).to_vec(),
+        }
+    }
+
+    /// Human-readable name as it would appear in a certificate's
+    /// `signatureAlgorithm` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashAlgorithm::Md5 => "MD5",
+            HashAlgorithm::Sha1 => "SHA-1",
+            HashAlgorithm::Sha256 => "SHA-256",
+        }
+    }
+
+    /// True for algorithms considered secure at the time of the study.
+    pub fn is_secure(self) -> bool {
+        matches!(self, HashAlgorithm::Sha256)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256
+// ---------------------------------------------------------------------------
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Computes the SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let padded = merkle_damgard_pad(data, false);
+    for block in padded.chunks_exact(64) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh) =
+            (h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]);
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    let mut out = [0u8; 32];
+    for (i, v) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1
+// ---------------------------------------------------------------------------
+
+/// Computes the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+    let padded = merkle_damgard_pad(data, false);
+    for block in padded.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut out = [0u8; 20];
+    for (i, v) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// MD5
+// ---------------------------------------------------------------------------
+
+const MD5_S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+const MD5_K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Computes the MD5 digest of `data`.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut a0: u32 = 0x67452301;
+    let mut b0: u32 = 0xefcdab89;
+    let mut c0: u32 = 0x98badcfe;
+    let mut d0: u32 = 0x10325476;
+    let padded = merkle_damgard_pad(data, true);
+    for block in padded.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for i in 0..16 {
+            m[i] = u32::from_le_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | ((!b) & d), i),
+                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let f2 = f
+                .wrapping_add(a)
+                .wrapping_add(MD5_K[i])
+                .wrapping_add(m[g]);
+            a = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(f2.rotate_left(MD5_S[i]));
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// Merkle–Damgård padding shared by MD5/SHA-1/SHA-256: append `0x80`, pad
+/// with zeros to 56 mod 64, then the bit length as a 64-bit integer
+/// (little-endian for MD5, big-endian otherwise).
+fn merkle_damgard_pad(data: &[u8], le_length: bool) -> Vec<u8> {
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut out = Vec::with_capacity(data.len() + 72);
+    out.extend_from_slice(data);
+    out.push(0x80);
+    while out.len() % 64 != 56 {
+        out.push(0);
+    }
+    if le_length {
+        out.extend_from_slice(&bit_len.to_le_bytes());
+    } else {
+        out.extend_from_slice(&bit_len.to_be_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// HMAC and P_SHA
+// ---------------------------------------------------------------------------
+
+/// HMAC (RFC 2104) keyed by `key` over `message` with the given algorithm.
+///
+/// OPC UA symmetric message signing uses HMAC-SHA1 (deprecated policies)
+/// or HMAC-SHA256 (current policies).
+pub fn hmac(alg: HashAlgorithm, key: &[u8], message: &[u8]) -> Vec<u8> {
+    const BLOCK: usize = 64; // MD5/SHA-1/SHA-256 all use 64-byte blocks
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kd = alg.digest(key);
+        key_block[..kd.len()].copy_from_slice(&kd);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Vec::with_capacity(BLOCK + message.len());
+    let mut outer = Vec::with_capacity(BLOCK + alg.digest_len());
+    for &b in &key_block {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(message);
+    let inner_digest = alg.digest(&inner);
+    for &b in &key_block {
+        outer.push(b ^ 0x5c);
+    }
+    outer.extend_from_slice(&inner_digest);
+    alg.digest(&outer)
+}
+
+/// The `P_SHA` pseudo-random function from OPC UA Part 6 (identical to the
+/// TLS 1.x P_hash construction): expands `secret` and `seed` into `len`
+/// bytes of key material for the secure-channel symmetric keys.
+pub fn p_sha(alg: HashAlgorithm, secret: &[u8], seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + alg.digest_len());
+    // A(0) = seed; A(i) = HMAC(secret, A(i-1))
+    let mut a = hmac(alg, secret, seed);
+    while out.len() < len {
+        let mut input = a.clone();
+        input.extend_from_slice(seed);
+        out.extend_from_slice(&hmac(alg, secret, &input));
+        a = hmac(alg, secret, &a);
+    }
+    out.truncate(len);
+    out
+}
+
+/// Formats a digest as lowercase hex (used for thumbprint display).
+pub fn to_hex(digest: &[u8]) -> String {
+    let mut s = String::with_capacity(digest.len() * 2);
+    for b in digest {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_vectors() {
+        // FIPS 180-4 / NIST test vectors.
+        assert_eq!(
+            to_hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            to_hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            to_hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_long_input() {
+        // "a" repeated one million times.
+        let million_a = vec![b'a'; 1_000_000];
+        assert_eq!(
+            to_hex(&sha256(&million_a)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha1_vectors() {
+        assert_eq!(to_hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(to_hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            to_hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn md5_vectors() {
+        // RFC 1321 appendix A.5.
+        assert_eq!(to_hex(&md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(to_hex(&md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(to_hex(&md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            to_hex(&md5(b"message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            to_hex(&md5(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+    }
+
+    #[test]
+    fn hmac_sha256_rfc4231() {
+        // RFC 4231 test case 1.
+        let key = [0x0bu8; 20];
+        let out = hmac(HashAlgorithm::Sha256, &key, b"Hi There");
+        assert_eq!(
+            to_hex(&out),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        // RFC 4231 test case 2 ("Jefe").
+        let out = hmac(
+            HashAlgorithm::Sha256,
+            b"Jefe",
+            b"what do ya want for nothing?",
+        );
+        assert_eq!(
+            to_hex(&out),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn hmac_sha1_rfc2202() {
+        let key = [0x0bu8; 20];
+        let out = hmac(HashAlgorithm::Sha1, &key, b"Hi There");
+        assert_eq!(to_hex(&out), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn hmac_long_key_is_hashed() {
+        let key = vec![0xaau8; 131]; // longer than block size
+        let out = hmac(
+            HashAlgorithm::Sha256,
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        // RFC 4231 test case 6.
+        assert_eq!(
+            to_hex(&out),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn p_sha_deterministic_and_length() {
+        let a = p_sha(HashAlgorithm::Sha256, b"secret", b"seed", 100);
+        let b = p_sha(HashAlgorithm::Sha256, b"secret", b"seed", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        // Prefix property: shorter expansion is a prefix of longer.
+        let c = p_sha(HashAlgorithm::Sha256, b"secret", b"seed", 40);
+        assert_eq!(&a[..40], c.as_slice());
+        // Different seeds diverge.
+        let d = p_sha(HashAlgorithm::Sha256, b"secret", b"seed2", 40);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn digest_len_matches_output() {
+        for alg in [HashAlgorithm::Md5, HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
+            assert_eq!(alg.digest(b"x").len(), alg.digest_len());
+        }
+    }
+
+    #[test]
+    fn algorithm_metadata() {
+        assert!(HashAlgorithm::Sha256.is_secure());
+        assert!(!HashAlgorithm::Sha1.is_secure());
+        assert!(!HashAlgorithm::Md5.is_secure());
+        assert_eq!(HashAlgorithm::Sha1.name(), "SHA-1");
+    }
+}

@@ -1,0 +1,44 @@
+//! # ua-crypto
+//!
+//! Cryptographic substrate for the OPC UA measurement study reproduction.
+//!
+//! The paper ("Easing the Conscience with OPC UA", IMC 2020) assesses the
+//! *cryptographic configuration* of Internet-facing OPC UA servers:
+//! signature hash functions, key lengths, certificate reuse, and shared
+//! prime factors. Reproducing that requires a real (if scaled-down) crypto
+//! stack, implemented here from scratch:
+//!
+//! * [`bigint`] — arbitrary-precision unsigned integers;
+//! * [`prime`] — Miller–Rabin primality testing and prime generation;
+//! * [`rsa`] — RSA keys, PKCS#1-style signatures, and encryption;
+//! * [`hash`] — MD5 / SHA-1 / SHA-256, HMAC, and the OPC UA `P_SHA` KDF;
+//! * [`der`] — a minimal DER-style TLV codec;
+//! * [`x509`] — X.509-like application-instance certificates;
+//! * [`batch_gcd`] — pairwise and product-tree shared-prime detection
+//!   (Heninger et al.), used for the §5.3 weak-key analysis.
+//!
+//! ## Security note
+//!
+//! This crate exists to *study* insecure configurations; MD5/SHA-1 and
+//! PKCS#1 v1.5 are implemented deliberately, and key sizes are scaled for
+//! simulation throughput. Do not use it to secure anything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod batch_gcd;
+pub mod bigint;
+pub mod der;
+pub mod hash;
+pub mod prime;
+pub mod rsa;
+pub mod x509;
+
+pub use aes::{cbc_decrypt, cbc_encrypt, Aes, AesError};
+pub use batch_gcd::{batch_gcd, find_shared_factors, pairwise_shared_factors, SharedFactor};
+pub use bigint::BigUint;
+pub use hash::{hmac, md5, p_sha, sha1, sha256, HashAlgorithm};
+pub use prime::{generate_prime, is_probable_prime};
+pub use rsa::{RsaError, RsaPrivateKey, RsaPublicKey};
+pub use x509::{Certificate, CertificateBuilder, DistinguishedName, TbsCertificate};

@@ -1,0 +1,159 @@
+//! Prime generation and primality testing for RSA key generation.
+
+use crate::bigint::BigUint;
+use rand::Rng;
+
+/// Small primes used to pre-sieve candidates before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211,
+];
+
+/// Number of Miller–Rabin rounds; 2^-128 error bound for random candidates.
+const MR_ROUNDS: usize = 24;
+
+/// Probabilistic primality test (Miller–Rabin with random bases).
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if n == &BigUint::from_u64(2) || n == &BigUint::from_u64(3) {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if n.div_rem_u64(p).1 == 0 {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    let s = n_minus_1.trailing_zeros();
+    let d = n_minus_1.shr(s);
+    let two = BigUint::from_u64(2);
+    let n_minus_3 = n.sub(&BigUint::from_u64(3));
+
+    'witness: for _ in 0..MR_ROUNDS {
+        // a in [2, n-2]
+        let a = BigUint::random_below(rng, &n_minus_3).add(&two);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The candidate's two top bits are set (so products of two such primes
+/// have exactly `2*bits` bits, as RSA key generation requires) and the low
+/// bit is set (odd).
+pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 8, "prime too small to be useful");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        // Force the second-highest bit so p*q has full length.
+        candidate = candidate.add(&BigUint::one().shl(bits - 2));
+        if candidate.bit_length() > bits {
+            continue;
+        }
+        // Force odd.
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+            if candidate.bit_length() > bits {
+                continue;
+            }
+        }
+        if is_probable_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 11, 13, 101, 211, 65537, 2147483647] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 100, 65536, 3 * 211, 1009 * 1013] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // 561, 1105, 1729, 41041 are Carmichael numbers (Fermat liars
+        // for all bases, but not Miller-Rabin liars).
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in [561u64, 1105, 1729, 41041, 825265] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), &mut rng),
+                "Carmichael {c} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = StdRng::seed_from_u64(4);
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&m127, &mut rng));
+        // 2^128 - 1 = 3 * 5 * 17 * 257 * ... is composite.
+        let c = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, &mut rng));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [32usize, 64, 128, 192] {
+            let p = generate_prime(&mut rng, bits);
+            assert_eq!(p.bit_length(), bits);
+            assert!(!p.is_even());
+            assert!(p.bit(bits - 2), "second-highest bit must be set");
+        }
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = generate_prime(&mut rng, 96);
+        let b = generate_prime(&mut rng, 96);
+        assert_ne!(a, b);
+    }
+}

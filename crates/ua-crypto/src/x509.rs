@@ -1,0 +1,477 @@
+//! X.509-like certificates for OPC UA application instances.
+//!
+//! OPC UA servers authenticate with X.509v3 certificates whose
+//! `subjectAltName` carries the server's ApplicationURI. The paper's
+//! analysis (§5.2–§5.5) revolves around certificate properties: signature
+//! hash function, (nominal) key length, self- vs. CA-signed, validity
+//! window (`NotBefore`), per-host reuse (by thumbprint), and shared prime
+//! factors. This module models exactly those properties.
+
+use crate::der::{tag, DerError, Reader, Writer};
+use crate::hash::{sha1, to_hex, HashAlgorithm};
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::bigint::BigUint;
+
+/// A distinguished name, reduced to the fields the study inspects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DistinguishedName {
+    /// Common name (CN).
+    pub common_name: String,
+    /// Organization (O) — the paper identified a manufacturer through this
+    /// field in a massively reused certificate (§5.3).
+    pub organization: String,
+    /// Country (C).
+    pub country: String,
+}
+
+impl DistinguishedName {
+    /// Creates a DN with the given common name and organization.
+    pub fn new(common_name: impl Into<String>, organization: impl Into<String>) -> Self {
+        DistinguishedName {
+            common_name: common_name.into(),
+            organization: organization.into(),
+            country: String::new(),
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.nested(tag::SEQUENCE, |w| {
+            w.utf8(&self.common_name);
+            w.utf8(&self.organization);
+            w.utf8(&self.country);
+        });
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, DerError> {
+        let mut seq = r.nested(tag::SEQUENCE)?;
+        let dn = DistinguishedName {
+            common_name: seq.utf8()?.to_string(),
+            organization: seq.utf8()?.to_string(),
+            country: seq.utf8()?.to_string(),
+        };
+        seq.expect_end()?;
+        Ok(dn)
+    }
+}
+
+/// The to-be-signed portion of a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsCertificate {
+    /// Serial number.
+    pub serial: u64,
+    /// Hash algorithm of the signature (duplicated into the outer
+    /// certificate, as X.509 does).
+    pub signature_hash: HashAlgorithm,
+    /// Issuer DN.
+    pub issuer: DistinguishedName,
+    /// Start of validity (unix seconds). The paper's §5.5 analyses
+    /// `NotBefore` against the 2017 SHA-1 policy deprecation.
+    pub not_before: i64,
+    /// End of validity (unix seconds).
+    pub not_after: i64,
+    /// Subject DN.
+    pub subject: DistinguishedName,
+    /// Subject public key.
+    pub public_key: RsaPublicKey,
+    /// ApplicationURI carried in subjectAltName (OPC UA Part 6 requires
+    /// this to match the server's ApplicationDescription).
+    pub application_uri: String,
+    /// Optional DNS/host names in subjectAltName (these are the fields the
+    /// dataset release blackens for anonymization).
+    pub dns_names: Vec<String>,
+    /// CA flag (basicConstraints).
+    pub is_ca: bool,
+}
+
+impl TbsCertificate {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.nested(tag::SEQUENCE, |w| {
+            w.integer_u64(self.serial);
+            w.integer_u64(hash_alg_code(self.signature_hash));
+            self.issuer.encode(w);
+            w.nested(tag::SEQUENCE, |w| {
+                w.time(self.not_before);
+                w.time(self.not_after);
+            });
+            self.subject.encode(w);
+            // SubjectPublicKeyInfo: nominal bits + modulus + exponent.
+            w.nested(tag::SEQUENCE, |w| {
+                w.integer_u64(self.public_key.nominal_bits as u64);
+                w.integer_bytes(&self.public_key.n.to_bytes_be());
+                w.integer_bytes(&self.public_key.e.to_bytes_be());
+            });
+            // Extensions.
+            w.nested(tag::CONTEXT_0, |w| {
+                w.boolean(self.is_ca);
+                w.utf8(&self.application_uri);
+                w.nested(tag::CONTEXT_1, |w| {
+                    for name in &self.dns_names {
+                        w.utf8(name);
+                    }
+                });
+            });
+        });
+        w.finish()
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, DerError> {
+        let mut seq = r.nested(tag::SEQUENCE)?;
+        let serial = seq.integer_u64()?;
+        let hash = code_hash_alg(seq.integer_u64()?)?;
+        let issuer = DistinguishedName::decode(&mut seq)?;
+        let mut validity = seq.nested(tag::SEQUENCE)?;
+        let not_before = validity.time()?;
+        let not_after = validity.time()?;
+        validity.expect_end()?;
+        let subject = DistinguishedName::decode(&mut seq)?;
+        let mut spki = seq.nested(tag::SEQUENCE)?;
+        let nominal_bits = spki.integer_u64()? as u32;
+        let n = BigUint::from_bytes_be(spki.integer_bytes()?);
+        let e = BigUint::from_bytes_be(spki.integer_bytes()?);
+        spki.expect_end()?;
+        let mut ext = seq.nested(tag::CONTEXT_0)?;
+        let is_ca = ext.boolean()?;
+        let application_uri = ext.utf8()?.to_string();
+        let mut alt = ext.nested(tag::CONTEXT_1)?;
+        let mut dns_names = Vec::new();
+        while !alt.is_empty() {
+            dns_names.push(alt.utf8()?.to_string());
+        }
+        ext.expect_end()?;
+        seq.expect_end()?;
+        Ok(TbsCertificate {
+            serial,
+            signature_hash: hash,
+            issuer,
+            not_before,
+            not_after,
+            subject,
+            public_key: RsaPublicKey { n, e, nominal_bits },
+            application_uri,
+            dns_names,
+            is_ca,
+        })
+    }
+}
+
+/// A signed certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The signed payload.
+    pub tbs: TbsCertificate,
+    /// RSA signature over the encoded TBS bytes.
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// Serializes the full certificate.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.nested(tag::SEQUENCE, |w| {
+            let tbs = self.tbs.encode();
+            w.tlv(tag::OCTET_STRING, &tbs);
+            w.integer_u64(hash_alg_code(self.tbs.signature_hash));
+            w.tlv(tag::BIT_STRING, &self.signature);
+        });
+        w.finish()
+    }
+
+    /// Parses a certificate from its serialized form.
+    pub fn from_der(bytes: &[u8]) -> Result<Self, DerError> {
+        let mut r = Reader::new(bytes);
+        let mut seq = r.nested(tag::SEQUENCE)?;
+        let tbs_raw = seq.expect(tag::OCTET_STRING)?;
+        let mut tbs_reader = Reader::new(tbs_raw);
+        let tbs = TbsCertificate::decode(&mut tbs_reader)?;
+        tbs_reader.expect_end()?;
+        let outer_alg = code_hash_alg(seq.integer_u64()?)?;
+        if outer_alg != tbs.signature_hash {
+            // X.509 requires inner and outer algorithms to agree.
+            return Err(DerError::UnexpectedTag {
+                expected: hash_alg_code(tbs.signature_hash) as u8,
+                found: hash_alg_code(outer_alg) as u8,
+            });
+        }
+        let signature = seq.expect(tag::BIT_STRING)?.to_vec();
+        seq.expect_end()?;
+        r.expect_end()?;
+        Ok(Certificate { tbs, signature })
+    }
+
+    /// SHA-1 thumbprint of the serialized certificate — OPC UA identifies
+    /// certificates by this value, and the paper clusters reused
+    /// certificates by it (Figure 5).
+    pub fn thumbprint(&self) -> [u8; 20] {
+        sha1(&self.to_der())
+    }
+
+    /// Thumbprint as lowercase hex.
+    pub fn thumbprint_hex(&self) -> String {
+        to_hex(&self.thumbprint())
+    }
+
+    /// Verifies the signature with the given issuer key.
+    pub fn verify_signature(&self, issuer_key: &RsaPublicKey) -> bool {
+        issuer_key.verify(self.tbs.signature_hash, &self.tbs.encode(), &self.signature)
+    }
+
+    /// True if issuer equals subject and the embedded key verifies the
+    /// signature (the paper found 99 % of OPC UA certs self-signed).
+    pub fn is_self_signed(&self) -> bool {
+        self.tbs.issuer == self.tbs.subject && self.verify_signature(&self.tbs.public_key)
+    }
+
+    /// True if `at_unix` falls in the validity window.
+    pub fn is_valid_at(&self, at_unix: i64) -> bool {
+        self.tbs.not_before <= at_unix && at_unix <= self.tbs.not_after
+    }
+
+    /// Advertised key length in bits (nominal; see `ua-crypto::rsa` docs).
+    pub fn key_bits(&self) -> u32 {
+        self.tbs.public_key.nominal_bits
+    }
+
+    /// Hash algorithm of the certificate signature.
+    pub fn signature_hash(&self) -> HashAlgorithm {
+        self.tbs.signature_hash
+    }
+}
+
+/// Builds certificates for OPC UA applications.
+#[derive(Debug, Clone)]
+pub struct CertificateBuilder {
+    serial: u64,
+    subject: DistinguishedName,
+    not_before: i64,
+    not_after: i64,
+    application_uri: String,
+    dns_names: Vec<String>,
+    is_ca: bool,
+}
+
+impl CertificateBuilder {
+    /// Starts a builder for `subject`.
+    pub fn new(subject: DistinguishedName) -> Self {
+        CertificateBuilder {
+            serial: 1,
+            subject,
+            not_before: 0,
+            not_after: i64::MAX,
+            application_uri: String::new(),
+            dns_names: Vec::new(),
+            is_ca: false,
+        }
+    }
+
+    /// Sets the serial number.
+    pub fn serial(mut self, serial: u64) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Sets the validity window (unix seconds).
+    pub fn validity(mut self, not_before: i64, not_after: i64) -> Self {
+        self.not_before = not_before;
+        self.not_after = not_after;
+        self
+    }
+
+    /// Sets the ApplicationURI (subjectAltName URI).
+    pub fn application_uri(mut self, uri: impl Into<String>) -> Self {
+        self.application_uri = uri.into();
+        self
+    }
+
+    /// Adds a DNS name to subjectAltName.
+    pub fn dns_name(mut self, name: impl Into<String>) -> Self {
+        self.dns_names.push(name.into());
+        self
+    }
+
+    /// Marks the certificate as a CA certificate.
+    pub fn ca(mut self, is_ca: bool) -> Self {
+        self.is_ca = is_ca;
+        self
+    }
+
+    /// Self-signs with `key` using `hash`.
+    pub fn self_signed(self, hash: HashAlgorithm, key: &RsaPrivateKey) -> Certificate {
+        let issuer = self.subject.clone();
+        self.signed_by(hash, issuer, key, &key.public)
+    }
+
+    /// Signs with an external issuer.
+    pub fn issued_by(
+        self,
+        hash: HashAlgorithm,
+        issuer: DistinguishedName,
+        issuer_key: &RsaPrivateKey,
+        subject_public: &RsaPublicKey,
+    ) -> Certificate {
+        self.signed_by(hash, issuer, issuer_key, subject_public)
+    }
+
+    fn signed_by(
+        self,
+        hash: HashAlgorithm,
+        issuer: DistinguishedName,
+        issuer_key: &RsaPrivateKey,
+        subject_public: &RsaPublicKey,
+    ) -> Certificate {
+        let tbs = TbsCertificate {
+            serial: self.serial,
+            signature_hash: hash,
+            issuer,
+            not_before: self.not_before,
+            not_after: self.not_after,
+            subject: self.subject,
+            public_key: subject_public.clone(),
+            application_uri: self.application_uri,
+            dns_names: self.dns_names,
+            is_ca: self.is_ca,
+        };
+        let signature = issuer_key.sign(hash, &tbs.encode());
+        Certificate { tbs, signature }
+    }
+}
+
+fn hash_alg_code(alg: HashAlgorithm) -> u64 {
+    match alg {
+        HashAlgorithm::Md5 => 1,
+        HashAlgorithm::Sha1 => 2,
+        HashAlgorithm::Sha256 => 3,
+    }
+}
+
+fn code_hash_alg(code: u64) -> Result<HashAlgorithm, DerError> {
+    match code {
+        1 => Ok(HashAlgorithm::Md5),
+        2 => Ok(HashAlgorithm::Sha1),
+        3 => Ok(HashAlgorithm::Sha256),
+        _ => Err(DerError::BadLength),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::RsaPrivateKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_key(seed: u64) -> RsaPrivateKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RsaPrivateKey::generate(&mut rng, 256, 2048)
+    }
+
+    fn sample_cert(key: &RsaPrivateKey, hash: HashAlgorithm) -> Certificate {
+        CertificateBuilder::new(DistinguishedName::new("device-1", "Acme Automation"))
+            .serial(42)
+            .validity(1_483_228_800, 1_893_456_000) // 2017-01-01 .. 2030-01-01
+            .application_uri("urn:acme:device-1")
+            .dns_name("device-1.factory.example")
+            .self_signed(hash, key)
+    }
+
+    #[test]
+    fn der_roundtrip() {
+        let key = test_key(1);
+        let cert = sample_cert(&key, HashAlgorithm::Sha256);
+        let der = cert.to_der();
+        let parsed = Certificate::from_der(&der).unwrap();
+        assert_eq!(parsed, cert);
+        assert_eq!(parsed.tbs.subject.common_name, "device-1");
+        assert_eq!(parsed.tbs.application_uri, "urn:acme:device-1");
+        assert_eq!(parsed.key_bits(), 2048);
+    }
+
+    #[test]
+    fn self_signed_verifies() {
+        let key = test_key(2);
+        let cert = sample_cert(&key, HashAlgorithm::Sha256);
+        assert!(cert.is_self_signed());
+        assert!(cert.verify_signature(&key.public));
+    }
+
+    #[test]
+    fn ca_signed_verifies_with_issuer_only() {
+        let ca_key = test_key(3);
+        let dev_key = test_key(4);
+        let cert = CertificateBuilder::new(DistinguishedName::new("dev", "Op"))
+            .application_uri("urn:op:dev")
+            .issued_by(
+                HashAlgorithm::Sha256,
+                DistinguishedName::new("Acme CA", "Acme"),
+                &ca_key,
+                &dev_key.public,
+            );
+        assert!(!cert.is_self_signed());
+        assert!(cert.verify_signature(&ca_key.public));
+        assert!(!cert.verify_signature(&dev_key.public));
+    }
+
+    #[test]
+    fn thumbprint_is_stable_and_distinct() {
+        let key = test_key(5);
+        let c1 = sample_cert(&key, HashAlgorithm::Sha256);
+        let c2 = sample_cert(&key, HashAlgorithm::Sha256);
+        assert_eq!(c1.thumbprint(), c2.thumbprint());
+        let c3 = sample_cert(&key, HashAlgorithm::Sha1);
+        assert_ne!(c1.thumbprint(), c3.thumbprint());
+        assert_eq!(c1.thumbprint_hex().len(), 40);
+    }
+
+    #[test]
+    fn validity_window() {
+        let key = test_key(6);
+        let cert = sample_cert(&key, HashAlgorithm::Sha256);
+        assert!(cert.is_valid_at(1_600_000_000)); // 2020
+        assert!(!cert.is_valid_at(1_400_000_000)); // 2014
+        assert!(!cert.is_valid_at(2_000_000_000)); // 2033
+    }
+
+    #[test]
+    fn tampered_cert_fails_verification() {
+        let key = test_key(7);
+        let cert = sample_cert(&key, HashAlgorithm::Sha256);
+        let mut tampered = cert.clone();
+        tampered.tbs.subject.common_name = "evil".into();
+        assert!(!tampered.verify_signature(&key.public));
+    }
+
+    #[test]
+    fn sha1_and_md5_certs_encode_their_hash() {
+        let key = test_key(8);
+        for hash in [HashAlgorithm::Md5, HashAlgorithm::Sha1] {
+            let cert = sample_cert(&key, hash);
+            let parsed = Certificate::from_der(&cert.to_der()).unwrap();
+            assert_eq!(parsed.signature_hash(), hash);
+            assert!(parsed.is_self_signed());
+        }
+    }
+
+    #[test]
+    fn from_der_rejects_garbage() {
+        assert!(Certificate::from_der(&[]).is_err());
+        assert!(Certificate::from_der(&[0x30, 0x02, 0x01, 0x01]).is_err());
+        let key = test_key(9);
+        let mut der = sample_cert(&key, HashAlgorithm::Sha256).to_der();
+        der.truncate(der.len() / 2);
+        assert!(Certificate::from_der(&der).is_err());
+    }
+
+    #[test]
+    fn mismatched_inner_outer_alg_rejected() {
+        let key = test_key(10);
+        let cert = sample_cert(&key, HashAlgorithm::Sha256);
+        // Manually rebuild the outer TLV with a different outer algorithm.
+        let mut w = Writer::new();
+        w.nested(tag::SEQUENCE, |w| {
+            w.tlv(tag::OCTET_STRING, &cert.tbs.encode());
+            w.integer_u64(hash_alg_code(HashAlgorithm::Sha1));
+            w.tlv(tag::BIT_STRING, &cert.signature);
+        });
+        assert!(Certificate::from_der(&w.finish()).is_err());
+    }
+}

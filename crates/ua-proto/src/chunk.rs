@@ -1,0 +1,384 @@
+//! Message chunking and reassembly (OPC 10000-6 §6.7.2).
+//!
+//! Large service messages are split into `MSG` chunks marked `C`
+//! (intermediate) and `F` (final); `A` aborts an in-flight message. The
+//! receiver reassembles bodies in sequence order and enforces the
+//! negotiated chunk-count and message-size limits — unbounded reassembly
+//! is a classic amplification hazard for a scanner parsing hostile
+//! servers.
+
+use crate::secure::{seal_symmetric, DerivedKeys, SecureError, SequenceHeader};
+use crate::transport::{ChunkKind, MessageType};
+use ua_types::{MessageSecurityMode, SecurityPolicy};
+
+/// Splits a service payload into secured `MSG` chunks.
+///
+/// `max_body_per_chunk` is the plaintext service bytes per chunk (derived
+/// from the negotiated buffer sizes minus header/crypto overhead).
+/// Sequence numbers are allocated consecutively starting at
+/// `first_sequence_number`.
+#[allow(clippy::too_many_arguments)]
+pub fn chunk_message(
+    policy: SecurityPolicy,
+    mode: MessageSecurityMode,
+    keys: Option<&DerivedKeys>,
+    channel_id: u32,
+    token_id: u32,
+    first_sequence_number: u32,
+    request_id: u32,
+    body: &[u8],
+    max_body_per_chunk: usize,
+) -> Result<Vec<Vec<u8>>, SecureError> {
+    assert!(max_body_per_chunk > 0, "chunk body size must be positive");
+    let pieces: Vec<&[u8]> = if body.is_empty() {
+        vec![&[]]
+    } else {
+        body.chunks(max_body_per_chunk).collect()
+    };
+    let mut out = Vec::with_capacity(pieces.len());
+    for (i, piece) in pieces.iter().enumerate() {
+        let kind = if i + 1 == pieces.len() {
+            ChunkKind::Final
+        } else {
+            ChunkKind::Intermediate
+        };
+        let seq = SequenceHeader {
+            sequence_number: first_sequence_number + i as u32,
+            request_id,
+        };
+        out.push(seal_symmetric(
+            policy,
+            mode,
+            keys,
+            MessageType::Msg,
+            kind,
+            channel_id,
+            token_id,
+            seq,
+            piece,
+        )?);
+    }
+    Ok(out)
+}
+
+/// Errors from reassembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// Chunk sequence number was not the expected successor.
+    OutOfOrder {
+        /// Expected sequence number.
+        expected: u32,
+        /// Received sequence number.
+        got: u32,
+    },
+    /// Chunk belongs to a different request than the in-flight one.
+    RequestIdMismatch,
+    /// More chunks than the negotiated maximum.
+    TooManyChunks(usize),
+    /// Reassembled size exceeds the negotiated maximum.
+    MessageTooLarge(usize),
+    /// The sender aborted the message.
+    Aborted,
+}
+
+impl std::fmt::Display for ReassemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReassemblyError::OutOfOrder { expected, got } => {
+                write!(f, "out-of-order chunk: expected seq {expected}, got {got}")
+            }
+            ReassemblyError::RequestIdMismatch => write!(f, "chunk request id mismatch"),
+            ReassemblyError::TooManyChunks(n) => write!(f, "too many chunks ({n})"),
+            ReassemblyError::MessageTooLarge(n) => write!(f, "message too large ({n} bytes)"),
+            ReassemblyError::Aborted => write!(f, "message aborted by sender"),
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyError {}
+
+/// Reassembles chunk bodies into complete messages.
+#[derive(Debug)]
+pub struct Reassembler {
+    max_chunks: usize,
+    max_message_size: usize,
+    in_flight: Option<InFlight>,
+    next_sequence: Option<u32>,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    request_id: u32,
+    chunks: usize,
+    body: Vec<u8>,
+}
+
+/// A fully reassembled message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembledMessage {
+    /// The request id all chunks shared.
+    pub request_id: u32,
+    /// The concatenated service payload.
+    pub body: Vec<u8>,
+}
+
+impl Reassembler {
+    /// Creates a reassembler with the negotiated limits.
+    pub fn new(max_chunks: usize, max_message_size: usize) -> Self {
+        Reassembler {
+            max_chunks,
+            max_message_size,
+            in_flight: None,
+            next_sequence: None,
+        }
+    }
+
+    /// Feeds one verified chunk; returns a message when the final chunk
+    /// arrives.
+    pub fn push(
+        &mut self,
+        kind: ChunkKind,
+        seq: SequenceHeader,
+        body: &[u8],
+    ) -> Result<Option<AssembledMessage>, ReassemblyError> {
+        // Sequence continuity across the whole channel.
+        if let Some(expected) = self.next_sequence {
+            if seq.sequence_number != expected {
+                return Err(ReassemblyError::OutOfOrder {
+                    expected,
+                    got: seq.sequence_number,
+                });
+            }
+        }
+        self.next_sequence = Some(seq.sequence_number.wrapping_add(1));
+
+        if kind == ChunkKind::Abort {
+            self.in_flight = None;
+            return Err(ReassemblyError::Aborted);
+        }
+
+        let flight = match &mut self.in_flight {
+            Some(flight) => {
+                if flight.request_id != seq.request_id {
+                    self.in_flight = None;
+                    return Err(ReassemblyError::RequestIdMismatch);
+                }
+                flight
+            }
+            None => {
+                self.in_flight = Some(InFlight {
+                    request_id: seq.request_id,
+                    chunks: 0,
+                    body: Vec::new(),
+                });
+                self.in_flight.as_mut().unwrap()
+            }
+        };
+
+        flight.chunks += 1;
+        if flight.chunks > self.max_chunks {
+            let n = flight.chunks;
+            self.in_flight = None;
+            return Err(ReassemblyError::TooManyChunks(n));
+        }
+        flight.body.extend_from_slice(body);
+        if flight.body.len() > self.max_message_size {
+            let n = flight.body.len();
+            self.in_flight = None;
+            return Err(ReassemblyError::MessageTooLarge(n));
+        }
+
+        if kind == ChunkKind::Final {
+            let flight = self.in_flight.take().unwrap();
+            return Ok(Some(AssembledMessage {
+                request_id: flight.request_id,
+                body: flight.body,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// True when a partial message is buffered.
+    pub fn has_partial(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Resets sequence tracking (used after channel renewal).
+    pub fn reset(&mut self) {
+        self.in_flight = None;
+        self.next_sequence = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secure::open_symmetric;
+
+    fn seq(n: u32, req: u32) -> SequenceHeader {
+        SequenceHeader {
+            sequence_number: n,
+            request_id: req,
+        }
+    }
+
+    #[test]
+    fn single_chunk_roundtrip() {
+        let chunks = chunk_message(
+            SecurityPolicy::None,
+            MessageSecurityMode::None,
+            None,
+            1,
+            0,
+            10,
+            5,
+            b"short",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 1);
+        let opened =
+            open_symmetric(SecurityPolicy::None, MessageSecurityMode::None, None, &chunks[0])
+                .unwrap();
+        assert_eq!(opened.chunk, ChunkKind::Final);
+        assert_eq!(opened.body, b"short");
+        assert_eq!(opened.sequence.sequence_number, 10);
+    }
+
+    #[test]
+    fn multi_chunk_roundtrip_through_reassembler() {
+        let body: Vec<u8> = (0..1000).map(|i| i as u8).collect();
+        let chunks = chunk_message(
+            SecurityPolicy::None,
+            MessageSecurityMode::None,
+            None,
+            1,
+            0,
+            1,
+            42,
+            &body,
+            256,
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 4);
+
+        let mut ra = Reassembler::new(16, 1 << 20);
+        let mut result = None;
+        for raw in &chunks {
+            let opened =
+                open_symmetric(SecurityPolicy::None, MessageSecurityMode::None, None, raw)
+                    .unwrap();
+            if let Some(msg) = ra.push(opened.chunk, opened.sequence, &opened.body).unwrap() {
+                result = Some(msg);
+            }
+        }
+        let msg = result.expect("final chunk completes message");
+        assert_eq!(msg.request_id, 42);
+        assert_eq!(msg.body, body);
+        assert!(!ra.has_partial());
+    }
+
+    #[test]
+    fn empty_body_produces_one_final_chunk() {
+        let chunks = chunk_message(
+            SecurityPolicy::None,
+            MessageSecurityMode::None,
+            None,
+            1,
+            0,
+            1,
+            1,
+            b"",
+            256,
+        )
+        .unwrap();
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut ra = Reassembler::new(16, 1024);
+        ra.push(ChunkKind::Intermediate, seq(1, 1), b"a").unwrap();
+        let err = ra.push(ChunkKind::Final, seq(3, 1), b"b").unwrap_err();
+        assert_eq!(err, ReassemblyError::OutOfOrder { expected: 2, got: 3 });
+    }
+
+    #[test]
+    fn request_id_mismatch_rejected() {
+        let mut ra = Reassembler::new(16, 1024);
+        ra.push(ChunkKind::Intermediate, seq(1, 1), b"a").unwrap();
+        let err = ra.push(ChunkKind::Final, seq(2, 9), b"b").unwrap_err();
+        assert_eq!(err, ReassemblyError::RequestIdMismatch);
+        assert!(!ra.has_partial());
+    }
+
+    #[test]
+    fn abort_discards_partial() {
+        let mut ra = Reassembler::new(16, 1024);
+        ra.push(ChunkKind::Intermediate, seq(1, 1), b"a").unwrap();
+        assert!(ra.has_partial());
+        let err = ra.push(ChunkKind::Abort, seq(2, 1), b"").unwrap_err();
+        assert_eq!(err, ReassemblyError::Aborted);
+        assert!(!ra.has_partial());
+        // Channel continues afterwards.
+        let done = ra.push(ChunkKind::Final, seq(3, 2), b"next").unwrap();
+        assert_eq!(done.unwrap().body, b"next");
+    }
+
+    #[test]
+    fn chunk_count_limit_enforced() {
+        let mut ra = Reassembler::new(2, 1 << 20);
+        ra.push(ChunkKind::Intermediate, seq(1, 1), b"a").unwrap();
+        ra.push(ChunkKind::Intermediate, seq(2, 1), b"b").unwrap();
+        let err = ra
+            .push(ChunkKind::Intermediate, seq(3, 1), b"c")
+            .unwrap_err();
+        assert_eq!(err, ReassemblyError::TooManyChunks(3));
+    }
+
+    #[test]
+    fn message_size_limit_enforced() {
+        let mut ra = Reassembler::new(100, 10);
+        let err = ra
+            .push(ChunkKind::Final, seq(1, 1), &[0u8; 11])
+            .unwrap_err();
+        assert_eq!(err, ReassemblyError::MessageTooLarge(11));
+    }
+
+    #[test]
+    fn chunking_respects_secured_sizes() {
+        // With signing, each chunk carries an HMAC; reassembly must still
+        // produce the original body.
+        use crate::secure::derive_keys;
+        let keys = derive_keys(SecurityPolicy::Basic256Sha256, &[1; 32], &[2; 32]).unwrap();
+        let body: Vec<u8> = (0..500).map(|i| (i % 251) as u8).collect();
+        let chunks = chunk_message(
+            SecurityPolicy::Basic256Sha256,
+            MessageSecurityMode::SignAndEncrypt,
+            Some(&keys),
+            2,
+            1,
+            1,
+            7,
+            &body,
+            128,
+        )
+        .unwrap();
+        assert!(chunks.len() >= 4);
+        let mut ra = Reassembler::new(32, 1 << 20);
+        let mut out = None;
+        for raw in &chunks {
+            let opened = open_symmetric(
+                SecurityPolicy::Basic256Sha256,
+                MessageSecurityMode::SignAndEncrypt,
+                Some(&keys),
+                raw,
+            )
+            .unwrap();
+            if let Some(m) = ra.push(opened.chunk, opened.sequence, &opened.body).unwrap() {
+                out = Some(m);
+            }
+        }
+        assert_eq!(out.unwrap().body, body);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ua-proto
+//!
+//! The OPC UA binary protocol (OPC 10000-6): transport framing, service
+//! messages, secure-channel cryptography, and chunking.
+//!
+//! * [`transport`] — UACP `HEL`/`ACK`/`ERR`/`RHE` messages, headers,
+//!   incremental framing;
+//! * [`services`] — typed service requests/responses (GetEndpoints,
+//!   OpenSecureChannel, sessions, Browse, Read, Write, Call) and the
+//!   [`services::ServiceBody`] dispatcher;
+//! * [`secure`] — asymmetric (`OPN`, RSA) and symmetric (`MSG`,
+//!   HMAC + AES-CBC) chunk protection with `P_SHA` key derivation;
+//! * [`chunk`] — chunking and bounded reassembly.
+//!
+//! The crate is transport-agnostic: it turns byte slices into messages
+//! and back. `ua-server` and `ua-client` drive it over `netsim` streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod secure;
+pub mod services;
+pub mod transport;
+
+pub use chunk::{chunk_message, AssembledMessage, ReassemblyError, Reassembler};
+pub use secure::{
+    derive_keys, hash_for, open_asymmetric, open_symmetric, policy_crypto, seal_asymmetric,
+    seal_symmetric, AsymmetricSecurityHeader, DerivedKeys, OpenedAsymmetric, OpenedChunk,
+    PolicyCrypto, SecureError, SequenceHeader,
+};
+pub use services::ServiceBody;
+pub use transport::{
+    Acknowledge, ChunkKind, ErrorMessage, FrameReader, Hello, MessageHeader, MessageType,
+    ReverseHello, TransportMessage, HEADER_SIZE, MAX_MESSAGE_SIZE,
+};

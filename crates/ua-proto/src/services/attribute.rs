@@ -1,0 +1,264 @@
+//! Attribute services: Read and Write (Part 4 §5.10). The scanner reads
+//! `UserAccessLevel`/`UserExecutable` on every node to quantify anonymous
+//! access (Figure 7); it *never* writes (Appendix A.1) — but the Write
+//! service is implemented because the servers support it and the threat
+//! analysis is about what an attacker *could* do.
+
+use super::header::{
+    decode_null_diagnostics, encode_null_diagnostics, RequestHeader, ResponseHeader,
+};
+use ua_types::{
+    CodecError, DataValue, Decoder, Encoder, NodeId, QualifiedName, StatusCode, UaDecode,
+    UaEncode,
+};
+
+/// Selects a node attribute to read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadValueId {
+    /// The node.
+    pub node_id: NodeId,
+    /// Attribute id (see [`ua_types::AttributeId`]).
+    pub attribute_id: u32,
+    /// Index range into array values (unused).
+    pub index_range: Option<String>,
+    /// Data encoding (default binary).
+    pub data_encoding: QualifiedName,
+}
+
+impl ReadValueId {
+    /// Reads `attribute_id` of `node_id`.
+    pub fn new(node_id: NodeId, attribute_id: u32) -> Self {
+        ReadValueId {
+            node_id,
+            attribute_id,
+            index_range: None,
+            data_encoding: QualifiedName::default(),
+        }
+    }
+}
+
+impl UaEncode for ReadValueId {
+    fn encode(&self, w: &mut Encoder) {
+        self.node_id.encode(w);
+        w.u32(self.attribute_id);
+        w.string(self.index_range.as_deref());
+        self.data_encoding.encode(w);
+    }
+}
+
+impl UaDecode for ReadValueId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ReadValueId {
+            node_id: NodeId::decode(r)?,
+            attribute_id: r.u32()?,
+            index_range: r.string()?,
+            data_encoding: QualifiedName::decode(r)?,
+        })
+    }
+}
+
+/// ReadRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// Maximum acceptable value age in milliseconds.
+    pub max_age: f64,
+    /// Which timestamps to return (0 = source, 3 = neither).
+    pub timestamps_to_return: u32,
+    /// The attributes to read.
+    pub nodes_to_read: Vec<ReadValueId>,
+}
+
+impl UaEncode for ReadRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.f64(self.max_age);
+        w.u32(self.timestamps_to_return);
+        w.array(&self.nodes_to_read, |w, n| n.encode(w));
+    }
+}
+
+impl UaDecode for ReadRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ReadRequest {
+            request_header: RequestHeader::decode(r)?,
+            max_age: r.f64()?,
+            timestamps_to_return: r.u32()?,
+            nodes_to_read: r.array(ReadValueId::decode)?,
+        })
+    }
+}
+
+/// ReadResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// One `DataValue` per requested attribute, in order.
+    pub results: Vec<DataValue>,
+}
+
+impl UaEncode for ReadResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.array(&self.results, |w, v| v.encode(w));
+        encode_null_diagnostics(w);
+    }
+}
+
+impl UaDecode for ReadResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let response_header = ResponseHeader::decode(r)?;
+        let results = r.array(DataValue::decode)?;
+        decode_null_diagnostics(r)?;
+        Ok(ReadResponse {
+            response_header,
+            results,
+        })
+    }
+}
+
+/// One write operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteValue {
+    /// The node.
+    pub node_id: NodeId,
+    /// Attribute id (13 = Value).
+    pub attribute_id: u32,
+    /// Index range (unused).
+    pub index_range: Option<String>,
+    /// The value to write.
+    pub value: DataValue,
+}
+
+impl UaEncode for WriteValue {
+    fn encode(&self, w: &mut Encoder) {
+        self.node_id.encode(w);
+        w.u32(self.attribute_id);
+        w.string(self.index_range.as_deref());
+        self.value.encode(w);
+    }
+}
+
+impl UaDecode for WriteValue {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(WriteValue {
+            node_id: NodeId::decode(r)?,
+            attribute_id: r.u32()?,
+            index_range: r.string()?,
+            value: DataValue::decode(r)?,
+        })
+    }
+}
+
+/// WriteRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// The writes to perform.
+    pub nodes_to_write: Vec<WriteValue>,
+}
+
+impl UaEncode for WriteRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.array(&self.nodes_to_write, |w, n| n.encode(w));
+    }
+}
+
+impl UaDecode for WriteRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(WriteRequest {
+            request_header: RequestHeader::decode(r)?,
+            nodes_to_write: r.array(WriteValue::decode)?,
+        })
+    }
+}
+
+/// WriteResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Per-write status.
+    pub results: Vec<StatusCode>,
+}
+
+impl UaEncode for WriteResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.array(&self.results, |w, s| s.encode(w));
+        encode_null_diagnostics(w);
+    }
+}
+
+impl UaDecode for WriteResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let response_header = ResponseHeader::decode(r)?;
+        let results = r.array(StatusCode::decode)?;
+        decode_null_diagnostics(r)?;
+        Ok(WriteResponse {
+            response_header,
+            results,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::{UaDateTime, Variant};
+
+    fn header() -> RequestHeader {
+        RequestHeader::new(NodeId::numeric(0, 7), 5, UaDateTime::from_unix_seconds(0))
+    }
+
+    #[test]
+    fn read_roundtrip() {
+        let req = ReadRequest {
+            request_header: header(),
+            max_age: 0.0,
+            timestamps_to_return: 3,
+            nodes_to_read: vec![
+                ReadValueId::new(NodeId::string(2, "m3InflowPerHour"), 13),
+                ReadValueId::new(NodeId::string(2, "m3InflowPerHour"), 18),
+            ],
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(ReadRequest::decode_all(&bytes).unwrap(), req);
+
+        let resp = ReadResponse {
+            response_header: ResponseHeader::good(5, UaDateTime::from_unix_seconds(0)),
+            results: vec![
+                DataValue::new(Variant::Double(12.5)),
+                DataValue::error(StatusCode::BAD_NOT_READABLE),
+            ],
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(ReadResponse::decode_all(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let req = WriteRequest {
+            request_header: header(),
+            nodes_to_write: vec![WriteValue {
+                node_id: NodeId::string(2, "rSetFillLevel"),
+                attribute_id: 13,
+                index_range: None,
+                value: DataValue::new(Variant::Float(80.0)),
+            }],
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(WriteRequest::decode_all(&bytes).unwrap(), req);
+
+        let resp = WriteResponse {
+            response_header: ResponseHeader::good(5, UaDateTime::from_unix_seconds(0)),
+            results: vec![StatusCode::BAD_NOT_WRITABLE],
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(WriteResponse::decode_all(&bytes).unwrap(), resp);
+    }
+}

@@ -1,0 +1,214 @@
+//! OpenSecureChannel / CloseSecureChannel services (Part 4 §5.5).
+
+use super::header::{RequestHeader, ResponseHeader};
+use ua_types::{CodecError, Decoder, Encoder, MessageSecurityMode, UaDateTime, UaDecode, UaEncode};
+
+/// Whether a channel token is being issued or renewed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityTokenRequestType {
+    /// First token on a new channel.
+    Issue,
+    /// Renewal of an existing channel.
+    Renew,
+}
+
+impl UaEncode for SecurityTokenRequestType {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(match self {
+            SecurityTokenRequestType::Issue => 0,
+            SecurityTokenRequestType::Renew => 1,
+        });
+    }
+}
+
+impl UaDecode for SecurityTokenRequestType {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match r.u32()? {
+            0 => Ok(SecurityTokenRequestType::Issue),
+            1 => Ok(SecurityTokenRequestType::Renew),
+            other => Err(CodecError::InvalidDiscriminant {
+                what: "SecurityTokenRequestType",
+                value: other,
+            }),
+        }
+    }
+}
+
+/// OpenSecureChannelRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenSecureChannelRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// Client protocol version.
+    pub client_protocol_version: u32,
+    /// Issue or renew.
+    pub request_type: SecurityTokenRequestType,
+    /// Requested message security mode.
+    pub security_mode: MessageSecurityMode,
+    /// Client nonce for key derivation (null for mode None).
+    pub client_nonce: Option<Vec<u8>>,
+    /// Requested token lifetime in milliseconds.
+    pub requested_lifetime: u32,
+}
+
+impl UaEncode for OpenSecureChannelRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.u32(self.client_protocol_version);
+        self.request_type.encode(w);
+        self.security_mode.encode(w);
+        w.byte_string(self.client_nonce.as_deref());
+        w.u32(self.requested_lifetime);
+    }
+}
+
+impl UaDecode for OpenSecureChannelRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(OpenSecureChannelRequest {
+            request_header: RequestHeader::decode(r)?,
+            client_protocol_version: r.u32()?,
+            request_type: SecurityTokenRequestType::decode(r)?,
+            security_mode: MessageSecurityMode::decode(r)?,
+            client_nonce: r.byte_string()?,
+            requested_lifetime: r.u32()?,
+        })
+    }
+}
+
+/// A channel security token identifying channel + key generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelSecurityToken {
+    /// Secure channel id assigned by the server.
+    pub channel_id: u32,
+    /// Token id (increments on renew).
+    pub token_id: u32,
+    /// Creation timestamp.
+    pub created_at: UaDateTime,
+    /// Granted lifetime in milliseconds.
+    pub revised_lifetime: u32,
+}
+
+impl UaEncode for ChannelSecurityToken {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(self.channel_id);
+        w.u32(self.token_id);
+        self.created_at.encode(w);
+        w.u32(self.revised_lifetime);
+    }
+}
+
+impl UaDecode for ChannelSecurityToken {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ChannelSecurityToken {
+            channel_id: r.u32()?,
+            token_id: r.u32()?,
+            created_at: UaDateTime::decode(r)?,
+            revised_lifetime: r.u32()?,
+        })
+    }
+}
+
+/// OpenSecureChannelResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenSecureChannelResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Server protocol version.
+    pub server_protocol_version: u32,
+    /// The issued token.
+    pub security_token: ChannelSecurityToken,
+    /// Server nonce for key derivation.
+    pub server_nonce: Option<Vec<u8>>,
+}
+
+impl UaEncode for OpenSecureChannelResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.u32(self.server_protocol_version);
+        self.security_token.encode(w);
+        w.byte_string(self.server_nonce.as_deref());
+    }
+}
+
+impl UaDecode for OpenSecureChannelResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(OpenSecureChannelResponse {
+            response_header: ResponseHeader::decode(r)?,
+            server_protocol_version: r.u32()?,
+            security_token: ChannelSecurityToken::decode(r)?,
+            server_nonce: r.byte_string()?,
+        })
+    }
+}
+
+/// CloseSecureChannelRequest (no response is sent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloseSecureChannelRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+}
+
+impl UaEncode for CloseSecureChannelRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+    }
+}
+
+impl UaDecode for CloseSecureChannelRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CloseSecureChannelRequest {
+            request_header: RequestHeader::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::NodeId;
+
+    #[test]
+    fn open_request_roundtrip() {
+        let req = OpenSecureChannelRequest {
+            request_header: RequestHeader::new(NodeId::NULL, 1, UaDateTime::from_unix_seconds(0)),
+            client_protocol_version: 0,
+            request_type: SecurityTokenRequestType::Issue,
+            security_mode: MessageSecurityMode::SignAndEncrypt,
+            client_nonce: Some(vec![7; 32]),
+            requested_lifetime: 3_600_000,
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(OpenSecureChannelRequest::decode_all(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn open_response_roundtrip() {
+        let resp = OpenSecureChannelResponse {
+            response_header: ResponseHeader::good(1, UaDateTime::from_unix_seconds(0)),
+            server_protocol_version: 0,
+            security_token: ChannelSecurityToken {
+                channel_id: 42,
+                token_id: 1,
+                created_at: UaDateTime::from_unix_seconds(1_600_000_000),
+                revised_lifetime: 600_000,
+            },
+            server_nonce: Some(vec![9; 32]),
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(OpenSecureChannelResponse::decode_all(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_type_invalid() {
+        assert!(SecurityTokenRequestType::decode_all(&5u32.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn close_request_roundtrip() {
+        let req = CloseSecureChannelRequest {
+            request_header: RequestHeader::new(NodeId::NULL, 3, UaDateTime::from_unix_seconds(0)),
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(CloseSecureChannelRequest::decode_all(&bytes).unwrap(), req);
+    }
+}

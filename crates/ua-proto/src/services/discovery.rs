@@ -1,0 +1,168 @@
+//! Discovery services: GetEndpoints and FindServers — the unauthenticated
+//! requests the paper's scanner sends to every host (§4).
+
+use super::header::{RequestHeader, ResponseHeader};
+use ua_types::{
+    ApplicationDescription, CodecError, Decoder, Encoder, EndpointDescription, UaDecode, UaEncode,
+};
+
+/// GetEndpointsRequest (Part 4 §5.4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetEndpointsRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// The URL the client used to reach the server.
+    pub endpoint_url: Option<String>,
+    /// Preferred locales (unused by the scanner).
+    pub locale_ids: Vec<String>,
+    /// Transport profile filter (empty = all).
+    pub profile_uris: Vec<String>,
+}
+
+impl UaEncode for GetEndpointsRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.string(self.endpoint_url.as_deref());
+        w.array(&self.locale_ids, |w, s| w.string(Some(s)));
+        w.array(&self.profile_uris, |w, s| w.string(Some(s)));
+    }
+}
+
+impl UaDecode for GetEndpointsRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(GetEndpointsRequest {
+            request_header: RequestHeader::decode(r)?,
+            endpoint_url: r.string()?,
+            locale_ids: r.array(|r| r.string().map(Option::unwrap_or_default))?,
+            profile_uris: r.array(|r| r.string().map(Option::unwrap_or_default))?,
+        })
+    }
+}
+
+/// GetEndpointsResponse: the full security configuration surface of a
+/// server (Figure 1 in the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetEndpointsResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// All endpoints the server offers.
+    pub endpoints: Vec<EndpointDescription>,
+}
+
+impl UaEncode for GetEndpointsResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.array(&self.endpoints, |w, e| e.encode(w));
+    }
+}
+
+impl UaDecode for GetEndpointsResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(GetEndpointsResponse {
+            response_header: ResponseHeader::decode(r)?,
+            endpoints: r.array(EndpointDescription::decode)?,
+        })
+    }
+}
+
+/// FindServersRequest (Part 4 §5.4.2) — what discovery servers answer;
+/// the paper followed the returned host/port combinations from
+/// 2020-05-04 onward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindServersRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// The URL the client used to reach the server.
+    pub endpoint_url: Option<String>,
+    /// Preferred locales.
+    pub locale_ids: Vec<String>,
+    /// Filter by application URIs (empty = all).
+    pub server_uris: Vec<String>,
+}
+
+impl UaEncode for FindServersRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.string(self.endpoint_url.as_deref());
+        w.array(&self.locale_ids, |w, s| w.string(Some(s)));
+        w.array(&self.server_uris, |w, s| w.string(Some(s)));
+    }
+}
+
+impl UaDecode for FindServersRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(FindServersRequest {
+            request_header: RequestHeader::decode(r)?,
+            endpoint_url: r.string()?,
+            locale_ids: r.array(|r| r.string().map(Option::unwrap_or_default))?,
+            server_uris: r.array(|r| r.string().map(Option::unwrap_or_default))?,
+        })
+    }
+}
+
+/// FindServersResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindServersResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Known applications, each with discovery URLs that may point to
+    /// other hosts and non-default ports.
+    pub servers: Vec<ApplicationDescription>,
+}
+
+impl UaEncode for FindServersResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.array(&self.servers, |w, s| s.encode(w));
+    }
+}
+
+impl UaDecode for FindServersResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(FindServersResponse {
+            response_header: ResponseHeader::decode(r)?,
+            servers: r.array(ApplicationDescription::decode)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::{NodeId, UaDateTime};
+
+    fn header() -> RequestHeader {
+        RequestHeader::new(NodeId::NULL, 1, UaDateTime::from_unix_seconds(1_600_000_000))
+    }
+
+    #[test]
+    fn get_endpoints_roundtrip() {
+        let req = GetEndpointsRequest {
+            request_header: header(),
+            endpoint_url: Some("opc.tcp://198.51.100.7:4840/".into()),
+            locale_ids: vec![],
+            profile_uris: vec![],
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(GetEndpointsRequest::decode_all(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn find_servers_roundtrip() {
+        let req = FindServersRequest {
+            request_header: header(),
+            endpoint_url: None,
+            locale_ids: vec!["en".into()],
+            server_uris: vec!["urn:x".into(), "urn:y".into()],
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(FindServersRequest::decode_all(&bytes).unwrap(), req);
+
+        let resp = FindServersResponse {
+            response_header: ResponseHeader::good(1, UaDateTime::from_unix_seconds(0)),
+            servers: vec![ApplicationDescription::server("urn:a", "A")],
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(FindServersResponse::decode_all(&bytes).unwrap(), resp);
+    }
+}

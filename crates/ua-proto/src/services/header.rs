@@ -1,0 +1,262 @@
+//! Request/response headers and small shared service types.
+
+use ua_types::{
+    CodecError, Decoder, Encoder, ExtensionObject, NodeId, StatusCode, UaDateTime, UaDecode,
+    UaEncode,
+};
+
+/// Common request header (Part 4 §7.28).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestHeader {
+    /// Session authentication token (null before session creation).
+    pub authentication_token: NodeId,
+    /// Client timestamp.
+    pub timestamp: UaDateTime,
+    /// Client-assigned handle echoed in the response.
+    pub request_handle: u32,
+    /// Diagnostic verbosity mask (0 = none).
+    pub return_diagnostics: u32,
+    /// Audit log correlation id.
+    pub audit_entry_id: Option<String>,
+    /// Timeout hint in milliseconds.
+    pub timeout_hint: u32,
+    /// Extension point (always null here).
+    pub additional_header: ExtensionObject,
+}
+
+impl RequestHeader {
+    /// A header with the given handle and token.
+    pub fn new(authentication_token: NodeId, request_handle: u32, now: UaDateTime) -> Self {
+        RequestHeader {
+            authentication_token,
+            timestamp: now,
+            request_handle,
+            return_diagnostics: 0,
+            audit_entry_id: None,
+            timeout_hint: 15_000,
+            additional_header: ExtensionObject::null(),
+        }
+    }
+}
+
+impl UaEncode for RequestHeader {
+    fn encode(&self, w: &mut Encoder) {
+        self.authentication_token.encode(w);
+        self.timestamp.encode(w);
+        w.u32(self.request_handle);
+        w.u32(self.return_diagnostics);
+        w.string(self.audit_entry_id.as_deref());
+        w.u32(self.timeout_hint);
+        self.additional_header.encode(w);
+    }
+}
+
+impl UaDecode for RequestHeader {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(RequestHeader {
+            authentication_token: NodeId::decode(r)?,
+            timestamp: UaDateTime::decode(r)?,
+            request_handle: r.u32()?,
+            return_diagnostics: r.u32()?,
+            audit_entry_id: r.string()?,
+            timeout_hint: r.u32()?,
+            additional_header: ExtensionObject::decode(r)?,
+        })
+    }
+}
+
+/// Common response header (Part 4 §7.29).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseHeader {
+    /// Server timestamp.
+    pub timestamp: UaDateTime,
+    /// Echo of the request handle.
+    pub request_handle: u32,
+    /// Overall service result.
+    pub service_result: StatusCode,
+    /// Service-level diagnostics (modeled empty).
+    pub service_diagnostics: DiagnosticInfo,
+    /// String table for diagnostics.
+    pub string_table: Vec<String>,
+    /// Extension point (null).
+    pub additional_header: ExtensionObject,
+}
+
+impl ResponseHeader {
+    /// A success header echoing `request_handle`.
+    pub fn good(request_handle: u32, now: UaDateTime) -> Self {
+        Self::with_status(request_handle, now, StatusCode::GOOD)
+    }
+
+    /// A header with an explicit service result.
+    pub fn with_status(request_handle: u32, now: UaDateTime, status: StatusCode) -> Self {
+        ResponseHeader {
+            timestamp: now,
+            request_handle,
+            service_result: status,
+            service_diagnostics: DiagnosticInfo,
+            string_table: Vec::new(),
+            additional_header: ExtensionObject::null(),
+        }
+    }
+}
+
+impl UaEncode for ResponseHeader {
+    fn encode(&self, w: &mut Encoder) {
+        self.timestamp.encode(w);
+        w.u32(self.request_handle);
+        self.service_result.encode(w);
+        self.service_diagnostics.encode(w);
+        w.array(&self.string_table, |w, s| w.string(Some(s)));
+        self.additional_header.encode(w);
+    }
+}
+
+impl UaDecode for ResponseHeader {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ResponseHeader {
+            timestamp: UaDateTime::decode(r)?,
+            request_handle: r.u32()?,
+            service_result: StatusCode::decode(r)?,
+            service_diagnostics: DiagnosticInfo::decode(r)?,
+            string_table: r.array(|r| r.string().map(|s| s.unwrap_or_default()))?,
+            additional_header: ExtensionObject::decode(r)?,
+        })
+    }
+}
+
+/// DiagnosticInfo, modeled as always-empty (mask byte `0x00`). The study
+/// never requests diagnostics (`return_diagnostics = 0`), so servers send
+/// empty infos; non-empty masks are rejected as unsupported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiagnosticInfo;
+
+impl UaEncode for DiagnosticInfo {
+    fn encode(&self, w: &mut Encoder) {
+        w.u8(0);
+    }
+}
+
+impl UaDecode for DiagnosticInfo {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let mask = r.u8()?;
+        if mask != 0 {
+            return Err(CodecError::Invalid("non-empty DiagnosticInfo unsupported"));
+        }
+        Ok(DiagnosticInfo)
+    }
+}
+
+/// Encodes a null array of diagnostic infos (length -1), the conventional
+/// wire form when no diagnostics were requested.
+pub fn encode_null_diagnostics(w: &mut Encoder) {
+    w.i32(-1);
+}
+
+/// Accepts a null (-1), empty, or all-empty array of diagnostic infos.
+pub fn decode_null_diagnostics(r: &mut Decoder<'_>) -> Result<(), CodecError> {
+    let declared = r.i32()?;
+    match declared {
+        -1 | 0 => Ok(()),
+        n if n > 0 => {
+            for _ in 0..n {
+                DiagnosticInfo::decode(r)?;
+            }
+            Ok(())
+        }
+        n => Err(CodecError::BadLength(n as i64)),
+    }
+}
+
+/// A signature over a certificate+nonce, used in session handshakes
+/// (Part 4 §7.32).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SignatureData {
+    /// Algorithm URI (`None` when no signature is present).
+    pub algorithm: Option<String>,
+    /// The signature bytes.
+    pub signature: Option<Vec<u8>>,
+}
+
+impl SignatureData {
+    /// True if no signature is carried.
+    pub fn is_empty(&self) -> bool {
+        self.signature.is_none()
+    }
+}
+
+impl UaEncode for SignatureData {
+    fn encode(&self, w: &mut Encoder) {
+        w.string(self.algorithm.as_deref());
+        w.byte_string(self.signature.as_deref());
+    }
+}
+
+impl UaDecode for SignatureData {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SignatureData {
+            algorithm: r.string()?,
+            signature: r.byte_string()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_header_roundtrip() {
+        let h = RequestHeader::new(NodeId::numeric(0, 0), 7, UaDateTime::from_unix_seconds(1_600_000_000));
+        let bytes = h.encode_to_vec();
+        assert_eq!(RequestHeader::decode_all(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn response_header_roundtrip() {
+        let h = ResponseHeader::with_status(
+            9,
+            UaDateTime::from_unix_seconds(1_600_000_000),
+            StatusCode::BAD_SERVICE_UNSUPPORTED,
+        );
+        let bytes = h.encode_to_vec();
+        let parsed = ResponseHeader::decode_all(&bytes).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(parsed.service_result, StatusCode::BAD_SERVICE_UNSUPPORTED);
+    }
+
+    #[test]
+    fn diagnostic_info_only_empty() {
+        assert!(DiagnosticInfo::decode_all(&[0]).is_ok());
+        assert!(DiagnosticInfo::decode_all(&[1]).is_err());
+    }
+
+    #[test]
+    fn null_diagnostics_helpers() {
+        let mut w = Encoder::new();
+        encode_null_diagnostics(&mut w);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        decode_null_diagnostics(&mut r).unwrap();
+        // Also accept explicit empty arrays of empty infos.
+        let mut w = Encoder::new();
+        w.i32(2);
+        w.u8(0);
+        w.u8(0);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        decode_null_diagnostics(&mut r).unwrap();
+    }
+
+    #[test]
+    fn signature_data_roundtrip() {
+        let s = SignatureData {
+            algorithm: Some("http://www.w3.org/2001/04/xmldsig-more#rsa-sha256".into()),
+            signature: Some(vec![1, 2, 3]),
+        };
+        assert!(!s.is_empty());
+        let bytes = s.encode_to_vec();
+        assert_eq!(SignatureData::decode_all(&bytes).unwrap(), s);
+        assert!(SignatureData::default().is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Method service: Call (Part 4 §5.11). §5.4 of the paper found 61 % of
+//! accessible systems expose most of their functions (e.g. `AddEndpoint`)
+//! to anonymous users; the scanner itself never calls any (Appendix A.1).
+
+use super::header::{
+    decode_null_diagnostics, encode_null_diagnostics, RequestHeader, ResponseHeader,
+};
+use ua_types::{CodecError, Decoder, Encoder, NodeId, StatusCode, UaDecode, UaEncode, Variant};
+
+/// One method invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallMethodRequest {
+    /// Object the method belongs to.
+    pub object_id: NodeId,
+    /// The method node.
+    pub method_id: NodeId,
+    /// Input arguments.
+    pub input_arguments: Vec<Variant>,
+}
+
+impl UaEncode for CallMethodRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.object_id.encode(w);
+        self.method_id.encode(w);
+        w.array(&self.input_arguments, |w, a| a.encode(w));
+    }
+}
+
+impl UaDecode for CallMethodRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CallMethodRequest {
+            object_id: NodeId::decode(r)?,
+            method_id: NodeId::decode(r)?,
+            input_arguments: r.array(Variant::decode)?,
+        })
+    }
+}
+
+/// Result of one method invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallMethodResult {
+    /// Overall status.
+    pub status_code: StatusCode,
+    /// Per-argument validation results.
+    pub input_argument_results: Vec<StatusCode>,
+    /// Output arguments.
+    pub output_arguments: Vec<Variant>,
+}
+
+impl CallMethodResult {
+    /// A failure with no outputs.
+    pub fn error(status_code: StatusCode) -> Self {
+        CallMethodResult {
+            status_code,
+            input_argument_results: Vec::new(),
+            output_arguments: Vec::new(),
+        }
+    }
+}
+
+impl UaEncode for CallMethodResult {
+    fn encode(&self, w: &mut Encoder) {
+        self.status_code.encode(w);
+        w.array(&self.input_argument_results, |w, s| s.encode(w));
+        encode_null_diagnostics(w);
+        w.array(&self.output_arguments, |w, a| a.encode(w));
+    }
+}
+
+impl UaDecode for CallMethodResult {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let status_code = StatusCode::decode(r)?;
+        let input_argument_results = r.array(StatusCode::decode)?;
+        decode_null_diagnostics(r)?;
+        Ok(CallMethodResult {
+            status_code,
+            input_argument_results,
+            output_arguments: r.array(Variant::decode)?,
+        })
+    }
+}
+
+/// CallRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// The invocations.
+    pub methods_to_call: Vec<CallMethodRequest>,
+}
+
+impl UaEncode for CallRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.array(&self.methods_to_call, |w, m| m.encode(w));
+    }
+}
+
+impl UaDecode for CallRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CallRequest {
+            request_header: RequestHeader::decode(r)?,
+            methods_to_call: r.array(CallMethodRequest::decode)?,
+        })
+    }
+}
+
+/// CallResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Per-invocation results.
+    pub results: Vec<CallMethodResult>,
+}
+
+impl UaEncode for CallResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.array(&self.results, |w, r| r.encode(w));
+        encode_null_diagnostics(w);
+    }
+}
+
+impl UaDecode for CallResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let response_header = ResponseHeader::decode(r)?;
+        let results = r.array(CallMethodResult::decode)?;
+        decode_null_diagnostics(r)?;
+        Ok(CallResponse {
+            response_header,
+            results,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::UaDateTime;
+
+    #[test]
+    fn call_roundtrip() {
+        let req = CallRequest {
+            request_header: RequestHeader::new(
+                NodeId::numeric(0, 7),
+                6,
+                UaDateTime::from_unix_seconds(0),
+            ),
+            methods_to_call: vec![CallMethodRequest {
+                object_id: NodeId::numeric(0, 2253), // Server object
+                method_id: NodeId::string(2, "AddEndpoint"),
+                input_arguments: vec![Variant::String(Some("opc.tcp://evil:4840".into()))],
+            }],
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(CallRequest::decode_all(&bytes).unwrap(), req);
+
+        let resp = CallResponse {
+            response_header: ResponseHeader::good(6, UaDateTime::from_unix_seconds(0)),
+            results: vec![
+                CallMethodResult {
+                    status_code: StatusCode::GOOD,
+                    input_argument_results: vec![StatusCode::GOOD],
+                    output_arguments: vec![Variant::Boolean(true)],
+                },
+                CallMethodResult::error(StatusCode::BAD_NOT_EXECUTABLE),
+            ],
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(CallResponse::decode_all(&bytes).unwrap(), resp);
+    }
+}

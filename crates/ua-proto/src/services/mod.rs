@@ -1,0 +1,369 @@
+//! OPC UA service messages: typed request/response structures and the
+//! [`ServiceBody`] dispatcher that maps wire type-ids to them.
+
+pub mod attribute;
+pub mod channel;
+pub mod discovery;
+pub mod header;
+pub mod method;
+pub mod session;
+pub mod view;
+
+pub use attribute::{ReadRequest, ReadResponse, ReadValueId, WriteRequest, WriteResponse, WriteValue};
+pub use channel::{
+    ChannelSecurityToken, CloseSecureChannelRequest, OpenSecureChannelRequest,
+    OpenSecureChannelResponse, SecurityTokenRequestType,
+};
+pub use discovery::{
+    FindServersRequest, FindServersResponse, GetEndpointsRequest, GetEndpointsResponse,
+};
+pub use header::{DiagnosticInfo, RequestHeader, ResponseHeader, SignatureData};
+pub use method::{CallMethodRequest, CallMethodResult, CallRequest, CallResponse};
+pub use session::{
+    ActivateSessionRequest, ActivateSessionResponse, CloseSessionRequest, CloseSessionResponse,
+    CreateSessionRequest, CreateSessionResponse, IdentityToken,
+};
+pub use view::{
+    BrowseDescription, BrowseNextRequest, BrowseNextResponse, BrowseRequest, BrowseResponse,
+    BrowseResult, ReferenceDescription, ViewDescription,
+};
+
+use ua_types::{CodecError, Decoder, Encoder, NodeId, StatusCode, UaDecode, UaEncode};
+
+/// Binary-encoding node ids (namespace 0) of the supported services, per
+/// OPC 10000-6 Annex A.
+pub mod ids {
+    /// ServiceFault.
+    pub const SERVICE_FAULT: u32 = 397;
+    /// FindServersRequest.
+    pub const FIND_SERVERS_REQUEST: u32 = 422;
+    /// FindServersResponse.
+    pub const FIND_SERVERS_RESPONSE: u32 = 425;
+    /// GetEndpointsRequest.
+    pub const GET_ENDPOINTS_REQUEST: u32 = 428;
+    /// GetEndpointsResponse.
+    pub const GET_ENDPOINTS_RESPONSE: u32 = 431;
+    /// OpenSecureChannelRequest.
+    pub const OPEN_SECURE_CHANNEL_REQUEST: u32 = 446;
+    /// OpenSecureChannelResponse.
+    pub const OPEN_SECURE_CHANNEL_RESPONSE: u32 = 449;
+    /// CloseSecureChannelRequest.
+    pub const CLOSE_SECURE_CHANNEL_REQUEST: u32 = 452;
+    /// CreateSessionRequest.
+    pub const CREATE_SESSION_REQUEST: u32 = 461;
+    /// CreateSessionResponse.
+    pub const CREATE_SESSION_RESPONSE: u32 = 464;
+    /// ActivateSessionRequest.
+    pub const ACTIVATE_SESSION_REQUEST: u32 = 467;
+    /// ActivateSessionResponse.
+    pub const ACTIVATE_SESSION_RESPONSE: u32 = 470;
+    /// CloseSessionRequest.
+    pub const CLOSE_SESSION_REQUEST: u32 = 473;
+    /// CloseSessionResponse.
+    pub const CLOSE_SESSION_RESPONSE: u32 = 476;
+    /// BrowseRequest.
+    pub const BROWSE_REQUEST: u32 = 527;
+    /// BrowseResponse.
+    pub const BROWSE_RESPONSE: u32 = 530;
+    /// BrowseNextRequest.
+    pub const BROWSE_NEXT_REQUEST: u32 = 533;
+    /// BrowseNextResponse.
+    pub const BROWSE_NEXT_RESPONSE: u32 = 536;
+    /// ReadRequest.
+    pub const READ_REQUEST: u32 = 631;
+    /// ReadResponse.
+    pub const READ_RESPONSE: u32 = 634;
+    /// WriteRequest.
+    pub const WRITE_REQUEST: u32 = 673;
+    /// WriteResponse.
+    pub const WRITE_RESPONSE: u32 = 676;
+    /// CallRequest.
+    pub const CALL_REQUEST: u32 = 712;
+    /// CallResponse.
+    pub const CALL_RESPONSE: u32 = 715;
+}
+
+/// ServiceFault — the generic error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceFault {
+    /// Common header carrying the failure status.
+    pub response_header: ResponseHeader,
+}
+
+impl ServiceFault {
+    /// Builds a fault echoing `request_handle` with `status`.
+    pub fn new(request_handle: u32, now: ua_types::UaDateTime, status: StatusCode) -> Self {
+        ServiceFault {
+            response_header: ResponseHeader::with_status(request_handle, now, status),
+        }
+    }
+}
+
+impl UaEncode for ServiceFault {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+    }
+}
+
+impl UaDecode for ServiceFault {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ServiceFault {
+            response_header: ResponseHeader::decode(r)?,
+        })
+    }
+}
+
+/// A decoded service message, request or response.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant names mirror the service names
+pub enum ServiceBody {
+    ServiceFault(ServiceFault),
+    FindServersRequest(FindServersRequest),
+    FindServersResponse(FindServersResponse),
+    GetEndpointsRequest(GetEndpointsRequest),
+    GetEndpointsResponse(GetEndpointsResponse),
+    OpenSecureChannelRequest(OpenSecureChannelRequest),
+    OpenSecureChannelResponse(OpenSecureChannelResponse),
+    CloseSecureChannelRequest(CloseSecureChannelRequest),
+    CreateSessionRequest(CreateSessionRequest),
+    CreateSessionResponse(CreateSessionResponse),
+    ActivateSessionRequest(ActivateSessionRequest),
+    ActivateSessionResponse(ActivateSessionResponse),
+    CloseSessionRequest(CloseSessionRequest),
+    CloseSessionResponse(CloseSessionResponse),
+    BrowseRequest(BrowseRequest),
+    BrowseResponse(BrowseResponse),
+    BrowseNextRequest(BrowseNextRequest),
+    BrowseNextResponse(BrowseNextResponse),
+    ReadRequest(ReadRequest),
+    ReadResponse(ReadResponse),
+    WriteRequest(WriteRequest),
+    WriteResponse(WriteResponse),
+    CallRequest(CallRequest),
+    CallResponse(CallResponse),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $w:ident, $( $variant:ident => $id:expr ),+ $(,)?) => {
+        match $self {
+            $( ServiceBody::$variant(inner) => {
+                NodeId::numeric(0, $id).encode($w);
+                inner.encode($w);
+            } )+
+        }
+    };
+}
+
+impl ServiceBody {
+    /// The wire type id of this message.
+    pub fn type_id(&self) -> u32 {
+        match self {
+            ServiceBody::ServiceFault(_) => ids::SERVICE_FAULT,
+            ServiceBody::FindServersRequest(_) => ids::FIND_SERVERS_REQUEST,
+            ServiceBody::FindServersResponse(_) => ids::FIND_SERVERS_RESPONSE,
+            ServiceBody::GetEndpointsRequest(_) => ids::GET_ENDPOINTS_REQUEST,
+            ServiceBody::GetEndpointsResponse(_) => ids::GET_ENDPOINTS_RESPONSE,
+            ServiceBody::OpenSecureChannelRequest(_) => ids::OPEN_SECURE_CHANNEL_REQUEST,
+            ServiceBody::OpenSecureChannelResponse(_) => ids::OPEN_SECURE_CHANNEL_RESPONSE,
+            ServiceBody::CloseSecureChannelRequest(_) => ids::CLOSE_SECURE_CHANNEL_REQUEST,
+            ServiceBody::CreateSessionRequest(_) => ids::CREATE_SESSION_REQUEST,
+            ServiceBody::CreateSessionResponse(_) => ids::CREATE_SESSION_RESPONSE,
+            ServiceBody::ActivateSessionRequest(_) => ids::ACTIVATE_SESSION_REQUEST,
+            ServiceBody::ActivateSessionResponse(_) => ids::ACTIVATE_SESSION_RESPONSE,
+            ServiceBody::CloseSessionRequest(_) => ids::CLOSE_SESSION_REQUEST,
+            ServiceBody::CloseSessionResponse(_) => ids::CLOSE_SESSION_RESPONSE,
+            ServiceBody::BrowseRequest(_) => ids::BROWSE_REQUEST,
+            ServiceBody::BrowseResponse(_) => ids::BROWSE_RESPONSE,
+            ServiceBody::BrowseNextRequest(_) => ids::BROWSE_NEXT_REQUEST,
+            ServiceBody::BrowseNextResponse(_) => ids::BROWSE_NEXT_RESPONSE,
+            ServiceBody::ReadRequest(_) => ids::READ_REQUEST,
+            ServiceBody::ReadResponse(_) => ids::READ_RESPONSE,
+            ServiceBody::WriteRequest(_) => ids::WRITE_REQUEST,
+            ServiceBody::WriteResponse(_) => ids::WRITE_RESPONSE,
+            ServiceBody::CallRequest(_) => ids::CALL_REQUEST,
+            ServiceBody::CallResponse(_) => ids::CALL_RESPONSE,
+        }
+    }
+
+    /// True if this is a response-type message (including faults).
+    pub fn is_response(&self) -> bool {
+        matches!(
+            self,
+            ServiceBody::ServiceFault(_)
+                | ServiceBody::FindServersResponse(_)
+                | ServiceBody::GetEndpointsResponse(_)
+                | ServiceBody::OpenSecureChannelResponse(_)
+                | ServiceBody::CreateSessionResponse(_)
+                | ServiceBody::ActivateSessionResponse(_)
+                | ServiceBody::CloseSessionResponse(_)
+                | ServiceBody::BrowseResponse(_)
+                | ServiceBody::BrowseNextResponse(_)
+                | ServiceBody::ReadResponse(_)
+                | ServiceBody::WriteResponse(_)
+                | ServiceBody::CallResponse(_)
+        )
+    }
+}
+
+impl UaEncode for ServiceBody {
+    fn encode(&self, w: &mut Encoder) {
+        dispatch!(self, w,
+            ServiceFault => ids::SERVICE_FAULT,
+            FindServersRequest => ids::FIND_SERVERS_REQUEST,
+            FindServersResponse => ids::FIND_SERVERS_RESPONSE,
+            GetEndpointsRequest => ids::GET_ENDPOINTS_REQUEST,
+            GetEndpointsResponse => ids::GET_ENDPOINTS_RESPONSE,
+            OpenSecureChannelRequest => ids::OPEN_SECURE_CHANNEL_REQUEST,
+            OpenSecureChannelResponse => ids::OPEN_SECURE_CHANNEL_RESPONSE,
+            CloseSecureChannelRequest => ids::CLOSE_SECURE_CHANNEL_REQUEST,
+            CreateSessionRequest => ids::CREATE_SESSION_REQUEST,
+            CreateSessionResponse => ids::CREATE_SESSION_RESPONSE,
+            ActivateSessionRequest => ids::ACTIVATE_SESSION_REQUEST,
+            ActivateSessionResponse => ids::ACTIVATE_SESSION_RESPONSE,
+            CloseSessionRequest => ids::CLOSE_SESSION_REQUEST,
+            CloseSessionResponse => ids::CLOSE_SESSION_RESPONSE,
+            BrowseRequest => ids::BROWSE_REQUEST,
+            BrowseResponse => ids::BROWSE_RESPONSE,
+            BrowseNextRequest => ids::BROWSE_NEXT_REQUEST,
+            BrowseNextResponse => ids::BROWSE_NEXT_RESPONSE,
+            ReadRequest => ids::READ_REQUEST,
+            ReadResponse => ids::READ_RESPONSE,
+            WriteRequest => ids::WRITE_REQUEST,
+            WriteResponse => ids::WRITE_RESPONSE,
+            CallRequest => ids::CALL_REQUEST,
+            CallResponse => ids::CALL_RESPONSE,
+        );
+    }
+}
+
+impl UaDecode for ServiceBody {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let type_node = NodeId::decode(r)?;
+        if type_node.namespace != 0 {
+            return Err(CodecError::Invalid("service type id not in namespace 0"));
+        }
+        let id = type_node
+            .as_numeric()
+            .ok_or(CodecError::Invalid("non-numeric service type id"))?;
+        Ok(match id {
+            ids::SERVICE_FAULT => ServiceBody::ServiceFault(ServiceFault::decode(r)?),
+            ids::FIND_SERVERS_REQUEST => {
+                ServiceBody::FindServersRequest(FindServersRequest::decode(r)?)
+            }
+            ids::FIND_SERVERS_RESPONSE => {
+                ServiceBody::FindServersResponse(FindServersResponse::decode(r)?)
+            }
+            ids::GET_ENDPOINTS_REQUEST => {
+                ServiceBody::GetEndpointsRequest(GetEndpointsRequest::decode(r)?)
+            }
+            ids::GET_ENDPOINTS_RESPONSE => {
+                ServiceBody::GetEndpointsResponse(GetEndpointsResponse::decode(r)?)
+            }
+            ids::OPEN_SECURE_CHANNEL_REQUEST => {
+                ServiceBody::OpenSecureChannelRequest(OpenSecureChannelRequest::decode(r)?)
+            }
+            ids::OPEN_SECURE_CHANNEL_RESPONSE => {
+                ServiceBody::OpenSecureChannelResponse(OpenSecureChannelResponse::decode(r)?)
+            }
+            ids::CLOSE_SECURE_CHANNEL_REQUEST => {
+                ServiceBody::CloseSecureChannelRequest(CloseSecureChannelRequest::decode(r)?)
+            }
+            ids::CREATE_SESSION_REQUEST => {
+                ServiceBody::CreateSessionRequest(CreateSessionRequest::decode(r)?)
+            }
+            ids::CREATE_SESSION_RESPONSE => {
+                ServiceBody::CreateSessionResponse(CreateSessionResponse::decode(r)?)
+            }
+            ids::ACTIVATE_SESSION_REQUEST => {
+                ServiceBody::ActivateSessionRequest(ActivateSessionRequest::decode(r)?)
+            }
+            ids::ACTIVATE_SESSION_RESPONSE => {
+                ServiceBody::ActivateSessionResponse(ActivateSessionResponse::decode(r)?)
+            }
+            ids::CLOSE_SESSION_REQUEST => {
+                ServiceBody::CloseSessionRequest(CloseSessionRequest::decode(r)?)
+            }
+            ids::CLOSE_SESSION_RESPONSE => {
+                ServiceBody::CloseSessionResponse(CloseSessionResponse::decode(r)?)
+            }
+            ids::BROWSE_REQUEST => ServiceBody::BrowseRequest(BrowseRequest::decode(r)?),
+            ids::BROWSE_RESPONSE => ServiceBody::BrowseResponse(BrowseResponse::decode(r)?),
+            ids::BROWSE_NEXT_REQUEST => {
+                ServiceBody::BrowseNextRequest(BrowseNextRequest::decode(r)?)
+            }
+            ids::BROWSE_NEXT_RESPONSE => {
+                ServiceBody::BrowseNextResponse(BrowseNextResponse::decode(r)?)
+            }
+            ids::READ_REQUEST => ServiceBody::ReadRequest(ReadRequest::decode(r)?),
+            ids::READ_RESPONSE => ServiceBody::ReadResponse(ReadResponse::decode(r)?),
+            ids::WRITE_REQUEST => ServiceBody::WriteRequest(WriteRequest::decode(r)?),
+            ids::WRITE_RESPONSE => ServiceBody::WriteResponse(WriteResponse::decode(r)?),
+            ids::CALL_REQUEST => ServiceBody::CallRequest(CallRequest::decode(r)?),
+            ids::CALL_RESPONSE => ServiceBody::CallResponse(CallResponse::decode(r)?),
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    what: "service type id",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::UaDateTime;
+
+    #[test]
+    fn dispatch_roundtrip() {
+        let now = UaDateTime::from_unix_seconds(1_600_000_000);
+        let body = ServiceBody::GetEndpointsRequest(GetEndpointsRequest {
+            request_header: RequestHeader::new(NodeId::NULL, 1, now),
+            endpoint_url: Some("opc.tcp://h:4840/".into()),
+            locale_ids: vec![],
+            profile_uris: vec![],
+        });
+        let bytes = body.encode_to_vec();
+        let parsed = ServiceBody::decode_all(&bytes).unwrap();
+        assert_eq!(parsed, body);
+        assert_eq!(parsed.type_id(), ids::GET_ENDPOINTS_REQUEST);
+        assert!(!parsed.is_response());
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        let now = UaDateTime::from_unix_seconds(0);
+        let body = ServiceBody::ServiceFault(ServiceFault::new(
+            9,
+            now,
+            StatusCode::BAD_SERVICE_UNSUPPORTED,
+        ));
+        let bytes = body.encode_to_vec();
+        let parsed = ServiceBody::decode_all(&bytes).unwrap();
+        assert!(parsed.is_response());
+        match parsed {
+            ServiceBody::ServiceFault(f) => {
+                assert_eq!(f.response_header.service_result, StatusCode::BAD_SERVICE_UNSUPPORTED)
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_service_id_rejected() {
+        let mut w = Encoder::new();
+        NodeId::numeric(0, 50_000).encode(&mut w);
+        assert!(matches!(
+            ServiceBody::decode_all(&w.finish()),
+            Err(CodecError::InvalidDiscriminant { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_namespace_rejected() {
+        let mut w = Encoder::new();
+        NodeId::numeric(2, ids::GET_ENDPOINTS_REQUEST).encode(&mut w);
+        assert!(ServiceBody::decode_all(&w.finish()).is_err());
+    }
+}

@@ -1,0 +1,518 @@
+//! Session services: CreateSession, ActivateSession, CloseSession, and
+//! the user identity tokens (Part 4 §5.6) — where the paper's
+//! authentication analysis (§5.4, Table 2) plays out.
+
+use super::header::{
+    decode_null_diagnostics, encode_null_diagnostics, RequestHeader, ResponseHeader,
+    SignatureData,
+};
+use ua_types::{
+    encoding_ids, ApplicationDescription, CodecError, Decoder, Encoder, EndpointDescription,
+    ExtensionObject, NodeId, StatusCode, UaDecode, UaEncode,
+};
+
+/// CreateSessionRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateSessionRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// The client application (the scanner publishes its contact data in
+    /// the `application_name`, per Appendix A.2 of the paper).
+    pub client_description: ApplicationDescription,
+    /// Server URI the client expects.
+    pub server_uri: Option<String>,
+    /// Endpoint URL used.
+    pub endpoint_url: Option<String>,
+    /// Human-readable session name.
+    pub session_name: Option<String>,
+    /// Client nonce (proof-of-possession for the session).
+    pub client_nonce: Option<Vec<u8>>,
+    /// Client certificate (serialized).
+    pub client_certificate: Option<Vec<u8>>,
+    /// Requested timeout in milliseconds.
+    pub requested_session_timeout: f64,
+    /// Maximum response size the client accepts.
+    pub max_response_message_size: u32,
+}
+
+impl UaEncode for CreateSessionRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        self.client_description.encode(w);
+        w.string(self.server_uri.as_deref());
+        w.string(self.endpoint_url.as_deref());
+        w.string(self.session_name.as_deref());
+        w.byte_string(self.client_nonce.as_deref());
+        w.byte_string(self.client_certificate.as_deref());
+        w.f64(self.requested_session_timeout);
+        w.u32(self.max_response_message_size);
+    }
+}
+
+impl UaDecode for CreateSessionRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CreateSessionRequest {
+            request_header: RequestHeader::decode(r)?,
+            client_description: ApplicationDescription::decode(r)?,
+            server_uri: r.string()?,
+            endpoint_url: r.string()?,
+            session_name: r.string()?,
+            client_nonce: r.byte_string()?,
+            client_certificate: r.byte_string()?,
+            requested_session_timeout: r.f64()?,
+            max_response_message_size: r.u32()?,
+        })
+    }
+}
+
+/// CreateSessionResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateSessionResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Server-assigned session id.
+    pub session_id: NodeId,
+    /// Token to present in subsequent request headers.
+    pub authentication_token: NodeId,
+    /// Granted timeout in milliseconds.
+    pub revised_session_timeout: f64,
+    /// Server nonce.
+    pub server_nonce: Option<Vec<u8>>,
+    /// Server certificate.
+    pub server_certificate: Option<Vec<u8>>,
+    /// Copy of the server's endpoints (spec requires this so clients can
+    /// verify the endpoint description they used was genuine).
+    pub server_endpoints: Vec<EndpointDescription>,
+    /// Signature over client certificate + client nonce.
+    pub server_signature: SignatureData,
+    /// Maximum request size the server accepts.
+    pub max_request_message_size: u32,
+}
+
+impl UaEncode for CreateSessionResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        self.session_id.encode(w);
+        self.authentication_token.encode(w);
+        w.f64(self.revised_session_timeout);
+        w.byte_string(self.server_nonce.as_deref());
+        w.byte_string(self.server_certificate.as_deref());
+        w.array(&self.server_endpoints, |w, e| e.encode(w));
+        // serverSoftwareCertificates: historical field, always null array.
+        w.i32(-1);
+        self.server_signature.encode(w);
+        w.u32(self.max_request_message_size);
+    }
+}
+
+impl UaDecode for CreateSessionResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let response_header = ResponseHeader::decode(r)?;
+        let session_id = NodeId::decode(r)?;
+        let authentication_token = NodeId::decode(r)?;
+        let revised_session_timeout = r.f64()?;
+        let server_nonce = r.byte_string()?;
+        let server_certificate = r.byte_string()?;
+        let server_endpoints = r.array(EndpointDescription::decode)?;
+        // Skip software certificates (null or empty array).
+        let n = r.i32()?;
+        if n > 0 {
+            return Err(CodecError::Invalid("software certificates unsupported"));
+        }
+        Ok(CreateSessionResponse {
+            response_header,
+            session_id,
+            authentication_token,
+            revised_session_timeout,
+            server_nonce,
+            server_certificate,
+            server_endpoints,
+            server_signature: SignatureData::decode(r)?,
+            max_request_message_size: r.u32()?,
+        })
+    }
+}
+
+/// The user identity token carried inside ActivateSession.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdentityToken {
+    /// Anonymous access — the misconfiguration §5.4 measures.
+    Anonymous {
+        /// Policy id from the endpoint's token policies.
+        policy_id: Option<String>,
+    },
+    /// Username/password.
+    UserName {
+        /// Policy id.
+        policy_id: Option<String>,
+        /// The user name.
+        user_name: Option<String>,
+        /// The password (possibly encrypted with the server key).
+        password: Option<Vec<u8>>,
+        /// Encryption algorithm URI (`None` = plaintext).
+        encryption_algorithm: Option<String>,
+    },
+    /// X.509 client certificate.
+    X509 {
+        /// Policy id.
+        policy_id: Option<String>,
+        /// The certificate.
+        certificate_data: Option<Vec<u8>>,
+    },
+    /// Token issued by an external authority.
+    Issued {
+        /// Policy id.
+        policy_id: Option<String>,
+        /// The opaque token.
+        token_data: Option<Vec<u8>>,
+        /// Encryption algorithm URI.
+        encryption_algorithm: Option<String>,
+    },
+}
+
+impl IdentityToken {
+    /// Wraps the token in an extension object with the correct type id.
+    pub fn to_extension_object(&self) -> ExtensionObject {
+        let mut w = Encoder::new();
+        let type_id = match self {
+            IdentityToken::Anonymous { policy_id } => {
+                w.string(policy_id.as_deref());
+                encoding_ids::ANONYMOUS_IDENTITY_TOKEN
+            }
+            IdentityToken::UserName {
+                policy_id,
+                user_name,
+                password,
+                encryption_algorithm,
+            } => {
+                w.string(policy_id.as_deref());
+                w.string(user_name.as_deref());
+                w.byte_string(password.as_deref());
+                w.string(encryption_algorithm.as_deref());
+                encoding_ids::USERNAME_IDENTITY_TOKEN
+            }
+            IdentityToken::X509 {
+                policy_id,
+                certificate_data,
+            } => {
+                w.string(policy_id.as_deref());
+                w.byte_string(certificate_data.as_deref());
+                encoding_ids::X509_IDENTITY_TOKEN
+            }
+            IdentityToken::Issued {
+                policy_id,
+                token_data,
+                encryption_algorithm,
+            } => {
+                w.string(policy_id.as_deref());
+                w.byte_string(token_data.as_deref());
+                w.string(encryption_algorithm.as_deref());
+                encoding_ids::ISSUED_IDENTITY_TOKEN
+            }
+        };
+        ExtensionObject {
+            type_id: NodeId::numeric(0, type_id),
+            body: Some(w.finish()),
+        }
+    }
+
+    /// Parses a token from an extension object.
+    pub fn from_extension_object(eo: &ExtensionObject) -> Result<Self, CodecError> {
+        let type_id = eo
+            .type_id
+            .as_numeric()
+            .ok_or(CodecError::Invalid("non-numeric identity token type"))?;
+        if eo.type_id.namespace != 0 {
+            return Err(CodecError::Invalid("identity token type not in ns 0"));
+        }
+        let body = eo
+            .body
+            .as_deref()
+            .ok_or(CodecError::Invalid("identity token without body"))?;
+        let mut r = Decoder::new(body);
+        let token = match type_id {
+            encoding_ids::ANONYMOUS_IDENTITY_TOKEN => IdentityToken::Anonymous {
+                policy_id: r.string()?,
+            },
+            encoding_ids::USERNAME_IDENTITY_TOKEN => IdentityToken::UserName {
+                policy_id: r.string()?,
+                user_name: r.string()?,
+                password: r.byte_string()?,
+                encryption_algorithm: r.string()?,
+            },
+            encoding_ids::X509_IDENTITY_TOKEN => IdentityToken::X509 {
+                policy_id: r.string()?,
+                certificate_data: r.byte_string()?,
+            },
+            encoding_ids::ISSUED_IDENTITY_TOKEN => IdentityToken::Issued {
+                policy_id: r.string()?,
+                token_data: r.byte_string()?,
+                encryption_algorithm: r.string()?,
+            },
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    what: "IdentityToken type",
+                    value: other,
+                })
+            }
+        };
+        if !r.is_empty() {
+            return Err(CodecError::Invalid("trailing bytes in identity token"));
+        }
+        Ok(token)
+    }
+}
+
+/// ActivateSessionRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivateSessionRequest {
+    /// Common header (carries the authentication token from
+    /// CreateSession).
+    pub request_header: RequestHeader,
+    /// Signature over server certificate + server nonce.
+    pub client_signature: SignatureData,
+    /// Locales.
+    pub locale_ids: Vec<String>,
+    /// The identity token, wrapped.
+    pub user_identity_token: ExtensionObject,
+    /// Signature binding the identity token (X.509 tokens).
+    pub user_token_signature: SignatureData,
+}
+
+impl UaEncode for ActivateSessionRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        self.client_signature.encode(w);
+        // clientSoftwareCertificates: null array.
+        w.i32(-1);
+        w.array(&self.locale_ids, |w, s| w.string(Some(s)));
+        self.user_identity_token.encode(w);
+        self.user_token_signature.encode(w);
+    }
+}
+
+impl UaDecode for ActivateSessionRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let request_header = RequestHeader::decode(r)?;
+        let client_signature = SignatureData::decode(r)?;
+        let n = r.i32()?;
+        if n > 0 {
+            return Err(CodecError::Invalid("software certificates unsupported"));
+        }
+        Ok(ActivateSessionRequest {
+            request_header,
+            client_signature,
+            locale_ids: r.array(|r| r.string().map(Option::unwrap_or_default))?,
+            user_identity_token: ExtensionObject::decode(r)?,
+            user_token_signature: SignatureData::decode(r)?,
+        })
+    }
+}
+
+/// ActivateSessionResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivateSessionResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Fresh server nonce.
+    pub server_nonce: Option<Vec<u8>>,
+    /// Per-software-certificate results (always empty).
+    pub results: Vec<StatusCode>,
+}
+
+impl UaEncode for ActivateSessionResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.byte_string(self.server_nonce.as_deref());
+        w.array(&self.results, |w, s| s.encode(w));
+        encode_null_diagnostics(w);
+    }
+}
+
+impl UaDecode for ActivateSessionResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let response_header = ResponseHeader::decode(r)?;
+        let server_nonce = r.byte_string()?;
+        let results = r.array(StatusCode::decode)?;
+        decode_null_diagnostics(r)?;
+        Ok(ActivateSessionResponse {
+            response_header,
+            server_nonce,
+            results,
+        })
+    }
+}
+
+/// CloseSessionRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloseSessionRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// Whether to delete subscriptions (ignored; none exist).
+    pub delete_subscriptions: bool,
+}
+
+impl UaEncode for CloseSessionRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.boolean(self.delete_subscriptions);
+    }
+}
+
+impl UaDecode for CloseSessionRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CloseSessionRequest {
+            request_header: RequestHeader::decode(r)?,
+            delete_subscriptions: r.boolean()?,
+        })
+    }
+}
+
+/// CloseSessionResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloseSessionResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+}
+
+impl UaEncode for CloseSessionResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+    }
+}
+
+impl UaDecode for CloseSessionResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CloseSessionResponse {
+            response_header: ResponseHeader::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::UaDateTime;
+
+    fn header() -> RequestHeader {
+        RequestHeader::new(NodeId::numeric(0, 7), 2, UaDateTime::from_unix_seconds(0))
+    }
+
+    #[test]
+    fn create_session_roundtrip() {
+        let req = CreateSessionRequest {
+            request_header: header(),
+            client_description: ApplicationDescription::server(
+                "urn:scanner",
+                "research scan - contact: research@example.org",
+            ),
+            server_uri: None,
+            endpoint_url: Some("opc.tcp://h:4840/".into()),
+            session_name: Some("scan".into()),
+            client_nonce: Some(vec![1; 32]),
+            client_certificate: Some(vec![0xCC; 64]),
+            requested_session_timeout: 120_000.0,
+            max_response_message_size: 1 << 20,
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(CreateSessionRequest::decode_all(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn create_session_response_roundtrip() {
+        let resp = CreateSessionResponse {
+            response_header: ResponseHeader::good(2, UaDateTime::from_unix_seconds(0)),
+            session_id: NodeId::numeric(1, 1000),
+            authentication_token: NodeId::opaque(0, vec![5; 16]),
+            revised_session_timeout: 60_000.0,
+            server_nonce: Some(vec![2; 32]),
+            server_certificate: Some(vec![0xAB; 80]),
+            server_endpoints: vec![],
+            server_signature: SignatureData::default(),
+            max_request_message_size: 65536,
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(CreateSessionResponse::decode_all(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn identity_tokens_roundtrip() {
+        for token in [
+            IdentityToken::Anonymous {
+                policy_id: Some("anon".into()),
+            },
+            IdentityToken::UserName {
+                policy_id: Some("user".into()),
+                user_name: Some("operator".into()),
+                password: Some(b"secret".to_vec()),
+                encryption_algorithm: None,
+            },
+            IdentityToken::X509 {
+                policy_id: Some("cert".into()),
+                certificate_data: Some(vec![1, 2, 3]),
+            },
+            IdentityToken::Issued {
+                policy_id: Some("issued".into()),
+                token_data: Some(vec![9]),
+                encryption_algorithm: Some("http://kerberos".into()),
+            },
+        ] {
+            let eo = token.to_extension_object();
+            assert_eq!(IdentityToken::from_extension_object(&eo).unwrap(), token);
+        }
+    }
+
+    #[test]
+    fn identity_token_bad_type_rejected() {
+        let eo = ExtensionObject {
+            type_id: NodeId::numeric(0, 9999),
+            body: Some(vec![0xFF, 0xFF, 0xFF, 0xFF]),
+        };
+        assert!(IdentityToken::from_extension_object(&eo).is_err());
+        let eo = ExtensionObject::null();
+        assert!(IdentityToken::from_extension_object(&eo).is_err());
+    }
+
+    #[test]
+    fn activate_session_roundtrip() {
+        let req = ActivateSessionRequest {
+            request_header: header(),
+            client_signature: SignatureData::default(),
+            locale_ids: vec!["en".into()],
+            user_identity_token: IdentityToken::Anonymous {
+                policy_id: Some("anon".into()),
+            }
+            .to_extension_object(),
+            user_token_signature: SignatureData::default(),
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(ActivateSessionRequest::decode_all(&bytes).unwrap(), req);
+
+        let resp = ActivateSessionResponse {
+            response_header: ResponseHeader::with_status(
+                2,
+                UaDateTime::from_unix_seconds(0),
+                StatusCode::BAD_IDENTITY_TOKEN_REJECTED,
+            ),
+            server_nonce: None,
+            results: vec![],
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(ActivateSessionResponse::decode_all(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn close_session_roundtrip() {
+        let req = CloseSessionRequest {
+            request_header: header(),
+            delete_subscriptions: true,
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(CloseSessionRequest::decode_all(&bytes).unwrap(), req);
+        let resp = CloseSessionResponse {
+            response_header: ResponseHeader::good(2, UaDateTime::from_unix_seconds(0)),
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(CloseSessionResponse::decode_all(&bytes).unwrap(), resp);
+    }
+}

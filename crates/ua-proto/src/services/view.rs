@@ -1,0 +1,371 @@
+//! View services: Browse and BrowseNext (Part 4 §5.8) — the machinery of
+//! the paper's address-space traversal (§5.4, Figure 7).
+
+use super::header::{
+    decode_null_diagnostics, encode_null_diagnostics, RequestHeader, ResponseHeader,
+};
+use ua_types::{
+    BrowseDirection, CodecError, Decoder, Encoder, ExpandedNodeId, LocalizedText, NodeClass,
+    NodeId, QualifiedName, StatusCode, UaDateTime, UaDecode, UaEncode,
+};
+
+/// A view selector; the null view means the whole address space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ViewDescription {
+    /// View node id (null = no view).
+    pub view_id: NodeId,
+    /// Timestamp (unused).
+    pub timestamp: UaDateTime,
+    /// Version (unused).
+    pub view_version: u32,
+}
+
+impl UaEncode for ViewDescription {
+    fn encode(&self, w: &mut Encoder) {
+        self.view_id.encode(w);
+        self.timestamp.encode(w);
+        w.u32(self.view_version);
+    }
+}
+
+impl UaDecode for ViewDescription {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ViewDescription {
+            view_id: NodeId::decode(r)?,
+            timestamp: UaDateTime::decode(r)?,
+            view_version: r.u32()?,
+        })
+    }
+}
+
+/// What to browse from one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseDescription {
+    /// Starting node.
+    pub node_id: NodeId,
+    /// Direction to follow references.
+    pub browse_direction: BrowseDirection,
+    /// Reference type filter (null = all).
+    pub reference_type_id: NodeId,
+    /// Include subtypes of the reference type.
+    pub include_subtypes: bool,
+    /// Node class mask (0 = all).
+    pub node_class_mask: u32,
+    /// Result field mask (63 = all).
+    pub result_mask: u32,
+}
+
+impl BrowseDescription {
+    /// Browse all forward references of `node_id` — what the scanner's
+    /// traversal issues for every node.
+    pub fn all_forward(node_id: NodeId) -> Self {
+        BrowseDescription {
+            node_id,
+            browse_direction: BrowseDirection::Forward,
+            reference_type_id: NodeId::NULL,
+            include_subtypes: true,
+            node_class_mask: 0,
+            result_mask: 63,
+        }
+    }
+}
+
+impl UaEncode for BrowseDescription {
+    fn encode(&self, w: &mut Encoder) {
+        self.node_id.encode(w);
+        self.browse_direction.encode(w);
+        self.reference_type_id.encode(w);
+        w.boolean(self.include_subtypes);
+        w.u32(self.node_class_mask);
+        w.u32(self.result_mask);
+    }
+}
+
+impl UaDecode for BrowseDescription {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(BrowseDescription {
+            node_id: NodeId::decode(r)?,
+            browse_direction: BrowseDirection::decode(r)?,
+            reference_type_id: NodeId::decode(r)?,
+            include_subtypes: r.boolean()?,
+            node_class_mask: r.u32()?,
+            result_mask: r.u32()?,
+        })
+    }
+}
+
+/// One reference found during browsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceDescription {
+    /// Reference type (e.g. HasComponent).
+    pub reference_type_id: NodeId,
+    /// Forward or inverse.
+    pub is_forward: bool,
+    /// Target node.
+    pub node_id: ExpandedNodeId,
+    /// Target browse name.
+    pub browse_name: QualifiedName,
+    /// Target display name.
+    pub display_name: LocalizedText,
+    /// Target node class.
+    pub node_class: NodeClass,
+    /// Target type definition.
+    pub type_definition: ExpandedNodeId,
+}
+
+impl UaEncode for ReferenceDescription {
+    fn encode(&self, w: &mut Encoder) {
+        self.reference_type_id.encode(w);
+        w.boolean(self.is_forward);
+        self.node_id.encode(w);
+        self.browse_name.encode(w);
+        self.display_name.encode(w);
+        self.node_class.encode(w);
+        self.type_definition.encode(w);
+    }
+}
+
+impl UaDecode for ReferenceDescription {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ReferenceDescription {
+            reference_type_id: NodeId::decode(r)?,
+            is_forward: r.boolean()?,
+            node_id: ExpandedNodeId::decode(r)?,
+            browse_name: QualifiedName::decode(r)?,
+            display_name: LocalizedText::decode(r)?,
+            node_class: NodeClass::decode(r)?,
+            type_definition: ExpandedNodeId::decode(r)?,
+        })
+    }
+}
+
+/// Result for one browsed node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseResult {
+    /// Status for this node.
+    pub status_code: StatusCode,
+    /// Continuation point when more references exist than
+    /// `requested_max_references_per_node`.
+    pub continuation_point: Option<Vec<u8>>,
+    /// The references found.
+    pub references: Vec<ReferenceDescription>,
+}
+
+impl UaEncode for BrowseResult {
+    fn encode(&self, w: &mut Encoder) {
+        self.status_code.encode(w);
+        w.byte_string(self.continuation_point.as_deref());
+        w.array(&self.references, |w, r| r.encode(w));
+    }
+}
+
+impl UaDecode for BrowseResult {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(BrowseResult {
+            status_code: StatusCode::decode(r)?,
+            continuation_point: r.byte_string()?,
+            references: r.array(ReferenceDescription::decode)?,
+        })
+    }
+}
+
+/// BrowseRequest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// View (null = whole address space).
+    pub view: ViewDescription,
+    /// Per-node reference cap (0 = server chooses).
+    pub requested_max_references_per_node: u32,
+    /// The nodes to browse.
+    pub nodes_to_browse: Vec<BrowseDescription>,
+}
+
+impl UaEncode for BrowseRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        self.view.encode(w);
+        w.u32(self.requested_max_references_per_node);
+        w.array(&self.nodes_to_browse, |w, n| n.encode(w));
+    }
+}
+
+impl UaDecode for BrowseRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(BrowseRequest {
+            request_header: RequestHeader::decode(r)?,
+            view: ViewDescription::decode(r)?,
+            requested_max_references_per_node: r.u32()?,
+            nodes_to_browse: r.array(BrowseDescription::decode)?,
+        })
+    }
+}
+
+/// BrowseResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Per-node results.
+    pub results: Vec<BrowseResult>,
+}
+
+impl UaEncode for BrowseResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.array(&self.results, |w, r| r.encode(w));
+        encode_null_diagnostics(w);
+    }
+}
+
+impl UaDecode for BrowseResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let response_header = ResponseHeader::decode(r)?;
+        let results = r.array(BrowseResult::decode)?;
+        decode_null_diagnostics(r)?;
+        Ok(BrowseResponse {
+            response_header,
+            results,
+        })
+    }
+}
+
+/// BrowseNextRequest — continues browsing with continuation points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseNextRequest {
+    /// Common header.
+    pub request_header: RequestHeader,
+    /// Release instead of continue.
+    pub release_continuation_points: bool,
+    /// Continuation points from prior results.
+    pub continuation_points: Vec<Vec<u8>>,
+}
+
+impl UaEncode for BrowseNextRequest {
+    fn encode(&self, w: &mut Encoder) {
+        self.request_header.encode(w);
+        w.boolean(self.release_continuation_points);
+        w.array(&self.continuation_points, |w, c| w.byte_string(Some(c)));
+    }
+}
+
+impl UaDecode for BrowseNextRequest {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(BrowseNextRequest {
+            request_header: RequestHeader::decode(r)?,
+            release_continuation_points: r.boolean()?,
+            continuation_points: r.array(|r| {
+                r.byte_string()?
+                    .ok_or(CodecError::Invalid("null continuation point"))
+            })?,
+        })
+    }
+}
+
+/// BrowseNextResponse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowseNextResponse {
+    /// Common header.
+    pub response_header: ResponseHeader,
+    /// Per-continuation-point results.
+    pub results: Vec<BrowseResult>,
+}
+
+impl UaEncode for BrowseNextResponse {
+    fn encode(&self, w: &mut Encoder) {
+        self.response_header.encode(w);
+        w.array(&self.results, |w, r| r.encode(w));
+        encode_null_diagnostics(w);
+    }
+}
+
+impl UaDecode for BrowseNextResponse {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let response_header = ResponseHeader::decode(r)?;
+        let results = r.array(BrowseResult::decode)?;
+        decode_null_diagnostics(r)?;
+        Ok(BrowseNextResponse {
+            response_header,
+            results,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(name: &str) -> ReferenceDescription {
+        ReferenceDescription {
+            reference_type_id: NodeId::numeric(0, 47), // HasComponent
+            is_forward: true,
+            node_id: ExpandedNodeId::local(NodeId::string(2, name)),
+            browse_name: QualifiedName::new(2, name),
+            display_name: LocalizedText::new(name),
+            node_class: NodeClass::Variable,
+            type_definition: ExpandedNodeId::local(NodeId::numeric(0, 63)),
+        }
+    }
+
+    #[test]
+    fn browse_roundtrip() {
+        let req = BrowseRequest {
+            request_header: RequestHeader::new(
+                NodeId::numeric(0, 5),
+                3,
+                UaDateTime::from_unix_seconds(0),
+            ),
+            view: ViewDescription::default(),
+            requested_max_references_per_node: 100,
+            nodes_to_browse: vec![BrowseDescription::all_forward(NodeId::numeric(0, 84))],
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(BrowseRequest::decode_all(&bytes).unwrap(), req);
+
+        let resp = BrowseResponse {
+            response_header: ResponseHeader::good(3, UaDateTime::from_unix_seconds(0)),
+            results: vec![BrowseResult {
+                status_code: StatusCode::GOOD,
+                continuation_point: Some(vec![0xC0]),
+                references: vec![reference("m3InflowPerHour"), reference("rSetFillLevel")],
+            }],
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(BrowseResponse::decode_all(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn browse_next_roundtrip() {
+        let req = BrowseNextRequest {
+            request_header: RequestHeader::new(
+                NodeId::numeric(0, 5),
+                4,
+                UaDateTime::from_unix_seconds(0),
+            ),
+            release_continuation_points: false,
+            continuation_points: vec![vec![0xC0], vec![0xC1]],
+        };
+        let bytes = req.encode_to_vec();
+        assert_eq!(BrowseNextRequest::decode_all(&bytes).unwrap(), req);
+
+        let resp = BrowseNextResponse {
+            response_header: ResponseHeader::good(4, UaDateTime::from_unix_seconds(0)),
+            results: vec![BrowseResult {
+                status_code: StatusCode::BAD_CONTINUATION_POINT_INVALID,
+                continuation_point: None,
+                references: vec![],
+            }],
+        };
+        let bytes = resp.encode_to_vec();
+        assert_eq!(BrowseNextResponse::decode_all(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_forward_defaults() {
+        let d = BrowseDescription::all_forward(NodeId::numeric(0, 84));
+        assert_eq!(d.browse_direction, BrowseDirection::Forward);
+        assert_eq!(d.node_class_mask, 0);
+        assert_eq!(d.result_mask, 63);
+    }
+}

@@ -1,0 +1,381 @@
+//! The per-connection protocol state machine: HEL/ACK, secure-channel
+//! establishment, and secured service exchange.
+
+use crate::core::{ChannelContext, ServerCore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use ua_crypto::Certificate;
+use ua_proto::chunk::{chunk_message, Reassembler};
+use ua_proto::secure::{
+    derive_keys, open_asymmetric, open_symmetric, policy_crypto, seal_asymmetric,
+    DerivedKeys, SequenceHeader,
+};
+use ua_proto::services::{
+    ChannelSecurityToken, OpenSecureChannelResponse, ResponseHeader, ServiceBody,
+};
+use ua_proto::transport::{
+    Acknowledge, ErrorMessage, FrameReader, TransportMessage,
+};
+use ua_types::{
+    MessageSecurityMode, SecurityPolicy, StatusCode, UaDecode, UaEncode,
+};
+use netsim::{Connection, ConnectionOutput, Ipv4, Service};
+
+/// Service payload bytes per outgoing chunk.
+const CHUNK_BODY: usize = 8192;
+
+/// Network-facing OPC UA server: implements [`netsim::Service`].
+pub struct UaServerService {
+    core: Arc<ServerCore>,
+    seed: u64,
+}
+
+impl UaServerService {
+    /// Wraps a server core.
+    pub fn new(core: Arc<ServerCore>, seed: u64) -> Self {
+        UaServerService { core, seed }
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> &Arc<ServerCore> {
+        &self.core
+    }
+}
+
+impl Service for UaServerService {
+    fn open_connection(&self, peer: Ipv4) -> Box<dyn Connection> {
+        Box::new(ServerConnection {
+            core: Arc::clone(&self.core),
+            frames: FrameReader::new(),
+            got_hello: false,
+            channel: None,
+            rng: StdRng::seed_from_u64(self.seed ^ peer.0 as u64),
+        })
+    }
+}
+
+struct ChannelState {
+    id: u32,
+    token_id: u32,
+    policy: SecurityPolicy,
+    mode: MessageSecurityMode,
+    /// Keys for messages the *server* sends.
+    local_keys: Option<DerivedKeys>,
+    /// Keys for messages the *client* sends.
+    remote_keys: Option<DerivedKeys>,
+    client_certificate: Option<Certificate>,
+    next_sequence: u32,
+    reassembler: Reassembler,
+}
+
+/// One accepted connection.
+pub struct ServerConnection {
+    core: Arc<ServerCore>,
+    frames: FrameReader,
+    got_hello: bool,
+    channel: Option<ChannelState>,
+    rng: StdRng,
+}
+
+impl Connection for ServerConnection {
+    fn on_data(&mut self, data: &[u8]) -> ConnectionOutput {
+        self.frames.push(data);
+        let mut reply = Vec::new();
+        loop {
+            match self.frames.next_raw_frame() {
+                Ok(None) => break,
+                Ok(Some(frame)) => match self.handle_frame(&frame) {
+                    FrameResult::Reply(bytes) => reply.extend_from_slice(&bytes),
+                    FrameResult::Silent => {}
+                    FrameResult::Close(bytes) => {
+                        reply.extend_from_slice(&bytes);
+                        return ConnectionOutput::close_with(reply);
+                    }
+                },
+                Err(_) => {
+                    // Not OPC UA (or corrupt): close with a transport error,
+                    // like real stacks do when garbage arrives on 4840.
+                    reply.extend_from_slice(
+                        &TransportMessage::Error(ErrorMessage::new(
+                            StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID,
+                            "invalid message",
+                        ))
+                        .encode(),
+                    );
+                    return ConnectionOutput::close_with(reply);
+                }
+            }
+        }
+        ConnectionOutput::reply(reply)
+    }
+}
+
+enum FrameResult {
+    Reply(Vec<u8>),
+    Silent,
+    Close(Vec<u8>),
+}
+
+impl ServerConnection {
+    fn handle_frame(&mut self, frame: &[u8]) -> FrameResult {
+        match &frame[0..3] {
+            b"HEL" => self.handle_hello(frame),
+            b"OPN" => self.handle_open(frame),
+            b"MSG" => self.handle_msg(frame),
+            b"CLO" => FrameResult::Close(Vec::new()),
+            _ => FrameResult::Close(
+                TransportMessage::Error(ErrorMessage::new(
+                    StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID,
+                    "unexpected message type",
+                ))
+                .encode(),
+            ),
+        }
+    }
+
+    fn handle_hello(&mut self, frame: &[u8]) -> FrameResult {
+        if self.got_hello {
+            return self.transport_error(StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID, "double hello");
+        }
+        match TransportMessage::decode(frame) {
+            Ok(TransportMessage::Hello(_)) => {
+                self.got_hello = true;
+                FrameResult::Reply(TransportMessage::Acknowledge(Acknowledge::default()).encode())
+            }
+            _ => self.transport_error(StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID, "bad hello"),
+        }
+    }
+
+    fn handle_open(&mut self, frame: &[u8]) -> FrameResult {
+        if !self.got_hello {
+            return self.transport_error(
+                StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID,
+                "OPN before HEL",
+            );
+        }
+        let opened = match open_asymmetric(self.core.config.private_key.as_ref(), frame) {
+            Ok(o) => o,
+            Err(_) => {
+                return self.transport_error(
+                    StatusCode::BAD_SECURITY_CHECKS_FAILED,
+                    "secure channel open failed",
+                )
+            }
+        };
+        let policy = match SecurityPolicy::from_uri(&opened.security_header.security_policy_uri) {
+            Some(p) => p,
+            None => {
+                return self.transport_error(
+                    StatusCode::BAD_SECURITY_POLICY_REJECTED,
+                    "unknown security policy",
+                )
+            }
+        };
+        // Policy None is always accepted for discovery; other policies
+        // must be offered by an endpoint.
+        if policy != SecurityPolicy::None && !self.core.config.offers_policy(policy) {
+            return self.transport_error(
+                StatusCode::BAD_SECURITY_POLICY_REJECTED,
+                "policy not offered",
+            );
+        }
+        // Certificate-based admission control: with an empty trust list
+        // the server rejects every foreign certificate (Table 2's
+        // "Secure Channel" rejections).
+        if policy != SecurityPolicy::None && self.core.config.reject_foreign_certs {
+            return self.transport_error(
+                StatusCode::BAD_CERTIFICATE_UNTRUSTED,
+                "client certificate not trusted",
+            );
+        }
+
+        let request = match ServiceBody::decode_all(&opened.opened.body) {
+            Ok(ServiceBody::OpenSecureChannelRequest(r)) => r,
+            _ => {
+                return self.transport_error(
+                    StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID,
+                    "OPN without OpenSecureChannelRequest",
+                )
+            }
+        };
+        let mode = request.security_mode;
+        // Consistency rules: policy None ⇔ mode None.
+        let consistent = (policy == SecurityPolicy::None) == (mode == MessageSecurityMode::None)
+            && mode != MessageSecurityMode::Invalid;
+        if !consistent {
+            return self.transport_error(
+                StatusCode::BAD_SECURITY_MODE_REJECTED,
+                "mode/policy mismatch",
+            );
+        }
+
+        // Nonce handling and key derivation.
+        let (server_nonce, local_keys, remote_keys) = if policy == SecurityPolicy::None {
+            (None, None, None)
+        } else {
+            let params = policy_crypto(policy).expect("non-None policy has parameters");
+            let client_nonce = match &request.client_nonce {
+                Some(n) if n.len() == params.nonce_len => n.clone(),
+                _ => {
+                    return self.transport_error(StatusCode::BAD_NONCE_INVALID, "bad nonce")
+                }
+            };
+            let server_nonce = self.core.random_bytes(params.nonce_len);
+            // Client keys: P_SHA(secret=serverNonce, seed=clientNonce);
+            // server keys: the reverse (Part 6 §6.7.5).
+            let remote = derive_keys(policy, &server_nonce, &client_nonce);
+            let local = derive_keys(policy, &client_nonce, &server_nonce);
+            (Some(server_nonce), local, remote)
+        };
+
+        let channel_id = self.core.next_channel_id();
+        let token_id = 1u32;
+        let now = ua_types::UaDateTime::from_unix_seconds(0);
+        let response = ServiceBody::OpenSecureChannelResponse(OpenSecureChannelResponse {
+            response_header: ResponseHeader::good(request.request_header.request_handle, now),
+            server_protocol_version: 0,
+            security_token: ChannelSecurityToken {
+                channel_id,
+                token_id,
+                created_at: now,
+                revised_lifetime: 3_600_000,
+            },
+            server_nonce: server_nonce.clone(),
+        });
+        let body = response.encode_to_vec();
+
+        let reply = seal_asymmetric(
+            &mut self.rng,
+            policy,
+            self.core.config.private_key.as_ref(),
+            self.core
+                .config
+                .certificate
+                .as_ref()
+                .map(|c| c.to_der())
+                .as_deref(),
+            opened.sender_certificate.as_ref(),
+            channel_id,
+            SequenceHeader {
+                sequence_number: 1,
+                request_id: opened.opened.sequence.request_id,
+            },
+            &body,
+        );
+        let reply = match reply {
+            Ok(r) => r,
+            Err(_) => {
+                return self.transport_error(
+                    StatusCode::BAD_SECURITY_CHECKS_FAILED,
+                    "cannot seal response",
+                )
+            }
+        };
+
+        self.channel = Some(ChannelState {
+            id: channel_id,
+            token_id,
+            policy,
+            mode,
+            local_keys,
+            remote_keys,
+            client_certificate: opened.sender_certificate,
+            next_sequence: 2,
+            reassembler: Reassembler::new(4096, 16 * 1024 * 1024),
+        });
+        FrameResult::Reply(reply)
+    }
+
+    fn handle_msg(&mut self, frame: &[u8]) -> FrameResult {
+        // Decrypt/verify with the channel's client keys, reassemble,
+        // dispatch, and seal the response with the server keys.
+        let (policy, mode, channel_id) = match &self.channel {
+            Some(c) => (c.policy, c.mode, c.id),
+            None => {
+                return self.transport_error(
+                    StatusCode::BAD_SECURE_CHANNEL_ID_INVALID,
+                    "MSG before OPN",
+                )
+            }
+        };
+        let channel = self.channel.as_mut().expect("checked above");
+        let opened = match open_symmetric(policy, mode, channel.remote_keys.as_ref(), frame) {
+            Ok(o) => o,
+            Err(_) => {
+                return self.transport_error(
+                    StatusCode::BAD_SECURITY_CHECKS_FAILED,
+                    "message security failure",
+                )
+            }
+        };
+        if opened.channel_id != channel_id {
+            return self.transport_error(
+                StatusCode::BAD_SECURE_CHANNEL_ID_INVALID,
+                "wrong channel id",
+            );
+        }
+        let assembled = match channel
+            .reassembler
+            .push(opened.chunk, opened.sequence, &opened.body)
+        {
+            Ok(Some(m)) => m,
+            Ok(None) => return FrameResult::Silent,
+            Err(_) => {
+                return self.transport_error(
+                    StatusCode::BAD_TCP_MESSAGE_TOO_LARGE,
+                    "reassembly failure",
+                )
+            }
+        };
+
+        let request = match ServiceBody::decode_all(&assembled.body) {
+            Ok(b) => b,
+            Err(_) => {
+                return self.transport_error(StatusCode::BAD_DECODING_ERROR, "undecodable body")
+            }
+        };
+        if matches!(request, ServiceBody::CloseSecureChannelRequest(_)) {
+            return FrameResult::Close(Vec::new());
+        }
+
+        let ctx = ChannelContext {
+            policy,
+            mode,
+            client_certificate_der: channel.client_certificate.as_ref().map(|c| c.to_der()),
+        };
+        let response = self.core.handle_service(request, &ctx);
+        let body = response.encode_to_vec();
+
+        let channel = self.channel.as_mut().expect("still open");
+        let first_seq = channel.next_sequence;
+        let chunks = match chunk_message(
+            policy,
+            mode,
+            channel.local_keys.as_ref(),
+            channel.id,
+            channel.token_id,
+            first_seq,
+            assembled.request_id,
+            &body,
+            CHUNK_BODY,
+        ) {
+            Ok(c) => c,
+            Err(_) => {
+                return self.transport_error(
+                    StatusCode::BAD_ENCODING_ERROR,
+                    "cannot seal response",
+                )
+            }
+        };
+        channel.next_sequence = first_seq + chunks.len() as u32;
+        FrameResult::Reply(chunks.concat())
+    }
+
+    fn transport_error(&self, status: StatusCode, reason: &str) -> FrameResult {
+        FrameResult::Close(
+            TransportMessage::Error(ErrorMessage::new(status, reason)).encode(),
+        )
+    }
+}
+

@@ -1,0 +1,258 @@
+//! Node classes, attribute ids, and access-level bit masks — the
+//! vocabulary of the address-space access-control analysis (§5.4).
+
+use crate::encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+
+/// Node classes (Part 3 §5.9). Only the classes the study's address
+/// spaces contain are modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Folder/device objects.
+    Object,
+    /// Variables — readable/writable data points such as
+    /// `m3InflowPerHour`.
+    Variable,
+    /// Methods — callable functions such as `AddEndpoint`.
+    Method,
+    /// Views (present in the standard namespace).
+    View,
+}
+
+impl NodeClass {
+    fn wire(self) -> u32 {
+        match self {
+            NodeClass::Object => 1,
+            NodeClass::Variable => 2,
+            NodeClass::Method => 4,
+            NodeClass::View => 128,
+        }
+    }
+}
+
+impl UaEncode for NodeClass {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(self.wire());
+    }
+}
+
+impl UaDecode for NodeClass {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match r.u32()? {
+            1 => Ok(NodeClass::Object),
+            2 => Ok(NodeClass::Variable),
+            4 => Ok(NodeClass::Method),
+            128 => Ok(NodeClass::View),
+            other => Err(CodecError::InvalidDiscriminant {
+                what: "NodeClass",
+                value: other,
+            }),
+        }
+    }
+}
+
+/// The AccessLevel bit mask of variable nodes (Part 3 §8.57).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AccessLevel(pub u8);
+
+impl AccessLevel {
+    /// CurrentRead bit.
+    pub const CURRENT_READ: AccessLevel = AccessLevel(0x01);
+    /// CurrentWrite bit.
+    pub const CURRENT_WRITE: AccessLevel = AccessLevel(0x02);
+    /// Read and write.
+    pub const READ_WRITE: AccessLevel = AccessLevel(0x03);
+    /// No access.
+    pub const NONE: AccessLevel = AccessLevel(0x00);
+
+    /// True if the read bit is set.
+    pub fn readable(self) -> bool {
+        self.0 & Self::CURRENT_READ.0 != 0
+    }
+
+    /// True if the write bit is set.
+    pub fn writable(self) -> bool {
+        self.0 & Self::CURRENT_WRITE.0 != 0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: AccessLevel) -> AccessLevel {
+        AccessLevel(self.0 | other.0)
+    }
+
+    /// Intersection of two masks (effective rights = node rights ∩ user
+    /// rights).
+    pub fn intersect(self, other: AccessLevel) -> AccessLevel {
+        AccessLevel(self.0 & other.0)
+    }
+}
+
+impl UaEncode for AccessLevel {
+    fn encode(&self, w: &mut Encoder) {
+        w.u8(self.0);
+    }
+}
+
+impl UaDecode for AccessLevel {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(AccessLevel(r.u8()?))
+    }
+}
+
+/// Attribute ids for the Read service (Part 4 §5.10.2, Part 6 Annex A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeId {
+    /// NodeId (1).
+    NodeId,
+    /// NodeClass (2).
+    NodeClass,
+    /// BrowseName (3).
+    BrowseName,
+    /// DisplayName (4).
+    DisplayName,
+    /// Value (13).
+    Value,
+    /// AccessLevel (17).
+    AccessLevel,
+    /// UserAccessLevel (18) — effective rights of the *current* user;
+    /// the scanner reads this to build Figure 7.
+    UserAccessLevel,
+    /// Executable (60).
+    Executable,
+    /// UserExecutable (61).
+    UserExecutable,
+}
+
+impl AttributeId {
+    /// The wire id.
+    pub fn id(self) -> u32 {
+        match self {
+            AttributeId::NodeId => 1,
+            AttributeId::NodeClass => 2,
+            AttributeId::BrowseName => 3,
+            AttributeId::DisplayName => 4,
+            AttributeId::Value => 13,
+            AttributeId::AccessLevel => 17,
+            AttributeId::UserAccessLevel => 18,
+            AttributeId::Executable => 60,
+            AttributeId::UserExecutable => 61,
+        }
+    }
+
+    /// Parses a wire id.
+    pub fn from_id(id: u32) -> Option<Self> {
+        Some(match id {
+            1 => AttributeId::NodeId,
+            2 => AttributeId::NodeClass,
+            3 => AttributeId::BrowseName,
+            4 => AttributeId::DisplayName,
+            13 => AttributeId::Value,
+            17 => AttributeId::AccessLevel,
+            18 => AttributeId::UserAccessLevel,
+            60 => AttributeId::Executable,
+            61 => AttributeId::UserExecutable,
+            _ => return None,
+        })
+    }
+}
+
+impl UaEncode for AttributeId {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(self.id());
+    }
+}
+
+impl UaDecode for AttributeId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let id = r.u32()?;
+        AttributeId::from_id(id).ok_or(CodecError::InvalidDiscriminant {
+            what: "AttributeId",
+            value: id,
+        })
+    }
+}
+
+/// Browse direction for the Browse service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrowseDirection {
+    /// Follow references forward (the traversal direction the scanner
+    /// uses).
+    Forward,
+    /// Follow inverse references.
+    Inverse,
+    /// Both directions.
+    Both,
+}
+
+impl UaEncode for BrowseDirection {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(match self {
+            BrowseDirection::Forward => 0,
+            BrowseDirection::Inverse => 1,
+            BrowseDirection::Both => 2,
+        });
+    }
+}
+
+impl UaDecode for BrowseDirection {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match r.u32()? {
+            0 => Ok(BrowseDirection::Forward),
+            1 => Ok(BrowseDirection::Inverse),
+            2 => Ok(BrowseDirection::Both),
+            other => Err(CodecError::InvalidDiscriminant {
+                what: "BrowseDirection",
+                value: other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_level_bits() {
+        assert!(AccessLevel::CURRENT_READ.readable());
+        assert!(!AccessLevel::CURRENT_READ.writable());
+        assert!(AccessLevel::READ_WRITE.readable() && AccessLevel::READ_WRITE.writable());
+        assert!(!AccessLevel::NONE.readable());
+        let u = AccessLevel::CURRENT_READ.union(AccessLevel::CURRENT_WRITE);
+        assert_eq!(u, AccessLevel::READ_WRITE);
+        let i = AccessLevel::READ_WRITE.intersect(AccessLevel::CURRENT_READ);
+        assert_eq!(i, AccessLevel::CURRENT_READ);
+    }
+
+    #[test]
+    fn node_class_roundtrip() {
+        for nc in [NodeClass::Object, NodeClass::Variable, NodeClass::Method, NodeClass::View] {
+            let bytes = nc.encode_to_vec();
+            assert_eq!(NodeClass::decode_all(&bytes).unwrap(), nc);
+        }
+        assert!(NodeClass::decode_all(&3u32.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn attribute_id_roundtrip() {
+        for a in [
+            AttributeId::NodeId,
+            AttributeId::Value,
+            AttributeId::UserAccessLevel,
+            AttributeId::UserExecutable,
+        ] {
+            assert_eq!(AttributeId::from_id(a.id()), Some(a));
+            let bytes = a.encode_to_vec();
+            assert_eq!(AttributeId::decode_all(&bytes).unwrap(), a);
+        }
+        assert_eq!(AttributeId::from_id(999), None);
+    }
+
+    #[test]
+    fn browse_direction_roundtrip() {
+        for d in [BrowseDirection::Forward, BrowseDirection::Inverse, BrowseDirection::Both] {
+            let bytes = d.encode_to_vec();
+            assert_eq!(BrowseDirection::decode_all(&bytes).unwrap(), d);
+        }
+        assert!(BrowseDirection::decode_all(&5u32.to_le_bytes()).is_err());
+    }
+}

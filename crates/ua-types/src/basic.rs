@@ -1,0 +1,360 @@
+//! Scalar built-in types: `Guid`, `DateTime`, `StatusCode`,
+//! `QualifiedName`, `LocalizedText`.
+
+use crate::encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+
+/// Seconds between 1601-01-01 (OPC UA epoch) and 1970-01-01 (unix epoch).
+pub const UNIX_EPOCH_OFFSET_SECONDS: i64 = 11_644_473_600;
+
+/// A 16-byte globally unique identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Guid(pub [u8; 16]);
+
+impl Guid {
+    /// Builds a GUID from raw bytes.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        Guid(bytes)
+    }
+}
+
+impl UaEncode for Guid {
+    fn encode(&self, w: &mut Encoder) {
+        w.raw(&self.0);
+    }
+}
+
+impl UaDecode for Guid {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let raw = r.raw(16)?;
+        let mut b = [0u8; 16];
+        b.copy_from_slice(raw);
+        Ok(Guid(b))
+    }
+}
+
+/// OPC UA DateTime: 100-nanosecond ticks since 1601-01-01 00:00 UTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UaDateTime(pub i64);
+
+impl UaDateTime {
+    /// The null timestamp.
+    pub const NULL: UaDateTime = UaDateTime(0);
+
+    /// Converts unix seconds to OPC UA ticks.
+    pub fn from_unix_seconds(s: i64) -> Self {
+        UaDateTime((s + UNIX_EPOCH_OFFSET_SECONDS) * 10_000_000)
+    }
+
+    /// Converts to unix seconds (truncating sub-second precision).
+    pub fn to_unix_seconds(self) -> i64 {
+        self.0 / 10_000_000 - UNIX_EPOCH_OFFSET_SECONDS
+    }
+
+    /// Converts unix milliseconds to OPC UA ticks.
+    pub fn from_unix_millis(ms: i64) -> Self {
+        UaDateTime(ms * 10_000 + UNIX_EPOCH_OFFSET_SECONDS * 10_000_000)
+    }
+}
+
+impl UaEncode for UaDateTime {
+    fn encode(&self, w: &mut Encoder) {
+        w.i64(self.0);
+    }
+}
+
+impl UaDecode for UaDateTime {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(UaDateTime(r.i64()?))
+    }
+}
+
+/// An OPC UA status code (Part 4). Bit 31 set = Bad, bit 30 = Uncertain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StatusCode(pub u32);
+
+macro_rules! status_codes {
+    ($($(#[$doc:meta])* $name:ident = $value:expr;)*) => {
+        impl StatusCode {
+            $( $(#[$doc])* pub const $name: StatusCode = StatusCode($value); )*
+
+            /// Symbolic name if known.
+            pub fn name(self) -> &'static str {
+                match self.0 {
+                    $( $value => stringify!($name), )*
+                    _ => "Unknown",
+                }
+            }
+        }
+    };
+}
+
+status_codes! {
+    /// The operation succeeded.
+    GOOD = 0x0000_0000;
+    /// An unexpected error occurred.
+    BAD_UNEXPECTED_ERROR = 0x8001_0000;
+    /// An internal error occurred.
+    BAD_INTERNAL_ERROR = 0x8002_0000;
+    /// A low-level communication error occurred.
+    BAD_COMMUNICATION_ERROR = 0x8005_0000;
+    /// Encoding halted because of an invalid value.
+    BAD_ENCODING_ERROR = 0x8006_0000;
+    /// Decoding halted because the data is malformed.
+    BAD_DECODING_ERROR = 0x8007_0000;
+    /// The operation timed out.
+    BAD_TIMEOUT = 0x800A_0000;
+    /// The server does not support the requested service.
+    BAD_SERVICE_UNSUPPORTED = 0x800B_0000;
+    /// The certificate provided is invalid.
+    BAD_CERTIFICATE_INVALID = 0x8012_0000;
+    /// An error occurred verifying security.
+    BAD_SECURITY_CHECKS_FAILED = 0x8013_0000;
+    /// The certificate's validity window is violated.
+    BAD_CERTIFICATE_TIME_INVALID = 0x8014_0000;
+    /// The URI in the certificate does not match the application.
+    BAD_CERTIFICATE_URI_INVALID = 0x8017_0000;
+    /// The certificate is not trusted — the ambiguous rejection the paper
+    /// observed when servers refuse the scanner's self-signed certificate.
+    BAD_CERTIFICATE_UNTRUSTED = 0x801A_0000;
+    /// The user does not have permission for the operation.
+    BAD_USER_ACCESS_DENIED = 0x801F_0000;
+    /// The identity token is not valid.
+    BAD_IDENTITY_TOKEN_INVALID = 0x8020_0000;
+    /// The identity token was rejected (wrong credentials or anonymous
+    /// access disabled).
+    BAD_IDENTITY_TOKEN_REJECTED = 0x8021_0000;
+    /// The secure channel id is not valid.
+    BAD_SECURE_CHANNEL_ID_INVALID = 0x8022_0000;
+    /// The session id is not valid.
+    BAD_SESSION_ID_INVALID = 0x8025_0000;
+    /// The session was closed by the client.
+    BAD_SESSION_CLOSED = 0x8026_0000;
+    /// The session cannot be used because activation failed or is pending.
+    BAD_SESSION_NOT_ACTIVATED = 0x8027_0000;
+    /// The security mode does not meet the requirements.
+    BAD_SECURITY_MODE_REJECTED = 0x8029_0000;
+    /// The security policy does not meet the requirements.
+    BAD_SECURITY_POLICY_REJECTED = 0x802A_0000;
+    /// Too many sessions are open.
+    BAD_TOO_MANY_SESSIONS = 0x802B_0000;
+    /// The nonce is invalid (wrong length or reused).
+    BAD_NONCE_INVALID = 0x8024_0000;
+    /// The node id is unknown.
+    BAD_NODE_ID_UNKNOWN = 0x8034_0000;
+    /// The attribute is not supported for the node.
+    BAD_ATTRIBUTE_ID_INVALID = 0x8035_0000;
+    /// The node is not readable (by this user).
+    BAD_NOT_READABLE = 0x803A_0000;
+    /// The node is not writable (by this user).
+    BAD_NOT_WRITABLE = 0x803B_0000;
+    /// The continuation point is no longer valid.
+    BAD_CONTINUATION_POINT_INVALID = 0x804A_0000;
+    /// The request type is not valid for this endpoint.
+    BAD_REQUEST_TYPE_INVALID = 0x8053_0000;
+    /// The method id is not valid or not a method.
+    BAD_METHOD_INVALID = 0x8075_0000;
+    /// The executable attribute does not allow execution (by this user).
+    BAD_NOT_EXECUTABLE = 0x8111_0000;
+    /// The TCP message type is invalid.
+    BAD_TCP_MESSAGE_TYPE_INVALID = 0x807E_0000;
+    /// The endpoint URL is invalid or unreachable.
+    BAD_TCP_ENDPOINT_URL_INVALID = 0x8083_0000;
+    /// The message size exceeds the negotiated limit.
+    BAD_TCP_MESSAGE_TOO_LARGE = 0x8080_0000;
+    /// Internal TCP-layer error.
+    BAD_TCP_INTERNAL_ERROR = 0x8082_0000;
+}
+
+impl StatusCode {
+    /// True if the severity is Good.
+    pub fn is_good(self) -> bool {
+        self.0 & 0xC000_0000 == 0
+    }
+
+    /// True if the severity is Bad.
+    pub fn is_bad(self) -> bool {
+        self.0 & 0x8000_0000 != 0
+    }
+}
+
+impl std::fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (0x{:08X})", self.name(), self.0)
+    }
+}
+
+impl UaEncode for StatusCode {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(self.0);
+    }
+}
+
+impl UaDecode for StatusCode {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(StatusCode(r.u32()?))
+    }
+}
+
+/// A name qualified by a namespace index (browse names).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QualifiedName {
+    /// Index into the server's namespace array.
+    pub namespace_index: u16,
+    /// The name.
+    pub name: Option<String>,
+}
+
+impl QualifiedName {
+    /// Builds a qualified name.
+    pub fn new(namespace_index: u16, name: impl Into<String>) -> Self {
+        QualifiedName {
+            namespace_index,
+            name: Some(name.into()),
+        }
+    }
+}
+
+impl UaEncode for QualifiedName {
+    fn encode(&self, w: &mut Encoder) {
+        w.u16(self.namespace_index);
+        w.string(self.name.as_deref());
+    }
+}
+
+impl UaDecode for QualifiedName {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(QualifiedName {
+            namespace_index: r.u16()?,
+            name: r.string()?,
+        })
+    }
+}
+
+/// Human-readable text with an optional locale.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LocalizedText {
+    /// Locale id, e.g. `en-US`.
+    pub locale: Option<String>,
+    /// The text.
+    pub text: Option<String>,
+}
+
+impl LocalizedText {
+    /// Builds text without a locale.
+    pub fn new(text: impl Into<String>) -> Self {
+        LocalizedText {
+            locale: None,
+            text: Some(text.into()),
+        }
+    }
+}
+
+impl UaEncode for LocalizedText {
+    fn encode(&self, w: &mut Encoder) {
+        let mask = (self.locale.is_some() as u8) | ((self.text.is_some() as u8) << 1);
+        w.u8(mask);
+        if let Some(l) = &self.locale {
+            w.string(Some(l));
+        }
+        if let Some(t) = &self.text {
+            w.string(Some(t));
+        }
+    }
+}
+
+impl UaDecode for LocalizedText {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let mask = r.u8()?;
+        if mask & !0x03 != 0 {
+            return Err(CodecError::InvalidDiscriminant {
+                what: "LocalizedText mask",
+                value: mask as u32,
+            });
+        }
+        let locale = if mask & 0x01 != 0 { r.string()? } else { None };
+        let text = if mask & 0x02 != 0 { r.string()? } else { None };
+        Ok(LocalizedText { locale, text })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datetime_unix_roundtrip() {
+        // 2020-08-30 00:00:00 UTC
+        let unix = 1_598_745_600i64;
+        let dt = UaDateTime::from_unix_seconds(unix);
+        assert_eq!(dt.to_unix_seconds(), unix);
+        // Epoch relationships.
+        assert_eq!(UaDateTime::from_unix_seconds(0).0, UNIX_EPOCH_OFFSET_SECONDS * 10_000_000);
+        assert_eq!(UaDateTime::NULL.to_unix_seconds(), -UNIX_EPOCH_OFFSET_SECONDS);
+    }
+
+    #[test]
+    fn datetime_millis() {
+        let dt = UaDateTime::from_unix_millis(1500);
+        assert_eq!(dt.to_unix_seconds(), 1);
+    }
+
+    #[test]
+    fn status_code_severity() {
+        assert!(StatusCode::GOOD.is_good());
+        assert!(!StatusCode::GOOD.is_bad());
+        assert!(StatusCode::BAD_TIMEOUT.is_bad());
+        assert!(!StatusCode::BAD_TIMEOUT.is_good());
+    }
+
+    #[test]
+    fn status_code_names() {
+        assert_eq!(StatusCode::GOOD.name(), "GOOD");
+        assert_eq!(
+            StatusCode::BAD_IDENTITY_TOKEN_REJECTED.name(),
+            "BAD_IDENTITY_TOKEN_REJECTED"
+        );
+        assert_eq!(StatusCode(0x1234_5678).name(), "Unknown");
+        assert!(format!("{}", StatusCode::GOOD).contains("GOOD"));
+    }
+
+    #[test]
+    fn qualified_name_roundtrip() {
+        let qn = QualifiedName::new(2, "m3InflowPerHour");
+        let bytes = qn.encode_to_vec();
+        assert_eq!(QualifiedName::decode_all(&bytes).unwrap(), qn);
+    }
+
+    #[test]
+    fn localized_text_roundtrip_all_masks() {
+        for lt in [
+            LocalizedText::default(),
+            LocalizedText::new("hello"),
+            LocalizedText {
+                locale: Some("en".into()),
+                text: None,
+            },
+            LocalizedText {
+                locale: Some("de".into()),
+                text: Some("Füllstand".into()),
+            },
+        ] {
+            let bytes = lt.encode_to_vec();
+            assert_eq!(LocalizedText::decode_all(&bytes).unwrap(), lt);
+        }
+    }
+
+    #[test]
+    fn localized_text_bad_mask_rejected() {
+        let mut w = Encoder::new();
+        w.u8(0xFF);
+        let bytes = w.finish();
+        assert!(LocalizedText::decode_all(&bytes).is_err());
+    }
+
+    #[test]
+    fn guid_roundtrip() {
+        let g = Guid::from_bytes([7; 16]);
+        let bytes = g.encode_to_vec();
+        assert_eq!(Guid::decode_all(&bytes).unwrap(), g);
+    }
+}

@@ -1,0 +1,174 @@
+//! The `DataValue` composite returned by the Read service.
+
+use crate::basic::{StatusCode, UaDateTime};
+use crate::encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+use crate::variant::Variant;
+
+/// A value with quality and timestamps (Part 6 §5.2.2.17).
+///
+/// All fields are optional on the wire; an encoding-mask byte says which
+/// are present. A `Read` of an unreadable node returns a `DataValue` with
+/// only `status` set (e.g. `BAD_NOT_READABLE`) — this is exactly how the
+/// scanner distinguishes readable from unreadable nodes for Figure 7.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataValue {
+    /// The value, absent on error.
+    pub value: Option<Variant>,
+    /// Status; absent means Good.
+    pub status: Option<StatusCode>,
+    /// Source timestamp.
+    pub source_timestamp: Option<UaDateTime>,
+    /// Server timestamp.
+    pub server_timestamp: Option<UaDateTime>,
+}
+
+impl DataValue {
+    /// A good value with no timestamps.
+    pub fn new(value: Variant) -> Self {
+        DataValue {
+            value: Some(value),
+            ..Default::default()
+        }
+    }
+
+    /// A value with both timestamps set to `now`.
+    pub fn with_timestamps(value: Variant, now: UaDateTime) -> Self {
+        DataValue {
+            value: Some(value),
+            status: None,
+            source_timestamp: Some(now),
+            server_timestamp: Some(now),
+        }
+    }
+
+    /// An error result carrying only a status.
+    pub fn error(status: StatusCode) -> Self {
+        DataValue {
+            status: Some(status),
+            ..Default::default()
+        }
+    }
+
+    /// Effective status (absent = Good).
+    pub fn status_code(&self) -> StatusCode {
+        self.status.unwrap_or(StatusCode::GOOD)
+    }
+
+    /// True if the effective status is good.
+    pub fn is_good(&self) -> bool {
+        self.status_code().is_good()
+    }
+}
+
+const MASK_VALUE: u8 = 0x01;
+const MASK_STATUS: u8 = 0x02;
+const MASK_SOURCE_TS: u8 = 0x04;
+const MASK_SERVER_TS: u8 = 0x08;
+
+impl UaEncode for DataValue {
+    fn encode(&self, w: &mut Encoder) {
+        let mut mask = 0u8;
+        if self.value.is_some() {
+            mask |= MASK_VALUE;
+        }
+        if self.status.is_some() {
+            mask |= MASK_STATUS;
+        }
+        if self.source_timestamp.is_some() {
+            mask |= MASK_SOURCE_TS;
+        }
+        if self.server_timestamp.is_some() {
+            mask |= MASK_SERVER_TS;
+        }
+        w.u8(mask);
+        if let Some(v) = &self.value {
+            v.encode(w);
+        }
+        if let Some(s) = &self.status {
+            s.encode(w);
+        }
+        if let Some(t) = &self.source_timestamp {
+            t.encode(w);
+        }
+        if let Some(t) = &self.server_timestamp {
+            t.encode(w);
+        }
+    }
+}
+
+impl UaDecode for DataValue {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let mask = r.u8()?;
+        if mask & !0x0F != 0 {
+            return Err(CodecError::InvalidDiscriminant {
+                what: "DataValue mask",
+                value: mask as u32,
+            });
+        }
+        let value = if mask & MASK_VALUE != 0 {
+            Some(Variant::decode(r)?)
+        } else {
+            None
+        };
+        let status = if mask & MASK_STATUS != 0 {
+            Some(StatusCode::decode(r)?)
+        } else {
+            None
+        };
+        let source_timestamp = if mask & MASK_SOURCE_TS != 0 {
+            Some(UaDateTime::decode(r)?)
+        } else {
+            None
+        };
+        let server_timestamp = if mask & MASK_SERVER_TS != 0 {
+            Some(UaDateTime::decode(r)?)
+        } else {
+            None
+        };
+        Ok(DataValue {
+            value,
+            status,
+            source_timestamp,
+            server_timestamp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_masks() {
+        let now = UaDateTime::from_unix_seconds(1_598_745_600);
+        for dv in [
+            DataValue::default(),
+            DataValue::new(Variant::Double(42.0)),
+            DataValue::error(StatusCode::BAD_NOT_READABLE),
+            DataValue::with_timestamps(Variant::Boolean(true), now),
+            DataValue {
+                value: Some(Variant::Int32(-1)),
+                status: Some(StatusCode::GOOD),
+                source_timestamp: Some(now),
+                server_timestamp: None,
+            },
+        ] {
+            let bytes = dv.encode_to_vec();
+            assert_eq!(DataValue::decode_all(&bytes).unwrap(), dv);
+        }
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(DataValue::new(Variant::Byte(1)).is_good());
+        let e = DataValue::error(StatusCode::BAD_NOT_READABLE);
+        assert!(!e.is_good());
+        assert_eq!(e.status_code(), StatusCode::BAD_NOT_READABLE);
+        assert_eq!(DataValue::default().status_code(), StatusCode::GOOD);
+    }
+
+    #[test]
+    fn bad_mask_rejected() {
+        assert!(DataValue::decode_all(&[0xF0]).is_err());
+    }
+}

@@ -1,0 +1,527 @@
+//! OPC UA binary encoding (Part 6) primitives.
+//!
+//! All multi-byte values are little-endian. Strings and byte strings are
+//! length-prefixed with an `Int32` where `-1` encodes *null*. The decoder
+//! is written for hostile input: every read is bounds-checked, declared
+//! lengths are validated against the remaining input, and recursion depth
+//! (variants/extension objects) is capped.
+
+use bytes::{BufMut, BytesMut};
+
+/// Maximum declared length accepted for a single string/bytestring/array.
+/// A real scanner must not let a malicious server allocate unbounded
+/// memory from a four-byte length field.
+pub const MAX_DECLARED_LEN: usize = 1 << 24; // 16 MiB
+
+/// Maximum nesting depth for variants / extension objects.
+pub const MAX_DEPTH: u32 = 32;
+
+/// Errors produced while decoding binary OPC UA data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A declared length was negative (other than the null marker) or
+    /// exceeded [`MAX_DECLARED_LEN`] or the remaining input.
+    BadLength(i64),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum discriminant or encoding byte was unknown.
+    InvalidDiscriminant {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// Variant/extension-object nesting exceeded [`MAX_DEPTH`].
+    DepthExceeded,
+    /// The value was structurally valid but violates a protocol rule.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadLength(l) => write!(f, "bad declared length {l}"),
+            CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::InvalidDiscriminant { what, value } => {
+                write!(f, "invalid {what} discriminant {value}")
+            }
+            CodecError::DepthExceeded => write!(f, "nesting depth exceeded"),
+            CodecError::Invalid(msg) => write!(f, "invalid value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes values into a growable buffer.
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(256),
+        }
+    }
+
+    /// Finishes encoding, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Current length of the encoded output.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Borrows the bytes written so far without consuming the encoder.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes a boolean as a single byte.
+    pub fn boolean(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Writes an `i16` little-endian.
+    pub fn i16(&mut self, v: i16) {
+        self.buf.put_i16_le(v);
+    }
+
+    /// Writes a `u16` little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Writes an `i32` little-endian.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Writes an `i64` little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Writes an `f32` little-endian.
+    pub fn f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    /// Writes an `f64` little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Writes an optional string (`None` → length -1).
+    pub fn string(&mut self, v: Option<&str>) {
+        match v {
+            None => self.i32(-1),
+            Some(s) => {
+                self.i32(s.len() as i32);
+                self.raw(s.as_bytes());
+            }
+        }
+    }
+
+    /// Writes an optional byte string (`None` → length -1).
+    pub fn byte_string(&mut self, v: Option<&[u8]>) {
+        match v {
+            None => self.i32(-1),
+            Some(b) => {
+                self.i32(b.len() as i32);
+                self.raw(b);
+            }
+        }
+    }
+
+    /// Writes an array length prefix followed by each element via `f`.
+    pub fn array<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Encoder, &T)) {
+        self.i32(items.len() as i32);
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// Bounds-checked reader over binary OPC UA data.
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder {
+            data,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when the input is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Enters a nested structure, erroring past [`MAX_DEPTH`].
+    pub fn enter(&mut self) -> Result<(), CodecError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(CodecError::DepthExceeded);
+        }
+        Ok(())
+    }
+
+    /// Leaves a nested structure.
+    pub fn leave(&mut self) {
+        debug_assert!(self.depth > 0);
+        self.depth -= 1;
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
+        if end > self.data.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.raw(1)?[0])
+    }
+
+    /// Reads a boolean (any nonzero byte is true, per Part 6).
+    pub fn boolean(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads an `i16`.
+    pub fn i16(&mut self) -> Result<i16, CodecError> {
+        Ok(i16::from_le_bytes(self.raw(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.raw(2)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i32`.
+    pub fn i32(&mut self) -> Result<i32, CodecError> {
+        Ok(i32::from_le_bytes(self.raw(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.raw(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.raw(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.raw(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f32`.
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.raw(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.raw(8)?.try_into().unwrap()))
+    }
+
+    /// Validates a declared length against sanity and remaining input.
+    fn checked_len(&self, declared: i32) -> Result<usize, CodecError> {
+        if declared < 0 {
+            return Err(CodecError::BadLength(declared as i64));
+        }
+        let len = declared as usize;
+        if len > MAX_DECLARED_LEN || len > self.remaining() {
+            return Err(CodecError::BadLength(declared as i64));
+        }
+        Ok(len)
+    }
+
+    /// Reads an optional string (-1 → `None`).
+    pub fn string(&mut self) -> Result<Option<String>, CodecError> {
+        let declared = self.i32()?;
+        if declared == -1 {
+            return Ok(None);
+        }
+        let len = self.checked_len(declared)?;
+        let raw = self.raw(len)?;
+        std::str::from_utf8(raw)
+            .map(|s| Some(s.to_string()))
+            .map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    /// Reads an optional byte string (-1 → `None`).
+    pub fn byte_string(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        let declared = self.i32()?;
+        if declared == -1 {
+            return Ok(None);
+        }
+        let len = self.checked_len(declared)?;
+        Ok(Some(self.raw(len)?.to_vec()))
+    }
+
+    /// Reads an array of values produced by `f`. A length of -1 (null
+    /// array) is returned as an empty vector.
+    pub fn array<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Decoder<'a>) -> Result<T, CodecError>,
+    ) -> Result<Vec<T>, CodecError> {
+        let declared = self.i32()?;
+        if declared == -1 {
+            return Ok(Vec::new());
+        }
+        if declared < 0 {
+            return Err(CodecError::BadLength(declared as i64));
+        }
+        let count = declared as usize;
+        // Each element takes at least one byte; cap the pre-allocation.
+        if count > self.remaining() {
+            return Err(CodecError::BadLength(declared as i64));
+        }
+        let mut out = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A value with an OPC UA binary encoding.
+pub trait UaEncode {
+    /// Appends the binary form of `self` to the encoder.
+    fn encode(&self, w: &mut Encoder);
+
+    /// Convenience: encodes into a fresh byte vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = Encoder::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+}
+
+/// A value decodable from the OPC UA binary encoding.
+pub trait UaDecode: Sized {
+    /// Reads one value from the decoder.
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: decodes from a complete buffer, requiring full
+    /// consumption.
+    fn decode_all(data: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Decoder::new(data);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Invalid("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = Encoder::new();
+        w.boolean(true);
+        w.u8(0xAB);
+        w.i16(-2);
+        w.u16(65535);
+        w.i32(-100000);
+        w.u32(0xDEADBEEF);
+        w.i64(i64::MIN);
+        w.u64(u64::MAX);
+        w.f32(1.5);
+        w.f64(-2.25);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        assert!(r.boolean().unwrap());
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.i16().unwrap(), -2);
+        assert_eq!(r.u16().unwrap(), 65535);
+        assert_eq!(r.i32().unwrap(), -100000);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut w = Encoder::new();
+        w.u32(0x0102_0304);
+        assert_eq!(w.finish(), vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn string_roundtrip_and_null() {
+        let mut w = Encoder::new();
+        w.string(Some("opc.tcp"));
+        w.string(None);
+        w.string(Some(""));
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        assert_eq!(r.string().unwrap().as_deref(), Some("opc.tcp"));
+        assert_eq!(r.string().unwrap(), None);
+        assert_eq!(r.string().unwrap().as_deref(), Some(""));
+    }
+
+    #[test]
+    fn byte_string_roundtrip() {
+        let mut w = Encoder::new();
+        w.byte_string(Some(&[1, 2, 3]));
+        w.byte_string(None);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        assert_eq!(r.byte_string().unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(r.byte_string().unwrap(), None);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let mut w = Encoder::new();
+        w.array(&[10u32, 20, 30], |w, v| w.u32(*v));
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        let v = r.array(|r| r.u32()).unwrap();
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn null_array_is_empty() {
+        let mut w = Encoder::new();
+        w.i32(-1);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        let v: Vec<u32> = r.array(|r| r.u32()).unwrap();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut r = Decoder::new(&[0x01, 0x02]);
+        assert_eq!(r.u32(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Declared string length far beyond the input.
+        let mut w = Encoder::new();
+        w.i32(1_000_000);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        assert!(matches!(r.string(), Err(CodecError::BadLength(_))));
+        // Negative length other than -1.
+        let mut w = Encoder::new();
+        w.i32(-2);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        assert!(matches!(r.string(), Err(CodecError::BadLength(-2))));
+    }
+
+    #[test]
+    fn hostile_array_count_rejected() {
+        let mut w = Encoder::new();
+        w.i32(i32::MAX);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        assert!(matches!(r.array(|r| r.u8()), Err(CodecError::BadLength(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Encoder::new();
+        w.i32(2);
+        w.raw(&[0xFF, 0xFE]);
+        let bytes = w.finish();
+        let mut r = Decoder::new(&bytes);
+        assert_eq!(r.string(), Err(CodecError::InvalidUtf8));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let mut r = Decoder::new(&[]);
+        for _ in 0..MAX_DEPTH {
+            r.enter().unwrap();
+        }
+        assert_eq!(r.enter(), Err(CodecError::DepthExceeded));
+    }
+
+    #[test]
+    fn decode_all_rejects_trailing() {
+        struct Byte(u8);
+        impl UaDecode for Byte {
+            fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                Ok(Byte(r.u8()?))
+            }
+        }
+        assert!(Byte::decode_all(&[1]).is_ok());
+        assert!(Byte::decode_all(&[1, 2]).is_err());
+    }
+}

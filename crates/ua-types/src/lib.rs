@@ -1,0 +1,40 @@
+//! # ua-types
+//!
+//! OPC UA built-in types and their binary encoding (OPC 10000-6), plus the
+//! security-configuration vocabulary the study assesses:
+//!
+//! * [`encoding`] — little-endian binary codec with hostile-input guards;
+//! * [`basic`] — `Guid`, `DateTime`, `StatusCode`, `QualifiedName`,
+//!   `LocalizedText`;
+//! * [`node_id`] — `NodeId` / `ExpandedNodeId` with compressed encodings;
+//! * [`variant`] — the `Variant` union and `ExtensionObject`;
+//! * [`policy`] — security modes, the six security policies of the
+//!   paper's Table 1 (with metadata: hash functions, key ranges,
+//!   deprecation class), and user token types;
+//! * [`structures`] — `ApplicationDescription`, `UserTokenPolicy`,
+//!   `EndpointDescription`;
+//! * [`access`] — node classes, attribute ids, access-level masks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod basic;
+pub mod data_value;
+pub mod encoding;
+pub mod node_id;
+pub mod policy;
+pub mod structures;
+pub mod variant;
+
+pub use access::{AccessLevel, AttributeId, BrowseDirection, NodeClass};
+pub use basic::{Guid, LocalizedText, QualifiedName, StatusCode, UaDateTime};
+pub use data_value::DataValue;
+pub use encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+pub use node_id::{ExpandedNodeId, Identifier, NodeId};
+pub use policy::{MessageSecurityMode, PolicyClass, PolicyHash, SecurityPolicy, UserTokenType};
+pub use structures::{
+    ApplicationDescription, ApplicationType, EndpointDescription, UserTokenPolicy,
+    TRANSPORT_PROFILE_BINARY,
+};
+pub use variant::{encoding_ids, ExtensionObject, Variant};

@@ -1,0 +1,362 @@
+//! Node identifiers (Part 3 §8.2) and their compressed binary encodings.
+
+use crate::basic::Guid;
+use crate::encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+
+/// The identifier part of a [`NodeId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Identifier {
+    /// Numeric identifier (the common case for standard nodes).
+    Numeric(u32),
+    /// String identifier, e.g. `"rSetFillLevel"`.
+    String(String),
+    /// GUID identifier.
+    Guid(Guid),
+    /// Opaque byte-string identifier.
+    Opaque(Vec<u8>),
+}
+
+/// A node identifier: namespace index plus identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    /// Index into the server's namespace array.
+    pub namespace: u16,
+    /// The identifier.
+    pub identifier: Identifier,
+}
+
+impl NodeId {
+    /// The null node id (ns=0, numeric 0).
+    pub const NULL: NodeId = NodeId {
+        namespace: 0,
+        identifier: Identifier::Numeric(0),
+    };
+
+    /// Numeric node id.
+    pub fn numeric(namespace: u16, id: u32) -> Self {
+        NodeId {
+            namespace,
+            identifier: Identifier::Numeric(id),
+        }
+    }
+
+    /// String node id.
+    pub fn string(namespace: u16, id: impl Into<String>) -> Self {
+        NodeId {
+            namespace,
+            identifier: Identifier::String(id.into()),
+        }
+    }
+
+    /// Opaque node id.
+    pub fn opaque(namespace: u16, id: Vec<u8>) -> Self {
+        NodeId {
+            namespace,
+            identifier: Identifier::Opaque(id),
+        }
+    }
+
+    /// True for the null id.
+    pub fn is_null(&self) -> bool {
+        self == &Self::NULL
+    }
+
+    /// Numeric value if this is a numeric id.
+    pub fn as_numeric(&self) -> Option<u32> {
+        match self.identifier {
+            Identifier::Numeric(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl Default for NodeId {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.identifier {
+            Identifier::Numeric(v) => write!(f, "ns={};i={}", self.namespace, v),
+            Identifier::String(s) => write!(f, "ns={};s={}", self.namespace, s),
+            Identifier::Guid(g) => write!(f, "ns={};g={:02x?}", self.namespace, g.0),
+            Identifier::Opaque(b) => write!(f, "ns={};b={} bytes", self.namespace, b.len()),
+        }
+    }
+}
+
+// Encoding bytes from Part 6 §5.2.2.9.
+const ENC_TWO_BYTE: u8 = 0x00;
+const ENC_FOUR_BYTE: u8 = 0x01;
+const ENC_NUMERIC: u8 = 0x02;
+const ENC_STRING: u8 = 0x03;
+const ENC_GUID: u8 = 0x04;
+const ENC_BYTESTRING: u8 = 0x05;
+
+impl UaEncode for NodeId {
+    fn encode(&self, w: &mut Encoder) {
+        match &self.identifier {
+            Identifier::Numeric(id) => {
+                if self.namespace == 0 && *id <= 0xFF {
+                    w.u8(ENC_TWO_BYTE);
+                    w.u8(*id as u8);
+                } else if self.namespace <= 0xFF && *id <= 0xFFFF {
+                    w.u8(ENC_FOUR_BYTE);
+                    w.u8(self.namespace as u8);
+                    w.u16(*id as u16);
+                } else {
+                    w.u8(ENC_NUMERIC);
+                    w.u16(self.namespace);
+                    w.u32(*id);
+                }
+            }
+            Identifier::String(s) => {
+                w.u8(ENC_STRING);
+                w.u16(self.namespace);
+                w.string(Some(s));
+            }
+            Identifier::Guid(g) => {
+                w.u8(ENC_GUID);
+                w.u16(self.namespace);
+                g.encode(w);
+            }
+            Identifier::Opaque(b) => {
+                w.u8(ENC_BYTESTRING);
+                w.u16(self.namespace);
+                w.byte_string(Some(b));
+            }
+        }
+    }
+}
+
+impl UaDecode for NodeId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let enc = r.u8()?;
+        match enc & 0x3F {
+            ENC_TWO_BYTE => Ok(NodeId::numeric(0, r.u8()? as u32)),
+            ENC_FOUR_BYTE => {
+                let ns = r.u8()? as u16;
+                let id = r.u16()? as u32;
+                Ok(NodeId::numeric(ns, id))
+            }
+            ENC_NUMERIC => {
+                let ns = r.u16()?;
+                let id = r.u32()?;
+                Ok(NodeId::numeric(ns, id))
+            }
+            ENC_STRING => {
+                let ns = r.u16()?;
+                let s = r.string()?.ok_or(CodecError::Invalid("null NodeId string"))?;
+                Ok(NodeId::string(ns, s))
+            }
+            ENC_GUID => {
+                let ns = r.u16()?;
+                let g = Guid::decode(r)?;
+                Ok(NodeId {
+                    namespace: ns,
+                    identifier: Identifier::Guid(g),
+                })
+            }
+            ENC_BYTESTRING => {
+                let ns = r.u16()?;
+                let b = r
+                    .byte_string()?
+                    .ok_or(CodecError::Invalid("null NodeId bytestring"))?;
+                Ok(NodeId::opaque(ns, b))
+            }
+            other => Err(CodecError::InvalidDiscriminant {
+                what: "NodeId encoding",
+                value: other as u32,
+            }),
+        }
+    }
+}
+
+/// A node id that may point into another server's address space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ExpandedNodeId {
+    /// The local node id part.
+    pub node_id: NodeId,
+    /// Optional namespace URI overriding the namespace index.
+    pub namespace_uri: Option<String>,
+    /// Optional server index.
+    pub server_index: u32,
+}
+
+impl ExpandedNodeId {
+    /// Wraps a local node id.
+    pub fn local(node_id: NodeId) -> Self {
+        ExpandedNodeId {
+            node_id,
+            namespace_uri: None,
+            server_index: 0,
+        }
+    }
+}
+
+impl UaEncode for ExpandedNodeId {
+    fn encode(&self, w: &mut Encoder) {
+        // Re-encode the inner NodeId, then OR the flag bits into its
+        // first (encoding) byte, as Part 6 specifies.
+        let mut inner = Encoder::new();
+        self.node_id.encode(&mut inner);
+        let mut bytes = inner.finish();
+        if self.namespace_uri.is_some() {
+            bytes[0] |= 0x80;
+        }
+        if self.server_index != 0 {
+            bytes[0] |= 0x40;
+        }
+        w.raw(&bytes);
+        if let Some(uri) = &self.namespace_uri {
+            w.string(Some(uri));
+        }
+        if self.server_index != 0 {
+            w.u32(self.server_index);
+        }
+    }
+}
+
+impl UaDecode for ExpandedNodeId {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        // Peek the flags, then decode the NodeId with flags masked off.
+        // Simplest correct approach: read the encoding byte, reconstruct.
+        let enc = r.u8()?;
+        let has_uri = enc & 0x80 != 0;
+        let has_server = enc & 0x40 != 0;
+        let node_id = decode_node_id_body(r, enc & 0x3F)?;
+        let namespace_uri = if has_uri { r.string()? } else { None };
+        let server_index = if has_server { r.u32()? } else { 0 };
+        Ok(ExpandedNodeId {
+            node_id,
+            namespace_uri,
+            server_index,
+        })
+    }
+}
+
+/// Decodes a NodeId body whose encoding byte was already consumed.
+fn decode_node_id_body(r: &mut Decoder<'_>, enc: u8) -> Result<NodeId, CodecError> {
+    match enc {
+        ENC_TWO_BYTE => Ok(NodeId::numeric(0, r.u8()? as u32)),
+        ENC_FOUR_BYTE => {
+            let ns = r.u8()? as u16;
+            Ok(NodeId::numeric(ns, r.u16()? as u32))
+        }
+        ENC_NUMERIC => {
+            let ns = r.u16()?;
+            Ok(NodeId::numeric(ns, r.u32()?))
+        }
+        ENC_STRING => {
+            let ns = r.u16()?;
+            let s = r.string()?.ok_or(CodecError::Invalid("null NodeId string"))?;
+            Ok(NodeId::string(ns, s))
+        }
+        ENC_GUID => {
+            let ns = r.u16()?;
+            Ok(NodeId {
+                namespace: ns,
+                identifier: Identifier::Guid(Guid::decode(r)?),
+            })
+        }
+        ENC_BYTESTRING => {
+            let ns = r.u16()?;
+            let b = r
+                .byte_string()?
+                .ok_or(CodecError::Invalid("null NodeId bytestring"))?;
+            Ok(NodeId::opaque(ns, b))
+        }
+        other => Err(CodecError::InvalidDiscriminant {
+            what: "NodeId encoding",
+            value: other as u32,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(id: &NodeId) -> NodeId {
+        NodeId::decode_all(&id.encode_to_vec()).unwrap()
+    }
+
+    #[test]
+    fn two_byte_encoding() {
+        let id = NodeId::numeric(0, 84); // Objects folder
+        let bytes = id.encode_to_vec();
+        assert_eq!(bytes, vec![0x00, 84]);
+        assert_eq!(roundtrip(&id), id);
+    }
+
+    #[test]
+    fn four_byte_encoding() {
+        let id = NodeId::numeric(2, 1234);
+        let bytes = id.encode_to_vec();
+        assert_eq!(bytes[0], 0x01);
+        assert_eq!(bytes.len(), 4);
+        assert_eq!(roundtrip(&id), id);
+    }
+
+    #[test]
+    fn full_numeric_encoding() {
+        let id = NodeId::numeric(300, 1_000_000);
+        let bytes = id.encode_to_vec();
+        assert_eq!(bytes[0], 0x02);
+        assert_eq!(roundtrip(&id), id);
+    }
+
+    #[test]
+    fn string_guid_opaque_roundtrip() {
+        for id in [
+            NodeId::string(3, "rSetFillLevel"),
+            NodeId {
+                namespace: 1,
+                identifier: Identifier::Guid(Guid::from_bytes([9; 16])),
+            },
+            NodeId::opaque(4, vec![1, 2, 3, 4]),
+        ] {
+            assert_eq!(roundtrip(&id), id);
+        }
+    }
+
+    #[test]
+    fn null_and_display() {
+        assert!(NodeId::NULL.is_null());
+        assert!(!NodeId::numeric(0, 1).is_null());
+        assert_eq!(format!("{}", NodeId::numeric(2, 5)), "ns=2;i=5");
+        assert_eq!(format!("{}", NodeId::string(1, "x")), "ns=1;s=x");
+    }
+
+    #[test]
+    fn as_numeric() {
+        assert_eq!(NodeId::numeric(0, 7).as_numeric(), Some(7));
+        assert_eq!(NodeId::string(0, "x").as_numeric(), None);
+    }
+
+    #[test]
+    fn invalid_encoding_byte_rejected() {
+        assert!(NodeId::decode_all(&[0x3F, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn expanded_local_roundtrip() {
+        let e = ExpandedNodeId::local(NodeId::numeric(1, 99));
+        let bytes = e.encode_to_vec();
+        assert_eq!(ExpandedNodeId::decode_all(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn expanded_with_uri_and_server() {
+        let e = ExpandedNodeId {
+            node_id: NodeId::string(0, "n"),
+            namespace_uri: Some("urn:factory:plc".into()),
+            server_index: 3,
+        };
+        let bytes = e.encode_to_vec();
+        assert_eq!(bytes[0] & 0xC0, 0xC0);
+        assert_eq!(ExpandedNodeId::decode_all(&bytes).unwrap(), e);
+    }
+}

@@ -1,0 +1,414 @@
+//! Security modes, security policies (Table 1 of the paper), and user
+//! token types — the configuration surface the study assesses.
+
+use crate::encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+
+/// Message security mode (Part 4): whether messages are signed and/or
+/// encrypted on the secure channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageSecurityMode {
+    /// Invalid/unspecified (wire value 0).
+    Invalid,
+    /// No signing, no encryption — the paper found 26 % of servers
+    /// offering *only* this.
+    None,
+    /// Messages are signed (authenticity/integrity) but not encrypted.
+    Sign,
+    /// Messages are signed and encrypted.
+    SignAndEncrypt,
+}
+
+impl MessageSecurityMode {
+    /// All meaningful modes, ordered by increasing strength.
+    pub const ALL: [MessageSecurityMode; 3] = [
+        MessageSecurityMode::None,
+        MessageSecurityMode::Sign,
+        MessageSecurityMode::SignAndEncrypt,
+    ];
+
+    /// Strength rank for the least/most-secure analysis of Figure 3
+    /// (`None` < `Sign` < `SignAndEncrypt`).
+    pub fn strength(self) -> u8 {
+        match self {
+            MessageSecurityMode::Invalid => 0,
+            MessageSecurityMode::None => 1,
+            MessageSecurityMode::Sign => 2,
+            MessageSecurityMode::SignAndEncrypt => 3,
+        }
+    }
+
+    /// True if the mode provides authenticated communication (the
+    /// official recommendation's minimum bar).
+    pub fn is_secure(self) -> bool {
+        matches!(
+            self,
+            MessageSecurityMode::Sign | MessageSecurityMode::SignAndEncrypt
+        )
+    }
+
+    /// Abbreviation used in the paper's figures (N / S / S&E).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            MessageSecurityMode::Invalid => "?",
+            MessageSecurityMode::None => "N",
+            MessageSecurityMode::Sign => "S",
+            MessageSecurityMode::SignAndEncrypt => "S&E",
+        }
+    }
+
+    fn wire(self) -> u32 {
+        match self {
+            MessageSecurityMode::Invalid => 0,
+            MessageSecurityMode::None => 1,
+            MessageSecurityMode::Sign => 2,
+            MessageSecurityMode::SignAndEncrypt => 3,
+        }
+    }
+}
+
+impl UaEncode for MessageSecurityMode {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(self.wire());
+    }
+}
+
+impl UaDecode for MessageSecurityMode {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match r.u32()? {
+            0 => Ok(MessageSecurityMode::Invalid),
+            1 => Ok(MessageSecurityMode::None),
+            2 => Ok(MessageSecurityMode::Sign),
+            3 => Ok(MessageSecurityMode::SignAndEncrypt),
+            other => Err(CodecError::InvalidDiscriminant {
+                what: "MessageSecurityMode",
+                value: other,
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for MessageSecurityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Classification of a policy in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyClass {
+    /// Provides no security (None).
+    Insecure,
+    /// Deprecated since 2017 due to SHA-1 (D1, D2).
+    Deprecated,
+    /// Considered secure at the time of the study (S1, S2, S3).
+    Secure,
+}
+
+/// The six standardized security policies (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SecurityPolicy {
+    /// `None` — no cryptography at all (class N).
+    None,
+    /// `Basic128Rsa15` — SHA-1, keys 1024–2048 bit; deprecated (D1).
+    Basic128Rsa15,
+    /// `Basic256` — SHA-1, keys 1024–2048 bit; deprecated (D2).
+    Basic256,
+    /// `Aes128_Sha256_RsaOaep` — SHA-256, keys 2048–4096 bit (S1).
+    Aes128Sha256RsaOaep,
+    /// `Basic256Sha256` — SHA-256, keys 2048–4096 bit; the recommended
+    /// baseline (S2).
+    Basic256Sha256,
+    /// `Aes256_Sha256_RsaPss` — SHA-256, keys 2048–4096 bit (S3).
+    Aes256Sha256RsaPss,
+}
+
+/// Hash algorithms referenced by policy metadata. Mirrors
+/// `ua_crypto::HashAlgorithm` without creating a dependency cycle;
+/// conversion lives in `ua-proto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PolicyHash {
+    /// MD5 (never specified by any policy; appears only in rogue certs).
+    Md5,
+    /// SHA-1.
+    Sha1,
+    /// SHA-256.
+    Sha256,
+}
+
+impl SecurityPolicy {
+    /// All policies in the strength order the paper uses
+    /// (N < D1 < D2 < S1 < S2 < S3).
+    pub const ALL: [SecurityPolicy; 6] = [
+        SecurityPolicy::None,
+        SecurityPolicy::Basic128Rsa15,
+        SecurityPolicy::Basic256,
+        SecurityPolicy::Aes128Sha256RsaOaep,
+        SecurityPolicy::Basic256Sha256,
+        SecurityPolicy::Aes256Sha256RsaPss,
+    ];
+
+    /// The policy URI as transmitted in endpoint descriptions.
+    pub fn uri(self) -> &'static str {
+        match self {
+            SecurityPolicy::None => "http://opcfoundation.org/UA/SecurityPolicy#None",
+            SecurityPolicy::Basic128Rsa15 => {
+                "http://opcfoundation.org/UA/SecurityPolicy#Basic128Rsa15"
+            }
+            SecurityPolicy::Basic256 => "http://opcfoundation.org/UA/SecurityPolicy#Basic256",
+            SecurityPolicy::Aes128Sha256RsaOaep => {
+                "http://opcfoundation.org/UA/SecurityPolicy#Aes128_Sha256_RsaOaep"
+            }
+            SecurityPolicy::Basic256Sha256 => {
+                "http://opcfoundation.org/UA/SecurityPolicy#Basic256Sha256"
+            }
+            SecurityPolicy::Aes256Sha256RsaPss => {
+                "http://opcfoundation.org/UA/SecurityPolicy#Aes256_Sha256_RsaPss"
+            }
+        }
+    }
+
+    /// Parses a policy URI.
+    pub fn from_uri(uri: &str) -> Option<Self> {
+        SecurityPolicy::ALL.into_iter().find(|p| p.uri() == uri)
+    }
+
+    /// The paper's abbreviation (N, D1, D2, S1, S2, S3).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            SecurityPolicy::None => "N",
+            SecurityPolicy::Basic128Rsa15 => "D1",
+            SecurityPolicy::Basic256 => "D2",
+            SecurityPolicy::Aes128Sha256RsaOaep => "S1",
+            SecurityPolicy::Basic256Sha256 => "S2",
+            SecurityPolicy::Aes256Sha256RsaPss => "S3",
+        }
+    }
+
+    /// Strength rank used for least/most-secure comparisons (Figure 3).
+    pub fn strength(self) -> u8 {
+        match self {
+            SecurityPolicy::None => 0,
+            SecurityPolicy::Basic128Rsa15 => 1,
+            SecurityPolicy::Basic256 => 2,
+            SecurityPolicy::Aes128Sha256RsaOaep => 3,
+            SecurityPolicy::Basic256Sha256 => 4,
+            SecurityPolicy::Aes256Sha256RsaPss => 5,
+        }
+    }
+
+    /// Table 1 classification.
+    pub fn class(self) -> PolicyClass {
+        match self {
+            SecurityPolicy::None => PolicyClass::Insecure,
+            SecurityPolicy::Basic128Rsa15 | SecurityPolicy::Basic256 => PolicyClass::Deprecated,
+            _ => PolicyClass::Secure,
+        }
+    }
+
+    /// Signature hash function mandated by the policy (Table 1 column
+    /// "Sig. Hash"); `None` policy has none.
+    pub fn signature_hash(self) -> Option<PolicyHash> {
+        match self {
+            SecurityPolicy::None => None,
+            SecurityPolicy::Basic128Rsa15 | SecurityPolicy::Basic256 => Some(PolicyHash::Sha1),
+            _ => Some(PolicyHash::Sha256),
+        }
+    }
+
+    /// Hash functions the policy permits for *certificate* signatures
+    /// (Table 1 column "Cert. Hash").
+    pub fn allowed_certificate_hashes(self) -> &'static [PolicyHash] {
+        match self {
+            SecurityPolicy::None => &[],
+            SecurityPolicy::Basic128Rsa15 => &[PolicyHash::Sha1],
+            SecurityPolicy::Basic256 => &[PolicyHash::Sha1, PolicyHash::Sha256],
+            _ => &[PolicyHash::Sha256],
+        }
+    }
+
+    /// Permitted certificate key lengths in bits, inclusive (Table 1
+    /// column "Key Len."); `None` policy has no requirement.
+    pub fn key_length_range(self) -> Option<(u32, u32)> {
+        match self {
+            SecurityPolicy::None => None,
+            SecurityPolicy::Basic128Rsa15 | SecurityPolicy::Basic256 => Some((1024, 2048)),
+            _ => Some((2048, 4096)),
+        }
+    }
+
+    /// True for policies the recommendations allow (S1, S2, S3).
+    pub fn is_recommended(self) -> bool {
+        self.class() == PolicyClass::Secure
+    }
+}
+
+impl std::fmt::Display for SecurityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.abbrev())
+    }
+}
+
+/// User identity token types (Part 4 §7.36).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UserTokenType {
+    /// Anonymous — no credentials at all. The recommendations say this
+    /// must be disabled; §5.4 found it on 50 % of servers.
+    Anonymous,
+    /// Username/password.
+    UserName,
+    /// X.509 client certificate.
+    Certificate,
+    /// Token issued by an external authority (e.g. OAuth2/Kerberos).
+    IssuedToken,
+}
+
+impl UserTokenType {
+    /// All token types in the column order of the paper's Table 2
+    /// (anon., cred., cert., token).
+    pub const ALL: [UserTokenType; 4] = [
+        UserTokenType::Anonymous,
+        UserTokenType::UserName,
+        UserTokenType::Certificate,
+        UserTokenType::IssuedToken,
+    ];
+
+    /// Label used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            UserTokenType::Anonymous => "anon.",
+            UserTokenType::UserName => "cred.",
+            UserTokenType::Certificate => "cert.",
+            UserTokenType::IssuedToken => "token",
+        }
+    }
+
+    fn wire(self) -> u32 {
+        match self {
+            UserTokenType::Anonymous => 0,
+            UserTokenType::UserName => 1,
+            UserTokenType::Certificate => 2,
+            UserTokenType::IssuedToken => 3,
+        }
+    }
+}
+
+impl UaEncode for UserTokenType {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(self.wire());
+    }
+}
+
+impl UaDecode for UserTokenType {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match r.u32()? {
+            0 => Ok(UserTokenType::Anonymous),
+            1 => Ok(UserTokenType::UserName),
+            2 => Ok(UserTokenType::Certificate),
+            3 => Ok(UserTokenType::IssuedToken),
+            other => Err(CodecError::InvalidDiscriminant {
+                what: "UserTokenType",
+                value: other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_strength_ordering() {
+        assert!(
+            MessageSecurityMode::None.strength() < MessageSecurityMode::Sign.strength()
+        );
+        assert!(
+            MessageSecurityMode::Sign.strength()
+                < MessageSecurityMode::SignAndEncrypt.strength()
+        );
+        assert!(!MessageSecurityMode::None.is_secure());
+        assert!(MessageSecurityMode::Sign.is_secure());
+        assert!(MessageSecurityMode::SignAndEncrypt.is_secure());
+    }
+
+    #[test]
+    fn mode_wire_roundtrip() {
+        for mode in [
+            MessageSecurityMode::Invalid,
+            MessageSecurityMode::None,
+            MessageSecurityMode::Sign,
+            MessageSecurityMode::SignAndEncrypt,
+        ] {
+            let bytes = mode.encode_to_vec();
+            assert_eq!(MessageSecurityMode::decode_all(&bytes).unwrap(), mode);
+        }
+        assert!(MessageSecurityMode::decode_all(&9u32.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn policy_table1_metadata() {
+        use SecurityPolicy as P;
+        // Classes per Table 1.
+        assert_eq!(P::None.class(), PolicyClass::Insecure);
+        assert_eq!(P::Basic128Rsa15.class(), PolicyClass::Deprecated);
+        assert_eq!(P::Basic256.class(), PolicyClass::Deprecated);
+        for p in [P::Aes128Sha256RsaOaep, P::Basic256Sha256, P::Aes256Sha256RsaPss] {
+            assert_eq!(p.class(), PolicyClass::Secure);
+            assert!(p.is_recommended());
+            assert_eq!(p.signature_hash(), Some(PolicyHash::Sha256));
+            assert_eq!(p.key_length_range(), Some((2048, 4096)));
+        }
+        // Deprecated policies use SHA-1 and short keys.
+        assert_eq!(P::Basic128Rsa15.signature_hash(), Some(PolicyHash::Sha1));
+        assert_eq!(P::Basic128Rsa15.key_length_range(), Some((1024, 2048)));
+        // Basic256 allows SHA-256 certificates too (Table 1 "SHA1, SHA256").
+        assert_eq!(
+            P::Basic256.allowed_certificate_hashes(),
+            &[PolicyHash::Sha1, PolicyHash::Sha256]
+        );
+        assert_eq!(P::Basic128Rsa15.allowed_certificate_hashes(), &[PolicyHash::Sha1]);
+        // None has no crypto.
+        assert_eq!(P::None.signature_hash(), None);
+        assert_eq!(P::None.key_length_range(), None);
+        assert!(P::None.allowed_certificate_hashes().is_empty());
+    }
+
+    #[test]
+    fn policy_abbreviations_match_paper() {
+        let abbrevs: Vec<&str> = SecurityPolicy::ALL.iter().map(|p| p.abbrev()).collect();
+        assert_eq!(abbrevs, vec!["N", "D1", "D2", "S1", "S2", "S3"]);
+    }
+
+    #[test]
+    fn policy_uri_roundtrip() {
+        for p in SecurityPolicy::ALL {
+            assert_eq!(SecurityPolicy::from_uri(p.uri()), Some(p));
+        }
+        assert_eq!(SecurityPolicy::from_uri("http://bogus"), None);
+        assert!(SecurityPolicy::Basic256Sha256
+            .uri()
+            .ends_with("#Basic256Sha256"));
+    }
+
+    #[test]
+    fn policy_strength_is_total_order() {
+        let mut last = None;
+        for p in SecurityPolicy::ALL {
+            if let Some(prev) = last {
+                assert!(p.strength() > prev, "{p:?}");
+            }
+            last = Some(p.strength());
+        }
+    }
+
+    #[test]
+    fn token_type_roundtrip_and_labels() {
+        for t in UserTokenType::ALL {
+            let bytes = t.encode_to_vec();
+            assert_eq!(UserTokenType::decode_all(&bytes).unwrap(), t);
+        }
+        assert_eq!(UserTokenType::Anonymous.label(), "anon.");
+        assert_eq!(UserTokenType::UserName.label(), "cred.");
+        assert!(UserTokenType::decode_all(&7u32.to_le_bytes()).is_err());
+    }
+}

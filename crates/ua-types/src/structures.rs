@@ -1,0 +1,343 @@
+//! Composite structures exchanged during discovery: application and
+//! endpoint descriptions with their security configuration — the exact
+//! data the paper's scanner grabs from every server.
+
+use crate::basic::LocalizedText;
+use crate::encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+use crate::policy::{MessageSecurityMode, SecurityPolicy, UserTokenType};
+
+/// The type of an OPC UA application (Part 4 §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApplicationType {
+    /// A server.
+    Server,
+    /// A client.
+    Client,
+    /// Both client and server.
+    ClientAndServer,
+    /// A discovery server — the paper's first host category (42 % of
+    /// hosts), which only announces endpoints of other servers.
+    DiscoveryServer,
+}
+
+impl ApplicationType {
+    fn wire(self) -> u32 {
+        match self {
+            ApplicationType::Server => 0,
+            ApplicationType::Client => 1,
+            ApplicationType::ClientAndServer => 2,
+            ApplicationType::DiscoveryServer => 3,
+        }
+    }
+}
+
+impl UaEncode for ApplicationType {
+    fn encode(&self, w: &mut Encoder) {
+        w.u32(self.wire());
+    }
+}
+
+impl UaDecode for ApplicationType {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match r.u32()? {
+            0 => Ok(ApplicationType::Server),
+            1 => Ok(ApplicationType::Client),
+            2 => Ok(ApplicationType::ClientAndServer),
+            3 => Ok(ApplicationType::DiscoveryServer),
+            other => Err(CodecError::InvalidDiscriminant {
+                what: "ApplicationType",
+                value: other,
+            }),
+        }
+    }
+}
+
+/// Describes an application (Part 4 §7.1). The paper clusters servers by
+/// manufacturer through the `application_uri` field (§4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationDescription {
+    /// Globally unique application URI, e.g.
+    /// `urn:bachmann.info:M1:OpcUaServer:...`.
+    pub application_uri: Option<String>,
+    /// Product URI.
+    pub product_uri: Option<String>,
+    /// Human-readable name. The paper's scanner put its contact
+    /// information here (Appendix A.2).
+    pub application_name: LocalizedText,
+    /// Application type.
+    pub application_type: ApplicationType,
+    /// Gateway server URI (unused here).
+    pub gateway_server_uri: Option<String>,
+    /// Discovery profile URI (unused here).
+    pub discovery_profile_uri: Option<String>,
+    /// URLs under which the application can be discovered.
+    pub discovery_urls: Vec<String>,
+}
+
+impl ApplicationDescription {
+    /// Minimal server description with the given URI and name.
+    pub fn server(uri: impl Into<String>, name: impl Into<String>) -> Self {
+        ApplicationDescription {
+            application_uri: Some(uri.into()),
+            product_uri: None,
+            application_name: LocalizedText::new(name),
+            application_type: ApplicationType::Server,
+            gateway_server_uri: None,
+            discovery_profile_uri: None,
+            discovery_urls: Vec::new(),
+        }
+    }
+}
+
+impl UaEncode for ApplicationDescription {
+    fn encode(&self, w: &mut Encoder) {
+        w.string(self.application_uri.as_deref());
+        w.string(self.product_uri.as_deref());
+        self.application_name.encode(w);
+        self.application_type.encode(w);
+        w.string(self.gateway_server_uri.as_deref());
+        w.string(self.discovery_profile_uri.as_deref());
+        w.array(&self.discovery_urls, |w, url| w.string(Some(url)));
+    }
+}
+
+impl UaDecode for ApplicationDescription {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(ApplicationDescription {
+            application_uri: r.string()?,
+            product_uri: r.string()?,
+            application_name: LocalizedText::decode(r)?,
+            application_type: ApplicationType::decode(r)?,
+            gateway_server_uri: r.string()?,
+            discovery_profile_uri: r.string()?,
+            discovery_urls: r.array(|r| {
+                r.string()?
+                    .ok_or(CodecError::Invalid("null discovery URL"))
+            })?,
+        })
+    }
+}
+
+/// A user token policy offered by an endpoint (Part 4 §7.36).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserTokenPolicy {
+    /// Policy id referenced during ActivateSession.
+    pub policy_id: Option<String>,
+    /// Token type (anonymous/username/certificate/issued).
+    pub token_type: UserTokenType,
+    /// Issued-token type URI (issued tokens only).
+    pub issued_token_type: Option<String>,
+    /// Issuer endpoint URL (issued tokens only).
+    pub issuer_endpoint_url: Option<String>,
+    /// Security policy protecting the token in transit; `None` means the
+    /// endpoint's channel policy applies. Sending a password over a
+    /// `None` channel with a `None` token policy is one of the
+    /// misconfigurations the recommendations warn about.
+    pub security_policy_uri: Option<String>,
+}
+
+impl UserTokenPolicy {
+    /// Builds a policy of the given type with a conventional id.
+    pub fn new(token_type: UserTokenType) -> Self {
+        UserTokenPolicy {
+            policy_id: Some(token_type.label().trim_end_matches('.').to_string()),
+            token_type,
+            issued_token_type: None,
+            issuer_endpoint_url: None,
+            security_policy_uri: None,
+        }
+    }
+}
+
+impl UaEncode for UserTokenPolicy {
+    fn encode(&self, w: &mut Encoder) {
+        w.string(self.policy_id.as_deref());
+        self.token_type.encode(w);
+        w.string(self.issued_token_type.as_deref());
+        w.string(self.issuer_endpoint_url.as_deref());
+        w.string(self.security_policy_uri.as_deref());
+    }
+}
+
+impl UaDecode for UserTokenPolicy {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(UserTokenPolicy {
+            policy_id: r.string()?,
+            token_type: UserTokenType::decode(r)?,
+            issued_token_type: r.string()?,
+            issuer_endpoint_url: r.string()?,
+            security_policy_uri: r.string()?,
+        })
+    }
+}
+
+/// An endpoint description (Part 4 §7.10) — the unit of configuration the
+/// whole study revolves around (Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointDescription {
+    /// Endpoint URL, e.g. `opc.tcp://198.51.100.7:4840/`.
+    pub endpoint_url: Option<String>,
+    /// The server's application description.
+    pub server: ApplicationDescription,
+    /// The server's certificate (serialized), delivered during discovery.
+    pub server_certificate: Option<Vec<u8>>,
+    /// Message security mode of this endpoint.
+    pub security_mode: MessageSecurityMode,
+    /// Security policy URI of this endpoint.
+    pub security_policy_uri: Option<String>,
+    /// Supported user identity token policies.
+    pub user_identity_tokens: Vec<UserTokenPolicy>,
+    /// Transport profile URI.
+    pub transport_profile_uri: Option<String>,
+    /// Relative security level assigned by the server (higher = stronger).
+    pub security_level: u8,
+}
+
+impl EndpointDescription {
+    /// Parses the security policy URI into a [`SecurityPolicy`], `None`
+    /// for unknown URIs.
+    pub fn security_policy(&self) -> Option<SecurityPolicy> {
+        self.security_policy_uri
+            .as_deref()
+            .and_then(SecurityPolicy::from_uri)
+    }
+
+    /// Token types offered by this endpoint (deduplicated, sorted).
+    pub fn token_types(&self) -> Vec<UserTokenType> {
+        let mut types: Vec<UserTokenType> = self
+            .user_identity_tokens
+            .iter()
+            .map(|p| p.token_type)
+            .collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+
+    /// True if anonymous authentication is offered.
+    pub fn allows_anonymous(&self) -> bool {
+        self.user_identity_tokens
+            .iter()
+            .any(|p| p.token_type == UserTokenType::Anonymous)
+    }
+}
+
+impl UaEncode for EndpointDescription {
+    fn encode(&self, w: &mut Encoder) {
+        w.string(self.endpoint_url.as_deref());
+        self.server.encode(w);
+        w.byte_string(self.server_certificate.as_deref());
+        self.security_mode.encode(w);
+        w.string(self.security_policy_uri.as_deref());
+        w.array(&self.user_identity_tokens, |w, t| t.encode(w));
+        w.string(self.transport_profile_uri.as_deref());
+        w.u8(self.security_level);
+    }
+}
+
+impl UaDecode for EndpointDescription {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(EndpointDescription {
+            endpoint_url: r.string()?,
+            server: ApplicationDescription::decode(r)?,
+            server_certificate: r.byte_string()?,
+            security_mode: MessageSecurityMode::decode(r)?,
+            security_policy_uri: r.string()?,
+            user_identity_tokens: r.array(UserTokenPolicy::decode)?,
+            transport_profile_uri: r.string()?,
+            security_level: r.u8()?,
+        })
+    }
+}
+
+/// The standard binary transport profile URI.
+pub const TRANSPORT_PROFILE_BINARY: &str =
+    "http://opcfoundation.org/UA-Profile/Transport/uatcp-uasc-uabinary";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_endpoint() -> EndpointDescription {
+        EndpointDescription {
+            endpoint_url: Some("opc.tcp://198.51.100.7:4840/".into()),
+            server: ApplicationDescription::server(
+                "urn:bachmann.info:M1:OpcUaServer",
+                "M1 OPC UA Server",
+            ),
+            server_certificate: Some(vec![0xDE, 0xAD]),
+            security_mode: MessageSecurityMode::SignAndEncrypt,
+            security_policy_uri: Some(SecurityPolicy::Basic256Sha256.uri().into()),
+            user_identity_tokens: vec![
+                UserTokenPolicy::new(UserTokenType::Anonymous),
+                UserTokenPolicy::new(UserTokenType::UserName),
+            ],
+            transport_profile_uri: Some(TRANSPORT_PROFILE_BINARY.into()),
+            security_level: 3,
+        }
+    }
+
+    #[test]
+    fn endpoint_roundtrip() {
+        let ep = sample_endpoint();
+        let bytes = ep.encode_to_vec();
+        assert_eq!(EndpointDescription::decode_all(&bytes).unwrap(), ep);
+    }
+
+    #[test]
+    fn endpoint_policy_parsing() {
+        let ep = sample_endpoint();
+        assert_eq!(ep.security_policy(), Some(SecurityPolicy::Basic256Sha256));
+        let mut bogus = ep.clone();
+        bogus.security_policy_uri = Some("http://bogus".into());
+        assert_eq!(bogus.security_policy(), None);
+    }
+
+    #[test]
+    fn endpoint_token_helpers() {
+        let ep = sample_endpoint();
+        assert!(ep.allows_anonymous());
+        assert_eq!(
+            ep.token_types(),
+            vec![UserTokenType::Anonymous, UserTokenType::UserName]
+        );
+        let mut no_anon = ep.clone();
+        no_anon.user_identity_tokens.remove(0);
+        assert!(!no_anon.allows_anonymous());
+    }
+
+    #[test]
+    fn token_types_deduplicated() {
+        let mut ep = sample_endpoint();
+        ep.user_identity_tokens
+            .push(UserTokenPolicy::new(UserTokenType::Anonymous));
+        assert_eq!(
+            ep.token_types(),
+            vec![UserTokenType::Anonymous, UserTokenType::UserName]
+        );
+    }
+
+    #[test]
+    fn application_description_roundtrip() {
+        let mut app = ApplicationDescription::server("urn:x", "X");
+        app.discovery_urls = vec!["opc.tcp://10.0.0.1:4840".into()];
+        app.application_type = ApplicationType::DiscoveryServer;
+        let bytes = app.encode_to_vec();
+        assert_eq!(ApplicationDescription::decode_all(&bytes).unwrap(), app);
+    }
+
+    #[test]
+    fn application_type_invalid_rejected() {
+        assert!(ApplicationType::decode_all(&9u32.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn user_token_policy_roundtrip() {
+        let mut p = UserTokenPolicy::new(UserTokenType::IssuedToken);
+        p.issued_token_type = Some("http://oauth2".into());
+        p.issuer_endpoint_url = Some("https://sts.example".into());
+        p.security_policy_uri = Some(SecurityPolicy::Basic256Sha256.uri().into());
+        let bytes = p.encode_to_vec();
+        assert_eq!(UserTokenPolicy::decode_all(&bytes).unwrap(), p);
+    }
+}

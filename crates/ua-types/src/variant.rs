@@ -1,0 +1,361 @@
+//! The `Variant` union type and `ExtensionObject` container.
+
+use crate::basic::{LocalizedText, QualifiedName, StatusCode, UaDateTime};
+use crate::encoding::{CodecError, Decoder, Encoder, UaDecode, UaEncode};
+use crate::node_id::NodeId;
+
+/// The subset of OPC UA variant scalar types the study's address spaces
+/// use. Type ids follow Part 6 Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Variant {
+    /// No value.
+    Empty,
+    /// Boolean (type id 1).
+    Boolean(bool),
+    /// Signed byte (2).
+    SByte(i8),
+    /// Unsigned byte (3).
+    Byte(u8),
+    /// Int16 (4).
+    Int16(i16),
+    /// UInt16 (5).
+    UInt16(u16),
+    /// Int32 (6).
+    Int32(i32),
+    /// UInt32 (7).
+    UInt32(u32),
+    /// Int64 (8).
+    Int64(i64),
+    /// UInt64 (9).
+    UInt64(u64),
+    /// Float (10).
+    Float(f32),
+    /// Double (11).
+    Double(f64),
+    /// String (12).
+    String(Option<String>),
+    /// DateTime (13).
+    DateTime(UaDateTime),
+    /// ByteString (15).
+    ByteString(Option<Vec<u8>>),
+    /// NodeId (17).
+    NodeId(NodeId),
+    /// StatusCode (19).
+    StatusCode(StatusCode),
+    /// QualifiedName (20).
+    QualifiedName(QualifiedName),
+    /// LocalizedText (21).
+    LocalizedText(LocalizedText),
+    /// An array of variants, encoded as the element type id with the
+    /// array flag. All elements must share the scalar type id.
+    Array(Vec<Variant>),
+}
+
+impl Variant {
+    /// The Part 6 scalar type id; arrays report their element type.
+    pub fn type_id(&self) -> u8 {
+        match self {
+            Variant::Empty => 0,
+            Variant::Boolean(_) => 1,
+            Variant::SByte(_) => 2,
+            Variant::Byte(_) => 3,
+            Variant::Int16(_) => 4,
+            Variant::UInt16(_) => 5,
+            Variant::Int32(_) => 6,
+            Variant::UInt32(_) => 7,
+            Variant::Int64(_) => 8,
+            Variant::UInt64(_) => 9,
+            Variant::Float(_) => 10,
+            Variant::Double(_) => 11,
+            Variant::String(_) => 12,
+            Variant::DateTime(_) => 13,
+            Variant::ByteString(_) => 15,
+            Variant::NodeId(_) => 17,
+            Variant::StatusCode(_) => 19,
+            Variant::QualifiedName(_) => 20,
+            Variant::LocalizedText(_) => 21,
+            Variant::Array(items) => items.first().map_or(0, |v| v.type_id()),
+        }
+    }
+
+    fn encode_scalar_body(&self, w: &mut Encoder) {
+        match self {
+            Variant::Empty => {}
+            Variant::Boolean(v) => w.boolean(*v),
+            Variant::SByte(v) => w.u8(*v as u8),
+            Variant::Byte(v) => w.u8(*v),
+            Variant::Int16(v) => w.i16(*v),
+            Variant::UInt16(v) => w.u16(*v),
+            Variant::Int32(v) => w.i32(*v),
+            Variant::UInt32(v) => w.u32(*v),
+            Variant::Int64(v) => w.i64(*v),
+            Variant::UInt64(v) => w.u64(*v),
+            Variant::Float(v) => w.f32(*v),
+            Variant::Double(v) => w.f64(*v),
+            Variant::String(v) => w.string(v.as_deref()),
+            Variant::DateTime(v) => v.encode(w),
+            Variant::ByteString(v) => w.byte_string(v.as_deref()),
+            Variant::NodeId(v) => v.encode(w),
+            Variant::StatusCode(v) => v.encode(w),
+            Variant::QualifiedName(v) => v.encode(w),
+            Variant::LocalizedText(v) => v.encode(w),
+            Variant::Array(_) => unreachable!("arrays are encoded at the top level"),
+        }
+    }
+
+    fn decode_scalar_body(r: &mut Decoder<'_>, type_id: u8) -> Result<Variant, CodecError> {
+        Ok(match type_id {
+            0 => Variant::Empty,
+            1 => Variant::Boolean(r.boolean()?),
+            2 => Variant::SByte(r.u8()? as i8),
+            3 => Variant::Byte(r.u8()?),
+            4 => Variant::Int16(r.i16()?),
+            5 => Variant::UInt16(r.u16()?),
+            6 => Variant::Int32(r.i32()?),
+            7 => Variant::UInt32(r.u32()?),
+            8 => Variant::Int64(r.i64()?),
+            9 => Variant::UInt64(r.u64()?),
+            10 => Variant::Float(r.f32()?),
+            11 => Variant::Double(r.f64()?),
+            12 => Variant::String(r.string()?),
+            13 => Variant::DateTime(UaDateTime::decode(r)?),
+            15 => Variant::ByteString(r.byte_string()?),
+            17 => Variant::NodeId(NodeId::decode(r)?),
+            19 => Variant::StatusCode(StatusCode::decode(r)?),
+            20 => Variant::QualifiedName(QualifiedName::decode(r)?),
+            21 => Variant::LocalizedText(LocalizedText::decode(r)?),
+            other => {
+                return Err(CodecError::InvalidDiscriminant {
+                    what: "Variant type",
+                    value: other as u32,
+                })
+            }
+        })
+    }
+}
+
+const ARRAY_FLAG: u8 = 0x80;
+
+impl UaEncode for Variant {
+    fn encode(&self, w: &mut Encoder) {
+        match self {
+            Variant::Array(items) => {
+                let type_id = self.type_id();
+                w.u8(type_id | ARRAY_FLAG);
+                w.i32(items.len() as i32);
+                for item in items {
+                    debug_assert_eq!(item.type_id(), type_id, "heterogeneous variant array");
+                    item.encode_scalar_body(w);
+                }
+            }
+            scalar => {
+                w.u8(scalar.type_id());
+                scalar.encode_scalar_body(w);
+            }
+        }
+    }
+}
+
+impl UaDecode for Variant {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        r.enter()?;
+        let enc = r.u8()?;
+        let type_id = enc & 0x3F;
+        let result = if enc & ARRAY_FLAG != 0 {
+            let declared = r.i32()?;
+            if declared < -1 || declared as i64 > r.remaining() as i64 {
+                r.leave();
+                return Err(CodecError::BadLength(declared as i64));
+            }
+            let count = declared.max(0) as usize;
+            let mut items = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                items.push(Variant::decode_scalar_body(r, type_id)?);
+            }
+            Ok(Variant::Array(items))
+        } else {
+            Variant::decode_scalar_body(r, type_id)
+        };
+        r.leave();
+        result
+    }
+}
+
+/// Well-known binary-encoding node ids (`i=...` in namespace 0) used to
+/// tag extension-object bodies. Service ids live in `ua-proto`.
+pub mod encoding_ids {
+    /// AnonymousIdentityToken binary encoding.
+    pub const ANONYMOUS_IDENTITY_TOKEN: u32 = 321;
+    /// UserNameIdentityToken binary encoding.
+    pub const USERNAME_IDENTITY_TOKEN: u32 = 324;
+    /// X509IdentityToken binary encoding.
+    pub const X509_IDENTITY_TOKEN: u32 = 327;
+    /// IssuedIdentityToken binary encoding.
+    pub const ISSUED_IDENTITY_TOKEN: u32 = 940;
+}
+
+/// A serialized structure tagged with its data-type encoding id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExtensionObject {
+    /// Binary-encoding node id of the contained type.
+    pub type_id: NodeId,
+    /// Encoded body; `None` when the object carries no body.
+    pub body: Option<Vec<u8>>,
+}
+
+impl ExtensionObject {
+    /// An empty extension object (null type, no body).
+    pub fn null() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an encodable value with its encoding id.
+    pub fn from_value<T: UaEncode>(type_id: NodeId, value: &T) -> Self {
+        ExtensionObject {
+            type_id,
+            body: Some(value.encode_to_vec()),
+        }
+    }
+
+    /// Decodes the body as `T`, requiring full consumption.
+    pub fn decode_body<T: UaDecode>(&self) -> Result<T, CodecError> {
+        let body = self
+            .body
+            .as_deref()
+            .ok_or(CodecError::Invalid("extension object has no body"))?;
+        T::decode_all(body)
+    }
+}
+
+impl UaEncode for ExtensionObject {
+    fn encode(&self, w: &mut Encoder) {
+        self.type_id.encode(w);
+        match &self.body {
+            None => w.u8(0x00),
+            Some(body) => {
+                w.u8(0x01);
+                w.byte_string(Some(body));
+            }
+        }
+    }
+}
+
+impl UaDecode for ExtensionObject {
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        r.enter()?;
+        let type_id = NodeId::decode(r)?;
+        let enc = r.u8()?;
+        let body = match enc {
+            0x00 => None,
+            0x01 => r.byte_string()?,
+            other => {
+                r.leave();
+                return Err(CodecError::InvalidDiscriminant {
+                    what: "ExtensionObject encoding",
+                    value: other as u32,
+                });
+            }
+        };
+        r.leave();
+        Ok(ExtensionObject { type_id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Variant) -> Variant {
+        Variant::decode_all(&v.encode_to_vec()).unwrap()
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        for v in [
+            Variant::Empty,
+            Variant::Boolean(true),
+            Variant::SByte(-5),
+            Variant::Byte(200),
+            Variant::Int16(-1000),
+            Variant::UInt16(50000),
+            Variant::Int32(-7),
+            Variant::UInt32(7),
+            Variant::Int64(i64::MIN),
+            Variant::UInt64(u64::MAX),
+            Variant::Float(3.25),
+            Variant::Double(core::f64::consts::PI),
+            Variant::String(Some("m3InflowPerHour".into())),
+            Variant::String(None),
+            Variant::DateTime(UaDateTime::from_unix_seconds(1_598_745_600)),
+            Variant::ByteString(Some(vec![1, 2, 3])),
+            Variant::NodeId(NodeId::string(2, "pump")),
+            Variant::StatusCode(StatusCode::BAD_TIMEOUT),
+            Variant::QualifiedName(QualifiedName::new(1, "x")),
+            Variant::LocalizedText(LocalizedText::new("Füllstand")),
+        ] {
+            assert_eq!(roundtrip(&v), v, "variant {v:?}");
+        }
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = Variant::Array(vec![
+            Variant::Double(1.0),
+            Variant::Double(2.5),
+            Variant::Double(-3.0),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+        let empty = Variant::Array(vec![]);
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn array_flag_in_encoding_byte() {
+        let v = Variant::Array(vec![Variant::Int32(1)]);
+        let bytes = v.encode_to_vec();
+        assert_eq!(bytes[0], 6 | 0x80);
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(matches!(
+            Variant::decode_all(&[0x3E]),
+            Err(CodecError::InvalidDiscriminant { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_array_count_rejected() {
+        // Array of booleans with declared count 2^30 but no data.
+        let mut w = Encoder::new();
+        w.u8(1 | 0x80);
+        w.i32(1 << 30);
+        assert!(Variant::decode_all(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn extension_object_roundtrip() {
+        let inner = Variant::String(Some("payload".into()));
+        let eo = ExtensionObject::from_value(NodeId::numeric(0, 321), &inner);
+        let bytes = eo.encode_to_vec();
+        let parsed = ExtensionObject::decode_all(&bytes).unwrap();
+        assert_eq!(parsed, eo);
+        assert_eq!(parsed.decode_body::<Variant>().unwrap(), inner);
+    }
+
+    #[test]
+    fn null_extension_object() {
+        let eo = ExtensionObject::null();
+        let parsed = ExtensionObject::decode_all(&eo.encode_to_vec()).unwrap();
+        assert_eq!(parsed.body, None);
+        assert!(parsed.decode_body::<Variant>().is_err());
+    }
+
+    #[test]
+    fn extension_object_bad_encoding_byte() {
+        let mut w = Encoder::new();
+        NodeId::NULL.encode(&mut w);
+        w.u8(0x07);
+        assert!(ExtensionObject::decode_all(&w.finish()).is_err());
+    }
+}
