@@ -1,0 +1,322 @@
+//! The configuration-deficit taxonomy and the per-host rules.
+//!
+//! Each [`Deficit`] is one of the paper's finding categories (§5):
+//! deprecated policies, missing encryption, certificate hygiene,
+//! anonymous access, and actually-accessible data. Cross-host deficits
+//! (certificate reuse, shared primes) are detected population-wide in
+//! [`crate::report`]; everything else is a pure function of one
+//! [`ScanRecord`].
+
+use scanner::{ScanRecord, SessionOutcome};
+use std::collections::BTreeSet;
+use ua_crypto::HashAlgorithm;
+use ua_types::{MessageSecurityMode, PolicyClass, PolicyHash};
+
+/// One security-configuration deficit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Deficit {
+    /// A deprecated policy (Basic128Rsa15 / Basic256) is offered.
+    DeprecatedPolicy,
+    /// An endpoint with security mode `None` is offered — traffic can be
+    /// neither authenticated nor encrypted on it.
+    NoneModeOffered,
+    /// *Only* mode `None` is offered: no secure communication possible
+    /// at all (24 % of the paper's hosts).
+    OnlyNoneMode,
+    /// The served certificate is self-signed (no verifiable identity
+    /// chain; 99 % in the wild).
+    SelfSignedCertificate,
+    /// The served certificate is outside its validity window at scan
+    /// time.
+    ExpiredCertificate,
+    /// The certificate is too weak for an advertised policy: its
+    /// signature hash or key length is below what the policy permits
+    /// (the paper's 409 too-weak certificates, §5.2).
+    CertificateTooWeak,
+    /// The same certificate is served by multiple hosts (§5.3).
+    ReusedCertificate,
+    /// The RSA modulus shares a prime factor with another host's key
+    /// (batch-GCD finding; the paper found none in the wild).
+    SharedPrimeKey,
+    /// Anonymous authentication is advertised — no user authentication
+    /// required (50 % of the paper's servers).
+    AnonymousAccess,
+    /// Anonymous access is advertised but sessions fail anyway: a
+    /// faulty/incomplete endpoint configuration (§5.4).
+    BrokenSessionConfig,
+    /// An anonymous session succeeded and process data was readable.
+    DataReadable,
+    /// An anonymous session succeeded and variables were *writable* —
+    /// the paper's worst case (direct process manipulation).
+    DataWritable,
+    /// An anonymous session succeeded and methods were executable.
+    MethodsExecutable,
+}
+
+impl Deficit {
+    /// All deficits in report order.
+    pub const ALL: [Deficit; 13] = [
+        Deficit::OnlyNoneMode,
+        Deficit::NoneModeOffered,
+        Deficit::DeprecatedPolicy,
+        Deficit::SelfSignedCertificate,
+        Deficit::ExpiredCertificate,
+        Deficit::CertificateTooWeak,
+        Deficit::ReusedCertificate,
+        Deficit::SharedPrimeKey,
+        Deficit::AnonymousAccess,
+        Deficit::BrokenSessionConfig,
+        Deficit::DataReadable,
+        Deficit::DataWritable,
+        Deficit::MethodsExecutable,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Deficit::OnlyNoneMode => "only mode None",
+            Deficit::NoneModeOffered => "mode None offered",
+            Deficit::DeprecatedPolicy => "deprecated policy",
+            Deficit::SelfSignedCertificate => "self-signed cert",
+            Deficit::ExpiredCertificate => "expired cert",
+            Deficit::CertificateTooWeak => "cert too weak for policy",
+            Deficit::ReusedCertificate => "cert reused across hosts",
+            Deficit::SharedPrimeKey => "key shares prime factor",
+            Deficit::AnonymousAccess => "anonymous access",
+            Deficit::BrokenSessionConfig => "broken session config",
+            Deficit::DataReadable => "data readable anonymously",
+            Deficit::DataWritable => "data writable anonymously",
+            Deficit::MethodsExecutable => "methods executable anonymously",
+        }
+    }
+}
+
+fn hash_to_policy_hash(h: HashAlgorithm) -> PolicyHash {
+    match h {
+        HashAlgorithm::Md5 => PolicyHash::Md5,
+        HashAlgorithm::Sha1 => PolicyHash::Sha1,
+        HashAlgorithm::Sha256 => PolicyHash::Sha256,
+    }
+}
+
+/// Applies every *per-host* rule to one record. Cross-host deficits
+/// ([`Deficit::ReusedCertificate`], [`Deficit::SharedPrimeKey`]) are
+/// added by the population-level pass.
+pub fn host_deficits(record: &ScanRecord) -> BTreeSet<Deficit> {
+    let mut out = BTreeSet::new();
+    if record.endpoints.is_empty() {
+        return out;
+    }
+
+    // --- Mode / policy rules (Figure 3). ---
+    if record.offers_mode(MessageSecurityMode::None) {
+        out.insert(Deficit::NoneModeOffered);
+    }
+    if record
+        .endpoints
+        .iter()
+        .all(|e| e.security_mode == MessageSecurityMode::None)
+    {
+        out.insert(Deficit::OnlyNoneMode);
+    }
+    if record.endpoints.iter().any(|e| {
+        e.security_policy
+            .is_some_and(|p| p.class() == PolicyClass::Deprecated)
+    }) {
+        out.insert(Deficit::DeprecatedPolicy);
+    }
+
+    // --- Certificate hygiene (§5.2). ---
+    for ep in &record.endpoints {
+        let Some(Ok(cert)) = ep.certificate() else {
+            continue;
+        };
+        if cert.is_self_signed() {
+            out.insert(Deficit::SelfSignedCertificate);
+        }
+        if !cert.is_valid_at(record.discovered_unix) {
+            out.insert(Deficit::ExpiredCertificate);
+        }
+        // Weakness is judged against the policies that would *use* the
+        // certificate (anything except policy None).
+        if let Some(policy) = ep.security_policy {
+            let allowed = policy.allowed_certificate_hashes();
+            if !allowed.is_empty() && !allowed.contains(&hash_to_policy_hash(cert.signature_hash()))
+            {
+                out.insert(Deficit::CertificateTooWeak);
+            }
+            if let Some((min_bits, _)) = policy.key_length_range() {
+                if cert.key_bits() < min_bits {
+                    out.insert(Deficit::CertificateTooWeak);
+                }
+            }
+        }
+    }
+
+    // --- Authentication (§5.4, Table 2). ---
+    if record.advertises_anonymous() {
+        out.insert(Deficit::AnonymousAccess);
+        if matches!(
+            record.session,
+            SessionOutcome::AuthRejected | SessionOutcome::ChannelRejected
+        ) {
+            out.insert(Deficit::BrokenSessionConfig);
+        }
+    }
+
+    // --- Accessible data (Figure 7). ---
+    // Discovery servers expose only the standard server metadata, so the
+    // paper's data-access analysis does not apply to them.
+    if record.session == SessionOutcome::AnonymousActivated && !record.is_discovery_server() {
+        if let Some(t) = &record.traversal {
+            if t.readable > 0 {
+                out.insert(Deficit::DataReadable);
+            }
+            if t.writable > 0 {
+                out.insert(Deficit::DataWritable);
+            }
+            if t.executable > 0 {
+                out.insert(Deficit::MethodsExecutable);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Ipv4;
+    use scanner::{EndpointSnapshot, TraversalSummary};
+    use ua_types::{SecurityPolicy, UserTokenType};
+
+    fn snapshot(
+        mode: MessageSecurityMode,
+        policy: SecurityPolicy,
+        anonymous: bool,
+    ) -> EndpointSnapshot {
+        EndpointSnapshot {
+            security_mode: mode,
+            security_policy: Some(policy),
+            security_policy_uri: Some(policy.uri().into()),
+            token_types: if anonymous {
+                vec![UserTokenType::Anonymous, UserTokenType::UserName]
+            } else {
+                vec![UserTokenType::UserName]
+            },
+            certificate_der: None,
+            security_level: 0,
+        }
+    }
+
+    fn record(endpoints: Vec<EndpointSnapshot>) -> ScanRecord {
+        let mut r = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 1_581_206_400);
+        r.hello_ok = true;
+        r.endpoints = endpoints;
+        r
+    }
+
+    #[test]
+    fn empty_record_has_no_deficits() {
+        let r = record(vec![]);
+        assert!(host_deficits(&r).is_empty());
+    }
+
+    #[test]
+    fn none_only_host_flags_both_mode_rules() {
+        let r = record(vec![snapshot(
+            MessageSecurityMode::None,
+            SecurityPolicy::None,
+            true,
+        )]);
+        let d = host_deficits(&r);
+        assert!(d.contains(&Deficit::OnlyNoneMode));
+        assert!(d.contains(&Deficit::NoneModeOffered));
+        assert!(d.contains(&Deficit::AnonymousAccess));
+        assert!(!d.contains(&Deficit::DeprecatedPolicy));
+    }
+
+    #[test]
+    fn mixed_host_is_not_only_none() {
+        let r = record(vec![
+            snapshot(MessageSecurityMode::None, SecurityPolicy::None, false),
+            snapshot(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+                false,
+            ),
+        ]);
+        let d = host_deficits(&r);
+        assert!(d.contains(&Deficit::NoneModeOffered));
+        assert!(!d.contains(&Deficit::OnlyNoneMode));
+    }
+
+    #[test]
+    fn deprecated_policy_detected() {
+        let r = record(vec![snapshot(
+            MessageSecurityMode::Sign,
+            SecurityPolicy::Basic128Rsa15,
+            false,
+        )]);
+        assert!(host_deficits(&r).contains(&Deficit::DeprecatedPolicy));
+    }
+
+    #[test]
+    fn broken_session_requires_advertised_anonymous() {
+        let mut r = record(vec![snapshot(
+            MessageSecurityMode::None,
+            SecurityPolicy::None,
+            true,
+        )]);
+        r.session = SessionOutcome::AuthRejected;
+        assert!(host_deficits(&r).contains(&Deficit::BrokenSessionConfig));
+
+        let mut no_anon = record(vec![snapshot(
+            MessageSecurityMode::None,
+            SecurityPolicy::None,
+            false,
+        )]);
+        no_anon.session = SessionOutcome::AuthRejected;
+        let d = host_deficits(&no_anon);
+        assert!(!d.contains(&Deficit::BrokenSessionConfig));
+        assert!(!d.contains(&Deficit::AnonymousAccess));
+    }
+
+    #[test]
+    fn accessible_data_rules_need_an_activated_session() {
+        let mut r = record(vec![snapshot(
+            MessageSecurityMode::None,
+            SecurityPolicy::None,
+            true,
+        )]);
+        r.session = SessionOutcome::AnonymousActivated;
+        r.traversal = Some(TraversalSummary {
+            nodes: 5,
+            variables: 3,
+            readable: 3,
+            writable: 1,
+            methods: 1,
+            executable: 1,
+            truncated: false,
+            requests: 9,
+        });
+        let d = host_deficits(&r);
+        assert!(d.contains(&Deficit::DataReadable));
+        assert!(d.contains(&Deficit::DataWritable));
+        assert!(d.contains(&Deficit::MethodsExecutable));
+
+        // Same traversal numbers but no activated session: no data flags.
+        let mut not_active = r.clone();
+        not_active.session = SessionOutcome::NotAttempted;
+        let d2 = host_deficits(&not_active);
+        assert!(!d2.contains(&Deficit::DataReadable));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            Deficit::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), Deficit::ALL.len());
+    }
+}

@@ -1,1 +1,24 @@
-//! Placeholder: implementation follows.
+//! # assessment
+//!
+//! Security-configuration assessment of OPC UA scan records — the
+//! analysis layer of the study (§5–§6):
+//!
+//! * [`deficit`] — the finding taxonomy ([`Deficit`]) and the pure
+//!   per-host classification rules ([`host_deficits`]);
+//! * [`report`] — population-wide aggregation ([`assess`]): cross-host
+//!   certificate-reuse clustering, batch-GCD shared-prime detection, and
+//!   the paper-style summary tables ([`AssessmentReport`]).
+//!
+//! The crate consumes [`scanner::ScanRecord`]s only; it never touches
+//! the network layer, so stored campaigns can be re-assessed offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deficit;
+pub mod report;
+
+pub use deficit::{host_deficits, Deficit};
+pub use report::{
+    assess, AssessmentReport, HostReport, ReuseCluster, SessionTally, SharedPrimePair,
+};

@@ -1,0 +1,329 @@
+//! Population-level aggregation: cross-host analyses and the summary
+//! tables of the paper.
+
+use crate::deficit::{host_deficits, Deficit};
+use netsim::Ipv4;
+use scanner::{ScanRecord, SessionOutcome};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use ua_crypto::hash::to_hex;
+use ua_crypto::{find_shared_factors, sha1, BigUint, Certificate};
+use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
+
+/// Per-host assessment outcome.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Host address.
+    pub address: Ipv4,
+    /// AS number.
+    pub asn: u32,
+    /// True for local discovery servers.
+    pub is_discovery_server: bool,
+    /// Every deficit detected on this host.
+    pub deficits: BTreeSet<Deficit>,
+}
+
+/// A certificate served by more than one host.
+#[derive(Debug, Clone)]
+pub struct ReuseCluster {
+    /// SHA-1 thumbprint (hex) of the reused certificate.
+    pub thumbprint_hex: String,
+    /// Hosts serving it, ascending.
+    pub hosts: Vec<Ipv4>,
+}
+
+/// A pair of hosts whose RSA moduli share a prime factor.
+#[derive(Debug, Clone)]
+pub struct SharedPrimePair {
+    /// First host.
+    pub a: Ipv4,
+    /// Second host.
+    pub b: Ipv4,
+}
+
+/// Session-stage tallies (the paper's Table 2 columns).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionTally {
+    /// Hosts where no session was attempted.
+    pub not_attempted: usize,
+    /// Secure-channel stage rejections.
+    pub channel_rejected: usize,
+    /// Authentication-stage rejections.
+    pub auth_rejected: usize,
+    /// Other protocol failures.
+    pub protocol_error: usize,
+    /// Anonymous sessions activated.
+    pub anonymous_activated: usize,
+}
+
+/// The full population assessment.
+#[derive(Debug, Clone)]
+pub struct AssessmentReport {
+    /// Hosts assessed (records with at least a completed UACP hello).
+    pub hosts: usize,
+    /// Responsive hosts that did not speak OPC UA (excluded from rules).
+    pub non_opcua: usize,
+    /// Discovery servers among the assessed hosts.
+    pub discovery_servers: usize,
+    /// Per-host outcomes, in record order.
+    pub host_reports: Vec<HostReport>,
+    /// Hosts per deficit.
+    pub deficit_counts: BTreeMap<Deficit, usize>,
+    /// Hosts offering each security mode.
+    pub mode_distribution: BTreeMap<MessageSecurityMode, usize>,
+    /// Hosts offering each (parseable) security policy.
+    pub policy_distribution: BTreeMap<SecurityPolicy, usize>,
+    /// Hosts offering each identity-token type.
+    pub token_distribution: BTreeMap<UserTokenType, usize>,
+    /// Certificate-reuse clusters, largest first.
+    pub reuse_clusters: Vec<ReuseCluster>,
+    /// Host pairs with shared prime factors.
+    pub shared_prime_pairs: Vec<SharedPrimePair>,
+    /// Session-stage outcomes.
+    pub sessions: SessionTally,
+}
+
+impl AssessmentReport {
+    /// Hosts flagged with `deficit`.
+    pub fn count(&self, deficit: Deficit) -> usize {
+        self.deficit_counts.get(&deficit).copied().unwrap_or(0)
+    }
+
+    /// Share of assessed hosts flagged with `deficit` in `[0, 1]`.
+    pub fn share(&self, deficit: Deficit) -> f64 {
+        if self.hosts == 0 {
+            0.0
+        } else {
+            self.count(deficit) as f64 / self.hosts as f64
+        }
+    }
+}
+
+/// Runs the per-host rules plus the cross-host analyses over `records`.
+pub fn assess(records: &[ScanRecord]) -> AssessmentReport {
+    let opcua: Vec<&ScanRecord> = records.iter().filter(|r| r.hello_ok).collect();
+    let non_opcua = records.len() - opcua.len();
+
+    let mut host_reports: Vec<HostReport> = opcua
+        .iter()
+        .map(|r| HostReport {
+            address: r.address,
+            asn: r.asn,
+            is_discovery_server: r.is_discovery_server(),
+            deficits: host_deficits(r),
+        })
+        .collect();
+
+    // --- Cross-host: certificate reuse (thumbprint) and shared primes
+    // (batch GCD over moduli), extracted in one pass over the DERs.
+    // Moduli are deduplicated: hosts serving the *same* key are reuse,
+    // not weak randomness (the paper checks distinct keys pairwise).
+    let mut by_thumbprint: HashMap<[u8; 20], BTreeSet<Ipv4>> = HashMap::new();
+    let mut moduli: Vec<BigUint> = Vec::new();
+    let mut modulus_hosts: Vec<BTreeSet<Ipv4>> = Vec::new();
+    let mut modulus_index: HashMap<Vec<u8>, usize> = HashMap::new();
+    for r in &opcua {
+        for der in r.certificates() {
+            by_thumbprint
+                .entry(sha1(der))
+                .or_default()
+                .insert(r.address);
+            let Ok(cert) = Certificate::from_der(der) else {
+                continue;
+            };
+            let key = cert.tbs.public_key.n.to_bytes_be();
+            let idx = *modulus_index.entry(key).or_insert_with(|| {
+                moduli.push(cert.tbs.public_key.n.clone());
+                modulus_hosts.push(BTreeSet::new());
+                moduli.len() - 1
+            });
+            modulus_hosts[idx].insert(r.address);
+        }
+    }
+    let mut reuse_clusters: Vec<ReuseCluster> = by_thumbprint
+        .iter()
+        .filter(|(_, hosts)| hosts.len() > 1)
+        .map(|(tp, hosts)| ReuseCluster {
+            thumbprint_hex: to_hex(tp),
+            hosts: hosts.iter().copied().collect(),
+        })
+        .collect();
+    reuse_clusters.sort_by(|a, b| {
+        b.hosts
+            .len()
+            .cmp(&a.hosts.len())
+            .then_with(|| a.thumbprint_hex.cmp(&b.thumbprint_hex))
+    });
+    let reused_hosts: BTreeSet<Ipv4> = reuse_clusters
+        .iter()
+        .flat_map(|c| c.hosts.iter().copied())
+        .collect();
+
+    let mut shared_prime_pairs = Vec::new();
+    let mut shared_prime_hosts: BTreeSet<Ipv4> = BTreeSet::new();
+    for hit in find_shared_factors(&moduli) {
+        for &a in &modulus_hosts[hit.a] {
+            shared_prime_hosts.insert(a);
+        }
+        for &b in &modulus_hosts[hit.b] {
+            shared_prime_hosts.insert(b);
+        }
+        let a = *modulus_hosts[hit.a].iter().next().expect("hosts recorded");
+        let b = *modulus_hosts[hit.b].iter().next().expect("hosts recorded");
+        shared_prime_pairs.push(SharedPrimePair { a, b });
+    }
+
+    for hr in &mut host_reports {
+        if reused_hosts.contains(&hr.address) {
+            hr.deficits.insert(Deficit::ReusedCertificate);
+        }
+        if shared_prime_hosts.contains(&hr.address) {
+            hr.deficits.insert(Deficit::SharedPrimeKey);
+        }
+    }
+
+    // --- Distributions and tallies. ---
+    let mut deficit_counts: BTreeMap<Deficit, usize> = BTreeMap::new();
+    for hr in &host_reports {
+        for &d in &hr.deficits {
+            *deficit_counts.entry(d).or_default() += 1;
+        }
+    }
+    let mut mode_distribution: BTreeMap<MessageSecurityMode, usize> = BTreeMap::new();
+    let mut policy_distribution: BTreeMap<SecurityPolicy, usize> = BTreeMap::new();
+    let mut token_distribution: BTreeMap<UserTokenType, usize> = BTreeMap::new();
+    let mut sessions = SessionTally::default();
+    for r in &opcua {
+        let mut modes: BTreeSet<MessageSecurityMode> = BTreeSet::new();
+        let mut policies: BTreeSet<SecurityPolicy> = BTreeSet::new();
+        let mut tokens: BTreeSet<UserTokenType> = BTreeSet::new();
+        for ep in &r.endpoints {
+            modes.insert(ep.security_mode);
+            if let Some(p) = ep.security_policy {
+                policies.insert(p);
+            }
+            tokens.extend(ep.token_types.iter().copied());
+        }
+        for m in modes {
+            *mode_distribution.entry(m).or_default() += 1;
+        }
+        for p in policies {
+            *policy_distribution.entry(p).or_default() += 1;
+        }
+        for t in tokens {
+            *token_distribution.entry(t).or_default() += 1;
+        }
+        match r.session {
+            SessionOutcome::NotAttempted => sessions.not_attempted += 1,
+            SessionOutcome::ChannelRejected => sessions.channel_rejected += 1,
+            SessionOutcome::AuthRejected => sessions.auth_rejected += 1,
+            SessionOutcome::ProtocolError => sessions.protocol_error += 1,
+            SessionOutcome::AnonymousActivated => sessions.anonymous_activated += 1,
+        }
+    }
+
+    AssessmentReport {
+        hosts: host_reports.len(),
+        non_opcua,
+        discovery_servers: host_reports
+            .iter()
+            .filter(|h| h.is_discovery_server)
+            .count(),
+        host_reports,
+        deficit_counts,
+        mode_distribution,
+        policy_distribution,
+        token_distribution,
+        reuse_clusters,
+        shared_prime_pairs,
+        sessions,
+    }
+}
+
+impl std::fmt::Display for AssessmentReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "OPC UA security assessment")?;
+        writeln!(
+            f,
+            "  hosts: {} OPC UA ({} discovery servers), {} non-OPC-UA responders",
+            self.hosts, self.discovery_servers, self.non_opcua
+        )?;
+
+        writeln!(f, "\n  security modes offered (hosts):")?;
+        for (mode, n) in &self.mode_distribution {
+            writeln!(
+                f,
+                "    {:<16} {:>6}  ({:>5.1} %)",
+                mode.abbrev(),
+                n,
+                pct(*n, self.hosts)
+            )?;
+        }
+        writeln!(f, "  security policies offered (hosts):")?;
+        for (policy, n) in &self.policy_distribution {
+            writeln!(
+                f,
+                "    {:<16} {:>6}  ({:>5.1} %)",
+                policy.abbrev(),
+                n,
+                pct(*n, self.hosts)
+            )?;
+        }
+        writeln!(f, "  identity tokens offered (hosts):")?;
+        for (token, n) in &self.token_distribution {
+            writeln!(
+                f,
+                "    {:<16} {:>6}  ({:>5.1} %)",
+                token.label(),
+                n,
+                pct(*n, self.hosts)
+            )?;
+        }
+
+        writeln!(f, "\n  configuration deficits:")?;
+        for d in Deficit::ALL {
+            let n = self.count(d);
+            writeln!(
+                f,
+                "    {:<30} {:>6}  ({:>5.1} %)",
+                d.label(),
+                n,
+                pct(n, self.hosts)
+            )?;
+        }
+
+        writeln!(f, "\n  sessions: {} anonymous activated, {} auth-rejected, {} channel-rejected, {} errors, {} not attempted",
+            self.sessions.anonymous_activated,
+            self.sessions.auth_rejected,
+            self.sessions.channel_rejected,
+            self.sessions.protocol_error,
+            self.sessions.not_attempted,
+        )?;
+
+        if !self.reuse_clusters.is_empty() {
+            writeln!(f, "\n  certificate reuse clusters:")?;
+            for c in &self.reuse_clusters {
+                writeln!(
+                    f,
+                    "    {} hosts share cert {}…",
+                    c.hosts.len(),
+                    &c.thumbprint_hex[..16]
+                )?;
+            }
+        }
+        if !self.shared_prime_pairs.is_empty() {
+            writeln!(f, "  shared-prime key pairs:")?;
+            for p in &self.shared_prime_pairs {
+                writeln!(f, "    {} ↔ {}", p.a, p.b)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn pct(n: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / total as f64
+    }
+}

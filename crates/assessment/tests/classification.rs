@@ -1,0 +1,347 @@
+//! Table-driven end-to-end classification tests: purpose-built
+//! populations are deployed, scanned, and assessed, and every paper
+//! category must be detected exactly where the ground truth says it is.
+
+use assessment::{assess, AssessmentReport, Deficit};
+use netsim::{Blocklist, Cidr, Internet, VirtualClock};
+use population::{synthesize, HostClass, Population, PopulationConfig, StrataMix};
+use scanner::{ScanConfig, ScanRecord, Scanner};
+
+const UNIVERSE: &str = "10.0.0.0/20";
+
+/// Deploys `mix`, scans the universe, assesses the records.
+fn pipeline(mix: StrataMix, seed: u64) -> (Population, Vec<ScanRecord>, AssessmentReport) {
+    let net = Internet::new(VirtualClock::starting_at(1_581_206_400));
+    let universe: Cidr = UNIVERSE.parse().unwrap();
+    let pop = synthesize(&net, &PopulationConfig::new(seed, vec![universe], mix));
+    let scanner = Scanner::new(net, Blocklist::new(), ScanConfig::default());
+    let (summary, records) = scanner.scan_collect(&[universe], seed ^ 0x5CA9);
+    assert_eq!(
+        summary.opcua_hosts as usize,
+        pop.len(),
+        "every deployed host must be found and speak OPC UA"
+    );
+    let report = assess(&records);
+    (pop, records, report)
+}
+
+/// One row of the classification table.
+struct Case {
+    class: HostClass,
+    count: usize,
+    /// Deficits every host of the class must carry.
+    expect: &'static [Deficit],
+    /// Deficits no host of the class may carry.
+    forbid: &'static [Deficit],
+}
+
+#[test]
+fn every_paper_category_is_detected_on_purpose_built_populations() {
+    use Deficit::*;
+    let table = [
+        Case {
+            class: HostClass::WideOpen,
+            count: 3,
+            expect: &[OnlyNoneMode, NoneModeOffered, AnonymousAccess, DataReadable],
+            forbid: &[
+                DeprecatedPolicy,
+                SelfSignedCertificate,
+                ExpiredCertificate,
+                CertificateTooWeak,
+                BrokenSessionConfig,
+            ],
+        },
+        Case {
+            class: HostClass::DeprecatedOnly,
+            count: 3,
+            expect: &[DeprecatedPolicy, SelfSignedCertificate],
+            forbid: &[
+                NoneModeOffered,
+                OnlyNoneMode,
+                AnonymousAccess,
+                ExpiredCertificate,
+            ],
+        },
+        Case {
+            class: HostClass::MixedLegacy,
+            count: 3,
+            expect: &[
+                NoneModeOffered,
+                DeprecatedPolicy,
+                AnonymousAccess,
+                SelfSignedCertificate,
+                DataReadable,
+            ],
+            forbid: &[OnlyNoneMode, ExpiredCertificate, CertificateTooWeak],
+        },
+        Case {
+            class: HostClass::SecureModern,
+            count: 3,
+            expect: &[SelfSignedCertificate],
+            forbid: &[
+                NoneModeOffered,
+                OnlyNoneMode,
+                DeprecatedPolicy,
+                ExpiredCertificate,
+                CertificateTooWeak,
+                AnonymousAccess,
+                DataReadable,
+            ],
+        },
+        Case {
+            class: HostClass::ExpiredCert,
+            count: 3,
+            expect: &[ExpiredCertificate, SelfSignedCertificate],
+            forbid: &[CertificateTooWeak, NoneModeOffered],
+        },
+        Case {
+            class: HostClass::WeakCert,
+            count: 3,
+            expect: &[CertificateTooWeak, SelfSignedCertificate],
+            forbid: &[ExpiredCertificate, NoneModeOffered],
+        },
+        Case {
+            class: HostClass::BrokenSession,
+            count: 3,
+            expect: &[AnonymousAccess, BrokenSessionConfig, OnlyNoneMode],
+            forbid: &[DataReadable, DataWritable],
+        },
+    ];
+
+    for case in table {
+        let mix = StrataMix::new().with(case.class, case.count);
+        let (pop, _, report) = pipeline(mix, 0xA11CE ^ case.count as u64);
+        assert_eq!(report.hosts, case.count, "{:?}", case.class);
+        for host in pop.of_class(case.class) {
+            let hr = report
+                .host_reports
+                .iter()
+                .find(|h| h.address == host.address)
+                .unwrap_or_else(|| panic!("{:?}: no report for {}", case.class, host.address));
+            for d in case.expect {
+                assert!(
+                    hr.deficits.contains(d),
+                    "{:?} host {} must carry {d:?}, has {:?}",
+                    case.class,
+                    host.address,
+                    hr.deficits
+                );
+            }
+            for d in case.forbid {
+                assert!(
+                    !hr.deficits.contains(d),
+                    "{:?} host {} must not carry {d:?}",
+                    case.class,
+                    host.address
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_ca_signed_hosts_have_no_deficits() {
+    let (_, _, report) = pipeline(StrataMix::new().with(HostClass::SecureCa, 3), 77);
+    assert_eq!(report.hosts, 3);
+    for hr in &report.host_reports {
+        assert!(
+            hr.deficits.is_empty(),
+            "clean host {} flagged: {:?}",
+            hr.address,
+            hr.deficits
+        );
+    }
+}
+
+#[test]
+fn certificate_reuse_cluster_detected_across_hosts() {
+    let mix = StrataMix::new()
+        .with(HostClass::ReusedCert, 4)
+        .with(HostClass::SecureModern, 3);
+    let (pop, _, report) = pipeline(mix, 0xBEEF);
+    assert_eq!(report.count(Deficit::ReusedCertificate), 4);
+    assert_eq!(report.reuse_clusters.len(), 1);
+    let cluster = &report.reuse_clusters[0];
+    assert_eq!(cluster.hosts.len(), 4);
+    for host in pop.of_class(HostClass::ReusedCert) {
+        assert!(cluster.hosts.contains(&host.address));
+    }
+    // Independent hosts are not flagged.
+    for host in pop.of_class(HostClass::SecureModern) {
+        let hr = report
+            .host_reports
+            .iter()
+            .find(|h| h.address == host.address)
+            .unwrap();
+        assert!(!hr.deficits.contains(&Deficit::ReusedCertificate));
+    }
+}
+
+#[test]
+fn shared_prime_keys_found_by_batch_gcd() {
+    let mix = StrataMix::new()
+        .with(HostClass::SharedPrime, 3)
+        .with(HostClass::SecureModern, 3);
+    let (pop, _, report) = pipeline(mix, 0xF00D);
+    assert_eq!(report.count(Deficit::SharedPrimeKey), 3);
+    assert!(!report.shared_prime_pairs.is_empty());
+    for host in pop.of_class(HostClass::SharedPrime) {
+        let hr = report
+            .host_reports
+            .iter()
+            .find(|h| h.address == host.address)
+            .unwrap();
+        assert!(hr.deficits.contains(&Deficit::SharedPrimeKey));
+        // Distinct certificates — this is weak keygen, not cert reuse.
+        assert!(!hr.deficits.contains(&Deficit::ReusedCertificate));
+    }
+    for host in pop.of_class(HostClass::SecureModern) {
+        let hr = report
+            .host_reports
+            .iter()
+            .find(|h| h.address == host.address)
+            .unwrap();
+        assert!(!hr.deficits.contains(&Deficit::SharedPrimeKey));
+    }
+}
+
+#[test]
+fn discovery_servers_classified_and_exempt_from_data_rules() {
+    let mix = StrataMix::new()
+        .with(HostClass::WideOpen, 2)
+        .with(HostClass::DiscoveryServer, 2);
+    let (pop, records, report) = pipeline(mix, 0xD15C);
+    assert_eq!(report.discovery_servers, 2);
+    for host in pop.of_class(HostClass::DiscoveryServer) {
+        let record = records.iter().find(|r| r.address == host.address).unwrap();
+        assert!(record.is_discovery_server());
+        assert!(
+            !record.referred_urls.is_empty(),
+            "LDS must reference other deployments"
+        );
+        let hr = report
+            .host_reports
+            .iter()
+            .find(|h| h.address == host.address)
+            .unwrap();
+        assert!(hr.deficits.contains(&Deficit::OnlyNoneMode));
+        assert!(!hr.deficits.contains(&Deficit::DataReadable));
+    }
+}
+
+#[test]
+fn aggregate_counts_match_ground_truth_on_paper_mix() {
+    let mix = StrataMix::paper_like(40);
+    let (pop, _, report) = pipeline(mix, 2020);
+    let n = |c| pop.count(c);
+
+    assert_eq!(report.hosts, pop.len());
+    assert_eq!(
+        report.count(Deficit::OnlyNoneMode),
+        n(HostClass::WideOpen) + n(HostClass::BrokenSession) + n(HostClass::DiscoveryServer)
+    );
+    assert_eq!(
+        report.count(Deficit::DeprecatedPolicy),
+        n(HostClass::DeprecatedOnly) + n(HostClass::MixedLegacy)
+    );
+    assert_eq!(
+        report.count(Deficit::ExpiredCertificate),
+        n(HostClass::ExpiredCert)
+    );
+    assert_eq!(
+        report.count(Deficit::CertificateTooWeak),
+        n(HostClass::WeakCert)
+    );
+    assert_eq!(
+        report.count(Deficit::ReusedCertificate),
+        n(HostClass::ReusedCert)
+    );
+    assert_eq!(
+        report.count(Deficit::SharedPrimeKey),
+        n(HostClass::SharedPrime)
+    );
+    assert_eq!(
+        report.count(Deficit::AnonymousAccess),
+        n(HostClass::WideOpen)
+            + n(HostClass::MixedLegacy)
+            + n(HostClass::BrokenSession)
+            + n(HostClass::DiscoveryServer)
+    );
+    assert_eq!(
+        report.count(Deficit::BrokenSessionConfig),
+        n(HostClass::BrokenSession)
+    );
+    assert_eq!(
+        report.count(Deficit::DataReadable),
+        n(HostClass::WideOpen) + n(HostClass::MixedLegacy)
+    );
+    // Writable/executable data matches the deployed address spaces.
+    let writable_hosts = pop
+        .hosts
+        .iter()
+        .filter(|h| {
+            matches!(h.class, HostClass::WideOpen | HostClass::MixedLegacy)
+                && h.writable_variables > 0
+        })
+        .count();
+    assert_eq!(report.count(Deficit::DataWritable), writable_hosts);
+    let executable_hosts = pop
+        .hosts
+        .iter()
+        .filter(|h| {
+            matches!(h.class, HostClass::WideOpen | HostClass::MixedLegacy)
+                && h.executable_methods > 0
+        })
+        .count();
+    assert_eq!(report.count(Deficit::MethodsExecutable), executable_hosts);
+    // Self-signed: every certificate-bearing class except the CA-signed one.
+    assert_eq!(
+        report.count(Deficit::SelfSignedCertificate),
+        n(HostClass::DeprecatedOnly)
+            + n(HostClass::MixedLegacy)
+            + n(HostClass::SecureModern)
+            + n(HostClass::ExpiredCert)
+            + n(HostClass::WeakCert)
+            + n(HostClass::ReusedCert)
+            + n(HostClass::SharedPrime)
+    );
+    // Sessions: anonymous activation succeeds on wide-open, mixed, and
+    // discovery hosts; broken hosts land in the auth-rejected column.
+    assert_eq!(
+        report.sessions.anonymous_activated,
+        n(HostClass::WideOpen) + n(HostClass::MixedLegacy) + n(HostClass::DiscoveryServer)
+    );
+    assert_eq!(report.sessions.auth_rejected, n(HostClass::BrokenSession));
+}
+
+#[test]
+fn same_seed_produces_identical_aggregates() {
+    let run = |seed| {
+        let (_, _, report) = pipeline(StrataMix::paper_like(35), seed);
+        report
+    };
+    let a = run(314);
+    let b = run(314);
+    assert_eq!(a.hosts, b.hosts);
+    assert_eq!(a.deficit_counts, b.deficit_counts);
+    assert_eq!(a.mode_distribution, b.mode_distribution);
+    assert_eq!(a.policy_distribution, b.policy_distribution);
+    assert_eq!(a.token_distribution, b.token_distribution);
+    assert_eq!(
+        a.reuse_clusters
+            .iter()
+            .map(|c| &c.thumbprint_hex)
+            .collect::<Vec<_>>(),
+        b.reuse_clusters
+            .iter()
+            .map(|c| &c.thumbprint_hex)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        a.sessions.anonymous_activated,
+        b.sessions.anonymous_activated
+    );
+    assert_eq!(a.sessions.auth_rejected, b.sessions.auth_rejected);
+    // And the rendered report itself is stable.
+    assert_eq!(a.to_string(), b.to_string());
+}

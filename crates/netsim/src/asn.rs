@@ -98,7 +98,10 @@ mod tests {
 
         assert_eq!(reg.as_number(Ipv4::new(10, 1, 1, 1)), 64500);
         assert_eq!(reg.as_number(Ipv4::new(10, 99, 5, 5)), 64501);
-        assert_eq!(reg.lookup(Ipv4::new(10, 99, 5, 5)).unwrap().kind, AsKind::IotIsp);
+        assert_eq!(
+            reg.lookup(Ipv4::new(10, 99, 5, 5)).unwrap().kind,
+            AsKind::IotIsp
+        );
         assert_eq!(reg.as_number(Ipv4::new(11, 0, 0, 1)), 0);
         assert!(reg.lookup(Ipv4::new(11, 0, 0, 1)).is_none());
         assert_eq!(reg.systems().len(), 2);

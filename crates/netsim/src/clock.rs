@@ -6,8 +6,7 @@
 //! advance explicitly. Deterministic, and seven months pass in
 //! milliseconds.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Microseconds since the unix epoch, virtual.
 pub type Micros = u64;
@@ -28,7 +27,7 @@ impl VirtualClock {
 
     /// Current virtual time in microseconds since the epoch.
     pub fn now_micros(&self) -> Micros {
-        *self.inner.lock()
+        *self.inner.lock().unwrap()
     }
 
     /// Current virtual time in unix seconds.
@@ -38,7 +37,7 @@ impl VirtualClock {
 
     /// Advances the clock by `micros`.
     pub fn advance_micros(&self, micros: u64) {
-        *self.inner.lock() += micros;
+        *self.inner.lock().unwrap() += micros;
     }
 
     /// Advances the clock by `millis`.
@@ -54,7 +53,7 @@ impl VirtualClock {
     /// Jumps to an absolute time; panics when moving backwards (virtual
     /// time is monotonic).
     pub fn jump_to_unix_seconds(&self, unix_seconds: u64) {
-        let mut t = self.inner.lock();
+        let mut t = self.inner.lock().unwrap();
         let target = unix_seconds * 1_000_000;
         assert!(target >= *t, "virtual clock cannot move backwards");
         *t = target;

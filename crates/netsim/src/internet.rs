@@ -8,9 +8,8 @@
 use crate::asn::AsRegistry;
 use crate::cidr::Ipv4;
 use crate::clock::VirtualClock;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// What a connection state machine produced for one input.
 #[derive(Debug, Default)]
@@ -106,22 +105,22 @@ impl Internet {
 
     /// Replaces the AS registry.
     pub fn set_registry(&self, registry: AsRegistry) {
-        *self.registry.write() = registry;
+        *self.registry.write().unwrap() = registry;
     }
 
     /// AS number owning `addr` (0 if unannounced).
     pub fn as_number(&self, addr: Ipv4) -> u32 {
-        self.registry.read().as_number(addr)
+        self.registry.read().unwrap().as_number(addr)
     }
 
     /// Runs `f` with read access to the AS registry.
     pub fn with_registry<T>(&self, f: impl FnOnce(&AsRegistry) -> T) -> T {
-        f(&self.registry.read())
+        f(&self.registry.read().unwrap())
     }
 
     /// Adds (or replaces) a host with the given round-trip time.
     pub fn add_host(&self, addr: Ipv4, rtt_micros: u32) {
-        self.hosts.write().insert(
+        self.hosts.write().unwrap().insert(
             addr.0,
             HostEntry {
                 services: HashMap::new(),
@@ -132,12 +131,12 @@ impl Internet {
 
     /// Removes a host entirely (device went offline / changed IP).
     pub fn remove_host(&self, addr: Ipv4) {
-        self.hosts.write().remove(&addr.0);
+        self.hosts.write().unwrap().remove(&addr.0);
     }
 
     /// Binds a service to `(addr, port)`; the host must exist.
     pub fn bind(&self, addr: Ipv4, port: u16, service: Arc<dyn Service>) {
-        let mut hosts = self.hosts.write();
+        let mut hosts = self.hosts.write().unwrap();
         let host = hosts
             .get_mut(&addr.0)
             .unwrap_or_else(|| panic!("bind on unknown host {addr}"));
@@ -146,14 +145,14 @@ impl Internet {
 
     /// Unbinds a port.
     pub fn unbind(&self, addr: Ipv4, port: u16) {
-        if let Some(host) = self.hosts.write().get_mut(&addr.0) {
+        if let Some(host) = self.hosts.write().unwrap().get_mut(&addr.0) {
             host.services.remove(&port);
         }
     }
 
     /// True if a host exists at `addr`.
     pub fn host_exists(&self, addr: Ipv4) -> bool {
-        self.hosts.read().contains_key(&addr.0)
+        self.hosts.read().unwrap().contains_key(&addr.0)
     }
 
     /// SYN-probe semantics: does anything listen on `(addr, port)`?
@@ -161,27 +160,39 @@ impl Internet {
     pub fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
         self.hosts
             .read()
+            .unwrap()
             .get(&addr.0)
             .map_or(false, |h| h.services.contains_key(&port))
     }
 
     /// Number of hosts.
     pub fn host_count(&self) -> usize {
-        self.hosts.read().len()
+        self.hosts.read().unwrap().len()
     }
 
     /// All host addresses, ascending (deterministic iteration for
     /// tests/ground truth; a real scanner cannot do this).
     pub fn host_addresses(&self) -> Vec<Ipv4> {
-        let mut v: Vec<Ipv4> = self.hosts.read().keys().map(|&ip| Ipv4(ip)).collect();
+        let mut v: Vec<Ipv4> = self
+            .hosts
+            .read()
+            .unwrap()
+            .keys()
+            .map(|&ip| Ipv4(ip))
+            .collect();
         v.sort();
         v
     }
 
     /// Opens a TCP-like connection, applying one RTT of virtual latency
     /// for the handshake.
-    pub fn connect(&self, from: Ipv4, to: Ipv4, port: u16) -> Result<crate::stream::TcpStreamSim, ConnectError> {
-        let hosts = self.hosts.read();
+    pub fn connect(
+        &self,
+        from: Ipv4,
+        to: Ipv4,
+        port: u16,
+    ) -> Result<crate::stream::TcpStreamSim, ConnectError> {
+        let hosts = self.hosts.read().unwrap();
         let host = hosts.get(&to.0).ok_or_else(|| {
             // SYN timeout: a scanner waits ~1s for silence.
             self.clock.advance_millis(1000);
@@ -290,7 +301,11 @@ mod tests {
         let addrs = net.host_addresses();
         assert_eq!(
             addrs,
-            vec![Ipv4::new(1, 0, 0, 1), Ipv4::new(5, 0, 0, 1), Ipv4::new(9, 0, 0, 1)]
+            vec![
+                Ipv4::new(1, 0, 0, 1),
+                Ipv4::new(5, 0, 0, 1),
+                Ipv4::new(9, 0, 0, 1)
+            ]
         );
     }
 }

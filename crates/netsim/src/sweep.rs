@@ -199,6 +199,22 @@ pub struct SweepResult {
     pub blocklisted: u64,
 }
 
+/// Aggregate accounting of a streamed sweep ([`SynScanner::sweep_each`]):
+/// everything [`SweepResult`] carries except the responsive addresses
+/// themselves, which are handed to the caller one by one instead of being
+/// collected. A full-IPv4 sweep finds tens of thousands of hosts; keeping
+/// them out of a `Vec` lets downstream stages start probing while the
+/// sweep is still walking the permutation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Probes sent (excluded addresses are not probed).
+    pub probes_sent: u64,
+    /// Addresses skipped due to the blocklist.
+    pub blocklisted: u64,
+    /// Responsive addresses seen (equals the number of callback calls).
+    pub responsive: u64,
+}
+
 /// A zmap-like SYN scanner over a configurable universe.
 pub struct SynScanner<'a> {
     internet: &'a Internet,
@@ -223,18 +239,38 @@ impl<'a> SynScanner<'a> {
     /// and works identically (benches exercise a sampled slice for
     /// wall-clock reasons — see DESIGN.md).
     pub fn sweep<R: Rng + ?Sized>(&self, universe: &[Cidr], rng: &mut R) -> SweepResult {
+        let mut responsive = Vec::new();
+        let stats = self.sweep_each(universe, rng, |addr| responsive.push(addr));
+        SweepResult {
+            responsive,
+            probes_sent: stats.probes_sent,
+            blocklisted: stats.blocklisted,
+        }
+    }
+
+    /// Streaming variant of [`Self::sweep`]: invokes `on_responsive` for
+    /// every address with an open target port, in discovery order, and
+    /// returns only the aggregate accounting. This is the probe API the
+    /// `scanner` crate's pipeline drives — responsive hosts flow into the
+    /// application-layer probes without an intermediate `Vec`.
+    pub fn sweep_each<R, F>(
+        &self,
+        universe: &[Cidr],
+        rng: &mut R,
+        mut on_responsive: F,
+    ) -> SweepStats
+    where
+        R: Rng + ?Sized,
+        F: FnMut(Ipv4),
+    {
         // Concatenate blocks into one index space, then walk a
         // permutation of it (zmap's randomization property: no subnet is
         // hammered in a burst).
         let sizes: Vec<u64> = universe.iter().map(Cidr::size).collect();
         let total: u64 = sizes.iter().sum();
-        let mut result = SweepResult {
-            responsive: Vec::new(),
-            probes_sent: 0,
-            blocklisted: 0,
-        };
+        let mut stats = SweepStats::default();
         if total == 0 {
-            return result;
+            return stats;
         }
         for idx in PermutedRange::new(total, rng) {
             // Map the flat index back into (block, offset).
@@ -249,18 +285,19 @@ impl<'a> SynScanner<'a> {
             }
             let addr = addr.expect("index within total");
             if self.blocklist.contains(addr) {
-                result.blocklisted += 1;
+                stats.blocklisted += 1;
                 continue;
             }
-            result.probes_sent += 1;
+            stats.probes_sent += 1;
             if self.internet.has_listener(addr, self.config.port) {
-                result.responsive.push(addr);
+                stats.responsive += 1;
+                on_responsive(addr);
             }
         }
         // Account the sweep duration once: probes are asynchronous.
-        let seconds = result.probes_sent / self.config.probes_per_second.max(1);
+        let seconds = stats.probes_sent / self.config.probes_per_second.max(1);
         self.internet.clock().advance_seconds(seconds);
-        result
+        stats
     }
 }
 
@@ -390,7 +427,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let scanner = SynScanner::new(&net, &blocklist, SweepConfig::default());
         let result = scanner.sweep(&[universe], &mut rng);
-        assert!(result.responsive.is_empty(), "opted-out host must not be probed");
+        assert!(
+            result.responsive.is_empty(),
+            "opted-out host must not be probed"
+        );
         assert_eq!(result.blocklisted, 32);
         assert_eq!(result.probes_sent, 256 - 32);
     }
@@ -412,6 +452,32 @@ mod tests {
         );
         scanner.sweep(&[universe], &mut rng);
         assert_eq!(clock.now_unix_seconds(), 65);
+    }
+
+    #[test]
+    fn sweep_each_matches_collected_sweep() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let universe: Cidr = "10.9.0.0/24".parse().unwrap();
+        for i in [3u32, 77, 200] {
+            let addr = Ipv4(universe.base.0 + i);
+            net.add_host(addr, 1000);
+            net.bind(addr, 4840, Arc::new(NopService));
+        }
+        let mut blocklist = Blocklist::new();
+        blocklist.add_str("10.9.0.64/26").unwrap(); // covers .64-.127 (77)
+        let scanner = SynScanner::new(&net, &blocklist, SweepConfig::default());
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let collected = scanner.sweep(&[universe], &mut rng);
+
+        let mut streamed = Vec::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let stats = scanner.sweep_each(&[universe], &mut rng, |a| streamed.push(a));
+
+        assert_eq!(streamed, collected.responsive);
+        assert_eq!(stats.probes_sent, collected.probes_sent);
+        assert_eq!(stats.blocklisted, collected.blocklisted);
+        assert_eq!(stats.responsive as usize, collected.responsive.len());
     }
 
     #[test]

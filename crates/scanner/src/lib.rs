@@ -1,1 +1,27 @@
-//! Placeholder: implementation follows.
+//! # scanner
+//!
+//! The Internet-wide OPC UA measurement pipeline (§4 of the paper):
+//!
+//! * [`record`] — [`ScanRecord`]/[`EndpointSnapshot`], the per-host data
+//!   every downstream consumer (notably the `assessment` crate) works on;
+//! * [`probe`] — the composable [`Probe`] stage API: UACP hello →
+//!   discovery (GetEndpoints + FindServers) → anonymous session with
+//!   budgeted traversal;
+//! * [`pipeline`] — the campaign driver: zmap-style sweep streamed
+//!   straight into the probe stack, with records flowing through a
+//!   bounded channel ([`Scanner::scan_stream`]) so memory stays constant
+//!   at Internet scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod probe;
+pub mod record;
+
+pub use pipeline::{ScanStream, ScanSummary, Scanner};
+pub use probe::{
+    classify_session_error, default_stack, discovery_stack, DiscoveryProbe, Probe, ProbeContext,
+    ProbeOutcome, ScanConfig, SessionProbe, UacpProbe,
+};
+pub use record::{EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};

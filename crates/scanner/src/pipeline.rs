@@ -1,0 +1,324 @@
+//! The end-to-end measurement pipeline: zmap-style sweep → probe stack →
+//! streamed [`ScanRecord`]s.
+//!
+//! Records flow through a *bounded* channel ([`Scanner::scan_stream`]):
+//! the producer blocks when the consumer lags, so memory stays O(channel
+//! capacity) no matter how many of the 2³² addresses answer. For
+//! synchronous use (tests, small universes) [`Scanner::scan_with`] drives
+//! a callback on the caller's thread and [`Scanner::scan_collect`] gathers
+//! everything into a `Vec`.
+
+use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig};
+use crate::record::ScanRecord;
+use netsim::{Blocklist, Cidr, Internet, SweepConfig, SweepStats, SynScanner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Aggregate accounting of one scan campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanSummary {
+    /// Sweep-stage accounting (probes, blocklist hits, responsive).
+    pub sweep: SweepStats,
+    /// Hosts that completed the UACP handshake (actual OPC UA speakers).
+    pub opcua_hosts: u64,
+    /// Responsive hosts that did not speak OPC UA.
+    pub non_opcua_hosts: u64,
+    /// Virtual unix time the campaign started.
+    pub started_unix: i64,
+    /// Virtual unix time the campaign finished.
+    pub finished_unix: i64,
+}
+
+/// The campaign driver.
+#[derive(Clone)]
+pub struct Scanner {
+    internet: Internet,
+    blocklist: Blocklist,
+    config: ScanConfig,
+}
+
+impl Scanner {
+    /// Creates a scanner over `internet` honoring `blocklist`.
+    pub fn new(internet: Internet, blocklist: Blocklist, config: ScanConfig) -> Self {
+        Scanner {
+            internet,
+            blocklist,
+            config,
+        }
+    }
+
+    /// The scan configuration.
+    pub fn config(&self) -> &ScanConfig {
+        &self.config
+    }
+
+    /// Probes a single address with the given probe stack, returning the
+    /// record. Exposed for targeted re-scans (e.g. following LDS
+    /// referrals) and tests.
+    pub fn probe_host(
+        &self,
+        stack: &mut [Box<dyn Probe>],
+        addr: netsim::Ipv4,
+        seed: u64,
+    ) -> ScanRecord {
+        let mut record = ScanRecord::new(
+            addr,
+            self.internet.as_number(addr),
+            self.internet.clock().now_unix_seconds(),
+        );
+        let mut ctx = ProbeContext::new(&self.internet, &self.config, addr, seed);
+        for probe in stack.iter_mut() {
+            if probe.run(&mut ctx, &mut record) == ProbeOutcome::Stop {
+                break;
+            }
+        }
+        if let Some(client) = &ctx.client {
+            record.requests = client.requests_sent();
+            let stats = client.stats();
+            record.tx_bytes = stats.tx_bytes;
+            record.rx_bytes = stats.rx_bytes;
+        }
+        record
+    }
+
+    /// Runs the full campaign synchronously, handing each record to
+    /// `sink` as soon as its host is fully probed.
+    pub fn scan_with<F>(&self, universe: &[Cidr], seed: u64, mut sink: F) -> ScanSummary
+    where
+        F: FnMut(ScanRecord),
+    {
+        let mut summary = ScanSummary {
+            started_unix: self.internet.clock().now_unix_seconds(),
+            ..ScanSummary::default()
+        };
+        let sweep_config = SweepConfig {
+            probes_per_second: self.config.probes_per_second,
+            port: self.config.port,
+        };
+        let syn = SynScanner::new(&self.internet, &self.blocklist, sweep_config);
+        let mut sweep_rng = StdRng::seed_from_u64(seed);
+        let mut stack = default_stack();
+        // The sweep streams responsive addresses straight into the
+        // application-layer probes — no intermediate address list.
+        summary.sweep = syn.sweep_each(universe, &mut sweep_rng, |addr| {
+            let record = self.probe_host(&mut stack, addr, seed ^ u64::from(addr.0));
+            if record.hello_ok {
+                summary.opcua_hosts += 1;
+            } else {
+                summary.non_opcua_hosts += 1;
+            }
+            sink(record);
+        });
+        summary.finished_unix = self.internet.clock().now_unix_seconds();
+        summary
+    }
+
+    /// Convenience: runs [`Self::scan_with`] and collects all records.
+    pub fn scan_collect(&self, universe: &[Cidr], seed: u64) -> (ScanSummary, Vec<ScanRecord>) {
+        let mut records = Vec::new();
+        let summary = self.scan_with(universe, seed, |r| records.push(r));
+        (summary, records)
+    }
+
+    /// Runs the campaign on a worker thread, streaming records through a
+    /// bounded channel. Iterate the returned [`ScanStream`] to consume
+    /// records as they are produced; call [`ScanStream::finish`] for the
+    /// summary. Record order is identical to [`Self::scan_with`] — the
+    /// single producer keeps the campaign deterministic.
+    pub fn scan_stream(self, universe: Vec<Cidr>, seed: u64) -> ScanStream {
+        let (tx, rx) = mpsc::sync_channel(self.config.channel_capacity.max(1));
+        let handle = std::thread::spawn(move || {
+            self.scan_with(&universe, seed, |record| {
+                // A dropped receiver means the consumer stopped caring;
+                // keep scanning for the summary but stop pushing.
+                let _ = tx.send(record);
+            })
+        });
+        ScanStream {
+            rx: Some(rx),
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Iterator over streamed scan records (see [`Scanner::scan_stream`]).
+pub struct ScanStream {
+    rx: Option<mpsc::Receiver<ScanRecord>>,
+    handle: Option<JoinHandle<ScanSummary>>,
+}
+
+impl Iterator for ScanStream {
+    type Item = ScanRecord;
+
+    fn next(&mut self) -> Option<ScanRecord> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl ScanStream {
+    /// Waits for the campaign to end and returns its summary. Pending
+    /// records are drained and dropped; iterate first to keep them.
+    pub fn finish(mut self) -> ScanSummary {
+        // Dropping the receiver unblocks a producer waiting on a full
+        // channel.
+        self.rx = None;
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("scan worker panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SessionOutcome;
+    use netsim::{Ipv4, VirtualClock};
+    use std::sync::Arc;
+    use ua_addrspace::{NodeAccess, SpaceBuilder};
+    use ua_server::{ServerConfig, ServerCore, UaServerService};
+    use ua_types::Variant;
+
+    fn wide_open_internet(addrs: &[Ipv4]) -> Internet {
+        let net = Internet::new(VirtualClock::starting_at(1_581_206_400));
+        for (i, &addr) in addrs.iter().enumerate() {
+            let url = format!("opc.tcp://{addr}:4840/");
+            let mut b = SpaceBuilder::new(&["urn:test:dev"], "1.0");
+            let f = b.folder(None, "Plant");
+            b.variable(&f, "inflow", Variant::Double(1.5), NodeAccess::read_only());
+            b.variable(
+                &f,
+                "setpoint",
+                Variant::Float(50.0),
+                NodeAccess::read_write_all(),
+            );
+            b.method(&f, "Flush", true);
+            let core = ServerCore::new(
+                ServerConfig::wide_open(format!("urn:test:dev{i}"), url),
+                b.finish(),
+                7 + i as u64,
+            );
+            net.add_host(addr, 10_000);
+            net.bind(addr, 4840, Arc::new(UaServerService::new(core, 5)));
+        }
+        net
+    }
+
+    #[test]
+    fn scan_probes_wide_open_host_end_to_end() {
+        let addr = Ipv4::new(10, 0, 0, 7);
+        let net = wide_open_internet(&[addr]);
+        let scanner = Scanner::new(net, Blocklist::new(), ScanConfig::default());
+        let universe: Cidr = "10.0.0.0/24".parse().unwrap();
+        let (summary, records) = scanner.scan_collect(&[universe], 1);
+
+        assert_eq!(summary.sweep.probes_sent, 256);
+        assert_eq!(summary.opcua_hosts, 1);
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.address, addr);
+        assert!(r.hello_ok);
+        assert_eq!(r.application_uri.as_deref(), Some("urn:test:dev0"));
+        assert_eq!(r.endpoints.len(), 1);
+        assert!(r.advertises_anonymous());
+        assert_eq!(r.session, SessionOutcome::AnonymousActivated);
+        let t = r.traversal.expect("traversal ran");
+        assert!(t.nodes > 3);
+        assert_eq!(t.writable, 1);
+        assert_eq!(t.executable, 1);
+        assert!(r.requests > 3);
+        assert!(r.tx_bytes > 0);
+    }
+
+    #[test]
+    fn streamed_scan_matches_sync_scan() {
+        let addrs = [
+            Ipv4::new(10, 1, 0, 3),
+            Ipv4::new(10, 1, 0, 99),
+            Ipv4::new(10, 1, 0, 200),
+        ];
+        let net = wide_open_internet(&addrs);
+        let universe: Cidr = "10.1.0.0/24".parse().unwrap();
+
+        // Two independent clocks would drift; rebuild for a fair
+        // comparison of record *content*.
+        let sync_scanner = Scanner::new(net.clone(), Blocklist::new(), ScanConfig::default());
+        let (_, sync_records) = sync_scanner.scan_collect(&[universe], 9);
+
+        let net2 = wide_open_internet(&addrs);
+        let stream_scanner = Scanner::new(net2, Blocklist::new(), ScanConfig::default());
+        let mut stream = stream_scanner.scan_stream(vec![universe], 9);
+        let streamed: Vec<_> = stream.by_ref().collect();
+        let summary = stream.finish();
+
+        assert_eq!(summary.opcua_hosts, 3);
+        assert_eq!(streamed.len(), sync_records.len());
+        for (a, b) in streamed.iter().zip(&sync_records) {
+            assert_eq!(a.address, b.address);
+            assert_eq!(a.endpoints, b.endpoints);
+            assert_eq!(a.session, b.session);
+        }
+    }
+
+    #[test]
+    fn bounded_channel_backpressure_keeps_all_records() {
+        let addrs: Vec<Ipv4> = (0..20).map(|i| Ipv4::new(10, 2, 0, 10 + i)).collect();
+        let net = wide_open_internet(&addrs);
+        let universe: Cidr = "10.2.0.0/24".parse().unwrap();
+        let config = ScanConfig {
+            channel_capacity: 2, // far smaller than the host count
+            ..ScanConfig::default()
+        };
+        let scanner = Scanner::new(net, Blocklist::new(), config);
+        let mut stream = scanner.scan_stream(vec![universe], 4);
+        let records: Vec<_> = stream.by_ref().collect();
+        let summary = stream.finish();
+        assert_eq!(records.len(), 20);
+        assert_eq!(summary.opcua_hosts, 20);
+    }
+
+    #[test]
+    fn non_opcua_listener_counted_but_not_recorded_as_opcua() {
+        struct Junk;
+        struct JunkConn;
+        impl netsim::Connection for JunkConn {
+            fn on_data(&mut self, _d: &[u8]) -> netsim::ConnectionOutput {
+                netsim::ConnectionOutput::close_with(b"HTTP/1.1 400\r\n\r\n".to_vec())
+            }
+        }
+        impl netsim::Service for Junk {
+            fn open_connection(&self, _peer: Ipv4) -> Box<dyn netsim::Connection> {
+                Box::new(JunkConn)
+            }
+        }
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let addr = Ipv4::new(10, 3, 0, 1);
+        net.add_host(addr, 1000);
+        net.bind(addr, 4840, Arc::new(Junk));
+        let scanner = Scanner::new(net, Blocklist::new(), ScanConfig::default());
+        let universe: Cidr = "10.3.0.0/28".parse().unwrap();
+        let (summary, records) = scanner.scan_collect(&[universe], 2);
+        assert_eq!(summary.sweep.responsive, 1);
+        assert_eq!(summary.opcua_hosts, 0);
+        assert_eq!(summary.non_opcua_hosts, 1);
+        assert_eq!(records.len(), 1);
+        assert!(!records[0].hello_ok);
+    }
+
+    #[test]
+    fn blocklisted_hosts_never_probed() {
+        let addr = Ipv4::new(10, 4, 0, 50);
+        let net = wide_open_internet(&[addr]);
+        let mut blocklist = Blocklist::new();
+        blocklist.add_str("10.4.0.0/24").unwrap();
+        let scanner = Scanner::new(net, blocklist, ScanConfig::default());
+        let universe: Cidr = "10.4.0.0/24".parse().unwrap();
+        let (summary, records) = scanner.scan_collect(&[universe], 3);
+        assert_eq!(summary.sweep.blocklisted, 256);
+        assert_eq!(summary.sweep.probes_sent, 0);
+        assert!(records.is_empty());
+    }
+}

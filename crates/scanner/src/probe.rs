@@ -1,0 +1,288 @@
+//! The probe API: composable per-host measurement stages.
+//!
+//! A scan runs a stack of [`Probe`]s against every responsive address.
+//! The default stack mirrors the paper's scanner (§4): UACP hello →
+//! GetEndpoints/FindServers over an insecure discovery channel → (where
+//! anonymous access is advertised) session establishment and a budgeted
+//! address-space traversal. Custom stacks can drop stages (discovery-only
+//! campaigns) or append new ones without touching the pipeline.
+
+use crate::record::{EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+use netsim::{Internet, Ipv4, TcpStreamSim};
+use ua_client::{traverse, ClientConfig, ClientError, TraversalBudget, UaClient};
+use ua_proto::services::IdentityToken;
+use ua_types::{ApplicationType, MessageSecurityMode, SecurityPolicy};
+
+/// Scan-wide configuration shared by all probes.
+#[derive(Clone)]
+pub struct ScanConfig {
+    /// TCP port to probe (OPC UA's registered port).
+    pub port: u16,
+    /// SYN probes per second for the sweep stage.
+    pub probes_per_second: u64,
+    /// Source address the scanner connects from.
+    pub scanner_address: Ipv4,
+    /// OPC UA client identity/politeness configuration.
+    pub client: ClientConfig,
+    /// Budget for the traversal stage (Appendix A.2).
+    pub budget: TraversalBudget,
+    /// Whether to attempt anonymous sessions at all (the paper's scanner
+    /// only proceeds where servers advertise credential-less access).
+    pub attempt_session: bool,
+    /// Bounded capacity of the record channel in streaming scans.
+    pub channel_capacity: usize,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            port: 4840,
+            probes_per_second: 50_000,
+            scanner_address: Ipv4::new(192, 0, 2, 1),
+            client: ClientConfig::default(),
+            budget: TraversalBudget::default(),
+            attempt_session: true,
+            channel_capacity: 256,
+        }
+    }
+}
+
+/// Mutable state threaded through the probe stack for one target.
+pub struct ProbeContext<'a> {
+    /// The network under measurement.
+    pub internet: &'a Internet,
+    /// Scan configuration.
+    pub config: &'a ScanConfig,
+    /// The target address.
+    pub target: Ipv4,
+    /// `opc.tcp://…` URL of the target.
+    pub endpoint_url: String,
+    /// The connected client, once the UACP stage established it.
+    pub client: Option<UaClient<TcpStreamSim>>,
+    /// Per-target nonce seed.
+    pub seed: u64,
+}
+
+impl<'a> ProbeContext<'a> {
+    /// Builds a context for `target`.
+    pub fn new(internet: &'a Internet, config: &'a ScanConfig, target: Ipv4, seed: u64) -> Self {
+        ProbeContext {
+            internet,
+            config,
+            target,
+            endpoint_url: format!("opc.tcp://{target}:{}/", config.port),
+            client: None,
+            seed,
+        }
+    }
+}
+
+/// Whether the pipeline continues with the next stage for this target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Run the next probe.
+    Continue,
+    /// Stop probing this target (record keeps whatever was learned).
+    Stop,
+}
+
+/// One measurement stage.
+pub trait Probe {
+    /// Stage name (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage, updating `record` with whatever it learned.
+    fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome;
+}
+
+/// Stage 1: TCP connect plus UACP HEL/ACK. Filters out services that
+/// answer on 4840 without speaking OPC UA (the paper found plenty).
+pub struct UacpProbe;
+
+impl Probe for UacpProbe {
+    fn name(&self) -> &'static str {
+        "uacp"
+    }
+
+    fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
+        let stream =
+            match ctx
+                .internet
+                .connect(ctx.config.scanner_address, ctx.target, ctx.config.port)
+            {
+                Ok(s) => s,
+                Err(_) => return ProbeOutcome::Stop,
+            };
+        let mut client = UaClient::new(
+            stream,
+            ctx.internet.clock().clone(),
+            ctx.config.client.clone(),
+            ctx.seed,
+        );
+        match client.handshake(&ctx.endpoint_url) {
+            Ok(()) => {
+                record.hello_ok = true;
+                ctx.client = Some(client);
+                ProbeOutcome::Continue
+            }
+            Err(_) => ProbeOutcome::Stop,
+        }
+    }
+}
+
+/// Stage 2: endpoint discovery over an insecure channel (always permitted
+/// for discovery), plus FindServers to follow referenced endpoints — the
+/// paper's scanner added that on 2020-05-04.
+pub struct DiscoveryProbe;
+
+impl Probe for DiscoveryProbe {
+    fn name(&self) -> &'static str {
+        "discovery"
+    }
+
+    fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
+        let url = ctx.endpoint_url.clone();
+        let Some(client) = ctx.client.as_mut() else {
+            return ProbeOutcome::Stop;
+        };
+        if client
+            .open_channel(SecurityPolicy::None, MessageSecurityMode::None, None)
+            .is_err()
+        {
+            return ProbeOutcome::Stop;
+        }
+        let endpoints = match client.get_endpoints(&url) {
+            Ok(eps) => eps,
+            Err(_) => return ProbeOutcome::Stop,
+        };
+        if let Some(first) = endpoints.first() {
+            record.application_uri = first.server.application_uri.clone();
+            record.application_name = first.server.application_name.text.clone();
+            record.application_type = Some(first.server.application_type);
+        }
+        record.endpoints = endpoints
+            .iter()
+            .map(EndpointSnapshot::from_description)
+            .collect();
+
+        // FindServers: collect discovery URLs pointing away from this
+        // host (LDS referrals).
+        if let Ok(servers) = client.find_servers(&url) {
+            for app in &servers {
+                if app.application_type == ApplicationType::DiscoveryServer {
+                    record.application_type = record
+                        .application_type
+                        .or(Some(ApplicationType::DiscoveryServer));
+                }
+                // The server's own description is part of the answer;
+                // keep only URLs pointing away from this host.
+                for referred in &app.discovery_urls {
+                    if referred != &url && !record.referred_urls.contains(referred) {
+                        record.referred_urls.push(referred.clone());
+                    }
+                }
+            }
+        }
+        ProbeOutcome::Continue
+    }
+}
+
+/// Stage 3: anonymous session establishment and budgeted traversal —
+/// only where the server *advertises* credential-less access (the
+/// paper's ethical line, Appendix A.1).
+pub struct SessionProbe;
+
+impl Probe for SessionProbe {
+    fn name(&self) -> &'static str {
+        "session"
+    }
+
+    fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
+        if !ctx.config.attempt_session || !record.advertises_anonymous() {
+            record.session = SessionOutcome::NotAttempted;
+            return ProbeOutcome::Continue;
+        }
+        let url = ctx.endpoint_url.clone();
+        let budget = ctx.config.budget;
+        let Some(client) = ctx.client.as_mut() else {
+            return ProbeOutcome::Stop;
+        };
+
+        let attempt = client.create_session(&url).and_then(|()| {
+            client.activate_session(IdentityToken::Anonymous {
+                policy_id: Some("anon".into()),
+            })
+        });
+        match attempt {
+            Ok(()) => {
+                record.session = SessionOutcome::AnonymousActivated;
+                if let Ok(t) = traverse(client, &budget) {
+                    record.traversal = Some(TraversalSummary::from_traversal(&t));
+                }
+                let _ = client.close_session();
+            }
+            Err(err) => {
+                record.session = classify_session_error(&err);
+            }
+        }
+        ProbeOutcome::Continue
+    }
+}
+
+/// Maps a client error onto the failure stages of Table 2.
+pub fn classify_session_error(err: &ClientError) -> SessionOutcome {
+    if err.is_auth_rejection() {
+        SessionOutcome::AuthRejected
+    } else if err.is_channel_rejection() {
+        SessionOutcome::ChannelRejected
+    } else {
+        SessionOutcome::ProtocolError
+    }
+}
+
+/// The default probe stack: UACP → discovery → session.
+pub fn default_stack() -> Vec<Box<dyn Probe>> {
+    vec![
+        Box::new(UacpProbe),
+        Box::new(DiscoveryProbe),
+        Box::new(SessionProbe),
+    ]
+}
+
+/// A discovery-only stack (no session establishment), e.g. for strictly
+/// passive-characterization campaigns.
+pub fn discovery_stack() -> Vec<Box<dyn Probe>> {
+    vec![Box::new(UacpProbe), Box::new(DiscoveryProbe)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::StatusCode;
+
+    #[test]
+    fn session_error_classification() {
+        assert_eq!(
+            classify_session_error(&ClientError::Fault(StatusCode::BAD_IDENTITY_TOKEN_REJECTED)),
+            SessionOutcome::AuthRejected
+        );
+        assert_eq!(
+            classify_session_error(&ClientError::Remote {
+                status: StatusCode::BAD_CERTIFICATE_UNTRUSTED,
+                reason: None,
+            }),
+            SessionOutcome::ChannelRejected
+        );
+        assert_eq!(
+            classify_session_error(&ClientError::NoReply),
+            SessionOutcome::ProtocolError
+        );
+    }
+
+    #[test]
+    fn default_stack_order() {
+        let stack = default_stack();
+        let names: Vec<&str> = stack.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["uacp", "discovery", "session"]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Per-target scan records — the data the measurement pipeline streams.
+//!
+//! One [`ScanRecord`] is produced per responsive host. It captures
+//! everything the paper's scanner extracts: the UACP handshake outcome,
+//! every advertised endpoint (mode, policy, identity tokens, certificate),
+//! referred discovery URLs, and — where anonymous sessions are permitted —
+//! a summary of the budgeted address-space traversal. The `assessment`
+//! crate consumes these records without ever touching the network layer.
+
+use netsim::Ipv4;
+use ua_client::Traversal;
+use ua_crypto::{der::DerError, Certificate};
+use ua_types::{
+    ApplicationType, EndpointDescription, MessageSecurityMode, NodeClass, SecurityPolicy,
+    UserTokenType,
+};
+
+/// A scanner-side snapshot of one advertised endpoint: the subset of
+/// [`EndpointDescription`] the assessment rules operate on, decoupled from
+/// wire types so records can be stored/streamed cheaply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointSnapshot {
+    /// Message security mode.
+    pub security_mode: MessageSecurityMode,
+    /// Parsed security policy (`None` for unknown/garbled URIs).
+    pub security_policy: Option<SecurityPolicy>,
+    /// The raw policy URI as transmitted.
+    pub security_policy_uri: Option<String>,
+    /// Offered identity token types (deduplicated, sorted).
+    pub token_types: Vec<UserTokenType>,
+    /// The server certificate delivered during discovery, DER bytes.
+    pub certificate_der: Option<Vec<u8>>,
+    /// Server-assigned relative security level.
+    pub security_level: u8,
+}
+
+impl EndpointSnapshot {
+    /// Captures the fields of one endpoint description.
+    pub fn from_description(ep: &EndpointDescription) -> Self {
+        EndpointSnapshot {
+            security_mode: ep.security_mode,
+            security_policy: ep.security_policy(),
+            security_policy_uri: ep.security_policy_uri.clone(),
+            token_types: ep.token_types(),
+            certificate_der: ep.server_certificate.clone(),
+            security_level: ep.security_level,
+        }
+    }
+
+    /// Parses the delivered certificate, if any.
+    pub fn certificate(&self) -> Option<Result<Certificate, DerError>> {
+        self.certificate_der.as_deref().map(Certificate::from_der)
+    }
+
+    /// True if anonymous authentication is offered on this endpoint.
+    pub fn allows_anonymous(&self) -> bool {
+        self.token_types.contains(&UserTokenType::Anonymous)
+    }
+}
+
+/// Outcome of the session-establishment stage (the paper's Table 2
+/// distinguishes exactly these failure stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// No session was attempted (no anonymous token advertised, or the
+    /// stage is disabled in the scan configuration).
+    NotAttempted,
+    /// The secure-channel stage rejected us (Table 2 "Secure Channel").
+    ChannelRejected,
+    /// Session creation/activation was rejected (Table 2
+    /// "Authentication") — includes hosts with broken session configs.
+    AuthRejected,
+    /// The exchange failed in some other way (codec error, peer closed).
+    ProtocolError,
+    /// An anonymous session was activated — the host grants access
+    /// without any credentials.
+    AnonymousActivated,
+}
+
+/// Aggregate of a budgeted address-space traversal (the per-host data
+/// behind the paper's Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraversalSummary {
+    /// Nodes discovered.
+    pub nodes: usize,
+    /// Variables discovered.
+    pub variables: usize,
+    /// Variables readable by the anonymous user.
+    pub readable: usize,
+    /// Variables writable by the anonymous user.
+    pub writable: usize,
+    /// Methods discovered.
+    pub methods: usize,
+    /// Methods executable by the anonymous user.
+    pub executable: usize,
+    /// True when a budget limit forced early disconnect.
+    pub truncated: bool,
+    /// Requests spent on the traversal.
+    pub requests: u64,
+}
+
+impl TraversalSummary {
+    /// Condenses a full traversal into the summary the record keeps.
+    pub fn from_traversal(t: &Traversal) -> Self {
+        let mut s = TraversalSummary {
+            nodes: t.nodes.len(),
+            truncated: t.truncated,
+            requests: t.requests,
+            ..TraversalSummary::default()
+        };
+        for node in &t.nodes {
+            match node.node_class {
+                NodeClass::Variable => {
+                    s.variables += 1;
+                    s.readable += node.readable as usize;
+                    s.writable += node.writable as usize;
+                }
+                NodeClass::Method => {
+                    s.methods += 1;
+                    s.executable += node.executable as usize;
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+/// Everything the scanner learned about one responsive host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanRecord {
+    /// Target address.
+    pub address: Ipv4,
+    /// Autonomous system announcing the address (0 if unannounced).
+    pub asn: u32,
+    /// Virtual unix time the probe started.
+    pub discovered_unix: i64,
+    /// UACP HEL/ACK succeeded — the host actually speaks OPC UA.
+    pub hello_ok: bool,
+    /// ApplicationUri from discovery (manufacturer clustering, §4).
+    pub application_uri: Option<String>,
+    /// Application display name.
+    pub application_name: Option<String>,
+    /// Application type (discovery servers are the paper's first host
+    /// category).
+    pub application_type: Option<ApplicationType>,
+    /// Advertised endpoints.
+    pub endpoints: Vec<EndpointSnapshot>,
+    /// Discovery URLs of *other* servers announced via FindServers.
+    pub referred_urls: Vec<String>,
+    /// Outcome of the session stage.
+    pub session: SessionOutcome,
+    /// Traversal summary when an anonymous session succeeded.
+    pub traversal: Option<TraversalSummary>,
+    /// Total requests issued against this host.
+    pub requests: u64,
+    /// Bytes sent to this host.
+    pub tx_bytes: u64,
+    /// Bytes received from this host.
+    pub rx_bytes: u64,
+}
+
+impl ScanRecord {
+    /// A fresh record for `address` before any probe ran.
+    pub fn new(address: Ipv4, asn: u32, discovered_unix: i64) -> Self {
+        ScanRecord {
+            address,
+            asn,
+            discovered_unix,
+            hello_ok: false,
+            application_uri: None,
+            application_name: None,
+            application_type: None,
+            endpoints: Vec::new(),
+            referred_urls: Vec::new(),
+            session: SessionOutcome::NotAttempted,
+            traversal: None,
+            requests: 0,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
+    }
+
+    /// The strongest (mode, policy) pairing advertised, by the paper's
+    /// strength ranking (Figure 3 "most secure configuration").
+    pub fn best_endpoint(&self) -> Option<&EndpointSnapshot> {
+        self.endpoints.iter().max_by_key(|e| {
+            (
+                e.security_policy.map_or(0, |p| p.strength()),
+                e.security_mode.strength(),
+            )
+        })
+    }
+
+    /// The weakest (mode, policy) pairing advertised (Figure 3 "least
+    /// secure configuration").
+    pub fn worst_endpoint(&self) -> Option<&EndpointSnapshot> {
+        self.endpoints.iter().min_by_key(|e| {
+            (
+                e.security_policy.map_or(0, |p| p.strength()),
+                e.security_mode.strength(),
+            )
+        })
+    }
+
+    /// True if any endpoint offers the given security mode.
+    pub fn offers_mode(&self, mode: MessageSecurityMode) -> bool {
+        self.endpoints.iter().any(|e| e.security_mode == mode)
+    }
+
+    /// True if any endpoint offers the given policy.
+    pub fn offers_policy(&self, policy: SecurityPolicy) -> bool {
+        self.endpoints
+            .iter()
+            .any(|e| e.security_policy == Some(policy))
+    }
+
+    /// True if any endpoint advertises anonymous authentication.
+    pub fn advertises_anonymous(&self) -> bool {
+        self.endpoints
+            .iter()
+            .any(EndpointSnapshot::allows_anonymous)
+    }
+
+    /// Distinct certificates (DER) delivered by this host.
+    pub fn certificates(&self) -> Vec<&[u8]> {
+        let mut seen: Vec<&[u8]> = Vec::new();
+        for ep in &self.endpoints {
+            if let Some(der) = ep.certificate_der.as_deref() {
+                if !seen.contains(&der) {
+                    seen.push(der);
+                }
+            }
+        }
+        seen
+    }
+
+    /// True if this host is a discovery server (LDS).
+    pub fn is_discovery_server(&self) -> bool {
+        self.application_type == Some(ApplicationType::DiscoveryServer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_types::{ApplicationDescription, UserTokenPolicy, TRANSPORT_PROFILE_BINARY};
+
+    fn endpoint(mode: MessageSecurityMode, policy: SecurityPolicy) -> EndpointDescription {
+        EndpointDescription {
+            endpoint_url: Some("opc.tcp://10.0.0.1:4840/".into()),
+            server: ApplicationDescription::server("urn:test", "t"),
+            server_certificate: Some(vec![1, 2, 3]),
+            security_mode: mode,
+            security_policy_uri: Some(policy.uri().into()),
+            user_identity_tokens: vec![
+                UserTokenPolicy::new(UserTokenType::Anonymous),
+                UserTokenPolicy::new(UserTokenType::UserName),
+            ],
+            transport_profile_uri: Some(TRANSPORT_PROFILE_BINARY.into()),
+            security_level: 0,
+        }
+    }
+
+    fn record_with(endpoints: Vec<EndpointSnapshot>) -> ScanRecord {
+        let mut r = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
+        r.endpoints = endpoints;
+        r
+    }
+
+    #[test]
+    fn snapshot_captures_description() {
+        let ep = endpoint(MessageSecurityMode::Sign, SecurityPolicy::Basic256);
+        let snap = EndpointSnapshot::from_description(&ep);
+        assert_eq!(snap.security_mode, MessageSecurityMode::Sign);
+        assert_eq!(snap.security_policy, Some(SecurityPolicy::Basic256));
+        assert!(snap.allows_anonymous());
+        assert_eq!(snap.certificate_der.as_deref(), Some(&[1u8, 2, 3][..]));
+        // Garbage DER parses to an error, not a panic.
+        assert!(snap.certificate().unwrap().is_err());
+    }
+
+    #[test]
+    fn best_and_worst_endpoint_by_strength() {
+        let r = record_with(vec![
+            EndpointSnapshot::from_description(&endpoint(
+                MessageSecurityMode::None,
+                SecurityPolicy::None,
+            )),
+            EndpointSnapshot::from_description(&endpoint(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+            )),
+            EndpointSnapshot::from_description(&endpoint(
+                MessageSecurityMode::Sign,
+                SecurityPolicy::Basic128Rsa15,
+            )),
+        ]);
+        assert_eq!(
+            r.best_endpoint().unwrap().security_policy,
+            Some(SecurityPolicy::Basic256Sha256)
+        );
+        assert_eq!(
+            r.worst_endpoint().unwrap().security_policy,
+            Some(SecurityPolicy::None)
+        );
+        assert!(r.offers_mode(MessageSecurityMode::None));
+        assert!(r.offers_policy(SecurityPolicy::Basic128Rsa15));
+        assert!(!r.offers_policy(SecurityPolicy::Aes256Sha256RsaPss));
+        assert!(r.advertises_anonymous());
+    }
+
+    #[test]
+    fn certificates_deduplicated() {
+        let mut a = EndpointSnapshot::from_description(&endpoint(
+            MessageSecurityMode::None,
+            SecurityPolicy::None,
+        ));
+        a.certificate_der = Some(vec![9, 9]);
+        let b = a.clone();
+        let mut c = a.clone();
+        c.certificate_der = Some(vec![7]);
+        let r = record_with(vec![a, b, c]);
+        assert_eq!(r.certificates().len(), 2);
+    }
+
+    #[test]
+    fn traversal_summary_counts_classes() {
+        use ua_client::TraversedNode;
+        use ua_types::{NodeId, Variant};
+        let t = Traversal {
+            nodes: vec![
+                TraversedNode {
+                    node_id: NodeId::string(1, "v1"),
+                    browse_name: "v1".into(),
+                    namespace_index: 1,
+                    node_class: NodeClass::Variable,
+                    readable: true,
+                    writable: true,
+                    executable: false,
+                    value: Some(Variant::Double(1.0)),
+                },
+                TraversedNode {
+                    node_id: NodeId::string(1, "v2"),
+                    browse_name: "v2".into(),
+                    namespace_index: 1,
+                    node_class: NodeClass::Variable,
+                    readable: true,
+                    writable: false,
+                    executable: false,
+                    value: None,
+                },
+                TraversedNode {
+                    node_id: NodeId::string(1, "m"),
+                    browse_name: "m".into(),
+                    namespace_index: 1,
+                    node_class: NodeClass::Method,
+                    readable: false,
+                    writable: false,
+                    executable: true,
+                    value: None,
+                },
+            ],
+            truncated: false,
+            requests: 7,
+        };
+        let s = TraversalSummary::from_traversal(&t);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.variables, 2);
+        assert_eq!(s.readable, 2);
+        assert_eq!(s.writable, 1);
+        assert_eq!(s.methods, 1);
+        assert_eq!(s.executable, 1);
+        assert_eq!(s.requests, 7);
+    }
+}

@@ -48,7 +48,8 @@ impl SpaceBuilder {
         let parent = parent
             .cloned()
             .unwrap_or_else(|| NodeId::numeric(0, ids::OBJECTS_FOLDER));
-        self.space.add_reference(&parent, ids::REF_ORGANIZES, id.clone());
+        self.space
+            .add_reference(&parent, ids::REF_ORGANIZES, id.clone());
         id
     }
 

@@ -150,9 +150,7 @@ impl Node {
     pub fn object(node_id: NodeId, browse_name: QualifiedName, type_definition: NodeId) -> Self {
         Node {
             node_id,
-            display_name: LocalizedText::new(
-                browse_name.name.clone().unwrap_or_default(),
-            ),
+            display_name: LocalizedText::new(browse_name.name.clone().unwrap_or_default()),
             browse_name,
             node_class: NodeClass::Object,
             value: None,
@@ -171,9 +169,7 @@ impl Node {
     ) -> Self {
         Node {
             node_id,
-            display_name: LocalizedText::new(
-                browse_name.name.clone().unwrap_or_default(),
-            ),
+            display_name: LocalizedText::new(browse_name.name.clone().unwrap_or_default()),
             browse_name,
             node_class: NodeClass::Variable,
             value: Some(value),
@@ -187,9 +183,7 @@ impl Node {
     pub fn method(node_id: NodeId, browse_name: QualifiedName, anonymous_executable: bool) -> Self {
         Node {
             node_id,
-            display_name: LocalizedText::new(
-                browse_name.name.clone().unwrap_or_default(),
-            ),
+            display_name: LocalizedText::new(browse_name.name.clone().unwrap_or_default()),
             browse_name,
             node_class: NodeClass::Method,
             value: None,
@@ -268,7 +262,11 @@ mod tests {
         );
         assert_eq!(v.node_class, NodeClass::Variable);
         assert_eq!(v.value, Some(Variant::Double(1.5)));
-        let m = Node::method(NodeId::string(2, "AddEndpoint"), QualifiedName::new(2, "AddEndpoint"), true);
+        let m = Node::method(
+            NodeId::string(2, "AddEndpoint"),
+            QualifiedName::new(2, "AddEndpoint"),
+            true,
+        );
         assert_eq!(m.node_class, NodeClass::Method);
         assert!(m.access.user_executable(&UserClass::Anonymous));
     }

@@ -4,9 +4,7 @@
 use crate::ids;
 use crate::node::{Node, NodeAccess, Reference, UserClass};
 use std::collections::HashMap;
-use ua_types::{
-    AttributeId, DataValue, NodeClass, NodeId, QualifiedName, StatusCode, Variant,
-};
+use ua_types::{AttributeId, DataValue, NodeClass, NodeId, QualifiedName, StatusCode, Variant};
 
 /// Result of browsing one node.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,9 +59,21 @@ impl AddressSpace {
             folder_type,
         ));
         let root = NodeId::numeric(0, ids::ROOT_FOLDER);
-        space.add_reference(&root, ids::REF_ORGANIZES, NodeId::numeric(0, ids::OBJECTS_FOLDER));
-        space.add_reference(&root, ids::REF_ORGANIZES, NodeId::numeric(0, ids::TYPES_FOLDER));
-        space.add_reference(&root, ids::REF_ORGANIZES, NodeId::numeric(0, ids::VIEWS_FOLDER));
+        space.add_reference(
+            &root,
+            ids::REF_ORGANIZES,
+            NodeId::numeric(0, ids::OBJECTS_FOLDER),
+        );
+        space.add_reference(
+            &root,
+            ids::REF_ORGANIZES,
+            NodeId::numeric(0, ids::TYPES_FOLDER),
+        );
+        space.add_reference(
+            &root,
+            ids::REF_ORGANIZES,
+            NodeId::numeric(0, ids::VIEWS_FOLDER),
+        );
 
         // Server object with NamespaceArray and SoftwareVersion.
         space.insert(Node::object(
@@ -162,7 +172,9 @@ impl AddressSpace {
 
     /// Iterates nodes in insertion order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = &Node> {
-        self.insertion_order.iter().filter_map(|id| self.nodes.get(id))
+        self.insertion_order
+            .iter()
+            .filter_map(|id| self.nodes.get(id))
     }
 
     /// Adds a forward reference (and its inverse on the target).
@@ -206,7 +218,12 @@ impl AddressSpace {
     }
 
     /// Reads one attribute as `user`.
-    pub fn read_attribute(&self, id: &NodeId, attribute: AttributeId, user: &UserClass) -> DataValue {
+    pub fn read_attribute(
+        &self,
+        id: &NodeId,
+        attribute: AttributeId,
+        user: &UserClass,
+    ) -> DataValue {
         let Some(node) = self.nodes.get(id) else {
             return DataValue::error(StatusCode::BAD_NODE_ID_UNKNOWN);
         };
@@ -367,20 +384,32 @@ mod tests {
             Variant::Double(12.5),
             NodeAccess::read_only(),
         ));
-        s.add_reference(&device, ids::REF_HAS_COMPONENT, NodeId::string(1, "m3InflowPerHour"));
+        s.add_reference(
+            &device,
+            ids::REF_HAS_COMPONENT,
+            NodeId::string(1, "m3InflowPerHour"),
+        );
         s.insert(Node::variable(
             NodeId::string(1, "rSetFillLevel"),
             QualifiedName::new(1, "rSetFillLevel"),
             Variant::Float(80.0),
             NodeAccess::read_write_all(),
         ));
-        s.add_reference(&device, ids::REF_HAS_COMPONENT, NodeId::string(1, "rSetFillLevel"));
+        s.add_reference(
+            &device,
+            ids::REF_HAS_COMPONENT,
+            NodeId::string(1, "rSetFillLevel"),
+        );
         s.insert(Node::method(
             NodeId::string(1, "AddEndpoint"),
             QualifiedName::new(1, "AddEndpoint"),
             true,
         ));
-        s.add_reference(&device, ids::REF_HAS_COMPONENT, NodeId::string(1, "AddEndpoint"));
+        s.add_reference(
+            &device,
+            ids::REF_HAS_COMPONENT,
+            NodeId::string(1, "AddEndpoint"),
+        );
         s
     }
 
@@ -389,8 +418,12 @@ mod tests {
         let s = AddressSpace::default();
         assert!(s.get(&NodeId::numeric(0, ids::ROOT_FOLDER)).is_some());
         assert!(s.get(&NodeId::numeric(0, ids::OBJECTS_FOLDER)).is_some());
-        assert!(s.get(&NodeId::numeric(0, ids::SERVER_NAMESPACE_ARRAY)).is_some());
-        assert!(s.get(&NodeId::numeric(0, ids::SERVER_SOFTWARE_VERSION)).is_some());
+        assert!(s
+            .get(&NodeId::numeric(0, ids::SERVER_NAMESPACE_ARRAY))
+            .is_some());
+        assert!(s
+            .get(&NodeId::numeric(0, ids::SERVER_SOFTWARE_VERSION))
+            .is_some());
         assert!(!s.is_empty());
     }
 
@@ -439,8 +472,9 @@ mod tests {
     fn read_value_respects_access() {
         let mut s = space_with_device();
         // Make inflow hidden from anonymous.
-        s.get_mut(&NodeId::string(1, "m3InflowPerHour")).unwrap().access =
-            NodeAccess::authenticated_only();
+        s.get_mut(&NodeId::string(1, "m3InflowPerHour"))
+            .unwrap()
+            .access = NodeAccess::authenticated_only();
         let anon = s.read_attribute(
             &NodeId::string(1, "m3InflowPerHour"),
             AttributeId::Value,
@@ -459,8 +493,9 @@ mod tests {
     fn user_access_level_attribute_differs_per_user() {
         let s = space_with_device();
         let mut sw = s.clone();
-        sw.get_mut(&NodeId::string(1, "rSetFillLevel")).unwrap().access =
-            NodeAccess::write_authenticated();
+        sw.get_mut(&NodeId::string(1, "rSetFillLevel"))
+            .unwrap()
+            .access = NodeAccess::write_authenticated();
         let anon = sw.read_attribute(
             &NodeId::string(1, "rSetFillLevel"),
             AttributeId::UserAccessLevel,
@@ -494,7 +529,11 @@ mod tests {
             &UserClass::Anonymous,
         );
         assert_eq!(st, StatusCode::BAD_NOT_WRITABLE);
-        let st = s.write_value(&NodeId::string(9, "x"), Variant::Empty, &UserClass::Anonymous);
+        let st = s.write_value(
+            &NodeId::string(9, "x"),
+            Variant::Empty,
+            &UserClass::Anonymous,
+        );
         assert_eq!(st, StatusCode::BAD_NODE_ID_UNKNOWN);
     }
 
@@ -505,8 +544,7 @@ mod tests {
             s.call_method(&NodeId::string(1, "AddEndpoint"), &UserClass::Anonymous),
             StatusCode::GOOD
         );
-        s.get_mut(&NodeId::string(1, "AddEndpoint")).unwrap().access =
-            NodeAccess::method(false);
+        s.get_mut(&NodeId::string(1, "AddEndpoint")).unwrap().access = NodeAccess::method(false);
         assert_eq!(
             s.call_method(&NodeId::string(1, "AddEndpoint"), &UserClass::Anonymous),
             StatusCode::BAD_NOT_EXECUTABLE
@@ -517,7 +555,10 @@ mod tests {
         );
         // Calling a variable is invalid.
         assert_eq!(
-            s.call_method(&NodeId::string(1, "rSetFillLevel"), &UserClass::Authenticated),
+            s.call_method(
+                &NodeId::string(1, "rSetFillLevel"),
+                &UserClass::Authenticated
+            ),
             StatusCode::BAD_METHOD_INVALID
         );
     }

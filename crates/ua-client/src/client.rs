@@ -38,8 +38,8 @@ impl Default for ClientConfig {
     fn default() -> Self {
         ClientConfig {
             application_uri: "urn:research:scanner".into(),
-            application_name:
-                "Internet measurement study - contact research@scan.example.org".into(),
+            application_name: "Internet measurement study - contact research@scan.example.org"
+                .into(),
             certificate: None,
             private_key: None,
             politeness_delay_millis: 500,
@@ -411,9 +411,7 @@ impl<S: ByteStream> UaClient<S> {
             nodes_to_browse: vec![BrowseDescription::all_forward(node)],
         });
         match self.request(body)? {
-            ServiceBody::BrowseResponse(mut r) if !r.results.is_empty() => {
-                Ok(r.results.remove(0))
-            }
+            ServiceBody::BrowseResponse(mut r) if !r.results.is_empty() => Ok(r.results.remove(0)),
             _ => Err(ClientError::UnexpectedResponse),
         }
     }

@@ -81,10 +81,7 @@ impl ClientError {
     /// True when the failure happened at the secure-channel stage
     /// (Table 2 column "Secure Channel").
     pub fn is_channel_rejection(&self) -> bool {
-        matches!(
-            self,
-            ClientError::Remote { .. } | ClientError::Secure(_)
-        )
+        matches!(self, ClientError::Remote { .. } | ClientError::Secure(_))
     }
 
     /// True when the failure is an authentication/session rejection

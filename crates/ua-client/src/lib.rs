@@ -114,7 +114,11 @@ mod tests {
 
         let result = traverse(&mut client, &TraversalBudget::default()).unwrap();
         assert!(!result.truncated);
-        let names: Vec<&str> = result.nodes.iter().map(|n| n.browse_name.as_str()).collect();
+        let names: Vec<&str> = result
+            .nodes
+            .iter()
+            .map(|n| n.browse_name.as_str())
+            .collect();
         assert!(names.contains(&"Plant"));
         assert!(names.contains(&"m3InflowPerHour"));
         assert!(names.contains(&"rSetFillLevel"));
@@ -172,8 +176,7 @@ mod tests {
             .iter()
             .find(|e| e.security_mode == MessageSecurityMode::SignAndEncrypt)
             .unwrap();
-        let cert =
-            Certificate::from_der(secure_ep.server_certificate.as_ref().unwrap()).unwrap();
+        let cert = Certificate::from_der(secure_ep.server_certificate.as_ref().unwrap()).unwrap();
         assert_eq!(cert.thumbprint(), server_cert.thumbprint());
 
         client
@@ -190,7 +193,10 @@ mod tests {
             })
             .unwrap();
         let values = client
-            .read(vec![(NodeId::string(1, "m3InflowPerHour"), AttributeId::Value)])
+            .read(vec![(
+                NodeId::string(1, "m3InflowPerHour"),
+                AttributeId::Value,
+            )])
             .unwrap();
         assert_eq!(values[0].value, Some(Variant::Double(12.5)));
     }

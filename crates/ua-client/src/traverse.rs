@@ -88,9 +88,18 @@ impl Traversal {
             }
         };
         (
-            frac(variables.iter().filter(|n| n.readable).count(), variables.len()),
-            frac(variables.iter().filter(|n| n.writable).count(), variables.len()),
-            frac(methods.iter().filter(|n| n.executable).count(), methods.len()),
+            frac(
+                variables.iter().filter(|n| n.readable).count(),
+                variables.len(),
+            ),
+            frac(
+                variables.iter().filter(|n| n.writable).count(),
+                variables.len(),
+            ),
+            frac(
+                methods.iter().filter(|n| n.executable).count(),
+                methods.len(),
+            ),
         )
     }
 }
@@ -129,11 +138,7 @@ pub fn traverse<S: ByteStream>(
                 }
                 let mut record = TraversedNode {
                     node_id: target.clone(),
-                    browse_name: reference
-                        .browse_name
-                        .name
-                        .clone()
-                        .unwrap_or_default(),
+                    browse_name: reference.browse_name.name.clone().unwrap_or_default(),
                     namespace_index: reference.browse_name.namespace_index,
                     node_class: reference.node_class,
                     readable: false,
@@ -160,8 +165,8 @@ pub fn traverse<S: ByteStream>(
                         }
                     }
                     NodeClass::Method => {
-                        let values = client
-                            .read(vec![(target.clone(), AttributeId::UserExecutable)])?;
+                        let values =
+                            client.read(vec![(target.clone(), AttributeId::UserExecutable)])?;
                         if let Some(Variant::Boolean(x)) =
                             values.first().and_then(|dv| dv.value.clone())
                         {

@@ -46,7 +46,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = BigUint { limbs: vec![lo, hi] };
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }
@@ -381,9 +383,7 @@ impl BigUint {
             let mut qhat = numerator / v_top as u128;
             let mut rhat = numerator % v_top as u128;
             // Correct qhat (at most two iterations).
-            while qhat >= 1 << 64
-                || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >= 1 << 64 || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top as u128;
                 if rhat >= 1 << 64 {
@@ -689,7 +689,14 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "100", "deadbeefcafebabe", "1234567890abcdef1234567890abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "100",
+            "deadbeefcafebabe",
+            "1234567890abcdef1234567890abcdef",
+        ] {
             let v = BigUint::from_hex(s).unwrap();
             let expect = s.trim_start_matches('0');
             let expect = if expect.is_empty() { "0" } else { expect };
@@ -791,8 +798,14 @@ mod tests {
             BigUint::from_u64(48).gcd(&BigUint::from_u64(18)),
             BigUint::from_u64(6)
         );
-        assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(5)), BigUint::from_u64(5));
-        assert_eq!(BigUint::from_u64(5).gcd(&BigUint::zero()), BigUint::from_u64(5));
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from_u64(5)),
+            BigUint::from_u64(5)
+        );
+        assert_eq!(
+            BigUint::from_u64(5).gcd(&BigUint::zero()),
+            BigUint::from_u64(5)
+        );
         let p = big("e3e70682c2094cac629f6fbed82c07cd");
         let a = p.mul(&big("f728b4fa42485e3a0a5d2f346baa9455"));
         let b = p.mul(&big("eb1167b367a9c3787c65c1e582e2e662"));
@@ -807,7 +820,10 @@ mod tests {
             Some(BigUint::from_u64(5))
         );
         // gcd != 1 -> None
-        assert_eq!(BigUint::from_u64(4).mod_inverse(&BigUint::from_u64(8)), None);
+        assert_eq!(
+            BigUint::from_u64(4).mod_inverse(&BigUint::from_u64(8)),
+            None
+        );
         // Large: inverse times self = 1 mod m
         let m = big("fedcba9876543210fedcba9876543211");
         let a = big("123456789abcdef");

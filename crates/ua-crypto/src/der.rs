@@ -53,7 +53,10 @@ impl std::fmt::Display for DerError {
         match self {
             DerError::Truncated => write!(f, "truncated DER value"),
             DerError::UnexpectedTag { expected, found } => {
-                write!(f, "unexpected DER tag {found:#04x} (expected {expected:#04x})")
+                write!(
+                    f,
+                    "unexpected DER tag {found:#04x} (expected {expected:#04x})"
+                )
             }
             DerError::BadLength => write!(f, "malformed DER length"),
             DerError::TrailingData => write!(f, "trailing data after DER value"),
@@ -329,14 +332,20 @@ mod tests {
     #[test]
     fn truncated_input_errors() {
         assert_eq!(Reader::new(&[0x02]).any(), Err(DerError::Truncated));
-        assert_eq!(Reader::new(&[0x02, 0x05, 1, 2]).any(), Err(DerError::Truncated));
+        assert_eq!(
+            Reader::new(&[0x02, 0x05, 1, 2]).any(),
+            Err(DerError::Truncated)
+        );
         assert_eq!(Reader::new(&[]).any(), Err(DerError::Truncated));
     }
 
     #[test]
     fn bad_length_errors() {
         // 0x80 (indefinite) and >4 length octets are rejected.
-        assert_eq!(Reader::new(&[0x02, 0x80, 0]).any(), Err(DerError::BadLength));
+        assert_eq!(
+            Reader::new(&[0x02, 0x80, 0]).any(),
+            Err(DerError::BadLength)
+        );
         assert_eq!(
             Reader::new(&[0x02, 0x85, 0, 0, 0, 0, 1, 9]).any(),
             Err(DerError::BadLength)

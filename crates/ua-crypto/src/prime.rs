@@ -106,7 +106,20 @@ mod tests {
     #[test]
     fn small_composites_rejected() {
         let mut rng = StdRng::seed_from_u64(2);
-        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 100, 65536, 3 * 211, 1009 * 1013] {
+        for c in [
+            0u64,
+            1,
+            4,
+            6,
+            9,
+            15,
+            21,
+            25,
+            100,
+            65536,
+            3 * 211,
+            1009 * 1013,
+        ] {
             assert!(
                 !is_probable_prime(&BigUint::from_u64(c), &mut rng),
                 "{c} should be composite"

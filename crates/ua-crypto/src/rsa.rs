@@ -199,11 +199,7 @@ impl RsaPrivateKey {
         let e = BigUint::from_u64(65537);
         let d = e.mod_inverse(&lambda)?;
         Some(RsaPrivateKey {
-            public: RsaPublicKey {
-                n,
-                e,
-                nominal_bits,
-            },
+            public: RsaPublicKey { n, e, nominal_bits },
             p,
             q,
             d,
@@ -266,15 +262,13 @@ fn alg_id(alg: HashAlgorithm) -> [u8; 2] {
 /// If the modulus is too small for the full digest (scaled-down simulation
 /// keys only), the digest is truncated; a minimum of 8 digest bytes and 8
 /// padding bytes is enforced.
-fn pkcs1_sign_encode(
-    alg: HashAlgorithm,
-    message: &[u8],
-    k: usize,
-) -> Result<Vec<u8>, RsaError> {
+fn pkcs1_sign_encode(alg: HashAlgorithm, message: &[u8], k: usize) -> Result<Vec<u8>, RsaError> {
     let digest = alg.digest(message);
     let id = alg_id(alg);
     // 3 framing bytes + 2 alg-id + >=8 padding.
-    let room = k.checked_sub(3 + id.len() + 8).ok_or(RsaError::MessageTooLong)?;
+    let room = k
+        .checked_sub(3 + id.len() + 8)
+        .ok_or(RsaError::MessageTooLong)?;
     let dlen = digest.len().min(room);
     if dlen < 8 {
         return Err(RsaError::MessageTooLong);
@@ -329,7 +323,11 @@ mod tests {
     #[test]
     fn sign_verify_roundtrip_all_algs() {
         let k = key(256);
-        for alg in [HashAlgorithm::Md5, HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
+        for alg in [
+            HashAlgorithm::Md5,
+            HashAlgorithm::Sha1,
+            HashAlgorithm::Sha256,
+        ] {
             let sig = k.sign(alg, b"easing the conscience");
             assert!(k.public.verify(alg, b"easing the conscience", &sig));
             assert!(!k.public.verify(alg, b"easing the conscienze", &sig));
@@ -385,7 +383,10 @@ mod tests {
         let k = key(256);
         let mut rng = StdRng::seed_from_u64(42);
         let msg = vec![7u8; k.public.max_plaintext_len() + 1];
-        assert_eq!(k.public.encrypt(&mut rng, &msg), Err(RsaError::MessageTooLong));
+        assert_eq!(
+            k.public.encrypt(&mut rng, &msg),
+            Err(RsaError::MessageTooLong)
+        );
     }
 
     #[test]
@@ -400,8 +401,7 @@ mod tests {
     fn shared_prime_keys_share_gcd() {
         let mut rng = StdRng::seed_from_u64(55);
         let k1 = RsaPrivateKey::generate(&mut rng, 256, 1024);
-        let k2 =
-            RsaPrivateKey::generate_with_shared_prime(&mut rng, &k1.p, 128, 1024);
+        let k2 = RsaPrivateKey::generate_with_shared_prime(&mut rng, &k1.p, 128, 1024);
         let g = k1.public.n.gcd(&k2.public.n);
         assert_eq!(g, k1.p);
     }

@@ -7,10 +7,10 @@
 //! window (`NotBefore`), per-host reuse (by thumbprint), and shared prime
 //! factors. This module models exactly those properties.
 
+use crate::bigint::BigUint;
 use crate::der::{tag, DerError, Reader, Writer};
 use crate::hash::{sha1, to_hex, HashAlgorithm};
 use crate::rsa::{RsaPrivateKey, RsaPublicKey};
-use crate::bigint::BigUint;
 
 /// A distinguished name, reduced to the fields the study inspects.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]

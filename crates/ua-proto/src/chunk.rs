@@ -237,9 +237,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(chunks.len(), 1);
-        let opened =
-            open_symmetric(SecurityPolicy::None, MessageSecurityMode::None, None, &chunks[0])
-                .unwrap();
+        let opened = open_symmetric(
+            SecurityPolicy::None,
+            MessageSecurityMode::None,
+            None,
+            &chunks[0],
+        )
+        .unwrap();
         assert_eq!(opened.chunk, ChunkKind::Final);
         assert_eq!(opened.body, b"short");
         assert_eq!(opened.sequence.sequence_number, 10);
@@ -266,9 +270,11 @@ mod tests {
         let mut result = None;
         for raw in &chunks {
             let opened =
-                open_symmetric(SecurityPolicy::None, MessageSecurityMode::None, None, raw)
-                    .unwrap();
-            if let Some(msg) = ra.push(opened.chunk, opened.sequence, &opened.body).unwrap() {
+                open_symmetric(SecurityPolicy::None, MessageSecurityMode::None, None, raw).unwrap();
+            if let Some(msg) = ra
+                .push(opened.chunk, opened.sequence, &opened.body)
+                .unwrap()
+            {
                 result = Some(msg);
             }
         }
@@ -300,7 +306,13 @@ mod tests {
         let mut ra = Reassembler::new(16, 1024);
         ra.push(ChunkKind::Intermediate, seq(1, 1), b"a").unwrap();
         let err = ra.push(ChunkKind::Final, seq(3, 1), b"b").unwrap_err();
-        assert_eq!(err, ReassemblyError::OutOfOrder { expected: 2, got: 3 });
+        assert_eq!(
+            err,
+            ReassemblyError::OutOfOrder {
+                expected: 2,
+                got: 3
+            }
+        );
     }
 
     #[test]
@@ -375,7 +387,10 @@ mod tests {
                 raw,
             )
             .unwrap();
-            if let Some(m) = ra.push(opened.chunk, opened.sequence, &opened.body).unwrap() {
+            if let Some(m) = ra
+                .push(opened.chunk, opened.sequence, &opened.body)
+                .unwrap()
+            {
                 out = Some(m);
             }
         }

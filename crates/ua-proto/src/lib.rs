@@ -23,7 +23,7 @@ pub mod secure;
 pub mod services;
 pub mod transport;
 
-pub use chunk::{chunk_message, AssembledMessage, ReassemblyError, Reassembler};
+pub use chunk::{chunk_message, AssembledMessage, Reassembler, ReassemblyError};
 pub use secure::{
     derive_keys, hash_for, open_asymmetric, open_symmetric, policy_crypto, seal_asymmetric,
     seal_symmetric, AsymmetricSecurityHeader, DerivedKeys, OpenedAsymmetric, OpenedChunk,

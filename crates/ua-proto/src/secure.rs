@@ -343,7 +343,9 @@ pub fn open_symmetric(
     let mut r = Decoder::new(raw);
     let header = MessageHeader::decode(&mut r)?;
     if header.size as usize != raw.len() {
-        return Err(SecureError::Codec(CodecError::BadLength(header.size as i64)));
+        return Err(SecureError::Codec(CodecError::BadLength(
+            header.size as i64,
+        )));
     }
     let channel_id = r.u32()?;
     let token_id = r.u32()?;
@@ -451,11 +453,7 @@ pub fn seal_asymmetric<R: rand::Rng + ?Sized>(
 
     let sender_key = sender_key.ok_or(SecureError::MissingKeys)?;
     let receiver = receiver_cert.ok_or(SecureError::MissingCertificate)?;
-    let sig_hash = hash_for(
-        policy
-            .signature_hash()
-            .ok_or(SecureError::PolicyMismatch)?,
-    );
+    let sig_hash = hash_for(policy.signature_hash().ok_or(SecureError::PolicyMismatch)?);
     let sig_len = sender_key.public.modulus_len();
     let k = receiver.tbs.public_key.modulus_len();
     let block_plain = k - 11;
@@ -527,7 +525,9 @@ pub fn open_asymmetric(
     let mut r = Decoder::new(raw);
     let header = MessageHeader::decode(&mut r)?;
     if header.size as usize != raw.len() {
-        return Err(SecureError::Codec(CodecError::BadLength(header.size as i64)));
+        return Err(SecureError::Codec(CodecError::BadLength(
+            header.size as i64,
+        )));
     }
     let channel_id = r.u32()?;
     let sec_header = AsymmetricSecurityHeader::decode(&mut r)?;
@@ -582,11 +582,7 @@ pub fn open_asymmetric(
     let (content, signature) = plaintext.split_at(plaintext.len() - sig_len);
 
     // Verify against the reconstructed signed bytes.
-    let sig_hash = hash_for(
-        policy
-            .signature_hash()
-            .ok_or(SecureError::PolicyMismatch)?,
-    );
+    let sig_hash = hash_for(policy.signature_hash().ok_or(SecureError::PolicyMismatch)?);
     let mut sec_w = Encoder::new();
     sec_header.encode(&mut sec_w);
     let mut signed = Encoder::new();

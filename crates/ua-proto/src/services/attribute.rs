@@ -8,8 +8,7 @@ use super::header::{
     decode_null_diagnostics, encode_null_diagnostics, RequestHeader, ResponseHeader,
 };
 use ua_types::{
-    CodecError, DataValue, Decoder, Encoder, NodeId, QualifiedName, StatusCode, UaDecode,
-    UaEncode,
+    CodecError, DataValue, Decoder, Encoder, NodeId, QualifiedName, StatusCode, UaDecode, UaEncode,
 };
 
 /// Selects a node attribute to read.

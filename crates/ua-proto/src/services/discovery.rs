@@ -132,7 +132,11 @@ mod tests {
     use ua_types::{NodeId, UaDateTime};
 
     fn header() -> RequestHeader {
-        RequestHeader::new(NodeId::NULL, 1, UaDateTime::from_unix_seconds(1_600_000_000))
+        RequestHeader::new(
+            NodeId::NULL,
+            1,
+            UaDateTime::from_unix_seconds(1_600_000_000),
+        )
     }
 
     #[test]

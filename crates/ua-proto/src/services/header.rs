@@ -207,7 +207,11 @@ mod tests {
 
     #[test]
     fn request_header_roundtrip() {
-        let h = RequestHeader::new(NodeId::numeric(0, 0), 7, UaDateTime::from_unix_seconds(1_600_000_000));
+        let h = RequestHeader::new(
+            NodeId::numeric(0, 0),
+            7,
+            UaDateTime::from_unix_seconds(1_600_000_000),
+        );
         let bytes = h.encode_to_vec();
         assert_eq!(RequestHeader::decode_all(&bytes).unwrap(), h);
     }

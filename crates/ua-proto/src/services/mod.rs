@@ -9,7 +9,9 @@ pub mod method;
 pub mod session;
 pub mod view;
 
-pub use attribute::{ReadRequest, ReadResponse, ReadValueId, WriteRequest, WriteResponse, WriteValue};
+pub use attribute::{
+    ReadRequest, ReadResponse, ReadValueId, WriteRequest, WriteResponse, WriteValue,
+};
 pub use channel::{
     ChannelSecurityToken, CloseSecureChannelRequest, OpenSecureChannelRequest,
     OpenSecureChannelResponse, SecurityTokenRequestType,
@@ -344,7 +346,10 @@ mod tests {
         assert!(parsed.is_response());
         match parsed {
             ServiceBody::ServiceFault(f) => {
-                assert_eq!(f.response_header.service_result, StatusCode::BAD_SERVICE_UNSUPPORTED)
+                assert_eq!(
+                    f.response_header.service_result,
+                    StatusCode::BAD_SERVICE_UNSUPPORTED
+                )
             }
             other => panic!("wrong variant {other:?}"),
         }

@@ -3,8 +3,7 @@
 //! authentication analysis (§5.4, Table 2) plays out.
 
 use super::header::{
-    decode_null_diagnostics, encode_null_diagnostics, RequestHeader, ResponseHeader,
-    SignatureData,
+    decode_null_diagnostics, encode_null_diagnostics, RequestHeader, ResponseHeader, SignatureData,
 };
 use ua_types::{
     encoding_ids, ApplicationDescription, CodecError, Decoder, Encoder, EndpointDescription,

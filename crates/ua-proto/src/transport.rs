@@ -114,9 +114,8 @@ impl MessageHeader {
     /// Decodes a header from exactly 8 bytes.
     pub fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
         let t = r.raw(3)?;
-        let message_type = MessageType::from_bytes([t[0], t[1], t[2]]).ok_or(
-            CodecError::Invalid("unknown UACP message type"),
-        )?;
+        let message_type = MessageType::from_bytes([t[0], t[1], t[2]])
+            .ok_or(CodecError::Invalid("unknown UACP message type"))?;
         let chunk =
             ChunkKind::from_byte(r.u8()?).ok_or(CodecError::Invalid("unknown chunk marker"))?;
         let size = r.u32()?;
@@ -405,7 +404,6 @@ impl FrameReader {
     pub fn buffered(&self) -> usize {
         self.buf.len()
     }
-
 
     /// Tries to extract the next complete raw frame (header + body bytes)
     /// without interpreting it — secure-channel chunks are handed to the

@@ -114,10 +114,7 @@ impl ServerConfig {
             application_name: "OPC UA Server".into(),
             endpoint_url: endpoint_url.into(),
             endpoints: vec![
-                EndpointConfig::new(
-                    MessageSecurityMode::Sign,
-                    SecurityPolicy::Basic256Sha256,
-                ),
+                EndpointConfig::new(MessageSecurityMode::Sign, SecurityPolicy::Basic256Sha256),
                 EndpointConfig::new(
                     MessageSecurityMode::SignAndEncrypt,
                     SecurityPolicy::Basic256Sha256,
@@ -141,10 +138,7 @@ impl ServerConfig {
 
     /// The insecure-everything configuration the paper found on 24 % of
     /// hosts: only mode/policy None, anonymous access enabled.
-    pub fn wide_open(
-        application_uri: impl Into<String>,
-        endpoint_url: impl Into<String>,
-    ) -> Self {
+    pub fn wide_open(application_uri: impl Into<String>, endpoint_url: impl Into<String>) -> Self {
         ServerConfig {
             application_uri: application_uri.into(),
             application_name: "OPC UA Server".into(),

@@ -2,25 +2,21 @@
 //! establishment, and secured service exchange.
 
 use crate::core::{ChannelContext, ServerCore};
+use netsim::{Connection, ConnectionOutput, Ipv4, Service};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use ua_crypto::Certificate;
 use ua_proto::chunk::{chunk_message, Reassembler};
 use ua_proto::secure::{
-    derive_keys, open_asymmetric, open_symmetric, policy_crypto, seal_asymmetric,
-    DerivedKeys, SequenceHeader,
+    derive_keys, open_asymmetric, open_symmetric, policy_crypto, seal_asymmetric, DerivedKeys,
+    SequenceHeader,
 };
 use ua_proto::services::{
     ChannelSecurityToken, OpenSecureChannelResponse, ResponseHeader, ServiceBody,
 };
-use ua_proto::transport::{
-    Acknowledge, ErrorMessage, FrameReader, TransportMessage,
-};
-use ua_types::{
-    MessageSecurityMode, SecurityPolicy, StatusCode, UaDecode, UaEncode,
-};
-use netsim::{Connection, ConnectionOutput, Ipv4, Service};
+use ua_proto::transport::{Acknowledge, ErrorMessage, FrameReader, TransportMessage};
+use ua_types::{MessageSecurityMode, SecurityPolicy, StatusCode, UaDecode, UaEncode};
 
 /// Service payload bytes per outgoing chunk.
 const CHUNK_BODY: usize = 8192;
@@ -149,10 +145,8 @@ impl ServerConnection {
 
     fn handle_open(&mut self, frame: &[u8]) -> FrameResult {
         if !self.got_hello {
-            return self.transport_error(
-                StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID,
-                "OPN before HEL",
-            );
+            return self
+                .transport_error(StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID, "OPN before HEL");
         }
         let opened = match open_asymmetric(self.core.config.private_key.as_ref(), frame) {
             Ok(o) => o,
@@ -217,9 +211,7 @@ impl ServerConnection {
             let params = policy_crypto(policy).expect("non-None policy has parameters");
             let client_nonce = match &request.client_nonce {
                 Some(n) if n.len() == params.nonce_len => n.clone(),
-                _ => {
-                    return self.transport_error(StatusCode::BAD_NONCE_INVALID, "bad nonce")
-                }
+                _ => return self.transport_error(StatusCode::BAD_NONCE_INVALID, "bad nonce"),
             };
             let server_nonce = self.core.random_bytes(params.nonce_len);
             // Client keys: P_SHA(secret=serverNonce, seed=clientNonce);
@@ -293,10 +285,8 @@ impl ServerConnection {
         let (policy, mode, channel_id) = match &self.channel {
             Some(c) => (c.policy, c.mode, c.id),
             None => {
-                return self.transport_error(
-                    StatusCode::BAD_SECURE_CHANNEL_ID_INVALID,
-                    "MSG before OPN",
-                )
+                return self
+                    .transport_error(StatusCode::BAD_SECURE_CHANNEL_ID_INVALID, "MSG before OPN")
             }
         };
         let channel = self.channel.as_mut().expect("checked above");
@@ -322,10 +312,8 @@ impl ServerConnection {
             Ok(Some(m)) => m,
             Ok(None) => return FrameResult::Silent,
             Err(_) => {
-                return self.transport_error(
-                    StatusCode::BAD_TCP_MESSAGE_TOO_LARGE,
-                    "reassembly failure",
-                )
+                return self
+                    .transport_error(StatusCode::BAD_TCP_MESSAGE_TOO_LARGE, "reassembly failure")
             }
         };
 
@@ -362,10 +350,7 @@ impl ServerConnection {
         ) {
             Ok(c) => c,
             Err(_) => {
-                return self.transport_error(
-                    StatusCode::BAD_ENCODING_ERROR,
-                    "cannot seal response",
-                )
+                return self.transport_error(StatusCode::BAD_ENCODING_ERROR, "cannot seal response")
             }
         };
         channel.next_sequence = first_seq + chunks.len() as u32;
@@ -373,9 +358,6 @@ impl ServerConnection {
     }
 
     fn transport_error(&self, status: StatusCode, reason: &str) -> FrameResult {
-        FrameResult::Close(
-            TransportMessage::Error(ErrorMessage::new(status, reason)).encode(),
-        )
+        FrameResult::Close(TransportMessage::Error(ErrorMessage::new(status, reason)).encode())
     }
 }
-

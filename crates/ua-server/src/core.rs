@@ -1,11 +1,10 @@
 //! Shared server state and service dispatch.
 
 use crate::config::ServerConfig;
-use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use ua_addrspace::{AddressSpace, UserClass};
 use ua_crypto::HashAlgorithm;
 use ua_proto::secure::hash_for;
@@ -17,8 +16,8 @@ use ua_proto::services::{
 };
 use ua_types::{
     ApplicationDescription, ApplicationType, AttributeId, DataValue, EndpointDescription,
-    ExpandedNodeId, LocalizedText, MessageSecurityMode, NodeId, SecurityPolicy,
-    StatusCode, UaDateTime, UserTokenPolicy, UserTokenType, TRANSPORT_PROFILE_BINARY,
+    ExpandedNodeId, LocalizedText, MessageSecurityMode, NodeId, SecurityPolicy, StatusCode,
+    UaDateTime, UserTokenPolicy, UserTokenType, TRANSPORT_PROFILE_BINARY,
 };
 
 /// Security context a service call arrives under.
@@ -82,26 +81,26 @@ impl ServerCore {
     /// Updates the server's notion of wall-clock time (driven by the
     /// simulation's virtual clock).
     pub fn set_time(&self, unix_seconds: i64) {
-        *self.clock_unix_seconds.lock() = unix_seconds;
+        *self.clock_unix_seconds.lock().unwrap() = unix_seconds;
     }
 
     fn now(&self) -> UaDateTime {
-        UaDateTime::from_unix_seconds(*self.clock_unix_seconds.lock())
+        UaDateTime::from_unix_seconds(*self.clock_unix_seconds.lock().unwrap())
     }
 
     /// Read access to the address space.
     pub fn with_space<T>(&self, f: impl FnOnce(&AddressSpace) -> T) -> T {
-        f(&self.space.read())
+        f(&self.space.read().unwrap())
     }
 
     /// Write access to the address space (population evolution, writes).
     pub fn with_space_mut<T>(&self, f: impl FnOnce(&mut AddressSpace) -> T) -> T {
-        f(&mut self.space.write())
+        f(&mut self.space.write().unwrap())
     }
 
     /// Allocates a fresh secure-channel id.
     pub fn next_channel_id(&self) -> u32 {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let id = st.next_channel;
         st.next_channel += 1;
         id
@@ -109,7 +108,7 @@ impl ServerCore {
 
     /// Generates `len` random bytes (nonces, tokens).
     pub fn random_bytes(&self, len: usize) -> Vec<u8> {
-        let mut rng = self.rng.lock();
+        let mut rng = self.rng.lock().unwrap();
         (0..len).map(|_| rng.gen()).collect()
     }
 
@@ -189,7 +188,7 @@ impl ServerCore {
             ServiceBody::CreateSessionRequest(req) => self.create_session(req, ctx),
             ServiceBody::ActivateSessionRequest(req) => self.activate_session(req),
             ServiceBody::CloseSessionRequest(req) => {
-                let mut st = self.state.lock();
+                let mut st = self.state.lock().unwrap();
                 st.sessions.remove(&req.request_header.authentication_token);
                 ServiceBody::CloseSessionResponse(CloseSessionResponse {
                     response_header: ResponseHeader::good(
@@ -230,7 +229,7 @@ impl ServerCore {
                 StatusCode::BAD_INTERNAL_ERROR,
             ));
         }
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let session_no = st.next_session;
         st.next_session += 1;
         drop(st);
@@ -260,7 +259,7 @@ impl ServerCore {
             _ => SignatureData::default(),
         };
 
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.sessions.insert(
             auth_token.clone(),
             Session {
@@ -285,13 +284,10 @@ impl ServerCore {
         })
     }
 
-    fn activate_session(
-        &self,
-        req: ua_proto::services::ActivateSessionRequest,
-    ) -> ServiceBody {
+    fn activate_session(&self, req: ua_proto::services::ActivateSessionRequest) -> ServiceBody {
         let handle = req.request_header.request_handle;
         let token = &req.request_header.authentication_token;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let Some(session) = st.sessions.get_mut(token) else {
             return ServiceBody::ServiceFault(ServiceFault::new(
                 handle,
@@ -361,7 +357,7 @@ impl ServerCore {
 
     /// Resolves the active user of the session owning `token`.
     fn session_user(&self, token: &NodeId) -> Result<UserClass, StatusCode> {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         match st.sessions.get(token) {
             None => Err(StatusCode::BAD_SESSION_ID_INVALID),
             Some(Session {
@@ -390,7 +386,7 @@ impl ServerCore {
                 .min(self.config.max_references_per_browse as usize)
         };
 
-        let space = self.space.read();
+        let space = self.space.read().unwrap();
         let mut results = Vec::with_capacity(req.nodes_to_browse.len());
         let mut pending: Vec<(NodeId, usize)> = Vec::new();
         for desc in &req.nodes_to_browse {
@@ -428,7 +424,7 @@ impl ServerCore {
 
         // Register continuation points (needs the session lock).
         if !pending.is_empty() {
-            let mut st = self.state.lock();
+            let mut st = self.state.lock().unwrap();
             if let Some(session) = st
                 .sessions
                 .get_mut(&req.request_header.authentication_token)
@@ -461,8 +457,8 @@ impl ServerCore {
             return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status));
         }
         let cap = self.config.max_references_per_browse as usize;
-        let space = self.space.read();
-        let mut st = self.state.lock();
+        let space = self.space.read().unwrap();
+        let mut st = self.state.lock().unwrap();
         let Some(session) = st
             .sessions
             .get_mut(&req.request_header.authentication_token)
@@ -538,7 +534,7 @@ impl ServerCore {
                 return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status))
             }
         };
-        let space = self.space.read();
+        let space = self.space.read().unwrap();
         let results = req
             .nodes_to_read
             .iter()
@@ -561,7 +557,7 @@ impl ServerCore {
                 return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status))
             }
         };
-        let mut space = self.space.write();
+        let mut space = self.space.write().unwrap();
         let results = req
             .nodes_to_write
             .iter()
@@ -589,7 +585,7 @@ impl ServerCore {
                 return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status))
             }
         };
-        let space = self.space.read();
+        let space = self.space.read().unwrap();
         let results = req
             .methods_to_call
             .iter()
@@ -631,4 +627,3 @@ fn request_handle_of(body: &ServiceBody) -> u32 {
         _ => 0,
     }
 }
-

@@ -61,7 +61,10 @@ mod tests {
     }
 
     fn wide_open_stream() -> LoopbackStream {
-        open_server(ServerConfig::wide_open("urn:acme:dev1", "opc.tcp://h:4840/"))
+        open_server(ServerConfig::wide_open(
+            "urn:acme:dev1",
+            "opc.tcp://h:4840/",
+        ))
     }
 
     fn hello(stream: &mut LoopbackStream) {
@@ -284,8 +287,7 @@ mod tests {
     #[test]
     fn anonymous_rejected_when_disabled() {
         let (cert, key) = cert_key(5, "urn:acme:secure");
-        let mut cfg =
-            ServerConfig::recommended("urn:acme:secure", "opc.tcp://h:4840/", cert, key);
+        let mut cfg = ServerConfig::recommended("urn:acme:secure", "opc.tcp://h:4840/", cert, key);
         // Allow a None endpoint so the test can talk without crypto, but
         // keep anonymous auth disabled.
         cfg.endpoints.push(EndpointConfig::none());

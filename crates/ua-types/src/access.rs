@@ -225,7 +225,12 @@ mod tests {
 
     #[test]
     fn node_class_roundtrip() {
-        for nc in [NodeClass::Object, NodeClass::Variable, NodeClass::Method, NodeClass::View] {
+        for nc in [
+            NodeClass::Object,
+            NodeClass::Variable,
+            NodeClass::Method,
+            NodeClass::View,
+        ] {
             let bytes = nc.encode_to_vec();
             assert_eq!(NodeClass::decode_all(&bytes).unwrap(), nc);
         }
@@ -249,7 +254,11 @@ mod tests {
 
     #[test]
     fn browse_direction_roundtrip() {
-        for d in [BrowseDirection::Forward, BrowseDirection::Inverse, BrowseDirection::Both] {
+        for d in [
+            BrowseDirection::Forward,
+            BrowseDirection::Inverse,
+            BrowseDirection::Both,
+        ] {
             let bytes = d.encode_to_vec();
             assert_eq!(BrowseDirection::decode_all(&bytes).unwrap(), d);
         }

@@ -288,8 +288,14 @@ mod tests {
         let dt = UaDateTime::from_unix_seconds(unix);
         assert_eq!(dt.to_unix_seconds(), unix);
         // Epoch relationships.
-        assert_eq!(UaDateTime::from_unix_seconds(0).0, UNIX_EPOCH_OFFSET_SECONDS * 10_000_000);
-        assert_eq!(UaDateTime::NULL.to_unix_seconds(), -UNIX_EPOCH_OFFSET_SECONDS);
+        assert_eq!(
+            UaDateTime::from_unix_seconds(0).0,
+            UNIX_EPOCH_OFFSET_SECONDS * 10_000_000
+        );
+        assert_eq!(
+            UaDateTime::NULL.to_unix_seconds(),
+            -UNIX_EPOCH_OFFSET_SECONDS
+        );
     }
 
     #[test]

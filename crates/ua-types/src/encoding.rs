@@ -6,8 +6,6 @@
 //! lengths are validated against the remaining input, and recursion depth
 //! (variants/extension objects) is capped.
 
-use bytes::{BufMut, BytesMut};
-
 /// Maximum declared length accepted for a single string/bytestring/array.
 /// A real scanner must not let a malicious server allocate unbounded
 /// memory from a four-byte length field.
@@ -58,7 +56,7 @@ impl std::error::Error for CodecError {}
 
 /// Serializes values into a growable buffer.
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Default for Encoder {
@@ -71,13 +69,13 @@ impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
         Encoder {
-            buf: BytesMut::with_capacity(256),
+            buf: Vec::with_capacity(256),
         }
     }
 
     /// Finishes encoding, returning the bytes.
     pub fn finish(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 
     /// Current length of the encoded output.
@@ -97,57 +95,57 @@ impl Encoder {
 
     /// Writes raw bytes verbatim.
     pub fn raw(&mut self, bytes: &[u8]) {
-        self.buf.put_slice(bytes);
+        self.buf.extend_from_slice(bytes);
     }
 
     /// Writes a `u8`.
     pub fn u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Writes a boolean as a single byte.
     pub fn boolean(&mut self, v: bool) {
-        self.buf.put_u8(v as u8);
+        self.buf.push(v as u8);
     }
 
     /// Writes an `i16` little-endian.
     pub fn i16(&mut self, v: i16) {
-        self.buf.put_i16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a `u16` little-endian.
     pub fn u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an `i32` little-endian.
     pub fn i32(&mut self, v: i32) {
-        self.buf.put_i32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a `u32` little-endian.
     pub fn u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an `i64` little-endian.
     pub fn i64(&mut self, v: i64) {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a `u64` little-endian.
     pub fn u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an `f32` little-endian.
     pub fn f32(&mut self, v: f32) {
-        self.buf.put_f32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an `f64` little-endian.
     pub fn f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an optional string (`None` → length -1).

@@ -148,7 +148,9 @@ impl UaDecode for NodeId {
             }
             ENC_STRING => {
                 let ns = r.u16()?;
-                let s = r.string()?.ok_or(CodecError::Invalid("null NodeId string"))?;
+                let s = r
+                    .string()?
+                    .ok_or(CodecError::Invalid("null NodeId string"))?;
                 Ok(NodeId::string(ns, s))
             }
             ENC_GUID => {
@@ -251,7 +253,9 @@ fn decode_node_id_body(r: &mut Decoder<'_>, enc: u8) -> Result<NodeId, CodecErro
         }
         ENC_STRING => {
             let ns = r.u16()?;
-            let s = r.string()?.ok_or(CodecError::Invalid("null NodeId string"))?;
+            let s = r
+                .string()?
+                .ok_or(CodecError::Invalid("null NodeId string"))?;
             Ok(NodeId::string(ns, s))
         }
         ENC_GUID => {

@@ -319,12 +319,9 @@ mod tests {
 
     #[test]
     fn mode_strength_ordering() {
+        assert!(MessageSecurityMode::None.strength() < MessageSecurityMode::Sign.strength());
         assert!(
-            MessageSecurityMode::None.strength() < MessageSecurityMode::Sign.strength()
-        );
-        assert!(
-            MessageSecurityMode::Sign.strength()
-                < MessageSecurityMode::SignAndEncrypt.strength()
+            MessageSecurityMode::Sign.strength() < MessageSecurityMode::SignAndEncrypt.strength()
         );
         assert!(!MessageSecurityMode::None.is_secure());
         assert!(MessageSecurityMode::Sign.is_secure());
@@ -352,7 +349,11 @@ mod tests {
         assert_eq!(P::None.class(), PolicyClass::Insecure);
         assert_eq!(P::Basic128Rsa15.class(), PolicyClass::Deprecated);
         assert_eq!(P::Basic256.class(), PolicyClass::Deprecated);
-        for p in [P::Aes128Sha256RsaOaep, P::Basic256Sha256, P::Aes256Sha256RsaPss] {
+        for p in [
+            P::Aes128Sha256RsaOaep,
+            P::Basic256Sha256,
+            P::Aes256Sha256RsaPss,
+        ] {
             assert_eq!(p.class(), PolicyClass::Secure);
             assert!(p.is_recommended());
             assert_eq!(p.signature_hash(), Some(PolicyHash::Sha256));
@@ -366,7 +367,10 @@ mod tests {
             P::Basic256.allowed_certificate_hashes(),
             &[PolicyHash::Sha1, PolicyHash::Sha256]
         );
-        assert_eq!(P::Basic128Rsa15.allowed_certificate_hashes(), &[PolicyHash::Sha1]);
+        assert_eq!(
+            P::Basic128Rsa15.allowed_certificate_hashes(),
+            &[PolicyHash::Sha1]
+        );
         // None has no crypto.
         assert_eq!(P::None.signature_hash(), None);
         assert_eq!(P::None.key_length_range(), None);

@@ -110,10 +110,8 @@ impl UaDecode for ApplicationDescription {
             application_type: ApplicationType::decode(r)?,
             gateway_server_uri: r.string()?,
             discovery_profile_uri: r.string()?,
-            discovery_urls: r.array(|r| {
-                r.string()?
-                    .ok_or(CodecError::Invalid("null discovery URL"))
-            })?,
+            discovery_urls: r
+                .array(|r| r.string()?.ok_or(CodecError::Invalid("null discovery URL")))?,
         })
     }
 }

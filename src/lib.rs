@@ -1,1 +1,89 @@
-//! Umbrella crate re-exporting the workspace (see README).
+//! # opcua-study
+//!
+//! Umbrella crate for the reproduction of *"Easing the Conscience with
+//! OPC UA: An Internet-Wide Study on Insecure Deployments"* (IMC 2020):
+//! an end-to-end measurement pipeline over a deterministic, simulated
+//! IPv4 Internet.
+//!
+//! ## Layer diagram
+//!
+//! ```text
+//!                 ┌─────────────────────────────────────────┐
+//!   analysis      │ assessment   deficit rules, batch-GCD,  │
+//!                 │              paper-style report tables  │
+//!                 ├─────────────────────────────────────────┤
+//!   measurement   │ scanner      sweep → probe stack →      │
+//!                 │              streamed ScanRecords       │
+//!                 ├─────────────────────────────────────────┤
+//!   fleet         │ population   seeded strata of (mis-)    │
+//!                 │              configured deployments     │
+//!                 ├──────────────┬──────────────────────────┤
+//!   protocol      │ ua-client    │ ua-server                │
+//!                 ├──────────────┴──────────────────────────┤
+//!                 │ ua-proto     transport, secure channel, │
+//!                 │              chunking, services         │
+//!                 ├──────────────┬─────────────┬────────────┤
+//!   foundation    │ ua-types     │ ua-addrspace│ ua-crypto  │
+//!                 ├──────────────┴─────────────┴────────────┤
+//!   substrate     │ netsim       virtual clock, CIDR/ASN,   │
+//!                 │              connections, zmap sweeps   │
+//!                 └─────────────────────────────────────────┘
+//! ```
+//!
+//! ## The pipeline in five lines
+//!
+//! ```
+//! use opcua_study::prelude::*;
+//!
+//! let net = Internet::new(VirtualClock::default());
+//! let universe: Cidr = "10.0.0.0/22".parse().unwrap();
+//! let cfg = PopulationConfig::new(42, vec![universe], StrataMix::paper_like(30));
+//! let population = synthesize(&net, &cfg);
+//! let scanner = Scanner::new(net, Blocklist::new(), ScanConfig::default());
+//! let (_summary, records) = scanner.scan_collect(&[universe], 42);
+//! let report = assess(&records);
+//! assert_eq!(report.hosts, population.len());
+//! ```
+//!
+//! See `examples/quickstart.rs` and `examples/internet_scan.rs` for
+//! runnable end-to-end demos.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use assessment;
+pub use netsim;
+pub use population;
+pub use scanner;
+pub use ua_addrspace;
+pub use ua_client;
+pub use ua_crypto;
+pub use ua_proto;
+pub use ua_server;
+pub use ua_types;
+
+/// The types most pipelines need, in one import.
+pub mod prelude {
+    pub use assessment::{assess, AssessmentReport, Deficit};
+    pub use netsim::{Blocklist, Cidr, Internet, Ipv4, VirtualClock};
+    pub use population::{synthesize, HostClass, Population, PopulationConfig, StrataMix};
+    pub use scanner::{ScanConfig, ScanRecord, Scanner, SessionOutcome};
+    pub use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn doc_pipeline_runs() {
+        let net = Internet::new(VirtualClock::default());
+        let universe: Cidr = "10.0.0.0/22".parse().unwrap();
+        let cfg = PopulationConfig::new(42, vec![universe], StrataMix::paper_like(30));
+        let population = synthesize(&net, &cfg);
+        let scanner = Scanner::new(net, Blocklist::new(), ScanConfig::default());
+        let (_summary, records) = scanner.scan_collect(&[universe], 42);
+        let report = assess(&records);
+        assert_eq!(report.hosts, population.len());
+    }
+}
