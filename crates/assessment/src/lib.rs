@@ -5,8 +5,10 @@
 //!
 //! * [`deficit`] — the finding taxonomy ([`Deficit`]) and the pure
 //!   per-host classification rules ([`host_deficits`]);
-//! * [`report`] — population-wide aggregation ([`assess`]): cross-host
-//!   certificate-reuse clustering, batch-GCD shared-prime detection, and
+//! * [`report`] — population-wide aggregation: the incremental
+//!   [`Assessor`] folds records as a campaign streams them (per-host
+//!   rules immediately, cross-host state online, batch GCD at
+//!   [`Assessor::finalize`]); [`assess`] is the batch wrapper producing
 //!   the paper-style summary tables ([`AssessmentReport`]).
 //!
 //! The crate consumes [`scanner::ScanRecord`]s only; it never touches
@@ -20,5 +22,5 @@ pub mod report;
 
 pub use deficit::{host_deficits, Deficit};
 pub use report::{
-    assess, AssessmentReport, HostReport, ReuseCluster, SessionTally, SharedPrimePair,
+    assess, AssessmentReport, Assessor, HostReport, ReuseCluster, SessionTally, SharedPrimePair,
 };

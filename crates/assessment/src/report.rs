@@ -98,105 +98,88 @@ impl AssessmentReport {
     }
 }
 
-/// Runs the per-host rules plus the cross-host analyses over `records`.
-pub fn assess(records: &[ScanRecord]) -> AssessmentReport {
-    let opcua: Vec<&ScanRecord> = records.iter().filter(|r| r.hello_ok).collect();
-    let non_opcua = records.len() - opcua.len();
+/// Incremental population assessment: fold [`ScanRecord`]s one at a time
+/// as a campaign streams them, then [`finalize`](Assessor::finalize) into
+/// the [`AssessmentReport`].
+///
+/// Per-host rules run immediately on [`fold`](Assessor::fold); the small
+/// cross-host state (thumbprint→hosts, modulus→hosts) accumulates online.
+/// Only batch GCD — which needs every modulus — is deferred to
+/// finalization, together with the back-patching of the two cross-host
+/// deficits ([`Deficit::ReusedCertificate`], [`Deficit::SharedPrimeKey`])
+/// into the per-host reports.
+///
+/// `fold` + `finalize` over any record sequence produces exactly the
+/// report [`assess`] produces over the same slice; streaming consumers
+/// (e.g. `examples/deployment_audit.rs`) read the running tallies via
+/// [`hosts_seen`](Assessor::hosts_seen) and
+/// [`running_count`](Assessor::running_count) while the scan is live.
+#[derive(Debug, Default)]
+pub struct Assessor {
+    host_reports: Vec<HostReport>,
+    non_opcua: usize,
+    by_thumbprint: HashMap<[u8; 20], BTreeSet<Ipv4>>,
+    moduli: Vec<BigUint>,
+    modulus_hosts: Vec<BTreeSet<Ipv4>>,
+    modulus_index: HashMap<Vec<u8>, usize>,
+    deficit_counts: BTreeMap<Deficit, usize>,
+    mode_distribution: BTreeMap<MessageSecurityMode, usize>,
+    policy_distribution: BTreeMap<SecurityPolicy, usize>,
+    token_distribution: BTreeMap<UserTokenType, usize>,
+    sessions: SessionTally,
+}
 
-    let mut host_reports: Vec<HostReport> = opcua
-        .iter()
-        .map(|r| HostReport {
-            address: r.address,
-            asn: r.asn,
-            is_discovery_server: r.is_discovery_server(),
-            deficits: host_deficits(r),
-        })
-        .collect();
+impl Assessor {
+    /// An empty assessor.
+    pub fn new() -> Self {
+        Self::default()
+    }
 
-    // --- Cross-host: certificate reuse (thumbprint) and shared primes
-    // (batch GCD over moduli), extracted in one pass over the DERs.
-    // Moduli are deduplicated: hosts serving the *same* key are reuse,
-    // not weak randomness (the paper checks distinct keys pairwise).
-    let mut by_thumbprint: HashMap<[u8; 20], BTreeSet<Ipv4>> = HashMap::new();
-    let mut moduli: Vec<BigUint> = Vec::new();
-    let mut modulus_hosts: Vec<BTreeSet<Ipv4>> = Vec::new();
-    let mut modulus_index: HashMap<Vec<u8>, usize> = HashMap::new();
-    for r in &opcua {
-        for der in r.certificates() {
-            by_thumbprint
+    /// Folds one record into the running assessment. Per-host rules run
+    /// now; cross-host state accumulates for [`Self::finalize`].
+    pub fn fold(&mut self, record: &ScanRecord) {
+        if !record.hello_ok {
+            self.non_opcua += 1;
+            return;
+        }
+        let deficits = host_deficits(record);
+        for &d in &deficits {
+            *self.deficit_counts.entry(d).or_default() += 1;
+        }
+        self.host_reports.push(HostReport {
+            address: record.address,
+            asn: record.asn,
+            is_discovery_server: record.is_discovery_server(),
+            deficits,
+        });
+
+        // Cross-host: certificate reuse (thumbprint) and shared primes
+        // (batch GCD over moduli), extracted in one pass over the DERs.
+        // Moduli are deduplicated: hosts serving the *same* key are
+        // reuse, not weak randomness (the paper checks distinct keys
+        // pairwise).
+        for der in record.certificates() {
+            self.by_thumbprint
                 .entry(sha1(der))
                 .or_default()
-                .insert(r.address);
+                .insert(record.address);
             let Ok(cert) = Certificate::from_der(der) else {
                 continue;
             };
             let key = cert.tbs.public_key.n.to_bytes_be();
-            let idx = *modulus_index.entry(key).or_insert_with(|| {
-                moduli.push(cert.tbs.public_key.n.clone());
-                modulus_hosts.push(BTreeSet::new());
-                moduli.len() - 1
+            let idx = *self.modulus_index.entry(key).or_insert_with(|| {
+                self.moduli.push(cert.tbs.public_key.n.clone());
+                self.modulus_hosts.push(BTreeSet::new());
+                self.moduli.len() - 1
             });
-            modulus_hosts[idx].insert(r.address);
+            self.modulus_hosts[idx].insert(record.address);
         }
-    }
-    let mut reuse_clusters: Vec<ReuseCluster> = by_thumbprint
-        .iter()
-        .filter(|(_, hosts)| hosts.len() > 1)
-        .map(|(tp, hosts)| ReuseCluster {
-            thumbprint_hex: to_hex(tp),
-            hosts: hosts.iter().copied().collect(),
-        })
-        .collect();
-    reuse_clusters.sort_by(|a, b| {
-        b.hosts
-            .len()
-            .cmp(&a.hosts.len())
-            .then_with(|| a.thumbprint_hex.cmp(&b.thumbprint_hex))
-    });
-    let reused_hosts: BTreeSet<Ipv4> = reuse_clusters
-        .iter()
-        .flat_map(|c| c.hosts.iter().copied())
-        .collect();
 
-    let mut shared_prime_pairs = Vec::new();
-    let mut shared_prime_hosts: BTreeSet<Ipv4> = BTreeSet::new();
-    for hit in find_shared_factors(&moduli) {
-        for &a in &modulus_hosts[hit.a] {
-            shared_prime_hosts.insert(a);
-        }
-        for &b in &modulus_hosts[hit.b] {
-            shared_prime_hosts.insert(b);
-        }
-        let a = *modulus_hosts[hit.a].iter().next().expect("hosts recorded");
-        let b = *modulus_hosts[hit.b].iter().next().expect("hosts recorded");
-        shared_prime_pairs.push(SharedPrimePair { a, b });
-    }
-
-    for hr in &mut host_reports {
-        if reused_hosts.contains(&hr.address) {
-            hr.deficits.insert(Deficit::ReusedCertificate);
-        }
-        if shared_prime_hosts.contains(&hr.address) {
-            hr.deficits.insert(Deficit::SharedPrimeKey);
-        }
-    }
-
-    // --- Distributions and tallies. ---
-    let mut deficit_counts: BTreeMap<Deficit, usize> = BTreeMap::new();
-    for hr in &host_reports {
-        for &d in &hr.deficits {
-            *deficit_counts.entry(d).or_default() += 1;
-        }
-    }
-    let mut mode_distribution: BTreeMap<MessageSecurityMode, usize> = BTreeMap::new();
-    let mut policy_distribution: BTreeMap<SecurityPolicy, usize> = BTreeMap::new();
-    let mut token_distribution: BTreeMap<UserTokenType, usize> = BTreeMap::new();
-    let mut sessions = SessionTally::default();
-    for r in &opcua {
+        // Distributions and session tallies.
         let mut modes: BTreeSet<MessageSecurityMode> = BTreeSet::new();
         let mut policies: BTreeSet<SecurityPolicy> = BTreeSet::new();
         let mut tokens: BTreeSet<UserTokenType> = BTreeSet::new();
-        for ep in &r.endpoints {
+        for ep in &record.endpoints {
             modes.insert(ep.security_mode);
             if let Some(p) = ep.security_policy {
                 policies.insert(p);
@@ -204,39 +187,133 @@ pub fn assess(records: &[ScanRecord]) -> AssessmentReport {
             tokens.extend(ep.token_types.iter().copied());
         }
         for m in modes {
-            *mode_distribution.entry(m).or_default() += 1;
+            *self.mode_distribution.entry(m).or_default() += 1;
         }
         for p in policies {
-            *policy_distribution.entry(p).or_default() += 1;
+            *self.policy_distribution.entry(p).or_default() += 1;
         }
         for t in tokens {
-            *token_distribution.entry(t).or_default() += 1;
+            *self.token_distribution.entry(t).or_default() += 1;
         }
-        match r.session {
-            SessionOutcome::NotAttempted => sessions.not_attempted += 1,
-            SessionOutcome::ChannelRejected => sessions.channel_rejected += 1,
-            SessionOutcome::AuthRejected => sessions.auth_rejected += 1,
-            SessionOutcome::ProtocolError => sessions.protocol_error += 1,
-            SessionOutcome::AnonymousActivated => sessions.anonymous_activated += 1,
+        match record.session {
+            SessionOutcome::NotAttempted => self.sessions.not_attempted += 1,
+            SessionOutcome::ChannelRejected => self.sessions.channel_rejected += 1,
+            SessionOutcome::AuthRejected => self.sessions.auth_rejected += 1,
+            SessionOutcome::ProtocolError => self.sessions.protocol_error += 1,
+            SessionOutcome::AnonymousActivated => self.sessions.anonymous_activated += 1,
         }
     }
 
-    AssessmentReport {
-        hosts: host_reports.len(),
-        non_opcua,
-        discovery_servers: host_reports
-            .iter()
-            .filter(|h| h.is_discovery_server)
-            .count(),
-        host_reports,
-        deficit_counts,
-        mode_distribution,
-        policy_distribution,
-        token_distribution,
-        reuse_clusters,
-        shared_prime_pairs,
-        sessions,
+    /// OPC UA hosts folded so far.
+    pub fn hosts_seen(&self) -> usize {
+        self.host_reports.len()
     }
+
+    /// Responsive-but-not-OPC-UA records folded so far.
+    pub fn non_opcua_seen(&self) -> usize {
+        self.non_opcua
+    }
+
+    /// Running count of hosts flagged with `deficit` by the *per-host*
+    /// rules. The two cross-host deficits stay 0 until
+    /// [`Self::finalize`] — they cannot be attributed before the
+    /// population is complete.
+    pub fn running_count(&self, deficit: Deficit) -> usize {
+        self.deficit_counts.get(&deficit).copied().unwrap_or(0)
+    }
+
+    /// Completes the assessment: runs batch GCD over the accumulated
+    /// moduli, patches the cross-host deficits into the per-host
+    /// reports, and builds the final tables.
+    pub fn finalize(self) -> AssessmentReport {
+        let Assessor {
+            mut host_reports,
+            non_opcua,
+            by_thumbprint,
+            moduli,
+            modulus_hosts,
+            modulus_index: _,
+            mut deficit_counts,
+            mode_distribution,
+            policy_distribution,
+            token_distribution,
+            sessions,
+        } = self;
+
+        let mut reuse_clusters: Vec<ReuseCluster> = by_thumbprint
+            .iter()
+            .filter(|(_, hosts)| hosts.len() > 1)
+            .map(|(tp, hosts)| ReuseCluster {
+                thumbprint_hex: to_hex(tp),
+                hosts: hosts.iter().copied().collect(),
+            })
+            .collect();
+        reuse_clusters.sort_by(|a, b| {
+            b.hosts
+                .len()
+                .cmp(&a.hosts.len())
+                .then_with(|| a.thumbprint_hex.cmp(&b.thumbprint_hex))
+        });
+        let reused_hosts: BTreeSet<Ipv4> = reuse_clusters
+            .iter()
+            .flat_map(|c| c.hosts.iter().copied())
+            .collect();
+
+        let mut shared_prime_pairs = Vec::new();
+        let mut shared_prime_hosts: BTreeSet<Ipv4> = BTreeSet::new();
+        for hit in find_shared_factors(&moduli) {
+            for &a in &modulus_hosts[hit.a] {
+                shared_prime_hosts.insert(a);
+            }
+            for &b in &modulus_hosts[hit.b] {
+                shared_prime_hosts.insert(b);
+            }
+            let a = *modulus_hosts[hit.a].iter().next().expect("hosts recorded");
+            let b = *modulus_hosts[hit.b].iter().next().expect("hosts recorded");
+            shared_prime_pairs.push(SharedPrimePair { a, b });
+        }
+
+        for hr in &mut host_reports {
+            if reused_hosts.contains(&hr.address) && hr.deficits.insert(Deficit::ReusedCertificate)
+            {
+                *deficit_counts
+                    .entry(Deficit::ReusedCertificate)
+                    .or_default() += 1;
+            }
+            if shared_prime_hosts.contains(&hr.address)
+                && hr.deficits.insert(Deficit::SharedPrimeKey)
+            {
+                *deficit_counts.entry(Deficit::SharedPrimeKey).or_default() += 1;
+            }
+        }
+
+        AssessmentReport {
+            hosts: host_reports.len(),
+            non_opcua,
+            discovery_servers: host_reports
+                .iter()
+                .filter(|h| h.is_discovery_server)
+                .count(),
+            host_reports,
+            deficit_counts,
+            mode_distribution,
+            policy_distribution,
+            token_distribution,
+            reuse_clusters,
+            shared_prime_pairs,
+            sessions,
+        }
+    }
+}
+
+/// Runs the per-host rules plus the cross-host analyses over `records`:
+/// a thin batch wrapper over the incremental [`Assessor`].
+pub fn assess(records: &[ScanRecord]) -> AssessmentReport {
+    let mut assessor = Assessor::new();
+    for record in records {
+        assessor.fold(record);
+    }
+    assessor.finalize()
 }
 
 impl std::fmt::Display for AssessmentReport {

@@ -1,0 +1,80 @@
+//! Incremental assessment must be a refactoring, not a reinterpretation:
+//! folding records one at a time and finalizing yields exactly the report
+//! the batch `assess()` builds from the same slice.
+
+use assessment::{assess, Assessor, Deficit};
+use netsim::{Blocklist, Cidr, Internet, VirtualClock};
+use population::{synthesize, PopulationConfig, StrataMix};
+use scanner::{ScanConfig, ScanRecord, Scanner};
+
+fn scan_population(seed: u64) -> Vec<ScanRecord> {
+    let net = Internet::new(VirtualClock::default());
+    let universe: Cidr = "10.77.0.0/22".parse().unwrap();
+    let cfg = PopulationConfig::new(seed, vec![universe], StrataMix::paper_like(70));
+    synthesize(&net, &cfg);
+    let scanner = Scanner::new(net, Blocklist::new(), ScanConfig::default());
+    scanner.scan_collect(&[universe], seed).1
+}
+
+#[test]
+fn fold_finalize_equals_batch_assess() {
+    let records = scan_population(11);
+    assert!(records.len() > 30, "need a meaningful population");
+
+    let batch = assess(&records);
+
+    let mut assessor = Assessor::new();
+    for record in &records {
+        assessor.fold(record);
+    }
+    let incremental = assessor.finalize();
+
+    // The Display form covers hosts, distributions, every deficit count,
+    // session tallies, reuse clusters, and shared-prime pairs.
+    assert_eq!(batch.to_string(), incremental.to_string());
+
+    assert_eq!(batch.hosts, incremental.hosts);
+    assert_eq!(batch.non_opcua, incremental.non_opcua);
+    assert_eq!(batch.discovery_servers, incremental.discovery_servers);
+    assert_eq!(batch.deficit_counts, incremental.deficit_counts);
+    assert_eq!(batch.host_reports.len(), incremental.host_reports.len());
+    for (a, b) in batch.host_reports.iter().zip(&incremental.host_reports) {
+        assert_eq!(a.address, b.address);
+        assert_eq!(a.asn, b.asn);
+        assert_eq!(a.is_discovery_server, b.is_discovery_server);
+        assert_eq!(a.deficits, b.deficits);
+    }
+    assert_eq!(batch.reuse_clusters.len(), incremental.reuse_clusters.len());
+    for (a, b) in batch.reuse_clusters.iter().zip(&incremental.reuse_clusters) {
+        assert_eq!(a.thumbprint_hex, b.thumbprint_hex);
+        assert_eq!(a.hosts, b.hosts);
+    }
+    assert_eq!(
+        batch.shared_prime_pairs.len(),
+        incremental.shared_prime_pairs.len()
+    );
+}
+
+#[test]
+fn running_counts_grow_monotonically_and_match_finalized_per_host_rules() {
+    let records = scan_population(23);
+    let mut assessor = Assessor::new();
+    let mut last_anon = 0;
+    for record in &records {
+        assessor.fold(record);
+        let anon = assessor.running_count(Deficit::AnonymousAccess);
+        assert!(anon >= last_anon, "running counts never decrease");
+        last_anon = anon;
+    }
+    let hosts_seen = assessor.hosts_seen();
+    let non_opcua_seen = assessor.non_opcua_seen();
+    // Cross-host deficits are unattributable before finalize.
+    assert_eq!(assessor.running_count(Deficit::SharedPrimeKey), 0);
+    let anon_running = assessor.running_count(Deficit::AnonymousAccess);
+
+    let report = assessor.finalize();
+    assert_eq!(report.hosts, hosts_seen);
+    assert_eq!(report.non_opcua, non_opcua_seen);
+    // Per-host rule counts carry over unchanged into the final report.
+    assert_eq!(report.count(Deficit::AnonymousAccess), anon_running);
+}

@@ -1,1 +1,90 @@
-fn main() {}
+//! Crypto-layer micro-benchmarks: SHA-1 thumbprinting, DER certificate
+//! parsing, and batch-GCD over the population's RSA moduli — the three
+//! crypto hot paths of the assessment stage.
+//!
+//! ```sh
+//! BENCH_HOSTS=300 cargo bench --bench crypto
+//! ```
+//!
+//! Emits `BENCH_crypto.json`.
+
+use bench::{campaign_moduli, time, write_bench_json, BenchConfig, Json};
+use ua_crypto::{batch_gcd, find_shared_factors, sha1, Certificate};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let (net, _population) = cfg.build_world();
+    let scanner = cfg.scanner(net, 1);
+    let (_, records) = scanner.scan_collect(&cfg.universe, cfg.seed);
+
+    // Harvest the DER certificates the campaign actually delivered.
+    let ders: Vec<Vec<u8>> = records
+        .iter()
+        .flat_map(|r| r.certificates().into_iter().map(<[u8]>::to_vec))
+        .collect();
+    let der_bytes: usize = ders.iter().map(Vec::len).sum();
+    assert!(!ders.is_empty(), "population must deliver certificates");
+
+    // SHA-1 thumbprinting throughput over every DER, repeated to get a
+    // stable number.
+    const HASH_ROUNDS: usize = 200;
+    let (sha_seconds, _) = time(|| {
+        let mut acc = 0u8;
+        for _ in 0..HASH_ROUNDS {
+            for der in &ders {
+                acc ^= sha1(der)[0];
+            }
+        }
+        acc
+    });
+    let sha_mib_per_sec = (der_bytes * HASH_ROUNDS) as f64 / (1024.0 * 1024.0) / sha_seconds;
+
+    // DER parse rate.
+    const PARSE_ROUNDS: usize = 50;
+    let (parse_seconds, parsed) = time(|| {
+        let mut ok = 0usize;
+        for _ in 0..PARSE_ROUNDS {
+            ok += ders
+                .iter()
+                .filter(|der| Certificate::from_der(der).is_ok())
+                .count();
+        }
+        ok
+    });
+    let certs_per_sec = parsed as f64 / parse_seconds;
+
+    // Batch GCD over the deduplicated moduli (the finalization step of
+    // the incremental assessor).
+    let moduli = campaign_moduli(&records);
+    let (tree_seconds, remainders) = time(|| batch_gcd(&moduli));
+    let (scan_seconds, hits) = time(|| find_shared_factors(&moduli));
+    assert_eq!(remainders.len(), moduli.len());
+
+    println!(
+        "crypto bench: {} certs ({} bytes), {} distinct moduli",
+        ders.len(),
+        der_bytes,
+        moduli.len()
+    );
+    println!("  sha1        {sha_mib_per_sec:>10.1} MiB/s");
+    println!("  der parse   {certs_per_sec:>10.0} certs/s");
+    println!(
+        "  batch gcd   {:>10.3} ms tree + {:.3} ms factor scan, {} shared-prime hits",
+        tree_seconds * 1e3,
+        scan_seconds * 1e3,
+        hits.len()
+    );
+
+    let out = Json::obj()
+        .set("bench", Json::str("crypto"))
+        .set("certificates", Json::int(ders.len() as i64))
+        .set("certificate_bytes", Json::int(der_bytes as i64))
+        .set("distinct_moduli", Json::int(moduli.len() as i64))
+        .set("sha1_mib_per_second", Json::Num(sha_mib_per_sec))
+        .set("der_parse_certs_per_second", Json::Num(certs_per_sec))
+        .set("batch_gcd_seconds", Json::Num(tree_seconds))
+        .set("shared_factor_scan_seconds", Json::Num(scan_seconds))
+        .set("shared_prime_hits", Json::int(hits.len() as i64));
+    let path = write_bench_json("crypto", &out);
+    println!("wrote {}", path.display());
+}

@@ -1,1 +1,129 @@
-fn main() {}
+//! Figure/table reproduction: runs the full pipeline on a paper-like
+//! population and emits the study's headline tables — security-mode,
+//! policy, and identity-token distributions (Table 2), the deficit
+//! shares (§5), and the session-stage outcomes — next to the paper's
+//! published shares for eyeballing drift.
+//!
+//! ```sh
+//! BENCH_HOSTS=500 cargo bench --bench figures
+//! ```
+//!
+//! Emits `BENCH_figures.json`.
+
+use assessment::{assess, Deficit};
+use bench::{counts_to_json, time, write_bench_json, BenchConfig, Json};
+
+/// The paper's headline shares (of OPC UA hosts), for side-by-side
+/// comparison in the emitted JSON.
+const PAPER_SHARES: [(Deficit, f64); 5] = [
+    (Deficit::OnlyNoneMode, 0.24),
+    (Deficit::DeprecatedPolicy, 0.45),
+    (Deficit::AnonymousAccess, 0.50),
+    (Deficit::SelfSignedCertificate, 0.99),
+    (Deficit::SharedPrimeKey, 0.0),
+];
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let (net, population) = cfg.build_world();
+    let scanner = cfg.scanner(net, 1);
+    let (scan_seconds, (summary, records)) = time(|| scanner.scan_collect(&cfg.universe, cfg.seed));
+    let (assess_seconds, report) = time(|| assess(&records));
+
+    println!(
+        "figures bench: {} deployments, {} OPC UA hosts, scan {scan_seconds:.2}s, assess {assess_seconds:.3}s",
+        population.len(),
+        report.hosts
+    );
+    println!("{report}");
+
+    let mut deficits = Json::obj();
+    for d in Deficit::ALL {
+        deficits = deficits.set(
+            d.label(),
+            Json::obj()
+                .set("hosts", Json::int(report.count(d) as i64))
+                .set("share", Json::Num(report.share(d))),
+        );
+    }
+
+    let mut paper = Json::obj();
+    for (d, share) in PAPER_SHARES {
+        paper = paper.set(
+            d.label(),
+            Json::obj()
+                .set("paper_share", Json::Num(share))
+                .set("measured_share", Json::Num(report.share(d))),
+        );
+    }
+
+    let mut modes = std::collections::BTreeMap::new();
+    for (mode, n) in &report.mode_distribution {
+        modes.insert(mode.abbrev().to_string(), *n);
+    }
+    let mut policies = std::collections::BTreeMap::new();
+    for (policy, n) in &report.policy_distribution {
+        policies.insert(policy.abbrev().to_string(), *n);
+    }
+    let mut tokens = std::collections::BTreeMap::new();
+    for (token, n) in &report.token_distribution {
+        tokens.insert(token.label().to_string(), *n);
+    }
+
+    let out = Json::obj()
+        .set("bench", Json::str("figures"))
+        .set("deployments", Json::int(population.len() as i64))
+        .set("opcua_hosts", Json::int(report.hosts as i64))
+        .set(
+            "discovery_servers",
+            Json::int(report.discovery_servers as i64),
+        )
+        .set("probes_sent", Json::int(summary.sweep.probes_sent as i64))
+        .set("scan_seconds", Json::Num(scan_seconds))
+        .set("assess_seconds", Json::Num(assess_seconds))
+        .set("mode_distribution", counts_to_json(&modes))
+        .set("policy_distribution", counts_to_json(&policies))
+        .set("token_distribution", counts_to_json(&tokens))
+        .set(
+            "sessions",
+            Json::obj()
+                .set(
+                    "anonymous_activated",
+                    Json::int(report.sessions.anonymous_activated as i64),
+                )
+                .set(
+                    "auth_rejected",
+                    Json::int(report.sessions.auth_rejected as i64),
+                )
+                .set(
+                    "channel_rejected",
+                    Json::int(report.sessions.channel_rejected as i64),
+                )
+                .set(
+                    "protocol_error",
+                    Json::int(report.sessions.protocol_error as i64),
+                )
+                .set(
+                    "not_attempted",
+                    Json::int(report.sessions.not_attempted as i64),
+                ),
+        )
+        .set("deficits", deficits)
+        .set("paper_comparison", paper)
+        .set(
+            "reuse_clusters",
+            Json::Arr(
+                report
+                    .reuse_clusters
+                    .iter()
+                    .map(|c| {
+                        Json::obj()
+                            .set("thumbprint", Json::str(&c.thumbprint_hex[..16]))
+                            .set("hosts", Json::int(c.hosts.len() as i64))
+                    })
+                    .collect(),
+            ),
+        );
+    let path = write_bench_json("figures", &out);
+    println!("wrote {}", path.display());
+}

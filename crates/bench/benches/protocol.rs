@@ -1,1 +1,75 @@
-fn main() {}
+//! Probe-stack latency, stage by stage.
+//!
+//! Probes every deployed host three times with growing stacks — UACP
+//! hello only, + discovery, + anonymous session & traversal — and
+//! reports wall-clock per-stage latency (the increments between stacks).
+//!
+//! ```sh
+//! BENCH_HOSTS=200 cargo bench --bench protocol
+//! ```
+//!
+//! Emits `BENCH_protocol.json`.
+
+use bench::{time, write_bench_json, BenchConfig, Json, Stats};
+use scanner::{default_stack, discovery_stack, Probe, UacpProbe};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let (net, population) = cfg.build_world();
+    let addrs = net.host_addresses();
+    println!(
+        "protocol bench: {} hosts ({} strata population)",
+        addrs.len(),
+        population.len()
+    );
+    let scanner = cfg.scanner(net, 1);
+
+    let mut uacp_us = Vec::with_capacity(addrs.len());
+    let mut discovery_us = Vec::with_capacity(addrs.len());
+    let mut session_us = Vec::with_capacity(addrs.len());
+    let mut full_us = Vec::with_capacity(addrs.len());
+    let (total_seconds, ()) = time(|| {
+        for &addr in &addrs {
+            let seed = cfg.seed ^ u64::from(addr.0);
+            let mut uacp_only: Vec<Box<dyn Probe>> = vec![Box::new(UacpProbe)];
+            let (t_uacp, _) = time(|| scanner.probe_host(&mut uacp_only, addr, seed));
+            let mut discovery = discovery_stack();
+            let (t_disc, _) = time(|| scanner.probe_host(&mut discovery, addr, seed));
+            let mut full = default_stack();
+            let (t_full, record) = time(|| scanner.probe_host(&mut full, addr, seed));
+            if !record.hello_ok {
+                continue;
+            }
+            uacp_us.push(t_uacp * 1e6);
+            discovery_us.push((t_disc - t_uacp).max(0.0) * 1e6);
+            session_us.push((t_full - t_disc).max(0.0) * 1e6);
+            full_us.push(t_full * 1e6);
+        }
+    });
+
+    let hosts_per_second = full_us.len() as f64 / total_seconds;
+    for (stage, samples) in [
+        ("uacp", &uacp_us),
+        ("discovery", &discovery_us),
+        ("session", &session_us),
+        ("full_stack", &full_us),
+    ] {
+        let s = Stats::of(samples);
+        println!(
+            "  {stage:<11} mean {:>8.1} µs  p50 {:>8.1} µs  p99 {:>8.1} µs",
+            s.mean, s.p50, s.p99
+        );
+    }
+
+    let out = Json::obj()
+        .set("bench", Json::str("protocol"))
+        .set("hosts_probed", Json::int(full_us.len() as i64))
+        .set("seconds", Json::Num(total_seconds))
+        .set("hosts_per_second", Json::Num(hosts_per_second))
+        .set("uacp_micros", Stats::of(&uacp_us).to_json())
+        .set("discovery_micros", Stats::of(&discovery_us).to_json())
+        .set("session_micros", Stats::of(&session_us).to_json())
+        .set("full_stack_micros", Stats::of(&full_us).to_json());
+    let path = write_bench_json("protocol", &out);
+    println!("wrote {}", path.display());
+}

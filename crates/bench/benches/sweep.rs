@@ -1,1 +1,99 @@
-fn main() {}
+//! Sweep throughput vs. worker count.
+//!
+//! Runs the full campaign (zmap-style sweep → probe stack → streamed
+//! records) over the same seeded world at every configured worker count,
+//! measures wall-clock throughput, and verifies on the way that the
+//! records stay byte-identical — the sharding contract CI relies on.
+//!
+//! ```sh
+//! BENCH_HOSTS=300 BENCH_UNIVERSE=20 BENCH_WORKERS=1,2,4,8 \
+//!     cargo bench --bench sweep
+//! ```
+//!
+//! Emits `BENCH_sweep.json`.
+
+use bench::{time, write_bench_json, BenchConfig, Json};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let universe_size = cfg.universe_size();
+    println!(
+        "sweep bench: {} hosts in {} addresses, workers {:?}",
+        cfg.hosts, universe_size, cfg.worker_counts
+    );
+
+    let mut runs = Vec::new();
+    let mut baseline_seconds = None;
+    let mut baseline_digest: Option<String> = None;
+    for &workers in &cfg.worker_counts {
+        // A fresh identically-seeded world per run: scans advance the
+        // virtual clock, and identical worlds keep runs comparable.
+        let (net, population) = cfg.build_world();
+        let scanner = cfg.scanner(net, workers);
+        let (seconds, (summary, records)) = time(|| scanner.scan_collect(&cfg.universe, cfg.seed));
+
+        // Cheap order-sensitive digest over the record stream.
+        let digest = format!(
+            "{}/{}/{:x}",
+            records.len(),
+            summary.opcua_hosts,
+            records.iter().fold(0u64, |acc, r| acc
+                .wrapping_mul(1_000_003)
+                .wrapping_add(u64::from(r.address.0))
+                .wrapping_add(r.rx_bytes))
+        );
+        match &baseline_digest {
+            None => baseline_digest = Some(digest),
+            Some(expected) => assert_eq!(
+                expected, &digest,
+                "sharded scan output diverged at workers={workers}"
+            ),
+        }
+
+        let addrs_per_sec = universe_size as f64 / seconds;
+        let hosts_per_sec = summary.sweep.responsive as f64 / seconds;
+        let speedup = baseline_seconds.map(|base: f64| base / seconds);
+        if baseline_seconds.is_none() {
+            baseline_seconds = Some(seconds);
+        }
+        println!(
+            "  workers={workers}: {seconds:.3}s, {addrs_per_sec:.0} addrs/s, \
+             {hosts_per_sec:.0} hosts/s, {} OPC UA hosts{}",
+            summary.opcua_hosts,
+            speedup
+                .map(|s| format!(", speedup {s:.2}x"))
+                .unwrap_or_default()
+        );
+        assert_eq!(summary.opcua_hosts as usize, population.len());
+        runs.push(
+            Json::obj()
+                .set("workers", Json::int(workers as i64))
+                .set("seconds", Json::Num(seconds))
+                .set("addresses_per_second", Json::Num(addrs_per_sec))
+                .set("hosts_per_second", Json::Num(hosts_per_sec))
+                .set(
+                    "responsive_hosts",
+                    Json::int(summary.sweep.responsive as i64),
+                )
+                .set("probes_sent", Json::int(summary.sweep.probes_sent as i64))
+                .set(
+                    "speedup_vs_1_worker",
+                    speedup.map(Json::Num).unwrap_or(Json::Num(1.0)),
+                ),
+        );
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let out = Json::obj()
+        .set("bench", Json::str("sweep"))
+        .set("available_parallelism", Json::int(cores as i64))
+        .set("hosts", Json::int(cfg.hosts as i64))
+        .set("universe_addresses", Json::int(universe_size as i64))
+        .set("seed", Json::int(cfg.seed as i64))
+        .set("deterministic_across_worker_counts", Json::Bool(true))
+        .set("runs", Json::Arr(runs));
+    let path = write_bench_json("sweep", &out);
+    println!("wrote {}", path.display());
+}

@@ -62,7 +62,7 @@ impl AsRegistry {
         assert!(handle < self.systems.len(), "unknown AS handle");
         self.prefixes.push((prefix, handle));
         self.prefixes
-            .sort_by(|a, b| b.0.prefix_len.cmp(&a.0.prefix_len));
+            .sort_by_key(|p| std::cmp::Reverse(p.0.prefix_len));
     }
 
     /// Longest-prefix lookup of the AS owning `addr`.

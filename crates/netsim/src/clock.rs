@@ -50,6 +50,17 @@ impl VirtualClock {
         self.advance_micros(seconds * 1_000_000);
     }
 
+    /// Creates an *independent* clock frozen at this clock's current
+    /// instant. Unlike [`Clone`] (which shares time), a fork advances on
+    /// its own — sharded scans give every probed host a fork so record
+    /// contents depend only on the campaign epoch, never on how many
+    /// workers ran or in which order hosts were reached.
+    pub fn fork(&self) -> VirtualClock {
+        VirtualClock {
+            inner: Arc::new(Mutex::new(self.now_micros())),
+        }
+    }
+
     /// Jumps to an absolute time; panics when moving backwards (virtual
     /// time is monotonic).
     pub fn jump_to_unix_seconds(&self, unix_seconds: u64) {
@@ -120,6 +131,18 @@ mod tests {
     fn default_starts_at_first_measurement() {
         let clock = VirtualClock::default();
         assert_eq!(clock.now_unix_seconds(), 1_581_206_400);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let a = VirtualClock::starting_at(100);
+        a.advance_millis(250);
+        let b = a.fork();
+        assert_eq!(b.now_micros(), a.now_micros());
+        b.advance_seconds(5);
+        assert_eq!(a.now_unix_seconds(), 100);
+        a.advance_seconds(30);
+        assert_eq!(b.now_micros(), 105 * 1_000_000 + 250_000);
     }
 
     #[test]

@@ -103,6 +103,19 @@ impl Internet {
         &self.clock
     }
 
+    /// A view of the same Internet (shared hosts and AS registry) driven
+    /// by a different clock. Connections opened through the view charge
+    /// their latency to `clock` instead of the shared one — this is how
+    /// sharded scans probe hosts on independent forked clocks without
+    /// the workers racing on shared time.
+    pub fn with_clock(&self, clock: VirtualClock) -> Internet {
+        Internet {
+            clock,
+            hosts: Arc::clone(&self.hosts),
+            registry: Arc::clone(&self.registry),
+        }
+    }
+
     /// Replaces the AS registry.
     pub fn set_registry(&self, registry: AsRegistry) {
         *self.registry.write().unwrap() = registry;
@@ -162,7 +175,7 @@ impl Internet {
             .read()
             .unwrap()
             .get(&addr.0)
-            .map_or(false, |h| h.services.contains_key(&port))
+            .is_some_and(|h| h.services.contains_key(&port))
     }
 
     /// Number of hosts.

@@ -23,9 +23,9 @@ pub fn prime_factors(mut n: u64) -> Vec<u64> {
     let mut out = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             out.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -98,6 +98,61 @@ impl CycleWalk {
     pub fn generator(&self) -> u64 {
         self.generator
     }
+
+    /// The walk restricted to steps `offset, offset+stride, …` of the
+    /// *full* walk (from its start, regardless of how far this iterator
+    /// has advanced): begins at `start·g^offset` and advances by
+    /// `g^stride`, visiting exactly the elements the full walk emits at
+    /// those step numbers — O(1) setup, no skipped iterations. Step
+    /// numbers are yielded alongside the elements so N strided walks
+    /// merge back into full-walk order.
+    pub fn stride(&self, offset: u64, stride: u64) -> StridedWalk {
+        assert!(stride > 0, "stride must be positive");
+        assert!(offset < stride, "offset within stride");
+        let order = self.p - 1;
+        StridedWalk {
+            p: self.p,
+            generator: pow_mod(self.generator, stride, self.p),
+            current: mul_mod(self.start, pow_mod(self.generator, offset, self.p), self.p),
+            step: offset,
+            stride,
+            remaining: if offset < order {
+                (order - offset).div_ceil(stride)
+            } else {
+                0
+            },
+        }
+    }
+}
+
+/// Every `stride`-th element of a [`CycleWalk`], starting at step
+/// `offset` (see [`CycleWalk::stride`]). Yields `(step, element)` pairs;
+/// the step numbers of the underlying full walk are globally unique
+/// across disjoint strides, which is what lets sharded sweeps merge
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct StridedWalk {
+    p: u64,
+    generator: u64,
+    current: u64,
+    step: u64,
+    stride: u64,
+    remaining: u64,
+}
+
+impl Iterator for StridedWalk {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = (self.step, self.current);
+        self.current = mul_mod(self.current, self.generator, self.p);
+        self.step += self.stride;
+        self.remaining -= 1;
+        Some(out)
+    }
 }
 
 impl Iterator for CycleWalk {
@@ -153,6 +208,42 @@ impl PermutedRange {
             size,
         }
     }
+
+    /// One shard of this permutation: the elements the underlying walk
+    /// emits at steps `shard, shard + shards, …`, yielded as
+    /// `(walk_step, index)` pairs. Each shard does O(order / shards)
+    /// work; the walk steps are globally unique and increasing per
+    /// shard, so N shards merge back into exactly this permutation's
+    /// order. Must be called on a freshly built range (the stride is
+    /// taken from the walk's start).
+    pub fn shard(&self, shard: u64, shards: u64) -> PermutedShard {
+        PermutedShard {
+            walk: self.walk.stride(shard, shards),
+            size: self.size,
+        }
+    }
+}
+
+/// A shard of a [`PermutedRange`] (see [`PermutedRange::shard`]):
+/// `(walk_step, index)` pairs, out-of-range walk elements skipped.
+#[derive(Debug, Clone)]
+pub struct PermutedShard {
+    walk: StridedWalk,
+    size: u64,
+}
+
+impl Iterator for PermutedShard {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        loop {
+            let (step, v) = self.walk.next()?;
+            let idx = v - 1;
+            if idx < self.size {
+                return Some((step, idx));
+            }
+        }
+    }
 }
 
 impl Iterator for PermutedRange {
@@ -205,7 +296,7 @@ pub struct SweepResult {
 /// collected. A full-IPv4 sweep finds tens of thousands of hosts; keeping
 /// them out of a `Vec` lets downstream stages start probing while the
 /// sweep is still walking the permutation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepStats {
     /// Probes sent (excluded addresses are not probed).
     pub probes_sent: u64,
@@ -263,6 +354,38 @@ impl<'a> SynScanner<'a> {
         R: Rng + ?Sized,
         F: FnMut(Ipv4),
     {
+        let stats = self.sweep_shard(universe, rng, 0, 1, |_pos, addr| on_responsive(addr));
+        // Account the sweep duration once: probes are asynchronous.
+        let seconds = stats.probes_sent / self.config.probes_per_second.max(1);
+        self.internet.clock().advance_seconds(seconds);
+        stats
+    }
+
+    /// One shard of a sweep: every shard derives the *same* permutation
+    /// (the walk is a function of `rng`'s state alone) but generates
+    /// only its own steps `shard, shard + shards, …` via cycle striding
+    /// — O(universe / shards) work per shard, no skipped iterations.
+    /// `on_responsive` receives the global walk step alongside the
+    /// address, so a coordinator can merge records from N shards back
+    /// into the exact discovery order a single-shard sweep produces.
+    ///
+    /// Clock-neutral: the caller accounts the sweep duration once from
+    /// the summed stats (see [`Self::sweep_each`]); shard stats are
+    /// disjoint and sum to the single-shard totals.
+    pub fn sweep_shard<R, F>(
+        &self,
+        universe: &[Cidr],
+        rng: &mut R,
+        shard: u64,
+        shards: u64,
+        mut on_responsive: F,
+    ) -> SweepStats
+    where
+        R: Rng + ?Sized,
+        F: FnMut(u64, Ipv4),
+    {
+        assert!(shards > 0, "at least one shard");
+        assert!(shard < shards, "shard index within shard count");
         // Concatenate blocks into one index space, then walk a
         // permutation of it (zmap's randomization property: no subnet is
         // hammered in a burst).
@@ -272,7 +395,7 @@ impl<'a> SynScanner<'a> {
         if total == 0 {
             return stats;
         }
-        for idx in PermutedRange::new(total, rng) {
+        for (pos, idx) in PermutedRange::new(total, rng).shard(shard, shards) {
             // Map the flat index back into (block, offset).
             let mut rem = idx;
             let mut addr = None;
@@ -291,13 +414,24 @@ impl<'a> SynScanner<'a> {
             stats.probes_sent += 1;
             if self.internet.has_listener(addr, self.config.port) {
                 stats.responsive += 1;
-                on_responsive(addr);
+                on_responsive(pos, addr);
             }
         }
-        // Account the sweep duration once: probes are asynchronous.
-        let seconds = stats.probes_sent / self.config.probes_per_second.max(1);
-        self.internet.clock().advance_seconds(seconds);
         stats
+    }
+}
+
+/// Element-wise sum of shard stats (used by sharded sweeps to recover
+/// the single-shard totals).
+impl std::ops::Add for SweepStats {
+    type Output = SweepStats;
+
+    fn add(self, rhs: SweepStats) -> SweepStats {
+        SweepStats {
+            probes_sent: self.probes_sent + rhs.probes_sent,
+            blocklisted: self.blocklisted + rhs.blocklisted,
+            responsive: self.responsive + rhs.responsive,
+        }
     }
 }
 
@@ -322,7 +456,7 @@ mod tests {
         let product_check: u64 = {
             let mut n = ZMAP_PRIME - 1;
             for f in &fs {
-                while n % f == 0 {
+                while n.is_multiple_of(*f) {
                     n /= f;
                 }
             }
@@ -478,6 +612,81 @@ mod tests {
         assert_eq!(stats.probes_sent, collected.probes_sent);
         assert_eq!(stats.blocklisted, collected.blocklisted);
         assert_eq!(stats.responsive as usize, collected.responsive.len());
+    }
+
+    #[test]
+    fn strided_walks_partition_the_full_walk() {
+        for p in [11u64, 101, 65537] {
+            for stride in [1u64, 2, 3, 8] {
+                let mut rng = StdRng::seed_from_u64(p ^ stride);
+                let walk = CycleWalk::new(p, &mut rng);
+                let reference: Vec<(u64, u64)> = walk
+                    .clone()
+                    .enumerate()
+                    .map(|(s, v)| (s as u64, v))
+                    .collect();
+                let mut merged: Vec<(u64, u64)> = (0..stride)
+                    .flat_map(|offset| walk.stride(offset, stride))
+                    .collect();
+                merged.sort_unstable();
+                assert_eq!(merged, reference, "p={p} stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_shard_work_is_divided_not_duplicated() {
+        // Each shard's iterator yields only its own steps; together they
+        // cover the range exactly once.
+        let mut rng = StdRng::seed_from_u64(42);
+        let range = PermutedRange::new(1000, &mut rng);
+        let mut seen = HashSet::new();
+        let mut yielded = 0u64;
+        for shard in 0..8 {
+            for (step, idx) in range.shard(shard, 8) {
+                assert_eq!(step % 8, shard, "shard yields only its own steps");
+                assert!(seen.insert(idx), "index {idx} yielded twice");
+                yielded += 1;
+            }
+        }
+        assert_eq!(yielded, 1000);
+    }
+
+    #[test]
+    fn sweep_shards_partition_the_sweep() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let universe: Cidr = "10.8.0.0/24".parse().unwrap();
+        for i in [1u32, 40, 77, 129, 200, 255] {
+            let addr = Ipv4(universe.base.0 + i);
+            net.add_host(addr, 1000);
+            net.bind(addr, 4840, Arc::new(NopService));
+        }
+        let mut blocklist = Blocklist::new();
+        blocklist.add_str("10.8.0.128/26").unwrap(); // covers .128-.191 (129)
+        let scanner = SynScanner::new(&net, &blocklist, SweepConfig::default());
+
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut reference = Vec::new();
+        let full = scanner.sweep_shard(&[universe], &mut rng, 0, 1, |pos, addr| {
+            reference.push((pos, addr));
+        });
+
+        for shards in [2u64, 3, 8] {
+            let mut merged = Vec::new();
+            let mut stats = SweepStats::default();
+            for shard in 0..shards {
+                let mut rng = StdRng::seed_from_u64(33);
+                stats = stats
+                    + scanner.sweep_shard(&[universe], &mut rng, shard, shards, |pos, addr| {
+                        merged.push((pos, addr));
+                    });
+            }
+            merged.sort_by_key(|&(pos, _)| pos);
+            assert_eq!(merged, reference, "shards={shards}");
+            assert_eq!(stats.probes_sent, full.probes_sent, "shards={shards}");
+            assert_eq!(stats.blocklisted, full.blocklisted, "shards={shards}");
+            assert_eq!(stats.responsive, full.responsive, "shards={shards}");
+        }
     }
 
     #[test]

@@ -117,7 +117,7 @@ impl StrataMix {
     fn expand(&self) -> Vec<HostClass> {
         let mut v = Vec::with_capacity(self.total());
         for &(class, n) in &self.counts {
-            v.extend(std::iter::repeat(class).take(n));
+            v.extend(std::iter::repeat_n(class, n));
         }
         v
     }

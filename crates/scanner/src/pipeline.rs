@@ -7,17 +7,37 @@
 //! synchronous use (tests, small universes) [`Scanner::scan_with`] drives
 //! a callback on the caller's thread and [`Scanner::scan_collect`] gathers
 //! everything into a `Vec`.
+//!
+//! ## Sharded scanning
+//!
+//! [`ScanConfig::workers`] shards the campaign across N threads: every
+//! worker walks the *same* zmap permutation (the walk is a function of
+//! the seed alone) but probes only the steps `pos % workers == shard`,
+//! running its own probe stack. Records carry their global permutation
+//! step, and the coordinator merges the N sorted shard streams back into
+//! exact discovery order, so the output is **byte-identical for a fixed
+//! seed regardless of worker count**.
+//!
+//! Two invariants make that determinism hold:
+//!
+//! 1. every host is probed on an independent clock *fork* anchored at
+//!    the campaign epoch ([`netsim::VirtualClock::fork`] via
+//!    [`Internet::with_clock`]), so record contents are a pure function
+//!    of (host, seed, epoch) — never of probe order;
+//! 2. campaign time is accounted once from summed, order-independent
+//!    quantities: sweep pacing from total probes sent, plus the sum of
+//!    per-host probe latencies.
 
 use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig};
 use crate::record::ScanRecord;
-use netsim::{Blocklist, Cidr, Internet, SweepConfig, SweepStats, SynScanner};
+use netsim::{Blocklist, Cidr, Internet, SweepConfig, SweepStats, SynScanner, VirtualClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
 /// Aggregate accounting of one scan campaign.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanSummary {
     /// Sweep-stage accounting (probes, blocklist hits, responsive).
     pub sweep: SweepStats,
@@ -56,35 +76,37 @@ impl Scanner {
 
     /// Probes a single address with the given probe stack, returning the
     /// record. Exposed for targeted re-scans (e.g. following LDS
-    /// referrals) and tests.
+    /// referrals) and tests. Runs on the shared clock; campaign scans
+    /// instead fork a per-host clock (see [`Self::scan_with`]).
     pub fn probe_host(
         &self,
         stack: &mut [Box<dyn Probe>],
         addr: netsim::Ipv4,
         seed: u64,
     ) -> ScanRecord {
-        let mut record = ScanRecord::new(
-            addr,
-            self.internet.as_number(addr),
-            self.internet.clock().now_unix_seconds(),
-        );
-        let mut ctx = ProbeContext::new(&self.internet, &self.config, addr, seed);
-        for probe in stack.iter_mut() {
-            if probe.run(&mut ctx, &mut record) == ProbeOutcome::Stop {
-                break;
-            }
-        }
-        if let Some(client) = &ctx.client {
-            record.requests = client.requests_sent();
-            let stats = client.stats();
-            record.tx_bytes = stats.tx_bytes;
-            record.rx_bytes = stats.rx_bytes;
-        }
-        record
+        probe_host_on(&self.internet, &self.config, stack, addr, seed)
+    }
+
+    /// Probes `addr` on an independent clock forked from `epoch`,
+    /// returning the record plus the virtual microseconds the probe
+    /// consumed. Record contents depend only on (host, seed, epoch).
+    fn probe_host_at_epoch(
+        &self,
+        epoch: &VirtualClock,
+        stack: &mut [Box<dyn Probe>],
+        addr: netsim::Ipv4,
+        seed: u64,
+    ) -> (ScanRecord, u64) {
+        let clock = epoch.fork();
+        let start = clock.now_micros();
+        let internet = self.internet.with_clock(clock.clone());
+        let record = probe_host_on(&internet, &self.config, stack, addr, seed);
+        (record, clock.now_micros().saturating_sub(start))
     }
 
     /// Runs the full campaign synchronously, handing each record to
-    /// `sink` as soon as its host is fully probed.
+    /// `sink` as soon as its host is fully probed — in discovery order,
+    /// which is identical for every [`ScanConfig::workers`] setting.
     pub fn scan_with<F>(&self, universe: &[Cidr], seed: u64, mut sink: F) -> ScanSummary
     where
         F: FnMut(ScanRecord),
@@ -93,26 +115,130 @@ impl Scanner {
             started_unix: self.internet.clock().now_unix_seconds(),
             ..ScanSummary::default()
         };
-        let sweep_config = SweepConfig {
-            probes_per_second: self.config.probes_per_second,
-            port: self.config.port,
-        };
-        let syn = SynScanner::new(&self.internet, &self.blocklist, sweep_config);
-        let mut sweep_rng = StdRng::seed_from_u64(seed);
-        let mut stack = default_stack();
-        // The sweep streams responsive addresses straight into the
-        // application-layer probes — no intermediate address list.
-        summary.sweep = syn.sweep_each(universe, &mut sweep_rng, |addr| {
-            let record = self.probe_host(&mut stack, addr, seed ^ u64::from(addr.0));
+        // Every probed host gets a clock forked from this frozen epoch,
+        // so records cannot observe each other through shared time.
+        let epoch = self.internet.clock().fork();
+        let workers = self.config.workers.max(1);
+        let mut probe_micros: u64 = 0;
+        let mut opcua_hosts: u64 = 0;
+        let mut non_opcua_hosts: u64 = 0;
+        let mut emit = |record: ScanRecord| {
             if record.hello_ok {
-                summary.opcua_hosts += 1;
+                opcua_hosts += 1;
             } else {
-                summary.non_opcua_hosts += 1;
+                non_opcua_hosts += 1;
             }
             sink(record);
-        });
+        };
+        summary.sweep = if workers == 1 {
+            // Single shard runs inline: the sweep streams responsive
+            // addresses straight into the probe stack, no threads.
+            let syn = SynScanner::new(&self.internet, &self.blocklist, self.sweep_config());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut stack = default_stack();
+            syn.sweep_shard(universe, &mut rng, 0, 1, |_pos, addr| {
+                let (record, micros) =
+                    self.probe_host_at_epoch(&epoch, &mut stack, addr, seed ^ u64::from(addr.0));
+                probe_micros += micros;
+                emit(record);
+            })
+        } else {
+            self.scan_sharded(
+                universe,
+                seed,
+                workers,
+                &epoch,
+                &mut probe_micros,
+                &mut emit,
+            )
+        };
+        summary.opcua_hosts = opcua_hosts;
+        summary.non_opcua_hosts = non_opcua_hosts;
+        // Account campaign time once, from order-independent sums:
+        // sweep pacing plus aggregate probe latency.
+        let sweep_seconds = summary.sweep.probes_sent / self.config.probes_per_second.max(1);
+        self.internet.clock().advance_seconds(sweep_seconds);
+        self.internet.clock().advance_micros(probe_micros);
         summary.finished_unix = self.internet.clock().now_unix_seconds();
         summary
+    }
+
+    /// The multi-worker engine: N scoped threads each sweep their shard
+    /// of the permutation and probe their hosts; the coordinator merges
+    /// the N position-sorted streams back into global discovery order.
+    fn scan_sharded<F>(
+        &self,
+        universe: &[Cidr],
+        seed: u64,
+        workers: usize,
+        epoch: &VirtualClock,
+        probe_micros: &mut u64,
+        mut emit: F,
+    ) -> SweepStats
+    where
+        F: FnMut(ScanRecord),
+    {
+        let capacity = self.config.channel_capacity.max(1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut rxs = Vec::with_capacity(workers);
+            for shard in 0..workers {
+                let (tx, rx) = mpsc::sync_channel::<ShardItem>(capacity);
+                rxs.push(rx);
+                let epoch = epoch.clone();
+                handles.push(scope.spawn(move || {
+                    let syn = SynScanner::new(&self.internet, &self.blocklist, self.sweep_config());
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut stack = default_stack();
+                    syn.sweep_shard(
+                        universe,
+                        &mut rng,
+                        shard as u64,
+                        workers as u64,
+                        |pos, addr| {
+                            let (record, micros) = self.probe_host_at_epoch(
+                                &epoch,
+                                &mut stack,
+                                addr,
+                                seed ^ u64::from(addr.0),
+                            );
+                            // A dropped coordinator means the scan was
+                            // abandoned; keep sweeping for the stats.
+                            let _ = tx.send((pos, record, micros));
+                        },
+                    )
+                }));
+            }
+            // N-way merge: each shard stream is sorted by permutation
+            // position and positions are globally unique, so repeatedly
+            // emitting the smallest head reproduces discovery order
+            // exactly. Blocking on one shard is fine — the others run
+            // ahead into their bounded buffers.
+            let mut heads: Vec<Option<ShardItem>> = rxs.iter().map(|rx| rx.recv().ok()).collect();
+            while let Some(next) = heads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, h)| h.as_ref().map(|(pos, _, _)| (*pos, i)))
+                .min()
+                .map(|(_, i)| i)
+            {
+                let (_pos, record, micros) = heads[next].take().expect("head present");
+                *probe_micros += micros;
+                emit(record);
+                heads[next] = rxs[next].recv().ok();
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan shard panicked"))
+                .fold(SweepStats::default(), |acc, s| acc + s)
+        })
+    }
+
+    fn sweep_config(&self) -> SweepConfig {
+        SweepConfig {
+            probes_per_second: self.config.probes_per_second,
+            port: self.config.port,
+        }
     }
 
     /// Convenience: runs [`Self::scan_with`] and collects all records.
@@ -122,11 +248,12 @@ impl Scanner {
         (summary, records)
     }
 
-    /// Runs the campaign on a worker thread, streaming records through a
-    /// bounded channel. Iterate the returned [`ScanStream`] to consume
+    /// Runs the campaign on a coordinator thread (plus
+    /// [`ScanConfig::workers`] shard threads), streaming records through
+    /// a bounded channel. Iterate the returned [`ScanStream`] to consume
     /// records as they are produced; call [`ScanStream::finish`] for the
-    /// summary. Record order is identical to [`Self::scan_with`] — the
-    /// single producer keeps the campaign deterministic.
+    /// summary. Record order is identical to [`Self::scan_with`] for any
+    /// worker count — shards merge back into discovery order.
     pub fn scan_stream(self, universe: Vec<Cidr>, seed: u64) -> ScanStream {
         let (tx, rx) = mpsc::sync_channel(self.config.channel_capacity.max(1));
         let handle = std::thread::spawn(move || {
@@ -141,6 +268,39 @@ impl Scanner {
             handle: Some(handle),
         }
     }
+}
+
+/// One merged unit from a shard: (global permutation step, record,
+/// virtual probe microseconds).
+type ShardItem = (u64, ScanRecord, u64);
+
+/// Probes `addr` through `internet` (whichever clock it carries) with
+/// `stack`, filling in the transport accounting.
+fn probe_host_on(
+    internet: &Internet,
+    config: &ScanConfig,
+    stack: &mut [Box<dyn Probe>],
+    addr: netsim::Ipv4,
+    seed: u64,
+) -> ScanRecord {
+    let mut record = ScanRecord::new(
+        addr,
+        internet.as_number(addr),
+        internet.clock().now_unix_seconds(),
+    );
+    let mut ctx = ProbeContext::new(internet, config, addr, seed);
+    for probe in stack.iter_mut() {
+        if probe.run(&mut ctx, &mut record) == ProbeOutcome::Stop {
+            break;
+        }
+    }
+    if let Some(client) = &ctx.client {
+        record.requests = client.requests_sent();
+        let stats = client.stats();
+        record.tx_bytes = stats.tx_bytes;
+        record.rx_bytes = stats.rx_bytes;
+    }
+    record
 }
 
 /// Iterator over streamed scan records (see [`Scanner::scan_stream`]).

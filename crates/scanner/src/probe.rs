@@ -29,8 +29,13 @@ pub struct ScanConfig {
     /// Whether to attempt anonymous sessions at all (the paper's scanner
     /// only proceeds where servers advertise credential-less access).
     pub attempt_session: bool,
-    /// Bounded capacity of the record channel in streaming scans.
+    /// Bounded capacity of the record channel in streaming scans (also
+    /// the per-shard buffer in sharded scans).
     pub channel_capacity: usize,
+    /// Worker threads the campaign is sharded across. Output is
+    /// byte-identical for a fixed seed regardless of this knob — it only
+    /// changes how many cores the probe stacks use. 0 is treated as 1.
+    pub workers: usize,
 }
 
 impl Default for ScanConfig {
@@ -43,6 +48,7 @@ impl Default for ScanConfig {
             budget: TraversalBudget::default(),
             attempt_session: true,
             channel_capacity: 256,
+            workers: 1,
         }
     }
 }

@@ -1,0 +1,101 @@
+//! Shard-count determinism: for a fixed seed, the sharded pipeline must
+//! produce byte-identical records, in identical order, with an identical
+//! summary, no matter how many workers run the campaign.
+
+use netsim::{Blocklist, Cidr, Internet, VirtualClock};
+use population::{synthesize, PopulationConfig, StrataMix};
+use scanner::{ScanConfig, ScanRecord, ScanSummary, Scanner};
+
+const SEED: u64 = 20_200_209;
+
+/// A fresh, identically-seeded world for every run: two scans over one
+/// shared net would advance the same virtual clock twice.
+fn build_world() -> (Internet, Vec<Cidr>) {
+    let net = Internet::new(VirtualClock::default());
+    let universe: Vec<Cidr> = ["10.40.0.0/22", "172.28.0.0/23"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let cfg = PopulationConfig::new(SEED, universe.clone(), StrataMix::paper_like(60));
+    synthesize(&net, &cfg);
+    (net, universe)
+}
+
+fn scan_with_workers(workers: usize) -> (ScanSummary, Vec<ScanRecord>) {
+    let (net, universe) = build_world();
+    let mut blocklist = Blocklist::new();
+    blocklist.add_str("10.40.3.0/24").unwrap();
+    let config = ScanConfig {
+        workers,
+        ..ScanConfig::default()
+    };
+    let scanner = Scanner::new(net, blocklist, config);
+    let mut stream = scanner.scan_stream(universe, SEED);
+    let records: Vec<ScanRecord> = stream.by_ref().collect();
+    (stream.finish(), records)
+}
+
+#[test]
+fn worker_counts_1_2_8_are_byte_identical() {
+    let (summary1, records1) = scan_with_workers(1);
+    assert!(
+        summary1.opcua_hosts > 10,
+        "population should yield a meaningful scan, got {summary1:?}"
+    );
+
+    for workers in [2usize, 8] {
+        let (summary, records) = scan_with_workers(workers);
+        assert_eq!(
+            summary, summary1,
+            "summary must not depend on worker count (workers={workers})"
+        );
+        assert_eq!(
+            records.len(),
+            records1.len(),
+            "record count must not depend on worker count (workers={workers})"
+        );
+        for (i, (a, b)) in records.iter().zip(&records1).enumerate() {
+            assert_eq!(
+                a, b,
+                "record {i} differs between workers={workers} and workers=1"
+            );
+        }
+        // Belt and braces: the rendered debug form is byte-identical too.
+        assert_eq!(format!("{records:?}"), format!("{records1:?}"));
+    }
+}
+
+#[test]
+fn final_report_identical_across_worker_counts() {
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&workers| {
+            let (_, records) = scan_with_workers(workers);
+            assessment::assess(&records).to_string()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+}
+
+#[test]
+fn sync_scan_matches_sharded_stream() {
+    // scan_collect (inline single shard) and scan_stream with 4 workers
+    // agree record-for-record.
+    let (net, universe) = build_world();
+    let scanner = Scanner::new(net, Blocklist::new(), ScanConfig::default());
+    let (sync_summary, sync_records) = scanner.scan_collect(&universe, SEED);
+
+    let (net2, universe2) = build_world();
+    let config = ScanConfig {
+        workers: 4,
+        ..ScanConfig::default()
+    };
+    let scanner2 = Scanner::new(net2, Blocklist::new(), config);
+    let mut stream = scanner2.scan_stream(universe2, SEED);
+    let streamed: Vec<ScanRecord> = stream.by_ref().collect();
+    let summary = stream.finish();
+
+    assert_eq!(sync_records, streamed);
+    assert_eq!(sync_summary, summary);
+}

@@ -342,10 +342,8 @@ impl AddressSpace {
                         writable += 1;
                     }
                 }
-                NodeClass::Method => {
-                    if node.access.user_executable(user) {
-                        executable += 1;
-                    }
+                NodeClass::Method if node.access.user_executable(user) => {
+                    executable += 1;
                 }
                 _ => {}
             }

@@ -237,7 +237,7 @@ pub fn cbc_encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, A
     let pad = 16 - plaintext.len() % 16;
     let mut data = Vec::with_capacity(plaintext.len() + pad);
     data.extend_from_slice(plaintext);
-    data.extend(std::iter::repeat(pad as u8).take(pad));
+    data.extend(std::iter::repeat_n(pad as u8, pad));
 
     let mut prev: [u8; 16] = iv.try_into().unwrap();
     for chunk in data.chunks_exact_mut(16) {
@@ -258,7 +258,7 @@ pub fn cbc_decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, 
     if iv.len() != 16 {
         return Err(AesError::BadIvLength(iv.len()));
     }
-    if ciphertext.is_empty() || ciphertext.len() % 16 != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
         return Err(AesError::BadCiphertextLength(ciphertext.len()));
     }
     let mut out = ciphertext.to_vec();

@@ -60,7 +60,7 @@ pub fn batch_gcd(moduli: &[BigUint]) -> Vec<BigUint> {
     let mut levels: Vec<Vec<BigUint>> = vec![moduli.to_vec()];
     while levels.last().unwrap().len() > 1 {
         let prev = levels.last().unwrap();
-        let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+        let mut next = Vec::with_capacity(prev.len().div_ceil(2));
         for pair in prev.chunks(2) {
             if pair.len() == 2 {
                 next.push(pair[0].mul(&pair[1]));

@@ -159,7 +159,7 @@ impl BigUint {
 
     /// True iff the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -174,7 +174,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Returns the low 64 bits.
@@ -537,7 +537,7 @@ impl BigUint {
     /// (top bit set).
     pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
         assert!(bits > 0);
-        let limbs = (bits + 63) / 64;
+        let limbs = bits.div_ceil(64);
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
         let top_bits = bits - (limbs - 1) * 64;
         let mask = if top_bits == 64 {
@@ -558,7 +558,7 @@ impl BigUint {
         assert!(!bound.is_zero());
         let bits = bound.bit_length();
         loop {
-            let limbs = (bits + 63) / 64;
+            let limbs = bits.div_ceil(64);
             let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
             let top_bits = bits - (limbs - 1) * 64;
             let mask = if top_bits == 64 {

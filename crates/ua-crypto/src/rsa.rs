@@ -73,7 +73,7 @@ pub struct RsaPublicKey {
 impl RsaPublicKey {
     /// Modulus size in bytes (actual).
     pub fn modulus_len(&self) -> usize {
-        (self.n.bit_length() + 7) / 8
+        self.n.bit_length().div_ceil(8)
     }
 
     /// Raw RSA public operation `m^e mod n`.
@@ -276,9 +276,7 @@ fn pkcs1_sign_encode(alg: HashAlgorithm, message: &[u8], k: usize) -> Result<Vec
     let mut em = Vec::with_capacity(k);
     em.push(0x00);
     em.push(0x01);
-    for _ in 0..(k - dlen - id.len() - 3) {
-        em.push(0xff);
-    }
+    em.extend(std::iter::repeat_n(0xff, k - dlen - id.len() - 3));
     em.push(0x00);
     em.extend_from_slice(&id);
     em.extend_from_slice(&digest[..dlen]);

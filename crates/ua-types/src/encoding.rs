@@ -513,7 +513,7 @@ mod tests {
 
     #[test]
     fn decode_all_rejects_trailing() {
-        struct Byte(u8);
+        struct Byte(#[allow(dead_code)] u8);
         impl UaDecode for Byte {
             fn decode(r: &mut Decoder<'_>) -> Result<Self, CodecError> {
                 Ok(Byte(r.u8()?))

@@ -4,18 +4,22 @@
 //!
 //! Deterministic: the same seed prints the same numbers.
 //!
+//! Deterministic in the worker count too: sharded scans merge back into
+//! discovery order, so the printed output is byte-identical whether one
+//! worker runs the campaign or eight (CI diffs exactly that).
+//!
 //! ```sh
-//! cargo run --release --example internet_scan            # default seed
-//! cargo run --release --example internet_scan -- 1234    # custom seed
+//! cargo run --release --example internet_scan              # default seed
+//! cargo run --release --example internet_scan -- 1234      # custom seed
+//! cargo run --release --example internet_scan -- 1234 8    # ... 8 workers
 //! ```
 
 use opcua_study::prelude::*;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2020);
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2020);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let net = Internet::new(VirtualClock::default());
     // Several announced blocks — regional ISPs, an IoT ISP, hosting.
@@ -42,8 +46,15 @@ fn main() {
     let mut blocklist = Blocklist::new();
     blocklist.add_str("10.16.7.0/24").unwrap();
 
-    // Stream records through the bounded channel while the scan runs.
-    let scanner = Scanner::new(net, blocklist, ScanConfig::default());
+    // Stream records through the bounded channel while the scan runs,
+    // sharded across `workers` probe threads. The output below must not
+    // mention the worker count: CI diffs a 1-worker against a 4-worker
+    // run to enforce shard-count determinism.
+    let config = ScanConfig {
+        workers,
+        ..ScanConfig::default()
+    };
+    let scanner = Scanner::new(net, blocklist, config);
     let mut stream = scanner.scan_stream(universe, seed);
     let mut records = Vec::new();
     for record in stream.by_ref() {

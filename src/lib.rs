@@ -9,11 +9,15 @@
 //!
 //! ```text
 //!                 ┌─────────────────────────────────────────┐
-//!   analysis      │ assessment   deficit rules, batch-GCD,  │
-//!                 │              paper-style report tables  │
+//!   analysis      │ assessment   incremental Assessor:      │
+//!                 │              fold records as they       │
+//!                 │              stream, batch-GCD at       │
+//!                 │              finalize; paper tables     │
 //!                 ├─────────────────────────────────────────┤
-//!   measurement   │ scanner      sweep → probe stack →      │
-//!                 │              streamed ScanRecords       │
+//!   measurement   │ scanner      sharded sweep (N workers,  │
+//!                 │              ScanConfig::workers) →     │
+//!                 │              probe stacks → merge by    │
+//!                 │              discovery order → channel  │
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
 //!                 │              configured deployments     │
@@ -45,8 +49,27 @@
 //! assert_eq!(report.hosts, population.len());
 //! ```
 //!
-//! See `examples/quickstart.rs` and `examples/internet_scan.rs` for
-//! runnable end-to-end demos.
+//! ## Scaling knobs
+//!
+//! * **Worker count** — `ScanConfig::workers` shards the campaign
+//!   across N probe threads. The permuted universe is split
+//!   deterministically (`pos % workers`) and shard outputs merge back
+//!   into discovery order, so records, report, and summary are
+//!   byte-identical for a fixed seed at *any* worker count; only the
+//!   wall-clock changes. CI enforces this by diffing a 1-worker against
+//!   a 4-worker campaign.
+//! * **Incremental assessment** — `Assessor::fold` consumes each
+//!   record as the scanner streams it (per-host rules immediately,
+//!   cross-host state online) and `Assessor::finalize` runs batch GCD
+//!   and emits the report; `assess()` is the batch wrapper. Streaming
+//!   consumers never buffer records.
+//! * **Perf trail** — `cargo bench --bench sweep|protocol|crypto|`
+//!   `ablation|figures` measures the pipeline and writes
+//!   `BENCH_<name>.json` (see `crates/bench`); CI uploads these as
+//!   artifacts on every run.
+//!
+//! See `examples/quickstart.rs`, `examples/internet_scan.rs`, and
+//! `examples/deployment_audit.rs` for runnable end-to-end demos.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,7 +87,7 @@ pub use ua_types;
 
 /// The types most pipelines need, in one import.
 pub mod prelude {
-    pub use assessment::{assess, AssessmentReport, Deficit};
+    pub use assessment::{assess, AssessmentReport, Assessor, Deficit};
     pub use netsim::{Blocklist, Cidr, Internet, Ipv4, VirtualClock};
     pub use population::{synthesize, HostClass, Population, PopulationConfig, StrataMix};
     pub use scanner::{ScanConfig, ScanRecord, Scanner, SessionOutcome};
