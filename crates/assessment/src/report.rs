@@ -3,7 +3,7 @@
 
 use crate::deficit::{host_deficits, Deficit};
 use netsim::Ipv4;
-use scanner::{ScanRecord, SessionOutcome};
+use scanner::{DiscoveredVia, ScanRecord, SessionOutcome, DEFAULT_OPCUA_PORT};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use ua_crypto::hash::to_hex;
 use ua_crypto::{find_shared_factors, sha1, BigUint, Certificate};
@@ -14,12 +14,41 @@ use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
 pub struct HostReport {
     /// Host address.
     pub address: Ipv4,
+    /// Port the host was probed on.
+    pub port: u16,
+    /// How the scanner discovered the host (sweep or LDS referral).
+    pub via: DiscoveredVia,
     /// AS number.
     pub asn: u32,
     /// True for local discovery servers.
     pub is_discovery_server: bool,
+    /// Referral URLs this host announced via FindServers.
+    pub announced_referrals: usize,
     /// Every deficit detected on this host.
     pub deficits: BTreeSet<Deficit>,
+}
+
+/// Table 1-style accounting of what referral following added on top of
+/// the sweep: the host category that is invisible without it.
+#[derive(Debug, Clone, Default)]
+pub struct ReferralSummary {
+    /// Hosts reachable *only* via an LDS referral (their records carry
+    /// [`DiscoveredVia::Referral`] provenance).
+    pub referral_only_hosts: usize,
+    /// Hosts announcing at least one referral URL.
+    pub referring_hosts: usize,
+    /// Discovery servers among the referring hosts.
+    pub referring_discovery_servers: usize,
+    /// Referral-discovered hosts on a port other than the campaign's
+    /// sweep port (derived from the swept records;
+    /// [`DEFAULT_OPCUA_PORT`] when a record set contains none).
+    pub non_default_port_hosts: usize,
+    /// Deepest referral chain among assessed hosts.
+    pub max_chain_depth: u32,
+    /// Deficit counts among referral-only hosts (the report renders
+    /// these next to the whole-population counts for the
+    /// swept-vs-referred deficit-rate contrast).
+    pub deficit_counts: BTreeMap<Deficit, usize>,
 }
 
 /// A certificate served by more than one host.
@@ -80,6 +109,8 @@ pub struct AssessmentReport {
     pub shared_prime_pairs: Vec<SharedPrimePair>,
     /// Session-stage outcomes.
     pub sessions: SessionTally,
+    /// What following LDS referrals added on top of the sweep.
+    pub referrals: ReferralSummary,
 }
 
 impl AssessmentReport {
@@ -118,6 +149,7 @@ impl AssessmentReport {
 pub struct Assessor {
     host_reports: Vec<HostReport>,
     non_opcua: usize,
+    sweep_port: Option<u16>,
     by_thumbprint: HashMap<[u8; 20], BTreeSet<Ipv4>>,
     moduli: Vec<BigUint>,
     modulus_hosts: Vec<BTreeSet<Ipv4>>,
@@ -138,6 +170,12 @@ impl Assessor {
     /// Folds one record into the running assessment. Per-host rules run
     /// now; cross-host state accumulates for [`Self::finalize`].
     pub fn fold(&mut self, record: &ScanRecord) {
+        if !record.via.is_referral() {
+            // Every swept record carries the campaign's sweep port; the
+            // referral section judges "non-default port" against it
+            // rather than assuming 4840.
+            self.sweep_port.get_or_insert(record.port);
+        }
         if !record.hello_ok {
             self.non_opcua += 1;
             return;
@@ -148,8 +186,11 @@ impl Assessor {
         }
         self.host_reports.push(HostReport {
             address: record.address,
+            port: record.port,
+            via: record.via,
             asn: record.asn,
             is_discovery_server: record.is_discovery_server(),
+            announced_referrals: record.referred_urls.len(),
             deficits,
         });
 
@@ -229,6 +270,7 @@ impl Assessor {
         let Assessor {
             mut host_reports,
             non_opcua,
+            sweep_port,
             by_thumbprint,
             moduli,
             modulus_hosts,
@@ -287,6 +329,30 @@ impl Assessor {
             }
         }
 
+        // Referral accounting — computed after the cross-host
+        // back-patch so referral-only deficit counts include reuse and
+        // shared-prime findings.
+        let mut referrals = ReferralSummary::default();
+        let campaign_port = sweep_port.unwrap_or(DEFAULT_OPCUA_PORT);
+        for hr in &host_reports {
+            if hr.announced_referrals > 0 {
+                referrals.referring_hosts += 1;
+                if hr.is_discovery_server {
+                    referrals.referring_discovery_servers += 1;
+                }
+            }
+            if hr.via.is_referral() {
+                referrals.referral_only_hosts += 1;
+                if hr.port != campaign_port {
+                    referrals.non_default_port_hosts += 1;
+                }
+                referrals.max_chain_depth = referrals.max_chain_depth.max(hr.via.depth());
+                for &d in &hr.deficits {
+                    *referrals.deficit_counts.entry(d).or_default() += 1;
+                }
+            }
+        }
+
         AssessmentReport {
             hosts: host_reports.len(),
             non_opcua,
@@ -302,6 +368,7 @@ impl Assessor {
             reuse_clusters,
             shared_prime_pairs,
             sessions,
+            referrals,
         }
     }
 }
@@ -323,6 +390,19 @@ impl std::fmt::Display for AssessmentReport {
             f,
             "  hosts: {} OPC UA ({} discovery servers), {} non-OPC-UA responders",
             self.hosts, self.discovery_servers, self.non_opcua
+        )?;
+        writeln!(
+            f,
+            "  discovery (Table 1): {} swept + {} referral-only ({} on non-default ports, max chain depth {})",
+            self.hosts - self.referrals.referral_only_hosts,
+            self.referrals.referral_only_hosts,
+            self.referrals.non_default_port_hosts,
+            self.referrals.max_chain_depth,
+        )?;
+        writeln!(
+            f,
+            "  referring hosts: {} ({} discovery servers announce referrals)",
+            self.referrals.referring_hosts, self.referrals.referring_discovery_servers,
         )?;
 
         writeln!(f, "\n  security modes offered (hosts):")?;
@@ -356,15 +436,19 @@ impl std::fmt::Display for AssessmentReport {
             )?;
         }
 
-        writeln!(f, "\n  configuration deficits:")?;
+        writeln!(f, "\n  configuration deficits (all hosts | referral-only):")?;
+        let referred = self.referrals.referral_only_hosts;
         for d in Deficit::ALL {
             let n = self.count(d);
+            let r = self.referrals.deficit_counts.get(&d).copied().unwrap_or(0);
             writeln!(
                 f,
-                "    {:<30} {:>6}  ({:>5.1} %)",
+                "    {:<30} {:>6}  ({:>5.1} %) | {:>5}  ({:>5.1} %)",
                 d.label(),
                 n,
-                pct(n, self.hosts)
+                pct(n, self.hosts),
+                r,
+                pct(r, referred),
             )?;
         }
 

@@ -236,9 +236,18 @@ fn aggregate_counts_match_ground_truth_on_paper_mix() {
     let n = |c| pop.count(c);
 
     assert_eq!(report.hosts, pop.len());
+    // Referral-only strata are found (with provenance) despite being
+    // invisible to the sweep.
+    assert_eq!(
+        report.referrals.referral_only_hosts,
+        n(HostClass::HiddenServer) + n(HostClass::ChainedLds)
+    );
     assert_eq!(
         report.count(Deficit::OnlyNoneMode),
-        n(HostClass::WideOpen) + n(HostClass::BrokenSession) + n(HostClass::DiscoveryServer)
+        n(HostClass::WideOpen)
+            + n(HostClass::BrokenSession)
+            + n(HostClass::DiscoveryServer)
+            + n(HostClass::ChainedLds)
     );
     assert_eq!(
         report.count(Deficit::DeprecatedPolicy),
@@ -266,6 +275,8 @@ fn aggregate_counts_match_ground_truth_on_paper_mix() {
             + n(HostClass::MixedLegacy)
             + n(HostClass::BrokenSession)
             + n(HostClass::DiscoveryServer)
+            + n(HostClass::HiddenServer)
+            + n(HostClass::ChainedLds)
     );
     assert_eq!(
         report.count(Deficit::BrokenSessionConfig),
@@ -273,15 +284,17 @@ fn aggregate_counts_match_ground_truth_on_paper_mix() {
     );
     assert_eq!(
         report.count(Deficit::DataReadable),
-        n(HostClass::WideOpen) + n(HostClass::MixedLegacy)
+        n(HostClass::WideOpen) + n(HostClass::MixedLegacy) + n(HostClass::HiddenServer)
     );
     // Writable/executable data matches the deployed address spaces.
     let writable_hosts = pop
         .hosts
         .iter()
         .filter(|h| {
-            matches!(h.class, HostClass::WideOpen | HostClass::MixedLegacy)
-                && h.writable_variables > 0
+            matches!(
+                h.class,
+                HostClass::WideOpen | HostClass::MixedLegacy | HostClass::HiddenServer
+            ) && h.writable_variables > 0
         })
         .count();
     assert_eq!(report.count(Deficit::DataWritable), writable_hosts);
@@ -289,8 +302,10 @@ fn aggregate_counts_match_ground_truth_on_paper_mix() {
         .hosts
         .iter()
         .filter(|h| {
-            matches!(h.class, HostClass::WideOpen | HostClass::MixedLegacy)
-                && h.executable_methods > 0
+            matches!(
+                h.class,
+                HostClass::WideOpen | HostClass::MixedLegacy | HostClass::HiddenServer
+            ) && h.executable_methods > 0
         })
         .count();
     assert_eq!(report.count(Deficit::MethodsExecutable), executable_hosts);
@@ -304,14 +319,59 @@ fn aggregate_counts_match_ground_truth_on_paper_mix() {
             + n(HostClass::WeakCert)
             + n(HostClass::ReusedCert)
             + n(HostClass::SharedPrime)
+            + n(HostClass::HiddenServer)
     );
-    // Sessions: anonymous activation succeeds on wide-open, mixed, and
-    // discovery hosts; broken hosts land in the auth-rejected column.
+    // Sessions: anonymous activation succeeds on wide-open, mixed,
+    // hidden, and discovery hosts; broken hosts land in the
+    // auth-rejected column.
     assert_eq!(
         report.sessions.anonymous_activated,
-        n(HostClass::WideOpen) + n(HostClass::MixedLegacy) + n(HostClass::DiscoveryServer)
+        n(HostClass::WideOpen)
+            + n(HostClass::MixedLegacy)
+            + n(HostClass::DiscoveryServer)
+            + n(HostClass::HiddenServer)
+            + n(HostClass::ChainedLds)
     );
     assert_eq!(report.sessions.auth_rejected, n(HostClass::BrokenSession));
+}
+
+#[test]
+fn referral_port_novelty_judged_against_campaign_port_not_4840() {
+    use netsim::Ipv4;
+    use scanner::DiscoveredVia;
+
+    // A campaign swept on port 4841: a referral host on 4841 is *not*
+    // novel, while one on 4840 is.
+    let mut swept =
+        ScanRecord::for_target(Ipv4::new(10, 0, 0, 1), 4841, DiscoveredVia::Sweep, 0, 0);
+    swept.hello_ok = true;
+    let referrer = swept.address;
+    let mut same_port = ScanRecord::for_target(
+        Ipv4::new(10, 0, 0, 2),
+        4841,
+        DiscoveredVia::Referral {
+            from: referrer,
+            depth: 1,
+        },
+        0,
+        0,
+    );
+    same_port.hello_ok = true;
+    let mut odd_port = ScanRecord::for_target(
+        Ipv4::new(10, 0, 0, 3),
+        4840,
+        DiscoveredVia::Referral {
+            from: referrer,
+            depth: 1,
+        },
+        0,
+        0,
+    );
+    odd_port.hello_ok = true;
+
+    let report = assess(&[swept, same_port, odd_port]);
+    assert_eq!(report.referrals.referral_only_hosts, 2);
+    assert_eq!(report.referrals.non_default_port_hosts, 1);
 }
 
 #[test]

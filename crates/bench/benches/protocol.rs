@@ -16,27 +16,35 @@ use scanner::{default_stack, discovery_stack, Probe, UacpProbe};
 fn main() {
     let cfg = BenchConfig::from_env();
     let (net, population) = cfg.build_world();
-    let addrs = net.host_addresses();
+    // Probe every host on its *ground-truth* port: referral-only strata
+    // listen on non-default ports and would otherwise be timed as dead
+    // connects and silently dropped from the stats.
+    let mut targets: Vec<(netsim::Ipv4, u16)> = population
+        .hosts
+        .iter()
+        .map(|h| (h.address, h.port))
+        .collect();
+    targets.sort();
     println!(
         "protocol bench: {} hosts ({} strata population)",
-        addrs.len(),
+        targets.len(),
         population.len()
     );
     let scanner = cfg.scanner(net, 1);
 
-    let mut uacp_us = Vec::with_capacity(addrs.len());
-    let mut discovery_us = Vec::with_capacity(addrs.len());
-    let mut session_us = Vec::with_capacity(addrs.len());
-    let mut full_us = Vec::with_capacity(addrs.len());
+    let mut uacp_us = Vec::with_capacity(targets.len());
+    let mut discovery_us = Vec::with_capacity(targets.len());
+    let mut session_us = Vec::with_capacity(targets.len());
+    let mut full_us = Vec::with_capacity(targets.len());
     let (total_seconds, ()) = time(|| {
-        for &addr in &addrs {
+        for &(addr, port) in &targets {
             let seed = cfg.seed ^ u64::from(addr.0);
             let mut uacp_only: Vec<Box<dyn Probe>> = vec![Box::new(UacpProbe)];
-            let (t_uacp, _) = time(|| scanner.probe_host(&mut uacp_only, addr, seed));
+            let (t_uacp, _) = time(|| scanner.probe_host(&mut uacp_only, addr, port, seed));
             let mut discovery = discovery_stack();
-            let (t_disc, _) = time(|| scanner.probe_host(&mut discovery, addr, seed));
+            let (t_disc, _) = time(|| scanner.probe_host(&mut discovery, addr, port, seed));
             let mut full = default_stack();
-            let (t_full, record) = time(|| scanner.probe_host(&mut full, addr, seed));
+            let (t_full, record) = time(|| scanner.probe_host(&mut full, addr, port, seed));
             if !record.hello_ok {
                 continue;
             }

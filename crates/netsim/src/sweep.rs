@@ -356,8 +356,13 @@ impl<'a> SynScanner<'a> {
     {
         let stats = self.sweep_shard(universe, rng, 0, 1, |_pos, addr| on_responsive(addr));
         // Account the sweep duration once: probes are asynchronous.
-        let seconds = stats.probes_sent / self.config.probes_per_second.max(1);
-        self.internet.clock().advance_seconds(seconds);
+        // Pacing is tracked in microseconds — integer-second division
+        // would advance the clock by 0 for any sweep shorter than one
+        // second of probes and drop the fractional remainder of longer
+        // ones.
+        let micros =
+            stats.probes_sent.saturating_mul(1_000_000) / self.config.probes_per_second.max(1);
+        self.internet.clock().advance_micros(micros);
         stats
     }
 
@@ -585,7 +590,30 @@ mod tests {
             },
         );
         scanner.sweep(&[universe], &mut rng);
+        // 65536 probes at 1000/s = 65.536 s, accounted to the micro.
+        assert_eq!(clock.now_micros(), 65_536_000);
         assert_eq!(clock.now_unix_seconds(), 65);
+    }
+
+    #[test]
+    fn sub_second_sweep_still_advances_clock() {
+        // A /28 (16 probes) at 1000 probes/s is 16 ms of pacing.
+        // Integer-second accounting would advance the clock by zero.
+        let clock = VirtualClock::starting_at(0);
+        let net = Internet::new(clock.clone());
+        let universe: Cidr = "10.2.0.0/28".parse().unwrap();
+        let blocklist = Blocklist::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let scanner = SynScanner::new(
+            &net,
+            &blocklist,
+            SweepConfig {
+                probes_per_second: 1000,
+                port: 4840,
+            },
+        );
+        scanner.sweep(&[universe], &mut rng);
+        assert_eq!(clock.now_micros(), 16_000);
     }
 
     #[test]

@@ -60,13 +60,25 @@ pub enum HostClass {
     /// faulty/incomplete endpoint configuration (§5.4).
     BrokenSession,
     /// A local discovery server referencing other deployments (42 % of
-    /// the paper's hosts).
+    /// the paper's hosts). Besides real servers it also announces a
+    /// self-referral spelled in a non-canonical way, a dead referral,
+    /// and its share of hidden/chained deployments — the URL zoo the
+    /// paper's 2020-05-04 scanner extension had to survive.
     DiscoveryServer,
+    /// A server on a *non-default* port, invisible to the sweep and
+    /// reachable only via an LDS referral — the host category the
+    /// paper's referral-following change surfaced (>1000 servers).
+    HiddenServer,
+    /// A discovery server on a non-default port, itself referenced by a
+    /// default-port LDS: referral *chains*. Chained LDS reference their
+    /// referrer back (A→B→A) and each other in a cycle, so they double
+    /// as the loop stratum.
+    ChainedLds,
 }
 
 impl HostClass {
     /// All classes in a stable order.
-    pub const ALL: [HostClass; 11] = [
+    pub const ALL: [HostClass; 13] = [
         HostClass::WideOpen,
         HostClass::DeprecatedOnly,
         HostClass::MixedLegacy,
@@ -78,7 +90,15 @@ impl HostClass {
         HostClass::SharedPrime,
         HostClass::BrokenSession,
         HostClass::DiscoveryServer,
+        HostClass::HiddenServer,
+        HostClass::ChainedLds,
     ];
+
+    /// True for classes deployed on a non-default port, reachable only
+    /// through LDS referrals.
+    pub fn referral_only(self) -> bool {
+        matches!(self, HostClass::HiddenServer | HostClass::ChainedLds)
+    }
 }
 
 /// How many hosts of each class to deploy.
@@ -146,9 +166,13 @@ impl StrataMix {
         let used =
             wide_open + deprecated + mixed + secure_ca + expired + weak + reused + shared + broken;
         let secure_modern = servers.saturating_sub(used).max(1);
+        // Hosts hidden behind discovery servers: servers on non-default
+        // ports plus chained LDS (the paper's referral-only category).
+        let hidden = (t * 6 / 100).max(2);
+        let chained = (t * 2 / 100).max(1);
         // Discovery servers absorb the rounding slack so the mix always
         // sums to the requested total.
-        let discovery = t - used - secure_modern;
+        let discovery = t - used - secure_modern - hidden - chained;
         StrataMix::new()
             .with(HostClass::WideOpen, wide_open)
             .with(HostClass::DeprecatedOnly, deprecated)
@@ -161,6 +185,8 @@ impl StrataMix {
             .with(HostClass::SharedPrime, shared)
             .with(HostClass::BrokenSession, broken)
             .with(HostClass::DiscoveryServer, discovery)
+            .with(HostClass::HiddenServer, hidden)
+            .with(HostClass::ChainedLds, chained)
     }
 }
 
@@ -195,6 +221,9 @@ impl PopulationConfig {
 pub struct HostGroundTruth {
     /// Deployed address.
     pub address: Ipv4,
+    /// TCP port the server listens on (non-default for referral-only
+    /// classes).
+    pub port: u16,
     /// Configuration stratum.
     pub class: HostClass,
     /// Application URI announced by the server.
@@ -411,6 +440,63 @@ impl<'a> Synthesizer<'a> {
     }
 }
 
+/// Deterministic referral wiring: which URLs each discovery host
+/// announces beyond its random same-port picks.
+///
+/// * every [`HostClass::ChainedLds`] is referenced by a default-port
+///   LDS (round-robin) and references that referrer *back* — the
+///   A→B→A loop the scanner's dedup must terminate;
+/// * chained LDS also reference each other in a cycle (loops entirely
+///   inside the referral phase);
+/// * every [`HostClass::HiddenServer`] is referenced by exactly one
+///   discovery host, alternating between default-port LDS (chain
+///   depth one) and chained LDS (deeper), so each hidden server is
+///   reachable and chains actually deepen.
+///
+/// Default-port discovery servers are the only entry point the sweep
+/// can find: a mix without any [`HostClass::DiscoveryServer`] gets no
+/// referral wiring at all — chained LDS and hidden servers then stay
+/// deliberately unreachable rather than forming a stranded island that
+/// *looks* wired but can never be discovered.
+fn plan_referrals(classes: &[HostClass], addresses: &[Ipv4], ports: &[u16]) -> Vec<Vec<String>> {
+    let url_of = |j: usize| format!("opc.tcp://{}:{}/", addresses[j], ports[j]);
+    let of_class = |class: HostClass| -> Vec<usize> {
+        classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == class)
+            .map(|(j, _)| j)
+            .collect()
+    };
+    let discovery = of_class(HostClass::DiscoveryServer);
+    let mut planned: Vec<Vec<String>> = vec![Vec::new(); classes.len()];
+    if discovery.is_empty() {
+        return planned;
+    }
+    let chained = of_class(HostClass::ChainedLds);
+    let hidden = of_class(HostClass::HiddenServer);
+
+    for (c, &idx) in chained.iter().enumerate() {
+        let referrer = discovery[c % discovery.len()];
+        planned[referrer].push(url_of(idx));
+        planned[idx].push(url_of(referrer));
+    }
+    if chained.len() > 1 {
+        for (c, &idx) in chained.iter().enumerate() {
+            planned[idx].push(url_of(chained[(c + 1) % chained.len()]));
+        }
+    }
+    for (h, &idx) in hidden.iter().enumerate() {
+        let referrer = if !chained.is_empty() && h % 2 == 1 {
+            chained[(h / 2) % chained.len()]
+        } else {
+            discovery[h % discovery.len()]
+        };
+        planned[referrer].push(url_of(idx));
+    }
+    planned
+}
+
 /// Deploys `cfg.mix` onto `net`, returning ground truth. Deterministic:
 /// the same seed and mix produce byte-identical deployments.
 pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
@@ -459,12 +545,23 @@ pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
     let mut hosts = Vec::with_capacity(classes.len());
 
     // Addresses are assigned up front so discovery servers can reference
-    // hosts deployed after them.
+    // hosts deployed after them. Referral-only classes live on
+    // non-default ports, invisible to the port-4840 sweep.
     let addresses: Vec<Ipv4> = classes.iter().map(|_| syn.pick_address()).collect();
+    let ports: Vec<u16> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, class)| match class {
+            HostClass::HiddenServer => cfg.port + 1 + (i % 7) as u16,
+            HostClass::ChainedLds => cfg.port + 8 + (i % 3) as u16,
+            _ => cfg.port,
+        })
+        .collect();
+    let planned = plan_referrals(&classes, &addresses, &ports);
 
     for (i, (&class, &address)) in classes.iter().zip(&addresses).enumerate() {
         let (vendor, uri) = syn.vendor();
-        let url = format!("opc.tcp://{address}:{}/", cfg.port);
+        let url = format!("opc.tcp://{address}:{}/", ports[i]);
         let version = syn.software_version();
         let valid = (now - 2 * 365 * 86_400, now + 4 * 365 * 86_400);
 
@@ -619,22 +716,66 @@ pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
                 token_types = vec![UserTokenType::Anonymous];
                 users.clear();
                 is_discovery = true;
-                // Reference up to three other (non-LDS) deployments.
+                // Reference up to three other swept (default-port,
+                // non-LDS) deployments.
                 let candidates: Vec<usize> = classes
                     .iter()
                     .enumerate()
-                    .filter(|(j, c)| *j != i && **c != HostClass::DiscoveryServer)
+                    .filter(|(j, c)| {
+                        *j != i
+                            && !matches!(
+                                **c,
+                                HostClass::DiscoveryServer
+                                    | HostClass::HiddenServer
+                                    | HostClass::ChainedLds
+                            )
+                    })
                     .map(|(j, _)| j)
                     .collect();
                 if !candidates.is_empty() {
                     for _ in 0..3.min(candidates.len()) {
                         let pick = candidates[syn.rng.gen_range(0..candidates.len())];
-                        let r = format!("opc.tcp://{}:{}/", addresses[pick], cfg.port);
+                        let r = format!("opc.tcp://{}:{}/", addresses[pick], ports[pick]);
                         if !referenced.contains(&r) {
                             referenced.push(r);
                         }
                     }
                 }
+                // The planned share of hidden/chained deployments.
+                referenced.extend(planned[i].iter().cloned());
+                // A self-referral in a non-canonical spelling — real LDS
+                // answers include the host itself, and the scanner must
+                // not treat URL-format variants as new servers.
+                referenced.push(format!("OPC.TCP://{address}:{}", ports[i]));
+                // A dead referral: a port on this host nobody listens on
+                // (stale registration, the most common referral rot).
+                referenced.push(format!("opc.tcp://{address}:{}/", cfg.port + 90));
+                // An unresolvable referral: an internal DNS name the
+                // scanner has no resolver for.
+                referenced.push(format!("opc.tcp://plant-lds-{i}.internal:{}/", cfg.port));
+            }
+            HostClass::HiddenServer => {
+                // A production server that registered with an LDS and
+                // listens on a non-default port: `None` plus a secure
+                // endpoint, anonymous allowed — same deficit surface the
+                // referral-discovered hosts showed in the wild.
+                endpoints.push(EndpointConfig::none());
+                endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+                token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
+                let key = syn.key(2048);
+                certificate =
+                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+                private_key = Some(key);
+            }
+            HostClass::ChainedLds => {
+                endpoints.push(EndpointConfig::none());
+                token_types = vec![UserTokenType::Anonymous];
+                users.clear();
+                is_discovery = true;
+                referenced.extend(planned[i].iter().cloned());
             }
         }
 
@@ -675,12 +816,13 @@ pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
         net.add_host(address, rtt);
         net.bind(
             address,
-            cfg.port,
+            ports[i],
             Arc::new(UaServerService::new(core, cfg.seed ^ 0xC0FFEE ^ i as u64)),
         );
 
         hosts.push(HostGroundTruth {
             address,
+            port: ports[i],
             class,
             application_uri: uri,
             vendor,
@@ -774,11 +916,91 @@ mod tests {
         let pop = synthesize(&net, &cfg);
         assert_eq!(net.host_count(), pop.len());
         for host in &pop.hosts {
-            assert!(net.has_listener(host.address, 4840), "{}", host.address);
+            assert!(
+                net.has_listener(host.address, host.port),
+                "{}:{}",
+                host.address,
+                host.port
+            );
             assert!(universe()[0].contains(host.address));
             // Every address got an AS assignment.
             assert_ne!(net.as_number(host.address), 0);
+            // Referral-only classes are invisible on the sweep port.
+            if host.class.referral_only() {
+                assert_ne!(host.port, 4840);
+                assert!(!net.has_listener(host.address, 4840));
+            } else {
+                assert_eq!(host.port, 4840);
+            }
         }
+    }
+
+    #[test]
+    fn referral_plan_reaches_every_hidden_host() {
+        let mix = StrataMix::new()
+            .with(HostClass::WideOpen, 2)
+            .with(HostClass::DiscoveryServer, 2)
+            .with(HostClass::HiddenServer, 5)
+            .with(HostClass::ChainedLds, 2);
+        let classes = mix.expand();
+        let addresses: Vec<Ipv4> = (0..classes.len())
+            .map(|i| Ipv4::new(10, 0, 0, 10 + i as u8))
+            .collect();
+        let ports: Vec<u16> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if c.referral_only() {
+                    4841 + i as u16
+                } else {
+                    4840
+                }
+            })
+            .collect();
+        let planned = plan_referrals(&classes, &addresses, &ports);
+
+        // Every hidden server and every chained LDS is announced
+        // somewhere, with its real (non-default) port.
+        let all: Vec<&String> = planned.iter().flatten().collect();
+        for (j, class) in classes.iter().enumerate() {
+            if class.referral_only() {
+                let url = format!("opc.tcp://{}:{}/", addresses[j], ports[j]);
+                assert!(all.iter().any(|u| **u == url), "{url} never announced");
+            }
+        }
+        // Chained LDS loop back to their referrer and cycle among
+        // themselves.
+        let chained: Vec<usize> = classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == HostClass::ChainedLds)
+            .map(|(j, _)| j)
+            .collect();
+        for &c in &chained {
+            assert!(!planned[c].is_empty(), "chained LDS {c} refers to nothing");
+        }
+        // Plain servers and hidden servers announce nothing.
+        for (j, class) in classes.iter().enumerate() {
+            if matches!(class, HostClass::WideOpen | HostClass::HiddenServer) {
+                assert!(planned[j].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn mix_without_default_port_lds_gets_no_referral_wiring() {
+        // Without a sweep-visible entry point the referral island could
+        // never be discovered; it must not be wired at all (no chained
+        // cycles pointing into the void).
+        let mix = StrataMix::new()
+            .with(HostClass::WideOpen, 1)
+            .with(HostClass::HiddenServer, 2)
+            .with(HostClass::ChainedLds, 2);
+        let classes = mix.expand();
+        let addresses: Vec<Ipv4> = (0..5).map(|i| Ipv4::new(10, 0, 0, 1 + i)).collect();
+        let ports = vec![4840, 4842, 4843, 4848, 4849];
+        let planned = plan_referrals(&classes, &addresses, &ports);
+        assert!(planned.iter().all(Vec::is_empty));
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! * [`probe`] — the composable [`Probe`] stage API: UACP hello →
 //!   discovery (GetEndpoints + FindServers) → anonymous session with
 //!   budgeted traversal;
+//! * [`url`] — `opc.tcp://host:port/path` parsing and normalization,
+//!   the canonical form referral deduplication relies on;
 //! * [`pipeline`] — the campaign driver: zmap-style sweep streamed
-//!   straight into the probe stack, with records flowing through a
-//!   bounded channel ([`Scanner::scan_stream`]) so memory stays constant
-//!   at Internet scale.
+//!   straight into the probe stack, a deterministic breadth-first
+//!   referral queue re-probing FindServers-announced `host:port`
+//!   targets after the sweep, with records flowing through a bounded
+//!   channel ([`Scanner::scan_stream`]) so memory stays constant at
+//!   Internet scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +22,12 @@
 pub mod pipeline;
 pub mod probe;
 pub mod record;
+pub mod url;
 
-pub use pipeline::{ScanStream, ScanSummary, Scanner};
+pub use pipeline::{ReferralStats, ScanStream, ScanSummary, Scanner};
 pub use probe::{
-    classify_session_error, default_stack, discovery_stack, DiscoveryProbe, Probe, ProbeContext,
-    ProbeOutcome, ScanConfig, SessionProbe, UacpProbe,
+    classify_session_error, default_stack, discovery_stack, merge_find_servers, DiscoveryProbe,
+    Probe, ProbeContext, ProbeOutcome, ScanConfig, SessionProbe, UacpProbe,
 };
-pub use record::{EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+pub use record::{DiscoveredVia, EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+pub use url::{OpcUrl, UrlError, UrlHost, DEFAULT_OPCUA_PORT};

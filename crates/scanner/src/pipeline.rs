@@ -25,23 +25,75 @@
 //!    [`Internet::with_clock`]), so record contents are a pure function
 //!    of (host, seed, epoch) — never of probe order;
 //! 2. campaign time is accounted once from summed, order-independent
-//!    quantities: sweep pacing from total probes sent, plus the sum of
-//!    per-host probe latencies.
+//!    quantities: SYN pacing in microseconds from total probes sent
+//!    (sweep plus referral follow-ups), plus the sum of per-host probe
+//!    latencies.
+//!
+//! ## Referral following
+//!
+//! After the sweep, the pipeline follows FindServers referrals
+//! (the paper's 2020-05-04 scanner change, which surfaced >1000 servers
+//! hidden behind discovery servers on non-default ports): referred URLs
+//! are normalized through [`crate::url::OpcUrl`], deduplicated against
+//! everything the sweep already covered, checked against the blocklist,
+//! and probed breadth-first level by level up to
+//! [`ScanConfig::referral_depth`] /  [`ScanConfig::referral_budget`].
+//! Referral records carry [`DiscoveredVia::Referral`] provenance and are
+//! emitted after the sweep records, in deterministic queue order — so the
+//! full output stream stays byte-identical per seed at any worker count.
 
 use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig};
-use crate::record::ScanRecord;
-use netsim::{Blocklist, Cidr, Internet, SweepConfig, SweepStats, SynScanner, VirtualClock};
+use crate::record::{DiscoveredVia, ScanRecord};
+use crate::url::OpcUrl;
+use netsim::{Blocklist, Cidr, Internet, Ipv4, SweepConfig, SweepStats, SynScanner, VirtualClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+
+/// Accounting of the referral-following phase. Every announced URL ends
+/// up in exactly one disposition bucket:
+/// `unfollowable + already_probed + blocklisted + truncated + followed
+/// == urls_announced`, and `followed == dead + opcua_hosts +
+/// non_opcua_hosts`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReferralStats {
+    /// Referral URLs announced across all records (after per-record
+    /// normalization and dedup).
+    pub urls_announced: u64,
+    /// URLs that cannot be turned into a probe target: unparseable, or
+    /// a DNS name the scanner cannot resolve.
+    pub unfollowable: u64,
+    /// Targets skipped because the sweep already covered them or an
+    /// earlier referral probed them — includes every self-referral loop.
+    pub already_probed: u64,
+    /// Targets skipped because their address is blocklisted.
+    pub blocklisted: u64,
+    /// Fresh targets dropped by the depth or budget limits.
+    pub truncated: u64,
+    /// Referral probes actually sent.
+    pub followed: u64,
+    /// Followed targets with nothing listening (dead referrals).
+    pub dead: u64,
+    /// Followed targets that spoke OPC UA.
+    pub opcua_hosts: u64,
+    /// Followed targets that answered but did not speak OPC UA.
+    pub non_opcua_hosts: u64,
+    /// Deepest referral chain actually probed (0 when nothing was
+    /// followed).
+    pub max_depth: u32,
+}
 
 /// Aggregate accounting of one scan campaign.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanSummary {
     /// Sweep-stage accounting (probes, blocklist hits, responsive).
     pub sweep: SweepStats,
-    /// Hosts that completed the UACP handshake (actual OPC UA speakers).
+    /// Referral-following accounting (the paper's Table 1 delta).
+    pub referrals: ReferralStats,
+    /// Hosts that completed the UACP handshake (actual OPC UA speakers),
+    /// including referral-discovered ones.
     pub opcua_hosts: u64,
     /// Responsive hosts that did not speak OPC UA.
     pub non_opcua_hosts: u64,
@@ -49,6 +101,22 @@ pub struct ScanSummary {
     pub started_unix: i64,
     /// Virtual unix time the campaign finished.
     pub finished_unix: i64,
+}
+
+/// One referral URL waiting to be classified: who announced it, what it
+/// said, and at which chain depth it would be probed.
+struct PendingReferral {
+    from: Ipv4,
+    url: String,
+    depth: u32,
+}
+
+/// A classified, accepted referral probe target.
+struct ReferralTarget {
+    addr: Ipv4,
+    port: u16,
+    from: Ipv4,
+    depth: u32,
 }
 
 /// The campaign driver.
@@ -74,33 +142,46 @@ impl Scanner {
         &self.config
     }
 
-    /// Probes a single address with the given probe stack, returning the
-    /// record. Exposed for targeted re-scans (e.g. following LDS
-    /// referrals) and tests. Runs on the shared clock; campaign scans
-    /// instead fork a per-host clock (see [`Self::scan_with`]).
+    /// Probes a single `(address, port)` target with the given probe
+    /// stack, returning the record. Exposed for targeted re-scans and
+    /// tests. Runs on the shared clock; campaign scans instead fork a
+    /// per-host clock (see [`Self::scan_with`]), and campaign referral
+    /// probes additionally carry [`DiscoveredVia::Referral`] provenance.
     pub fn probe_host(
         &self,
         stack: &mut [Box<dyn Probe>],
         addr: netsim::Ipv4,
+        port: u16,
         seed: u64,
     ) -> ScanRecord {
-        probe_host_on(&self.internet, &self.config, stack, addr, seed)
+        probe_host_on(
+            &self.internet,
+            &self.config,
+            stack,
+            addr,
+            port,
+            DiscoveredVia::Sweep,
+            seed,
+        )
     }
 
-    /// Probes `addr` on an independent clock forked from `epoch`,
+    /// Probes a target on an independent clock forked from `epoch`,
     /// returning the record plus the virtual microseconds the probe
-    /// consumed. Record contents depend only on (host, seed, epoch).
+    /// consumed. Record contents depend only on (host, port, seed,
+    /// epoch).
     fn probe_host_at_epoch(
         &self,
         epoch: &VirtualClock,
         stack: &mut [Box<dyn Probe>],
         addr: netsim::Ipv4,
+        port: u16,
+        via: DiscoveredVia,
         seed: u64,
     ) -> (ScanRecord, u64) {
         let clock = epoch.fork();
         let start = clock.now_micros();
         let internet = self.internet.with_clock(clock.clone());
-        let record = probe_host_on(&internet, &self.config, stack, addr, seed);
+        let record = probe_host_on(&internet, &self.config, stack, addr, port, via, seed);
         (record, clock.now_micros().saturating_sub(start))
     }
 
@@ -122,6 +203,9 @@ impl Scanner {
         let mut probe_micros: u64 = 0;
         let mut opcua_hosts: u64 = 0;
         let mut non_opcua_hosts: u64 = 0;
+        // Referral URLs harvested from emitted records, in emission
+        // order — the deterministic seed of the referral queue.
+        let mut frontier: Vec<PendingReferral> = Vec::new();
         let mut emit = |record: ScanRecord| {
             if record.hello_ok {
                 opcua_hosts += 1;
@@ -130,37 +214,208 @@ impl Scanner {
             }
             sink(record);
         };
-        summary.sweep = if workers == 1 {
-            // Single shard runs inline: the sweep streams responsive
-            // addresses straight into the probe stack, no threads.
-            let syn = SynScanner::new(&self.internet, &self.blocklist, self.sweep_config());
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut stack = default_stack();
-            syn.sweep_shard(universe, &mut rng, 0, 1, |_pos, addr| {
-                let (record, micros) =
-                    self.probe_host_at_epoch(&epoch, &mut stack, addr, seed ^ u64::from(addr.0));
-                probe_micros += micros;
+        summary.sweep = {
+            let mut sweep_emit = |record: ScanRecord| {
+                collect_referrals(&record, &mut frontier);
                 emit(record);
-            })
-        } else {
-            self.scan_sharded(
-                universe,
-                seed,
-                workers,
-                &epoch,
-                &mut probe_micros,
-                &mut emit,
-            )
+            };
+            if workers == 1 {
+                // Single shard runs inline: the sweep streams responsive
+                // addresses straight into the probe stack, no threads.
+                let syn = SynScanner::new(&self.internet, &self.blocklist, self.sweep_config());
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut stack = default_stack();
+                syn.sweep_shard(universe, &mut rng, 0, 1, |_pos, addr| {
+                    let (record, micros) = self.probe_host_at_epoch(
+                        &epoch,
+                        &mut stack,
+                        addr,
+                        self.config.port,
+                        DiscoveredVia::Sweep,
+                        seed ^ u64::from(addr.0),
+                    );
+                    probe_micros += micros;
+                    sweep_emit(record);
+                })
+            } else {
+                self.scan_sharded(
+                    universe,
+                    seed,
+                    workers,
+                    &epoch,
+                    &mut probe_micros,
+                    &mut sweep_emit,
+                )
+            }
         };
+        summary.referrals = self.follow_referrals(
+            universe,
+            seed,
+            &epoch,
+            frontier,
+            &mut probe_micros,
+            &mut emit,
+        );
         summary.opcua_hosts = opcua_hosts;
         summary.non_opcua_hosts = non_opcua_hosts;
-        // Account campaign time once, from order-independent sums:
-        // sweep pacing plus aggregate probe latency.
-        let sweep_seconds = summary.sweep.probes_sent / self.config.probes_per_second.max(1);
-        self.internet.clock().advance_seconds(sweep_seconds);
+        // Account campaign time once, from order-independent sums: SYN
+        // pacing in micros — integer-second division would stall the
+        // clock entirely for campaigns shorter than a second of probes —
+        // plus aggregate probe latency.
+        let paced_probes = summary.sweep.probes_sent + summary.referrals.followed;
+        let pacing_micros =
+            paced_probes.saturating_mul(1_000_000) / self.config.probes_per_second.max(1);
+        self.internet.clock().advance_micros(pacing_micros);
         self.internet.clock().advance_micros(probe_micros);
         summary.finished_unix = self.internet.clock().now_unix_seconds();
         summary
+    }
+
+    /// The referral phase: classifies every announced URL, then probes
+    /// accepted targets breadth-first, level by level. Targets within a
+    /// level are probed across [`ScanConfig::workers`] threads and
+    /// merged back into queue order, so emission order — and therefore
+    /// the full record stream — is independent of the worker count.
+    fn follow_referrals<F>(
+        &self,
+        universe: &[Cidr],
+        seed: u64,
+        epoch: &VirtualClock,
+        mut frontier: Vec<PendingReferral>,
+        probe_micros: &mut u64,
+        mut emit: F,
+    ) -> ReferralStats
+    where
+        F: FnMut(ScanRecord),
+    {
+        let mut stats = ReferralStats::default();
+        // (address, port) pairs probed by the referral phase itself;
+        // sweep coverage is checked structurally (port + universe).
+        let mut probed: HashSet<(u32, u16)> = HashSet::new();
+        while !frontier.is_empty() {
+            let mut level: Vec<ReferralTarget> = Vec::new();
+            for pending in frontier.drain(..) {
+                stats.urls_announced += 1;
+                let Some((addr, port)) = OpcUrl::parse(&pending.url).ok().and_then(|u| u.target())
+                else {
+                    stats.unfollowable += 1;
+                    continue;
+                };
+                if self.blocklist.contains(addr) {
+                    stats.blocklisted += 1;
+                    continue;
+                }
+                // Deduplicate against the sweep (which SYN-probed every
+                // non-blocklisted universe address on the campaign
+                // port, responsive or not) and against earlier
+                // referral probes — this is what terminates A→B→A
+                // loops.
+                let swept = port == self.config.port && universe.iter().any(|c| c.contains(addr));
+                if swept || probed.contains(&(addr.0, port)) {
+                    stats.already_probed += 1;
+                    continue;
+                }
+                if pending.depth > self.config.referral_depth
+                    || (stats.followed as usize) >= self.config.referral_budget
+                {
+                    stats.truncated += 1;
+                    continue;
+                }
+                probed.insert((addr.0, port));
+                stats.followed += 1;
+                stats.max_depth = stats.max_depth.max(pending.depth);
+                level.push(ReferralTarget {
+                    addr,
+                    port,
+                    from: pending.from,
+                    depth: pending.depth,
+                });
+            }
+            for (maybe_record, micros) in self.probe_referral_level(&level, epoch, seed) {
+                *probe_micros += micros;
+                match maybe_record {
+                    None => stats.dead += 1,
+                    Some(record) => {
+                        if record.hello_ok {
+                            stats.opcua_hosts += 1;
+                        } else {
+                            stats.non_opcua_hosts += 1;
+                        }
+                        collect_referrals(&record, &mut frontier);
+                        emit(record);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Probes one referral level, returning `(record, micros)` per
+    /// target in target order — `None` for dead targets (nothing
+    /// listening; charged one SYN timeout). With more than one worker,
+    /// targets are probed on `index % workers` threads; per-host clock
+    /// forks make the results order-independent, so placing them back by
+    /// index reproduces the sequential output exactly.
+    fn probe_referral_level(
+        &self,
+        targets: &[ReferralTarget],
+        epoch: &VirtualClock,
+        seed: u64,
+    ) -> Vec<(Option<ScanRecord>, u64)> {
+        let workers = self.config.workers.max(1).min(targets.len().max(1));
+        let probe_one = |stack: &mut Vec<Box<dyn Probe>>, t: &ReferralTarget| {
+            if !self.internet.has_listener(t.addr, t.port) {
+                // Dead target: charge exactly what the failed connect
+                // costs under the simulator's TCP model — one RTT for a
+                // refused port on a live host, a full SYN timeout when
+                // no host answers — measured on a throwaway clock fork.
+                let clock = epoch.fork();
+                let start = clock.now_micros();
+                let _ = self.internet.with_clock(clock.clone()).connect(
+                    self.config.scanner_address,
+                    t.addr,
+                    t.port,
+                );
+                return (None, clock.now_micros().saturating_sub(start));
+            }
+            let via = DiscoveredVia::Referral {
+                from: t.from,
+                depth: t.depth,
+            };
+            let (record, micros) = self.probe_host_at_epoch(
+                epoch,
+                stack,
+                t.addr,
+                t.port,
+                via,
+                referral_seed(seed, t.addr, t.port),
+            );
+            (Some(record), micros)
+        };
+        if workers == 1 {
+            let mut stack = default_stack();
+            return targets.iter().map(|t| probe_one(&mut stack, t)).collect();
+        }
+        let mut results: Vec<(Option<ScanRecord>, u64)> = Vec::new();
+        results.resize_with(targets.len(), || (None, 0));
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for shard in 0..workers {
+                let tx = tx.clone();
+                let probe_one = &probe_one;
+                scope.spawn(move || {
+                    let mut stack = default_stack();
+                    for (i, t) in targets.iter().enumerate().skip(shard).step_by(workers) {
+                        let _ = tx.send((i, probe_one(&mut stack, t)));
+                    }
+                });
+            }
+            drop(tx);
+            for (i, outcome) in rx {
+                results[i] = outcome;
+            }
+        });
+        results
     }
 
     /// The multi-worker engine: N scoped threads each sweep their shard
@@ -200,6 +455,8 @@ impl Scanner {
                                 &epoch,
                                 &mut stack,
                                 addr,
+                                self.config.port,
+                                DiscoveredVia::Sweep,
                                 seed ^ u64::from(addr.0),
                             );
                             // A dropped coordinator means the scan was
@@ -274,21 +531,46 @@ impl Scanner {
 /// virtual probe microseconds).
 type ShardItem = (u64, ScanRecord, u64);
 
-/// Probes `addr` through `internet` (whichever clock it carries) with
-/// `stack`, filling in the transport accounting.
+/// Harvests a record's referred URLs into the referral frontier, one
+/// chain level deeper than the record itself.
+fn collect_referrals(record: &ScanRecord, frontier: &mut Vec<PendingReferral>) {
+    let depth = record.via.depth() + 1;
+    for url in &record.referred_urls {
+        frontier.push(PendingReferral {
+            from: record.address,
+            url: url.clone(),
+            depth,
+        });
+    }
+}
+
+/// Per-target nonce seed for referral probes — a pure function of the
+/// campaign seed and the target, so record contents never depend on
+/// probe order or worker count.
+fn referral_seed(seed: u64, addr: Ipv4, port: u16) -> u64 {
+    seed ^ u64::from(addr.0) ^ (u64::from(port) << 32)
+}
+
+/// Probes a `(addr, port)` target through `internet` (whichever clock it
+/// carries) with `stack`, filling in the transport accounting.
+#[allow(clippy::too_many_arguments)]
 fn probe_host_on(
     internet: &Internet,
     config: &ScanConfig,
     stack: &mut [Box<dyn Probe>],
     addr: netsim::Ipv4,
+    port: u16,
+    via: DiscoveredVia,
     seed: u64,
 ) -> ScanRecord {
-    let mut record = ScanRecord::new(
+    let mut record = ScanRecord::for_target(
         addr,
+        port,
+        via,
         internet.as_number(addr),
         internet.clock().now_unix_seconds(),
     );
-    let mut ctx = ProbeContext::new(internet, config, addr, seed);
+    let mut ctx = ProbeContext::for_target(internet, config, addr, port, seed);
     for probe in stack.iter_mut() {
         if probe.run(&mut ctx, &mut record) == ProbeOutcome::Stop {
             break;
@@ -466,6 +748,239 @@ mod tests {
         assert_eq!(summary.non_opcua_hosts, 1);
         assert_eq!(records.len(), 1);
         assert!(!records[0].hello_ok);
+    }
+
+    /// Binds an OPC UA server (optionally an LDS with referrals) at
+    /// `(addr, port)` on `net`.
+    fn bind_server(net: &Internet, addr: Ipv4, port: u16, lds: bool, refs: &[&str], salt: u64) {
+        let url = format!("opc.tcp://{addr}:{port}/");
+        let mut b = SpaceBuilder::new(&["urn:test:ref"], "1.0");
+        let f = b.folder(None, "Plant");
+        b.variable(&f, "level", Variant::Double(1.0), NodeAccess::read_only());
+        let mut config = ServerConfig::wide_open(format!("urn:test:ref:{addr}:{port}"), url);
+        config.is_discovery_server = lds;
+        config.referenced_endpoints = refs.iter().map(|s| s.to_string()).collect();
+        let core = ServerCore::new(config, b.finish(), salt);
+        if !net.host_exists(addr) {
+            net.add_host(addr, 10_000);
+        }
+        net.bind(addr, port, Arc::new(UaServerService::new(core, salt ^ 0xF)));
+    }
+
+    fn referral_scan(
+        net: Internet,
+        blocklist: Blocklist,
+        config: ScanConfig,
+    ) -> (ScanSummary, Vec<ScanRecord>) {
+        let scanner = Scanner::new(net, blocklist, config);
+        let universe: Cidr = "10.50.0.0/24".parse().unwrap();
+        scanner.scan_collect(&[universe], 11)
+    }
+
+    #[test]
+    fn hidden_host_reached_only_via_referral_with_provenance() {
+        let net = Internet::new(VirtualClock::starting_at(1_581_206_400));
+        let lds = Ipv4::new(10, 50, 0, 1);
+        let hidden = Ipv4::new(10, 50, 0, 2);
+        bind_server(&net, hidden, 4848, false, &[], 7);
+        bind_server(&net, lds, 4840, true, &["opc.tcp://10.50.0.2:4848/"], 8);
+
+        let (summary, records) = referral_scan(net, Blocklist::new(), ScanConfig::default());
+        assert_eq!(summary.opcua_hosts, 2);
+        assert_eq!(summary.referrals.followed, 1);
+        assert_eq!(summary.referrals.opcua_hosts, 1);
+        assert_eq!(summary.referrals.max_depth, 1);
+        assert_eq!(records.len(), 2);
+        // Sweep record first, referral record after.
+        assert_eq!(records[0].address, lds);
+        assert_eq!(records[0].via, DiscoveredVia::Sweep);
+        let r = &records[1];
+        assert_eq!(r.address, hidden);
+        assert_eq!(r.port, 4848);
+        assert_eq!(
+            r.via,
+            DiscoveredVia::Referral {
+                from: lds,
+                depth: 1
+            }
+        );
+        assert!(r.hello_ok);
+        assert!(!r.endpoints.is_empty());
+    }
+
+    #[test]
+    fn dead_and_unfollowable_referrals_accounted_not_recorded() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let lds = Ipv4::new(10, 50, 0, 1);
+        bind_server(
+            &net,
+            lds,
+            4840,
+            true,
+            &[
+                "opc.tcp://10.50.0.99:4855/",   // nothing listens there
+                "opc.tcp://plc.internal:4840/", // unresolvable name
+                "http://10.50.0.3:4840/",       // wrong scheme
+            ],
+            3,
+        );
+        let (summary, records) = referral_scan(net, Blocklist::new(), ScanConfig::default());
+        assert_eq!(records.len(), 1, "dead referrals must not produce records");
+        assert_eq!(summary.referrals.urls_announced, 3);
+        assert_eq!(summary.referrals.followed, 1);
+        assert_eq!(summary.referrals.dead, 1);
+        assert_eq!(summary.referrals.unfollowable, 2);
+        assert_eq!(summary.referrals.opcua_hosts, 0);
+    }
+
+    #[test]
+    fn referral_loops_terminate_with_each_target_probed_once() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let a = Ipv4::new(10, 50, 0, 1);
+        let b = Ipv4::new(10, 50, 0, 2);
+        // A (swept) → B (non-default port) → A, plus B → B variants.
+        bind_server(&net, a, 4840, true, &["opc.tcp://10.50.0.2:4850/"], 1);
+        bind_server(
+            &net,
+            b,
+            4850,
+            true,
+            &[
+                "opc.tcp://10.50.0.1:4840/", // back to A: swept already
+                "OPC.TCP://10.50.0.2:4850",  // itself, non-canonical
+            ],
+            2,
+        );
+        let (summary, records) = referral_scan(net, Blocklist::new(), ScanConfig::default());
+        assert_eq!(records.len(), 2);
+        assert_eq!(summary.referrals.followed, 1, "B probed exactly once");
+        // B's self-URL never even reaches the queue (filtered by the
+        // probe's normalization); the loop-back to A dedups as swept.
+        assert_eq!(summary.referrals.already_probed, 1);
+        assert_eq!(summary.referrals.urls_announced, 2);
+    }
+
+    #[test]
+    fn chains_respect_depth_limit() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let a = Ipv4::new(10, 50, 0, 1);
+        let b = Ipv4::new(10, 50, 0, 2);
+        let c = Ipv4::new(10, 50, 0, 3);
+        // A (swept) → B:4851 → C:4852.
+        bind_server(&net, a, 4840, true, &["opc.tcp://10.50.0.2:4851/"], 1);
+        bind_server(&net, b, 4851, true, &["opc.tcp://10.50.0.3:4852/"], 2);
+        bind_server(&net, c, 4852, false, &[], 3);
+
+        let deep = ScanConfig::default();
+        let (summary, records) = referral_scan(net.clone(), Blocklist::new(), deep);
+        assert_eq!(records.len(), 3);
+        assert_eq!(summary.referrals.max_depth, 2);
+        assert_eq!(
+            records[2].via,
+            DiscoveredVia::Referral { from: b, depth: 2 }
+        );
+
+        let shallow = ScanConfig {
+            referral_depth: 1,
+            ..ScanConfig::default()
+        };
+        let (summary, records) = referral_scan(net, Blocklist::new(), shallow);
+        assert_eq!(records.len(), 2, "depth-2 target must not be probed");
+        assert_eq!(summary.referrals.truncated, 1);
+        assert_eq!(summary.referrals.max_depth, 1);
+    }
+
+    #[test]
+    fn referral_budget_truncates() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let lds = Ipv4::new(10, 50, 0, 1);
+        let refs: Vec<String> = (0..4)
+            .map(|i| format!("opc.tcp://10.50.0.{}:4860/", 10 + i))
+            .collect();
+        let ref_strs: Vec<&str> = refs.iter().map(String::as_str).collect();
+        bind_server(&net, lds, 4840, true, &ref_strs, 1);
+        for i in 0..4u8 {
+            bind_server(
+                &net,
+                Ipv4::new(10, 50, 0, 10 + i),
+                4860,
+                false,
+                &[],
+                5 + i as u64,
+            );
+        }
+        let config = ScanConfig {
+            referral_budget: 2,
+            ..ScanConfig::default()
+        };
+        let (summary, records) = referral_scan(net, Blocklist::new(), config);
+        assert_eq!(summary.referrals.followed, 2);
+        assert_eq!(summary.referrals.truncated, 2);
+        assert_eq!(records.len(), 3); // LDS + 2 within budget
+    }
+
+    #[test]
+    fn blocklisted_referral_targets_never_probed() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let lds = Ipv4::new(10, 50, 0, 1);
+        let victim = Ipv4::new(10, 50, 1, 7); // outside the swept /24
+        bind_server(&net, lds, 4840, true, &["opc.tcp://10.50.1.7:4840/"], 1);
+        bind_server(&net, victim, 4840, false, &[], 2);
+
+        let mut blocklist = Blocklist::new();
+        blocklist.add_str("10.50.1.0/24").unwrap();
+        let (summary, records) = referral_scan(net, blocklist, ScanConfig::default());
+        assert_eq!(records.len(), 1, "opted-out host probed via referral");
+        assert_eq!(summary.referrals.blocklisted, 1);
+        assert_eq!(summary.referrals.followed, 0);
+    }
+
+    #[test]
+    fn referral_to_unswept_address_on_default_port_is_followed() {
+        // A referral can escape the configured universe: an address
+        // outside every swept block is fresh even on the sweep port.
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let lds = Ipv4::new(10, 50, 0, 1);
+        let outside = Ipv4::new(192, 168, 9, 9);
+        bind_server(&net, lds, 4840, true, &["opc.tcp://192.168.9.9:4840/"], 1);
+        bind_server(&net, outside, 4840, false, &[], 2);
+        let (summary, records) = referral_scan(net, Blocklist::new(), ScanConfig::default());
+        assert_eq!(summary.referrals.followed, 1);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].address, outside);
+    }
+
+    #[test]
+    fn referral_disposition_buckets_partition_announcements() {
+        // urls_announced = unfollowable + already_probed + blocklisted
+        //                + truncated + followed, on a messy world.
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let lds = Ipv4::new(10, 50, 0, 1);
+        bind_server(
+            &net,
+            lds,
+            4840,
+            true,
+            &[
+                "opc.tcp://10.50.0.2:4848/",
+                "opc.tcp://10.50.0.1:4840/x", // own target, path variant → filtered pre-record
+                "opc.tcp://10.50.0.3:4840/",  // swept (dedup)
+                "bogus",
+            ],
+            1,
+        );
+        bind_server(&net, Ipv4::new(10, 50, 0, 2), 4848, false, &[], 2);
+        bind_server(&net, Ipv4::new(10, 50, 0, 3), 4840, false, &[], 3);
+        let (summary, _) = referral_scan(net, Blocklist::new(), ScanConfig::default());
+        let r = summary.referrals;
+        assert_eq!(
+            r.urls_announced,
+            r.unfollowable + r.already_probed + r.blocklisted + r.truncated + r.followed
+        );
+        assert_eq!(r.followed, r.dead + r.opcua_hosts + r.non_opcua_hosts);
+        assert_eq!(r.followed, 1);
+        assert_eq!(r.already_probed, 1);
+        assert_eq!(r.unfollowable, 1);
     }
 
     #[test]

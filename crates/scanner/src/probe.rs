@@ -8,10 +8,11 @@
 //! campaigns) or append new ones without touching the pipeline.
 
 use crate::record::{EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+use crate::url::OpcUrl;
 use netsim::{Internet, Ipv4, TcpStreamSim};
 use ua_client::{traverse, ClientConfig, ClientError, TraversalBudget, UaClient};
 use ua_proto::services::IdentityToken;
-use ua_types::{ApplicationType, MessageSecurityMode, SecurityPolicy};
+use ua_types::{ApplicationDescription, ApplicationType, MessageSecurityMode, SecurityPolicy};
 
 /// Scan-wide configuration shared by all probes.
 #[derive(Clone)]
@@ -36,6 +37,14 @@ pub struct ScanConfig {
     /// byte-identical for a fixed seed regardless of this knob — it only
     /// changes how many cores the probe stacks use. 0 is treated as 1.
     pub workers: usize,
+    /// Maximum referral-chain depth the scanner follows after the sweep
+    /// (1 = only targets announced by swept hosts; 0 disables referral
+    /// following entirely).
+    pub referral_depth: u32,
+    /// Maximum number of referral targets probed per campaign — the
+    /// safety budget against referral storms; targets beyond it are
+    /// counted as truncated, never probed.
+    pub referral_budget: usize,
 }
 
 impl Default for ScanConfig {
@@ -49,6 +58,8 @@ impl Default for ScanConfig {
             attempt_session: true,
             channel_capacity: 256,
             workers: 1,
+            referral_depth: 4,
+            referral_budget: 4096,
         }
     }
 }
@@ -61,6 +72,8 @@ pub struct ProbeContext<'a> {
     pub config: &'a ScanConfig,
     /// The target address.
     pub target: Ipv4,
+    /// The target port (the sweep port, or whatever a referral named).
+    pub port: u16,
     /// `opc.tcp://…` URL of the target.
     pub endpoint_url: String,
     /// The connected client, once the UACP stage established it.
@@ -70,13 +83,22 @@ pub struct ProbeContext<'a> {
 }
 
 impl<'a> ProbeContext<'a> {
-    /// Builds a context for `target`.
-    pub fn new(internet: &'a Internet, config: &'a ScanConfig, target: Ipv4, seed: u64) -> Self {
+    /// Builds a context for an explicit `(target, port)` pair — the
+    /// sweep passes [`ScanConfig::port`], the referral engine whatever
+    /// port the announced URL named.
+    pub fn for_target(
+        internet: &'a Internet,
+        config: &'a ScanConfig,
+        target: Ipv4,
+        port: u16,
+        seed: u64,
+    ) -> Self {
         ProbeContext {
             internet,
             config,
             target,
-            endpoint_url: format!("opc.tcp://{target}:{}/", config.port),
+            port,
+            endpoint_url: format!("opc.tcp://{target}:{port}/"),
             client: None,
             seed,
         }
@@ -111,14 +133,13 @@ impl Probe for UacpProbe {
     }
 
     fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
-        let stream =
-            match ctx
-                .internet
-                .connect(ctx.config.scanner_address, ctx.target, ctx.config.port)
-            {
-                Ok(s) => s,
-                Err(_) => return ProbeOutcome::Stop,
-            };
+        let stream = match ctx
+            .internet
+            .connect(ctx.config.scanner_address, ctx.target, ctx.port)
+        {
+            Ok(s) => s,
+            Err(_) => return ProbeOutcome::Stop,
+        };
         let mut client = UaClient::new(
             stream,
             ctx.internet.clock().clone(),
@@ -172,24 +193,64 @@ impl Probe for DiscoveryProbe {
             .collect();
 
         // FindServers: collect discovery URLs pointing away from this
-        // host (LDS referrals).
+        // host (LDS referrals) and reconcile the application type.
         if let Ok(servers) = client.find_servers(&url) {
-            for app in &servers {
-                if app.application_type == ApplicationType::DiscoveryServer {
-                    record.application_type = record
-                        .application_type
-                        .or(Some(ApplicationType::DiscoveryServer));
-                }
-                // The server's own description is part of the answer;
-                // keep only URLs pointing away from this host.
-                for referred in &app.discovery_urls {
-                    if referred != &url && !record.referred_urls.contains(referred) {
-                        record.referred_urls.push(referred.clone());
-                    }
-                }
+            if let Ok(own) = OpcUrl::parse(&url) {
+                merge_find_servers(record, &own, &servers);
             }
         }
         ProbeOutcome::Continue
+    }
+}
+
+/// Folds a FindServers answer into `record`.
+///
+/// Two rules the naive version got wrong:
+///
+/// * the application type is taken only from the host's *own*
+///   description — matched by ApplicationUri (or by a discovery URL
+///   normalizing to the probed endpoint), never from some other
+///   application that happens to share the answer — and it *upgrades*
+///   a `Server` verdict from GetEndpoints when the host describes
+///   itself as a discovery server;
+/// * self-referrals are filtered by normalized target equality
+///   ([`OpcUrl::same_target`]), so trailing-slash/case/zero-padded-port
+///   spellings of the host's own URL do not leak through as referrals.
+///
+/// Referred URLs are stored in canonical form (deduplicated); URLs that
+/// do not parse are kept verbatim so the referral engine can account
+/// them as unfollowable.
+pub fn merge_find_servers(
+    record: &mut ScanRecord,
+    own_url: &OpcUrl,
+    servers: &[ApplicationDescription],
+) {
+    for app in servers {
+        let is_self = (record.application_uri.is_some()
+            && app.application_uri == record.application_uri)
+            || app
+                .discovery_urls
+                .iter()
+                .any(|u| OpcUrl::parse(u).is_ok_and(|p| p.same_target(own_url)));
+        if is_self && app.application_type == ApplicationType::DiscoveryServer {
+            record.application_type = Some(ApplicationType::DiscoveryServer);
+        }
+        for referred in &app.discovery_urls {
+            let stored = match OpcUrl::parse(referred) {
+                Ok(parsed) => {
+                    if parsed.same_target(own_url) {
+                        continue; // the host's own URL, in any spelling
+                    }
+                    parsed.canonical()
+                }
+                // Unparseable URLs are recorded as announced; the
+                // referral engine counts them as unfollowable.
+                Err(_) => referred.clone(),
+            };
+            if !record.referred_urls.contains(&stored) {
+                record.referred_urls.push(stored);
+            }
+        }
     }
 }
 
@@ -265,6 +326,153 @@ pub fn discovery_stack() -> Vec<Box<dyn Probe>> {
 mod tests {
     use super::*;
     use ua_types::StatusCode;
+
+    fn base_record(uri: &str) -> ScanRecord {
+        let mut r = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
+        r.hello_ok = true;
+        r.application_uri = Some(uri.into());
+        r.application_type = Some(ApplicationType::Server);
+        r
+    }
+
+    fn app(uri: &str, ty: ApplicationType, urls: &[&str]) -> ApplicationDescription {
+        let mut a = ApplicationDescription::server(uri, "app");
+        a.application_type = ty;
+        a.discovery_urls = urls.iter().map(|s| s.to_string()).collect();
+        a
+    }
+
+    #[test]
+    fn self_referral_variants_filtered_by_normalization() {
+        let own = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        let mut record = base_record("urn:dev:1");
+        merge_find_servers(
+            &mut record,
+            &own,
+            &[app(
+                "urn:dev:1",
+                ApplicationType::Server,
+                &[
+                    "opc.tcp://10.0.0.1:4840/",
+                    "OPC.TCP://10.0.0.1:4840",
+                    "opc.tcp://10.0.0.1:04840/",
+                    "opc.tcp://10.0.0.1:4840///",
+                    "opc.tcp://10.0.0.2:4840/",
+                ],
+            )],
+        );
+        // Only the genuinely-foreign URL survives, canonicalized.
+        assert_eq!(record.referred_urls, vec!["opc.tcp://10.0.0.2:4840/"]);
+    }
+
+    #[test]
+    fn same_host_other_port_is_a_referral() {
+        let own = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        let mut record = base_record("urn:dev:1");
+        merge_find_servers(
+            &mut record,
+            &own,
+            &[app(
+                "urn:dev:1",
+                ApplicationType::Server,
+                &["opc.tcp://10.0.0.1:4841/"],
+            )],
+        );
+        assert_eq!(record.referred_urls, vec!["opc.tcp://10.0.0.1:4841/"]);
+    }
+
+    #[test]
+    fn self_description_upgrades_application_type() {
+        // GetEndpoints said Server; the host's own FindServers entry
+        // says DiscoveryServer — the record must upgrade.
+        let own = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        let mut record = base_record("urn:lds:1");
+        merge_find_servers(
+            &mut record,
+            &own,
+            &[app(
+                "urn:lds:1",
+                ApplicationType::DiscoveryServer,
+                &["opc.tcp://10.0.0.1:4840/"],
+            )],
+        );
+        assert_eq!(
+            record.application_type,
+            Some(ApplicationType::DiscoveryServer)
+        );
+    }
+
+    #[test]
+    fn foreign_discovery_server_does_not_mislabel_host() {
+        // A plain server whose answer mentions some *other* LDS must
+        // not itself be classified as a discovery server.
+        let own = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        let mut record = base_record("urn:dev:1");
+        merge_find_servers(
+            &mut record,
+            &own,
+            &[
+                app(
+                    "urn:dev:1",
+                    ApplicationType::Server,
+                    &["opc.tcp://10.0.0.1:4840/"],
+                ),
+                app(
+                    "urn:other:lds",
+                    ApplicationType::DiscoveryServer,
+                    &["opc.tcp://10.9.9.9:4840/"],
+                ),
+            ],
+        );
+        assert_eq!(record.application_type, Some(ApplicationType::Server));
+        assert_eq!(record.referred_urls, vec!["opc.tcp://10.9.9.9:4840/"]);
+    }
+
+    #[test]
+    fn self_match_by_discovery_url_when_uri_unknown() {
+        // GetEndpoints failed (no application_uri): the self entry is
+        // still recognized via a discovery URL naming the probed target.
+        let own = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        let mut record = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
+        record.hello_ok = true;
+        merge_find_servers(
+            &mut record,
+            &own,
+            &[app(
+                "urn:lds:1",
+                ApplicationType::DiscoveryServer,
+                &["OPC.TCP://10.0.0.1:4840"],
+            )],
+        );
+        assert_eq!(
+            record.application_type,
+            Some(ApplicationType::DiscoveryServer)
+        );
+        assert!(record.referred_urls.is_empty());
+    }
+
+    #[test]
+    fn unparseable_urls_kept_verbatim_and_deduplicated() {
+        let own = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        let mut record = base_record("urn:dev:1");
+        let apps = [
+            app(
+                "urn:dev:1",
+                ApplicationType::Server,
+                &["http://not-opcua.example/", "opc.tcp://10.0.0.3:4845"],
+            ),
+            app(
+                "urn:dev:2",
+                ApplicationType::Server,
+                &["http://not-opcua.example/", "opc.tcp://10.0.0.3:04845/"],
+            ),
+        ];
+        merge_find_servers(&mut record, &own, &apps);
+        assert_eq!(
+            record.referred_urls,
+            vec!["http://not-opcua.example/", "opc.tcp://10.0.0.3:4845/"]
+        );
+    }
 
     #[test]
     fn session_error_classification() {

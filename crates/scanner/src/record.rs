@@ -58,6 +58,39 @@ impl EndpointSnapshot {
     }
 }
 
+/// How the scanner came to probe a host: the breadth-first sweep, or a
+/// FindServers referral announced by an already-probed host (the
+/// paper's 2020-05-04 scanner extension, which surfaced over a thousand
+/// servers hidden behind discovery servers on non-default ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoveredVia {
+    /// Found by the zmap-style sweep on the campaign port.
+    Sweep,
+    /// Found by following an LDS referral.
+    Referral {
+        /// The host whose FindServers answer announced this target.
+        from: Ipv4,
+        /// Referral-chain depth: 1 for targets announced by swept
+        /// hosts, 2 for targets announced by depth-1 hosts, and so on.
+        depth: u32,
+    },
+}
+
+impl DiscoveredVia {
+    /// True for referral-discovered hosts.
+    pub fn is_referral(&self) -> bool {
+        matches!(self, DiscoveredVia::Referral { .. })
+    }
+
+    /// The referral-chain depth (0 for swept hosts).
+    pub fn depth(&self) -> u32 {
+        match self {
+            DiscoveredVia::Sweep => 0,
+            DiscoveredVia::Referral { depth, .. } => *depth,
+        }
+    }
+}
+
 /// Outcome of the session-establishment stage (the paper's Table 2
 /// distinguishes exactly these failure stages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +164,11 @@ impl TraversalSummary {
 pub struct ScanRecord {
     /// Target address.
     pub address: Ipv4,
+    /// TCP port the host was probed on (referral targets frequently
+    /// live on non-default ports).
+    pub port: u16,
+    /// How the scanner found this target.
+    pub via: DiscoveredVia,
     /// Autonomous system announcing the address (0 if unannounced).
     pub asn: u32,
     /// Virtual unix time the probe started.
@@ -161,10 +199,32 @@ pub struct ScanRecord {
 }
 
 impl ScanRecord {
-    /// A fresh record for `address` before any probe ran.
+    /// A fresh record for a sweep-discovered `address` on the default
+    /// port, before any probe ran. Targeted probes (referrals) use
+    /// [`Self::for_target`].
     pub fn new(address: Ipv4, asn: u32, discovered_unix: i64) -> Self {
+        Self::for_target(
+            address,
+            crate::url::DEFAULT_OPCUA_PORT,
+            DiscoveredVia::Sweep,
+            asn,
+            discovered_unix,
+        )
+    }
+
+    /// A fresh record for an arbitrary `(address, port)` target with
+    /// explicit discovery provenance.
+    pub fn for_target(
+        address: Ipv4,
+        port: u16,
+        via: DiscoveredVia,
+        asn: u32,
+        discovered_unix: i64,
+    ) -> Self {
         ScanRecord {
             address,
+            port,
+            via,
             asn,
             discovered_unix,
             hello_ok: false,
@@ -322,6 +382,24 @@ mod tests {
         c.certificate_der = Some(vec![7]);
         let r = record_with(vec![a, b, c]);
         assert_eq!(r.certificates().len(), 2);
+    }
+
+    #[test]
+    fn provenance_defaults_and_targets() {
+        let swept = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
+        assert_eq!(swept.via, DiscoveredVia::Sweep);
+        assert_eq!(swept.port, 4840);
+        assert!(!swept.via.is_referral());
+        assert_eq!(swept.via.depth(), 0);
+
+        let via = DiscoveredVia::Referral {
+            from: Ipv4::new(10, 0, 0, 1),
+            depth: 2,
+        };
+        let referred = ScanRecord::for_target(Ipv4::new(10, 0, 0, 9), 4842, via, 0, 0);
+        assert_eq!(referred.port, 4842);
+        assert!(referred.via.is_referral());
+        assert_eq!(referred.via.depth(), 2);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! `opc.tcp://host:port/path` URL parsing and normalization.
+//!
+//! Discovery servers announce referral URLs in every format vendors can
+//! invent: uppercase schemes, missing trailing slashes, zero-padded
+//! ports, hostnames the scanner cannot resolve. Following referrals
+//! correctly (the paper's 2020-05-04 scanner change) requires a single
+//! canonical form so that `OPC.TCP://10.0.0.1:04840` and
+//! `opc.tcp://10.0.0.1:4840/` deduplicate to the *same* probe target —
+//! otherwise self-referrals leak through as "new" servers and loops
+//! never terminate.
+//!
+//! [`OpcUrl::parse`] accepts anything scheme-compatible and normalizes
+//! it; the [`UrlError`] taxonomy distinguishes the failure modes the
+//! referral engine accounts separately (wrong scheme, missing host, bad
+//! port, malformed address).
+
+use netsim::Ipv4;
+
+/// The registered OPC UA TCP port, assumed when a URL omits `:port`.
+pub const DEFAULT_OPCUA_PORT: u16 = 4840;
+
+/// Why a discovery URL could not be parsed into a probe target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlError {
+    /// The string was empty (or whitespace only).
+    Empty,
+    /// The scheme is not `opc.tcp` (e.g. `http`, `opc.https`, `opc.wss`).
+    UnsupportedScheme(String),
+    /// No `://` separator at all — not a URL.
+    MissingScheme,
+    /// The authority part has no host.
+    MissingHost,
+    /// The text after the last `:` is not a valid non-zero TCP port.
+    InvalidPort(String),
+    /// The host looks like a dotted-quad IPv4 literal but is malformed
+    /// (octet out of range, wrong count).
+    InvalidIpv4(String),
+}
+
+impl std::fmt::Display for UrlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UrlError::Empty => write!(f, "empty URL"),
+            UrlError::UnsupportedScheme(s) => write!(f, "unsupported scheme {s:?}"),
+            UrlError::MissingScheme => write!(f, "missing scheme separator"),
+            UrlError::MissingHost => write!(f, "missing host"),
+            UrlError::InvalidPort(p) => write!(f, "invalid port {p:?}"),
+            UrlError::InvalidIpv4(h) => write!(f, "malformed IPv4 literal {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+/// The host part of an OPC UA URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UrlHost {
+    /// A dotted-quad IPv4 literal — a followable probe target.
+    Ip(Ipv4),
+    /// A DNS name (lowercased). The simulated Internet has no resolver,
+    /// so named referrals are recorded but cannot be followed — exactly
+    /// like a real scanner without the deployment's internal DNS view.
+    Name(String),
+}
+
+impl std::fmt::Display for UrlHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UrlHost::Ip(ip) => write!(f, "{ip}"),
+            UrlHost::Name(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A parsed, normalized `opc.tcp` URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpcUrl {
+    /// Host (IPv4 literal or unresolvable name, lowercased).
+    pub host: UrlHost,
+    /// TCP port ([`DEFAULT_OPCUA_PORT`] when the URL omitted it).
+    pub port: u16,
+    /// Path with the leading `/` but no trailing slash; empty for the
+    /// root. `/` and the empty path normalize identically.
+    pub path: String,
+}
+
+impl OpcUrl {
+    /// Parses and normalizes `input`. Scheme and host are
+    /// case-insensitive; the port accepts leading zeros; trailing
+    /// slashes are insignificant.
+    pub fn parse(input: &str) -> Result<OpcUrl, UrlError> {
+        let s = input.trim();
+        if s.is_empty() {
+            return Err(UrlError::Empty);
+        }
+        let (scheme, rest) = s.split_once("://").ok_or(UrlError::MissingScheme)?;
+        if !scheme.eq_ignore_ascii_case("opc.tcp") {
+            return Err(UrlError::UnsupportedScheme(scheme.to_ascii_lowercase()));
+        }
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, ""),
+        };
+        let (host_raw, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => (h, parse_port(p)?),
+            None => (authority, DEFAULT_OPCUA_PORT),
+        };
+        if host_raw.is_empty() {
+            return Err(UrlError::MissingHost);
+        }
+        let host = parse_host(host_raw)?;
+        Ok(OpcUrl {
+            host,
+            port,
+            path: normalize_path(path),
+        })
+    }
+
+    /// The probe target, when the host is an IPv4 literal.
+    pub fn target(&self) -> Option<(Ipv4, u16)> {
+        match self.host {
+            UrlHost::Ip(ip) => Some((ip, self.port)),
+            UrlHost::Name(_) => None,
+        }
+    }
+
+    /// True when `self` and `other` address the same TCP endpoint (host
+    /// and port; the path is a server-side detail). This is the
+    /// self-referral test: every trailing-slash/case/zero-padded variant
+    /// of a host's own URL compares equal to it.
+    pub fn same_target(&self, other: &OpcUrl) -> bool {
+        self.host == other.host && self.port == other.port
+    }
+
+    /// The canonical string form: lowercase scheme/host, explicit port,
+    /// `/`-terminated root. Parsing the canonical form round-trips.
+    pub fn canonical(&self) -> String {
+        if self.path.is_empty() {
+            format!("opc.tcp://{}:{}/", self.host, self.port)
+        } else {
+            format!("opc.tcp://{}:{}{}", self.host, self.port, self.path)
+        }
+    }
+}
+
+impl std::fmt::Display for OpcUrl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl std::str::FromStr for OpcUrl {
+    type Err = UrlError;
+
+    fn from_str(s: &str) -> Result<OpcUrl, UrlError> {
+        OpcUrl::parse(s)
+    }
+}
+
+fn parse_port(p: &str) -> Result<u16, UrlError> {
+    if p.is_empty() || !p.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(UrlError::InvalidPort(p.to_string()));
+    }
+    // Strip leading zeros so ":04840" parses like ":4840" without
+    // tripping integer-width limits on long zero runs.
+    let trimmed = p.trim_start_matches('0');
+    if trimmed.is_empty() {
+        return Err(UrlError::InvalidPort(p.to_string()));
+    }
+    trimmed
+        .parse::<u16>()
+        .map_err(|_| UrlError::InvalidPort(p.to_string()))
+}
+
+fn parse_host(raw: &str) -> Result<UrlHost, UrlError> {
+    let lower = raw.to_ascii_lowercase();
+    // Dotted-quad shaped → must be a valid IPv4 literal; anything else
+    // digits-and-dots is malformed, not a hostname.
+    if lower.bytes().all(|b| b.is_ascii_digit() || b == b'.') {
+        let octets: Vec<&str> = lower.split('.').collect();
+        if octets.len() != 4 {
+            return Err(UrlError::InvalidIpv4(lower));
+        }
+        let mut parsed = [0u8; 4];
+        for (slot, oct) in parsed.iter_mut().zip(&octets) {
+            if oct.is_empty() || oct.len() > 3 {
+                return Err(UrlError::InvalidIpv4(lower.clone()));
+            }
+            *slot = oct
+                .parse::<u8>()
+                .map_err(|_| UrlError::InvalidIpv4(lower.clone()))?;
+        }
+        return Ok(UrlHost::Ip(Ipv4::new(
+            parsed[0], parsed[1], parsed[2], parsed[3],
+        )));
+    }
+    Ok(UrlHost::Name(lower))
+}
+
+fn normalize_path(path: &str) -> String {
+    let trimmed = path.trim_end_matches('/');
+    trimmed.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_url() {
+        let u = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        assert_eq!(u.host, UrlHost::Ip(Ipv4::new(10, 0, 0, 1)));
+        assert_eq!(u.port, 4840);
+        assert_eq!(u.path, "");
+        assert_eq!(u.target(), Some((Ipv4::new(10, 0, 0, 1), 4840)));
+        assert_eq!(u.canonical(), "opc.tcp://10.0.0.1:4840/");
+    }
+
+    #[test]
+    fn normalizes_case_slash_and_zero_padding() {
+        let canonical = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
+        for variant in [
+            "OPC.TCP://10.0.0.1:4840",
+            "opc.tcp://10.0.0.1:4840",
+            "opc.tcp://10.0.0.1:04840/",
+            "Opc.Tcp://10.0.0.1:4840///",
+            "  opc.tcp://10.0.0.1:4840/  ",
+        ] {
+            let u = OpcUrl::parse(variant).unwrap();
+            assert!(u.same_target(&canonical), "{variant}");
+            assert_eq!(u.canonical(), canonical.canonical(), "{variant}");
+        }
+    }
+
+    #[test]
+    fn default_port_when_omitted() {
+        let u = OpcUrl::parse("opc.tcp://192.168.0.9").unwrap();
+        assert_eq!(u.port, DEFAULT_OPCUA_PORT);
+    }
+
+    #[test]
+    fn path_preserved_but_trailing_slash_insignificant() {
+        let a = OpcUrl::parse("opc.tcp://10.0.0.1:4840/UADiscovery/").unwrap();
+        let b = OpcUrl::parse("opc.tcp://10.0.0.1:4840/UADiscovery").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.path, "/UADiscovery");
+        assert_eq!(a.canonical(), "opc.tcp://10.0.0.1:4840/UADiscovery");
+        // Same target even when paths differ.
+        let c = OpcUrl::parse("opc.tcp://10.0.0.1:4840/other").unwrap();
+        assert!(a.same_target(&c));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hostnames_are_kept_but_not_followable() {
+        let u = OpcUrl::parse("opc.tcp://PLC-7.factory.local:4845/ua").unwrap();
+        assert_eq!(u.host, UrlHost::Name("plc-7.factory.local".into()));
+        assert_eq!(u.port, 4845);
+        assert_eq!(u.target(), None);
+    }
+
+    #[test]
+    fn error_taxonomy() {
+        assert_eq!(OpcUrl::parse(""), Err(UrlError::Empty));
+        assert_eq!(OpcUrl::parse("   "), Err(UrlError::Empty));
+        assert_eq!(OpcUrl::parse("10.0.0.1:4840"), Err(UrlError::MissingScheme));
+        assert_eq!(
+            OpcUrl::parse("http://10.0.0.1:4840/"),
+            Err(UrlError::UnsupportedScheme("http".into()))
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.https://10.0.0.1/"),
+            Err(UrlError::UnsupportedScheme("opc.https".into()))
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.tcp://:4840/"),
+            Err(UrlError::MissingHost)
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.tcp://10.0.0.1:/"),
+            Err(UrlError::InvalidPort("".into()))
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.tcp://10.0.0.1:0/"),
+            Err(UrlError::InvalidPort("0".into()))
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.tcp://10.0.0.1:banana/"),
+            Err(UrlError::InvalidPort("banana".into()))
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.tcp://10.0.0.1:99999/"),
+            Err(UrlError::InvalidPort("99999".into()))
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.tcp://300.1.1.1:4840/"),
+            Err(UrlError::InvalidIpv4("300.1.1.1".into()))
+        );
+        assert_eq!(
+            OpcUrl::parse("opc.tcp://10.0.1:4840/"),
+            Err(UrlError::InvalidIpv4("10.0.1".into()))
+        );
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        for s in [
+            "opc.tcp://10.9.8.7:4841/",
+            "opc.tcp://10.9.8.7:4840/Devices/PLC",
+            "opc.tcp://lds.example:4840/",
+        ] {
+            let u = OpcUrl::parse(s).unwrap();
+            assert_eq!(OpcUrl::parse(&u.canonical()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn from_str_works() {
+        let u: OpcUrl = "opc.tcp://10.1.1.1:4842/".parse().unwrap();
+        assert_eq!(u.port, 4842);
+    }
+}

@@ -3,7 +3,7 @@
 //! summary, no matter how many workers run the campaign.
 
 use netsim::{Blocklist, Cidr, Internet, VirtualClock};
-use population::{synthesize, PopulationConfig, StrataMix};
+use population::{synthesize, HostClass, PopulationConfig, StrataMix};
 use scanner::{ScanConfig, ScanRecord, ScanSummary, Scanner};
 
 const SEED: u64 = 20_200_209;
@@ -42,6 +42,15 @@ fn worker_counts_1_2_8_are_byte_identical() {
         summary1.opcua_hosts > 10,
         "population should yield a meaningful scan, got {summary1:?}"
     );
+    // The paper mix hides servers behind LDS referrals: the campaign
+    // must actually exercise the referral phase, or this test proves
+    // nothing about its determinism.
+    assert!(
+        summary1.referrals.followed > 0,
+        "campaign should follow referrals, got {:?}",
+        summary1.referrals
+    );
+    assert!(records1.iter().any(|r| r.via.is_referral()));
 
     for workers in [2usize, 8] {
         let (summary, records) = scan_with_workers(workers);
@@ -98,4 +107,91 @@ fn sync_scan_matches_sharded_stream() {
 
     assert_eq!(sync_records, streamed);
     assert_eq!(sync_summary, summary);
+}
+
+/// End-to-end referral following over a synthesized world: every
+/// referral-only host (non-default port, invisible to the sweep) is
+/// found with correct provenance, dead/self/unresolvable referrals are
+/// accounted, loops terminate — and all of it byte-identical at any
+/// worker count.
+#[test]
+fn referral_following_end_to_end_across_worker_counts() {
+    let build = || {
+        let net = Internet::new(VirtualClock::default());
+        let universe: Vec<Cidr> = vec!["10.44.0.0/22".parse().unwrap()];
+        let mix = StrataMix::new()
+            .with(HostClass::WideOpen, 6)
+            .with(HostClass::SecureModern, 4)
+            .with(HostClass::DiscoveryServer, 4)
+            .with(HostClass::HiddenServer, 5)
+            .with(HostClass::ChainedLds, 3);
+        let cfg = PopulationConfig::new(SEED, universe.clone(), mix);
+        let pop = synthesize(&net, &cfg);
+        (net, universe, pop)
+    };
+
+    let scan = |workers: usize| {
+        let (net, universe, pop) = build();
+        let config = ScanConfig {
+            workers,
+            ..ScanConfig::default()
+        };
+        let scanner = Scanner::new(net, Blocklist::new(), config);
+        let mut stream = scanner.scan_stream(universe, SEED);
+        let records: Vec<ScanRecord> = stream.by_ref().collect();
+        (stream.finish(), records, pop)
+    };
+
+    let (summary1, records1, pop) = scan(1);
+
+    // Every deployed host — including the referral-only strata — is
+    // found and speaks OPC UA.
+    assert_eq!(summary1.opcua_hosts as usize, pop.len());
+    for host in &pop.hosts {
+        let record = records1
+            .iter()
+            .find(|r| r.address == host.address && r.port == host.port)
+            .unwrap_or_else(|| panic!("{}:{} missing from scan", host.address, host.port));
+        assert_eq!(
+            record.via.is_referral(),
+            host.class.referral_only(),
+            "{:?} at {}:{} has wrong provenance {:?}",
+            host.class,
+            host.address,
+            host.port,
+            record.via
+        );
+    }
+
+    // Chains actually deepen (LDS → chained LDS → hidden server), the
+    // planted dead referrals and unresolvable names are accounted, and
+    // loops (chained LDS ↔ referrer, chained cycle) terminate as dedup
+    // hits rather than hanging the scan.
+    let r = summary1.referrals;
+    assert!(r.max_depth >= 2, "expected a chain, got {r:?}");
+    assert_eq!(r.dead as usize, pop.count(HostClass::DiscoveryServer));
+    assert_eq!(
+        r.unfollowable as usize,
+        pop.count(HostClass::DiscoveryServer)
+    );
+    assert!(r.already_probed > 0, "loops should dedup, got {r:?}");
+    assert_eq!(
+        r.followed as usize,
+        pop.count(HostClass::HiddenServer) + pop.count(HostClass::ChainedLds) + r.dead as usize
+    );
+
+    // Byte-identical at any worker count — records, summary, report.
+    for workers in [2usize, 8] {
+        let (summary, records, _) = scan(workers);
+        assert_eq!(summary, summary1, "workers={workers}");
+        assert_eq!(records, records1, "workers={workers}");
+    }
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| assessment::assess(&scan(w).1).to_string())
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+    // The paper-style summary names the referral-only hosts.
+    assert!(reports[0].contains("referral-only"));
 }

@@ -73,6 +73,16 @@ fn main() {
         summary.non_opcua_hosts,
     );
     println!(
+        "referrals: {} announced, {} followed ({} OPC UA, {} dead), {} deduped, {} unfollowable, max depth {}",
+        summary.referrals.urls_announced,
+        summary.referrals.followed,
+        summary.referrals.opcua_hosts,
+        summary.referrals.dead,
+        summary.referrals.already_probed,
+        summary.referrals.unfollowable,
+        summary.referrals.max_depth,
+    );
+    println!(
         "virtual campaign time: {} s",
         summary.finished_unix - summary.started_unix
     );

@@ -17,7 +17,10 @@
 //!   measurement   │ scanner      sharded sweep (N workers,  │
 //!                 │              ScanConfig::workers) →     │
 //!                 │              probe stacks → merge by    │
-//!                 │              discovery order → channel  │
+//!                 │              discovery order → LDS      │
+//!                 │              referral queue (url parse, │
+//!                 │              dedup, depth/budget) →     │
+//!                 │              channel                    │
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
 //!                 │              configured deployments     │
@@ -58,6 +61,16 @@
 //!   byte-identical for a fixed seed at *any* worker count; only the
 //!   wall-clock changes. CI enforces this by diffing a 1-worker against
 //!   a 4-worker campaign.
+//! * **Referral following** — after the sweep, the pipeline re-probes
+//!   every `host:port` that FindServers answers referred to (the
+//!   paper's 2020-05-04 scanner change): URLs are normalized through
+//!   `scanner::url::OpcUrl`, deduplicated against sweep coverage and
+//!   earlier referrals (loops terminate), blocklist-checked, and
+//!   followed breadth-first up to `ScanConfig::referral_depth` /
+//!   `referral_budget`. Referral records carry
+//!   `DiscoveredVia::Referral { from, depth }` provenance, and the
+//!   assessment report contrasts referral-only hosts against swept
+//!   ones (Table 1-style discovery accounting).
 //! * **Incremental assessment** — `Assessor::fold` consumes each
 //!   record as the scanner streams it (per-host rules immediately,
 //!   cross-host state online) and `Assessor::finalize` runs batch GCD
@@ -90,7 +103,9 @@ pub mod prelude {
     pub use assessment::{assess, AssessmentReport, Assessor, Deficit};
     pub use netsim::{Blocklist, Cidr, Internet, Ipv4, VirtualClock};
     pub use population::{synthesize, HostClass, Population, PopulationConfig, StrataMix};
-    pub use scanner::{ScanConfig, ScanRecord, Scanner, SessionOutcome};
+    pub use scanner::{
+        DiscoveredVia, OpcUrl, ReferralStats, ScanConfig, ScanRecord, Scanner, SessionOutcome,
+    };
     pub use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
 }
 
