@@ -128,10 +128,16 @@ pub fn host_deficits(record: &ScanRecord) -> BTreeSet<Deficit> {
 
     // --- Certificate hygiene (§5.2). ---
     for ep in &record.endpoints {
-        let Some(Ok(cert)) = ep.certificate() else {
+        let Some(handle) = ep.certificate.as_ref() else {
             continue;
         };
-        if cert.is_self_signed() {
+        let Some(cert) = handle.certificate() else {
+            continue;
+        };
+        // The self-signed verdict (an RSA verification) was precomputed
+        // when the certificate was interned — once per distinct cert,
+        // not once per host serving it.
+        if handle.is_self_signed() {
             out.insert(Deficit::SelfSignedCertificate);
         }
         if !cert.is_valid_at(record.discovered_unix) {
@@ -205,7 +211,7 @@ mod tests {
             } else {
                 vec![UserTokenType::UserName]
             },
-            certificate_der: None,
+            certificate: None,
             security_level: 0,
         }
     }

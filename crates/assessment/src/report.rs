@@ -6,7 +6,7 @@ use netsim::Ipv4;
 use scanner::{DiscoveredVia, ScanRecord, SessionOutcome, DEFAULT_OPCUA_PORT};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use ua_crypto::hash::to_hex;
-use ua_crypto::{find_shared_factors, sha1, BigUint, Certificate};
+use ua_crypto::{find_shared_factors, BigUint};
 use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
 
 /// Per-host assessment outcome.
@@ -153,7 +153,7 @@ pub struct Assessor {
     by_thumbprint: HashMap<[u8; 20], BTreeSet<Ipv4>>,
     moduli: Vec<BigUint>,
     modulus_hosts: Vec<BTreeSet<Ipv4>>,
-    modulus_index: HashMap<Vec<u8>, usize>,
+    modulus_index: HashMap<BigUint, usize>,
     deficit_counts: BTreeMap<Deficit, usize>,
     mode_distribution: BTreeMap<MessageSecurityMode, usize>,
     policy_distribution: BTreeMap<SecurityPolicy, usize>,
@@ -195,24 +195,31 @@ impl Assessor {
         });
 
         // Cross-host: certificate reuse (thumbprint) and shared primes
-        // (batch GCD over moduli), extracted in one pass over the DERs.
-        // Moduli are deduplicated: hosts serving the *same* key are
-        // reuse, not weak randomness (the paper checks distinct keys
-        // pairwise).
-        for der in record.certificates() {
+        // (batch GCD over moduli), folded over the *interned* handles —
+        // thumbprints and parsed moduli were precomputed once per
+        // distinct certificate by the scanner's `CertStore`, so this is
+        // pure map bookkeeping, no hashing or DER parsing per host.
+        // Moduli are deduplicated with host multiplicity tracked: hosts
+        // serving the *same* key are reuse, not weak randomness (the
+        // paper checks distinct keys pairwise), and finalize's batch
+        // GCD input shrinks by exactly the reuse factor.
+        for cert in record.certificates() {
             self.by_thumbprint
-                .entry(sha1(der))
+                .entry(cert.thumbprint())
                 .or_default()
                 .insert(record.address);
-            let Ok(cert) = Certificate::from_der(der) else {
+            let Some(n) = cert.modulus() else {
                 continue;
             };
-            let key = cert.tbs.public_key.n.to_bytes_be();
-            let idx = *self.modulus_index.entry(key).or_insert_with(|| {
-                self.moduli.push(cert.tbs.public_key.n.clone());
-                self.modulus_hosts.push(BTreeSet::new());
-                self.moduli.len() - 1
-            });
+            let idx = match self.modulus_index.get(n) {
+                Some(&idx) => idx,
+                None => {
+                    self.moduli.push(n.clone());
+                    self.modulus_hosts.push(BTreeSet::new());
+                    self.modulus_index.insert(n.clone(), self.moduli.len() - 1);
+                    self.moduli.len() - 1
+                }
+            };
             self.modulus_hosts[idx].insert(record.address);
         }
 

@@ -13,8 +13,11 @@
 //!
 //! Emits `BENCH_ablation.json`.
 
-use bench::{campaign_moduli, time, write_bench_json, BenchConfig, Json};
-use ua_crypto::{find_shared_factors, pairwise_shared_factors};
+use bench::{
+    campaign_moduli, campaign_modulus_sightings, time, time_min, write_bench_json, BenchConfig,
+    Json,
+};
+use ua_crypto::{batch_gcd, find_shared_factors, pairwise_shared_factors};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -24,8 +27,15 @@ fn main() {
 
     // The deduplicated moduli exactly as the assessor accumulates them.
     let moduli = campaign_moduli(&records);
-    println!("ablation bench: {} distinct moduli", moduli.len());
+    // And the raw sighting multiset a dedup-unaware pipeline would feed.
+    let sightings = campaign_modulus_sightings(&records);
+    println!(
+        "ablation bench: {} distinct moduli ({} sightings)",
+        moduli.len(),
+        sightings.len()
+    );
     assert!(moduli.len() > 2, "need moduli to compare detectors");
+    assert!(sightings.len() >= moduli.len());
 
     let (batch_seconds, batch_hits) = time(|| find_shared_factors(&moduli));
     let (pairwise_seconds, pairwise_hits) = time(|| pairwise_shared_factors(&moduli));
@@ -57,15 +67,37 @@ fn main() {
         pairwise_pairs.len()
     );
 
+    // What certificate interning buys the GCD stage: the same tree over
+    // the deduplicated moduli vs. the raw per-sighting multiset.
+    // Minimum-of-5 timing keeps the comparison meaningful on noisy CI
+    // hardware.
+    let (dedup_tree_seconds, dedup_rems) = time_min(5, || batch_gcd(&moduli));
+    let (sightings_tree_seconds, sighting_rems) = time_min(5, || batch_gcd(&sightings));
+    assert_eq!(dedup_rems.len(), moduli.len());
+    assert_eq!(sighting_rems.len(), sightings.len());
+    let dedup_speedup = sightings_tree_seconds / dedup_tree_seconds.max(1e-12);
+    println!(
+        "  gcd tree deduplicated {:>8.3} ms vs all sightings {:>8.3} ms  → dedup {dedup_speedup:.1}x",
+        dedup_tree_seconds * 1e3,
+        sightings_tree_seconds * 1e3,
+    );
+
     let moduli_per_second = moduli.len() as f64 / batch_seconds.max(1e-12);
     let out = Json::obj()
         .set("bench", Json::str("ablation"))
         .set("distinct_moduli", Json::int(moduli.len() as i64))
+        .set("total_cert_sightings", Json::int(sightings.len() as i64))
         .set("shared_prime_hits", Json::int(batch_pairs.len() as i64))
         .set("batch_gcd_seconds", Json::Num(batch_seconds))
         .set("pairwise_gcd_seconds", Json::Num(pairwise_seconds))
         .set("batch_moduli_per_second", Json::Num(moduli_per_second))
         .set("batch_speedup_vs_pairwise", Json::Num(speedup))
+        .set("batch_gcd_dedup_seconds", Json::Num(dedup_tree_seconds))
+        .set(
+            "batch_gcd_all_sightings_seconds",
+            Json::Num(sightings_tree_seconds),
+        )
+        .set("dedup_speedup", Json::Num(dedup_speedup))
         .set("detectors_agree", Json::Bool(true));
     let path = write_bench_json("ablation", &out);
     println!("wrote {}", path.display());

@@ -211,23 +211,58 @@ impl BenchConfig {
 }
 
 /// The campaign's deduplicated RSA moduli in first-seen order — the
-/// same set (and the same dedup key: the modulus bytes) the incremental
+/// same set (and the same dedup key: the modulus value) the incremental
 /// `Assessor` accumulates for batch GCD. Shared by the `crypto` and
 /// `ablation` benches so they measure exactly the moduli the pipeline
-/// finalizes over.
+/// finalizes over. Reads the interned certificate handles, so no DER is
+/// re-parsed here.
 pub fn campaign_moduli(records: &[ScanRecord]) -> Vec<ua_crypto::BigUint> {
     let mut moduli = Vec::new();
-    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut seen: HashSet<ua_crypto::BigUint> = HashSet::new();
     for record in records {
-        for der in record.certificates() {
-            if let Ok(cert) = ua_crypto::Certificate::from_der(der) {
-                if seen.insert(cert.tbs.public_key.n.to_bytes_be()) {
-                    moduli.push(cert.tbs.public_key.n.clone());
+        for cert in record.certificates() {
+            if let Some(n) = cert.modulus() {
+                if seen.insert(n.clone()) {
+                    moduli.push(n.clone());
                 }
             }
         }
     }
     moduli
+}
+
+/// One modulus per certificate *sighting* (every endpoint snapshot
+/// carrying a parseable certificate), with no deduplication at all —
+/// the input a dedup-unaware finalization would feed batch GCD. The
+/// `ablation` bench times this against the deduplicated set to
+/// quantify what interning buys the GCD stage; the length matches the
+/// campaign `CertStore`'s sighting counter for parseable certificates.
+pub fn campaign_modulus_sightings(records: &[ScanRecord]) -> Vec<ua_crypto::BigUint> {
+    let mut moduli = Vec::new();
+    for record in records {
+        for ep in &record.endpoints {
+            if let Some(n) = ep.certificate.as_ref().and_then(|c| c.modulus()) {
+                moduli.push(n.clone());
+            }
+        }
+    }
+    moduli
+}
+
+/// Runs `f` `rounds` times, returning the *minimum* wall-clock seconds
+/// and the last value — the noise-robust way to time sub-10ms work on
+/// shared CI hardware.
+pub fn time_min<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(rounds > 0);
+    let (mut best, mut value) = time(&mut f);
+    for _ in 1..rounds {
+        let (t, v) = time(&mut f);
+        if t < best {
+            best = t;
+        }
+        value = v;
+    }
+    (best, value)
 }
 
 /// Runs `f`, returning its wall-clock duration in seconds and its value.

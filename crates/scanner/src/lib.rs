@@ -30,4 +30,5 @@ pub use probe::{
     Probe, ProbeContext, ProbeOutcome, ScanConfig, SessionProbe, UacpProbe,
 };
 pub use record::{DiscoveredVia, EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+pub use ua_crypto::{CertStore, CertStoreStats, ParsedCert};
 pub use url::{OpcUrl, UrlError, UrlHost, DEFAULT_OPCUA_PORT};

@@ -51,6 +51,7 @@ use rand::SeedableRng;
 use std::collections::HashSet;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+use ua_crypto::{CertStore, CertStoreStats};
 
 /// Accounting of the referral-following phase. Every announced URL ends
 /// up in exactly one disposition bucket:
@@ -97,6 +98,10 @@ pub struct ScanSummary {
     pub opcua_hosts: u64,
     /// Responsive hosts that did not speak OPC UA.
     pub non_opcua_hosts: u64,
+    /// Certificate-interning counters: total certificate sightings
+    /// across all endpoint snapshots versus distinct DER payloads — the
+    /// reuse factor of §5.2, observable per campaign.
+    pub certs: CertStoreStats,
     /// Virtual unix time the campaign started.
     pub started_unix: i64,
     /// Virtual unix time the campaign finished.
@@ -154,9 +159,13 @@ impl Scanner {
         port: u16,
         seed: u64,
     ) -> ScanRecord {
+        // Standalone probes intern into a throwaway store; campaign
+        // scans share one store across every probe (see scan_with).
+        let certs = CertStore::new();
         probe_host_on(
             &self.internet,
             &self.config,
+            &certs,
             stack,
             addr,
             port,
@@ -169,9 +178,11 @@ impl Scanner {
     /// returning the record plus the virtual microseconds the probe
     /// consumed. Record contents depend only on (host, port, seed,
     /// epoch).
+    #[allow(clippy::too_many_arguments)]
     fn probe_host_at_epoch(
         &self,
         epoch: &VirtualClock,
+        certs: &CertStore,
         stack: &mut [Box<dyn Probe>],
         addr: netsim::Ipv4,
         port: u16,
@@ -181,7 +192,7 @@ impl Scanner {
         let clock = epoch.fork();
         let start = clock.now_micros();
         let internet = self.internet.with_clock(clock.clone());
-        let record = probe_host_on(&internet, &self.config, stack, addr, port, via, seed);
+        let record = probe_host_on(&internet, &self.config, certs, stack, addr, port, via, seed);
         (record, clock.now_micros().saturating_sub(start))
     }
 
@@ -199,6 +210,10 @@ impl Scanner {
         // Every probed host gets a clock forked from this frozen epoch,
         // so records cannot observe each other through shared time.
         let epoch = self.internet.clock().fork();
+        // One certificate interner per campaign, shared by all shards:
+        // interned handles are pure functions of the DER bytes, so the
+        // worker-count byte-identity guarantee survives interning.
+        let certs = CertStore::new();
         let workers = self.config.workers.max(1);
         let mut probe_micros: u64 = 0;
         let mut opcua_hosts: u64 = 0;
@@ -228,6 +243,7 @@ impl Scanner {
                 syn.sweep_shard(universe, &mut rng, 0, 1, |_pos, addr| {
                     let (record, micros) = self.probe_host_at_epoch(
                         &epoch,
+                        &certs,
                         &mut stack,
                         addr,
                         self.config.port,
@@ -243,6 +259,7 @@ impl Scanner {
                     seed,
                     workers,
                     &epoch,
+                    &certs,
                     &mut probe_micros,
                     &mut sweep_emit,
                 )
@@ -252,12 +269,14 @@ impl Scanner {
             universe,
             seed,
             &epoch,
+            &certs,
             frontier,
             &mut probe_micros,
             &mut emit,
         );
         summary.opcua_hosts = opcua_hosts;
         summary.non_opcua_hosts = non_opcua_hosts;
+        summary.certs = certs.stats();
         // Account campaign time once, from order-independent sums: SYN
         // pacing in micros — integer-second division would stall the
         // clock entirely for campaigns shorter than a second of probes —
@@ -276,11 +295,13 @@ impl Scanner {
     /// level are probed across [`ScanConfig::workers`] threads and
     /// merged back into queue order, so emission order — and therefore
     /// the full record stream — is independent of the worker count.
+    #[allow(clippy::too_many_arguments)]
     fn follow_referrals<F>(
         &self,
         universe: &[Cidr],
         seed: u64,
         epoch: &VirtualClock,
+        certs: &CertStore,
         mut frontier: Vec<PendingReferral>,
         probe_micros: &mut u64,
         mut emit: F,
@@ -331,7 +352,7 @@ impl Scanner {
                     depth: pending.depth,
                 });
             }
-            for (maybe_record, micros) in self.probe_referral_level(&level, epoch, seed) {
+            for (maybe_record, micros) in self.probe_referral_level(&level, epoch, certs, seed) {
                 *probe_micros += micros;
                 match maybe_record {
                     None => stats.dead += 1,
@@ -360,6 +381,7 @@ impl Scanner {
         &self,
         targets: &[ReferralTarget],
         epoch: &VirtualClock,
+        certs: &CertStore,
         seed: u64,
     ) -> Vec<(Option<ScanRecord>, u64)> {
         let workers = self.config.workers.max(1).min(targets.len().max(1));
@@ -384,6 +406,7 @@ impl Scanner {
             };
             let (record, micros) = self.probe_host_at_epoch(
                 epoch,
+                certs,
                 stack,
                 t.addr,
                 t.port,
@@ -421,12 +444,14 @@ impl Scanner {
     /// The multi-worker engine: N scoped threads each sweep their shard
     /// of the permutation and probe their hosts; the coordinator merges
     /// the N position-sorted streams back into global discovery order.
+    #[allow(clippy::too_many_arguments)]
     fn scan_sharded<F>(
         &self,
         universe: &[Cidr],
         seed: u64,
         workers: usize,
         epoch: &VirtualClock,
+        certs: &CertStore,
         probe_micros: &mut u64,
         mut emit: F,
     ) -> SweepStats
@@ -453,6 +478,7 @@ impl Scanner {
                         |pos, addr| {
                             let (record, micros) = self.probe_host_at_epoch(
                                 &epoch,
+                                certs,
                                 &mut stack,
                                 addr,
                                 self.config.port,
@@ -557,6 +583,7 @@ fn referral_seed(seed: u64, addr: Ipv4, port: u16) -> u64 {
 fn probe_host_on(
     internet: &Internet,
     config: &ScanConfig,
+    certs: &CertStore,
     stack: &mut [Box<dyn Probe>],
     addr: netsim::Ipv4,
     port: u16,
@@ -570,7 +597,7 @@ fn probe_host_on(
         internet.as_number(addr),
         internet.clock().now_unix_seconds(),
     );
-    let mut ctx = ProbeContext::for_target(internet, config, addr, port, seed);
+    let mut ctx = ProbeContext::for_target(internet, config, certs, addr, port, seed);
     for probe in stack.iter_mut() {
         if probe.run(&mut ctx, &mut record) == ProbeOutcome::Stop {
             break;

@@ -11,6 +11,7 @@ use crate::record::{EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSumma
 use crate::url::OpcUrl;
 use netsim::{Internet, Ipv4, TcpStreamSim};
 use ua_client::{traverse, ClientConfig, ClientError, TraversalBudget, UaClient};
+use ua_crypto::CertStore;
 use ua_proto::services::IdentityToken;
 use ua_types::{ApplicationDescription, ApplicationType, MessageSecurityMode, SecurityPolicy};
 
@@ -70,6 +71,10 @@ pub struct ProbeContext<'a> {
     pub internet: &'a Internet,
     /// Scan configuration.
     pub config: &'a ScanConfig,
+    /// Campaign-wide certificate interner: every certificate a probe
+    /// stage captures goes through it, so a certificate served by N
+    /// hosts is parsed and thumbprinted once.
+    pub certs: &'a CertStore,
     /// The target address.
     pub target: Ipv4,
     /// The target port (the sweep port, or whatever a referral named).
@@ -89,6 +94,7 @@ impl<'a> ProbeContext<'a> {
     pub fn for_target(
         internet: &'a Internet,
         config: &'a ScanConfig,
+        certs: &'a CertStore,
         target: Ipv4,
         port: u16,
         seed: u64,
@@ -96,6 +102,7 @@ impl<'a> ProbeContext<'a> {
         ProbeContext {
             internet,
             config,
+            certs,
             target,
             port,
             endpoint_url: format!("opc.tcp://{target}:{port}/"),
@@ -169,6 +176,7 @@ impl Probe for DiscoveryProbe {
 
     fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
         let url = ctx.endpoint_url.clone();
+        let certs = ctx.certs;
         let Some(client) = ctx.client.as_mut() else {
             return ProbeOutcome::Stop;
         };
@@ -189,7 +197,7 @@ impl Probe for DiscoveryProbe {
         }
         record.endpoints = endpoints
             .iter()
-            .map(EndpointSnapshot::from_description)
+            .map(|ep| EndpointSnapshot::from_description(ep, certs))
             .collect();
 
         // FindServers: collect discovery URLs pointing away from this

@@ -8,8 +8,9 @@
 //! crate consumes these records without ever touching the network layer.
 
 use netsim::Ipv4;
+use std::sync::Arc;
 use ua_client::Traversal;
-use ua_crypto::{der::DerError, Certificate};
+use ua_crypto::{CertStore, ParsedCert};
 use ua_types::{
     ApplicationType, EndpointDescription, MessageSecurityMode, NodeClass, SecurityPolicy,
     UserTokenType,
@@ -28,28 +29,36 @@ pub struct EndpointSnapshot {
     pub security_policy_uri: Option<String>,
     /// Offered identity token types (deduplicated, sorted).
     pub token_types: Vec<UserTokenType>,
-    /// The server certificate delivered during discovery, DER bytes.
-    pub certificate_der: Option<Vec<u8>>,
+    /// The server certificate delivered during discovery, interned
+    /// campaign-wide: a certificate served by N hosts is parsed and
+    /// thumbprinted once, and all N snapshots share one handle.
+    /// Equality compares the underlying DER bytes, so records stay
+    /// byte-identical across worker counts and store instances.
+    pub certificate: Option<Arc<ParsedCert>>,
     /// Server-assigned relative security level.
     pub security_level: u8,
 }
 
 impl EndpointSnapshot {
-    /// Captures the fields of one endpoint description.
-    pub fn from_description(ep: &EndpointDescription) -> Self {
+    /// Captures the fields of one endpoint description, interning the
+    /// delivered certificate through `certs`.
+    pub fn from_description(ep: &EndpointDescription, certs: &CertStore) -> Self {
         EndpointSnapshot {
             security_mode: ep.security_mode,
             security_policy: ep.security_policy(),
             security_policy_uri: ep.security_policy_uri.clone(),
             token_types: ep.token_types(),
-            certificate_der: ep.server_certificate.clone(),
+            certificate: ep
+                .server_certificate
+                .as_deref()
+                .map(|der| certs.intern(der)),
             security_level: ep.security_level,
         }
     }
 
-    /// Parses the delivered certificate, if any.
-    pub fn certificate(&self) -> Option<Result<Certificate, DerError>> {
-        self.certificate_der.as_deref().map(Certificate::from_der)
+    /// Raw DER bytes of the delivered certificate, if any.
+    pub fn certificate_der(&self) -> Option<&[u8]> {
+        self.certificate.as_deref().map(ParsedCert::der)
     }
 
     /// True if anonymous authentication is offered on this endpoint.
@@ -282,13 +291,19 @@ impl ScanRecord {
             .any(EndpointSnapshot::allows_anonymous)
     }
 
-    /// Distinct certificates (DER) delivered by this host.
-    pub fn certificates(&self) -> Vec<&[u8]> {
-        let mut seen: Vec<&[u8]> = Vec::new();
+    /// Distinct certificates delivered by this host, as interned
+    /// handles (parsed fields and thumbprint precomputed).
+    pub fn certificates(&self) -> Vec<&Arc<ParsedCert>> {
+        let mut seen: Vec<&Arc<ParsedCert>> = Vec::new();
         for ep in &self.endpoints {
-            if let Some(der) = ep.certificate_der.as_deref() {
-                if !seen.contains(&der) {
-                    seen.push(der);
+            if let Some(cert) = ep.certificate.as_ref() {
+                // Pointer equality is the common case (one store per
+                // campaign); DER equality covers mixed-store records.
+                if !seen
+                    .iter()
+                    .any(|s| Arc::ptr_eq(s, cert) || s.der() == cert.der())
+                {
+                    seen.push(cert);
                 }
             }
         }
@@ -331,30 +346,59 @@ mod tests {
     #[test]
     fn snapshot_captures_description() {
         let ep = endpoint(MessageSecurityMode::Sign, SecurityPolicy::Basic256);
-        let snap = EndpointSnapshot::from_description(&ep);
+        let certs = CertStore::new();
+        let snap = EndpointSnapshot::from_description(&ep, &certs);
         assert_eq!(snap.security_mode, MessageSecurityMode::Sign);
         assert_eq!(snap.security_policy, Some(SecurityPolicy::Basic256));
         assert!(snap.allows_anonymous());
-        assert_eq!(snap.certificate_der.as_deref(), Some(&[1u8, 2, 3][..]));
-        // Garbage DER parses to an error, not a panic.
-        assert!(snap.certificate().unwrap().is_err());
+        assert_eq!(snap.certificate_der(), Some(&[1u8, 2, 3][..]));
+        // Garbage DER interns to a handle without a parsed certificate,
+        // not a panic.
+        let handle = snap.certificate.as_ref().unwrap();
+        assert!(handle.certificate().is_none());
+        assert!(handle.parse_error().is_some());
+        assert_eq!(certs.stats().distinct, 1);
+    }
+
+    #[test]
+    fn snapshots_share_interned_certificates() {
+        let certs = CertStore::new();
+        let a = EndpointSnapshot::from_description(
+            &endpoint(MessageSecurityMode::Sign, SecurityPolicy::Basic256),
+            &certs,
+        );
+        let b = EndpointSnapshot::from_description(
+            &endpoint(MessageSecurityMode::None, SecurityPolicy::None),
+            &certs,
+        );
+        assert!(Arc::ptr_eq(
+            a.certificate.as_ref().unwrap(),
+            b.certificate.as_ref().unwrap()
+        ));
+        let stats = certs.stats();
+        assert_eq!(stats.sightings, 2);
+        assert_eq!(stats.distinct, 1);
     }
 
     #[test]
     fn best_and_worst_endpoint_by_strength() {
+        let certs = CertStore::new();
         let r = record_with(vec![
-            EndpointSnapshot::from_description(&endpoint(
-                MessageSecurityMode::None,
-                SecurityPolicy::None,
-            )),
-            EndpointSnapshot::from_description(&endpoint(
-                MessageSecurityMode::SignAndEncrypt,
-                SecurityPolicy::Basic256Sha256,
-            )),
-            EndpointSnapshot::from_description(&endpoint(
-                MessageSecurityMode::Sign,
-                SecurityPolicy::Basic128Rsa15,
-            )),
+            EndpointSnapshot::from_description(
+                &endpoint(MessageSecurityMode::None, SecurityPolicy::None),
+                &certs,
+            ),
+            EndpointSnapshot::from_description(
+                &endpoint(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ),
+                &certs,
+            ),
+            EndpointSnapshot::from_description(
+                &endpoint(MessageSecurityMode::Sign, SecurityPolicy::Basic128Rsa15),
+                &certs,
+            ),
         ]);
         assert_eq!(
             r.best_endpoint().unwrap().security_policy,
@@ -372,15 +416,19 @@ mod tests {
 
     #[test]
     fn certificates_deduplicated() {
-        let mut a = EndpointSnapshot::from_description(&endpoint(
-            MessageSecurityMode::None,
-            SecurityPolicy::None,
-        ));
-        a.certificate_der = Some(vec![9, 9]);
+        let certs = CertStore::new();
+        let mut a = EndpointSnapshot::from_description(
+            &endpoint(MessageSecurityMode::None, SecurityPolicy::None),
+            &certs,
+        );
+        a.certificate = Some(certs.intern(&[9, 9]));
         let b = a.clone();
         let mut c = a.clone();
-        c.certificate_der = Some(vec![7]);
-        let r = record_with(vec![a, b, c]);
+        // A second store instance: dedup must still work by DER bytes.
+        c.certificate = Some(CertStore::new().intern(&[9, 9]));
+        let mut d = a.clone();
+        d.certificate = Some(certs.intern(&[7]));
+        let r = record_with(vec![a, b, c, d]);
         assert_eq!(r.certificates().len(), 2);
     }
 

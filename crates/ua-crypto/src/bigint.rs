@@ -5,15 +5,34 @@
 //! paper. Limbs are `u64`, stored little-endian and normalized (no trailing
 //! zero limbs; zero is the empty limb vector).
 //!
-//! The implementation favours clarity and auditability over raw speed:
-//! schoolbook multiplication, Knuth Algorithm D division, binary GCD, and
-//! left-to-right square-and-multiply modular exponentiation. These are fast
-//! enough for the reduced key sizes the simulation uses (256–1024 bit) and
-//! correct for arbitrary sizes (tested up to 4096 bit).
+//! The hot paths are subquadratic where it pays off at campaign scale:
+//!
+//! * [`BigUint::mul`] switches from schoolbook to Karatsuba above
+//!   [`KARATSUBA_THRESHOLD`] limbs — the product tree of
+//!   [`crate::batch_gcd`] multiplies thousands of moduli into numbers far
+//!   past the threshold;
+//! * [`BigUint::sqr`] exploits the symmetry of squaring (~1.5× cheaper
+//!   than a general multiply), which the remainder tree and modular
+//!   exponentiation hit on every step;
+//! * [`BigUint::mod_pow`] runs 4-bit-windowed exponentiation in a
+//!   [`Montgomery`] context for odd moduli — zero divisions per step —
+//!   and falls back to the classic square-and-multiply
+//!   ([`BigUint::mod_pow_legacy`], one Knuth division per step) only for
+//!   even moduli. RSA moduli are odd, so signature verification and the
+//!   Miller–Rabin witnesses of [`crate::prime`] always take the fast
+//!   path. `crates/bench`'s `crypto` gate keeps both paths measurable.
+//!
+//! Division stays Knuth Algorithm D and GCD stays binary — correct for
+//! arbitrary sizes (tested up to 4096 bit) and auditable.
 
 use rand::Rng;
 use std::cmp::Ordering;
 use std::fmt;
+
+/// Limb count above which [`BigUint::mul`] switches to Karatsuba.
+/// Below ~32 limbs (2048 bits) the recursion overhead beats the saved
+/// limb products on current hardware.
+pub const KARATSUBA_THRESHOLD: usize = 32;
 
 /// An arbitrary-precision unsigned integer.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -76,26 +95,14 @@ impl BigUint {
     }
 
     /// Serializes to big-endian bytes without leading zeros (`0` → empty).
+    /// Sized exactly from the bit length: one allocation, no trimming.
     pub fn to_bytes_be(&self) -> Vec<u8> {
-        if self.is_zero() {
-            return Vec::new();
-        }
-        let mut out = Vec::with_capacity(self.limbs.len() * 8);
-        for (i, &limb) in self.limbs.iter().enumerate().rev() {
-            let bytes = limb.to_be_bytes();
-            if i == self.limbs.len() - 1 {
-                // Skip leading zeros of the most significant limb.
-                let mut skipping = true;
-                for &b in &bytes {
-                    if skipping && b == 0 {
-                        continue;
-                    }
-                    skipping = false;
-                    out.push(b);
-                }
-            } else {
-                out.extend_from_slice(&bytes);
-            }
+        let len = self.bit_length().div_ceil(8);
+        let mut out = vec![0u8; len];
+        for i in 0..len {
+            let limb = i / 8;
+            let shift = (i % 8) * 8;
+            out[len - 1 - i] = (self.limbs[limb] >> shift) as u8;
         }
         out
     }
@@ -130,19 +137,19 @@ impl BigUint {
         Some(Self::from_bytes_be(&bytes))
     }
 
-    /// Lowercase hex representation (`"0"` for zero).
+    /// Lowercase hex representation (`"0"` for zero). Sized exactly from
+    /// the bit length: one allocation, digits emitted in place.
     pub fn to_hex(&self) -> String {
         if self.is_zero() {
             return "0".into();
         }
-        let bytes = self.to_bytes_be();
-        let mut s = String::with_capacity(bytes.len() * 2);
-        for (i, b) in bytes.iter().enumerate() {
-            if i == 0 {
-                s.push_str(&format!("{b:x}"));
-            } else {
-                s.push_str(&format!("{b:02x}"));
-            }
+        let digits = self.bit_length().div_ceil(4);
+        let mut s = String::with_capacity(digits);
+        for i in (0..digits).rev() {
+            let limb = i / 16;
+            let shift = (i % 16) * 4;
+            let d = ((self.limbs[limb] >> shift) & 0xF) as u32;
+            s.push(char::from_digit(d, 16).expect("nibble in range"));
         }
         s
     }
@@ -230,31 +237,44 @@ impl BigUint {
         r
     }
 
-    /// `self * other` (schoolbook).
+    /// `self * other`: schoolbook below [`KARATSUBA_THRESHOLD`] limbs,
+    /// Karatsuba above it.
     pub fn mul(&self, other: &BigUint) -> BigUint {
         if self.is_zero() || other.is_zero() {
             return BigUint::zero();
         }
-        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            if a == 0 {
-                continue;
-            }
-            let mut carry = 0u128;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
-                out[i + j] = cur as u64;
-                carry = cur >> 64;
-            }
-            let mut k = i + other.limbs.len();
-            while carry != 0 {
-                let cur = out[k] as u128 + carry;
-                out[k] = cur as u64;
-                carry = cur >> 64;
-                k += 1;
-            }
+        let mut r = BigUint {
+            limbs: mul_limbs(&self.limbs, &other.limbs),
+        };
+        r.normalize();
+        r
+    }
+
+    /// `self * other` via schoolbook multiplication only, at any size.
+    /// The O(n²) reference path — kept public so the randomized tests
+    /// and the `crypto` bench can cross-check Karatsuba against it.
+    pub fn mul_schoolbook(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
         }
-        let mut r = BigUint { limbs: out };
+        let mut r = BigUint {
+            limbs: schoolbook_mul(&self.limbs, &other.limbs),
+        };
+        r.normalize();
+        r
+    }
+
+    /// `self * self`, exploiting the symmetry of squaring: the cross
+    /// products `aᵢ·aⱼ` (i≠j) are computed once and doubled, roughly
+    /// 1.5× cheaper than `self.mul(self)`. Karatsuba-split above the
+    /// threshold like [`Self::mul`].
+    pub fn sqr(&self) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut r = BigUint {
+            limbs: sqr_limbs(&self.limbs),
+        };
         r.normalize();
         r
     }
@@ -430,13 +450,51 @@ impl BigUint {
         self.div_rem(modulus).1
     }
 
-    /// `(self * other) mod modulus`.
+    /// `(self * other) mod modulus`, with fast paths when either operand
+    /// is zero or one (no multiply, at most one reduction).
     pub fn mul_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        if self.is_one() {
+            return other.rem(modulus);
+        }
+        if other.is_one() {
+            return self.rem(modulus);
+        }
         self.mul(other).rem(modulus)
     }
 
-    /// `self^exponent mod modulus` via left-to-right square-and-multiply.
+    /// `self^exponent mod modulus`.
+    ///
+    /// Odd moduli (every RSA modulus, every Miller–Rabin candidate) run
+    /// 4-bit-windowed exponentiation in a [`Montgomery`] context — zero
+    /// divisions per square/multiply step. Even moduli fall back to
+    /// [`Self::mod_pow_legacy`], the classic square-and-multiply with a
+    /// full division per step (Montgomery reduction needs
+    /// `gcd(modulus, 2⁶⁴) = 1`).
     pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        if exponent.is_zero() {
+            return BigUint::one();
+        }
+        match Montgomery::new(modulus) {
+            Some(ctx) => ctx.pow(self, exponent),
+            None => self.mod_pow_legacy(exponent, modulus),
+        }
+    }
+
+    /// `self^exponent mod modulus` via left-to-right square-and-multiply
+    /// with a schoolbook multiply and a full Knuth division per step —
+    /// the pre-Montgomery implementation, frozen (it deliberately does
+    /// *not* pick up the Karatsuba dispatch) so the `crypto` bench
+    /// measures the real before/after and the randomized tests have an
+    /// independent reference. Also the documented fallback for even
+    /// moduli, where [`Montgomery`] reduction is undefined.
+    pub fn mod_pow_legacy(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
@@ -448,9 +506,9 @@ impl BigUint {
         let mut result = BigUint::one();
         let bits = exponent.bit_length();
         for i in (0..bits).rev() {
-            result = result.mul_mod(&result, modulus);
+            result = result.mul_schoolbook(&result).rem(modulus);
             if exponent.bit(i) {
-                result = result.mul_mod(&base, modulus);
+                result = result.mul_schoolbook(&base).rem(modulus);
             }
         }
         result
@@ -574,6 +632,365 @@ impl BigUint {
                 return r;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limb-slice multiplication kernels
+// ---------------------------------------------------------------------------
+//
+// These operate on raw little-endian limb slices (trailing zeros allowed)
+// so Karatsuba can recurse on sub-slices without constructing
+// intermediate `BigUint`s.
+
+/// Schoolbook product; output has exactly `a.len() + b.len()` limbs
+/// (possibly with trailing zeros).
+fn schoolbook_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        out[i + b.len()] = carry as u64;
+    }
+    out
+}
+
+/// Schoolbook square: cross products computed once and doubled, then the
+/// diagonal squares added — ~1.5× cheaper than `schoolbook_mul(a, a)`.
+fn schoolbook_sqr(a: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    let mut out = vec![0u64; 2 * n];
+    // Off-diagonal products a[i]·a[j], i < j.
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for j in (i + 1)..n {
+            let cur = out[i + j] as u128 + (a[i] as u128) * (a[j] as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        out[i + n] = carry as u64;
+    }
+    // Double them.
+    let carry = shl1_in_place(&mut out);
+    debug_assert_eq!(carry, 0);
+    // Add the diagonal squares.
+    let mut carry = 0u64;
+    for (i, &ai) in a.iter().enumerate() {
+        let sq = (ai as u128) * (ai as u128);
+        let lo = out[2 * i] as u128 + (sq as u64 as u128) + carry as u128;
+        out[2 * i] = lo as u64;
+        let hi = out[2 * i + 1] as u128 + ((sq >> 64) as u64 as u128) + (lo >> 64);
+        out[2 * i + 1] = hi as u64;
+        carry = (hi >> 64) as u64;
+    }
+    debug_assert_eq!(carry, 0);
+    out
+}
+
+/// Shifts the limbs left by one bit in place, returning the bit
+/// carried out of the top.
+fn shl1_in_place(limbs: &mut [u64]) -> u64 {
+    let mut carry = 0u64;
+    for limb in limbs.iter_mut() {
+        let next = *limb >> 63;
+        *limb = (*limb << 1) | carry;
+        carry = next;
+    }
+    carry
+}
+
+/// Limb-wise sum of two slices (lengths may differ).
+fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &l) in long.iter().enumerate() {
+        let bi = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = l.overflowing_add(bi);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out.push(s2);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    out.push(carry);
+    out
+}
+
+/// `a -= b` in place; the caller guarantees `a >= b`.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, limb) in a.iter_mut().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = limb.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *limb = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+        if borrow == 0 && i >= b.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "limb subtraction underflow");
+}
+
+/// `out[offset..] += add`, propagating the carry. The caller guarantees
+/// the sum fits in `out`.
+fn add_at(out: &mut [u64], add: &[u64], offset: usize) {
+    // Trailing zero limbs carry no value but would index past `out`.
+    let mut len = add.len();
+    while len > 0 && add[len - 1] == 0 {
+        len -= 1;
+    }
+    let mut carry = 0u64;
+    for i in 0..len {
+        let (s1, c1) = out[offset + i].overflowing_add(add[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out[offset + i] = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    let mut k = offset + len;
+    while carry != 0 {
+        let (s, c) = out[k].overflowing_add(carry);
+        out[k] = s;
+        carry = c as u64;
+        k += 1;
+    }
+}
+
+/// Karatsuba dispatch; output has exactly `a.len() + b.len()` limbs.
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        return schoolbook_mul(a, b);
+    }
+    // Split both operands at the same point (half of the shorter one):
+    // a = a0 + a1·B^s, b = b0 + b1·B^s.
+    let split = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(split);
+    let (b0, b1) = b.split_at(split);
+    let z0 = mul_limbs(a0, b0);
+    let z2 = mul_limbs(a1, b1);
+    // z1 = (a0+a1)(b0+b1) − z0 − z2 = a0·b1 + a1·b0.
+    let mut z1 = mul_limbs(&add_slices(a0, a1), &add_slices(b0, b1));
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_at(&mut out, &z0, 0);
+    add_at(&mut out, &z1, split);
+    add_at(&mut out, &z2, 2 * split);
+    out
+}
+
+/// Karatsuba-split squaring; output has exactly `2 * a.len()` limbs.
+fn sqr_limbs(a: &[u64]) -> Vec<u64> {
+    if a.len() < KARATSUBA_THRESHOLD {
+        return schoolbook_sqr(a);
+    }
+    let split = a.len() / 2;
+    let (a0, a1) = a.split_at(split);
+    let z0 = sqr_limbs(a0);
+    let z2 = sqr_limbs(a1);
+    // (a0 + a1·B^s)² = z0 + 2·a0·a1·B^s + z2·B^(2s)
+    let mut z1 = mul_limbs(a0, a1);
+    let carry = shl1_in_place(&mut z1);
+    z1.push(carry);
+    let mut out = vec![0u64; 2 * a.len()];
+    add_at(&mut out, &z0, 0);
+    add_at(&mut out, &z1, split);
+    add_at(&mut out, &z2, 2 * split);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery modular arithmetic
+// ---------------------------------------------------------------------------
+
+/// Precomputed context for modular arithmetic over an **odd** modulus
+/// `n` in Montgomery form (`x·R mod n` with `R = 2^(64k)`, `k` the limb
+/// count of `n`).
+///
+/// Construction precomputes `n' = −n⁻¹ mod 2⁶⁴` (one Newton–Hensel
+/// iteration chain, no division) and `R² mod n` (one division, paid once
+/// per modulus). Every subsequent multiply/square is a CIOS Montgomery
+/// reduction: pure limb arithmetic, zero divisions — the reason
+/// [`BigUint::mod_pow`] beats [`BigUint::mod_pow_legacy`] by an order of
+/// magnitude at RSA sizes.
+///
+/// [`Montgomery::pow`] runs left-to-right 4-bit-windowed exponentiation
+/// (a 16-entry table, four squarings plus at most one multiply per
+/// window) and reuses two scratch buffers across all steps, so a full
+/// 2048-bit exponentiation performs no allocation inside the loop.
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    modulus: BigUint,
+    /// Modulus limbs (length `k`, top limb nonzero).
+    n: Vec<u64>,
+    /// `−n⁻¹ mod 2⁶⁴`.
+    n0_inv: u64,
+    /// `R² mod n`, zero-padded to `k` limbs.
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Builds a context for `modulus`; `None` when the modulus is even
+    /// or smaller than 2 (Montgomery reduction requires
+    /// `gcd(modulus, 2⁶⁴) = 1` — callers fall back to
+    /// [`BigUint::mod_pow_legacy`]).
+    pub fn new(modulus: &BigUint) -> Option<Montgomery> {
+        if modulus.is_even() || modulus.is_one() {
+            return None;
+        }
+        let k = modulus.limbs.len();
+        // Newton–Hensel inversion of n₀ mod 2⁶⁴: each step doubles the
+        // number of correct low bits; 6 steps from a 1-bit seed cover 64.
+        let n0 = modulus.limbs[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let mut r2 = BigUint::one().shl(128 * k).rem(modulus).limbs;
+        r2.resize(k, 0);
+        Some(Montgomery {
+            modulus: modulus.clone(),
+            n: modulus.limbs.clone(),
+            n0_inv: inv.wrapping_neg(),
+            r2,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Fused (FIOS-style) Montgomery multiplication:
+    /// `out = a·b·R⁻¹ mod n`. The multiply-accumulate and the reduction
+    /// run in one pass per outer limb with two independent carry
+    /// chains, halving the traversals of the scratch accumulator.
+    /// `a`, `b`, `out` are `k`-limb Montgomery-domain values; `t` is a
+    /// reusable scratch buffer of `k + 2` limbs.
+    fn mont_mul(&self, a: &[u64], b: &[u64], t: &mut [u64], out: &mut [u64]) {
+        let k = self.n.len();
+        let n = &self.n[..k];
+        let b = &b[..k];
+        let t = &mut t[..k + 1];
+        t.fill(0);
+        for &ai in &a[..k] {
+            // Column 0 decides the reduction multiplier m, chosen so the
+            // low limb of t + ai·b + m·n vanishes.
+            let c0 = t[0] as u128 + (ai as u128) * (b[0] as u128);
+            let m = (c0 as u64).wrapping_mul(self.n0_inv);
+            let r0 = (c0 as u64) as u128 + (m as u128) * (n[0] as u128);
+            debug_assert_eq!(r0 as u64, 0);
+            let mut carry_mul = c0 >> 64; // carry of the ai·b column sums
+            let mut carry_red = r0 >> 64; // carry of the m·n reduction
+            for j in 1..k {
+                let cur = t[j] as u128 + (ai as u128) * (b[j] as u128) + carry_mul;
+                carry_mul = cur >> 64;
+                let red = (cur as u64) as u128 + (m as u128) * (n[j] as u128) + carry_red;
+                carry_red = red >> 64;
+                t[j - 1] = red as u64;
+            }
+            // Fold both carries into the (shifted) top; the CIOS bound
+            // t < 2n keeps the overflow limb in {0, 1}.
+            let top = t[k] as u128 + carry_mul + carry_red;
+            t[k - 1] = top as u64;
+            t[k] = (top >> 64) as u64;
+        }
+        // Result in t[0..k] with a possible overflow bit in t[k]:
+        // conditionally subtract n once.
+        let ge = t[k] != 0 || {
+            let mut ge = true; // equal counts as ≥
+            for j in (0..k).rev() {
+                match t[j].cmp(&n[j]) {
+                    Ordering::Greater => break,
+                    Ordering::Less => {
+                        ge = false;
+                        break;
+                    }
+                    Ordering::Equal => {}
+                }
+            }
+            ge
+        };
+        if ge {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = t[j].overflowing_sub(n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            debug_assert_eq!(borrow, t[k]);
+        } else {
+            out.copy_from_slice(&t[..k]);
+        }
+    }
+
+    /// `base^exponent mod n` via 4-bit-windowed Montgomery
+    /// exponentiation.
+    pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if exponent.is_zero() {
+            return BigUint::one();
+        }
+        let k = self.n.len();
+        let mut scratch = vec![0u64; k + 2];
+        let mut tmp = vec![0u64; k];
+
+        // Enter the Montgomery domain: x·R = mont_mul(x, R²).
+        let mut base_limbs = base.rem(&self.modulus).limbs;
+        base_limbs.resize(k, 0);
+        let mut base_m = vec![0u64; k];
+        self.mont_mul(&base_limbs, &self.r2, &mut scratch, &mut base_m);
+        let mut one_limbs = vec![0u64; k];
+        one_limbs[0] = 1;
+        let mut one_m = vec![0u64; k];
+        self.mont_mul(&one_limbs, &self.r2, &mut scratch, &mut one_m);
+
+        // table[w] = base^w in the Montgomery domain.
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(16);
+        table.push(one_m);
+        for w in 1..16 {
+            let mut next = vec![0u64; k];
+            self.mont_mul(&table[w - 1], &base_m, &mut scratch, &mut next);
+            table.push(next);
+        }
+
+        let bits = exponent.bit_length();
+        let windows = bits.div_ceil(4);
+        let window_at = |w: usize| -> usize {
+            let bit = 4 * w;
+            let limb = bit / 64;
+            let shift = bit % 64; // 4 | 64, so a window never straddles limbs
+            ((exponent.limbs.get(limb).copied().unwrap_or(0) >> shift) & 0xF) as usize
+        };
+
+        let mut acc = table[window_at(windows - 1)].clone();
+        for w in (0..windows - 1).rev() {
+            for _ in 0..4 {
+                self.mont_mul(&acc, &acc, &mut scratch, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let digit = window_at(w);
+            if digit != 0 {
+                self.mont_mul(&acc, &table[digit], &mut scratch, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+
+        // Leave the Montgomery domain: x = mont_mul(x·R, 1).
+        self.mont_mul(&acc, &one_limbs, &mut scratch, &mut tmp);
+        let mut out = BigUint { limbs: tmp };
+        out.normalize();
+        out
     }
 }
 

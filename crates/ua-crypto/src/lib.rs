@@ -8,14 +8,23 @@
 //! prime factors. Reproducing that requires a real (if scaled-down) crypto
 //! stack, implemented here from scratch:
 //!
-//! * [`bigint`] — arbitrary-precision unsigned integers;
+//! * [`bigint`] — arbitrary-precision unsigned integers: Karatsuba
+//!   multiplication above [`bigint::KARATSUBA_THRESHOLD`], a dedicated
+//!   squaring path, and [`Montgomery`]-form windowed exponentiation for
+//!   odd moduli (the legacy division-per-step path stays available as
+//!   [`BigUint::mod_pow_legacy`] for even moduli and benchmarking);
 //! * [`prime`] — Miller–Rabin primality testing and prime generation;
-//! * [`rsa`] — RSA keys, PKCS#1-style signatures, and encryption;
+//! * [`rsa`] — RSA keys, PKCS#1-style signatures, and encryption
+//!   (verification rides the Montgomery `mod_pow` path);
 //! * [`hash`] — MD5 / SHA-1 / SHA-256, HMAC, and the OPC UA `P_SHA` KDF;
 //! * [`der`] — a minimal DER-style TLV codec;
-//! * [`x509`] — X.509-like application-instance certificates;
+//! * [`x509`] — X.509-like application-instance certificates, plus the
+//!   campaign-wide [`CertStore`] interner: a certificate served by N
+//!   hosts is parsed/thumbprinted/identity-checked once, not N times;
 //! * [`batch_gcd`] — pairwise and product-tree shared-prime detection
-//!   (Heninger et al.), used for the §5.3 weak-key analysis.
+//!   (Heninger et al.), used for the §5.3 weak-key analysis; the tree
+//!   runs on the Karatsuba/squaring kernels and consumes deduplicated
+//!   moduli.
 //!
 //! ## Security note
 //!
@@ -36,9 +45,14 @@ pub mod rsa;
 pub mod x509;
 
 pub use aes::{cbc_decrypt, cbc_encrypt, Aes, AesError};
-pub use batch_gcd::{batch_gcd, find_shared_factors, pairwise_shared_factors, SharedFactor};
-pub use bigint::BigUint;
+pub use batch_gcd::{
+    batch_gcd, find_shared_factors, pairwise_shared_factors, ProductTree, SharedFactor,
+};
+pub use bigint::{BigUint, Montgomery};
 pub use hash::{hmac, md5, p_sha, sha1, sha256, HashAlgorithm};
 pub use prime::{generate_prime, is_probable_prime};
 pub use rsa::{RsaError, RsaPrivateKey, RsaPublicKey};
-pub use x509::{Certificate, CertificateBuilder, DistinguishedName, TbsCertificate};
+pub use x509::{
+    CertStore, CertStoreStats, Certificate, CertificateBuilder, DistinguishedName, ParsedCert,
+    TbsCertificate,
+};

@@ -4,6 +4,13 @@
 //! encryption) is RSA-based. This module provides a from-scratch RSA over
 //! [`crate::bigint::BigUint`].
 //!
+//! Every raw RSA operation (`m^e mod n`, `c^d mod n`) goes through
+//! [`BigUint::mod_pow`], which — RSA moduli being odd — always takes the
+//! windowed [`crate::bigint::Montgomery`] path: zero divisions per
+//! square/multiply step. At campaign scale this is what makes
+//! verifying thousands of certificate signatures (and the Miller–Rabin
+//! tests behind key generation) cheap.
+//!
 //! # Nominal vs. actual key size
 //!
 //! The paper assesses key lengths of 1024/2048/4096 bits (Table 1). Real

@@ -6,11 +6,25 @@
 //! hash function, (nominal) key length, self- vs. CA-signed, validity
 //! window (`NotBefore`), per-host reuse (by thumbprint), and shared prime
 //! factors. This module models exactly those properties.
+//!
+//! ## Campaign-wide interning
+//!
+//! The paper found certificates massively *reused*: one certificate can
+//! be served by 1,000+ hosts (§5.2). A scanner that re-parses and
+//! re-hashes the same DER once per host does the same cryptographic work
+//! N times over. [`CertStore`] interns certificates by their DER bytes:
+//! the first sighting parses, thumbprints, and self-signature-checks the
+//! certificate into an [`Arc<ParsedCert>`]; every later sighting is a
+//! map hit handing out the same `Arc`. Because a [`ParsedCert`] is a
+//! pure function of the DER, interning is order- and thread-insensitive
+//! — the scanner's worker-count byte-identity guarantee survives it.
 
 use crate::bigint::BigUint;
 use crate::der::{tag, DerError, Reader, Writer};
 use crate::hash::{sha1, to_hex, HashAlgorithm};
 use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A distinguished name, reduced to the fields the study inspects.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
@@ -336,6 +350,177 @@ impl CertificateBuilder {
     }
 }
 
+/// A certificate parsed, thumbprinted, and identity-checked exactly
+/// once, shared by every host that serves the same DER bytes.
+///
+/// Precomputed at intern time:
+///
+/// * the SHA-1 thumbprint of the DER (what OPC UA identifies
+///   certificates by, and what reuse clustering keys on);
+/// * the parsed [`Certificate`] (or the parse error, for hosts serving
+///   garbage where a certificate belongs);
+/// * the self-signed verdict — an RSA verification, by far the most
+///   expensive per-certificate step, now paid once per *distinct*
+///   certificate instead of once per host.
+pub struct ParsedCert {
+    der: Vec<u8>,
+    thumbprint: [u8; 20],
+    parsed: Result<Certificate, DerError>,
+    self_signed: bool,
+}
+
+impl ParsedCert {
+    /// Parses and thumbprints `der`. Never fails: unparseable bytes
+    /// yield a handle whose [`Self::certificate`] is `None` (the
+    /// assessment treats those hosts as serving no usable certificate).
+    pub fn parse(der: Vec<u8>) -> ParsedCert {
+        let thumbprint = sha1(&der);
+        let parsed = Certificate::from_der(&der);
+        let self_signed = parsed.as_ref().map(Certificate::is_self_signed) == Ok(true);
+        ParsedCert {
+            der,
+            thumbprint,
+            parsed,
+            self_signed,
+        }
+    }
+
+    /// The raw DER bytes as delivered.
+    pub fn der(&self) -> &[u8] {
+        &self.der
+    }
+
+    /// SHA-1 thumbprint of the DER bytes.
+    pub fn thumbprint(&self) -> [u8; 20] {
+        self.thumbprint
+    }
+
+    /// Thumbprint as lowercase hex.
+    pub fn thumbprint_hex(&self) -> String {
+        to_hex(&self.thumbprint)
+    }
+
+    /// The parsed certificate, `None` when the DER did not parse.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        self.parsed.as_ref().ok()
+    }
+
+    /// The parse error, `None` when the DER parsed cleanly.
+    pub fn parse_error(&self) -> Option<&DerError> {
+        self.parsed.as_ref().err()
+    }
+
+    /// The RSA modulus of the subject key, `None` for unparseable DER.
+    pub fn modulus(&self) -> Option<&BigUint> {
+        self.certificate().map(|c| &c.tbs.public_key.n)
+    }
+
+    /// Precomputed self-signed verdict (`false` for unparseable DER).
+    pub fn is_self_signed(&self) -> bool {
+        self.self_signed
+    }
+}
+
+impl PartialEq for ParsedCert {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything else is derived from the DER.
+        self.der == other.der
+    }
+}
+
+impl Eq for ParsedCert {}
+
+impl std::hash::Hash for ParsedCert {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.der.hash(state);
+    }
+}
+
+impl std::fmt::Debug for ParsedCert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParsedCert")
+            .field("thumbprint", &self.thumbprint_hex())
+            .field("der_len", &self.der.len())
+            .field("parsed", &self.parsed.is_ok())
+            .field("self_signed", &self.self_signed)
+            .finish()
+    }
+}
+
+/// Observability counters of a [`CertStore`]: how many certificates
+/// were sighted versus how many were actually distinct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertStoreStats {
+    /// Intern calls — one per certificate-bearing endpoint snapshot.
+    pub sightings: u64,
+    /// Distinct DER payloads behind those sightings.
+    pub distinct: u64,
+}
+
+impl CertStoreStats {
+    /// Share of sightings served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.sightings == 0 {
+            0.0
+        } else {
+            1.0 - self.distinct as f64 / self.sightings as f64
+        }
+    }
+}
+
+/// A campaign-wide certificate interner keyed by DER bytes.
+///
+/// Thread-safe behind a single mutex whose critical section is only a
+/// map probe/insert — the expensive work (DER parse, thumbprint, RSA
+/// self-signature check) runs *outside* the lock, so scanner shards
+/// never stall behind each other's parses. Two shards racing on the
+/// same fresh DER may both parse it; the first insert wins, and since
+/// a [`ParsedCert`] is a pure function of the DER the loser's handle
+/// is an equal value — determinism is unaffected.
+#[derive(Debug, Default)]
+pub struct CertStore {
+    inner: Mutex<CertStoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct CertStoreInner {
+    by_der: HashMap<Vec<u8>, Arc<ParsedCert>>,
+    sightings: u64,
+}
+
+impl CertStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `der`: parses and hashes on first sighting, hands out the
+    /// shared handle on every later one.
+    pub fn intern(&self, der: &[u8]) -> Arc<ParsedCert> {
+        {
+            let mut inner = self.inner.lock().expect("cert store poisoned");
+            inner.sightings += 1;
+            if let Some(hit) = inner.by_der.get(der) {
+                return Arc::clone(hit);
+            }
+        }
+        // Miss: parse without holding the lock, then insert
+        // first-wins.
+        let parsed = Arc::new(ParsedCert::parse(der.to_vec()));
+        let mut inner = self.inner.lock().expect("cert store poisoned");
+        Arc::clone(inner.by_der.entry(der.to_vec()).or_insert(parsed))
+    }
+
+    /// Current sighting/distinct counters.
+    pub fn stats(&self) -> CertStoreStats {
+        let inner = self.inner.lock().expect("cert store poisoned");
+        CertStoreStats {
+            sightings: inner.sightings,
+            distinct: inner.by_der.len() as u64,
+        }
+    }
+}
+
 fn hash_alg_code(alg: HashAlgorithm) -> u64 {
     match alg {
         HashAlgorithm::Md5 => 1,
@@ -459,6 +644,61 @@ mod tests {
         let mut der = sample_cert(&key, HashAlgorithm::Sha256).to_der();
         der.truncate(der.len() / 2);
         assert!(Certificate::from_der(&der).is_err());
+    }
+
+    #[test]
+    fn cert_store_interns_by_der() {
+        let key = test_key(11);
+        let cert = sample_cert(&key, HashAlgorithm::Sha256);
+        let der = cert.to_der();
+        let other = sample_cert(&key, HashAlgorithm::Sha1).to_der();
+
+        let store = CertStore::new();
+        let a = store.intern(&der);
+        let b = store.intern(&der);
+        let c = store.intern(&other);
+        assert!(Arc::ptr_eq(&a, &b), "same DER must share one handle");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.thumbprint(), cert.thumbprint());
+        assert_eq!(a.certificate().unwrap(), &cert);
+        assert!(a.is_self_signed());
+        assert_eq!(a.modulus(), Some(&key.public.n));
+
+        let stats = store.stats();
+        assert_eq!(stats.sightings, 3);
+        assert_eq!(stats.distinct, 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cert_store_survives_garbage() {
+        let store = CertStore::new();
+        let junk = store.intern(&[1, 2, 3]);
+        assert!(junk.certificate().is_none());
+        assert!(junk.parse_error().is_some());
+        assert!(!junk.is_self_signed());
+        assert_eq!(junk.modulus(), None);
+        assert_eq!(junk.thumbprint(), sha1(&[1, 2, 3]));
+        assert_eq!(store.stats().distinct, 1);
+    }
+
+    #[test]
+    fn cert_store_is_deterministic_across_threads() {
+        let key = test_key(12);
+        let der = sample_cert(&key, HashAlgorithm::Sha256).to_der();
+        let store = CertStore::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(store.intern(&der).thumbprint(), sha1(&der));
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.sightings, 32);
+        assert_eq!(stats.distinct, 1);
     }
 
     #[test]

@@ -236,80 +236,66 @@ pub fn seal_symmetric(
     seq: SequenceHeader,
     body: &[u8],
 ) -> Result<Vec<u8>, SecureError> {
-    let mut plain = Encoder::new();
-    seq.encode(&mut plain);
-    plain.raw(body);
-    let plaintext = plain.finish();
+    // The plaintext is seq || body; it is encoded directly into the
+    // output frame (no staging buffer) and the header size patched in
+    // afterwards — one allocation per sealed chunk for None/Sign.
+    let write_frame = |w: &mut Encoder, total: usize| {
+        MessageHeader {
+            message_type,
+            chunk,
+            size: total as u32,
+        }
+        .encode(w);
+        w.u32(channel_id);
+        w.u32(token_id);
+    };
 
     match mode {
         MessageSecurityMode::None | MessageSecurityMode::Invalid => {
-            let total = HEADER_SIZE + 8 + plaintext.len();
-            let mut w = Encoder::new();
-            MessageHeader {
-                message_type,
-                chunk,
-                size: total as u32,
-            }
-            .encode(&mut w);
-            w.u32(channel_id);
-            w.u32(token_id);
-            w.raw(&plaintext);
+            let total = HEADER_SIZE + 8 + 8 + body.len();
+            let mut w = Encoder::with_capacity(total);
+            write_frame(&mut w, total);
+            seq.encode(&mut w);
+            w.raw(body);
             Ok(w.finish())
         }
         MessageSecurityMode::Sign => {
             let keys = keys.ok_or(SecureError::MissingKeys)?;
             let params = policy_crypto(policy).ok_or(SecureError::PolicyMismatch)?;
             let sig_len = params.kdf_hash.digest_len();
-            let total = HEADER_SIZE + 8 + plaintext.len() + sig_len;
-            let mut w = Encoder::new();
-            MessageHeader {
-                message_type,
-                chunk,
-                size: total as u32,
-            }
-            .encode(&mut w);
-            w.u32(channel_id);
-            w.u32(token_id);
-            w.raw(&plaintext);
-            let sig = hmac(params.kdf_hash, &keys.signing, &w_clone_bytes(&w));
-            let mut out = w;
-            out.raw(&sig);
-            Ok(out.finish())
+            let total = HEADER_SIZE + 8 + 8 + body.len() + sig_len;
+            let mut w = Encoder::with_capacity(total);
+            write_frame(&mut w, total);
+            seq.encode(&mut w);
+            w.raw(body);
+            let sig = hmac(params.kdf_hash, &keys.signing, w.as_bytes());
+            w.raw(&sig);
+            Ok(w.finish())
         }
         MessageSecurityMode::SignAndEncrypt => {
             let keys = keys.ok_or(SecureError::MissingKeys)?;
             let params = policy_crypto(policy).ok_or(SecureError::PolicyMismatch)?;
             let sig_len = params.kdf_hash.digest_len();
+            let plain_len = 8 + body.len();
             // PKCS#7 pads to the next 16-byte boundary, always adding 1–16.
-            let enc_len = ((plaintext.len() + sig_len) / 16 + 1) * 16;
+            let enc_len = ((plain_len + sig_len) / 16 + 1) * 16;
             let total = HEADER_SIZE + 8 + enc_len;
-            let mut signed = Encoder::new();
-            MessageHeader {
-                message_type,
-                chunk,
-                size: total as u32,
-            }
-            .encode(&mut signed);
-            signed.u32(channel_id);
-            signed.u32(token_id);
-            signed.raw(&plaintext);
-            let sig = hmac(params.kdf_hash, &keys.signing, &w_clone_bytes(&signed));
+            let mut w = Encoder::with_capacity(HEADER_SIZE + 8 + plain_len.max(enc_len));
+            write_frame(&mut w, total);
+            seq.encode(&mut w);
+            w.raw(body);
+            let sig = hmac(params.kdf_hash, &keys.signing, w.as_bytes());
 
-            let mut to_encrypt = plaintext;
+            let mut to_encrypt = Vec::with_capacity(plain_len + sig_len);
+            to_encrypt.extend_from_slice(&w.as_bytes()[HEADER_SIZE + 8..]);
             to_encrypt.extend_from_slice(&sig);
             let ciphertext = cbc_encrypt(&keys.encryption, &keys.iv, &to_encrypt)
                 .map_err(|_| SecureError::DecryptFailed)?;
             debug_assert_eq!(ciphertext.len(), enc_len);
 
-            let mut w = Encoder::new();
-            MessageHeader {
-                message_type,
-                chunk,
-                size: total as u32,
-            }
-            .encode(&mut w);
-            w.u32(channel_id);
-            w.u32(token_id);
+            // Reuse the frame buffer for the encrypted output.
+            w.reset();
+            write_frame(&mut w, total);
             w.raw(&ciphertext);
             Ok(w.finish())
         }
@@ -383,7 +369,7 @@ pub fn open_symmetric(
         signed.u32(channel_id);
         signed.u32(token_id);
         signed.raw(&content);
-        let expected = hmac(params.kdf_hash, &keys.signing, &w_clone_bytes(&signed));
+        let expected = hmac(params.kdf_hash, &keys.signing, signed.as_bytes());
         if expected != sig {
             return Err(SecureError::BadSignature);
         }
@@ -473,7 +459,7 @@ pub fn seal_asymmetric<R: rand::Rng + ?Sized>(
     signed.u32(channel_id);
     signed.raw(&sec_bytes);
     signed.raw(&plaintext);
-    let signature = sender_key.sign(sig_hash, &w_clone_bytes(&signed));
+    let signature = sender_key.sign(sig_hash, signed.as_bytes());
     debug_assert_eq!(signature.len(), sig_len);
 
     // Encrypt plaintext || signature in RSA blocks.
@@ -593,7 +579,7 @@ pub fn open_asymmetric(
     if !sender_cert
         .tbs
         .public_key
-        .verify(sig_hash, &w_clone_bytes(&signed), signature)
+        .verify(sig_hash, signed.as_bytes(), signature)
     {
         return Err(SecureError::BadSignature);
     }
@@ -613,11 +599,6 @@ pub fn open_asymmetric(
         security_header: sec_header,
         sender_certificate: Some(sender_cert),
     })
-}
-
-/// Snapshot of an encoder's bytes without consuming it.
-fn w_clone_bytes(w: &Encoder) -> Vec<u8> {
-    w.as_bytes().to_vec()
 }
 
 #[cfg(test)]

@@ -310,42 +310,43 @@ pub enum TransportMessage {
 impl TransportMessage {
     /// Serializes the message with its header.
     pub fn encode(&self) -> Vec<u8> {
-        let (message_type, chunk, body) = match self {
-            TransportMessage::Hello(h) => {
-                let mut w = Encoder::new();
-                h.encode_body(&mut w);
-                (MessageType::Hello, ChunkKind::Final, w.finish())
-            }
-            TransportMessage::Acknowledge(a) => {
-                let mut w = Encoder::new();
-                a.encode_body(&mut w);
-                (MessageType::Acknowledge, ChunkKind::Final, w.finish())
-            }
-            TransportMessage::Error(e) => {
-                let mut w = Encoder::new();
-                e.encode_body(&mut w);
-                (MessageType::Error, ChunkKind::Final, w.finish())
-            }
-            TransportMessage::ReverseHello(r) => {
-                let mut w = Encoder::new();
-                r.encode_body(&mut w);
-                (MessageType::ReverseHello, ChunkKind::Final, w.finish())
-            }
+        let mut w = Encoder::new();
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Appends one complete frame (header plus body) to `w` — encode
+    /// loops reuse a single [`Encoder::reset`] buffer across messages
+    /// instead of allocating per message. The header is written first
+    /// with a placeholder size and patched once the body length is
+    /// known, so the body is never staged in a separate buffer.
+    pub fn encode_into(&self, w: &mut Encoder) {
+        let start = w.len();
+        let (message_type, chunk) = match self {
+            TransportMessage::Hello(_) => (MessageType::Hello, ChunkKind::Final),
+            TransportMessage::Acknowledge(_) => (MessageType::Acknowledge, ChunkKind::Final),
+            TransportMessage::Error(_) => (MessageType::Error, ChunkKind::Final),
+            TransportMessage::ReverseHello(_) => (MessageType::ReverseHello, ChunkKind::Final),
             TransportMessage::Chunk {
                 message_type,
                 chunk,
-                body,
-            } => (*message_type, *chunk, body.clone()),
+                ..
+            } => (*message_type, *chunk),
         };
-        let mut w = Encoder::new();
         MessageHeader {
             message_type,
             chunk,
-            size: (HEADER_SIZE + body.len()) as u32,
+            size: 0, // patched below
         }
-        .encode(&mut w);
-        w.raw(&body);
-        w.finish()
+        .encode(w);
+        match self {
+            TransportMessage::Hello(h) => h.encode_body(w),
+            TransportMessage::Acknowledge(a) => a.encode_body(w),
+            TransportMessage::Error(e) => e.encode_body(w),
+            TransportMessage::ReverseHello(r) => r.encode_body(w),
+            TransportMessage::Chunk { body, .. } => w.raw(body),
+        }
+        w.patch_u32(start + 4, (w.len() - start) as u32);
     }
 
     /// Parses one complete message (header plus body).
@@ -481,6 +482,28 @@ mod tests {
         let bytes = msg.encode();
         assert_eq!(&bytes[0..4], b"MSGC");
         assert_eq!(TransportMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn encode_into_reuses_one_buffer_across_messages() {
+        // One reset-reused encoder must produce byte-identical frames to
+        // per-message encode() calls.
+        let messages = [
+            TransportMessage::Hello(Hello::default()),
+            TransportMessage::Acknowledge(Acknowledge::default()),
+            TransportMessage::Chunk {
+                message_type: MessageType::Msg,
+                chunk: ChunkKind::Final,
+                body: vec![9; 300],
+            },
+        ];
+        let mut w = Encoder::with_capacity(512);
+        for msg in &messages {
+            w.reset();
+            msg.encode_into(&mut w);
+            assert_eq!(w.as_bytes(), msg.encode().as_slice());
+            assert_eq!(TransportMessage::decode(w.as_bytes()).unwrap(), *msg);
+        }
     }
 
     #[test]

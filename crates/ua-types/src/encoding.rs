@@ -73,6 +73,31 @@ impl Encoder {
         }
     }
 
+    /// Creates an empty encoder with `capacity` bytes pre-allocated —
+    /// callers that know the final frame size encode with exactly one
+    /// allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Clears the encoder for reuse, keeping the allocation. Encode
+    /// loops (chunking, per-message transport framing) reset one
+    /// encoder per iteration instead of allocating a fresh buffer.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Overwrites 4 already-written bytes at `pos` with `v`
+    /// little-endian — how framers patch a size field into a header
+    /// once the body length is known, without encoding the body into a
+    /// separate buffer first. Panics if `pos + 4` exceeds the bytes
+    /// written so far.
+    pub fn patch_u32(&mut self, pos: usize, v: u32) {
+        self.buf[pos..pos + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     /// Finishes encoding, returning the bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -408,6 +433,36 @@ mod tests {
         assert_eq!(r.f32().unwrap(), 1.5);
         assert_eq!(r.f64().unwrap(), -2.25);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reset_keeps_allocation_and_clears_bytes() {
+        let mut w = Encoder::with_capacity(64);
+        w.u32(0xAABBCCDD);
+        assert_eq!(w.len(), 4);
+        w.reset();
+        assert!(w.is_empty());
+        w.u8(0x01);
+        assert_eq!(w.finish(), vec![0x01]);
+    }
+
+    #[test]
+    fn patch_u32_rewrites_in_place() {
+        let mut w = Encoder::new();
+        w.u32(0); // placeholder
+        w.raw(b"body");
+        w.patch_u32(0, w.len() as u32);
+        let bytes = w.finish();
+        assert_eq!(&bytes[..4], &8u32.to_le_bytes());
+        assert_eq!(&bytes[4..], b"body");
+    }
+
+    #[test]
+    #[should_panic]
+    fn patch_u32_out_of_bounds_panics() {
+        let mut w = Encoder::new();
+        w.u16(7);
+        w.patch_u32(0, 1);
     }
 
     #[test]

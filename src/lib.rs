@@ -20,7 +20,10 @@
 //!                 │              discovery order → LDS      │
 //!                 │              referral queue (url parse, │
 //!                 │              dedup, depth/budget) →     │
-//!                 │              channel                    │
+//!                 │              channel; certificates      │
+//!                 │              interned campaign-wide     │
+//!                 │              (CertStore: parse/hash     │
+//!                 │              once per distinct DER)     │
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
 //!                 │              configured deployments     │
@@ -31,6 +34,9 @@
 //!                 │              chunking, services         │
 //!                 ├──────────────┬─────────────┬────────────┤
 //!   foundation    │ ua-types     │ ua-addrspace│ ua-crypto  │
+//!                 │ (reset-reuse │             │ (Karatsuba,│
+//!                 │  encoders)   │             │ Montgomery,│
+//!                 │              │             │ CertStore) │
 //!                 ├──────────────┴─────────────┴────────────┤
 //!   substrate     │ netsim       virtual clock, CIDR/ASN,   │
 //!                 │              connections, zmap sweeps   │
@@ -76,9 +82,22 @@
 //!   cross-host state online) and `Assessor::finalize` runs batch GCD
 //!   and emits the report; `assess()` is the batch wrapper. Streaming
 //!   consumers never buffer records.
+//! * **Campaign-scale crypto** — `ua-crypto` runs Karatsuba
+//!   multiplication above 32 limbs, a dedicated squaring path, and
+//!   Montgomery-form 4-bit-windowed `mod_pow` (zero divisions per
+//!   step; the pre-PR square-and-multiply survives as
+//!   `mod_pow_legacy` for even moduli and benchmarking). The scanner
+//!   interns certificates campaign-wide (`ua_crypto::CertStore`):
+//!   a certificate served by N hosts is parsed, thumbprinted, and
+//!   self-signature-checked once, the assessor folds over the shared
+//!   handles, and batch GCD consumes moduli deduplicated by exactly
+//!   the §5.2 reuse factor (`ScanSummary::certs` reports sightings
+//!   vs. distinct).
 //! * **Perf trail** — `cargo bench --bench sweep|protocol|crypto|`
 //!   `ablation|figures` measures the pipeline and writes
-//!   `BENCH_<name>.json` (see `crates/bench`); CI uploads these as
+//!   `BENCH_<name>.json` (see `crates/bench`); CI runs
+//!   `sweep`+`ablation`+`crypto`, fails if Montgomery ever loses to
+//!   the legacy path or deduplication stops paying, and uploads the
 //!   artifacts on every run.
 //!
 //! See `examples/quickstart.rs`, `examples/internet_scan.rs`, and
