@@ -9,7 +9,12 @@
 //!   [`Assessor`] folds records as a campaign streams them (per-host
 //!   rules immediately, cross-host state online, batch GCD at
 //!   [`Assessor::finalize`]); [`assess`] is the batch wrapper producing
-//!   the paper-style summary tables ([`AssessmentReport`]).
+//!   the paper-style summary tables ([`AssessmentReport`]);
+//! * [`longitudinal`] — multi-campaign diffing: consecutive weekly
+//!   outputs become churn series (hosts new/vanished/moved, certificate
+//!   renewals, `software_version` upgrade detection, deficit-rate
+//!   trajectories), with the certificate thumbprint as the cross-week
+//!   host identity (§4.3).
 //!
 //! The crate consumes [`scanner::ScanRecord`]s only; it never touches
 //! the network layer, so stored campaigns can be re-assessed offline.
@@ -18,9 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod deficit;
+pub mod longitudinal;
 pub mod report;
 
 pub use deficit::{host_deficits, Deficit};
+pub use longitudinal::{
+    cmp_versions, diff, HostObservation, LongitudinalAssessor, LongitudinalReport, WeekDelta,
+    WeekPoint, WeekSnapshot,
+};
 pub use report::{
     assess, AssessmentReport, Assessor, HostReport, ReuseCluster, SessionTally, SharedPrimePair,
 };

@@ -1,0 +1,500 @@
+//! Longitudinal assessment: diffing consecutive weekly campaigns into
+//! the paper's churn series (§4.3, §6).
+//!
+//! One internet-wide snapshot says what is broken; only the *series*
+//! says whether anyone fixes anything. This module consumes one
+//! `(records, report)` pair per weekly campaign and produces
+//! paper-style deltas:
+//!
+//! * **hosts seen / new / vanished** per week;
+//! * **stable-key-despite-IP-churn matching** — a host that vanished
+//!   from address A while an identical certificate surfaced on a fresh
+//!   address B is *one moved host*, not an arrival plus a departure.
+//!   The certificate thumbprint ([`Thumbprint`]) is the cross-week
+//!   identity, exactly as in §4.3; thumbprints served by more than one
+//!   host (the §5.3 reuse clusters) are ambiguous and deliberately
+//!   never matched;
+//! * **certificate renewals** — the same `(address, port)` serving a
+//!   different certificate week over week;
+//! * **upgrade/downgrade detection** — `software_version` deltas on
+//!   matched hosts (§6: most hosts never patch);
+//! * **deficit-rate trajectories** — the per-week deficit counts of the
+//!   regular [`AssessmentReport`], lined up as a series.
+
+use crate::deficit::Deficit;
+use crate::report::AssessmentReport;
+use netsim::Ipv4;
+use scanner::ScanRecord;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use ua_crypto::Thumbprint;
+
+/// What one weekly campaign observed about one host — the minimal
+/// projection cross-week matching operates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostObservation {
+    /// Probed address.
+    pub address: Ipv4,
+    /// Probed port.
+    pub port: u16,
+    /// Identity anchor: thumbprint of the first certificate the host
+    /// served (`None` for certificate-less hosts, which can never be
+    /// matched across an address change).
+    pub thumbprint: Option<Thumbprint>,
+    /// Reported `SoftwareVersion`, where an anonymous session exposed
+    /// it.
+    pub software_version: Option<String>,
+}
+
+/// The per-host observations of one weekly campaign.
+#[derive(Debug, Clone)]
+pub struct WeekSnapshot {
+    /// Week index (0-based).
+    pub week: u32,
+    /// One observation per OPC UA host, in record order.
+    pub hosts: Vec<HostObservation>,
+}
+
+impl WeekSnapshot {
+    /// Projects a campaign's records (OPC UA speakers only) into a
+    /// snapshot.
+    pub fn from_records(week: u32, records: &[ScanRecord]) -> WeekSnapshot {
+        WeekSnapshot {
+            week,
+            hosts: records
+                .iter()
+                .filter(|r| r.hello_ok)
+                .map(|r| HostObservation {
+                    address: r.address,
+                    port: r.port,
+                    thumbprint: r.certificates().first().map(|c| c.identity()),
+                    software_version: r.software_version.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The diff of one weekly campaign against its predecessor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeekDelta {
+    /// Week index (0-based; week 0 is the baseline where every host is
+    /// new).
+    pub week: u32,
+    /// OPC UA hosts seen this week.
+    pub hosts: usize,
+    /// Hosts with no identity in the previous week.
+    pub new_hosts: usize,
+    /// Previous-week hosts with no identity this week.
+    pub vanished_hosts: usize,
+    /// Hosts matched on the same `(address, port)`.
+    pub stable_hosts: usize,
+    /// Hosts matched across an address change by a unique certificate
+    /// thumbprint — the §4.3 stable-key-despite-IP-churn category.
+    pub moved_hosts: usize,
+    /// Matched hosts whose certificate changed (renewal/rollover).
+    pub renewed_certs: usize,
+    /// Matched hosts whose `software_version` increased.
+    pub upgrades: usize,
+    /// Matched hosts whose `software_version` decreased.
+    pub downgrades: usize,
+}
+
+/// Numeric dot-component version comparison; `None` when either side
+/// does not parse as `digits(.digits)*`.
+pub fn cmp_versions(a: &str, b: &str) -> Option<Ordering> {
+    let parse =
+        |v: &str| -> Option<Vec<u64>> { v.split('.').map(|p| p.parse::<u64>().ok()).collect() };
+    Some(parse(a)?.cmp(&parse(b)?))
+}
+
+/// Classifies what changed on one host matched across two weeks.
+fn classify_matched(prev: &HostObservation, cur: &HostObservation, delta: &mut WeekDelta) {
+    if let (Some(a), Some(b)) = (prev.thumbprint, cur.thumbprint) {
+        if a != b {
+            delta.renewed_certs += 1;
+        }
+    }
+    if let (Some(a), Some(b)) = (&prev.software_version, &cur.software_version) {
+        match cmp_versions(a, b) {
+            Some(Ordering::Less) => delta.upgrades += 1,
+            Some(Ordering::Greater) => delta.downgrades += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Diffs two consecutive snapshots.
+///
+/// Matching runs in two passes: first by `(address, port)` (stable
+/// hosts), then — among the leftovers — by certificate thumbprint,
+/// accepting a match only when the thumbprint is unique on *both*
+/// sides (moved hosts). Whatever remains is new respectively vanished;
+/// in particular, a host vanishing from A while an unrelated host
+/// arrives on B stays one vanish plus one arrival. The result is
+/// independent of host order.
+pub fn diff(prev: &WeekSnapshot, cur: &WeekSnapshot) -> WeekDelta {
+    let mut delta = WeekDelta {
+        week: cur.week,
+        hosts: cur.hosts.len(),
+        ..WeekDelta::default()
+    };
+    let mut prev_matched = vec![false; prev.hosts.len()];
+    let by_target: HashMap<(u32, u16), usize> = prev
+        .hosts
+        .iter()
+        .enumerate()
+        .map(|(i, h)| ((h.address.0, h.port), i))
+        .collect();
+
+    // Pass 1: same probe target.
+    let mut cur_unmatched = Vec::new();
+    for (ci, h) in cur.hosts.iter().enumerate() {
+        match by_target.get(&(h.address.0, h.port)) {
+            Some(&pi) if !prev_matched[pi] => {
+                prev_matched[pi] = true;
+                delta.stable_hosts += 1;
+                classify_matched(&prev.hosts[pi], h, &mut delta);
+            }
+            _ => cur_unmatched.push(ci),
+        }
+    }
+
+    // Pass 2: unique-thumbprint matching across address changes. A
+    // thumbprint is usable as an identity only when exactly one host
+    // served it in *each* full snapshot — members of a §5.3 reuse
+    // cluster are ambiguous by construction and never matched, even
+    // after the rest of their cluster resolved by address.
+    let tp_counts = |hosts: &[HostObservation]| -> HashMap<Thumbprint, usize> {
+        let mut counts = HashMap::new();
+        for h in hosts {
+            if let Some(tp) = h.thumbprint {
+                *counts.entry(tp).or_default() += 1;
+            }
+        }
+        counts
+    };
+    let prev_tp_total = tp_counts(&prev.hosts);
+    let cur_tp_total = tp_counts(&cur.hosts);
+    let mut prev_by_tp: HashMap<Thumbprint, usize> = HashMap::new();
+    for (pi, h) in prev.hosts.iter().enumerate() {
+        if prev_matched[pi] {
+            continue;
+        }
+        if let Some(tp) = h.thumbprint {
+            prev_by_tp.insert(tp, pi);
+        }
+    }
+    for ci in cur_unmatched {
+        let h = &cur.hosts[ci];
+        let matched = h.thumbprint.and_then(|tp| {
+            (cur_tp_total.get(&tp) == Some(&1) && prev_tp_total.get(&tp) == Some(&1))
+                .then(|| prev_by_tp.get(&tp).copied())
+                .flatten()
+        });
+        match matched {
+            Some(pi) => {
+                prev_matched[pi] = true;
+                delta.moved_hosts += 1;
+                classify_matched(&prev.hosts[pi], h, &mut delta);
+            }
+            None => delta.new_hosts += 1,
+        }
+    }
+
+    delta.vanished_hosts = prev_matched.iter().filter(|m| !**m).count();
+    delta
+}
+
+/// One week's point in the longitudinal series: the diff against the
+/// previous week plus the week's deficit distribution.
+#[derive(Debug, Clone)]
+pub struct WeekPoint {
+    /// The week-over-week diff.
+    pub delta: WeekDelta,
+    /// OPC UA hosts the week's assessment covered.
+    pub assessed_hosts: usize,
+    /// The week's deficit counts (from the regular assessment).
+    pub deficit_counts: BTreeMap<Deficit, usize>,
+}
+
+impl WeekPoint {
+    /// Share of the week's hosts flagged with `deficit`, in `[0, 1]`.
+    pub fn deficit_rate(&self, deficit: Deficit) -> f64 {
+        if self.assessed_hosts == 0 {
+            0.0
+        } else {
+            self.deficit_counts.get(&deficit).copied().unwrap_or(0) as f64
+                / self.assessed_hosts as f64
+        }
+    }
+}
+
+/// Folds one weekly campaign after another into the longitudinal
+/// series; [`finalize`](Self::finalize) yields the report.
+#[derive(Debug, Default)]
+pub struct LongitudinalAssessor {
+    prev: Option<WeekSnapshot>,
+    points: Vec<WeekPoint>,
+}
+
+impl LongitudinalAssessor {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the next week's campaign output. Week 0 is the baseline:
+    /// every host counts as new. Returns the week's point.
+    pub fn fold_week(&mut self, records: &[ScanRecord], report: &AssessmentReport) -> &WeekPoint {
+        let week = self.points.len() as u32;
+        let snap = WeekSnapshot::from_records(week, records);
+        let delta = match &self.prev {
+            Some(prev) => diff(prev, &snap),
+            None => WeekDelta {
+                week,
+                hosts: snap.hosts.len(),
+                new_hosts: snap.hosts.len(),
+                ..WeekDelta::default()
+            },
+        };
+        self.prev = Some(snap);
+        self.points.push(WeekPoint {
+            delta,
+            assessed_hosts: report.hosts,
+            deficit_counts: report.deficit_counts.clone(),
+        });
+        self.points.last().expect("just pushed")
+    }
+
+    /// Weeks folded so far.
+    pub fn weeks_seen(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Completes the series.
+    pub fn finalize(self) -> LongitudinalReport {
+        LongitudinalReport { weeks: self.points }
+    }
+}
+
+/// The full longitudinal series — the data behind the paper's weekly
+/// figures.
+#[derive(Debug, Clone)]
+pub struct LongitudinalReport {
+    /// One point per weekly campaign, in week order.
+    pub weeks: Vec<WeekPoint>,
+}
+
+impl LongitudinalReport {
+    /// Sums a delta field over every post-baseline week (week 0 counts
+    /// the whole initial population as "new" and would drown churn
+    /// totals).
+    pub fn churn_total(&self, field: impl Fn(&WeekDelta) -> usize) -> usize {
+        self.weeks.iter().skip(1).map(|p| field(&p.delta)).sum()
+    }
+
+    /// The deficit-rate trajectory of `deficit`, one `[0, 1]` value per
+    /// week.
+    pub fn deficit_trajectory(&self, deficit: Deficit) -> Vec<f64> {
+        self.weeks.iter().map(|p| p.deficit_rate(deficit)).collect()
+    }
+}
+
+impl std::fmt::Display for LongitudinalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>4} {:>6} {:>5} {:>5} {:>6} {:>6} {:>4} {:>5}  {:>6} {:>6}",
+            "week", "hosts", "new", "gone", "moved", "renew", "up", "down", "none%", "anon%"
+        )?;
+        for p in &self.weeks {
+            let d = &p.delta;
+            writeln!(
+                f,
+                "{:>4} {:>6} {:>5} {:>5} {:>6} {:>6} {:>4} {:>5}  {:>6.1} {:>6.1}",
+                d.week,
+                d.hosts,
+                d.new_hosts,
+                d.vanished_hosts,
+                d.moved_hosts,
+                d.renewed_certs,
+                d.upgrades,
+                d.downgrades,
+                100.0 * p.deficit_rate(Deficit::NoneModeOffered),
+                100.0 * p.deficit_rate(Deficit::AnonymousAccess),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(byte: u8) -> Option<Thumbprint> {
+        Some(Thumbprint([byte; 20]))
+    }
+
+    fn obs(a: u32, port: u16, thumb: Option<Thumbprint>, version: &str) -> HostObservation {
+        HostObservation {
+            address: Ipv4(a),
+            port,
+            thumbprint: thumb,
+            software_version: Some(version.to_string()),
+        }
+    }
+
+    fn snap(week: u32, hosts: Vec<HostObservation>) -> WeekSnapshot {
+        WeekSnapshot { week, hosts }
+    }
+
+    #[test]
+    fn same_cert_on_new_ip_is_one_moved_host() {
+        let prev = snap(0, vec![obs(1, 4840, tp(7), "1.0.0")]);
+        let cur = snap(1, vec![obs(99, 4840, tp(7), "1.0.0")]);
+        let d = diff(&prev, &cur);
+        assert_eq!(d.moved_hosts, 1);
+        assert_eq!(d.new_hosts, 0);
+        assert_eq!(d.vanished_hosts, 0);
+        assert_eq!(d.stable_hosts, 0);
+        assert_eq!(d.renewed_certs, 0);
+    }
+
+    #[test]
+    fn renewed_cert_on_same_ip_is_renewal_not_arrival() {
+        let prev = snap(0, vec![obs(1, 4840, tp(7), "1.0.0")]);
+        let cur = snap(1, vec![obs(1, 4840, tp(8), "1.0.0")]);
+        let d = diff(&prev, &cur);
+        assert_eq!(d.stable_hosts, 1);
+        assert_eq!(d.renewed_certs, 1);
+        assert_eq!(d.new_hosts, 0);
+        assert_eq!(d.vanished_hosts, 0);
+        assert_eq!(d.moved_hosts, 0);
+    }
+
+    #[test]
+    fn vanish_and_unrelated_arrival_stay_separate() {
+        // A vanishes, B arrives with a different identity: the
+        // ambiguity must NOT collapse into a "move".
+        let prev = snap(0, vec![obs(1, 4840, tp(7), "1.0.0")]);
+        let cur = snap(1, vec![obs(99, 4840, tp(9), "2.0.0")]);
+        let d = diff(&prev, &cur);
+        assert_eq!(d.vanished_hosts, 1);
+        assert_eq!(d.new_hosts, 1);
+        assert_eq!(d.moved_hosts, 0);
+        // No version delta either — unmatched hosts never compare.
+        assert_eq!(d.upgrades, 0);
+    }
+
+    #[test]
+    fn certificate_less_hosts_cannot_move() {
+        let prev = snap(0, vec![obs(1, 4840, None, "1.0.0")]);
+        let cur = snap(1, vec![obs(99, 4840, None, "1.0.0")]);
+        let d = diff(&prev, &cur);
+        assert_eq!(d.vanished_hosts, 1);
+        assert_eq!(d.new_hosts, 1);
+        assert_eq!(d.moved_hosts, 0);
+    }
+
+    #[test]
+    fn reused_thumbprints_are_ambiguous_never_matched() {
+        // Two hosts share a certificate (a §5.3 reuse cluster); one
+        // moves. The thumbprint is not unique on the prev side, so the
+        // mover is unmatchable — by design.
+        let prev = snap(
+            0,
+            vec![obs(1, 4840, tp(7), "1.0.0"), obs(2, 4840, tp(7), "1.0.0")],
+        );
+        let cur = snap(
+            1,
+            vec![obs(1, 4840, tp(7), "1.0.0"), obs(99, 4840, tp(7), "1.0.0")],
+        );
+        let d = diff(&prev, &cur);
+        assert_eq!(d.stable_hosts, 1);
+        assert_eq!(d.moved_hosts, 0);
+        assert_eq!(d.new_hosts, 1);
+        assert_eq!(d.vanished_hosts, 1);
+    }
+
+    #[test]
+    fn moved_host_can_also_upgrade() {
+        let prev = snap(0, vec![obs(1, 4840, tp(7), "1.2.9")]);
+        let cur = snap(1, vec![obs(99, 4840, tp(7), "1.2.10")]);
+        let d = diff(&prev, &cur);
+        assert_eq!(d.moved_hosts, 1);
+        assert_eq!(d.upgrades, 1, "numeric compare: 1.2.10 > 1.2.9");
+        assert_eq!(d.downgrades, 0);
+    }
+
+    #[test]
+    fn version_deltas_on_stable_hosts() {
+        let prev = snap(
+            0,
+            vec![
+                obs(1, 4840, tp(1), "1.0.0"),
+                obs(2, 4840, tp(2), "2.5.3"),
+                obs(3, 4840, tp(3), "3.0.0"),
+            ],
+        );
+        let cur = snap(
+            1,
+            vec![
+                obs(1, 4840, tp(1), "1.1.0"),
+                obs(2, 4840, tp(2), "2.5.2"),
+                obs(3, 4840, tp(3), "3.0.0"),
+            ],
+        );
+        let d = diff(&prev, &cur);
+        assert_eq!(d.stable_hosts, 3);
+        assert_eq!(d.upgrades, 1);
+        assert_eq!(d.downgrades, 1);
+    }
+
+    #[test]
+    fn cmp_versions_is_numeric_not_lexicographic() {
+        assert_eq!(cmp_versions("1.0.9", "1.0.10"), Some(Ordering::Less));
+        assert_eq!(cmp_versions("1.10", "1.9"), Some(Ordering::Greater));
+        assert_eq!(cmp_versions("2.0.0", "2.0.0"), Some(Ordering::Equal));
+        assert_eq!(cmp_versions("2.0.0", "2.0"), Some(Ordering::Greater));
+        assert_eq!(cmp_versions("v2", "1"), None);
+    }
+
+    #[test]
+    fn assessor_baseline_counts_everything_new() {
+        use crate::report::assess;
+        let mut a = LongitudinalAssessor::new();
+        let report = assess(&[]);
+        let p = a.fold_week(&[], &report);
+        assert_eq!(p.delta.week, 0);
+        assert_eq!(p.delta.new_hosts, 0);
+        assert_eq!(a.weeks_seen(), 1);
+        let report = a.finalize();
+        assert_eq!(report.weeks.len(), 1);
+        assert_eq!(report.churn_total(|d| d.new_hosts), 0);
+    }
+
+    #[test]
+    fn report_display_renders_a_table() {
+        let report = LongitudinalReport {
+            weeks: vec![WeekPoint {
+                delta: WeekDelta {
+                    week: 0,
+                    hosts: 5,
+                    new_hosts: 5,
+                    ..WeekDelta::default()
+                },
+                assessed_hosts: 5,
+                deficit_counts: BTreeMap::new(),
+            }],
+        };
+        let rendered = report.to_string();
+        assert!(rendered.contains("week"));
+        assert!(rendered.contains("moved"));
+        assert_eq!(
+            report.deficit_trajectory(Deficit::AnonymousAccess),
+            vec![0.0]
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Longitudinal study throughput and churn accounting.
+//!
+//! Replays a multi-week campaign (evolving population → weekly sweep →
+//! cross-week diffing) and measures what longitudinal scanning costs on
+//! top of a single snapshot: per-week scan time, end-to-end study time,
+//! and the interning payoff of sharing one `CertStore` across all
+//! campaigns. Emits both the *planted* churn rates (ground truth from
+//! the evolution log, per host-week) and the *detected* series totals
+//! so the perf trail doubles as a sanity record — CI fails when any
+//! churn-rate field is missing or zero.
+//!
+//! ```sh
+//! BENCH_HOSTS=250 BENCH_UNIVERSE=21 BENCH_WEEKS=6 \
+//!     cargo bench --bench longitudinal
+//! ```
+//!
+//! Emits `BENCH_longitudinal.json`.
+
+use assessment::{assess, LongitudinalAssessor};
+use bench::{time, write_bench_json, BenchConfig, Json};
+use netsim::{Blocklist, Internet, VirtualClock};
+use population::{ChurnConfig, EvolvingWorld, PopulationConfig, StrataMix};
+use scanner::{Campaign, ScanConfig, Scanner};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let weeks: u32 = std::env::var("BENCH_WEEKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    println!(
+        "longitudinal bench: {} hosts, {} weekly campaigns",
+        cfg.hosts, weeks
+    );
+
+    let net = Internet::new(VirtualClock::default());
+    let pop_cfg = PopulationConfig::new(
+        cfg.seed,
+        cfg.universe.clone(),
+        StrataMix::paper_like(cfg.hosts),
+    );
+    let churn = ChurnConfig::default();
+    let mut world = EvolvingWorld::new(&net, &pop_cfg, churn);
+    let hosts_week0 = world.alive_count();
+    let scan_config = ScanConfig {
+        workers: cfg.worker_counts.first().copied().unwrap_or(1),
+        ..ScanConfig::default()
+    };
+    let mut campaign = Campaign::new(Scanner::new(net, Blocklist::new(), scan_config));
+    let mut longitudinal = LongitudinalAssessor::new();
+
+    let mut scan_seconds = Vec::new();
+    let mut hosts_scanned = 0u64;
+    let mut digest = 0u64;
+    let (study_seconds, ()) = time(|| {
+        for _ in 0..weeks {
+            let (seconds, scan) = time(|| {
+                let world = &mut world;
+                campaign.run_week(&cfg.universe, cfg.seed, |w| {
+                    if w > 0 {
+                        world.evolve(w);
+                    }
+                })
+            });
+            scan_seconds.push(seconds);
+            hosts_scanned += scan.summary.opcua_hosts;
+            let report = assess(&scan.records);
+            let point = longitudinal.fold_week(&scan.records, &report);
+            let d = point.delta;
+            digest = [
+                d.hosts,
+                d.new_hosts,
+                d.vanished_hosts,
+                d.moved_hosts,
+                d.renewed_certs,
+                d.upgrades,
+                d.downgrades,
+            ]
+            .iter()
+            .fold(digest, |acc, &v| {
+                acc.wrapping_mul(1_000_003).wrapping_add(v as u64)
+            });
+            println!(
+                "  week {:>2}: {seconds:.3}s scan, {} hosts ({} new, {} gone, {} moved)",
+                d.week, d.hosts, d.new_hosts, d.vanished_hosts, d.moved_hosts
+            );
+        }
+    });
+
+    let series = longitudinal.finalize();
+    let planted = world.history();
+    // Planted events per host-week: the living population differs per
+    // week, so normalize against the actual host-week exposure.
+    let host_weeks: f64 = planted
+        .iter()
+        .zip(series.weeks.iter().skip(1))
+        .map(|(_, p)| p.delta.hosts as f64)
+        .sum();
+    let planted_sum =
+        |f: &dyn Fn(&population::WeekChurn) -> usize| -> usize { planted.iter().map(f).sum() };
+    let rate = |n: usize| n as f64 / host_weeks.max(1.0);
+    let certs = campaign.cert_stats();
+    let total_scan: f64 = scan_seconds.iter().sum();
+
+    let json = Json::obj()
+        .set("weeks", Json::int(weeks as i64))
+        .set("hosts_week0", Json::int(hosts_week0 as i64))
+        .set("hosts_final", Json::int(world.alive_count() as i64))
+        .set("study_seconds", Json::Num(study_seconds))
+        .set("scan_seconds_total", Json::Num(total_scan))
+        .set(
+            "scan_seconds_per_week",
+            Json::Num(total_scan / f64::from(weeks.max(1))),
+        )
+        .set(
+            "hosts_scanned_per_second",
+            Json::Num(hosts_scanned as f64 / total_scan.max(1e-9)),
+        )
+        // Planted ground-truth churn rates, per host-week. These are
+        // what CI gates on: a longitudinal study without churn measures
+        // nothing.
+        .set(
+            "ip_churn_rate",
+            Json::Num(rate(planted_sum(&|w| w.moves()))),
+        )
+        .set(
+            "arrival_rate",
+            Json::Num(rate(planted_sum(&|w| w.arrivals()))),
+        )
+        .set(
+            "departure_rate",
+            Json::Num(rate(planted_sum(&|w| w.departures()))),
+        )
+        .set(
+            "renewal_rate",
+            Json::Num(rate(planted_sum(&|w| w.renewals()))),
+        )
+        .set(
+            "upgrade_rate",
+            Json::Num(rate(planted_sum(&|w| w.upgrades()))),
+        )
+        // Detected series totals (post-baseline weeks).
+        .set(
+            "detected_new",
+            Json::int(series.churn_total(|d| d.new_hosts) as i64),
+        )
+        .set(
+            "detected_vanished",
+            Json::int(series.churn_total(|d| d.vanished_hosts) as i64),
+        )
+        .set(
+            "detected_moved",
+            Json::int(series.churn_total(|d| d.moved_hosts) as i64),
+        )
+        .set(
+            "detected_renewed",
+            Json::int(series.churn_total(|d| d.renewed_certs) as i64),
+        )
+        .set(
+            "detected_upgrades",
+            Json::int(series.churn_total(|d| d.upgrades) as i64),
+        )
+        .set("cert_sightings", Json::int(certs.sightings as i64))
+        .set("distinct_certs", Json::int(certs.distinct as i64))
+        .set("intern_hit_rate", Json::Num(certs.hit_rate()))
+        .set("determinism_digest", Json::str(format!("{digest:x}")));
+
+    let path = write_bench_json("longitudinal", &json);
+    println!(
+        "longitudinal: {weeks} weeks in {study_seconds:.2}s, \
+         {:.0} hosts/s, intern hit rate {:.0}%, wrote {}",
+        hosts_scanned as f64 / total_scan.max(1e-9),
+        certs.hit_rate() * 100.0,
+        path.display()
+    );
+}

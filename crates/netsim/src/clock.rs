@@ -69,6 +69,18 @@ impl VirtualClock {
         assert!(target >= *t, "virtual clock cannot move backwards");
         *t = target;
     }
+
+    /// Advances to an absolute instant; a no-op when the clock is
+    /// already past it. Multi-campaign drivers use this to pin each
+    /// weekly campaign's epoch: the jump is idempotent and never moves
+    /// time backwards, so forks taken at campaign start strictly follow
+    /// everything the previous campaign produced.
+    pub fn advance_to_micros(&self, target: Micros) {
+        let mut t = self.inner.lock().unwrap();
+        if target > *t {
+            *t = target;
+        }
+    }
 }
 
 impl Default for VirtualClock {
@@ -143,6 +155,18 @@ mod tests {
         assert_eq!(a.now_unix_seconds(), 100);
         a.advance_seconds(30);
         assert_eq!(b.now_micros(), 105 * 1_000_000 + 250_000);
+    }
+
+    #[test]
+    fn advance_to_is_monotone_and_idempotent() {
+        let clock = VirtualClock::starting_at(100);
+        clock.advance_to_micros(150 * 1_000_000);
+        assert_eq!(clock.now_unix_seconds(), 150);
+        // Already past: a no-op, never a rewind.
+        clock.advance_to_micros(120 * 1_000_000);
+        assert_eq!(clock.now_unix_seconds(), 150);
+        clock.advance_to_micros(150 * 1_000_000);
+        assert_eq!(clock.now_unix_seconds(), 150);
     }
 
     #[test]

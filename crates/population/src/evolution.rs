@@ -1,0 +1,898 @@
+//! Deterministic weekly evolution of a deployed population — the
+//! churn behind the paper's seven-month longitudinal study (§4, §6).
+//!
+//! Real deployments do not sit still between campaigns: DHCP leases
+//! expire and hand hosts new addresses, devices appear and disappear,
+//! certificates get renewed, firmware gets upgraded (and occasionally
+//! rolled back), and operators sometimes fix — or reintroduce —
+//! configuration deficits. [`EvolvingWorld`] owns a
+//! [`Deployment`](crate::Deployment) and applies exactly those event
+//! classes once per simulated week, mutating the shared
+//! [`netsim::Internet`] in place so a multi-campaign scanner observes
+//! the churn the way the paper's scanner did.
+//!
+//! Everything is a pure function of `(seed, week, roster state)`: each
+//! host draws its weekly fate from an RNG seeded by `(seed, week,
+//! host id)`, so the same seed replays the same seven months event for
+//! event regardless of scanner worker counts or wall-clock timing. The
+//! ground truth of every planted event is logged per week
+//! ([`WeekChurn`]) for the longitudinal assessment to validate against.
+//!
+//! Two deliberate scope choices keep the referral topology analyzable:
+//! discovery servers (default-port LDS and chained LDS) never *depart*
+//! — stale LDS would strand hidden servers behind unreachable referral
+//! chains — and arrivals draw from swept (default-port, non-LDS)
+//! classes only. Everything may still *move*: when a referenced host is
+//! re-addressed, every live FindServers answer naming it is rewritten,
+//! modeling servers that re-register with their LDS after a lease
+//! change.
+
+use crate::{
+    bind_deployment, build_host, pick_free_address, BuildParams, HostClass, HostDeployment,
+    Population, PopulationConfig, SharedSecrets, Synthesizer, ACTUAL_KEY_BITS,
+};
+use netsim::{Cidr, Internet, Ipv4};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashSet};
+use ua_addrspace::ids;
+use ua_crypto::{CertificateBuilder, DistinguishedName, RsaPrivateKey, Thumbprint};
+use ua_server::{EndpointConfig, UserAccount};
+use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType, Variant};
+
+/// Weekly churn probabilities, applied per host per week.
+///
+/// The defaults are flavored after the paper's observations: noticeable
+/// IP churn week over week (§4.3 matches hosts across address changes
+/// by key), slow fleet growth, certificate renewals and software
+/// upgrades in the single-digit percent range (§6 found *most* hosts
+/// never patched), and rare deficit remediation/regression.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// P(host is re-addressed this week) — DHCP-style reassignment; the
+    /// host keeps its certificate, key, and configuration.
+    pub ip_move: f64,
+    /// P(host goes offline for good). Discovery servers are exempt (a
+    /// departed LDS would strand its referral-only hosts unreachably).
+    pub departure: f64,
+    /// Expected arrivals as a fraction of the living population.
+    /// Arrivals draw from swept, non-LDS classes.
+    pub arrival: f64,
+    /// P(certificate holder rolls its certificate over) — new serial
+    /// and validity window, same subject and key, so the thumbprint
+    /// changes while the modulus stays.
+    pub renewal: f64,
+    /// P(`software_version` increases this week).
+    pub upgrade: f64,
+    /// P(`software_version` decreases this week) — rollbacks happen.
+    pub downgrade: f64,
+    /// P(a host offering mode `None` drops it and goes secure-only,
+    /// disabling anonymous access).
+    pub remediation: f64,
+    /// P(a secure-only host grows a `None` endpoint plus anonymous
+    /// access) — the deficit *regressions* §6 observed.
+    pub regression: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            ip_move: 0.05,
+            departure: 0.02,
+            arrival: 0.025,
+            renewal: 0.015,
+            upgrade: 0.03,
+            downgrade: 0.008,
+            remediation: 0.012,
+            regression: 0.006,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// A frozen world: every rate zero. Weekly campaigns over it must
+    /// report zero churn — the longitudinal null experiment.
+    pub fn frozen() -> Self {
+        ChurnConfig {
+            ip_move: 0.0,
+            departure: 0.0,
+            arrival: 0.0,
+            renewal: 0.0,
+            upgrade: 0.0,
+            downgrade: 0.0,
+            remediation: 0.0,
+            regression: 0.0,
+        }
+    }
+}
+
+/// One planted ground-truth churn event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnEvent {
+    /// A new host joined the population.
+    Arrived {
+        /// Stratum of the arriving host.
+        class: HostClass,
+    },
+    /// The host went offline permanently.
+    Departed,
+    /// DHCP handed the host a new address; identity (certificate, key,
+    /// configuration) unchanged.
+    Moved {
+        /// The address the host vacated.
+        from: Ipv4,
+    },
+    /// The certificate was rolled over (new thumbprint, same key).
+    RenewedCert,
+    /// `software_version` increased.
+    Upgraded {
+        /// Version before the upgrade.
+        from: String,
+        /// Version after the upgrade.
+        to: String,
+    },
+    /// `software_version` decreased (rollback).
+    Downgraded {
+        /// Version before the rollback.
+        from: String,
+        /// Version after the rollback.
+        to: String,
+    },
+    /// Mode-`None` endpoints and anonymous access were removed.
+    Remediated,
+    /// A mode-`None` endpoint plus anonymous access appeared.
+    Regressed,
+}
+
+/// The ground-truth log of one week's evolution: every planted event,
+/// keyed by stable host id (roster index).
+#[derive(Debug, Clone, Default)]
+pub struct WeekChurn {
+    /// Week index (1-based; week 0 is the initial deployment).
+    pub week: u32,
+    /// Planted events in deterministic roster order.
+    pub events: Vec<(u64, ChurnEvent)>,
+}
+
+impl WeekChurn {
+    fn count(&self, pred: impl Fn(&ChurnEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Hosts that joined this week.
+    pub fn arrivals(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::Arrived { .. }))
+    }
+
+    /// Hosts that departed this week.
+    pub fn departures(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::Departed))
+    }
+
+    /// Hosts re-addressed this week.
+    pub fn moves(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::Moved { .. }))
+    }
+
+    /// Certificates rolled over this week.
+    pub fn renewals(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::RenewedCert))
+    }
+
+    /// Software upgrades this week.
+    pub fn upgrades(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::Upgraded { .. }))
+    }
+
+    /// Software rollbacks this week.
+    pub fn downgrades(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::Downgraded { .. }))
+    }
+
+    /// Deficits fixed this week.
+    pub fn remediations(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::Remediated))
+    }
+
+    /// Deficits reintroduced this week.
+    pub fn regressions(&self) -> usize {
+        self.count(|e| matches!(e, ChurnEvent::Regressed))
+    }
+}
+
+struct RosterEntry {
+    id: u64,
+    dep: HostDeployment,
+    alive: bool,
+}
+
+/// What a scanner campaign *should* observe for one living host: the
+/// probe target, the certificate identity, and the software version —
+/// the latter only where an anonymous session would expose it (the
+/// session probe reads BuildInfo after activating anonymously, so
+/// hosts without an anonymous token, and hosts whose session config is
+/// broken, never reveal their version). Ground-truth mirrors project
+/// these into their observation types; the visibility rule lives here,
+/// in one place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthObservation {
+    /// Current address.
+    pub address: Ipv4,
+    /// Listening port.
+    pub port: u16,
+    /// Identity of the served certificate, if any.
+    pub thumbprint: Option<Thumbprint>,
+    /// `software_version` as visible to an anonymous scanner.
+    pub software_version: Option<String>,
+}
+
+/// A deployed population evolving week over week on a shared
+/// [`Internet`].
+///
+/// ```
+/// use netsim::{Internet, VirtualClock};
+/// use population::{ChurnConfig, EvolvingWorld, PopulationConfig, StrataMix};
+///
+/// let net = Internet::new(VirtualClock::default());
+/// let cfg = PopulationConfig::new(
+///     7,
+///     vec!["10.0.0.0/22".parse().unwrap()],
+///     StrataMix::paper_like(30),
+/// );
+/// let mut world = EvolvingWorld::new(&net, &cfg, ChurnConfig::default());
+/// let week0 = world.population().len();
+/// let churn = world.evolve(1).clone();
+/// assert_eq!(
+///     world.population().len(),
+///     week0 + churn.arrivals() - churn.departures(),
+/// );
+/// ```
+pub struct EvolvingWorld {
+    net: Internet,
+    seed: u64,
+    sweep_port: u16,
+    universe: Vec<Cidr>,
+    churn: ChurnConfig,
+    shared: SharedSecrets,
+    hosts: Vec<RosterEntry>,
+    used: HashSet<u32>,
+    serial: u64,
+    arrival_cursor: usize,
+    week: u32,
+    history: Vec<WeekChurn>,
+}
+
+/// Strata weekly arrivals cycle through — swept, non-LDS classes only
+/// (see the module docs for why the referral topology stays stable).
+const ARRIVAL_CLASSES: [HostClass; 7] = [
+    HostClass::WideOpen,
+    HostClass::MixedLegacy,
+    HostClass::SecureModern,
+    HostClass::DeprecatedOnly,
+    HostClass::ReusedCert,
+    HostClass::BrokenSession,
+    HostClass::WeakCert,
+];
+
+/// Mixes `(seed, week, host id)` into an independent per-host weekly
+/// RNG seed.
+fn host_week_seed(seed: u64, week: u32, id: u64) -> u64 {
+    seed ^ (week as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ id.wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// Parses a `major.minor.patch` version string.
+fn parse_version(v: &str) -> Option<(u32, u32, u32)> {
+    let mut parts = v.split('.').map(|p| p.parse::<u32>());
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(Ok(a)), Some(Ok(b)), Some(Ok(c)), None) => Some((a, b, c)),
+        _ => None,
+    }
+}
+
+impl EvolvingWorld {
+    /// Synthesizes the week-0 deployment onto `net` and wraps it in an
+    /// evolving world with the given churn model.
+    pub fn new(net: &Internet, cfg: &PopulationConfig, churn: ChurnConfig) -> EvolvingWorld {
+        let deployment = crate::synthesize_deployment(net, cfg);
+        let hosts = deployment
+            .hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, dep)| RosterEntry {
+                id: i as u64,
+                dep,
+                alive: true,
+            })
+            .collect();
+        EvolvingWorld {
+            net: net.clone(),
+            seed: cfg.seed,
+            sweep_port: cfg.port,
+            universe: deployment.universe,
+            churn,
+            shared: deployment.shared,
+            hosts,
+            used: deployment.used,
+            serial: deployment.serial,
+            arrival_cursor: 0,
+            week: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The week the world currently sits in (0 = initial deployment).
+    pub fn week(&self) -> u32 {
+        self.week
+    }
+
+    /// The shared Internet the world is deployed on.
+    pub fn net(&self) -> &Internet {
+        &self.net
+    }
+
+    /// Ground truth of the *living* population, in roster order.
+    pub fn population(&self) -> Population {
+        Population {
+            hosts: self
+                .hosts
+                .iter()
+                .filter(|h| h.alive)
+                .map(|h| h.dep.truth.clone())
+                .collect(),
+            universe: self.universe.clone(),
+        }
+    }
+
+    /// The living hosts' full deployments, in roster order.
+    pub fn alive(&self) -> impl Iterator<Item = &HostDeployment> {
+        self.hosts.iter().filter(|h| h.alive).map(|h| &h.dep)
+    }
+
+    /// Number of living hosts.
+    pub fn alive_count(&self) -> usize {
+        self.hosts.iter().filter(|h| h.alive).count()
+    }
+
+    /// The per-week ground-truth churn logs so far.
+    pub fn history(&self) -> &[WeekChurn] {
+        &self.history
+    }
+
+    /// The scanner-visible truth for every living host, in roster
+    /// order — what a full campaign over the current week should
+    /// observe (see [`TruthObservation`]).
+    pub fn observable_truth(&self) -> Vec<TruthObservation> {
+        self.alive()
+            .map(|dep| TruthObservation {
+                address: dep.truth.address,
+                port: dep.truth.port,
+                thumbprint: dep
+                    .config
+                    .certificate
+                    .as_ref()
+                    .map(|c| Thumbprint(c.thumbprint())),
+                software_version: (dep.config.token_types.contains(&UserTokenType::Anonymous)
+                    && !dep.config.broken_session_config)
+                    .then(|| dep.config.software_version.clone()),
+            })
+            .collect()
+    }
+
+    /// Advances the world by one week of churn. `week` must be the
+    /// successor of the current week — the step is a deterministic
+    /// function of `(seed, week)` and the roster, so replaying the same
+    /// seed replays the same study. Returns the planted ground truth.
+    ///
+    /// Call *after* the campaign clock reached the new week's epoch:
+    /// renewed certificates anchor their validity at the current
+    /// virtual time.
+    pub fn evolve(&mut self, week: u32) -> &WeekChurn {
+        assert_eq!(week, self.week + 1, "evolution proceeds one week at a time");
+        self.week = week;
+        let now = self.net.clock().now_unix_seconds();
+        let mut log = WeekChurn {
+            week,
+            events: Vec::new(),
+        };
+        // Hosts whose server material changed and must be rebound, and
+        // `://old-address:` → `://new-address:` rewrites for every
+        // FindServers answer referencing a moved host. Vacated
+        // addresses stay reserved in `used` for the rest of the study,
+        // so a rewrite pattern never becomes ambiguous.
+        let mut rebind: BTreeSet<usize> = BTreeSet::new();
+        let mut moved: Vec<(String, String)> = Vec::new();
+
+        for idx in 0..self.hosts.len() {
+            if !self.hosts[idx].alive {
+                continue;
+            }
+            let id = self.hosts[idx].id;
+            let mut rng = StdRng::seed_from_u64(host_week_seed(self.seed, week, id));
+            let class = self.hosts[idx].dep.truth.class;
+            let lds_like = matches!(class, HostClass::DiscoveryServer | HostClass::ChainedLds);
+
+            if !lds_like && rng.gen_bool(self.churn.departure) {
+                self.net.remove_host(self.hosts[idx].dep.truth.address);
+                self.hosts[idx].alive = false;
+                log.events.push((id, ChurnEvent::Departed));
+                continue;
+            }
+
+            let entry = &mut self.hosts[idx];
+            let dep = &mut entry.dep;
+
+            if rng.gen_bool(self.churn.ip_move) {
+                let from = dep.truth.address;
+                let to = pick_free_address(&mut rng, &self.universe, &mut self.used);
+                self.net.remove_host(from);
+                dep.truth.address = to;
+                let old_pat = format!("://{from}:");
+                let new_pat = format!("://{to}:");
+                dep.config.endpoint_url = dep.config.endpoint_url.replace(&old_pat, &new_pat);
+                moved.push((old_pat, new_pat));
+                rebind.insert(idx);
+                log.events.push((id, ChurnEvent::Moved { from }));
+            }
+
+            if dep.config.certificate.is_some() && rng.gen_bool(self.churn.renewal) {
+                self.serial += 1;
+                let old = dep.config.certificate.as_ref().expect("just checked");
+                let subject = old.tbs.subject.clone();
+                let hash = old.signature_hash();
+                let key = dep
+                    .config
+                    .private_key
+                    .clone()
+                    .expect("certificate hosts carry their key");
+                let builder = CertificateBuilder::new(subject)
+                    .serial(self.serial)
+                    .validity(now - 86_400, now + 3 * 365 * 86_400)
+                    .application_uri(&dep.truth.application_uri);
+                // CA customers renew through their CA; everyone else
+                // re-self-signs. Hash and key are kept, so a weak
+                // certificate renews weak — §6 saw exactly that.
+                let cert = if class == HostClass::SecureCa {
+                    builder.issued_by(
+                        hash,
+                        DistinguishedName::new("Sim Root CA", "Sim Trust Services"),
+                        &self.shared.ca_key,
+                        &key.public,
+                    )
+                } else {
+                    builder.self_signed(hash, &key)
+                };
+                dep.truth.cert_thumbprint = Some(cert.thumbprint());
+                dep.config.certificate = Some(cert);
+                rebind.insert(idx);
+                log.events.push((id, ChurnEvent::RenewedCert));
+            }
+
+            if let Some((major, minor, patch)) = parse_version(&dep.config.software_version) {
+                let from = dep.config.software_version.clone();
+                let to = if rng.gen_bool(self.churn.upgrade) {
+                    // Mostly patch bumps, occasionally a minor release.
+                    Some(if rng.gen_bool(0.25) {
+                        format!("{major}.{}.0", minor + 1)
+                    } else {
+                        format!("{major}.{minor}.{}", patch + 1)
+                    })
+                } else if patch > 0 && rng.gen_bool(self.churn.downgrade) {
+                    Some(format!("{major}.{minor}.{}", patch - 1))
+                } else {
+                    None
+                };
+                if let Some(to) = to {
+                    let upgraded = parse_version(&to) > parse_version(&from);
+                    dep.config.software_version = to.clone();
+                    if let Some(node) = dep
+                        .space
+                        .get_mut(&ua_types::NodeId::numeric(0, ids::SERVER_SOFTWARE_VERSION))
+                    {
+                        node.value = Some(Variant::String(Some(to.clone())));
+                    }
+                    rebind.insert(idx);
+                    let event = if upgraded {
+                        ChurnEvent::Upgraded { from, to }
+                    } else {
+                        ChurnEvent::Downgraded { from, to }
+                    };
+                    log.events.push((id, event));
+                }
+            }
+
+            if !lds_like {
+                let has_none = dep
+                    .config
+                    .endpoints
+                    .iter()
+                    .any(|e| e.mode == MessageSecurityMode::None);
+                if has_none && rng.gen_bool(self.churn.remediation) {
+                    dep.config
+                        .endpoints
+                        .retain(|e| e.mode != MessageSecurityMode::None);
+                    if dep.config.endpoints.is_empty() {
+                        dep.config.endpoints.push(EndpointConfig::new(
+                            MessageSecurityMode::SignAndEncrypt,
+                            SecurityPolicy::Basic256Sha256,
+                        ));
+                    }
+                    if dep.config.certificate.is_none() {
+                        // Going secure requires an application-instance
+                        // certificate the host never had.
+                        self.serial += 1;
+                        let key = RsaPrivateKey::generate(&mut rng, ACTUAL_KEY_BITS, 2048);
+                        let cert = CertificateBuilder::new(DistinguishedName::new(
+                            format!("dev-{}", self.serial),
+                            dep.truth.vendor,
+                        ))
+                        .serial(self.serial)
+                        .validity(now - 86_400, now + 4 * 365 * 86_400)
+                        .application_uri(&dep.truth.application_uri)
+                        .self_signed(ua_crypto::HashAlgorithm::Sha256, &key);
+                        dep.truth.cert_thumbprint = Some(cert.thumbprint());
+                        dep.config.certificate = Some(cert);
+                        dep.config.private_key = Some(key);
+                    }
+                    dep.config
+                        .token_types
+                        .retain(|t| *t != UserTokenType::Anonymous);
+                    if dep.config.token_types.is_empty() {
+                        dep.config.token_types.push(UserTokenType::UserName);
+                    }
+                    if dep.config.users.is_empty() {
+                        dep.config.users.push(UserAccount {
+                            name: "operator".into(),
+                            password: format!("pw-{id}"),
+                        });
+                    }
+                    rebind.insert(idx);
+                    log.events.push((id, ChurnEvent::Remediated));
+                } else if !has_none && rng.gen_bool(self.churn.regression) {
+                    dep.config.endpoints.push(EndpointConfig::none());
+                    if !dep.config.token_types.contains(&UserTokenType::Anonymous) {
+                        dep.config.token_types.insert(0, UserTokenType::Anonymous);
+                    }
+                    rebind.insert(idx);
+                    log.events.push((id, ChurnEvent::Regressed));
+                }
+            }
+        }
+
+        // Arrivals: expected count is a fraction of the (post-departure)
+        // living population, rounded stochastically but deterministically.
+        let alive_now = self.alive_count();
+        let mut arrivals_rng = StdRng::seed_from_u64(host_week_seed(self.seed, week, u64::MAX));
+        let expected = alive_now as f64 * self.churn.arrival;
+        let mut n = expected.floor() as usize;
+        if expected.fract() > 0.0 && arrivals_rng.gen_bool(expected.fract()) {
+            n += 1;
+        }
+        if n > 0 {
+            let mut syn = Synthesizer::resume(
+                self.universe.clone(),
+                arrivals_rng,
+                std::mem::take(&mut self.used),
+                self.serial,
+            );
+            for _ in 0..n {
+                let class = ARRIVAL_CLASSES[self.arrival_cursor % ARRIVAL_CLASSES.len()];
+                self.arrival_cursor += 1;
+                let id = self.hosts.len() as u64;
+                let address = syn.pick_address();
+                let dep = build_host(
+                    &mut syn,
+                    &self.shared,
+                    BuildParams {
+                        class,
+                        address,
+                        port: self.sweep_port,
+                        referenced: Vec::new(),
+                        id,
+                        seed: self.seed,
+                        now,
+                    },
+                );
+                bind_deployment(&self.net, &dep, now);
+                log.events.push((id, ChurnEvent::Arrived { class }));
+                self.hosts.push(RosterEntry {
+                    id,
+                    dep,
+                    alive: true,
+                });
+            }
+            self.used = syn.used;
+            self.serial = syn.serial;
+        }
+
+        // Re-registration: every live FindServers answer naming a moved
+        // host learns the new address (covers an LDS's own non-canonical
+        // self-referrals and dead decoy ports too — they embed the
+        // host's address textually).
+        if !moved.is_empty() {
+            for (idx, entry) in self.hosts.iter_mut().enumerate() {
+                if !entry.alive {
+                    continue;
+                }
+                let mut changed = false;
+                for url in &mut entry.dep.config.referenced_endpoints {
+                    for (old, new) in &moved {
+                        if url.contains(old.as_str()) {
+                            *url = url.replace(old.as_str(), new);
+                            changed = true;
+                        }
+                    }
+                }
+                if changed {
+                    rebind.insert(idx);
+                }
+            }
+        }
+
+        for idx in rebind {
+            if self.hosts[idx].alive {
+                bind_deployment(&self.net, &self.hosts[idx].dep, now);
+            }
+        }
+
+        self.history.push(log);
+        self.history.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrataMix;
+    use netsim::VirtualClock;
+
+    fn world(seed: u64, churn: ChurnConfig, mix: StrataMix) -> EvolvingWorld {
+        let net = Internet::new(VirtualClock::starting_at(1_581_206_400));
+        let cfg = PopulationConfig::new(seed, vec!["10.0.0.0/20".parse().unwrap()], mix);
+        EvolvingWorld::new(&net, &cfg, churn)
+    }
+
+    fn full(rate: &str) -> ChurnConfig {
+        let mut c = ChurnConfig::frozen();
+        match rate {
+            "ip_move" => c.ip_move = 1.0,
+            "departure" => c.departure = 1.0,
+            "arrival" => c.arrival = 1.0,
+            "renewal" => c.renewal = 1.0,
+            "upgrade" => c.upgrade = 1.0,
+            "downgrade" => c.downgrade = 1.0,
+            "remediation" => c.remediation = 1.0,
+            "regression" => c.regression = 1.0,
+            _ => unreachable!(),
+        }
+        c
+    }
+
+    #[test]
+    fn frozen_world_never_changes() {
+        let mut w = world(3, ChurnConfig::frozen(), StrataMix::paper_like(30));
+        let before: Vec<_> = w.alive().map(|d| d.truth.address).collect();
+        for week in 1..=4 {
+            let churn = w.evolve(week);
+            assert!(churn.events.is_empty(), "week {week}: {:?}", churn.events);
+        }
+        let after: Vec<_> = w.alive().map(|d| d.truth.address).collect();
+        assert_eq!(before, after);
+        assert_eq!(w.net().host_count(), before.len());
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let run = || {
+            let mut w = world(11, ChurnConfig::default(), StrataMix::paper_like(40));
+            let mut events = Vec::new();
+            for week in 1..=5 {
+                events.extend(w.evolve(week).events.clone());
+            }
+            let addrs: Vec<_> = w.alive().map(|d| (d.truth.address, d.truth.port)).collect();
+            (events, addrs)
+        };
+        let (events_a, addrs_a) = run();
+        let (events_b, addrs_b) = run();
+        assert_eq!(events_a, events_b);
+        assert_eq!(addrs_a, addrs_b);
+        assert!(!events_a.is_empty(), "default churn must actually churn");
+    }
+
+    #[test]
+    fn moves_keep_identity_and_rewire_referrals() {
+        let mix = StrataMix::new()
+            .with(HostClass::SecureModern, 4)
+            .with(HostClass::DiscoveryServer, 1)
+            .with(HostClass::HiddenServer, 2);
+        let mut w = world(7, full("ip_move"), mix);
+        let before: Vec<_> = w
+            .alive()
+            .map(|d| (d.truth.address, d.truth.port, d.truth.cert_thumbprint))
+            .collect();
+        let churn = w.evolve(1);
+        assert_eq!(churn.moves(), before.len(), "every host moves at p=1");
+        let after: Vec<_> = w
+            .alive()
+            .map(|d| (d.truth.address, d.truth.port, d.truth.cert_thumbprint))
+            .collect();
+        for ((a0, p0, t0), (a1, p1, t1)) in before.iter().zip(&after) {
+            assert_ne!(a0, a1, "address must change");
+            assert_eq!(p0, p1, "port is stable across moves");
+            assert_eq!(t0, t1, "certificate identity survives the move");
+        }
+        // The network followed: new addresses listen, old ones are gone.
+        for ((old, _, _), (new, port, _)) in before.iter().zip(&after) {
+            assert!(!w.net().host_exists(*old));
+            assert!(w.net().has_listener(*new, *port));
+        }
+        // Referral wiring follows the moves: every hidden server's new
+        // URL is announced by some live discovery host.
+        let announced: Vec<String> = w
+            .alive()
+            .flat_map(|d| d.config.referenced_endpoints.iter().cloned())
+            .collect();
+        for dep in w.alive() {
+            if dep.truth.class == HostClass::HiddenServer {
+                let url = format!("opc.tcp://{}:{}/", dep.truth.address, dep.truth.port);
+                assert!(
+                    announced.iter().any(|u| **u == url),
+                    "{url} not re-announced after move"
+                );
+            }
+        }
+        // No live referral mentions a vacated address.
+        for (old, _, _) in &before {
+            let pat = format!("://{old}:");
+            assert!(
+                announced.iter().all(|u| !u.contains(&pat)),
+                "stale referral to {old}"
+            );
+        }
+    }
+
+    #[test]
+    fn renewal_changes_thumbprint_keeps_address_and_key() {
+        let mix = StrataMix::new().with(HostClass::SecureModern, 3);
+        let mut w = world(5, full("renewal"), mix);
+        let before: Vec<_> = w
+            .alive()
+            .map(|d| {
+                (
+                    d.truth.address,
+                    d.truth.cert_thumbprint.unwrap(),
+                    d.config
+                        .certificate
+                        .as_ref()
+                        .unwrap()
+                        .tbs
+                        .public_key
+                        .n
+                        .clone(),
+                )
+            })
+            .collect();
+        let now = w.net().clock().now_unix_seconds();
+        let churn = w.evolve(1);
+        assert_eq!(churn.renewals(), 3);
+        for (dep, (addr, old_tp, old_n)) in w.alive().zip(&before) {
+            let cert = dep.config.certificate.as_ref().unwrap();
+            assert_eq!(dep.truth.address, *addr);
+            assert_ne!(dep.truth.cert_thumbprint.unwrap(), *old_tp);
+            assert_eq!(&cert.tbs.public_key.n, old_n, "key survives renewal");
+            assert!(cert.is_valid_at(now));
+            assert_eq!(dep.truth.cert_thumbprint.unwrap(), cert.thumbprint());
+        }
+    }
+
+    #[test]
+    fn expired_certificates_become_valid_on_renewal() {
+        let mix = StrataMix::new().with(HostClass::ExpiredCert, 2);
+        let mut w = world(9, full("renewal"), mix);
+        let now = w.net().clock().now_unix_seconds();
+        for dep in w.alive() {
+            assert!(!dep.config.certificate.as_ref().unwrap().is_valid_at(now));
+        }
+        w.evolve(1);
+        for dep in w.alive() {
+            assert!(dep.config.certificate.as_ref().unwrap().is_valid_at(now));
+        }
+    }
+
+    #[test]
+    fn upgrades_and_downgrades_adjust_version_and_space() {
+        let mix = StrataMix::new().with(HostClass::SecureModern, 4);
+        let mut w = world(13, full("upgrade"), mix);
+        let before: Vec<String> = w
+            .alive()
+            .map(|d| d.config.software_version.clone())
+            .collect();
+        let churn = w.evolve(1);
+        assert_eq!(churn.upgrades(), 4);
+        assert_eq!(churn.downgrades(), 0);
+        for (dep, old) in w.alive().zip(&before) {
+            let new = &dep.config.software_version;
+            assert!(
+                parse_version(new) > parse_version(old),
+                "{old} -> {new} is not an upgrade"
+            );
+            // The served BuildInfo node follows the config.
+            let node = dep
+                .space
+                .get(&ua_types::NodeId::numeric(0, ids::SERVER_SOFTWARE_VERSION))
+                .unwrap();
+            assert_eq!(
+                node.value,
+                Some(Variant::String(Some(new.clone()))),
+                "SoftwareVersion node out of sync"
+            );
+        }
+    }
+
+    #[test]
+    fn remediation_goes_secure_and_regression_reopens() {
+        let mix = StrataMix::new().with(HostClass::WideOpen, 3);
+        let mut w = world(17, full("remediation"), mix);
+        let churn = w.evolve(1);
+        assert_eq!(churn.remediations(), 3);
+        for dep in w.alive() {
+            assert!(dep
+                .config
+                .endpoints
+                .iter()
+                .all(|e| e.mode != MessageSecurityMode::None));
+            assert!(!dep.config.token_types.contains(&UserTokenType::Anonymous));
+            assert!(dep.config.certificate.is_some(), "secure needs a cert");
+            assert!(dep.truth.cert_thumbprint.is_some());
+        }
+        // Remediated hosts no longer offer None, so a regression pass
+        // can reopen them.
+        let mut w2 = world(
+            17,
+            full("remediation"),
+            StrataMix::new().with(HostClass::WideOpen, 3),
+        );
+        w2.evolve(1);
+        w2.churn = full("regression");
+        let churn = w2.evolve(2);
+        assert_eq!(churn.regressions(), 3);
+        for dep in w2.alive() {
+            assert!(dep
+                .config
+                .endpoints
+                .iter()
+                .any(|e| e.mode == MessageSecurityMode::None));
+            assert!(dep.config.token_types.contains(&UserTokenType::Anonymous));
+        }
+    }
+
+    #[test]
+    fn departures_and_arrivals_turn_the_roster_over() {
+        let mix = StrataMix::new()
+            .with(HostClass::WideOpen, 4)
+            .with(HostClass::DiscoveryServer, 1);
+        let mut w = world(19, full("departure"), mix);
+        let churn = w.evolve(1);
+        // The LDS is exempt from departure.
+        assert_eq!(churn.departures(), 4);
+        assert_eq!(w.alive_count(), 1);
+        assert_eq!(w.net().host_count(), 1);
+
+        w.churn = full("arrival");
+        let churn = w.evolve(2).clone();
+        assert_eq!(churn.arrivals(), 1, "one living host, arrival rate 1.0");
+        assert_eq!(w.alive_count(), 2);
+        // Arrivals are swept-class hosts on the sweep port and listen.
+        let arrived = w.alive().last().unwrap();
+        assert_eq!(arrived.truth.port, 4840);
+        assert!(!arrived.truth.class.referral_only());
+        assert!(w.net().has_listener(arrived.truth.address, 4840));
+    }
+
+    #[test]
+    #[should_panic(expected = "one week at a time")]
+    fn weeks_cannot_be_skipped() {
+        let mut w = world(1, ChurnConfig::frozen(), StrataMix::paper_like(30));
+        w.evolve(2);
+    }
+}

@@ -16,13 +16,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evolution;
+
+pub use evolution::{ChurnConfig, ChurnEvent, EvolvingWorld, TruthObservation, WeekChurn};
+
 use netsim::{AsKind, AsRegistry, Cidr, Internet, Ipv4};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::sync::Arc;
 use ua_addrspace::{AddressSpace, NodeAccess, SpaceBuilder};
-use ua_crypto::{Certificate, CertificateBuilder, DistinguishedName, HashAlgorithm, RsaPrivateKey};
+use ua_crypto::{
+    BigUint, Certificate, CertificateBuilder, DistinguishedName, HashAlgorithm, RsaPrivateKey,
+};
 use ua_server::{EndpointConfig, ServerConfig, ServerCore, UaServerService, UserAccount};
 use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType, Variant};
 
@@ -307,53 +313,42 @@ const VARIABLE_NAMES: [&str; 10] = [
     "uiAlarmCount",
 ];
 
-struct Synthesizer<'a> {
-    cfg: &'a PopulationConfig,
-    rng: StdRng,
-    used: HashSet<u32>,
-    serial: u64,
+pub(crate) struct Synthesizer {
+    universe: Vec<Cidr>,
+    pub(crate) rng: StdRng,
+    pub(crate) used: HashSet<u32>,
+    pub(crate) serial: u64,
 }
 
-impl<'a> Synthesizer<'a> {
-    fn pick_address(&mut self) -> Ipv4 {
-        let sizes: Vec<u64> = self.cfg.universe.iter().map(Cidr::size).collect();
-        let total: u64 = sizes.iter().sum();
-        // CIDR blocks are either disjoint or nested, so the number of
-        // *distinct* addresses is the size sum of the blocks not
-        // contained in another block. Guarding on `total` alone would
-        // loop forever on overlapping universes.
-        let distinct: u64 = self
-            .cfg
-            .universe
-            .iter()
-            .enumerate()
-            .filter(|(i, block)| {
-                !self.cfg.universe.iter().enumerate().any(|(j, outer)| {
-                    i != &j
-                        && outer.contains(block.base)
-                        && (outer.prefix_len < block.prefix_len
-                            || (outer.prefix_len == block.prefix_len && j < *i))
-                })
-            })
-            .map(|(_, block)| block.size())
-            .sum();
-        assert!(
-            (self.used.len() as u64) < distinct,
-            "universe too small for population"
-        );
-        loop {
-            let mut idx = self.rng.gen_range(0..total);
-            for (block, &size) in self.cfg.universe.iter().zip(&sizes) {
-                if idx < size {
-                    let addr = Ipv4(block.base.0.wrapping_add(idx as u32));
-                    if self.used.insert(addr.0) {
-                        return addr;
-                    }
-                    break;
-                }
-                idx -= size;
-            }
+impl Synthesizer {
+    pub(crate) fn new(seed: u64, universe: Vec<Cidr>) -> Self {
+        Synthesizer {
+            universe,
+            rng: StdRng::seed_from_u64(seed),
+            used: HashSet::new(),
+            serial: 0,
         }
+    }
+
+    /// Resumes synthesis mid-study: the evolution engine hands back the
+    /// address-allocation and serial state so weekly arrivals never
+    /// collide with (or re-issue) anything already deployed.
+    pub(crate) fn resume(
+        universe: Vec<Cidr>,
+        rng: StdRng,
+        used: HashSet<u32>,
+        serial: u64,
+    ) -> Self {
+        Synthesizer {
+            universe,
+            rng,
+            used,
+            serial,
+        }
+    }
+
+    pub(crate) fn pick_address(&mut self) -> Ipv4 {
+        pick_free_address(&mut self.rng, &self.universe, &mut self.used)
     }
 
     fn vendor(&mut self) -> (&'static str, String) {
@@ -497,16 +492,418 @@ fn plan_referrals(classes: &[HostClass], addresses: &[Ipv4], ports: &[u16]) -> V
     planned
 }
 
-/// Deploys `cfg.mix` onto `net`, returning ground truth. Deterministic:
-/// the same seed and mix produce byte-identical deployments.
-pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
-    let now = net.clock().now_unix_seconds();
-    let mut syn = Synthesizer {
-        cfg,
-        rng: StdRng::seed_from_u64(cfg.seed),
-        used: HashSet::new(),
-        serial: 0,
+/// Draws a universe address not yet in `used` (and reserves it).
+/// Shared by initial synthesis and the weekly evolution step (DHCP-style
+/// reassignment, arrivals).
+pub(crate) fn pick_free_address(
+    rng: &mut StdRng,
+    universe: &[Cidr],
+    used: &mut HashSet<u32>,
+) -> Ipv4 {
+    let sizes: Vec<u64> = universe.iter().map(Cidr::size).collect();
+    let total: u64 = sizes.iter().sum();
+    // CIDR blocks are either disjoint or nested, so the number of
+    // *distinct* addresses is the size sum of the blocks not
+    // contained in another block. Guarding on `total` alone would
+    // loop forever on overlapping universes.
+    let distinct: u64 = universe
+        .iter()
+        .enumerate()
+        .filter(|(i, block)| {
+            !universe.iter().enumerate().any(|(j, outer)| {
+                i != &j
+                    && outer.contains(block.base)
+                    && (outer.prefix_len < block.prefix_len
+                        || (outer.prefix_len == block.prefix_len && j < *i))
+            })
+        })
+        .map(|(_, block)| block.size())
+        .sum();
+    assert!(
+        (used.len() as u64) < distinct,
+        "universe too small for population"
+    );
+    loop {
+        let mut idx = rng.gen_range(0..total);
+        for (block, &size) in universe.iter().zip(&sizes) {
+            if idx < size {
+                let addr = Ipv4(block.base.0.wrapping_add(idx as u32));
+                if used.insert(addr.0) {
+                    return addr;
+                }
+                break;
+            }
+            idx -= size;
+        }
+    }
+}
+
+/// Cross-host secrets shared by several strata: the CA key behind
+/// [`HostClass::SecureCa`], the certificate and key every
+/// [`HostClass::ReusedCert`] host serves, and the prime factor the
+/// [`HostClass::SharedPrime`] keys have in common. Kept alive for the
+/// whole study so population *evolution* (weekly arrivals, certificate
+/// renewals) stays consistent with the initial deployment.
+pub(crate) struct SharedSecrets {
+    pub(crate) ca_key: RsaPrivateKey,
+    pub(crate) reused_key: RsaPrivateKey,
+    pub(crate) reused_cert: Certificate,
+    pub(crate) shared_prime: BigUint,
+}
+
+impl SharedSecrets {
+    fn generate(syn: &mut Synthesizer, now: i64) -> Self {
+        let ca_key = syn.key(4096);
+        let reused_key = syn.key(2048);
+        let (reused_vendor, reused_uri) = syn.vendor();
+        let reused_cert = syn.cert(
+            reused_vendor,
+            &reused_uri,
+            HashAlgorithm::Sha256,
+            now - 3 * 365 * 86_400,
+            now + 5 * 365 * 86_400,
+            &reused_key,
+        );
+        let shared_prime = ua_crypto::generate_prime(&mut syn.rng, ACTUAL_KEY_BITS / 2);
+        SharedSecrets {
+            ca_key,
+            reused_key,
+            reused_cert,
+            shared_prime,
+        }
+    }
+}
+
+/// Everything needed to (re)bind one host onto the simulated Internet:
+/// the scanner-facing ground truth plus the full server material. The
+/// longitudinal engine ([`evolution::EvolvingWorld`]) mutates these and
+/// redeploys hosts week over week — IP reassignment, certificate
+/// renewal, software upgrades, deficit remediation — without touching
+/// the synthesis logic.
+#[derive(Clone)]
+pub struct HostDeployment {
+    /// What the scanner should find on this host.
+    pub truth: HostGroundTruth,
+    /// The deployed server configuration (endpoints, tokens,
+    /// certificate, referrals, software version).
+    pub config: ServerConfig,
+    /// The served address space.
+    pub space: AddressSpace,
+    /// Simulated round-trip time in microseconds.
+    pub rtt_micros: u32,
+    /// Seed of the server core (session ids, nonces).
+    pub core_seed: u64,
+    /// Seed of the per-connection service wrapper.
+    pub service_seed: u64,
+}
+
+/// A fully materialized population: per-host deployments plus the
+/// shared secrets and address-allocation state needed to keep growing
+/// it across weekly campaigns ([`evolution::EvolvingWorld`] consumes
+/// one).
+pub struct Deployment {
+    /// Per-host deployments, in deployment order.
+    pub hosts: Vec<HostDeployment>,
+    /// The universe hosts were placed into.
+    pub universe: Vec<Cidr>,
+    pub(crate) shared: SharedSecrets,
+    pub(crate) serial: u64,
+    pub(crate) used: HashSet<u32>,
+}
+
+impl Deployment {
+    /// The ground-truth view of the deployment (what [`synthesize`]
+    /// returns).
+    pub fn population(&self) -> Population {
+        Population {
+            hosts: self.hosts.iter().map(|d| d.truth.clone()).collect(),
+            universe: self.universe.clone(),
+        }
+    }
+}
+
+/// Binds a deployment onto the network: (re)creates the host entry and
+/// its server core with the deployment's seeds. Idempotent — the
+/// evolution engine rebinds hosts whenever their material changes.
+pub(crate) fn bind_deployment(net: &Internet, dep: &HostDeployment, now: i64) {
+    let core = ServerCore::new(dep.config.clone(), dep.space.clone(), dep.core_seed);
+    core.set_time(now);
+    net.add_host(dep.truth.address, dep.rtt_micros);
+    net.bind(
+        dep.truth.address,
+        dep.truth.port,
+        Arc::new(UaServerService::new(core, dep.service_seed)),
+    );
+}
+
+/// Parameters for building one host's deployment material.
+pub(crate) struct BuildParams {
+    pub(crate) class: HostClass,
+    pub(crate) address: Ipv4,
+    pub(crate) port: u16,
+    /// Fully resolved referral URLs this host announces (computed by
+    /// the caller: random same-port picks, planned hidden/chained
+    /// shares, self/dead/unresolvable decoys).
+    pub(crate) referenced: Vec<String>,
+    /// Stable host id: roster index, never reused across the study.
+    pub(crate) id: u64,
+    /// The population master seed (core/service seeds derive from it).
+    pub(crate) seed: u64,
+    pub(crate) now: i64,
+}
+
+/// Builds the deployment material for one host of `p.class`. Pure with
+/// respect to the synthesizer's RNG stream: the same stream position
+/// yields the same host.
+pub(crate) fn build_host(
+    syn: &mut Synthesizer,
+    shared: &SharedSecrets,
+    p: BuildParams,
+) -> HostDeployment {
+    let BuildParams {
+        class,
+        address,
+        port,
+        referenced,
+        id,
+        seed,
+        now,
+    } = p;
+    let (vendor, uri) = syn.vendor();
+    let url = format!("opc.tcp://{address}:{port}/");
+    let version = syn.software_version();
+    let valid = (now - 2 * 365 * 86_400, now + 4 * 365 * 86_400);
+
+    let mut certificate = None;
+    let mut private_key = None;
+    let mut endpoints = Vec::new();
+    let mut token_types = vec![UserTokenType::UserName];
+    let mut users = vec![UserAccount {
+        name: "operator".into(),
+        password: format!("pw-{id}"),
+    }];
+    let mut broken_session = false;
+    let mut is_discovery = false;
+    let mut reuse_group = None;
+    let mut shared_prime_group = None;
+
+    match class {
+        HostClass::WideOpen => {
+            endpoints.push(EndpointConfig::none());
+            token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
+            users.clear();
+        }
+        HostClass::DeprecatedOnly => {
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::Sign,
+                SecurityPolicy::Basic128Rsa15,
+            ));
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256,
+            ));
+            let key = syn.key(2048);
+            certificate = Some(syn.cert(vendor, &uri, HashAlgorithm::Sha1, valid.0, valid.1, &key));
+            private_key = Some(key);
+        }
+        HostClass::MixedLegacy => {
+            endpoints.push(EndpointConfig::none());
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::Sign,
+                SecurityPolicy::Basic256,
+            ));
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
+            let key = syn.key(2048);
+            certificate =
+                Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+            private_key = Some(key);
+        }
+        HostClass::SecureModern => {
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::Sign,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            let key = syn.key(2048);
+            certificate =
+                Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+            private_key = Some(key);
+        }
+        HostClass::SecureCa => {
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Aes256Sha256RsaPss,
+            ));
+            token_types.push(UserTokenType::Certificate);
+            let key = syn.key(2048);
+            syn.serial += 1;
+            let cert = CertificateBuilder::new(DistinguishedName::new(
+                format!("dev-{}", syn.serial),
+                vendor,
+            ))
+            .serial(syn.serial)
+            .validity(valid.0, valid.1)
+            .application_uri(&uri)
+            .issued_by(
+                HashAlgorithm::Sha256,
+                DistinguishedName::new("Sim Root CA", "Sim Trust Services"),
+                &shared.ca_key,
+                &key.public,
+            );
+            certificate = Some(cert);
+            private_key = Some(key);
+        }
+        HostClass::ExpiredCert => {
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            let key = syn.key(2048);
+            // Expired a while before the scan.
+            certificate = Some(syn.cert(
+                vendor,
+                &uri,
+                HashAlgorithm::Sha256,
+                now - 4 * 365 * 86_400,
+                now - 90 * 86_400,
+                &key,
+            ));
+            private_key = Some(key);
+        }
+        HostClass::WeakCert => {
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            let key = syn.key(1024);
+            certificate = Some(syn.cert(vendor, &uri, HashAlgorithm::Sha1, valid.0, valid.1, &key));
+            private_key = Some(key);
+        }
+        HostClass::ReusedCert => {
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::Sign,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            certificate = Some(shared.reused_cert.clone());
+            private_key = Some(shared.reused_key.clone());
+            reuse_group = Some(0);
+        }
+        HostClass::SharedPrime => {
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            let key = RsaPrivateKey::generate_with_shared_prime(
+                &mut syn.rng,
+                &shared.shared_prime,
+                ACTUAL_KEY_BITS / 2,
+                2048,
+            );
+            certificate =
+                Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+            private_key = Some(key);
+            shared_prime_group = Some(0);
+        }
+        HostClass::BrokenSession => {
+            endpoints.push(EndpointConfig::none());
+            token_types = vec![UserTokenType::Anonymous];
+            users.clear();
+            broken_session = true;
+        }
+        HostClass::DiscoveryServer | HostClass::ChainedLds => {
+            endpoints.push(EndpointConfig::none());
+            token_types = vec![UserTokenType::Anonymous];
+            users.clear();
+            is_discovery = true;
+        }
+        HostClass::HiddenServer => {
+            // A production server that registered with an LDS and
+            // listens on a non-default port: `None` plus a secure
+            // endpoint, anonymous allowed — same deficit surface the
+            // referral-discovered hosts showed in the wild.
+            endpoints.push(EndpointConfig::none());
+            endpoints.push(EndpointConfig::new(
+                MessageSecurityMode::SignAndEncrypt,
+                SecurityPolicy::Basic256Sha256,
+            ));
+            token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
+            let key = syn.key(2048);
+            certificate =
+                Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
+            private_key = Some(key);
+        }
+    }
+
+    // Address space: discovery servers expose nothing of interest.
+    let (space, variables, writable, methods, executable) = if is_discovery {
+        (
+            SpaceBuilder::new(&[uri.as_str()], &version).finish(),
+            0,
+            0,
+            0,
+            0,
+        )
+    } else {
+        syn.address_space(&uri, &version)
     };
+
+    let cert_thumbprint = certificate.as_ref().map(Certificate::thumbprint);
+    let config = ServerConfig {
+        application_uri: uri.clone(),
+        application_name: format!("{vendor} OPC UA Server"),
+        endpoint_url: url,
+        endpoints,
+        token_types,
+        certificate,
+        private_key,
+        users,
+        reject_foreign_certs: false,
+        broken_session_config: broken_session,
+        is_discovery_server: is_discovery,
+        referenced_endpoints: referenced,
+        software_version: version,
+        max_references_per_browse: 64,
+    };
+    let rtt = syn.rng.gen_range(2_000..120_000u32);
+
+    HostDeployment {
+        truth: HostGroundTruth {
+            address,
+            port,
+            class,
+            application_uri: uri,
+            vendor,
+            cert_thumbprint,
+            reuse_group,
+            shared_prime_group,
+            variables,
+            writable_variables: writable,
+            methods,
+            executable_methods: executable,
+        },
+        config,
+        space,
+        rtt_micros: rtt,
+        core_seed: seed ^ id.wrapping_mul(0x9E37),
+        service_seed: seed ^ 0xC0FFEE ^ id,
+    }
+}
+
+/// Deploys `cfg.mix` onto `net` and returns the full deployment —
+/// ground truth plus the server material and allocation state the
+/// [`evolution`] engine needs to churn the population week over week.
+/// Deterministic: the same seed and mix produce byte-identical
+/// deployments.
+pub fn synthesize_deployment(net: &Internet, cfg: &PopulationConfig) -> Deployment {
+    let now = net.clock().now_unix_seconds();
+    let mut syn = Synthesizer::new(cfg.seed, cfg.universe.clone());
 
     // AS registry: one synthetic AS per universe block.
     let mut registry = AsRegistry::new();
@@ -528,18 +925,7 @@ pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
     net.set_registry(registry);
 
     // Shared resources for cross-host deficits.
-    let ca_key = syn.key(4096);
-    let reused_key = syn.key(2048);
-    let (reused_vendor, reused_uri) = syn.vendor();
-    let reused_cert = syn.cert(
-        reused_vendor,
-        &reused_uri,
-        HashAlgorithm::Sha256,
-        now - 3 * 365 * 86_400,
-        now + 5 * 365 * 86_400,
-        &reused_key,
-    );
-    let shared_prime = ua_crypto::generate_prime(&mut syn.rng, ACTUAL_KEY_BITS / 2);
+    let shared = SharedSecrets::generate(&mut syn, now);
 
     let classes = cfg.mix.expand();
     let mut hosts = Vec::with_capacity(classes.len());
@@ -560,162 +946,9 @@ pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
     let planned = plan_referrals(&classes, &addresses, &ports);
 
     for (i, (&class, &address)) in classes.iter().zip(&addresses).enumerate() {
-        let (vendor, uri) = syn.vendor();
-        let url = format!("opc.tcp://{address}:{}/", ports[i]);
-        let version = syn.software_version();
-        let valid = (now - 2 * 365 * 86_400, now + 4 * 365 * 86_400);
-
-        let mut certificate = None;
-        let mut private_key = None;
-        let mut endpoints = Vec::new();
-        let mut token_types = vec![UserTokenType::UserName];
-        let mut users = vec![UserAccount {
-            name: "operator".into(),
-            password: format!("pw-{i}"),
-        }];
-        let mut broken_session = false;
-        let mut is_discovery = false;
         let mut referenced = Vec::new();
-        let mut reuse_group = None;
-        let mut shared_prime_group = None;
-
         match class {
-            HostClass::WideOpen => {
-                endpoints.push(EndpointConfig::none());
-                token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
-                users.clear();
-            }
-            HostClass::DeprecatedOnly => {
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::Sign,
-                    SecurityPolicy::Basic128Rsa15,
-                ));
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Basic256,
-                ));
-                let key = syn.key(2048);
-                certificate =
-                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha1, valid.0, valid.1, &key));
-                private_key = Some(key);
-            }
-            HostClass::MixedLegacy => {
-                endpoints.push(EndpointConfig::none());
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::Sign,
-                    SecurityPolicy::Basic256,
-                ));
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
-                let key = syn.key(2048);
-                certificate =
-                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
-                private_key = Some(key);
-            }
-            HostClass::SecureModern => {
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::Sign,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                let key = syn.key(2048);
-                certificate =
-                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
-                private_key = Some(key);
-            }
-            HostClass::SecureCa => {
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Aes256Sha256RsaPss,
-                ));
-                token_types.push(UserTokenType::Certificate);
-                let key = syn.key(2048);
-                syn.serial += 1;
-                let cert = CertificateBuilder::new(DistinguishedName::new(
-                    format!("dev-{}", syn.serial),
-                    vendor,
-                ))
-                .serial(syn.serial)
-                .validity(valid.0, valid.1)
-                .application_uri(&uri)
-                .issued_by(
-                    HashAlgorithm::Sha256,
-                    DistinguishedName::new("Sim Root CA", "Sim Trust Services"),
-                    &ca_key,
-                    &key.public,
-                );
-                certificate = Some(cert);
-                private_key = Some(key);
-            }
-            HostClass::ExpiredCert => {
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                let key = syn.key(2048);
-                // Expired a while before the scan.
-                certificate = Some(syn.cert(
-                    vendor,
-                    &uri,
-                    HashAlgorithm::Sha256,
-                    now - 4 * 365 * 86_400,
-                    now - 90 * 86_400,
-                    &key,
-                ));
-                private_key = Some(key);
-            }
-            HostClass::WeakCert => {
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                let key = syn.key(1024);
-                certificate =
-                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha1, valid.0, valid.1, &key));
-                private_key = Some(key);
-            }
-            HostClass::ReusedCert => {
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::Sign,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                certificate = Some(reused_cert.clone());
-                private_key = Some(reused_key.clone());
-                reuse_group = Some(0);
-            }
-            HostClass::SharedPrime => {
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                let key = RsaPrivateKey::generate_with_shared_prime(
-                    &mut syn.rng,
-                    &shared_prime,
-                    ACTUAL_KEY_BITS / 2,
-                    2048,
-                );
-                certificate =
-                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
-                private_key = Some(key);
-                shared_prime_group = Some(0);
-            }
-            HostClass::BrokenSession => {
-                endpoints.push(EndpointConfig::none());
-                token_types = vec![UserTokenType::Anonymous];
-                users.clear();
-                broken_session = true;
-            }
             HostClass::DiscoveryServer => {
-                endpoints.push(EndpointConfig::none());
-                token_types = vec![UserTokenType::Anonymous];
-                users.clear();
-                is_discovery = true;
                 // Reference up to three other swept (default-port,
                 // non-LDS) deployments.
                 let candidates: Vec<usize> = classes
@@ -754,92 +987,42 @@ pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
                 // scanner has no resolver for.
                 referenced.push(format!("opc.tcp://plant-lds-{i}.internal:{}/", cfg.port));
             }
-            HostClass::HiddenServer => {
-                // A production server that registered with an LDS and
-                // listens on a non-default port: `None` plus a secure
-                // endpoint, anonymous allowed — same deficit surface the
-                // referral-discovered hosts showed in the wild.
-                endpoints.push(EndpointConfig::none());
-                endpoints.push(EndpointConfig::new(
-                    MessageSecurityMode::SignAndEncrypt,
-                    SecurityPolicy::Basic256Sha256,
-                ));
-                token_types = vec![UserTokenType::Anonymous, UserTokenType::UserName];
-                let key = syn.key(2048);
-                certificate =
-                    Some(syn.cert(vendor, &uri, HashAlgorithm::Sha256, valid.0, valid.1, &key));
-                private_key = Some(key);
-            }
-            HostClass::ChainedLds => {
-                endpoints.push(EndpointConfig::none());
-                token_types = vec![UserTokenType::Anonymous];
-                users.clear();
-                is_discovery = true;
-                referenced.extend(planned[i].iter().cloned());
-            }
+            HostClass::ChainedLds => referenced.extend(planned[i].iter().cloned()),
+            _ => {}
         }
 
-        // Address space: discovery servers expose nothing of interest.
-        let (space, variables, writable, methods, executable) = if is_discovery {
-            (
-                SpaceBuilder::new(&[uri.as_str()], &version).finish(),
-                0,
-                0,
-                0,
-                0,
-            )
-        } else {
-            syn.address_space(&uri, &version)
-        };
-
-        let cert_thumbprint = certificate.as_ref().map(Certificate::thumbprint);
-        let config = ServerConfig {
-            application_uri: uri.clone(),
-            application_name: format!("{vendor} OPC UA Server"),
-            endpoint_url: url,
-            endpoints,
-            token_types,
-            certificate,
-            private_key,
-            users,
-            reject_foreign_certs: false,
-            broken_session_config: broken_session,
-            is_discovery_server: is_discovery,
-            referenced_endpoints: referenced,
-            software_version: version,
-            max_references_per_browse: 64,
-        };
-
-        let rtt = syn.rng.gen_range(2_000..120_000u32);
-        let core = ServerCore::new(config, space, cfg.seed ^ (i as u64).wrapping_mul(0x9E37));
-        core.set_time(now);
-        net.add_host(address, rtt);
-        net.bind(
-            address,
-            ports[i],
-            Arc::new(UaServerService::new(core, cfg.seed ^ 0xC0FFEE ^ i as u64)),
+        let dep = build_host(
+            &mut syn,
+            &shared,
+            BuildParams {
+                class,
+                address,
+                port: ports[i],
+                referenced,
+                id: i as u64,
+                seed: cfg.seed,
+                now,
+            },
         );
-
-        hosts.push(HostGroundTruth {
-            address,
-            port: ports[i],
-            class,
-            application_uri: uri,
-            vendor,
-            cert_thumbprint,
-            reuse_group,
-            shared_prime_group,
-            variables,
-            writable_variables: writable,
-            methods,
-            executable_methods: executable,
-        });
+        bind_deployment(net, &dep, now);
+        hosts.push(dep);
     }
 
-    Population {
+    Deployment {
         hosts,
         universe: cfg.universe.clone(),
+        shared,
+        serial: syn.serial,
+        used: syn.used,
     }
+}
+
+/// Deploys `cfg.mix` onto `net`, returning ground truth. Deterministic:
+/// the same seed and mix produce byte-identical deployments. (A thin
+/// wrapper over [`synthesize_deployment`], which additionally returns
+/// the redeployable server material.)
+pub fn synthesize(net: &Internet, cfg: &PopulationConfig) -> Population {
+    synthesize_deployment(net, cfg).population()
 }
 
 #[cfg(test)]

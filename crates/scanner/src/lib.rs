@@ -14,21 +14,26 @@
 //!   referral queue re-probing FindServers-announced `host:port`
 //!   targets after the sweep, with records flowing through a bounded
 //!   channel ([`Scanner::scan_stream`]) so memory stays constant at
-//!   Internet scale.
+//!   Internet scale;
+//! * [`campaign`] — the longitudinal driver: N weekly sweeps on one
+//!   strictly advancing clock, an evolve hook between campaigns, and a
+//!   study-wide shared [`CertStore`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod pipeline;
 pub mod probe;
 pub mod record;
 pub mod url;
 
+pub use campaign::{Campaign, CampaignConfig, WeeklyScan};
 pub use pipeline::{ReferralStats, ScanStream, ScanSummary, Scanner};
 pub use probe::{
     classify_session_error, default_stack, discovery_stack, merge_find_servers, DiscoveryProbe,
     Probe, ProbeContext, ProbeOutcome, ScanConfig, SessionProbe, UacpProbe,
 };
 pub use record::{DiscoveredVia, EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
-pub use ua_crypto::{CertStore, CertStoreStats, ParsedCert};
+pub use ua_crypto::{CertStore, CertStoreStats, ParsedCert, Thumbprint};
 pub use url::{OpcUrl, UrlError, UrlHost, DEFAULT_OPCUA_PORT};

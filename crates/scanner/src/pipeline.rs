@@ -147,6 +147,12 @@ impl Scanner {
         &self.config
     }
 
+    /// The simulated Internet under measurement (multi-campaign drivers
+    /// use its clock to pin weekly epochs).
+    pub fn internet(&self) -> &Internet {
+        &self.internet
+    }
+
     /// Probes a single `(address, port)` target with the given probe
     /// stack, returning the record. Exposed for targeted re-scans and
     /// tests. Runs on the shared clock; campaign scans instead fork a
@@ -199,7 +205,29 @@ impl Scanner {
     /// Runs the full campaign synchronously, handing each record to
     /// `sink` as soon as its host is fully probed — in discovery order,
     /// which is identical for every [`ScanConfig::workers`] setting.
-    pub fn scan_with<F>(&self, universe: &[Cidr], seed: u64, mut sink: F) -> ScanSummary
+    pub fn scan_with<F>(&self, universe: &[Cidr], seed: u64, sink: F) -> ScanSummary
+    where
+        F: FnMut(ScanRecord),
+    {
+        // One certificate interner per campaign, shared by all shards:
+        // interned handles are pure functions of the DER bytes, so the
+        // worker-count byte-identity guarantee survives interning.
+        self.scan_with_certs(universe, seed, &CertStore::new(), sink)
+    }
+
+    /// [`Self::scan_with`] against a caller-owned certificate interner.
+    /// Longitudinal drivers (see [`crate::Campaign`]) pass the same
+    /// store to every weekly campaign: a certificate that survives the
+    /// week is parsed, thumbprinted, and verified exactly once for the
+    /// whole study, and `summary.certs` reports the *cumulative*
+    /// sighting/distinct counters across campaigns.
+    pub fn scan_with_certs<F>(
+        &self,
+        universe: &[Cidr],
+        seed: u64,
+        certs: &CertStore,
+        mut sink: F,
+    ) -> ScanSummary
     where
         F: FnMut(ScanRecord),
     {
@@ -210,10 +238,6 @@ impl Scanner {
         // Every probed host gets a clock forked from this frozen epoch,
         // so records cannot observe each other through shared time.
         let epoch = self.internet.clock().fork();
-        // One certificate interner per campaign, shared by all shards:
-        // interned handles are pure functions of the DER bytes, so the
-        // worker-count byte-identity guarantee survives interning.
-        let certs = CertStore::new();
         let workers = self.config.workers.max(1);
         let mut probe_micros: u64 = 0;
         let mut opcua_hosts: u64 = 0;
@@ -243,7 +267,7 @@ impl Scanner {
                 syn.sweep_shard(universe, &mut rng, 0, 1, |_pos, addr| {
                     let (record, micros) = self.probe_host_at_epoch(
                         &epoch,
-                        &certs,
+                        certs,
                         &mut stack,
                         addr,
                         self.config.port,
@@ -259,7 +283,7 @@ impl Scanner {
                     seed,
                     workers,
                     &epoch,
-                    &certs,
+                    certs,
                     &mut probe_micros,
                     &mut sweep_emit,
                 )
@@ -269,7 +293,7 @@ impl Scanner {
             universe,
             seed,
             &epoch,
-            &certs,
+            certs,
             frontier,
             &mut probe_micros,
             &mut emit,

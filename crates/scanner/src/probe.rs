@@ -13,7 +13,15 @@ use netsim::{Internet, Ipv4, TcpStreamSim};
 use ua_client::{traverse, ClientConfig, ClientError, TraversalBudget, UaClient};
 use ua_crypto::CertStore;
 use ua_proto::services::IdentityToken;
-use ua_types::{ApplicationDescription, ApplicationType, MessageSecurityMode, SecurityPolicy};
+use ua_types::{
+    ApplicationDescription, ApplicationType, AttributeId, DataValue, MessageSecurityMode, NodeId,
+    SecurityPolicy, Variant,
+};
+
+/// Standard NodeId of `Server.ServerStatus.BuildInfo.SoftwareVersion`
+/// (OPC UA Part 6, ns=0;i=2264) — read by the session stage so weekly
+/// campaigns can diff reported versions.
+const SERVER_SOFTWARE_VERSION_NODE: u32 = 2264;
 
 /// Scan-wide configuration shared by all probes.
 #[derive(Clone)]
@@ -291,6 +299,23 @@ impl Probe for SessionProbe {
         match attempt {
             Ok(()) => {
                 record.session = SessionOutcome::AnonymousActivated;
+                // BuildInfo → SoftwareVersion (OPC UA NodeId i=2264):
+                // one cheap read before the traversal. Longitudinal
+                // campaigns diff this field week over week to detect
+                // (non-)patching, the paper's §6 signal.
+                if let Ok(values) = client.read(vec![(
+                    NodeId::numeric(0, SERVER_SOFTWARE_VERSION_NODE),
+                    AttributeId::Value,
+                )]) {
+                    if let Some(Variant::String(Some(v))) = values
+                        .into_iter()
+                        .next()
+                        .filter(DataValue::is_good)
+                        .and_then(|dv| dv.value)
+                    {
+                        record.software_version = Some(v);
+                    }
+                }
                 if let Ok(t) = traverse(client, &budget) {
                     record.traversal = Some(TraversalSummary::from_traversal(&t));
                 }

@@ -197,6 +197,10 @@ pub struct ScanRecord {
     pub referred_urls: Vec<String>,
     /// Outcome of the session stage.
     pub session: SessionOutcome,
+    /// The server's reported `SoftwareVersion` (BuildInfo), read where
+    /// an anonymous session succeeded — the paper's §6 upgrade signal:
+    /// version deltas between weekly campaigns reveal (non-)patching.
+    pub software_version: Option<String>,
     /// Traversal summary when an anonymous session succeeded.
     pub traversal: Option<TraversalSummary>,
     /// Total requests issued against this host.
@@ -243,6 +247,7 @@ impl ScanRecord {
             endpoints: Vec::new(),
             referred_urls: Vec::new(),
             session: SessionOutcome::NotAttempted,
+            software_version: None,
             traversal: None,
             requests: 0,
             tx_bytes: 0,

@@ -5,7 +5,7 @@
 //! all received certificates for shared primes."* This module implements
 //! both the naive pairwise check and the scalable product-/remainder-tree
 //! batch GCD of Heninger et al. (USENIX Security 2012), which the paper
-//! cites as motivation [27].
+//! cites as motivation (its reference \[27\]).
 
 use crate::bigint::BigUint;
 

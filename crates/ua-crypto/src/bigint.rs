@@ -9,8 +9,8 @@
 //!
 //! * [`BigUint::mul`] switches from schoolbook to Karatsuba above
 //!   [`KARATSUBA_THRESHOLD`] limbs — the product tree of
-//!   [`crate::batch_gcd`] multiplies thousands of moduli into numbers far
-//!   past the threshold;
+//!   [`crate::batch_gcd`](mod@crate::batch_gcd) multiplies thousands of
+//!   moduli into numbers far past the threshold;
 //! * [`BigUint::sqr`] exploits the symmetry of squaring (~1.5× cheaper
 //!   than a general multiply), which the remainder tree and modular
 //!   exponentiation hit on every step;

@@ -21,7 +21,7 @@
 //! * [`x509`] — X.509-like application-instance certificates, plus the
 //!   campaign-wide [`CertStore`] interner: a certificate served by N
 //!   hosts is parsed/thumbprinted/identity-checked once, not N times;
-//! * [`batch_gcd`] — pairwise and product-tree shared-prime detection
+//! * [`batch_gcd`](mod@batch_gcd) — pairwise and product-tree shared-prime detection
 //!   (Heninger et al.), used for the §5.3 weak-key analysis; the tree
 //!   runs on the Karatsuba/squaring kernels and consumes deduplicated
 //!   moduli.
@@ -54,5 +54,5 @@ pub use prime::{generate_prime, is_probable_prime};
 pub use rsa::{RsaError, RsaPrivateKey, RsaPublicKey};
 pub use x509::{
     CertStore, CertStoreStats, Certificate, CertificateBuilder, DistinguishedName, ParsedCert,
-    TbsCertificate,
+    TbsCertificate, Thumbprint,
 };

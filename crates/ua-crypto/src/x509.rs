@@ -468,6 +468,54 @@ impl CertStoreStats {
     }
 }
 
+/// A SHA-1 certificate thumbprint, used as a first-class identity.
+///
+/// OPC UA identifies certificates by this value, and the longitudinal
+/// study leans on it twice over: reused certificates cluster by
+/// thumbprint within one campaign (§5.3), and *across* campaigns the
+/// thumbprint is the cross-week host identity — a host that keeps its
+/// certificate while DHCP hands it a new address is recognizably the
+/// same deployment (§4.3's stable-key-despite-IP-churn matching).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Thumbprint(pub [u8; 20]);
+
+impl Thumbprint {
+    /// The thumbprint of serialized certificate bytes.
+    pub fn of_der(der: &[u8]) -> Thumbprint {
+        Thumbprint(sha1(der))
+    }
+
+    /// Lowercase hex rendering.
+    pub fn to_hex(self) -> String {
+        to_hex(&self.0)
+    }
+}
+
+impl From<[u8; 20]> for Thumbprint {
+    fn from(bytes: [u8; 20]) -> Self {
+        Thumbprint(bytes)
+    }
+}
+
+impl std::fmt::Display for Thumbprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl std::fmt::Debug for Thumbprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Thumbprint({})", self.to_hex())
+    }
+}
+
+impl ParsedCert {
+    /// The thumbprint as a typed identity (see [`Thumbprint`]).
+    pub fn identity(&self) -> Thumbprint {
+        Thumbprint(self.thumbprint)
+    }
+}
+
 /// A campaign-wide certificate interner keyed by DER bytes.
 ///
 /// Thread-safe behind a single mutex whose critical section is only a
@@ -699,6 +747,24 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.sightings, 32);
         assert_eq!(stats.distinct, 1);
+    }
+
+    #[test]
+    fn thumbprint_identity_round_trips() {
+        let key = test_key(21);
+        let cert = sample_cert(&key, HashAlgorithm::Sha256);
+        let der = cert.to_der();
+        let tp = Thumbprint::of_der(&der);
+        assert_eq!(tp, Thumbprint::from(cert.thumbprint()));
+        assert_eq!(tp.to_hex(), cert.thumbprint_hex());
+        assert_eq!(format!("{tp}"), cert.thumbprint_hex());
+        // The interned handle agrees — one identity, three spellings.
+        let store = CertStore::new();
+        assert_eq!(store.intern(&der).identity(), tp);
+        // Distinct DER, distinct identity; identities order totally.
+        let other = Thumbprint::of_der(b"other");
+        assert_ne!(tp, other);
+        assert!(tp < other || other < tp);
     }
 
     #[test]

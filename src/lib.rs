@@ -12,7 +12,14 @@
 //!   analysis      │ assessment   incremental Assessor:      │
 //!                 │              fold records as they       │
 //!                 │              stream, batch-GCD at       │
-//!                 │              finalize; paper tables     │
+//!                 │              finalize; paper tables;    │
+//!                 │              longitudinal diffing:      │
+//!                 │              weekly campaigns → churn   │
+//!                 │              series (new/vanished/      │
+//!                 │              moved hosts by cert        │
+//!                 │              thumbprint, renewals,      │
+//!                 │              upgrade detection,         │
+//!                 │              deficit trajectories)      │
 //!                 ├─────────────────────────────────────────┤
 //!   measurement   │ scanner      sharded sweep (N workers,  │
 //!                 │              ScanConfig::workers) →     │
@@ -23,10 +30,18 @@
 //!                 │              channel; certificates      │
 //!                 │              interned campaign-wide     │
 //!                 │              (CertStore: parse/hash     │
-//!                 │              once per distinct DER)     │
+//!                 │              once per distinct DER);    │
+//!                 │              Campaign: N weekly sweeps  │
+//!                 │              on one advancing clock,    │
+//!                 │              one CertStore per study    │
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
-//!                 │              configured deployments     │
+//!                 │              configured deployments;    │
+//!                 │              EvolvingWorld: weekly      │
+//!                 │              churn (IP moves, arrivals/ │
+//!                 │              departures, cert renewal,  │
+//!                 │              up/downgrades, deficit     │
+//!                 │              remediation/regression)    │
 //!                 ├──────────────┬──────────────────────────┤
 //!   protocol      │ ua-client    │ ua-server                │
 //!                 ├──────────────┴──────────────────────────┤
@@ -93,15 +108,30 @@
 //!   handles, and batch GCD consumes moduli deduplicated by exactly
 //!   the §5.2 reuse factor (`ScanSummary::certs` reports sightings
 //!   vs. distinct).
+//! * **Longitudinal campaigns** — `population::EvolvingWorld` churns
+//!   the deployed fleet week over week (DHCP-style IP reassignment,
+//!   arrivals/departures, certificate renewal, software up/downgrades,
+//!   deficit remediation and regression), `scanner::Campaign` runs one
+//!   sweep per week on a strictly advancing clock with a study-wide
+//!   shared `CertStore`, and `assessment::LongitudinalAssessor` diffs
+//!   consecutive campaigns into the paper's series: hosts
+//!   new/vanished/moved (certificate thumbprint as the cross-week
+//!   identity, §4.3), renewals, `software_version` upgrade detection
+//!   (§6), and deficit-rate trajectories. A full multi-campaign run is
+//!   byte-identical per seed at any worker count; CI replays the
+//!   seven-month study against planted ground truth and diffs a
+//!   1-worker vs 4-worker six-week mini-study.
 //! * **Perf trail** — `cargo bench --bench sweep|protocol|crypto|`
-//!   `ablation|figures` measures the pipeline and writes
+//!   `ablation|figures|longitudinal` measures the pipeline and writes
 //!   `BENCH_<name>.json` (see `crates/bench`); CI runs
-//!   `sweep`+`ablation`+`crypto`, fails if Montgomery ever loses to
-//!   the legacy path or deduplication stops paying, and uploads the
+//!   `sweep`+`ablation`+`crypto`+`longitudinal`, fails if Montgomery
+//!   ever loses to the legacy path, deduplication stops paying, or the
+//!   longitudinal churn rates collapse to zero, and uploads the
 //!   artifacts on every run.
 //!
-//! See `examples/quickstart.rs`, `examples/internet_scan.rs`, and
-//! `examples/deployment_audit.rs` for runnable end-to-end demos.
+//! See `examples/quickstart.rs`, `examples/internet_scan.rs`,
+//! `examples/deployment_audit.rs`, and `examples/seven_month_study.rs`
+//! for runnable end-to-end demos (`examples/README.md` has the tour).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -119,12 +149,19 @@ pub use ua_types;
 
 /// The types most pipelines need, in one import.
 pub mod prelude {
-    pub use assessment::{assess, AssessmentReport, Assessor, Deficit};
-    pub use netsim::{Blocklist, Cidr, Internet, Ipv4, VirtualClock};
-    pub use population::{synthesize, HostClass, Population, PopulationConfig, StrataMix};
-    pub use scanner::{
-        DiscoveredVia, OpcUrl, ReferralStats, ScanConfig, ScanRecord, Scanner, SessionOutcome,
+    pub use assessment::{
+        assess, AssessmentReport, Assessor, Deficit, LongitudinalAssessor, LongitudinalReport,
+        WeekDelta,
     };
+    pub use netsim::{Blocklist, Cidr, Internet, Ipv4, VirtualClock};
+    pub use population::{
+        synthesize, ChurnConfig, EvolvingWorld, HostClass, Population, PopulationConfig, StrataMix,
+    };
+    pub use scanner::{
+        Campaign, CampaignConfig, DiscoveredVia, OpcUrl, ReferralStats, ScanConfig, ScanRecord,
+        Scanner, SessionOutcome, WeeklyScan,
+    };
+    pub use ua_crypto::Thumbprint;
     pub use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
 }
 
