@@ -4,10 +4,14 @@
 //! cross-week diffing) and measures what longitudinal scanning costs on
 //! top of a single snapshot: per-week scan time, end-to-end study time,
 //! and the interning payoff of sharing one `CertStore` across all
-//! campaigns. Emits both the *planted* churn rates (ground truth from
-//! the evolution log, per host-week) and the *detected* series totals
-//! so the perf trail doubles as a sanity record — CI fails when any
-//! churn-rate field is missing or zero.
+//! campaigns. The study runs on a *lazy* world — hosts materialize on
+//! first probe contact — and a second run over a 16× larger universe
+//! with the same population verifies that per-week cost tracks the
+//! population, not the address space. Emits both the *planted* churn
+//! rates (ground truth from the evolution log, per host-week) and the
+//! *detected* series totals so the perf trail doubles as a sanity
+//! record — CI fails when any churn-rate or materialization field is
+//! missing or zero.
 //!
 //! ```sh
 //! BENCH_HOSTS=250 BENCH_UNIVERSE=21 BENCH_WEEKS=6 \
@@ -40,7 +44,7 @@ fn main() {
         StrataMix::paper_like(cfg.hosts),
     );
     let churn = ChurnConfig::default();
-    let mut world = EvolvingWorld::new(&net, &pop_cfg, churn);
+    let mut world = EvolvingWorld::new_lazy(&net, &pop_cfg, churn);
     let hosts_week0 = world.alive_count();
     let scan_config = ScanConfig {
         workers: cfg.worker_counts.first().copied().unwrap_or(1),
@@ -101,6 +105,70 @@ fn main() {
     let rate = |n: usize| n as f64 / host_weeks.max(1.0);
     let certs = campaign.cert_stats();
     let total_scan: f64 = scan_seconds.iter().sum();
+
+    // Materialization telemetry: the study above ran on a lazy world,
+    // so the counters show exactly what the weekly sweeps paid for.
+    // Materializing more hosts than the campaign ever scanned would
+    // mean the lazy path builds hosts no probe reached.
+    let stats = world.stats();
+    assert!(stats.hosts_materialized > 0, "study materialized nothing");
+    assert!(
+        stats.hosts_materialized <= hosts_scanned,
+        "materialized {} hosts but only {} host-scans happened",
+        stats.hosts_materialized,
+        hosts_scanned
+    );
+
+    // Universe-scale independence: replay the identical study in a 16×
+    // larger address space. Host identities, churn events, and key
+    // generations are functions of (seed, host id, week), so the
+    // counters must not move — per-week cost tracks the population,
+    // not the universe.
+    let scaled_universe = vec![netsim::Cidr::new(
+        cfg.universe[0].base,
+        cfg.universe[0].prefix_len.saturating_sub(4),
+    )];
+    let scaled_addresses: u64 = scaled_universe.iter().map(netsim::Cidr::size).sum();
+    let scaled_net = Internet::new(VirtualClock::default());
+    let scaled_cfg = PopulationConfig::new(
+        cfg.seed,
+        scaled_universe.clone(),
+        StrataMix::paper_like(cfg.hosts),
+    );
+    let mut scaled_world =
+        EvolvingWorld::new_lazy(&scaled_net, &scaled_cfg, ChurnConfig::default());
+    let scan_config = ScanConfig {
+        workers: cfg.worker_counts.first().copied().unwrap_or(1),
+        ..ScanConfig::default()
+    };
+    let mut scaled_campaign =
+        Campaign::new(Scanner::new(scaled_net, Blocklist::new(), scan_config));
+    let (scaled_seconds, ()) = time(|| {
+        for _ in 0..weeks {
+            let scaled_world = &mut scaled_world;
+            scaled_campaign.run_week(&scaled_universe, cfg.seed, |w| {
+                if w > 0 {
+                    scaled_world.evolve(w);
+                }
+            });
+        }
+    });
+    let scaled_stats = scaled_world.stats();
+    assert_eq!(
+        scaled_stats.hosts_materialized, stats.hosts_materialized,
+        "a 16× universe changed how many hosts materialized"
+    );
+    assert_eq!(
+        scaled_stats.keygen_count, stats.keygen_count,
+        "a 16× universe changed how many keys were generated"
+    );
+    println!(
+        "  scale check: {}x addresses, same {} hosts materialized, \
+         same {} keygens ({scaled_seconds:.2}s)",
+        scaled_addresses / cfg.universe_size().max(1),
+        scaled_stats.hosts_materialized,
+        scaled_stats.keygen_count
+    );
 
     let json = Json::obj()
         .set("weeks", Json::int(weeks as i64))
@@ -163,7 +231,31 @@ fn main() {
         .set("cert_sightings", Json::int(certs.sightings as i64))
         .set("distinct_certs", Json::int(certs.distinct as i64))
         .set("intern_hit_rate", Json::Num(certs.hit_rate()))
-        .set("determinism_digest", Json::str(format!("{digest:x}")));
+        .set("determinism_digest", Json::str(format!("{digest:x}")))
+        // Lazy-materialization counters for the study above, plus the
+        // 16×-universe replay proving per-week cost is a function of
+        // the population, not the address space.
+        .set("hosts_materialized", Json::int(stats.hosts_materialized))
+        .set("keygen_count", Json::int(stats.keygen_count))
+        .set(
+            "bytes_resident_estimate",
+            Json::int(stats.bytes_resident_estimate),
+        )
+        .set(
+            "peak_bytes_resident_estimate",
+            Json::int(stats.peak_bytes_resident_estimate),
+        )
+        .set("scaled_universe_addresses", Json::int(scaled_addresses))
+        .set(
+            "scaled_hosts_materialized",
+            Json::int(scaled_stats.hosts_materialized),
+        )
+        .set("scaled_keygen_count", Json::int(scaled_stats.keygen_count))
+        .set(
+            "scaled_scan_seconds_per_week",
+            Json::Num(scaled_seconds / f64::from(weeks.max(1))),
+        )
+        .set("universe_scale_independent", Json::Bool(true));
 
     let path = write_bench_json("longitudinal", &json);
     println!(

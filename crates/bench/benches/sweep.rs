@@ -4,6 +4,10 @@
 //! records) over the same seeded world at every configured worker count,
 //! measures wall-clock throughput, and verifies on the way that the
 //! records stay byte-identical — the sharding contract CI relies on.
+//! A final lazy-materialization run repeats the scan against a
+//! [`population::LazyWorld`], asserts the digest still matches, and
+//! records the materialization counters so the perf trail shows sweeps
+//! paying only for the hosts probes actually reach.
 //!
 //! ```sh
 //! BENCH_HOSTS=300 BENCH_UNIVERSE=20 BENCH_WORKERS=1,2,4,8 \
@@ -83,6 +87,40 @@ fn main() {
         );
     }
 
+    // Lazy-materialization run: identical world, but hosts are built on
+    // first probe contact. The record digest must match the eager
+    // baseline byte-for-byte, and not one host beyond the responsive
+    // population may have been materialized.
+    let lazy_workers = cfg.worker_counts.first().copied().unwrap_or(1);
+    let (lazy_net, lazy_world) = cfg.build_lazy_world();
+    let scanner = cfg.scanner(lazy_net, lazy_workers);
+    let (lazy_seconds, (lazy_summary, lazy_records)) =
+        time(|| scanner.scan_collect(&cfg.universe, cfg.seed));
+    let lazy_digest = format!(
+        "{}/{}/{:x}",
+        lazy_records.len(),
+        lazy_summary.opcua_hosts,
+        lazy_records.iter().fold(0u64, |acc, r| acc
+            .wrapping_mul(1_000_003)
+            .wrapping_add(u64::from(r.address.0))
+            .wrapping_add(r.rx_bytes))
+    );
+    assert_eq!(
+        baseline_digest.as_ref(),
+        Some(&lazy_digest),
+        "lazy scan output diverged from the eager baseline"
+    );
+    let stats = lazy_world.stats();
+    assert_eq!(
+        stats.hosts_materialized, lazy_summary.opcua_hosts,
+        "lazy world materialized hosts the scan never reached"
+    );
+    println!(
+        "  lazy (workers={lazy_workers}): {lazy_seconds:.3}s, \
+         {} hosts materialized, {} keygens, ~{} bytes resident",
+        stats.hosts_materialized, stats.keygen_count, stats.bytes_resident_estimate
+    );
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -93,7 +131,24 @@ fn main() {
         .set("universe_addresses", Json::int(universe_size as i64))
         .set("seed", Json::int(cfg.seed as i64))
         .set("deterministic_across_worker_counts", Json::Bool(true))
-        .set("runs", Json::Arr(runs));
+        .set("runs", Json::Arr(runs))
+        .set(
+            "lazy",
+            Json::obj()
+                .set("workers", Json::int(lazy_workers as i64))
+                .set("seconds", Json::Num(lazy_seconds))
+                .set("hosts_materialized", Json::int(stats.hosts_materialized))
+                .set("keygen_count", Json::int(stats.keygen_count))
+                .set(
+                    "bytes_resident_estimate",
+                    Json::int(stats.bytes_resident_estimate),
+                )
+                .set(
+                    "peak_bytes_resident_estimate",
+                    Json::int(stats.peak_bytes_resident_estimate),
+                )
+                .set("digest_matches_eager", Json::Bool(true)),
+        );
     let path = write_bench_json("sweep", &out);
     println!("wrote {}", path.display());
 }

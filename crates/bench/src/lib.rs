@@ -24,7 +24,7 @@
 #![warn(missing_docs)]
 
 use netsim::{Blocklist, Cidr, Internet, VirtualClock};
-use population::{synthesize, Population, PopulationConfig, StrataMix};
+use population::{synthesize, LazyWorld, Population, PopulationConfig, StrataMix};
 use scanner::{ScanConfig, ScanRecord, Scanner};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -198,6 +198,21 @@ impl BenchConfig {
         );
         let population = synthesize(&net, &cfg);
         (net, population)
+    }
+
+    /// The identically-seeded world as a [`LazyWorld`]: nothing is
+    /// built up front, hosts materialize on first probe contact, and
+    /// the returned handle exposes the materialization counters
+    /// ([`population::MaterializationStats`]) the perf trail records.
+    pub fn build_lazy_world(&self) -> (Internet, LazyWorld) {
+        let net = Internet::new(VirtualClock::default());
+        let cfg = PopulationConfig::new(
+            self.seed,
+            self.universe.clone(),
+            StrataMix::paper_like(self.hosts),
+        );
+        let world = LazyWorld::deploy(&net, &cfg);
+        (net, world)
     }
 
     /// A scanner over `net` with the given worker count.
@@ -396,5 +411,28 @@ mod tests {
             records.iter().filter(|r| r.hello_ok).count(),
             population.len()
         );
+    }
+
+    #[test]
+    fn lazy_world_scans_identically_to_eager() {
+        let cfg = BenchConfig {
+            hosts: 12,
+            universe: vec!["10.0.0.0/24".parse().unwrap()],
+            worker_counts: vec![1],
+            seed: 7,
+        };
+        let (eager_net, _) = cfg.build_world();
+        let (_, eager_records) = cfg
+            .scanner(eager_net, 1)
+            .scan_collect(&cfg.universe, cfg.seed);
+
+        let (lazy_net, world) = cfg.build_lazy_world();
+        assert_eq!(world.stats().hosts_materialized, 0);
+        let (summary, lazy_records) = cfg
+            .scanner(lazy_net, 1)
+            .scan_collect(&cfg.universe, cfg.seed);
+
+        assert_eq!(eager_records, lazy_records);
+        assert_eq!(world.stats().hosts_materialized, summary.opcua_hosts);
     }
 }

@@ -80,12 +80,41 @@ struct HostEntry {
     rtt_micros: u32,
 }
 
+/// Lazily resolves hosts that are not (yet) in the bound host table.
+///
+/// A resolver is the hook behind lazy world materialization: the sweep
+/// and the probe stack keep calling [`Internet::has_listener`] /
+/// [`Internet::connect`] as if every host were pre-bound, and the
+/// resolver answers occupancy queries from a seeded predicate in O(1) —
+/// without allocating anything per address — then materializes (builds
+/// and binds) a host the first time a connection actually reaches it.
+///
+/// Contract:
+/// * `host_exists` / `has_listener` must be side-effect free and cheap —
+///   they are called once per swept address.
+/// * `materialize` must leave the host bound on `net` before returning
+///   (or do nothing if the address is actually empty); it is only called
+///   after `host_exists` returned true, and must be idempotent — probe
+///   workers race on it.
+/// * Answers must be consistent with what `materialize` binds, or probes
+///   become non-deterministic.
+pub trait HostResolver: Send + Sync {
+    /// True if a host occupies `addr` (SYN would not time out).
+    fn host_exists(&self, addr: Ipv4) -> bool;
+    /// True if something listens on `(addr, port)` — the sweep's SYN
+    /// probe. Must not materialize anything.
+    fn has_listener(&self, addr: Ipv4, port: u16) -> bool;
+    /// Builds and binds the host at `addr` onto `net` (first contact).
+    fn materialize(&self, net: &Internet, addr: Ipv4);
+}
+
 /// The simulated Internet. Cheap to clone (shared interior).
 #[derive(Clone)]
 pub struct Internet {
     clock: VirtualClock,
     hosts: Arc<RwLock<HashMap<u32, HostEntry>>>,
     registry: Arc<RwLock<AsRegistry>>,
+    resolver: Arc<RwLock<Option<Arc<dyn HostResolver>>>>,
 }
 
 impl Internet {
@@ -95,6 +124,7 @@ impl Internet {
             clock,
             hosts: Arc::new(RwLock::new(HashMap::new())),
             registry: Arc::new(RwLock::new(AsRegistry::new())),
+            resolver: Arc::new(RwLock::new(None)),
         }
     }
 
@@ -113,7 +143,22 @@ impl Internet {
             clock,
             hosts: Arc::clone(&self.hosts),
             registry: Arc::clone(&self.registry),
+            resolver: Arc::clone(&self.resolver),
         }
+    }
+
+    /// Installs a [`HostResolver`] that backs the host table with a lazy
+    /// world: occupancy queries that miss the bound table fall through
+    /// to the resolver, and connects to resolver-known addresses
+    /// materialize the host on first contact. Shared by all clock views
+    /// ([`Internet::with_clock`]), so sharded scan workers see the same
+    /// lazy world.
+    pub fn set_resolver(&self, resolver: Arc<dyn HostResolver>) {
+        *self.resolver.write().unwrap() = Some(resolver);
+    }
+
+    fn resolver(&self) -> Option<Arc<dyn HostResolver>> {
+        self.resolver.read().unwrap().clone()
     }
 
     /// Replaces the AS registry.
@@ -142,6 +187,25 @@ impl Internet {
         );
     }
 
+    /// Atomically installs (or replaces) a host together with its
+    /// listeners under one table lock. Lazy materialization binds
+    /// through this: concurrent scan workers must never observe a host
+    /// entry that exists but has no services yet.
+    pub fn install_host(
+        &self,
+        addr: Ipv4,
+        rtt_micros: u32,
+        services: Vec<(u16, Arc<dyn Service>)>,
+    ) {
+        self.hosts.write().unwrap().insert(
+            addr.0,
+            HostEntry {
+                services: services.into_iter().collect(),
+                rtt_micros,
+            },
+        );
+    }
+
     /// Removes a host entirely (device went offline / changed IP).
     pub fn remove_host(&self, addr: Ipv4) {
         self.hosts.write().unwrap().remove(&addr.0);
@@ -163,22 +227,31 @@ impl Internet {
         }
     }
 
-    /// True if a host exists at `addr`.
+    /// True if a host exists at `addr` — bound or resolver-known.
     pub fn host_exists(&self, addr: Ipv4) -> bool {
-        self.hosts.read().unwrap().contains_key(&addr.0)
+        if self.hosts.read().unwrap().contains_key(&addr.0) {
+            return true;
+        }
+        self.resolver().is_some_and(|r| r.host_exists(addr))
     }
 
     /// SYN-probe semantics: does anything listen on `(addr, port)`?
     /// (No clock cost — probe pacing is accounted by the sweep.)
+    ///
+    /// A materialized host answers from its bound service table; an
+    /// unmaterialized one from the resolver's O(1) predicate — the SYN
+    /// itself never materializes anything.
     pub fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
-        self.hosts
-            .read()
-            .unwrap()
-            .get(&addr.0)
-            .is_some_and(|h| h.services.contains_key(&port))
+        {
+            let hosts = self.hosts.read().unwrap();
+            if let Some(h) = hosts.get(&addr.0) {
+                return h.services.contains_key(&port);
+            }
+        }
+        self.resolver().is_some_and(|r| r.has_listener(addr, port))
     }
 
-    /// Number of hosts.
+    /// Number of *bound* hosts (lazy worlds: materialized so far).
     pub fn host_count(&self) -> usize {
         self.hosts.read().unwrap().len()
     }
@@ -199,30 +272,60 @@ impl Internet {
 
     /// Opens a TCP-like connection, applying one RTT of virtual latency
     /// for the handshake.
+    ///
+    /// With a resolver installed, a connect to an address the bound
+    /// table misses but the resolver knows first materializes the host
+    /// (the lazy world's "first probe contact"), then retries against
+    /// the now-bound table. Materialization itself is free on the
+    /// virtual clock — only the handshake RTT is charged, exactly as in
+    /// an eagerly built world.
     pub fn connect(
         &self,
         from: Ipv4,
         to: Ipv4,
         port: u16,
     ) -> Result<crate::stream::TcpStreamSim, ConnectError> {
-        let hosts = self.hosts.read().unwrap();
-        let host = hosts.get(&to.0).ok_or_else(|| {
-            // SYN timeout: a scanner waits ~1s for silence.
-            self.clock.advance_millis(1000);
-            ConnectError::NoRoute
-        })?;
-        let service = host.services.get(&port).ok_or_else(|| {
-            // RST comes back after one RTT.
-            self.clock.advance_micros(host.rtt_micros as u64);
-            ConnectError::Refused
-        })?;
-        let conn = service.open_connection(from);
-        self.clock.advance_micros(host.rtt_micros as u64);
-        Ok(crate::stream::TcpStreamSim::new(
-            self.clock.clone(),
-            conn,
-            host.rtt_micros,
-        ))
+        // One retry: a table miss may just mean "not materialized yet".
+        // The hosts lock is never held across the resolver call —
+        // materialize() needs the write side to bind.
+        for attempt in 0..2 {
+            enum Hit {
+                Conn(Box<dyn Connection>, u32),
+                Refused(u32),
+            }
+            let hit = {
+                let hosts = self.hosts.read().unwrap();
+                hosts.get(&to.0).map(|host| match host.services.get(&port) {
+                    Some(service) => Hit::Conn(service.open_connection(from), host.rtt_micros),
+                    None => Hit::Refused(host.rtt_micros),
+                })
+            };
+            match hit {
+                Some(Hit::Conn(conn, rtt)) => {
+                    self.clock.advance_micros(rtt as u64);
+                    return Ok(crate::stream::TcpStreamSim::new(
+                        self.clock.clone(),
+                        conn,
+                        rtt,
+                    ));
+                }
+                Some(Hit::Refused(rtt)) => {
+                    // RST comes back after one RTT.
+                    self.clock.advance_micros(rtt as u64);
+                    return Err(ConnectError::Refused);
+                }
+                None if attempt == 0 => {
+                    match self.resolver() {
+                        Some(r) if r.host_exists(to) => r.materialize(self, to),
+                        _ => break,
+                    };
+                }
+                None => break,
+            }
+        }
+        // SYN timeout: a scanner waits ~1s for silence.
+        self.clock.advance_millis(1000);
+        Err(ConnectError::NoRoute)
     }
 }
 
@@ -303,6 +406,67 @@ mod tests {
         net.remove_host(ip);
         assert!(!net.host_exists(ip));
         assert_eq!(net.host_count(), 0);
+    }
+
+    #[test]
+    fn resolver_backs_table_misses_and_materializes_on_connect() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct LazyEcho {
+            target: Ipv4,
+            materialized: AtomicUsize,
+        }
+        impl HostResolver for LazyEcho {
+            fn host_exists(&self, addr: Ipv4) -> bool {
+                addr == self.target
+            }
+            fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
+                addr == self.target && port == 4840
+            }
+            fn materialize(&self, net: &Internet, addr: Ipv4) {
+                self.materialized.fetch_add(1, Ordering::SeqCst);
+                net.install_host(
+                    addr,
+                    5_000,
+                    vec![(4840, Arc::new(Echo) as Arc<dyn Service>)],
+                );
+            }
+        }
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let target = Ipv4::new(10, 9, 9, 9);
+        let resolver = Arc::new(LazyEcho {
+            target,
+            materialized: AtomicUsize::new(0),
+        });
+        net.set_resolver(resolver.clone());
+
+        // SYN probes answer from the predicate without materializing.
+        assert!(net.has_listener(target, 4840));
+        assert!(!net.has_listener(target, 80));
+        assert!(net.host_exists(target));
+        assert!(!net.host_exists(Ipv4::new(10, 9, 9, 8)));
+        assert_eq!(net.host_count(), 0);
+        assert_eq!(resolver.materialized.load(Ordering::SeqCst), 0);
+
+        // First contact materializes exactly once; afterwards the bound
+        // table answers directly.
+        let mut s = net.connect(Ipv4::new(1, 1, 1, 1), target, 4840).unwrap();
+        s.send(b"hi").unwrap();
+        assert_eq!(s.recv().unwrap(), Some(b"hi".to_vec()));
+        assert_eq!(resolver.materialized.load(Ordering::SeqCst), 1);
+        assert_eq!(net.host_count(), 1);
+        let _ = net.connect(Ipv4::new(1, 1, 1, 1), target, 4840).unwrap();
+        assert_eq!(resolver.materialized.load(Ordering::SeqCst), 1);
+
+        // Clock views share the resolver.
+        let view = net.with_clock(VirtualClock::starting_at(0));
+        assert!(view.has_listener(target, 4840));
+
+        // Addresses the resolver disowns still time out.
+        assert_eq!(
+            net.connect(Ipv4::new(1, 1, 1, 1), Ipv4::new(10, 9, 9, 8), 4840)
+                .err(),
+            Some(ConnectError::NoRoute)
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod sweep;
 pub use asn::{AsInfo, AsKind, AsRegistry};
 pub use cidr::{Blocklist, Cidr, CidrParseError, Ipv4};
 pub use clock::{Micros, Stopwatch, VirtualClock};
-pub use internet::{ConnectError, Connection, ConnectionOutput, Internet, Service};
+pub use internet::{ConnectError, Connection, ConnectionOutput, HostResolver, Internet, Service};
 pub use stream::{ByteStream, ConnectionStats, LoopbackStream, StreamError, TcpStreamSim};
 pub use sweep::{
     ipv4_permutation, CycleWalk, PermutedRange, SweepConfig, SweepResult, SweepStats, SynScanner,

@@ -5,16 +5,20 @@
 //! expire and hand hosts new addresses, devices appear and disappear,
 //! certificates get renewed, firmware gets upgraded (and occasionally
 //! rolled back), and operators sometimes fix — or reintroduce —
-//! configuration deficits. [`EvolvingWorld`] owns a
-//! [`Deployment`](crate::Deployment) and applies exactly those event
-//! classes once per simulated week, mutating the shared
+//! configuration deficits. [`EvolvingWorld`] applies exactly those
+//! event classes once per simulated week, mutating the shared
 //! [`netsim::Internet`] in place so a multi-campaign scanner observes
 //! the churn the way the paper's scanner did.
 //!
-//! Everything is a pure function of `(seed, week, roster state)`: each
-//! host draws its weekly fate from an RNG seeded by `(seed, week,
-//! host id)`, so the same seed replays the same seven months event for
-//! event regardless of scanner worker counts or wall-clock timing. The
+//! Everything is a pure function of `(seed, week, host id)`: each host
+//! draws every weekly decision from its own salted RNG stream, so the
+//! same seed replays the same seven months event for event regardless
+//! of scanner worker counts, wall-clock timing — or *materialization
+//! order*. That last property is what lets [`EvolvingWorld::new_lazy`]
+//! run the identical study over a million-address universe: weekly
+//! churn updates only a cheap per-host fate table, and the expensive
+//! material (keys, certificates, server cores) is built, with all past
+//! events replayed, the first time a probe reaches the host. The
 //! ground truth of every planted event is logged per week
 //! ([`WeekChurn`]) for the longitudinal assessment to validate against.
 //!
@@ -27,18 +31,12 @@
 //! modeling servers that re-register with their LDS after a lease
 //! change.
 
-use crate::{
-    bind_deployment, build_host, pick_free_address, BuildParams, HostClass, HostDeployment,
-    Population, PopulationConfig, SharedSecrets, Synthesizer, ACTUAL_KEY_BITS,
-};
-use netsim::{Cidr, Internet, Ipv4};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, HashSet};
-use ua_addrspace::ids;
-use ua_crypto::{CertificateBuilder, DistinguishedName, RsaPrivateKey, Thumbprint};
-use ua_server::{EndpointConfig, UserAccount};
-use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType, Variant};
+use crate::world::{MaterializationStats, WorldCore};
+use crate::{HostClass, HostDeployment, Population, PopulationConfig};
+use netsim::{Internet, Ipv4};
+use std::sync::Arc;
+use ua_crypto::Thumbprint;
+use ua_types::UserTokenType;
 
 /// Weekly churn probabilities, applied per host per week.
 ///
@@ -200,12 +198,6 @@ impl WeekChurn {
     }
 }
 
-struct RosterEntry {
-    id: u64,
-    dep: HostDeployment,
-    alive: bool,
-}
-
 /// What a scanner campaign *should* observe for one living host: the
 /// probe target, the certificate identity, and the software version —
 /// the latter only where an anonymous session would expose it (the
@@ -224,6 +216,34 @@ pub struct TruthObservation {
     pub thumbprint: Option<Thumbprint>,
     /// `software_version` as visible to an anonymous scanner.
     pub software_version: Option<String>,
+}
+
+/// Strata weekly arrivals cycle through — swept, non-LDS classes only
+/// (see the module docs for why the referral topology stays stable).
+pub(crate) const ARRIVAL_CLASSES: [HostClass; 7] = [
+    HostClass::WideOpen,
+    HostClass::MixedLegacy,
+    HostClass::SecureModern,
+    HostClass::DeprecatedOnly,
+    HostClass::ReusedCert,
+    HostClass::BrokenSession,
+    HostClass::WeakCert,
+];
+
+/// Mixes `(seed, week, host id)` into an independent per-host weekly
+/// RNG seed (the world engine salts it further per event kind).
+pub(crate) fn host_week_seed(seed: u64, week: u32, id: u64) -> u64 {
+    seed ^ (week as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ id.wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// Parses a `major.minor.patch` version string.
+pub(crate) fn parse_version(v: &str) -> Option<(u32, u32, u32)> {
+    let mut parts = v.split('.').map(|p| p.parse::<u32>());
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(Ok(a)), Some(Ok(b)), Some(Ok(c)), None) => Some((a, b, c)),
+        _ => None,
+    }
 }
 
 /// A deployed population evolving week over week on a shared
@@ -248,74 +268,49 @@ pub struct TruthObservation {
 /// );
 /// ```
 pub struct EvolvingWorld {
-    net: Internet,
-    seed: u64,
-    sweep_port: u16,
-    universe: Vec<Cidr>,
-    churn: ChurnConfig,
-    shared: SharedSecrets,
-    hosts: Vec<RosterEntry>,
-    used: HashSet<u32>,
-    serial: u64,
-    arrival_cursor: usize,
+    core: Arc<WorldCore>,
+    pub(crate) churn: ChurnConfig,
     week: u32,
     history: Vec<WeekChurn>,
 }
 
-/// Strata weekly arrivals cycle through — swept, non-LDS classes only
-/// (see the module docs for why the referral topology stays stable).
-const ARRIVAL_CLASSES: [HostClass; 7] = [
-    HostClass::WideOpen,
-    HostClass::MixedLegacy,
-    HostClass::SecureModern,
-    HostClass::DeprecatedOnly,
-    HostClass::ReusedCert,
-    HostClass::BrokenSession,
-    HostClass::WeakCert,
-];
-
-/// Mixes `(seed, week, host id)` into an independent per-host weekly
-/// RNG seed.
-fn host_week_seed(seed: u64, week: u32, id: u64) -> u64 {
-    seed ^ (week as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ id.wrapping_mul(0xD1B5_4A32_D192_ED03)
-}
-
-/// Parses a `major.minor.patch` version string.
-fn parse_version(v: &str) -> Option<(u32, u32, u32)> {
-    let mut parts = v.split('.').map(|p| p.parse::<u32>());
-    match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(Ok(a)), Some(Ok(b)), Some(Ok(c)), None) => Some((a, b, c)),
-        _ => None,
-    }
-}
-
 impl EvolvingWorld {
     /// Synthesizes the week-0 deployment onto `net` and wraps it in an
-    /// evolving world with the given churn model.
+    /// evolving world with the given churn model. Every host is built
+    /// and bound up front (the eager path).
     pub fn new(net: &Internet, cfg: &PopulationConfig, churn: ChurnConfig) -> EvolvingWorld {
-        let deployment = crate::synthesize_deployment(net, cfg);
-        let hosts = deployment
-            .hosts
-            .into_iter()
-            .enumerate()
-            .map(|(i, dep)| RosterEntry {
-                id: i as u64,
-                dep,
-                alive: true,
-            })
-            .collect();
         EvolvingWorld {
-            net: net.clone(),
-            seed: cfg.seed,
-            sweep_port: cfg.port,
-            universe: deployment.universe,
+            core: WorldCore::new(net, cfg, false),
             churn,
-            shared: deployment.shared,
-            hosts,
-            used: deployment.used,
-            serial: deployment.serial,
-            arrival_cursor: 0,
+            week: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Like [`EvolvingWorld::new`], but *lazy*: hosts materialize on
+    /// first probe contact, weekly churn updates only the cheap fate
+    /// table, and memory stays proportional to the hosts campaigns
+    /// actually touch — byte-identical observations to the eager path.
+    ///
+    /// ```
+    /// use netsim::{Internet, VirtualClock};
+    /// use population::{ChurnConfig, EvolvingWorld, PopulationConfig, StrataMix};
+    ///
+    /// let net = Internet::new(VirtualClock::default());
+    /// let cfg = PopulationConfig::new(
+    ///     7,
+    ///     vec!["10.0.0.0/16".parse().unwrap()],
+    ///     StrataMix::paper_like(30),
+    /// );
+    /// let mut world = EvolvingWorld::new_lazy(&net, &cfg, ChurnConfig::default());
+    /// world.evolve(1);
+    /// // A full week of churn, and still nothing was built.
+    /// assert_eq!(world.stats().hosts_materialized, 0);
+    /// ```
+    pub fn new_lazy(net: &Internet, cfg: &PopulationConfig, churn: ChurnConfig) -> EvolvingWorld {
+        EvolvingWorld {
+            core: WorldCore::new(net, cfg, true),
+            churn,
             week: 0,
             history: Vec::new(),
         }
@@ -328,30 +323,31 @@ impl EvolvingWorld {
 
     /// The shared Internet the world is deployed on.
     pub fn net(&self) -> &Internet {
-        &self.net
+        self.core.net()
+    }
+
+    /// Materialization telemetry (all hosts, for [`EvolvingWorld::new`];
+    /// probed hosts only, for [`EvolvingWorld::new_lazy`]).
+    pub fn stats(&self) -> MaterializationStats {
+        self.core.stats()
     }
 
     /// Ground truth of the *living* population, in roster order.
+    /// **Materializes every living host** in a lazy world — this is
+    /// the audit exit, not the fast path.
     pub fn population(&self) -> Population {
-        Population {
-            hosts: self
-                .hosts
-                .iter()
-                .filter(|h| h.alive)
-                .map(|h| h.dep.truth.clone())
-                .collect(),
-            universe: self.universe.clone(),
-        }
+        self.core.population()
     }
 
-    /// The living hosts' full deployments, in roster order.
-    pub fn alive(&self) -> impl Iterator<Item = &HostDeployment> {
-        self.hosts.iter().filter(|h| h.alive).map(|h| &h.dep)
+    /// The living hosts' full deployments, in roster order (current
+    /// state). **Materializes every living host** in a lazy world.
+    pub fn alive(&self) -> impl Iterator<Item = HostDeployment> {
+        self.core.alive_deps().into_iter()
     }
 
-    /// Number of living hosts.
+    /// Number of living hosts (cheap: fate table only).
     pub fn alive_count(&self) -> usize {
-        self.hosts.iter().filter(|h| h.alive).count()
+        self.core.alive_count()
     }
 
     /// The per-week ground-truth churn logs so far.
@@ -361,7 +357,8 @@ impl EvolvingWorld {
 
     /// The scanner-visible truth for every living host, in roster
     /// order — what a full campaign over the current week should
-    /// observe (see [`TruthObservation`]).
+    /// observe (see [`TruthObservation`]). **Materializes every living
+    /// host** in a lazy world.
     pub fn observable_truth(&self) -> Vec<TruthObservation> {
         self.alive()
             .map(|dep| TruthObservation {
@@ -381,8 +378,9 @@ impl EvolvingWorld {
 
     /// Advances the world by one week of churn. `week` must be the
     /// successor of the current week — the step is a deterministic
-    /// function of `(seed, week)` and the roster, so replaying the same
-    /// seed replays the same study. Returns the planted ground truth.
+    /// function of `(seed, week, host id)`, so replaying the same seed
+    /// replays the same study, eagerly or lazily. Returns the planted
+    /// ground truth.
     ///
     /// Call *after* the campaign clock reached the new week's epoch:
     /// renewed certificates anchor their validity at the current
@@ -390,251 +388,7 @@ impl EvolvingWorld {
     pub fn evolve(&mut self, week: u32) -> &WeekChurn {
         assert_eq!(week, self.week + 1, "evolution proceeds one week at a time");
         self.week = week;
-        let now = self.net.clock().now_unix_seconds();
-        let mut log = WeekChurn {
-            week,
-            events: Vec::new(),
-        };
-        // Hosts whose server material changed and must be rebound, and
-        // `://old-address:` → `://new-address:` rewrites for every
-        // FindServers answer referencing a moved host. Vacated
-        // addresses stay reserved in `used` for the rest of the study,
-        // so a rewrite pattern never becomes ambiguous.
-        let mut rebind: BTreeSet<usize> = BTreeSet::new();
-        let mut moved: Vec<(String, String)> = Vec::new();
-
-        for idx in 0..self.hosts.len() {
-            if !self.hosts[idx].alive {
-                continue;
-            }
-            let id = self.hosts[idx].id;
-            let mut rng = StdRng::seed_from_u64(host_week_seed(self.seed, week, id));
-            let class = self.hosts[idx].dep.truth.class;
-            let lds_like = matches!(class, HostClass::DiscoveryServer | HostClass::ChainedLds);
-
-            if !lds_like && rng.gen_bool(self.churn.departure) {
-                self.net.remove_host(self.hosts[idx].dep.truth.address);
-                self.hosts[idx].alive = false;
-                log.events.push((id, ChurnEvent::Departed));
-                continue;
-            }
-
-            let entry = &mut self.hosts[idx];
-            let dep = &mut entry.dep;
-
-            if rng.gen_bool(self.churn.ip_move) {
-                let from = dep.truth.address;
-                let to = pick_free_address(&mut rng, &self.universe, &mut self.used);
-                self.net.remove_host(from);
-                dep.truth.address = to;
-                let old_pat = format!("://{from}:");
-                let new_pat = format!("://{to}:");
-                dep.config.endpoint_url = dep.config.endpoint_url.replace(&old_pat, &new_pat);
-                moved.push((old_pat, new_pat));
-                rebind.insert(idx);
-                log.events.push((id, ChurnEvent::Moved { from }));
-            }
-
-            if dep.config.certificate.is_some() && rng.gen_bool(self.churn.renewal) {
-                self.serial += 1;
-                let old = dep.config.certificate.as_ref().expect("just checked");
-                let subject = old.tbs.subject.clone();
-                let hash = old.signature_hash();
-                let key = dep
-                    .config
-                    .private_key
-                    .clone()
-                    .expect("certificate hosts carry their key");
-                let builder = CertificateBuilder::new(subject)
-                    .serial(self.serial)
-                    .validity(now - 86_400, now + 3 * 365 * 86_400)
-                    .application_uri(&dep.truth.application_uri);
-                // CA customers renew through their CA; everyone else
-                // re-self-signs. Hash and key are kept, so a weak
-                // certificate renews weak — §6 saw exactly that.
-                let cert = if class == HostClass::SecureCa {
-                    builder.issued_by(
-                        hash,
-                        DistinguishedName::new("Sim Root CA", "Sim Trust Services"),
-                        &self.shared.ca_key,
-                        &key.public,
-                    )
-                } else {
-                    builder.self_signed(hash, &key)
-                };
-                dep.truth.cert_thumbprint = Some(cert.thumbprint());
-                dep.config.certificate = Some(cert);
-                rebind.insert(idx);
-                log.events.push((id, ChurnEvent::RenewedCert));
-            }
-
-            if let Some((major, minor, patch)) = parse_version(&dep.config.software_version) {
-                let from = dep.config.software_version.clone();
-                let to = if rng.gen_bool(self.churn.upgrade) {
-                    // Mostly patch bumps, occasionally a minor release.
-                    Some(if rng.gen_bool(0.25) {
-                        format!("{major}.{}.0", minor + 1)
-                    } else {
-                        format!("{major}.{minor}.{}", patch + 1)
-                    })
-                } else if patch > 0 && rng.gen_bool(self.churn.downgrade) {
-                    Some(format!("{major}.{minor}.{}", patch - 1))
-                } else {
-                    None
-                };
-                if let Some(to) = to {
-                    let upgraded = parse_version(&to) > parse_version(&from);
-                    dep.config.software_version = to.clone();
-                    if let Some(node) = dep
-                        .space
-                        .get_mut(&ua_types::NodeId::numeric(0, ids::SERVER_SOFTWARE_VERSION))
-                    {
-                        node.value = Some(Variant::String(Some(to.clone())));
-                    }
-                    rebind.insert(idx);
-                    let event = if upgraded {
-                        ChurnEvent::Upgraded { from, to }
-                    } else {
-                        ChurnEvent::Downgraded { from, to }
-                    };
-                    log.events.push((id, event));
-                }
-            }
-
-            if !lds_like {
-                let has_none = dep
-                    .config
-                    .endpoints
-                    .iter()
-                    .any(|e| e.mode == MessageSecurityMode::None);
-                if has_none && rng.gen_bool(self.churn.remediation) {
-                    dep.config
-                        .endpoints
-                        .retain(|e| e.mode != MessageSecurityMode::None);
-                    if dep.config.endpoints.is_empty() {
-                        dep.config.endpoints.push(EndpointConfig::new(
-                            MessageSecurityMode::SignAndEncrypt,
-                            SecurityPolicy::Basic256Sha256,
-                        ));
-                    }
-                    if dep.config.certificate.is_none() {
-                        // Going secure requires an application-instance
-                        // certificate the host never had.
-                        self.serial += 1;
-                        let key = RsaPrivateKey::generate(&mut rng, ACTUAL_KEY_BITS, 2048);
-                        let cert = CertificateBuilder::new(DistinguishedName::new(
-                            format!("dev-{}", self.serial),
-                            dep.truth.vendor,
-                        ))
-                        .serial(self.serial)
-                        .validity(now - 86_400, now + 4 * 365 * 86_400)
-                        .application_uri(&dep.truth.application_uri)
-                        .self_signed(ua_crypto::HashAlgorithm::Sha256, &key);
-                        dep.truth.cert_thumbprint = Some(cert.thumbprint());
-                        dep.config.certificate = Some(cert);
-                        dep.config.private_key = Some(key);
-                    }
-                    dep.config
-                        .token_types
-                        .retain(|t| *t != UserTokenType::Anonymous);
-                    if dep.config.token_types.is_empty() {
-                        dep.config.token_types.push(UserTokenType::UserName);
-                    }
-                    if dep.config.users.is_empty() {
-                        dep.config.users.push(UserAccount {
-                            name: "operator".into(),
-                            password: format!("pw-{id}"),
-                        });
-                    }
-                    rebind.insert(idx);
-                    log.events.push((id, ChurnEvent::Remediated));
-                } else if !has_none && rng.gen_bool(self.churn.regression) {
-                    dep.config.endpoints.push(EndpointConfig::none());
-                    if !dep.config.token_types.contains(&UserTokenType::Anonymous) {
-                        dep.config.token_types.insert(0, UserTokenType::Anonymous);
-                    }
-                    rebind.insert(idx);
-                    log.events.push((id, ChurnEvent::Regressed));
-                }
-            }
-        }
-
-        // Arrivals: expected count is a fraction of the (post-departure)
-        // living population, rounded stochastically but deterministically.
-        let alive_now = self.alive_count();
-        let mut arrivals_rng = StdRng::seed_from_u64(host_week_seed(self.seed, week, u64::MAX));
-        let expected = alive_now as f64 * self.churn.arrival;
-        let mut n = expected.floor() as usize;
-        if expected.fract() > 0.0 && arrivals_rng.gen_bool(expected.fract()) {
-            n += 1;
-        }
-        if n > 0 {
-            let mut syn = Synthesizer::resume(
-                self.universe.clone(),
-                arrivals_rng,
-                std::mem::take(&mut self.used),
-                self.serial,
-            );
-            for _ in 0..n {
-                let class = ARRIVAL_CLASSES[self.arrival_cursor % ARRIVAL_CLASSES.len()];
-                self.arrival_cursor += 1;
-                let id = self.hosts.len() as u64;
-                let address = syn.pick_address();
-                let dep = build_host(
-                    &mut syn,
-                    &self.shared,
-                    BuildParams {
-                        class,
-                        address,
-                        port: self.sweep_port,
-                        referenced: Vec::new(),
-                        id,
-                        seed: self.seed,
-                        now,
-                    },
-                );
-                bind_deployment(&self.net, &dep, now);
-                log.events.push((id, ChurnEvent::Arrived { class }));
-                self.hosts.push(RosterEntry {
-                    id,
-                    dep,
-                    alive: true,
-                });
-            }
-            self.used = syn.used;
-            self.serial = syn.serial;
-        }
-
-        // Re-registration: every live FindServers answer naming a moved
-        // host learns the new address (covers an LDS's own non-canonical
-        // self-referrals and dead decoy ports too — they embed the
-        // host's address textually).
-        if !moved.is_empty() {
-            for (idx, entry) in self.hosts.iter_mut().enumerate() {
-                if !entry.alive {
-                    continue;
-                }
-                let mut changed = false;
-                for url in &mut entry.dep.config.referenced_endpoints {
-                    for (old, new) in &moved {
-                        if url.contains(old.as_str()) {
-                            *url = url.replace(old.as_str(), new);
-                            changed = true;
-                        }
-                    }
-                }
-                if changed {
-                    rebind.insert(idx);
-                }
-            }
-        }
-
-        for idx in rebind {
-            if self.hosts[idx].alive {
-                bind_deployment(&self.net, &self.hosts[idx].dep, now);
-            }
-        }
-
+        let log = self.core.evolve_week(week, &self.churn);
         self.history.push(log);
         self.history.last().expect("just pushed")
     }
@@ -645,6 +399,8 @@ mod tests {
     use super::*;
     use crate::StrataMix;
     use netsim::VirtualClock;
+    use ua_addrspace::ids;
+    use ua_types::{MessageSecurityMode, Variant};
 
     fn world(seed: u64, churn: ChurnConfig, mix: StrataMix) -> EvolvingWorld {
         let net = Internet::new(VirtualClock::starting_at(1_581_206_400));
@@ -730,7 +486,7 @@ mod tests {
         // URL is announced by some live discovery host.
         let announced: Vec<String> = w
             .alive()
-            .flat_map(|d| d.config.referenced_endpoints.iter().cloned())
+            .flat_map(|d| d.config.referenced_endpoints.clone())
             .collect();
         for dep in w.alive() {
             if dep.truth.class == HostClass::HiddenServer {
@@ -894,5 +650,28 @@ mod tests {
     fn weeks_cannot_be_skipped() {
         let mut w = world(1, ChurnConfig::frozen(), StrataMix::paper_like(30));
         w.evolve(2);
+    }
+
+    #[test]
+    fn lazy_evolution_materializes_nothing_until_probed() {
+        let net = Internet::new(VirtualClock::starting_at(1_581_206_400));
+        let cfg = PopulationConfig::new(
+            23,
+            vec!["10.0.0.0/16".parse().unwrap()],
+            StrataMix::paper_like(30),
+        );
+        let mut w = EvolvingWorld::new_lazy(&net, &cfg, ChurnConfig::default());
+        for week in 1..=6 {
+            w.evolve(week);
+        }
+        assert_eq!(
+            w.stats(),
+            MaterializationStats::default(),
+            "six weeks of churn must not build a single host"
+        );
+        assert_eq!(net.host_count(), 0);
+        // The audit exit still works — and pays for exactly the fleet.
+        let pop = w.population();
+        assert_eq!(w.stats().hosts_materialized as usize, pop.len());
     }
 }

@@ -12,13 +12,26 @@
 //! [`StrataMix`] of those host classes onto a [`netsim::Internet`] —
 //! deterministically for a fixed seed — and returns per-host ground
 //! truth so the `assessment` layer can be validated end to end.
+//!
+//! Worlds come in two flavors sharing one derivation: [`synthesize`]
+//! builds every host up front (eager), while [`LazyWorld`] registers an
+//! O(1) occupancy predicate and materializes a host only when a probe
+//! first reaches it — million-address universes cost memory
+//! proportional to the hosts a sweep actually touches. Every host is a
+//! pure function of `(seed, host id, week)` — an internal `WorldSpec`
+//! answers layout queries in O(1) and per-host RNG streams supply the
+//! material — so the two paths are byte-identical at any scanner
+//! worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod evolution;
+mod spec;
+mod world;
 
 pub use evolution::{ChurnConfig, ChurnEvent, EvolvingWorld, TruthObservation, WeekChurn};
+pub use world::{LazyWorld, MaterializationStats};
 
 use netsim::{AsKind, AsRegistry, Cidr, Internet, Ipv4};
 use rand::rngs::StdRng;
@@ -139,7 +152,10 @@ impl StrataMix {
         self.counts.iter().map(|(_, n)| n).sum()
     }
 
-    /// The class of every host, in deployment order.
+    /// The class of every host, in deployment order. (The non-test
+    /// paths derive classes by rank arithmetic in `spec::WorldSpec`
+    /// instead of expanding the roster.)
+    #[cfg(test)]
     fn expand(&self) -> Vec<HostClass> {
         let mut v = Vec::with_capacity(self.total());
         for &(class, n) in &self.counts {
@@ -313,42 +329,35 @@ const VARIABLE_NAMES: [&str; 10] = [
     "uiAlarmCount",
 ];
 
+/// Salt separating the shared-secrets RNG stream from every per-host
+/// stream.
+const SHARED_SALT: u64 = 0x5348_4152_4544;
+
 pub(crate) struct Synthesizer {
-    universe: Vec<Cidr>,
     pub(crate) rng: StdRng,
-    pub(crate) used: HashSet<u32>,
     pub(crate) serial: u64,
 }
 
 impl Synthesizer {
-    pub(crate) fn new(seed: u64, universe: Vec<Cidr>) -> Self {
+    /// The synthesizer for host `id`'s material: its RNG stream and
+    /// certificate-serial window depend on `(seed, id)` alone, never on
+    /// synthesis order — the property lazy materialization rests on.
+    /// Host `id` owns serials `[(id+1)e6, (id+2)e6)`; synthesis draws
+    /// the first few, weekly events the rest (see `world::serial_for`).
+    pub(crate) fn for_host(seed: u64, id: u64) -> Self {
         Synthesizer {
-            universe,
-            rng: StdRng::seed_from_u64(seed),
-            used: HashSet::new(),
+            rng: StdRng::seed_from_u64(spec::host_material_seed(seed, id)),
+            serial: (id + 1) * 1_000_000,
+        }
+    }
+
+    /// The synthesizer for cross-host material ([`SharedSecrets`]),
+    /// on its own stream and serial window (below every host's).
+    pub(crate) fn for_shared(seed: u64) -> Self {
+        Synthesizer {
+            rng: StdRng::seed_from_u64(spec::mix64(seed ^ SHARED_SALT)),
             serial: 0,
         }
-    }
-
-    /// Resumes synthesis mid-study: the evolution engine hands back the
-    /// address-allocation and serial state so weekly arrivals never
-    /// collide with (or re-issue) anything already deployed.
-    pub(crate) fn resume(
-        universe: Vec<Cidr>,
-        rng: StdRng,
-        used: HashSet<u32>,
-        serial: u64,
-    ) -> Self {
-        Synthesizer {
-            universe,
-            rng,
-            used,
-            serial,
-        }
-    }
-
-    pub(crate) fn pick_address(&mut self) -> Ipv4 {
-        pick_free_address(&mut self.rng, &self.universe, &mut self.used)
     }
 
     fn vendor(&mut self) -> (&'static str, String) {
@@ -435,6 +444,39 @@ impl Synthesizer {
     }
 }
 
+/// The software version host `id` deploys with, derived without
+/// building the host: replays the first draws of `build_host`'s
+/// per-host stream (vendor, then version). The evolution engine needs
+/// it to make upgrade/downgrade decisions for unmaterialized hosts.
+pub(crate) fn initial_version(seed: u64, id: u64) -> String {
+    let mut syn = Synthesizer::for_host(seed, id);
+    let _ = syn.vendor();
+    syn.software_version()
+}
+
+/// Installs the synthetic AS registry for `cfg.universe` on `net`: one
+/// AS per universe block, kinds cycling through the registry's five
+/// flavors.
+pub(crate) fn setup_registry(net: &Internet, cfg: &PopulationConfig) {
+    let mut registry = AsRegistry::new();
+    let kinds = [
+        AsKind::IotIsp,
+        AsKind::RegionalIsp,
+        AsKind::Hosting,
+        AsKind::Enterprise,
+        AsKind::Research,
+    ];
+    for (i, block) in cfg.universe.iter().enumerate() {
+        let handle = registry.register(
+            64_512 + i as u32,
+            format!("AS-SIM-{i}"),
+            kinds[i % kinds.len()],
+        );
+        registry.announce(handle, *block);
+    }
+    net.set_registry(registry);
+}
+
 /// Deterministic referral wiring: which URLs each discovery host
 /// announces beyond its random same-port picks.
 ///
@@ -453,6 +495,11 @@ impl Synthesizer {
 /// referral wiring at all — chained LDS and hidden servers then stay
 /// deliberately unreachable rather than forming a stranded island that
 /// *looks* wired but can never be discovered.
+///
+/// Superseded by the per-host inversion in `spec::WorldSpec::ref_specs`
+/// (which needs no global vectors); kept as the reference
+/// implementation the spec's wiring is tested against.
+#[cfg(test)]
 fn plan_referrals(classes: &[HostClass], addresses: &[Ipv4], ports: &[u16]) -> Vec<Vec<String>> {
     let url_of = |j: usize| format!("opc.tcp://{}:{}/", addresses[j], ports[j]);
     let of_class = |class: HostClass| -> Vec<usize> {
@@ -552,7 +599,7 @@ pub(crate) struct SharedSecrets {
 }
 
 impl SharedSecrets {
-    fn generate(syn: &mut Synthesizer, now: i64) -> Self {
+    pub(crate) fn generate(syn: &mut Synthesizer, now: i64) -> Self {
         let ca_key = syn.key(4096);
         let reused_key = syn.key(2048);
         let (reused_vendor, reused_uri) = syn.vendor();
@@ -597,18 +644,14 @@ pub struct HostDeployment {
     pub service_seed: u64,
 }
 
-/// A fully materialized population: per-host deployments plus the
-/// shared secrets and address-allocation state needed to keep growing
-/// it across weekly campaigns ([`evolution::EvolvingWorld`] consumes
-/// one).
+/// A fully materialized population: per-host deployments in roster
+/// order. (Weekly campaigns use [`evolution::EvolvingWorld`], which
+/// derives the same hosts through the shared world engine.)
 pub struct Deployment {
     /// Per-host deployments, in deployment order.
     pub hosts: Vec<HostDeployment>,
     /// The universe hosts were placed into.
     pub universe: Vec<Cidr>,
-    pub(crate) shared: SharedSecrets,
-    pub(crate) serial: u64,
-    pub(crate) used: HashSet<u32>,
 }
 
 impl Deployment {
@@ -628,11 +671,16 @@ impl Deployment {
 pub(crate) fn bind_deployment(net: &Internet, dep: &HostDeployment, now: i64) {
     let core = ServerCore::new(dep.config.clone(), dep.space.clone(), dep.core_seed);
     core.set_time(now);
-    net.add_host(dep.truth.address, dep.rtt_micros);
-    net.bind(
+    // One atomic host+listener insert: a lazy world materializes hosts
+    // while scanner workers are probing, and no worker may ever observe
+    // a host without its service.
+    net.install_host(
         dep.truth.address,
-        dep.truth.port,
-        Arc::new(UaServerService::new(core, dep.service_seed)),
+        dep.rtt_micros,
+        vec![(
+            dep.truth.port,
+            Arc::new(UaServerService::new(core, dep.service_seed)) as _,
+        )],
     );
 }
 
@@ -896,124 +944,79 @@ pub(crate) fn build_host(
     }
 }
 
+/// Renders host `id`'s symbolic referrals to URLs from the week-0
+/// layout. The self-referral is deliberately non-canonical
+/// (`OPC.TCP://…`, no trailing slash — URL-format variants the scanner
+/// must not treat as new servers), the dead port a stale registration,
+/// the internal name unresolvable.
+pub(crate) fn render_spec_refs(spec: &spec::WorldSpec, id: u64) -> Vec<String> {
+    spec.ref_specs(id)
+        .iter()
+        .map(|r| match r {
+            spec::RefSpec::Host(j) => {
+                format!("opc.tcp://{}:{}/", spec.address_of(*j), spec.port_of(*j))
+            }
+            spec::RefSpec::SelfNonCanonical => {
+                format!("OPC.TCP://{}:{}", spec.address_of(id), spec.port_of(id))
+            }
+            spec::RefSpec::DeadPort => {
+                format!(
+                    "opc.tcp://{}:{}/",
+                    spec.address_of(id),
+                    spec.sweep_port + 90
+                )
+            }
+            spec::RefSpec::Unresolvable => {
+                format!("opc.tcp://plant-lds-{id}.internal:{}/", spec.sweep_port)
+            }
+        })
+        .collect()
+}
+
+/// Builds host `id` in its week-0 state, entirely from the pure spec
+/// and the per-host RNG stream. Shared by the eager builder below and
+/// the lazy engine (`world::WorldCore`), which is what makes the two
+/// byte-identical.
+pub(crate) fn build_initial_host(
+    spec: &spec::WorldSpec,
+    shared: &SharedSecrets,
+    id: u64,
+    now: i64,
+) -> HostDeployment {
+    let mut syn = Synthesizer::for_host(spec.seed, id);
+    build_host(
+        &mut syn,
+        shared,
+        BuildParams {
+            class: spec.class_of(id),
+            address: spec.address_of(id),
+            port: spec.port_of(id),
+            referenced: render_spec_refs(spec, id),
+            id,
+            seed: spec.seed,
+            now,
+        },
+    )
+}
+
 /// Deploys `cfg.mix` onto `net` and returns the full deployment —
-/// ground truth plus the server material and allocation state the
-/// [`evolution`] engine needs to churn the population week over week.
-/// Deterministic: the same seed and mix produce byte-identical
-/// deployments.
+/// ground truth plus the redeployable server material. Deterministic:
+/// the same seed and mix produce byte-identical deployments, eagerly
+/// here or lazily via [`LazyWorld`].
 pub fn synthesize_deployment(net: &Internet, cfg: &PopulationConfig) -> Deployment {
     let now = net.clock().now_unix_seconds();
-    let mut syn = Synthesizer::new(cfg.seed, cfg.universe.clone());
-
-    // AS registry: one synthetic AS per universe block.
-    let mut registry = AsRegistry::new();
-    let kinds = [
-        AsKind::IotIsp,
-        AsKind::RegionalIsp,
-        AsKind::Hosting,
-        AsKind::Enterprise,
-        AsKind::Research,
-    ];
-    for (i, block) in cfg.universe.iter().enumerate() {
-        let handle = registry.register(
-            64_512 + i as u32,
-            format!("AS-SIM-{i}"),
-            kinds[i % kinds.len()],
-        );
-        registry.announce(handle, *block);
-    }
-    net.set_registry(registry);
-
-    // Shared resources for cross-host deficits.
-    let shared = SharedSecrets::generate(&mut syn, now);
-
-    let classes = cfg.mix.expand();
-    let mut hosts = Vec::with_capacity(classes.len());
-
-    // Addresses are assigned up front so discovery servers can reference
-    // hosts deployed after them. Referral-only classes live on
-    // non-default ports, invisible to the port-4840 sweep.
-    let addresses: Vec<Ipv4> = classes.iter().map(|_| syn.pick_address()).collect();
-    let ports: Vec<u16> = classes
-        .iter()
-        .enumerate()
-        .map(|(i, class)| match class {
-            HostClass::HiddenServer => cfg.port + 1 + (i % 7) as u16,
-            HostClass::ChainedLds => cfg.port + 8 + (i % 3) as u16,
-            _ => cfg.port,
-        })
-        .collect();
-    let planned = plan_referrals(&classes, &addresses, &ports);
-
-    for (i, (&class, &address)) in classes.iter().zip(&addresses).enumerate() {
-        let mut referenced = Vec::new();
-        match class {
-            HostClass::DiscoveryServer => {
-                // Reference up to three other swept (default-port,
-                // non-LDS) deployments.
-                let candidates: Vec<usize> = classes
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, c)| {
-                        *j != i
-                            && !matches!(
-                                **c,
-                                HostClass::DiscoveryServer
-                                    | HostClass::HiddenServer
-                                    | HostClass::ChainedLds
-                            )
-                    })
-                    .map(|(j, _)| j)
-                    .collect();
-                if !candidates.is_empty() {
-                    for _ in 0..3.min(candidates.len()) {
-                        let pick = candidates[syn.rng.gen_range(0..candidates.len())];
-                        let r = format!("opc.tcp://{}:{}/", addresses[pick], ports[pick]);
-                        if !referenced.contains(&r) {
-                            referenced.push(r);
-                        }
-                    }
-                }
-                // The planned share of hidden/chained deployments.
-                referenced.extend(planned[i].iter().cloned());
-                // A self-referral in a non-canonical spelling — real LDS
-                // answers include the host itself, and the scanner must
-                // not treat URL-format variants as new servers.
-                referenced.push(format!("OPC.TCP://{address}:{}", ports[i]));
-                // A dead referral: a port on this host nobody listens on
-                // (stale registration, the most common referral rot).
-                referenced.push(format!("opc.tcp://{address}:{}/", cfg.port + 90));
-                // An unresolvable referral: an internal DNS name the
-                // scanner has no resolver for.
-                referenced.push(format!("opc.tcp://plant-lds-{i}.internal:{}/", cfg.port));
-            }
-            HostClass::ChainedLds => referenced.extend(planned[i].iter().cloned()),
-            _ => {}
-        }
-
-        let dep = build_host(
-            &mut syn,
-            &shared,
-            BuildParams {
-                class,
-                address,
-                port: ports[i],
-                referenced,
-                id: i as u64,
-                seed: cfg.seed,
-                now,
-            },
-        );
+    setup_registry(net, cfg);
+    let spec = spec::WorldSpec::new(cfg);
+    let shared = SharedSecrets::generate(&mut Synthesizer::for_shared(cfg.seed), now);
+    let mut hosts = Vec::with_capacity(spec.len() as usize);
+    for id in 0..spec.len() {
+        let dep = build_initial_host(&spec, &shared, id, now);
         bind_deployment(net, &dep, now);
         hosts.push(dep);
     }
-
     Deployment {
         hosts,
         universe: cfg.universe.clone(),
-        shared,
-        serial: syn.serial,
-        used: syn.used,
     }
 }
 
@@ -1166,6 +1169,46 @@ mod tests {
         for (j, class) in classes.iter().enumerate() {
             if matches!(class, HostClass::WideOpen | HostClass::HiddenServer) {
                 assert!(planned[j].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn spec_wiring_matches_the_legacy_planner() {
+        // The per-host inversion in `WorldSpec::ref_specs` must
+        // reproduce the legacy global planner's round-robin wiring
+        // exactly (random picks and decoys ride in front/behind it).
+        let cfg = PopulationConfig::new(17, universe(), StrataMix::paper_like(40));
+        let spec = spec::WorldSpec::new(&cfg);
+        let classes = cfg.mix.expand();
+        let addresses: Vec<Ipv4> = (0..spec.len()).map(|id| spec.address_of(id)).collect();
+        let ports: Vec<u16> = (0..spec.len()).map(|id| spec.port_of(id)).collect();
+        let planned = plan_referrals(&classes, &addresses, &ports);
+        for id in 0..spec.len() {
+            let rendered = render_spec_refs(&spec, id);
+            match classes[id as usize] {
+                HostClass::ChainedLds => {
+                    assert_eq!(rendered, planned[id as usize], "chained LDS {id}");
+                }
+                HostClass::DiscoveryServer => {
+                    let p = &planned[id as usize];
+                    let start = rendered.len() - 3 - p.len();
+                    assert_eq!(&rendered[start..start + p.len()], p.as_slice(), "LDS {id}");
+                    for url in &rendered[..start] {
+                        assert!(
+                            classes.iter().enumerate().any(|(j, c)| {
+                                !matches!(
+                                    c,
+                                    HostClass::DiscoveryServer
+                                        | HostClass::HiddenServer
+                                        | HostClass::ChainedLds
+                                ) && *url == format!("opc.tcp://{}:{}/", addresses[j], ports[j])
+                            }),
+                            "{url} is not a swept non-LDS server"
+                        );
+                    }
+                }
+                _ => assert!(rendered.is_empty(), "host {id} should announce nothing"),
             }
         }
     }

@@ -1,0 +1,846 @@
+//! The unified world engine: host *fates* evolve cheaply every week,
+//! host *material* (keys, certificates, address spaces, server cores)
+//! materializes only on first probe contact.
+//!
+//! [`WorldCore`] holds one [`HostFate`] per roster id — a few dozen
+//! bytes of class/address/liveness/event-log state — plus a memo of
+//! fully built [`HostDeployment`]s. The eager path materializes every
+//! fate up front (exactly the pre-lazy behavior); the lazy path
+//! registers a [`netsim::HostResolver`] so the sweep answers occupancy
+//! from the seeded predicate ([`crate::spec::WorldSpec`] week 0, an
+//! overlay map for churned addresses afterwards) and hosts are built
+//! the moment a connection first reaches them. Because every
+//! RNG-derived field is a pure function of `(seed, host id, week)`,
+//! both paths produce byte-identical worlds — the equivalence tests in
+//! the scanner crate diff full record streams to prove it.
+//!
+//! Weekly churn splits the same way: *decisions* (who departs, moves,
+//! renews, upgrades, remediates) are drawn per `(seed, week, id,
+//! event-kind)` and recorded as [`MaterialEvent`]s on the fate;
+//! *application* of an event runs immediately for materialized hosts
+//! and is replayed — through the same `apply_event` — when a host
+//! materializes later. Per-week cost is O(population), independent of
+//! the universe size.
+
+use crate::evolution::{host_week_seed, parse_version, ChurnConfig, ChurnEvent, WeekChurn};
+use crate::spec::{mix64, RefSpec, WorldSpec};
+use crate::{
+    bind_deployment, build_host, initial_version, pick_free_address, setup_registry, BuildParams,
+    HostClass, HostDeployment, Population, PopulationConfig, SharedSecrets, Synthesizer,
+    ACTUAL_KEY_BITS,
+};
+use netsim::{Cidr, HostResolver, Internet, Ipv4};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, RwLock, Weak};
+use ua_addrspace::ids;
+use ua_crypto::{CertificateBuilder, DistinguishedName, HashAlgorithm, RsaPrivateKey};
+use ua_server::{EndpointConfig, UserAccount};
+use ua_types::{MessageSecurityMode, NodeId, SecurityPolicy, UserTokenType, Variant};
+
+/// Per-event-kind RNG salts: each weekly decision draws from its own
+/// stream so lazy replay never has to skip draws another decision
+/// consumed.
+const SALT_DEPART: u64 = 0x4445_5054;
+const SALT_MOVE: u64 = 0x4D4F_5645;
+const SALT_RENEW: u64 = 0x524E_5557;
+const SALT_VERSION: u64 = 0x5645_5253;
+const SALT_FIX: u64 = 0x4649_5821;
+const SALT_REMED_KEY: u64 = 0x524B_4559;
+
+fn event_rng(seed: u64, week: u32, id: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(mix64(host_week_seed(seed, week, id) ^ salt))
+}
+
+/// Certificate-serial slots inside a host's per-week serial window
+/// (see [`serial_for`]).
+const SLOT_RENEWAL: u64 = 0;
+const SLOT_REMED: u64 = 1;
+
+/// Certificate serial for a weekly event: host `id` owns the disjoint
+/// serial space `[(id+1)e6, (id+2)e6)`; synthesis consumes the first
+/// few, week `w` events use `base + 8w + slot`. Order-independent and
+/// collision-free by construction.
+fn serial_for(id: u64, week: u32, slot: u64) -> u64 {
+    (id + 1) * 1_000_000 + (week as u64) * 8 + slot
+}
+
+/// True if synthesis gives this class an application-instance
+/// certificate (mirrors `build_host` exactly).
+fn class_has_certificate(class: HostClass) -> bool {
+    !matches!(
+        class,
+        HostClass::WideOpen
+            | HostClass::BrokenSession
+            | HostClass::DiscoveryServer
+            | HostClass::ChainedLds
+    )
+}
+
+/// True if synthesis gives this class a mode-`None` endpoint (mirrors
+/// `build_host` exactly).
+fn class_offers_none(class: HostClass) -> bool {
+    matches!(
+        class,
+        HostClass::WideOpen
+            | HostClass::MixedLegacy
+            | HostClass::BrokenSession
+            | HostClass::DiscoveryServer
+            | HostClass::ChainedLds
+            | HostClass::HiddenServer
+    )
+}
+
+/// RSA key generations `build_host` performs for this class.
+fn class_keygens(class: HostClass) -> u64 {
+    match class {
+        HostClass::WideOpen
+        | HostClass::ReusedCert
+        | HostClass::BrokenSession
+        | HostClass::DiscoveryServer
+        | HostClass::ChainedLds => 0,
+        _ => 1,
+    }
+}
+
+/// Materialization telemetry: how much of the world a campaign
+/// actually touched. In a lazy world `hosts_materialized` tracks
+/// responsive hosts, never the universe size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaterializationStats {
+    /// Hosts built and bound so far (first probe contacts).
+    pub hosts_materialized: u64,
+    /// RSA key generations performed (the dominant build cost).
+    pub keygen_count: u64,
+    /// Rough bytes resident in materialized host material right now.
+    pub bytes_resident_estimate: u64,
+    /// High-water mark of `bytes_resident_estimate`.
+    pub peak_bytes_resident_estimate: u64,
+}
+
+/// Rough per-host residency: certificate DER, referral strings, and a
+/// per-node constant for the served address space.
+fn estimate_resident_bytes(dep: &HostDeployment) -> u64 {
+    let cert = dep
+        .config
+        .certificate
+        .as_ref()
+        .map(|c| c.to_der().len() as u64)
+        .unwrap_or(0);
+    let refs: u64 = dep
+        .config
+        .referenced_endpoints
+        .iter()
+        .map(|u| u.len() as u64)
+        .sum();
+    512 + cert
+        + refs
+        + 96 * (dep.truth.variables + dep.truth.methods) as u64
+        + if dep.config.private_key.is_some() {
+            192
+        } else {
+            0
+        }
+}
+
+/// What the overlay map says about an address the base permutation
+/// no longer describes (churned addresses only).
+#[derive(Debug, Clone, Copy)]
+enum Occupancy {
+    Occupied(u64),
+    Vacated,
+}
+
+/// A weekly event that changes a host's *material* and must be
+/// replayed when the host materializes after the fact.
+#[derive(Debug, Clone)]
+enum MaterialEvent {
+    Moved { from: Ipv4, to: Ipv4 },
+    Renewed { week: u32 },
+    SetVersion { to: String },
+    Remediated { week: u32, minted_cert: bool },
+    Regressed,
+}
+
+/// The cheap per-host state the engine keeps for *every* host, built
+/// or not: O(events) memory, no crypto material.
+#[derive(Debug, Clone)]
+struct HostFate {
+    class: HostClass,
+    /// Address at deployment (what `build_host` sees; moves replay on
+    /// top).
+    initial_address: Ipv4,
+    /// Current address.
+    address: Ipv4,
+    port: u16,
+    alive: bool,
+    /// Current software version (decisions need it; material replay
+    /// re-derives it from events).
+    version: String,
+    has_cert: bool,
+    has_none: bool,
+    deploy_week: u32,
+    /// Week whose epoch the bound server core's clock carries — the
+    /// last week the host was (re)bound in the eager path.
+    last_rebind_week: u32,
+    refs: Vec<RefSpec>,
+    events: Vec<MaterialEvent>,
+}
+
+struct CoreState {
+    fates: Vec<HostFate>,
+    /// Materialized hosts by id (the memo behind the resolver).
+    deps: HashMap<u64, HostDeployment>,
+    /// Address overrides on top of the week-0 permutation: only
+    /// churned addresses appear here, so lookup stays O(1) with
+    /// O(churn) memory.
+    overlay: HashMap<u32, Occupancy>,
+    /// Every address ever allocated (moves/arrivals must not recycle).
+    used: HashSet<u32>,
+    /// Epoch of each week seen so far (`week_nows[0]` = deployment).
+    week_nows: Vec<i64>,
+    arrival_cursor: usize,
+    stats: MaterializationStats,
+}
+
+/// The engine shared by eager and lazy worlds. See the module docs.
+pub(crate) struct WorldCore {
+    net: Internet,
+    seed: u64,
+    sweep_port: u16,
+    universe: Vec<Cidr>,
+    spec: WorldSpec,
+    shared: SharedSecrets,
+    lazy: bool,
+    state: RwLock<CoreState>,
+}
+
+impl WorldCore {
+    pub(crate) fn new(net: &Internet, cfg: &PopulationConfig, lazy: bool) -> Arc<WorldCore> {
+        let now = net.clock().now_unix_seconds();
+        setup_registry(net, cfg);
+        let spec = WorldSpec::new(cfg);
+        let shared = SharedSecrets::generate(&mut Synthesizer::for_shared(cfg.seed), now);
+        let mut fates = Vec::with_capacity(spec.len() as usize);
+        let mut used = HashSet::new();
+        for id in 0..spec.len() {
+            let class = spec.class_of(id);
+            let address = spec.address_of(id);
+            used.insert(address.0);
+            fates.push(HostFate {
+                class,
+                initial_address: address,
+                address,
+                port: spec.port_of(id),
+                alive: true,
+                version: initial_version(cfg.seed, id),
+                has_cert: class_has_certificate(class),
+                has_none: class_offers_none(class),
+                deploy_week: 0,
+                last_rebind_week: 0,
+                refs: spec.ref_specs(id),
+                events: Vec::new(),
+            });
+        }
+        let core = Arc::new(WorldCore {
+            net: net.clone(),
+            seed: cfg.seed,
+            sweep_port: cfg.port,
+            universe: cfg.universe.clone(),
+            spec,
+            shared,
+            lazy,
+            state: RwLock::new(CoreState {
+                fates,
+                deps: HashMap::new(),
+                overlay: HashMap::new(),
+                used,
+                week_nows: vec![now],
+                arrival_cursor: 0,
+                stats: MaterializationStats::default(),
+            }),
+        });
+        if lazy {
+            net.set_resolver(Arc::new(WorldResolver {
+                core: Arc::downgrade(&core),
+            }));
+        } else {
+            core.materialize_alive();
+        }
+        core
+    }
+
+    pub(crate) fn net(&self) -> &Internet {
+        &self.net
+    }
+
+    pub(crate) fn stats(&self) -> MaterializationStats {
+        self.state.read().unwrap().stats
+    }
+
+    pub(crate) fn roster_len(&self) -> usize {
+        self.state.read().unwrap().fates.len()
+    }
+
+    pub(crate) fn alive_count(&self) -> usize {
+        let st = self.state.read().unwrap();
+        st.fates.iter().filter(|f| f.alive).count()
+    }
+
+    /// The host currently occupying `addr`, if any — overlay first,
+    /// then the week-0 permutation. O(1), no allocation.
+    fn lookup(&self, addr: Ipv4) -> Option<u64> {
+        let st = self.state.read().unwrap();
+        match st.overlay.get(&addr.0) {
+            Some(Occupancy::Occupied(id)) => Some(*id),
+            Some(Occupancy::Vacated) => None,
+            None => {
+                let id = self.spec.host_at(addr)?;
+                st.fates[id as usize].alive.then_some(id)
+            }
+        }
+    }
+
+    /// Ensures host `id` is built and bound. Builds run outside the
+    /// state lock (they are pure, so a racing double-build is just
+    /// discarded); bind + memo insert happen atomically under it.
+    pub(crate) fn materialize(&self, id: u64) {
+        if self.state.read().unwrap().deps.contains_key(&id) {
+            return;
+        }
+        let (dep, keygens) = self.build_current(id);
+        let mut st = self.state.write().unwrap();
+        if st.deps.contains_key(&id) {
+            return;
+        }
+        let bind_now = st.week_nows[st.fates[id as usize].last_rebind_week as usize];
+        let bytes = estimate_resident_bytes(&dep);
+        st.stats.hosts_materialized += 1;
+        st.stats.keygen_count += keygens;
+        st.stats.bytes_resident_estimate += bytes;
+        st.stats.peak_bytes_resident_estimate = st
+            .stats
+            .peak_bytes_resident_estimate
+            .max(st.stats.bytes_resident_estimate);
+        bind_deployment(&self.net, &dep, bind_now);
+        st.deps.insert(id, dep);
+    }
+
+    /// Builds host `id` in its *current* state: `build_host` at the
+    /// deployment address/epoch, then every recorded event replayed in
+    /// order. Returns the deployment and the keygens performed.
+    fn build_current(&self, id: u64) -> (HostDeployment, u64) {
+        let (fate, referenced, week_nows) = {
+            let st = self.state.read().unwrap();
+            (
+                st.fates[id as usize].clone(),
+                self.render_refs(&st, id),
+                st.week_nows.clone(),
+            )
+        };
+        let mut syn = Synthesizer::for_host(self.seed, id);
+        let mut dep = build_host(
+            &mut syn,
+            &self.shared,
+            BuildParams {
+                class: fate.class,
+                address: fate.initial_address,
+                port: fate.port,
+                referenced,
+                id,
+                seed: self.seed,
+                now: week_nows[fate.deploy_week as usize],
+            },
+        );
+        let mut keygens = class_keygens(fate.class);
+        for ev in &fate.events {
+            keygens += apply_event(&mut dep, ev, id, &week_nows, &self.shared, self.seed);
+        }
+        (dep, keygens)
+    }
+
+    /// Renders a host's symbolic referrals to URLs from *current*
+    /// addresses — identical to the eager path's rewrite-on-move end
+    /// state, since vacated addresses are never recycled.
+    fn render_refs(&self, st: &CoreState, id: u64) -> Vec<String> {
+        let fate = &st.fates[id as usize];
+        fate.refs
+            .iter()
+            .map(|r| match r {
+                RefSpec::Host(j) => {
+                    let f = &st.fates[*j as usize];
+                    format!("opc.tcp://{}:{}/", f.address, f.port)
+                }
+                RefSpec::SelfNonCanonical => format!("OPC.TCP://{}:{}", fate.address, fate.port),
+                RefSpec::DeadPort => {
+                    format!("opc.tcp://{}:{}/", fate.address, self.sweep_port + 90)
+                }
+                RefSpec::Unresolvable => {
+                    format!("opc.tcp://plant-lds-{id}.internal:{}/", self.sweep_port)
+                }
+            })
+            .collect()
+    }
+
+    /// Materializes every living host (ground-truth APIs need the full
+    /// fleet; in a lazy world call this only when you mean to pay for
+    /// it).
+    pub(crate) fn materialize_alive(&self) {
+        let pending: Vec<u64> = {
+            let st = self.state.read().unwrap();
+            (0..st.fates.len() as u64)
+                .filter(|id| st.fates[*id as usize].alive && !st.deps.contains_key(id))
+                .collect()
+        };
+        for id in pending {
+            self.materialize(id);
+        }
+    }
+
+    /// Current deployments of every living host, roster order.
+    /// Materializes the fleet first.
+    pub(crate) fn alive_deps(&self) -> Vec<HostDeployment> {
+        self.materialize_alive();
+        let st = self.state.read().unwrap();
+        (0..st.fates.len() as u64)
+            .filter(|id| st.fates[*id as usize].alive)
+            .map(|id| st.deps[&id].clone())
+            .collect()
+    }
+
+    pub(crate) fn population(&self) -> Population {
+        Population {
+            hosts: self.alive_deps().iter().map(|d| d.truth.clone()).collect(),
+            universe: self.universe.clone(),
+        }
+    }
+
+    /// One week of churn: decisions from per-event salted RNGs, fates
+    /// updated for everyone, material applied live for materialized
+    /// hosts and logged for replay otherwise.
+    pub(crate) fn evolve_week(&self, week: u32, churn: &ChurnConfig) -> WeekChurn {
+        let now = self.net.clock().now_unix_seconds();
+        let mut st = self.state.write().unwrap();
+        debug_assert_eq!(st.week_nows.len() as u32, week, "weeks must be consecutive");
+        st.week_nows.push(now);
+        let week_nows = st.week_nows.clone();
+        let mut log = WeekChurn {
+            week,
+            events: Vec::new(),
+        };
+        let mut rebind: BTreeSet<u64> = BTreeSet::new();
+        let mut moved_ids: HashSet<u64> = HashSet::new();
+
+        for idx in 0..st.fates.len() {
+            if !st.fates[idx].alive {
+                continue;
+            }
+            let id = idx as u64;
+            let class = st.fates[idx].class;
+            let lds_like = matches!(class, HostClass::DiscoveryServer | HostClass::ChainedLds);
+
+            if !lds_like && event_rng(self.seed, week, id, SALT_DEPART).gen_bool(churn.departure) {
+                let addr = st.fates[idx].address;
+                st.overlay.insert(addr.0, Occupancy::Vacated);
+                st.fates[idx].alive = false;
+                if let Some(dep) = st.deps.remove(&id) {
+                    self.net.remove_host(addr);
+                    st.stats.bytes_resident_estimate = st
+                        .stats
+                        .bytes_resident_estimate
+                        .saturating_sub(estimate_resident_bytes(&dep));
+                }
+                log.events.push((id, ChurnEvent::Departed));
+                continue;
+            }
+
+            let mut mrng = event_rng(self.seed, week, id, SALT_MOVE);
+            if mrng.gen_bool(churn.ip_move) {
+                let from = st.fates[idx].address;
+                let to = pick_free_address(&mut mrng, &self.universe, &mut st.used);
+                st.overlay.insert(from.0, Occupancy::Vacated);
+                st.overlay.insert(to.0, Occupancy::Occupied(id));
+                st.fates[idx].address = to;
+                st.fates[idx].last_rebind_week = week;
+                let ev = MaterialEvent::Moved { from, to };
+                if let Some(dep) = st.deps.get_mut(&id) {
+                    self.net.remove_host(from);
+                    apply_event(dep, &ev, id, &week_nows, &self.shared, self.seed);
+                    rebind.insert(id);
+                }
+                st.fates[idx].events.push(ev);
+                moved_ids.insert(id);
+                log.events.push((id, ChurnEvent::Moved { from }));
+            }
+
+            if st.fates[idx].has_cert
+                && event_rng(self.seed, week, id, SALT_RENEW).gen_bool(churn.renewal)
+            {
+                let ev = MaterialEvent::Renewed { week };
+                st.fates[idx].last_rebind_week = week;
+                if let Some(dep) = st.deps.get_mut(&id) {
+                    apply_event(dep, &ev, id, &week_nows, &self.shared, self.seed);
+                    rebind.insert(id);
+                }
+                st.fates[idx].events.push(ev);
+                log.events.push((id, ChurnEvent::RenewedCert));
+            }
+
+            if let Some((major, minor, patch)) = parse_version(&st.fates[idx].version) {
+                let mut vrng = event_rng(self.seed, week, id, SALT_VERSION);
+                let to = if vrng.gen_bool(churn.upgrade) {
+                    // Mostly patch bumps, occasionally a minor release.
+                    Some(if vrng.gen_bool(0.25) {
+                        format!("{major}.{}.0", minor + 1)
+                    } else {
+                        format!("{major}.{minor}.{}", patch + 1)
+                    })
+                } else if patch > 0 && vrng.gen_bool(churn.downgrade) {
+                    Some(format!("{major}.{minor}.{}", patch - 1))
+                } else {
+                    None
+                };
+                if let Some(to) = to {
+                    let from = st.fates[idx].version.clone();
+                    let upgraded = parse_version(&to) > parse_version(&from);
+                    st.fates[idx].version = to.clone();
+                    st.fates[idx].last_rebind_week = week;
+                    let ev = MaterialEvent::SetVersion { to: to.clone() };
+                    if let Some(dep) = st.deps.get_mut(&id) {
+                        apply_event(dep, &ev, id, &week_nows, &self.shared, self.seed);
+                        rebind.insert(id);
+                    }
+                    st.fates[idx].events.push(ev);
+                    let event = if upgraded {
+                        ChurnEvent::Upgraded { from, to }
+                    } else {
+                        ChurnEvent::Downgraded { from, to }
+                    };
+                    log.events.push((id, event));
+                }
+            }
+
+            if !lds_like {
+                let mut frng = event_rng(self.seed, week, id, SALT_FIX);
+                if st.fates[idx].has_none && frng.gen_bool(churn.remediation) {
+                    let minted_cert = !st.fates[idx].has_cert;
+                    st.fates[idx].has_none = false;
+                    st.fates[idx].has_cert = true;
+                    st.fates[idx].last_rebind_week = week;
+                    let ev = MaterialEvent::Remediated { week, minted_cert };
+                    if let Some(dep) = st.deps.get_mut(&id) {
+                        let minted = apply_event(dep, &ev, id, &week_nows, &self.shared, self.seed);
+                        st.stats.keygen_count += minted;
+                        rebind.insert(id);
+                    }
+                    st.fates[idx].events.push(ev);
+                    log.events.push((id, ChurnEvent::Remediated));
+                } else if !st.fates[idx].has_none && frng.gen_bool(churn.regression) {
+                    st.fates[idx].has_none = true;
+                    st.fates[idx].last_rebind_week = week;
+                    let ev = MaterialEvent::Regressed;
+                    if let Some(dep) = st.deps.get_mut(&id) {
+                        apply_event(dep, &ev, id, &week_nows, &self.shared, self.seed);
+                        rebind.insert(id);
+                    }
+                    st.fates[idx].events.push(ev);
+                    log.events.push((id, ChurnEvent::Regressed));
+                }
+            }
+        }
+
+        // Arrivals: expected count is a fraction of the (post-departure)
+        // living population, rounded stochastically but deterministically.
+        let alive_now = st.fates.iter().filter(|f| f.alive).count();
+        let mut arrivals_rng = StdRng::seed_from_u64(host_week_seed(self.seed, week, u64::MAX));
+        let expected = alive_now as f64 * churn.arrival;
+        let mut n = expected.floor() as usize;
+        if expected.fract() > 0.0 && arrivals_rng.gen_bool(expected.fract()) {
+            n += 1;
+        }
+        let mut arrived: Vec<u64> = Vec::new();
+        for _ in 0..n {
+            let class = crate::evolution::ARRIVAL_CLASSES
+                [st.arrival_cursor % crate::evolution::ARRIVAL_CLASSES.len()];
+            st.arrival_cursor += 1;
+            let id = st.fates.len() as u64;
+            let address = pick_free_address(&mut arrivals_rng, &self.universe, &mut st.used);
+            st.overlay.insert(address.0, Occupancy::Occupied(id));
+            st.fates.push(HostFate {
+                class,
+                initial_address: address,
+                address,
+                port: self.sweep_port,
+                alive: true,
+                version: initial_version(self.seed, id),
+                has_cert: class_has_certificate(class),
+                has_none: class_offers_none(class),
+                deploy_week: week,
+                last_rebind_week: week,
+                refs: Vec::new(),
+                events: Vec::new(),
+            });
+            arrived.push(id);
+            log.events.push((id, ChurnEvent::Arrived { class }));
+        }
+
+        // Re-registration: every live FindServers answer naming a moved
+        // host re-renders from current addresses (covers an LDS's own
+        // non-canonical self-referral and dead decoy port too — they
+        // embed the host's address textually).
+        if !moved_ids.is_empty() {
+            for idx in 0..st.fates.len() {
+                let id = idx as u64;
+                if !st.fates[idx].alive || st.fates[idx].refs.is_empty() {
+                    continue;
+                }
+                let own_moved = moved_ids.contains(&id);
+                let mentions = st.fates[idx].refs.iter().any(|r| match r {
+                    RefSpec::Host(j) => moved_ids.contains(j),
+                    RefSpec::SelfNonCanonical | RefSpec::DeadPort => own_moved,
+                    RefSpec::Unresolvable => false,
+                });
+                if mentions {
+                    st.fates[idx].last_rebind_week = week;
+                    if st.deps.contains_key(&id) {
+                        let urls = self.render_refs(&st, id);
+                        st.deps.get_mut(&id).unwrap().config.referenced_endpoints = urls;
+                        rebind.insert(id);
+                    }
+                }
+            }
+        }
+
+        for id in rebind {
+            if st.fates[id as usize].alive {
+                if let Some(dep) = st.deps.get(&id) {
+                    bind_deployment(&self.net, dep, now);
+                }
+            }
+        }
+        drop(st);
+
+        // Eager worlds bind arrivals immediately; lazy worlds leave
+        // them to first probe contact.
+        if !self.lazy {
+            for id in arrived {
+                self.materialize(id);
+            }
+        }
+        log
+    }
+}
+
+/// Applies one material event to a built deployment. Shared verbatim
+/// by the live path (eager worlds, already-materialized lazy hosts)
+/// and lazy replay — the byte-identity of the two paths rests on this
+/// being the only implementation. Returns keygens performed.
+fn apply_event(
+    dep: &mut HostDeployment,
+    ev: &MaterialEvent,
+    id: u64,
+    week_nows: &[i64],
+    shared: &SharedSecrets,
+    seed: u64,
+) -> u64 {
+    match ev {
+        MaterialEvent::Moved { from, to, .. } => {
+            dep.truth.address = *to;
+            let old_pat = format!("://{from}:");
+            let new_pat = format!("://{to}:");
+            dep.config.endpoint_url = dep.config.endpoint_url.replace(&old_pat, &new_pat);
+            0
+        }
+        MaterialEvent::Renewed { week } => {
+            let now = week_nows[*week as usize];
+            let old = dep
+                .config
+                .certificate
+                .as_ref()
+                .expect("renewal requires a certificate");
+            let subject = old.tbs.subject.clone();
+            let hash = old.signature_hash();
+            let key = dep
+                .config
+                .private_key
+                .clone()
+                .expect("certificate hosts carry their key");
+            let builder = CertificateBuilder::new(subject)
+                .serial(serial_for(id, *week, SLOT_RENEWAL))
+                .validity(now - 86_400, now + 3 * 365 * 86_400)
+                .application_uri(&dep.truth.application_uri);
+            // CA customers renew through their CA; everyone else
+            // re-self-signs. Hash and key are kept, so a weak
+            // certificate renews weak — §6 saw exactly that.
+            let cert = if dep.truth.class == HostClass::SecureCa {
+                builder.issued_by(
+                    hash,
+                    DistinguishedName::new("Sim Root CA", "Sim Trust Services"),
+                    &shared.ca_key,
+                    &key.public,
+                )
+            } else {
+                builder.self_signed(hash, &key)
+            };
+            dep.truth.cert_thumbprint = Some(cert.thumbprint());
+            dep.config.certificate = Some(cert);
+            0
+        }
+        MaterialEvent::SetVersion { to, .. } => {
+            dep.config.software_version = to.clone();
+            if let Some(node) = dep
+                .space
+                .get_mut(&NodeId::numeric(0, ids::SERVER_SOFTWARE_VERSION))
+            {
+                node.value = Some(Variant::String(Some(to.clone())));
+            }
+            0
+        }
+        MaterialEvent::Remediated { week, minted_cert } => {
+            let now = week_nows[*week as usize];
+            dep.config
+                .endpoints
+                .retain(|e| e.mode != MessageSecurityMode::None);
+            if dep.config.endpoints.is_empty() {
+                dep.config.endpoints.push(EndpointConfig::new(
+                    MessageSecurityMode::SignAndEncrypt,
+                    SecurityPolicy::Basic256Sha256,
+                ));
+            }
+            if *minted_cert {
+                // Going secure requires an application-instance
+                // certificate the host never had.
+                let mut rng = event_rng(seed, *week, id, SALT_REMED_KEY);
+                let key = RsaPrivateKey::generate(&mut rng, ACTUAL_KEY_BITS, 2048);
+                let serial = serial_for(id, *week, SLOT_REMED);
+                let cert = CertificateBuilder::new(DistinguishedName::new(
+                    format!("dev-{serial}"),
+                    dep.truth.vendor,
+                ))
+                .serial(serial)
+                .validity(now - 86_400, now + 4 * 365 * 86_400)
+                .application_uri(&dep.truth.application_uri)
+                .self_signed(HashAlgorithm::Sha256, &key);
+                dep.truth.cert_thumbprint = Some(cert.thumbprint());
+                dep.config.certificate = Some(cert);
+                dep.config.private_key = Some(key);
+            }
+            dep.config
+                .token_types
+                .retain(|t| *t != UserTokenType::Anonymous);
+            if dep.config.token_types.is_empty() {
+                dep.config.token_types.push(UserTokenType::UserName);
+            }
+            if dep.config.users.is_empty() {
+                dep.config.users.push(UserAccount {
+                    name: "operator".into(),
+                    password: format!("pw-{id}"),
+                });
+            }
+            u64::from(*minted_cert)
+        }
+        MaterialEvent::Regressed => {
+            dep.config.endpoints.push(EndpointConfig::none());
+            if !dep.config.token_types.contains(&UserTokenType::Anonymous) {
+                dep.config.token_types.insert(0, UserTokenType::Anonymous);
+            }
+            0
+        }
+    }
+}
+
+/// The [`HostResolver`] a lazy [`WorldCore`] installs on its Internet.
+/// Holds the core weakly: when the world is dropped, the resolver
+/// answers "nothing there" instead of leaking the engine.
+struct WorldResolver {
+    core: Weak<WorldCore>,
+}
+
+impl HostResolver for WorldResolver {
+    fn host_exists(&self, addr: Ipv4) -> bool {
+        self.core
+            .upgrade()
+            .is_some_and(|core| core.lookup(addr).is_some())
+    }
+
+    fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
+        self.core.upgrade().is_some_and(|core| {
+            core.lookup(addr)
+                .is_some_and(|id| core.state.read().unwrap().fates[id as usize].port == port)
+        })
+    }
+
+    fn materialize(&self, _net: &Internet, addr: Ipv4) {
+        if let Some(core) = self.core.upgrade() {
+            if let Some(id) = core.lookup(addr) {
+                core.materialize(id);
+            }
+        }
+    }
+}
+
+/// A population deployed *lazily*: nothing is built until a probe
+/// actually reaches a host.
+///
+/// `deploy` derives the week-0 world as a pure specification (classes,
+/// ports, addresses, referral wiring) and installs an O(1) occupancy
+/// resolver on `net` — the universe can hold millions of addresses
+/// without allocating anything per address or per host. A sweep's SYN
+/// probes answer from the seeded predicate; the first full connection
+/// to a host runs `build_host` for exactly that host and binds it,
+/// after which the regular service table serves it. Byte-identical to
+/// [`crate::synthesize`] at any scanner worker count.
+///
+/// For a lazily deployed *evolving* world, see
+/// [`crate::EvolvingWorld::new_lazy`].
+///
+/// ```
+/// use netsim::{Internet, VirtualClock};
+/// use population::{LazyWorld, PopulationConfig, StrataMix};
+///
+/// let net = Internet::new(VirtualClock::default());
+/// let cfg = PopulationConfig::new(
+///     7,
+///     vec!["10.0.0.0/16".parse().unwrap()], // 65k addresses…
+///     StrataMix::paper_like(30),            // …30 hosts
+/// );
+/// let world = LazyWorld::deploy(&net, &cfg);
+/// assert_eq!(world.len(), 30);
+/// // Nothing is built yet — SYN-level occupancy is pure arithmetic.
+/// assert_eq!(world.stats().hosts_materialized, 0);
+/// ```
+pub struct LazyWorld {
+    core: Arc<WorldCore>,
+}
+
+impl LazyWorld {
+    /// Registers the lazy world for `cfg` on `net` (replaces any
+    /// previous resolver). No host material is built.
+    pub fn deploy(net: &Internet, cfg: &PopulationConfig) -> LazyWorld {
+        LazyWorld {
+            core: WorldCore::new(net, cfg, true),
+        }
+    }
+
+    /// Number of hosts in the population (cheap; nothing materializes).
+    pub fn len(&self) -> usize {
+        self.core.roster_len()
+    }
+
+    /// True if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialization telemetry so far.
+    pub fn stats(&self) -> MaterializationStats {
+        self.core.stats()
+    }
+
+    /// Ground truth of the full population. **Materializes every
+    /// host** — this is the audit/validation exit, not the fast path.
+    pub fn population(&self) -> Population {
+        self.core.population()
+    }
+}

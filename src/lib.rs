@@ -37,11 +37,19 @@
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
 //!                 │              configured deployments;    │
+//!                 │              WorldSpec: pure random-    │
+//!                 │              access layout (Feistel     │
+//!                 │              address permutation);      │
+//!                 │              LazyWorld: hosts built on  │
+//!                 │              first probe contact via    │
+//!                 │              netsim's resolver hook,    │
+//!                 │              byte-identical to eager;   │
 //!                 │              EvolvingWorld: weekly      │
 //!                 │              churn (IP moves, arrivals/ │
 //!                 │              departures, cert renewal,  │
 //!                 │              up/downgrades, deficit     │
-//!                 │              remediation/regression)    │
+//!                 │              remediation/regression),   │
+//!                 │              eager or lazy              │
 //!                 ├──────────────┬──────────────────────────┤
 //!   protocol      │ ua-client    │ ua-server                │
 //!                 ├──────────────┴──────────────────────────┤
@@ -54,7 +62,9 @@
 //!                 │              │             │ CertStore) │
 //!                 ├──────────────┴─────────────┴────────────┤
 //!   substrate     │ netsim       virtual clock, CIDR/ASN,   │
-//!                 │              connections, zmap sweeps   │
+//!                 │              connections, zmap sweeps,  │
+//!                 │              HostResolver hook (lazy    │
+//!                 │              host materialization)      │
 //!                 └─────────────────────────────────────────┘
 //! ```
 //!
@@ -108,6 +118,20 @@
 //!   handles, and batch GCD consumes moduli deduplicated by exactly
 //!   the §5.2 reuse factor (`ScanSummary::certs` reports sightings
 //!   vs. distinct).
+//! * **Lazy world materialization** — `population::LazyWorld` (and
+//!   `EvolvingWorld::new_lazy`) deploys a universe-sized study without
+//!   building it: occupancy is answered by a seeded O(1) predicate (a
+//!   Feistel permutation over the universe, no per-address state), and
+//!   a host's full deployment — keys, certificate, address space,
+//!   referral wiring — is synthesized on *first probe contact* through
+//!   `netsim`'s `HostResolver` hook, as a pure function of
+//!   `(campaign seed, host id, week)`. Output is byte-identical to the
+//!   eager path at any worker count; resident memory tracks the hosts
+//!   probes actually reach, never the address space
+//!   (`MaterializationStats` reports hosts materialized, keys
+//!   generated, and the resident-bytes estimate; the `sweep` and
+//!   `longitudinal` benches record them, and CI runs a million-address
+//!   study under a hard `ulimit -v`).
 //! * **Longitudinal campaigns** — `population::EvolvingWorld` churns
 //!   the deployed fleet week over week (DHCP-style IP reassignment,
 //!   arrivals/departures, certificate renewal, software up/downgrades,
@@ -155,7 +179,8 @@ pub mod prelude {
     };
     pub use netsim::{Blocklist, Cidr, Internet, Ipv4, VirtualClock};
     pub use population::{
-        synthesize, ChurnConfig, EvolvingWorld, HostClass, Population, PopulationConfig, StrataMix,
+        synthesize, ChurnConfig, EvolvingWorld, HostClass, LazyWorld, MaterializationStats,
+        Population, PopulationConfig, StrataMix,
     };
     pub use scanner::{
         Campaign, CampaignConfig, DiscoveredVia, OpcUrl, ReferralStats, ScanConfig, ScanRecord,
