@@ -20,8 +20,15 @@ pub struct VirtualClock {
 impl VirtualClock {
     /// Creates a clock starting at `start_unix_seconds`.
     pub fn starting_at(start_unix_seconds: u64) -> Self {
+        Self::starting_at_micros(start_unix_seconds * 1_000_000)
+    }
+
+    /// Creates a clock starting at an exact microsecond instant —
+    /// how a resumed campaign reconstructs the epoch a
+    /// `SweepCheckpoint` recorded, down to the microsecond.
+    pub fn starting_at_micros(start_micros: Micros) -> Self {
         VirtualClock {
-            inner: Arc::new(Mutex::new(start_unix_seconds * 1_000_000)),
+            inner: Arc::new(Mutex::new(start_micros)),
         }
     }
 
@@ -55,6 +62,15 @@ impl VirtualClock {
     /// its own — sharded scans give every probed host a fork so record
     /// contents depend only on the campaign epoch, never on how many
     /// workers ran or in which order hosts were reached.
+    ///
+    /// Forks are also the cancellation-safety boundary: everything a
+    /// probe charges (handshake RTTs, request/response latency, SYN
+    /// timeouts) lands on its private fork, and the campaign clock only
+    /// learns about it when the scan *completes* and folds the per-host
+    /// totals in. A probe that is cancelled mid-flight is simply
+    /// dropped, fork and all — the shared clock never observes any of
+    /// its time, so an aborted week leaves campaign time exactly where
+    /// it started.
     pub fn fork(&self) -> VirtualClock {
         VirtualClock {
             inner: Arc::new(Mutex::new(self.now_micros())),

@@ -75,6 +75,68 @@ impl std::fmt::Display for ConnectError {
 
 impl std::error::Error for ConnectError {}
 
+/// How long a scanner waits for silence before declaring a SYN dead —
+/// the virtual cost [`Internet::connect`] charges on [`ConnectError::NoRoute`].
+pub const SYN_TIMEOUT_MICROS: u64 = 1_000_000;
+
+/// Fallback latency hint for hosts the resolver knows but the bound
+/// table has never seen: their true RTT is decided at materialization,
+/// so a non-blocking poll can only guess. Scheduling-only — the hint
+/// never reaches a record.
+const DEFAULT_RTT_HINT_MICROS: u64 = 10_000;
+
+/// The *predicted* outcome of a connect, answered without blocking,
+/// without advancing any clock, and without materializing lazy hosts.
+///
+/// This is the non-blocking half of the event-loop engine's SYN stage:
+/// [`Internet::poll_connect`] tells the scheduler what a
+/// [`Internet::connect`] to the same `(addr, port)` *will* do and
+/// roughly when, so a timer can be armed for the completion; the
+/// blocking [`Internet::connect`] on the probe's private clock fork
+/// remains the completion path that actually pays the latency (and, for
+/// lazy worlds, materializes the host). Because the hint only schedules
+/// engine wake-ups — never record contents — an imprecise hint for an
+/// unmaterialized host cannot break byte-identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectPoll {
+    /// A listener accepts: the handshake will complete after one RTT.
+    /// `rtt_micros` is `None` when only the lazy resolver knows the host
+    /// (its RTT is fixed at materialization time).
+    Listening {
+        /// Round-trip time, if the host is already bound.
+        rtt_micros: Option<u32>,
+    },
+    /// The host is up but nothing listens on the port: RST after one RTT.
+    Refused {
+        /// Round-trip time, if the host is already bound.
+        rtt_micros: Option<u32>,
+    },
+    /// Nothing answers at the address: SYN timeout.
+    NoRoute {
+        /// How long the scanner will wait before giving up.
+        timeout_micros: u64,
+    },
+}
+
+impl ConnectPoll {
+    /// True if a blocking connect would succeed.
+    pub fn will_accept(&self) -> bool {
+        matches!(self, ConnectPoll::Listening { .. })
+    }
+
+    /// How many virtual microseconds until the connect attempt resolves
+    /// (handshake completes, RST arrives, or the SYN times out). Used by
+    /// the event loop to arm completion timers.
+    pub fn latency_hint_micros(&self) -> u64 {
+        match self {
+            ConnectPoll::Listening { rtt_micros } | ConnectPoll::Refused { rtt_micros } => {
+                rtt_micros.map_or(DEFAULT_RTT_HINT_MICROS, u64::from)
+            }
+            ConnectPoll::NoRoute { timeout_micros } => *timeout_micros,
+        }
+    }
+}
+
 struct HostEntry {
     services: HashMap<u16, Arc<dyn Service>>,
     rtt_micros: u32,
@@ -270,6 +332,40 @@ impl Internet {
         v
     }
 
+    /// Predicts what [`Internet::connect`] to `(to, port)` would do,
+    /// without blocking, clock cost, or side effects.
+    ///
+    /// Mirrors `connect`'s decision tree — bound table first, then the
+    /// lazy resolver — but never materializes a host and never touches
+    /// the clock: it is safe to call once per admitted probe from the
+    /// event loop. See [`ConnectPoll`] for how the answer (and its
+    /// latency hint) is meant to be used.
+    pub fn poll_connect(&self, to: Ipv4, port: u16) -> ConnectPoll {
+        {
+            let hosts = self.hosts.read().unwrap();
+            if let Some(host) = hosts.get(&to.0) {
+                let rtt_micros = Some(host.rtt_micros);
+                return if host.services.contains_key(&port) {
+                    ConnectPoll::Listening { rtt_micros }
+                } else {
+                    ConnectPoll::Refused { rtt_micros }
+                };
+            }
+        }
+        if let Some(resolver) = self.resolver() {
+            if resolver.host_exists(to) {
+                return if resolver.has_listener(to, port) {
+                    ConnectPoll::Listening { rtt_micros: None }
+                } else {
+                    ConnectPoll::Refused { rtt_micros: None }
+                };
+            }
+        }
+        ConnectPoll::NoRoute {
+            timeout_micros: SYN_TIMEOUT_MICROS,
+        }
+    }
+
     /// Opens a TCP-like connection, applying one RTT of virtual latency
     /// for the handshake.
     ///
@@ -324,7 +420,7 @@ impl Internet {
             }
         }
         // SYN timeout: a scanner waits ~1s for silence.
-        self.clock.advance_millis(1000);
+        self.clock.advance_micros(SYN_TIMEOUT_MICROS);
         Err(ConnectError::NoRoute)
     }
 }
@@ -466,6 +562,111 @@ mod tests {
             net.connect(Ipv4::new(1, 1, 1, 1), Ipv4::new(10, 9, 9, 8), 4840)
                 .err(),
             Some(ConnectError::NoRoute)
+        );
+    }
+
+    #[test]
+    fn poll_connect_predicts_connect_without_side_effects() {
+        let clock = VirtualClock::starting_at(0);
+        let net = Internet::new(clock.clone());
+        let ip = Ipv4::new(198, 51, 100, 7);
+        net.add_host(ip, 12_000);
+        net.bind(ip, 4840, Arc::new(Echo));
+        let from = Ipv4::new(1, 1, 1, 1);
+
+        // Listening: hint equals the RTT the blocking connect charges.
+        let poll = net.poll_connect(ip, 4840);
+        assert_eq!(
+            poll,
+            ConnectPoll::Listening {
+                rtt_micros: Some(12_000)
+            }
+        );
+        assert!(poll.will_accept());
+        let before = clock.now_micros();
+        let stream = net.connect(from, ip, 4840).unwrap();
+        assert_eq!(clock.now_micros() - before, poll.latency_hint_micros());
+        assert_eq!(u64::from(stream.rtt_micros()), poll.latency_hint_micros());
+
+        // Refused: same RTT, RST path.
+        let poll = net.poll_connect(ip, 80);
+        assert_eq!(
+            poll,
+            ConnectPoll::Refused {
+                rtt_micros: Some(12_000)
+            }
+        );
+        let before = clock.now_micros();
+        assert_eq!(net.connect(from, ip, 80).err(), Some(ConnectError::Refused));
+        assert_eq!(clock.now_micros() - before, poll.latency_hint_micros());
+
+        // NoRoute: hint equals the SYN timeout the blocking path pays.
+        let ghost = Ipv4::new(9, 9, 9, 9);
+        let poll = net.poll_connect(ghost, 4840);
+        assert_eq!(
+            poll,
+            ConnectPoll::NoRoute {
+                timeout_micros: SYN_TIMEOUT_MICROS
+            }
+        );
+        let before = clock.now_micros();
+        assert_eq!(
+            net.connect(from, ghost, 4840).err(),
+            Some(ConnectError::NoRoute)
+        );
+        assert_eq!(clock.now_micros() - before, SYN_TIMEOUT_MICROS);
+
+        // Polling never advanced the clock itself.
+        let before = clock.now_micros();
+        let _ = net.poll_connect(ip, 4840);
+        assert_eq!(clock.now_micros(), before);
+    }
+
+    #[test]
+    fn poll_connect_answers_from_resolver_without_materializing() {
+        struct LazyEcho {
+            target: Ipv4,
+        }
+        impl HostResolver for LazyEcho {
+            fn host_exists(&self, addr: Ipv4) -> bool {
+                addr == self.target
+            }
+            fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
+                addr == self.target && port == 4840
+            }
+            fn materialize(&self, net: &Internet, addr: Ipv4) {
+                net.install_host(
+                    addr,
+                    5_000,
+                    vec![(4840, Arc::new(Echo) as Arc<dyn Service>)],
+                );
+            }
+        }
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let target = Ipv4::new(10, 9, 9, 9);
+        net.set_resolver(Arc::new(LazyEcho { target }));
+
+        // Known to the resolver, not yet bound: Listening, RTT unknown,
+        // and *nothing* materializes.
+        assert_eq!(
+            net.poll_connect(target, 4840),
+            ConnectPoll::Listening { rtt_micros: None }
+        );
+        assert_eq!(
+            net.poll_connect(target, 80),
+            ConnectPoll::Refused { rtt_micros: None }
+        );
+        assert_eq!(net.host_count(), 0);
+        // The unknown-RTT hint still schedules something sensible.
+        assert!(net.poll_connect(target, 4840).latency_hint_micros() > 0);
+
+        // After first contact the bound table answers with the real RTT.
+        let _ = net.connect(Ipv4::new(1, 1, 1, 1), target, 4840).unwrap();
+        assert_eq!(
+            net.poll_connect(target, 4840),
+            ConnectPoll::Listening {
+                rtt_micros: Some(5_000)
+            }
         );
     }
 

@@ -26,8 +26,12 @@ pub mod sweep;
 pub use asn::{AsInfo, AsKind, AsRegistry};
 pub use cidr::{Blocklist, Cidr, CidrParseError, Ipv4};
 pub use clock::{Micros, Stopwatch, VirtualClock};
-pub use internet::{ConnectError, Connection, ConnectionOutput, HostResolver, Internet, Service};
+pub use internet::{
+    ConnectError, ConnectPoll, Connection, ConnectionOutput, HostResolver, Internet, Service,
+    SYN_TIMEOUT_MICROS,
+};
 pub use stream::{ByteStream, ConnectionStats, LoopbackStream, StreamError, TcpStreamSim};
 pub use sweep::{
-    ipv4_permutation, CycleWalk, PermutedRange, SweepConfig, SweepResult, SweepStats, SynScanner,
+    ipv4_permutation, CycleWalk, PermutedRange, SweepConfig, SweepResult, SweepStats, SweepWalk,
+    SynScanner,
 };

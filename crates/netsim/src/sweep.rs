@@ -260,6 +260,55 @@ impl Iterator for PermutedRange {
     }
 }
 
+/// The permuted address walk of one sweep shard, with the flat-index →
+/// address mapping applied but *no* blocklist filtering, listener
+/// probing, or stats: the raw `(walk_step, addr)` sequence that both
+/// sweep drivers share.
+///
+/// [`SynScanner::sweep_shard`] consumes it eagerly; the event-loop
+/// engine holds one as a *pausable cursor* so admission can stall under
+/// backpressure (bounded in-flight window) and a `SweepCheckpoint` can
+/// record exactly how far the walk got. Walk steps are globally unique
+/// and increasing per shard — the merge key for both engines.
+#[derive(Debug, Clone)]
+pub struct SweepWalk {
+    shard: Option<PermutedShard>,
+    blocks: Vec<(Ipv4, u64)>,
+}
+
+impl SweepWalk {
+    /// Builds the walk for `shard` of `shards` over `universe`, deriving
+    /// the permutation from `rng` exactly as [`SynScanner::sweep_shard`]
+    /// does (the walk is a function of the RNG state alone).
+    pub fn new<R: Rng + ?Sized>(universe: &[Cidr], rng: &mut R, shard: u64, shards: u64) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(shard < shards, "shard index within shard count");
+        let blocks: Vec<(Ipv4, u64)> = universe.iter().map(|c| (c.base, c.size())).collect();
+        let total: u64 = blocks.iter().map(|&(_, size)| size).sum();
+        SweepWalk {
+            shard: (total > 0).then(|| PermutedRange::new(total, rng).shard(shard, shards)),
+            blocks,
+        }
+    }
+}
+
+impl Iterator for SweepWalk {
+    type Item = (u64, Ipv4);
+
+    fn next(&mut self) -> Option<(u64, Ipv4)> {
+        let (pos, idx) = self.shard.as_mut()?.next()?;
+        // Map the flat index back into (block, offset).
+        let mut rem = idx;
+        for &(base, size) in &self.blocks {
+            if rem < size {
+                return Some((pos, Ipv4(base.0.wrapping_add(rem as u32))));
+            }
+            rem -= size;
+        }
+        unreachable!("index within total")
+    }
+}
+
 /// Probe-rate configuration for a sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepConfig {
@@ -376,7 +425,11 @@ impl<'a> SynScanner<'a> {
     ///
     /// Clock-neutral: the caller accounts the sweep duration once from
     /// the summed stats (see [`Self::sweep_each`]); shard stats are
-    /// disjoint and sum to the single-shard totals.
+    /// disjoint and sum to the single-shard totals. That split is what
+    /// makes cancellation safe for the non-blocking engine: an aborted
+    /// sweep simply never reaches the accounting step, so no pacing (and
+    /// no in-flight probe's fork time) ever leaks onto the campaign
+    /// clock.
     pub fn sweep_shard<R, F>(
         &self,
         universe: &[Cidr],
@@ -389,29 +442,15 @@ impl<'a> SynScanner<'a> {
         R: Rng + ?Sized,
         F: FnMut(u64, Ipv4),
     {
-        assert!(shards > 0, "at least one shard");
-        assert!(shard < shards, "shard index within shard count");
         // Concatenate blocks into one index space, then walk a
         // permutation of it (zmap's randomization property: no subnet is
-        // hammered in a burst).
-        let sizes: Vec<u64> = universe.iter().map(Cidr::size).collect();
-        let total: u64 = sizes.iter().sum();
+        // hammered in a burst). The walk itself is shared with the
+        // event-loop engine via `SweepWalk`; only the classification
+        // below (blocklist → probe → listener) lives here, and any
+        // second driver must replicate it in exactly this order for the
+        // stats to stay byte-identical.
         let mut stats = SweepStats::default();
-        if total == 0 {
-            return stats;
-        }
-        for (pos, idx) in PermutedRange::new(total, rng).shard(shard, shards) {
-            // Map the flat index back into (block, offset).
-            let mut rem = idx;
-            let mut addr = None;
-            for (block, &size) in universe.iter().zip(&sizes) {
-                if rem < size {
-                    addr = Some(Ipv4(block.base.0.wrapping_add(rem as u32)));
-                    break;
-                }
-                rem -= size;
-            }
-            let addr = addr.expect("index within total");
+        for (pos, addr) in SweepWalk::new(universe, rng, shard, shards) {
             if self.blocklist.contains(addr) {
                 stats.blocklisted += 1;
                 continue;
@@ -715,6 +754,66 @@ mod tests {
             assert_eq!(stats.blocklisted, full.blocklisted, "shards={shards}");
             assert_eq!(stats.responsive, full.responsive, "shards={shards}");
         }
+    }
+
+    #[test]
+    fn sweep_walk_is_the_unfiltered_sweep_order() {
+        let net = Internet::new(VirtualClock::starting_at(0));
+        let a: Cidr = "10.8.0.0/25".parse().unwrap();
+        let b: Cidr = "172.30.0.0/26".parse().unwrap();
+        for i in [3u32, 60, 100] {
+            let addr = Ipv4(a.base.0 + i);
+            net.add_host(addr, 1000);
+            net.bind(addr, 4840, Arc::new(NopService));
+        }
+        let mut blocklist = Blocklist::new();
+        blocklist.add_str("10.8.0.64/27").unwrap();
+        let scanner = SynScanner::new(&net, &blocklist, SweepConfig::default());
+
+        // The walk covers every address of every block exactly once, in
+        // a stable order per seed, with no filtering at all.
+        let mut rng = StdRng::seed_from_u64(9);
+        let walked: Vec<(u64, Ipv4)> = SweepWalk::new(&[a, b], &mut rng, 0, 1).collect();
+        assert_eq!(walked.len() as u64, a.size() + b.size());
+        let unique: HashSet<Ipv4> = walked.iter().map(|&(_, addr)| addr).collect();
+        assert_eq!(unique.len(), walked.len());
+
+        // Replaying the sweep_shard classification over the walk yields
+        // the exact responsive sequence and stats sweep_shard produces.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut reference = Vec::new();
+        let ref_stats = scanner.sweep_shard(&[a, b], &mut rng, 0, 1, |pos, addr| {
+            reference.push((pos, addr));
+        });
+        let mut replayed = Vec::new();
+        let mut stats = SweepStats::default();
+        for &(pos, addr) in &walked {
+            if blocklist.contains(addr) {
+                stats.blocklisted += 1;
+                continue;
+            }
+            stats.probes_sent += 1;
+            if net.has_listener(addr, 4840) {
+                stats.responsive += 1;
+                replayed.push((pos, addr));
+            }
+        }
+        assert_eq!(replayed, reference);
+        assert_eq!(stats, ref_stats);
+
+        // Shards of the walk partition it.
+        let mut merged: Vec<(u64, Ipv4)> = (0..4)
+            .flat_map(|shard| {
+                let mut rng = StdRng::seed_from_u64(9);
+                SweepWalk::new(&[a, b], &mut rng, shard, 4)
+            })
+            .collect();
+        merged.sort_by_key(|&(pos, _)| pos);
+        assert_eq!(merged, walked);
+
+        // An empty universe walks nowhere.
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(SweepWalk::new(&[], &mut rng, 0, 1).count(), 0);
     }
 
     #[test]

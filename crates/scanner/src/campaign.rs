@@ -32,8 +32,9 @@
 //! multi-campaign run is byte-identical per seed at any
 //! [`crate::ScanConfig::workers`] count.
 
-use crate::pipeline::{ScanSummary, Scanner};
+use crate::pipeline::{ScanOutcome, ScanSummary, Scanner};
 use crate::record::ScanRecord;
+use crate::sched::{CancelToken, SweepCheckpoint};
 use netsim::Cidr;
 use ua_crypto::{CertStore, CertStoreStats};
 
@@ -63,6 +64,33 @@ pub struct WeeklyScan {
     pub summary: ScanSummary,
     /// The week's records, in discovery order.
     pub records: Vec<ScanRecord>,
+}
+
+/// How a resumable weekly campaign ended.
+#[derive(Debug)]
+pub enum WeekOutcome {
+    /// The week's sweep ran to completion.
+    Complete(WeeklyScan),
+    /// Cancellation was observed mid-week; pass the checkpoint to
+    /// [`Campaign::resume_week`] to finish the week. The shared
+    /// campaign clock is untouched — an aborted week consumed no
+    /// campaign time.
+    Aborted(Box<WeekCheckpoint>),
+}
+
+/// A week frozen mid-sweep: the records emitted so far plus the scan
+/// engine's [`SweepCheckpoint`]. Resuming prepends the partial records,
+/// so a stitched [`WeeklyScan`] is byte-identical to an uninterrupted
+/// one (modulo the cert-interner `sightings` telemetry — see
+/// [`SweepCheckpoint`]).
+#[derive(Debug)]
+pub struct WeekCheckpoint {
+    /// Week index the abort landed in.
+    pub week: u32,
+    /// Records emitted before the abort, in discovery order.
+    pub records: Vec<ScanRecord>,
+    /// The scan engine's resume point.
+    pub sweep: SweepCheckpoint,
 }
 
 /// Drives weekly campaigns against one (evolving) universe.
@@ -143,6 +171,104 @@ impl Campaign {
             week,
             summary,
             records,
+        }
+    }
+
+    /// [`Self::run_week`] on the event-driven engine with a
+    /// cancellation hook: the week can be aborted at any record
+    /// boundary and finished later with [`Self::resume_week`].
+    ///
+    /// Epoch pinning, evolution, and the week-derived seed are
+    /// identical to [`Self::run_week`]; an abort happens *after* both
+    /// the epoch jump and `evolve`, so the world is already in its
+    /// week-`k` state and must not be evolved again on resume.
+    /// `weeks_run` only advances when the week completes.
+    pub fn run_week_resumable<F>(
+        &mut self,
+        universe: &[Cidr],
+        seed: u64,
+        evolve: F,
+        cancel: &CancelToken,
+    ) -> WeekOutcome
+    where
+        F: FnOnce(u32),
+    {
+        let week = self.weeks_run;
+        let target = self.epoch_micros + u64::from(week) * self.config.week_seconds * 1_000_000;
+        let clock = self.scanner.internet().clock();
+        assert!(
+            week == 0 || clock.now_micros() < target,
+            "week {week} campaign would start late: the previous sweep overran the \
+             {}s cadence",
+            self.config.week_seconds
+        );
+        clock.advance_to_micros(target);
+        evolve(week);
+        let week_seed = seed ^ u64::from(week).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.finish_week(universe, week, week_seed, Vec::new(), None, cancel)
+    }
+
+    /// Continues a week aborted by [`Self::run_week_resumable`] (or a
+    /// previous `resume_week` — aborts can nest). `seed` is the same
+    /// campaign seed the week was started with. Does *not* re-evolve
+    /// the universe and does not re-pin the epoch: the checkpoint
+    /// carries the exact epoch instant, and the shared clock has not
+    /// moved since the abort.
+    pub fn resume_week(
+        &mut self,
+        universe: &[Cidr],
+        seed: u64,
+        checkpoint: WeekCheckpoint,
+        cancel: &CancelToken,
+    ) -> WeekOutcome {
+        let week = checkpoint.week;
+        assert_eq!(
+            week, self.weeks_run,
+            "checkpoint is for week {week} but the campaign is at week {}",
+            self.weeks_run
+        );
+        let week_seed = seed ^ u64::from(week).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.finish_week(
+            universe,
+            week,
+            week_seed,
+            checkpoint.records,
+            Some(checkpoint.sweep),
+            cancel,
+        )
+    }
+
+    /// Shared tail of the resumable paths: runs (or continues) the
+    /// event-loop scan, stitching `records` in front of whatever it
+    /// emits.
+    fn finish_week(
+        &mut self,
+        universe: &[Cidr],
+        week: u32,
+        week_seed: u64,
+        mut records: Vec<ScanRecord>,
+        resume: Option<SweepCheckpoint>,
+        cancel: &CancelToken,
+    ) -> WeekOutcome {
+        let outcome =
+            self.scanner
+                .scan_resumable(universe, week_seed, &self.certs, resume, cancel, |r| {
+                    records.push(r)
+                });
+        match outcome {
+            ScanOutcome::Complete { summary, .. } => {
+                self.weeks_run += 1;
+                WeekOutcome::Complete(WeeklyScan {
+                    week,
+                    summary,
+                    records,
+                })
+            }
+            ScanOutcome::Aborted { checkpoint } => WeekOutcome::Aborted(Box::new(WeekCheckpoint {
+                week,
+                records,
+                sweep: *checkpoint,
+            })),
         }
     }
 }

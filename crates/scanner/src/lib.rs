@@ -15,6 +15,11 @@
 //!   targets after the sweep, with records flowing through a bounded
 //!   channel ([`Scanner::scan_stream`]) so memory stays constant at
 //!   Internet scale;
+//! * [`sched`] — the event-driven scan core: a hierarchical
+//!   [`TimerWheel`] multiplexing per-host probe state machines on one
+//!   thread, [`CancelToken`] cooperative cancellation, and
+//!   [`SweepCheckpoint`] abort/resume — byte-identical to the threaded
+//!   engine per seed at any in-flight cap;
 //! * [`campaign`] — the longitudinal driver: N weekly sweeps on one
 //!   strictly advancing clock, an evolve hook between campaigns, and a
 //!   study-wide shared [`CertStore`].
@@ -26,14 +31,19 @@ pub mod campaign;
 pub mod pipeline;
 pub mod probe;
 pub mod record;
+pub mod sched;
 pub mod url;
 
-pub use campaign::{Campaign, CampaignConfig, WeeklyScan};
-pub use pipeline::{ReferralStats, ScanStream, ScanSummary, Scanner};
+pub use campaign::{Campaign, CampaignConfig, WeekCheckpoint, WeekOutcome, WeeklyScan};
+pub use pipeline::{ReferralStats, ScanOutcome, ScanStream, ScanSummary, Scanner};
 pub use probe::{
     classify_session_error, default_stack, discovery_stack, merge_find_servers, DiscoveryProbe,
-    Probe, ProbeContext, ProbeOutcome, ScanConfig, SessionProbe, UacpProbe,
+    EndpointsProbe, FindServersProbe, Probe, ProbeContext, ProbeOutcome, ScanConfig, ScanEngine,
+    SessionProbe, UacpProbe,
 };
 pub use record::{DiscoveredVia, EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+pub use sched::{
+    CancelGuard, CancelToken, EngineStats, PendingUrl, SweepCheckpoint, TimerId, TimerWheel,
+};
 pub use ua_crypto::{CertStore, CertStoreStats, ParsedCert, Thumbprint};
 pub use url::{OpcUrl, UrlError, UrlHost, DEFAULT_OPCUA_PORT};

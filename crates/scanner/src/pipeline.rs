@@ -42,10 +42,15 @@
 //! emitted after the sweep records, in deterministic queue order — so the
 //! full output stream stays byte-identical per seed at any worker count.
 
-use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig};
+use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig, ScanEngine};
 use crate::record::{DiscoveredVia, ScanRecord};
+use crate::sched::{
+    CancelToken, EngineRun, EngineStats, EventLoop, Job, PendingUrl, SweepCheckpoint,
+};
 use crate::url::OpcUrl;
-use netsim::{Blocklist, Cidr, Internet, Ipv4, SweepConfig, SweepStats, SynScanner, VirtualClock};
+use netsim::{
+    Blocklist, Cidr, Internet, Ipv4, SweepConfig, SweepStats, SweepWalk, SynScanner, VirtualClock,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -106,6 +111,30 @@ pub struct ScanSummary {
     pub started_unix: i64,
     /// Virtual unix time the campaign finished.
     pub finished_unix: i64,
+}
+
+/// How [`Scanner::scan_resumable`] ended.
+// A transient return value, produced once per scan and immediately
+// destructured — the variant size gap costs nothing here.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ScanOutcome {
+    /// The scan ran to completion.
+    Complete {
+        /// Campaign summary, byte-identical to the threaded engine's.
+        summary: ScanSummary,
+        /// Event-loop scheduler telemetry for this call (timer counts,
+        /// in-flight high-water mark). Not part of the summary because
+        /// the summary must not depend on the engine.
+        engine: EngineStats,
+    },
+    /// Cancellation was observed at a safe point. Pass the checkpoint
+    /// back to [`Scanner::scan_resumable`] to continue; the stitched
+    /// record stream is byte-identical to an uninterrupted run.
+    Aborted {
+        /// Where to pick the scan back up.
+        checkpoint: Box<SweepCheckpoint>,
+    },
 }
 
 /// One referral URL waiting to be classified: who announced it, what it
@@ -231,6 +260,17 @@ impl Scanner {
     where
         F: FnMut(ScanRecord),
     {
+        if self.config.engine == ScanEngine::EventLoop {
+            // The event-loop engine is the resumable path run to
+            // completion; a fresh token never cancels.
+            return match self.scan_resumable(universe, seed, certs, None, &CancelToken::new(), sink)
+            {
+                ScanOutcome::Complete { summary, .. } => summary,
+                ScanOutcome::Aborted { .. } => {
+                    unreachable!("scan with a fresh CancelToken cannot abort")
+                }
+            };
+        }
         let mut summary = ScanSummary {
             started_unix: self.internet.clock().now_unix_seconds(),
             ..ScanSummary::default()
@@ -314,6 +354,236 @@ impl Scanner {
         summary
     }
 
+    /// Runs the campaign on the event-driven engine (see
+    /// [`crate::sched`]) with cooperative cancellation and
+    /// deterministic abort/resume. Always uses the event loop
+    /// regardless of [`ScanConfig::engine`] — the threaded engine has
+    /// no checkpointable safe points.
+    ///
+    /// * `resume: None` starts a fresh scan at the current campaign
+    ///   clock instant; `Some(checkpoint)` continues an aborted one
+    ///   (same scanner, same universe, same seed — asserted).
+    /// * `cancel` is polled between timer firings during the sweep and
+    ///   at referral-level boundaries. On cancellation the scan returns
+    ///   [`ScanOutcome::Aborted`] *without* advancing the campaign
+    ///   clock: in-flight probes are dropped fork-clocks and all, and
+    ///   time is only accounted when a scan completes.
+    /// * Records emitted before an abort are final. The concatenation
+    ///   of the aborted run's records and the resumed run's records is
+    ///   byte-identical to an uninterrupted run (and to the threaded
+    ///   engine at any worker count).
+    pub fn scan_resumable<F>(
+        &self,
+        universe: &[Cidr],
+        seed: u64,
+        certs: &CertStore,
+        resume: Option<SweepCheckpoint>,
+        cancel: &CancelToken,
+        mut sink: F,
+    ) -> ScanOutcome
+    where
+        F: FnMut(ScanRecord),
+    {
+        // Rebuild (or initialize) the scan state. Everything an abort
+        // checkpointed is carried forward; a fresh scan starts from the
+        // shared campaign clock like the threaded engine does.
+        let mut sweep_done = false;
+        let mut resume_filter: Option<ResumeFilter> = None;
+        let mut carried_sweep = SweepStats::default();
+        let mut opcua_hosts: u64 = 0;
+        let mut non_opcua_hosts: u64 = 0;
+        let mut probe_micros: u64 = 0;
+        let mut frontier: Vec<PendingReferral> = Vec::new();
+        let mut ref_stats = ReferralStats::default();
+        let mut probed: HashSet<(u32, u16)> = HashSet::new();
+        let (epoch, started_unix) = match resume {
+            None => (
+                self.internet.clock().fork(),
+                self.internet.clock().now_unix_seconds(),
+            ),
+            Some(cp) => {
+                assert_eq!(cp.seed, seed, "resume must use the checkpoint's seed");
+                sweep_done = cp.sweep_done;
+                if !cp.sweep_done {
+                    resume_filter = Some(ResumeFilter {
+                        next_step: cp.next_step,
+                        pending: cp.in_flight.iter().copied().collect(),
+                    });
+                }
+                carried_sweep = cp.sweep_stats;
+                opcua_hosts = cp.opcua_hosts;
+                non_opcua_hosts = cp.non_opcua_hosts;
+                probe_micros = cp.probe_micros;
+                frontier = cp
+                    .frontier
+                    .into_iter()
+                    .map(|p| PendingReferral {
+                        from: p.from,
+                        url: p.url,
+                        depth: p.depth,
+                    })
+                    .collect();
+                ref_stats = cp.referral_stats;
+                probed = cp
+                    .probed_referrals
+                    .iter()
+                    .map(|&(addr, port)| (addr.0, port))
+                    .collect();
+                (
+                    VirtualClock::starting_at_micros(cp.epoch_micros),
+                    cp.started_unix,
+                )
+            }
+        };
+        let epoch_micros = epoch.now_micros();
+        let mut engine = EventLoop::new(&self.internet, &self.config, certs, &epoch);
+        let checkpoint_frontier = |frontier: &[PendingReferral]| {
+            frontier
+                .iter()
+                .map(|p| PendingUrl {
+                    from: p.from,
+                    url: p.url.clone(),
+                    depth: p.depth,
+                })
+                .collect()
+        };
+        let checkpoint_probed = |probed: &HashSet<(u32, u16)>| {
+            let mut v: Vec<(Ipv4, u16)> = probed.iter().map(|&(a, p)| (Ipv4(a), p)).collect();
+            v.sort_by_key(|&(a, p)| (a.0, p));
+            v
+        };
+
+        let sweep_stats = if sweep_done {
+            carried_sweep
+        } else {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut jobs = SweepJobs {
+                walk: SweepWalk::new(universe, &mut rng, 0, 1),
+                internet: &self.internet,
+                blocklist: &self.blocklist,
+                port: self.config.port,
+                seed,
+                stats: SweepStats::default(),
+                cursor: 0,
+                resume: resume_filter,
+            };
+            let run = engine.run(&mut jobs, Some(cancel), &mut |_, record, micros| {
+                probe_micros += micros;
+                let record = record.expect("sweep jobs always have a listener");
+                if record.hello_ok {
+                    opcua_hosts += 1;
+                } else {
+                    non_opcua_hosts += 1;
+                }
+                collect_referrals(&record, &mut frontier);
+                sink(record);
+                cancel.notch();
+            });
+            match run {
+                EngineRun::Cancelled { unemitted } => {
+                    return ScanOutcome::Aborted {
+                        checkpoint: Box::new(SweepCheckpoint {
+                            seed,
+                            epoch_micros,
+                            started_unix,
+                            sweep_done: false,
+                            next_step: jobs.cursor,
+                            in_flight: unemitted,
+                            sweep_stats: carried_sweep + jobs.stats,
+                            opcua_hosts,
+                            non_opcua_hosts,
+                            probe_micros,
+                            frontier: checkpoint_frontier(&frontier),
+                            referral_stats: ref_stats,
+                            probed_referrals: checkpoint_probed(&probed),
+                        }),
+                    };
+                }
+                EngineRun::Complete => carried_sweep + jobs.stats,
+            }
+        };
+
+        // Referral phase: levels are atomic (cancellation lands on
+        // level boundaries), targets within a level run on the wheel.
+        loop {
+            if cancel.is_cancelled() {
+                return ScanOutcome::Aborted {
+                    checkpoint: Box::new(SweepCheckpoint {
+                        seed,
+                        epoch_micros,
+                        started_unix,
+                        sweep_done: true,
+                        next_step: 0,
+                        in_flight: Vec::new(),
+                        sweep_stats,
+                        opcua_hosts,
+                        non_opcua_hosts,
+                        probe_micros,
+                        frontier: checkpoint_frontier(&frontier),
+                        referral_stats: ref_stats,
+                        probed_referrals: checkpoint_probed(&probed),
+                    }),
+                };
+            }
+            if frontier.is_empty() {
+                break;
+            }
+            let level = self.classify_level(universe, &mut frontier, &mut ref_stats, &mut probed);
+            let mut jobs = level.iter().enumerate().map(|(i, t)| Job {
+                ordinal: i as u64,
+                addr: t.addr,
+                port: t.port,
+                via: DiscoveredVia::Referral {
+                    from: t.from,
+                    depth: t.depth,
+                },
+                seed: referral_seed(seed, t.addr, t.port),
+                listening: self.internet.has_listener(t.addr, t.port),
+            });
+            let run = engine.run(&mut jobs, None, &mut |_, record, micros| {
+                probe_micros += micros;
+                match record {
+                    None => ref_stats.dead += 1,
+                    Some(record) => {
+                        if record.hello_ok {
+                            ref_stats.opcua_hosts += 1;
+                            opcua_hosts += 1;
+                        } else {
+                            ref_stats.non_opcua_hosts += 1;
+                            non_opcua_hosts += 1;
+                        }
+                        collect_referrals(&record, &mut frontier);
+                        sink(record);
+                        cancel.notch();
+                    }
+                }
+            });
+            debug_assert!(matches!(run, EngineRun::Complete));
+        }
+
+        // Completion: account campaign time exactly as the threaded
+        // engine does, from the same order-independent sums.
+        let mut summary = ScanSummary {
+            sweep: sweep_stats,
+            referrals: ref_stats,
+            opcua_hosts,
+            non_opcua_hosts,
+            certs: certs.stats(),
+            started_unix,
+            finished_unix: 0,
+        };
+        let paced_probes = summary.sweep.probes_sent + summary.referrals.followed;
+        let pacing_micros =
+            paced_probes.saturating_mul(1_000_000) / self.config.probes_per_second.max(1);
+        self.internet.clock().advance_micros(pacing_micros);
+        self.internet.clock().advance_micros(probe_micros);
+        summary.finished_unix = self.internet.clock().now_unix_seconds();
+        ScanOutcome::Complete {
+            summary,
+            engine: engine.stats(),
+        }
+    }
+
     /// The referral phase: classifies every announced URL, then probes
     /// accepted targets breadth-first, level by level. Targets within a
     /// level are probed across [`ScanConfig::workers`] threads and
@@ -338,44 +608,7 @@ impl Scanner {
         // sweep coverage is checked structurally (port + universe).
         let mut probed: HashSet<(u32, u16)> = HashSet::new();
         while !frontier.is_empty() {
-            let mut level: Vec<ReferralTarget> = Vec::new();
-            for pending in frontier.drain(..) {
-                stats.urls_announced += 1;
-                let Some((addr, port)) = OpcUrl::parse(&pending.url).ok().and_then(|u| u.target())
-                else {
-                    stats.unfollowable += 1;
-                    continue;
-                };
-                if self.blocklist.contains(addr) {
-                    stats.blocklisted += 1;
-                    continue;
-                }
-                // Deduplicate against the sweep (which SYN-probed every
-                // non-blocklisted universe address on the campaign
-                // port, responsive or not) and against earlier
-                // referral probes — this is what terminates A→B→A
-                // loops.
-                let swept = port == self.config.port && universe.iter().any(|c| c.contains(addr));
-                if swept || probed.contains(&(addr.0, port)) {
-                    stats.already_probed += 1;
-                    continue;
-                }
-                if pending.depth > self.config.referral_depth
-                    || (stats.followed as usize) >= self.config.referral_budget
-                {
-                    stats.truncated += 1;
-                    continue;
-                }
-                probed.insert((addr.0, port));
-                stats.followed += 1;
-                stats.max_depth = stats.max_depth.max(pending.depth);
-                level.push(ReferralTarget {
-                    addr,
-                    port,
-                    from: pending.from,
-                    depth: pending.depth,
-                });
-            }
+            let level = self.classify_level(universe, &mut frontier, &mut stats, &mut probed);
             for (maybe_record, micros) in self.probe_referral_level(&level, epoch, certs, seed) {
                 *probe_micros += micros;
                 match maybe_record {
@@ -393,6 +626,59 @@ impl Scanner {
             }
         }
         stats
+    }
+
+    /// Classifies one drained referral frontier into the accepted probe
+    /// targets for the next breadth-first level. This is the single
+    /// copy of the disposition logic (unfollowable → blocklist → dedup
+    /// → depth/budget) shared by the threaded referral phase and the
+    /// event-loop engine — one copy, so the two engines cannot drift.
+    fn classify_level(
+        &self,
+        universe: &[Cidr],
+        frontier: &mut Vec<PendingReferral>,
+        stats: &mut ReferralStats,
+        probed: &mut HashSet<(u32, u16)>,
+    ) -> Vec<ReferralTarget> {
+        let mut level: Vec<ReferralTarget> = Vec::new();
+        for pending in frontier.drain(..) {
+            stats.urls_announced += 1;
+            let Some((addr, port)) = OpcUrl::parse(&pending.url).ok().and_then(|u| u.target())
+            else {
+                stats.unfollowable += 1;
+                continue;
+            };
+            if self.blocklist.contains(addr) {
+                stats.blocklisted += 1;
+                continue;
+            }
+            // Deduplicate against the sweep (which SYN-probed every
+            // non-blocklisted universe address on the campaign
+            // port, responsive or not) and against earlier
+            // referral probes — this is what terminates A→B→A
+            // loops.
+            let swept = port == self.config.port && universe.iter().any(|c| c.contains(addr));
+            if swept || probed.contains(&(addr.0, port)) {
+                stats.already_probed += 1;
+                continue;
+            }
+            if pending.depth > self.config.referral_depth
+                || (stats.followed as usize) >= self.config.referral_budget
+            {
+                stats.truncated += 1;
+                continue;
+            }
+            probed.insert((addr.0, port));
+            stats.followed += 1;
+            stats.max_depth = stats.max_depth.max(pending.depth);
+            level.push(ReferralTarget {
+                addr,
+                port,
+                from: pending.from,
+                depth: pending.depth,
+            });
+        }
+        level
     }
 
     /// Probes one referral level, returning `(record, micros)` per
@@ -580,6 +866,81 @@ impl Scanner {
 /// One merged unit from a shard: (global permutation step, record,
 /// virtual probe microseconds).
 type ShardItem = (u64, ScanRecord, u64);
+
+/// Resume filter over the permutation walk: steps before `next_step`
+/// were already examined by the aborted run — they are skipped unless
+/// listed in `pending` (admitted but never emitted, so they must be
+/// fully re-probed).
+struct ResumeFilter {
+    next_step: u64,
+    pending: HashSet<u64>,
+}
+
+/// Admission-side adapter for the event-loop engine: walks the zmap
+/// permutation and replicates `SynScanner::sweep_shard`'s
+/// classification (blocklist → probe counted → listener check, in
+/// exactly that order) so the sweep counters stay byte-identical to the
+/// threaded engine's. Owns the counters and the walk cursor so the
+/// engine can checkpoint mid-walk.
+struct SweepJobs<'a> {
+    walk: SweepWalk,
+    internet: &'a Internet,
+    blocklist: &'a Blocklist,
+    port: u16,
+    seed: u64,
+    /// Counters for every step this iterator examined (resume catch-up
+    /// steps are *not* recounted — the checkpoint already has them).
+    stats: SweepStats,
+    /// First walk step not yet examined; becomes the checkpoint's
+    /// `next_step` on abort.
+    cursor: u64,
+    resume: Option<ResumeFilter>,
+}
+
+impl SweepJobs<'_> {
+    fn job(&self, pos: u64, addr: Ipv4) -> Job {
+        Job {
+            ordinal: pos,
+            addr,
+            port: self.port,
+            via: DiscoveredVia::Sweep,
+            seed: self.seed ^ u64::from(addr.0),
+            listening: true,
+        }
+    }
+}
+
+impl Iterator for SweepJobs<'_> {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        loop {
+            let (pos, addr) = self.walk.next()?;
+            self.cursor = pos + 1;
+            if let Some(filter) = &self.resume {
+                if pos < filter.next_step {
+                    // Settled by the aborted run — its stats already
+                    // cover this step — unless it was still in flight,
+                    // in which case it is re-admitted (and only
+                    // re-admitted: no recounting).
+                    if filter.pending.contains(&pos) {
+                        return Some(self.job(pos, addr));
+                    }
+                    continue;
+                }
+            }
+            if self.blocklist.contains(addr) {
+                self.stats.blocklisted += 1;
+                continue;
+            }
+            self.stats.probes_sent += 1;
+            if self.internet.has_listener(addr, self.port) {
+                self.stats.responsive += 1;
+                return Some(self.job(pos, addr));
+            }
+        }
+    }
+}
 
 /// Harvests a record's referred URLs into the referral frontier, one
 /// chain level deeper than the record itself.

@@ -23,6 +23,28 @@ use ua_types::{
 /// campaigns can diff reported versions.
 const SERVER_SOFTWARE_VERSION_NODE: u32 = 2264;
 
+/// Which probe engine drives a campaign.
+///
+/// Both engines run the same stack over the same permutation with
+/// per-host clock forks, so output is byte-identical per seed; they
+/// differ only in *how* probes are multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanEngine {
+    /// The reference implementation: responsive hosts are sharded across
+    /// [`ScanConfig::workers`] OS threads, each running its probe stack
+    /// to completion with blocking I/O.
+    #[default]
+    Threaded,
+    /// The event-driven core: every probe is a state machine
+    /// (SYN → hello → endpoints → FindServers → session) multiplexed
+    /// over a hierarchical timer wheel on a single thread, with
+    /// admission bounded by [`ScanConfig::max_in_flight`]. Throughput
+    /// tracks the in-flight budget instead of the worker count
+    /// ([`ScanConfig::workers`] is ignored), and campaigns become
+    /// abortable/resumable via `scanner::sched`.
+    EventLoop,
+}
+
 /// Scan-wide configuration shared by all probes.
 #[derive(Clone)]
 pub struct ScanConfig {
@@ -54,6 +76,13 @@ pub struct ScanConfig {
     /// safety budget against referral storms; targets beyond it are
     /// counted as truncated, never probed.
     pub referral_budget: usize,
+    /// Which probe engine drives the campaign. Output is byte-identical
+    /// per seed either way.
+    pub engine: ScanEngine,
+    /// Event-loop engine only: the bound on the admitted-but-unemitted
+    /// probe window (admission stalls when it is full — the engine's
+    /// backpressure against a slow record sink). 0 is treated as 1.
+    pub max_in_flight: usize,
 }
 
 impl Default for ScanConfig {
@@ -69,6 +98,8 @@ impl Default for ScanConfig {
             workers: 1,
             referral_depth: 4,
             referral_budget: 4096,
+            engine: ScanEngine::default(),
+            max_in_flight: 256,
         }
     }
 }
@@ -172,14 +203,14 @@ impl Probe for UacpProbe {
     }
 }
 
-/// Stage 2: endpoint discovery over an insecure channel (always permitted
-/// for discovery), plus FindServers to follow referenced endpoints — the
-/// paper's scanner added that on 2020-05-04.
-pub struct DiscoveryProbe;
+/// Stage 2: endpoint discovery over an insecure channel (always
+/// permitted for discovery) — opens the `None`-policy channel and
+/// snapshots GetEndpoints into the record.
+pub struct EndpointsProbe;
 
-impl Probe for DiscoveryProbe {
+impl Probe for EndpointsProbe {
     fn name(&self) -> &'static str {
-        "discovery"
+        "endpoints"
     }
 
     fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
@@ -207,15 +238,53 @@ impl Probe for DiscoveryProbe {
             .iter()
             .map(|ep| EndpointSnapshot::from_description(ep, certs))
             .collect();
+        ProbeOutcome::Continue
+    }
+}
 
-        // FindServers: collect discovery URLs pointing away from this
-        // host (LDS referrals) and reconcile the application type.
+/// Stage 3: FindServers over the already-open discovery channel —
+/// collects discovery URLs pointing away from this host (LDS referrals)
+/// and reconciles the application type. Best-effort: a server that
+/// rejects FindServers still continues to the session stage, exactly as
+/// the paper's scanner did after adding the call on 2020-05-04.
+pub struct FindServersProbe;
+
+impl Probe for FindServersProbe {
+    fn name(&self) -> &'static str {
+        "find_servers"
+    }
+
+    fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
+        let url = ctx.endpoint_url.clone();
+        let Some(client) = ctx.client.as_mut() else {
+            return ProbeOutcome::Stop;
+        };
         if let Ok(servers) = client.find_servers(&url) {
             if let Ok(own) = OpcUrl::parse(&url) {
                 merge_find_servers(record, &own, &servers);
             }
         }
         ProbeOutcome::Continue
+    }
+}
+
+/// The combined discovery stage: [`EndpointsProbe`] then (only if
+/// endpoints succeeded) [`FindServersProbe`], as one [`Probe`]. Kept for
+/// custom stacks that want discovery as a single stage; the default
+/// stack runs the two halves separately so the event-loop engine gets a
+/// timer-wheel state per protocol round-trip.
+pub struct DiscoveryProbe;
+
+impl Probe for DiscoveryProbe {
+    fn name(&self) -> &'static str {
+        "discovery"
+    }
+
+    fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
+        match EndpointsProbe.run(ctx, record) {
+            ProbeOutcome::Continue => FindServersProbe.run(ctx, record),
+            ProbeOutcome::Stop => ProbeOutcome::Stop,
+        }
     }
 }
 
@@ -340,11 +409,17 @@ pub fn classify_session_error(err: &ClientError) -> SessionOutcome {
     }
 }
 
-/// The default probe stack: UACP → discovery → session.
+/// The default probe stack: UACP → endpoints → FindServers → session.
+///
+/// Behaviorally identical to the historical three-stage stack (the
+/// combined [`DiscoveryProbe`] stopped before FindServers whenever
+/// endpoints failed, exactly as the split stages compose), but each
+/// stage is now one state-machine step for the event-loop engine.
 pub fn default_stack() -> Vec<Box<dyn Probe>> {
     vec![
         Box::new(UacpProbe),
-        Box::new(DiscoveryProbe),
+        Box::new(EndpointsProbe),
+        Box::new(FindServersProbe),
         Box::new(SessionProbe),
     ]
 }
@@ -352,7 +427,11 @@ pub fn default_stack() -> Vec<Box<dyn Probe>> {
 /// A discovery-only stack (no session establishment), e.g. for strictly
 /// passive-characterization campaigns.
 pub fn discovery_stack() -> Vec<Box<dyn Probe>> {
-    vec![Box::new(UacpProbe), Box::new(DiscoveryProbe)]
+    vec![
+        Box::new(UacpProbe),
+        Box::new(EndpointsProbe),
+        Box::new(FindServersProbe),
+    ]
 }
 
 #[cfg(test)]
@@ -530,6 +609,6 @@ mod tests {
     fn default_stack_order() {
         let stack = default_stack();
         let names: Vec<&str> = stack.iter().map(|p| p.name()).collect();
-        assert_eq!(names, vec!["uacp", "discovery", "session"]);
+        assert_eq!(names, vec!["uacp", "endpoints", "find_servers", "session"]);
     }
 }

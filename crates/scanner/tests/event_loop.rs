@@ -1,0 +1,316 @@
+//! Event-loop engine determinism: the single-threaded timer-wheel
+//! engine must produce byte-identical output to the threaded engine for
+//! a fixed seed — at any in-flight cap, through `scan_stream`'s bounded
+//! channel, and across an abort/resume cycle stitched back together.
+
+use netsim::{Blocklist, Cidr, Internet, VirtualClock};
+use population::{synthesize, PopulationConfig, StrataMix};
+use scanner::{
+    CancelToken, ScanConfig, ScanEngine, ScanOutcome, ScanRecord, ScanSummary, Scanner,
+    SweepCheckpoint, WeekOutcome,
+};
+
+const SEED: u64 = 20_200_209;
+
+/// A fresh, identically-seeded world per run: two scans over one shared
+/// net would advance the same virtual clock twice.
+fn build_world() -> (Internet, Vec<Cidr>) {
+    let net = Internet::new(VirtualClock::default());
+    let universe: Vec<Cidr> = ["10.40.0.0/22", "172.28.0.0/23"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let cfg = PopulationConfig::new(SEED, universe.clone(), StrataMix::paper_like(60));
+    synthesize(&net, &cfg);
+    (net, universe)
+}
+
+fn scanner_with(engine: ScanEngine, workers: usize, max_in_flight: usize) -> (Scanner, Vec<Cidr>) {
+    let (net, universe) = build_world();
+    let mut blocklist = Blocklist::new();
+    blocklist.add_str("10.40.3.0/24").unwrap();
+    let config = ScanConfig {
+        engine,
+        workers,
+        max_in_flight,
+        ..ScanConfig::default()
+    };
+    (Scanner::new(net, blocklist, config), universe)
+}
+
+fn scan(
+    engine: ScanEngine,
+    workers: usize,
+    max_in_flight: usize,
+) -> (ScanSummary, Vec<ScanRecord>) {
+    let (scanner, universe) = scanner_with(engine, workers, max_in_flight);
+    let mut records = Vec::new();
+    let summary = scanner.scan_with(&universe, SEED, |r| records.push(r));
+    (summary, records)
+}
+
+/// Everything except the cert-interner counters must stitch exactly
+/// across abort/resume; `sightings` counts work performed (certificates
+/// captured by discarded in-flight probes are re-sighted on re-probe),
+/// so it is telemetry, not part of the byte-identity contract.
+fn assert_summary_matches_modulo_sightings(actual: &ScanSummary, expected: &ScanSummary) {
+    assert_eq!(actual.sweep, expected.sweep);
+    assert_eq!(actual.referrals, expected.referrals);
+    assert_eq!(actual.opcua_hosts, expected.opcua_hosts);
+    assert_eq!(actual.non_opcua_hosts, expected.non_opcua_hosts);
+    assert_eq!(actual.started_unix, expected.started_unix);
+    assert_eq!(actual.finished_unix, expected.finished_unix);
+    assert_eq!(actual.certs.distinct, expected.certs.distinct);
+    assert!(actual.certs.sightings >= expected.certs.sightings);
+}
+
+#[test]
+fn event_loop_matches_threaded_at_any_in_flight_cap() {
+    let (threaded_summary, threaded_records) = scan(ScanEngine::Threaded, 1, 256);
+    assert!(
+        threaded_summary.referrals.followed > 0,
+        "world must exercise the referral phase, got {:?}",
+        threaded_summary.referrals
+    );
+    for cap in [1usize, 4, 256] {
+        let (summary, records) = scan(ScanEngine::EventLoop, 1, cap);
+        assert_eq!(summary, threaded_summary, "max_in_flight={cap}");
+        assert_eq!(records, threaded_records, "max_in_flight={cap}");
+    }
+    // The event loop is single-threaded: `workers` must be inert.
+    let (summary, records) = scan(ScanEngine::EventLoop, 8, 64);
+    assert_eq!(summary, threaded_summary);
+    assert_eq!(records, threaded_records);
+}
+
+#[test]
+fn event_loop_matches_multiworker_threaded_through_scan_stream() {
+    let (threaded_summary, threaded_records) = scan(ScanEngine::Threaded, 4, 256);
+    let (scanner, universe) = scanner_with(ScanEngine::EventLoop, 1, 32);
+    let mut stream = scanner.scan_stream(universe, SEED);
+    let records: Vec<ScanRecord> = stream.by_ref().collect();
+    let summary = stream.finish();
+    assert_eq!(summary, threaded_summary);
+    assert_eq!(records, threaded_records);
+}
+
+/// Backpressure must not deadlock even in the most constrained setup:
+/// a records channel of capacity 1 feeding a consumer, over an engine
+/// window of 1 probe — and the output order must still be exact.
+#[test]
+fn no_deadlock_at_capacity_one() {
+    let (_, expected) = scan(ScanEngine::Threaded, 1, 256);
+    let (net, universe) = build_world();
+    let mut blocklist = Blocklist::new();
+    blocklist.add_str("10.40.3.0/24").unwrap();
+    let config = ScanConfig {
+        engine: ScanEngine::EventLoop,
+        channel_capacity: 1,
+        max_in_flight: 1,
+        ..ScanConfig::default()
+    };
+    let scanner = Scanner::new(net, blocklist, config);
+    let mut stream = scanner.scan_stream(universe, SEED);
+    let records: Vec<ScanRecord> = stream.by_ref().collect();
+    stream.finish();
+    assert_eq!(records, expected);
+}
+
+#[test]
+fn in_flight_high_water_respects_cap() {
+    for cap in [1usize, 4, 32] {
+        let (scanner, universe) = scanner_with(ScanEngine::EventLoop, 1, cap);
+        let outcome = scanner.scan_resumable(
+            &universe,
+            SEED,
+            &scanner::CertStore::new(),
+            None,
+            &CancelToken::new(),
+            |_| {},
+        );
+        let ScanOutcome::Complete { engine, .. } = outcome else {
+            panic!("fresh token cannot abort");
+        };
+        assert!(engine.in_flight_high_water > 0);
+        assert!(
+            engine.in_flight_high_water <= cap,
+            "high water {} exceeds cap {cap}",
+            engine.in_flight_high_water
+        );
+        assert!(engine.admitted > 0);
+        assert_eq!(engine.admitted, engine.completed);
+        assert!(engine.timers_fired > 0);
+        assert_eq!(engine.timers_cancelled, 0);
+        // With a window of 4+, probes genuinely interleave: more than
+        // one stage chain shares the wheel, so the scheduler must have
+        // fired at least one timer per admitted probe.
+        assert!(engine.timers_fired >= engine.admitted);
+    }
+}
+
+#[test]
+fn abort_resume_stitches_byte_identical() {
+    let (expected_summary, expected) = scan(ScanEngine::EventLoop, 1, 16);
+    assert!(expected.len() > 10, "need a meaningful record stream");
+
+    // Abort mid-sweep, resume, abort again in the tail (nested aborts),
+    // resume to completion; the concatenation must be byte-identical.
+    let (scanner, universe) = scanner_with(ScanEngine::EventLoop, 1, 16);
+    let certs = scanner::CertStore::new();
+    let mut stitched: Vec<ScanRecord> = Vec::new();
+
+    let first = CancelToken::after_records(expected.len() as u64 / 2);
+    let outcome =
+        scanner.scan_resumable(&universe, SEED, &certs, None, &first, |r| stitched.push(r));
+    let ScanOutcome::Aborted { checkpoint } = outcome else {
+        panic!("budgeted token must abort mid-scan");
+    };
+    let emitted_at_abort = stitched.len();
+    assert!(emitted_at_abort >= expected.len() / 2);
+    assert!(emitted_at_abort < expected.len());
+    assert!(!checkpoint.sweep_done, "abort should land mid-sweep");
+    assert!(
+        checkpoint.in_flight.len() <= 16,
+        "in-flight window {} exceeds the cap",
+        checkpoint.in_flight.len()
+    );
+    assert_eq!(checkpoint.seed, SEED);
+    // Emitted records are final: they are a prefix of the full stream.
+    assert_eq!(stitched[..], expected[..emitted_at_abort]);
+
+    let second = CancelToken::after_records((expected.len() - emitted_at_abort) as u64 - 1);
+    let outcome =
+        scanner.scan_resumable(&universe, SEED, &certs, Some(*checkpoint), &second, |r| {
+            stitched.push(r)
+        });
+    let checkpoint: SweepCheckpoint = match outcome {
+        ScanOutcome::Aborted { checkpoint } => *checkpoint,
+        ScanOutcome::Complete { .. } => panic!("second budgeted token must abort too"),
+    };
+    assert!(stitched.len() < expected.len());
+
+    let outcome = scanner.scan_resumable(
+        &universe,
+        SEED,
+        &certs,
+        Some(checkpoint),
+        &CancelToken::new(),
+        |r| stitched.push(r),
+    );
+    let ScanOutcome::Complete { summary, .. } = outcome else {
+        panic!("unbudgeted resume must complete");
+    };
+    assert_eq!(stitched, expected);
+    assert_summary_matches_modulo_sightings(&summary, &expected_summary);
+}
+
+#[test]
+fn abort_during_referral_phase_resumes_exactly() {
+    let (expected_summary, expected) = scan(ScanEngine::EventLoop, 1, 256);
+    let referral_records = expected.iter().filter(|r| r.via.is_referral()).count();
+    assert!(referral_records > 0, "world must have referral hosts");
+
+    // Budget past the sweep so cancellation lands between referral
+    // levels.
+    let sweep_records = expected.len() - referral_records;
+    let (scanner, universe) = scanner_with(ScanEngine::EventLoop, 1, 256);
+    let certs = scanner::CertStore::new();
+    let mut stitched: Vec<ScanRecord> = Vec::new();
+    let token = CancelToken::after_records(sweep_records as u64 + 1);
+    let outcome =
+        scanner.scan_resumable(&universe, SEED, &certs, None, &token, |r| stitched.push(r));
+    let ScanOutcome::Aborted { checkpoint } = outcome else {
+        panic!("budgeted token must abort");
+    };
+    assert!(
+        checkpoint.sweep_done,
+        "abort should land in the referral phase"
+    );
+    let outcome = scanner.scan_resumable(
+        &universe,
+        SEED,
+        &certs,
+        Some(*checkpoint),
+        &CancelToken::new(),
+        |r| stitched.push(r),
+    );
+    let ScanOutcome::Complete { summary, .. } = outcome else {
+        panic!("resume must complete");
+    };
+    assert_eq!(stitched, expected);
+    assert_summary_matches_modulo_sightings(&summary, &expected_summary);
+}
+
+/// Satellite to the churn-agnostic-clock regression
+/// (`week_epochs_strictly_advance`): an aborted week must consume *no*
+/// campaign time — cancelled in-flight probes only ever advanced their
+/// private fork clocks — and the resumed week must be byte-identical to
+/// a never-aborted one.
+#[test]
+fn aborted_week_leaves_campaign_clock_untouched() {
+    use scanner::Campaign;
+
+    let uninterrupted = {
+        let (scanner, universe) = scanner_with(ScanEngine::EventLoop, 1, 16);
+        let mut campaign = Campaign::new(scanner);
+        let w0 = campaign.run_week(&universe, SEED, |_| {});
+        let w1 = campaign.run_week(&universe, SEED, |_| {});
+        vec![w0, w1]
+    };
+
+    let (scanner, universe) = scanner_with(ScanEngine::EventLoop, 1, 16);
+    let mut campaign = Campaign::new(scanner);
+    let epoch_before = campaign.scanner().internet().clock().now_micros();
+
+    let token = CancelToken::after_records(uninterrupted[0].records.len() as u64 / 2);
+    let outcome = campaign.run_week_resumable(&universe, SEED, |_| {}, &token);
+    let WeekOutcome::Aborted(checkpoint) = outcome else {
+        panic!("budgeted token must abort the week");
+    };
+    // The abort consumed zero campaign time and did not finish a week.
+    assert_eq!(
+        campaign.scanner().internet().clock().now_micros(),
+        epoch_before,
+        "an aborted week must not advance the campaign clock"
+    );
+    assert_eq!(campaign.weeks_run(), 0);
+    assert_eq!(checkpoint.week, 0);
+
+    let outcome = campaign.resume_week(&universe, SEED, *checkpoint, &CancelToken::new());
+    let WeekOutcome::Complete(week0) = outcome else {
+        panic!("resume must complete the week");
+    };
+    assert_eq!(campaign.weeks_run(), 1);
+    assert_eq!(week0.records, uninterrupted[0].records);
+    assert_summary_matches_modulo_sightings(&week0.summary, &uninterrupted[0].summary);
+
+    // The next week is entirely unaffected by the mid-week abort.
+    let outcome = campaign.run_week_resumable(&universe, SEED, |_| {}, &CancelToken::new());
+    let WeekOutcome::Complete(week1) = outcome else {
+        panic!("uncancelled week must complete");
+    };
+    assert_eq!(week1.records, uninterrupted[1].records);
+    assert_summary_matches_modulo_sightings(&week1.summary, &uninterrupted[1].summary);
+}
+
+/// A `CancelGuard` dropped without disarming cancels the token — and a
+/// scan driven by that token winds down at the next safe point instead
+/// of running to completion.
+#[test]
+fn cancel_guard_aborts_scan_on_drop() {
+    let (scanner, universe) = scanner_with(ScanEngine::EventLoop, 1, 16);
+    let token = CancelToken::new();
+    {
+        let _guard = token.guard();
+        // Guard dropped here — e.g. an early return in a driver.
+    }
+    let outcome = scanner.scan_resumable(
+        &universe,
+        SEED,
+        &scanner::CertStore::new(),
+        None,
+        &token,
+        |_| panic!("a pre-cancelled scan must not emit records"),
+    );
+    assert!(matches!(outcome, ScanOutcome::Aborted { .. }));
+}

@@ -21,19 +21,27 @@
 //!                 │              upgrade detection,         │
 //!                 │              deficit trajectories)      │
 //!                 ├─────────────────────────────────────────┤
-//!   measurement   │ scanner      sharded sweep (N workers,  │
-//!                 │              ScanConfig::workers) →     │
-//!                 │              probe stacks → merge by    │
-//!                 │              discovery order → LDS      │
-//!                 │              referral queue (url parse, │
-//!                 │              dedup, depth/budget) →     │
-//!                 │              channel; certificates      │
-//!                 │              interned campaign-wide     │
-//!                 │              (CertStore: parse/hash     │
-//!                 │              once per distinct DER);    │
-//!                 │              Campaign: N weekly sweeps  │
-//!                 │              on one advancing clock,    │
-//!                 │              one CertStore per study    │
+//!   measurement   │ scanner      two engines, one output:   │
+//!                 │              threaded (sharded sweep,   │
+//!                 │              ScanConfig::workers probe  │
+//!                 │              threads, merge by          │
+//!                 │              discovery order) and       │
+//!                 │              event loop (scanner::sched:│
+//!                 │              timer-wheel scheduler,     │
+//!                 │              per-host state machines,   │
+//!                 │              max_in_flight window,      │
+//!                 │              CancelToken abort +        │
+//!                 │              SweepCheckpoint resume);   │
+//!                 │              → LDS referral queue (url  │
+//!                 │              parse, dedup, depth/       │
+//!                 │              budget) → channel;         │
+//!                 │              certificates interned      │
+//!                 │              campaign-wide (CertStore:  │
+//!                 │              parse/hash once per        │
+//!                 │              distinct DER); Campaign:   │
+//!                 │              N weekly sweeps on one     │
+//!                 │              advancing clock, one       │
+//!                 │              CertStore per study        │
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
 //!                 │              configured deployments;    │
@@ -92,6 +100,20 @@
 //!   byte-identical for a fixed seed at *any* worker count; only the
 //!   wall-clock changes. CI enforces this by diffing a 1-worker against
 //!   a 4-worker campaign.
+//! * **Scan engine** — `ScanConfig::engine` selects between the
+//!   thread-per-shard reference engine and `scanner::sched`'s
+//!   single-threaded event loop: per-host probe state machines
+//!   multiplexed over a hierarchical timer wheel, with
+//!   `ScanConfig::max_in_flight` bounding the admitted-but-unemitted
+//!   window (throughput tracks the in-flight budget, not a worker
+//!   count). Output is byte-identical between engines per seed, and
+//!   the event loop adds what threads cannot: cooperative
+//!   cancellation (`CancelToken`) and deterministic abort/resume
+//!   (`Scanner::scan_resumable` + `SweepCheckpoint`,
+//!   `Campaign::run_week_resumable` + `resume_week`) — an aborted
+//!   sweep consumes no campaign time and stitches byte-identically.
+//!   CI diffs event-loop runs against threaded ones and replays an
+//!   abort/resume cycle.
 //! * **Referral following** — after the sweep, the pipeline re-probes
 //!   every `host:port` that FindServers answers referred to (the
 //!   paper's 2020-05-04 scanner change): URLs are normalized through
@@ -183,8 +205,9 @@ pub mod prelude {
         Population, PopulationConfig, StrataMix,
     };
     pub use scanner::{
-        Campaign, CampaignConfig, DiscoveredVia, OpcUrl, ReferralStats, ScanConfig, ScanRecord,
-        Scanner, SessionOutcome, WeeklyScan,
+        Campaign, CampaignConfig, CancelToken, CertStore, DiscoveredVia, EngineStats, OpcUrl,
+        ReferralStats, ScanConfig, ScanEngine, ScanOutcome, ScanRecord, ScanSummary, Scanner,
+        SessionOutcome, SweepCheckpoint, WeekCheckpoint, WeekOutcome, WeeklyScan,
     };
     pub use ua_crypto::Thumbprint;
     pub use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
