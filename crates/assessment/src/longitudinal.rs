@@ -26,6 +26,7 @@ use crate::report::AssessmentReport;
 use netsim::Ipv4;
 use scanner::ScanRecord;
 use std::cmp::Ordering;
+// ua-lint: allow(unordered-iteration) -- matching indexes are keyed lookups; week output follows roster order
 use std::collections::{BTreeMap, HashMap};
 use ua_crypto::Thumbprint;
 
@@ -140,6 +141,7 @@ pub fn diff(prev: &WeekSnapshot, cur: &WeekSnapshot) -> WeekDelta {
         ..WeekDelta::default()
     };
     let mut prev_matched = vec![false; prev.hosts.len()];
+    // ua-lint: allow(unordered-iteration) -- probe-target index: keyed lookup only, never iterated
     let by_target: HashMap<(u32, u16), usize> = prev
         .hosts
         .iter()
@@ -165,7 +167,9 @@ pub fn diff(prev: &WeekSnapshot, cur: &WeekSnapshot) -> WeekDelta {
     // served it in *each* full snapshot — members of a §5.3 reuse
     // cluster are ambiguous by construction and never matched, even
     // after the rest of their cluster resolved by address.
+    // ua-lint: allow(unordered-iteration) -- ambiguity counts: keyed lookup only, never iterated
     let tp_counts = |hosts: &[HostObservation]| -> HashMap<Thumbprint, usize> {
+        // ua-lint: allow(unordered-iteration) -- ambiguity counts: keyed lookup only, never iterated
         let mut counts = HashMap::new();
         for h in hosts {
             if let Some(tp) = h.thumbprint {
@@ -176,6 +180,7 @@ pub fn diff(prev: &WeekSnapshot, cur: &WeekSnapshot) -> WeekDelta {
     };
     let prev_tp_total = tp_counts(&prev.hosts);
     let cur_tp_total = tp_counts(&cur.hosts);
+    // ua-lint: allow(unordered-iteration) -- thumbprint index: keyed lookup only, never iterated
     let mut prev_by_tp: HashMap<Thumbprint, usize> = HashMap::new();
     for (pi, h) in prev.hosts.iter().enumerate() {
         if prev_matched[pi] {
@@ -264,6 +269,7 @@ impl LongitudinalAssessor {
             assessed_hosts: report.hosts,
             deficit_counts: report.deficit_counts.clone(),
         });
+        // ua-lint: allow(panic-hygiene) -- the push on the previous line makes last() infallible
         self.points.last().expect("just pushed")
     }
 

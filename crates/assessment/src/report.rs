@@ -4,6 +4,7 @@
 use crate::deficit::{host_deficits, Deficit};
 use netsim::Ipv4;
 use scanner::{DiscoveredVia, ScanRecord, SessionOutcome, DEFAULT_OPCUA_PORT};
+// ua-lint: allow(unordered-iteration) -- the one HashMap left is a lookup-only dedup index
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use ua_crypto::hash::to_hex;
 use ua_crypto::{find_shared_factors, BigUint};
@@ -150,9 +151,10 @@ pub struct Assessor {
     host_reports: Vec<HostReport>,
     non_opcua: usize,
     sweep_port: Option<u16>,
-    by_thumbprint: HashMap<[u8; 20], BTreeSet<Ipv4>>,
+    by_thumbprint: BTreeMap<[u8; 20], BTreeSet<Ipv4>>,
     moduli: Vec<BigUint>,
     modulus_hosts: Vec<BTreeSet<Ipv4>>,
+    // ua-lint: allow(unordered-iteration) -- modulus dedup index: keyed lookup only, never iterated
     modulus_index: HashMap<BigUint, usize>,
     deficit_counts: BTreeMap<Deficit, usize>,
     mode_distribution: BTreeMap<MessageSecurityMode, usize>,
@@ -317,7 +319,9 @@ impl Assessor {
             for &b in &modulus_hosts[hit.b] {
                 shared_prime_hosts.insert(b);
             }
+            // ua-lint: allow(panic-hygiene) -- every modulus slot gains a host the moment it is created
             let a = *modulus_hosts[hit.a].iter().next().expect("hosts recorded");
+            // ua-lint: allow(panic-hygiene) -- every modulus slot gains a host the moment it is created
             let b = *modulus_hosts[hit.b].iter().next().expect("hosts recorded");
             shared_prime_pairs.push(SharedPrimePair { a, b });
         }

@@ -32,9 +32,18 @@ impl VirtualClock {
         }
     }
 
+    /// Single point where the time mutex is acquired. Guard scopes are
+    /// a read or one arithmetic update; the only panic that can happen
+    /// while holding it is the monotonicity assert, and after that the
+    /// simulation's timeline is broken anyway — propagating is correct.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Micros> {
+        // ua-lint: allow(panic-hygiene) -- poisoned clock means time is already corrupt; propagate
+        self.inner.lock().unwrap()
+    }
+
     /// Current virtual time in microseconds since the epoch.
     pub fn now_micros(&self) -> Micros {
-        *self.inner.lock().unwrap()
+        *self.locked()
     }
 
     /// Current virtual time in unix seconds.
@@ -44,7 +53,7 @@ impl VirtualClock {
 
     /// Advances the clock by `micros`.
     pub fn advance_micros(&self, micros: u64) {
-        *self.inner.lock().unwrap() += micros;
+        *self.locked() += micros;
     }
 
     /// Advances the clock by `millis`.
@@ -80,7 +89,7 @@ impl VirtualClock {
     /// Jumps to an absolute time; panics when moving backwards (virtual
     /// time is monotonic).
     pub fn jump_to_unix_seconds(&self, unix_seconds: u64) {
-        let mut t = self.inner.lock().unwrap();
+        let mut t = self.locked();
         let target = unix_seconds * 1_000_000;
         assert!(target >= *t, "virtual clock cannot move backwards");
         *t = target;
@@ -92,7 +101,7 @@ impl VirtualClock {
     /// time backwards, so forks taken at campaign start strictly follow
     /// everything the previous campaign produced.
     pub fn advance_to_micros(&self, target: Micros) {
-        let mut t = self.inner.lock().unwrap();
+        let mut t = self.locked();
         if target > *t {
             *t = target;
         }

@@ -195,6 +195,25 @@ impl Internet {
         &self.clock
     }
 
+    /// Lock-poisoning policy, centralized: every guard scope in this
+    /// file is a short table read or update, so a poisoned lock means
+    /// another worker already panicked mid-simulation. Surfacing that
+    /// as a typed error would bury the original panic — propagate.
+    fn hosts_read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<u32, HostEntry>> {
+        // ua-lint: allow(panic-hygiene) -- poisoned host table: a peer panicked; propagate it
+        self.hosts.read().unwrap()
+    }
+
+    fn hosts_write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<u32, HostEntry>> {
+        // ua-lint: allow(panic-hygiene) -- poisoned host table: a peer panicked; propagate it
+        self.hosts.write().unwrap()
+    }
+
+    fn registry_read(&self) -> std::sync::RwLockReadGuard<'_, AsRegistry> {
+        // ua-lint: allow(panic-hygiene) -- poisoned registry: a peer panicked; propagate it
+        self.registry.read().unwrap()
+    }
+
     /// A view of the same Internet (shared hosts and AS registry) driven
     /// by a different clock. Connections opened through the view charge
     /// their latency to `clock` instead of the shared one — this is how
@@ -216,31 +235,34 @@ impl Internet {
     /// ([`Internet::with_clock`]), so sharded scan workers see the same
     /// lazy world.
     pub fn set_resolver(&self, resolver: Arc<dyn HostResolver>) {
+        // ua-lint: allow(panic-hygiene) -- poisoned resolver slot: a peer panicked; propagate it
         *self.resolver.write().unwrap() = Some(resolver);
     }
 
     fn resolver(&self) -> Option<Arc<dyn HostResolver>> {
+        // ua-lint: allow(panic-hygiene) -- poisoned resolver slot: a peer panicked; propagate it
         self.resolver.read().unwrap().clone()
     }
 
     /// Replaces the AS registry.
     pub fn set_registry(&self, registry: AsRegistry) {
+        // ua-lint: allow(panic-hygiene) -- poisoned registry: a peer panicked; propagate it
         *self.registry.write().unwrap() = registry;
     }
 
     /// AS number owning `addr` (0 if unannounced).
     pub fn as_number(&self, addr: Ipv4) -> u32 {
-        self.registry.read().unwrap().as_number(addr)
+        self.registry_read().as_number(addr)
     }
 
     /// Runs `f` with read access to the AS registry.
     pub fn with_registry<T>(&self, f: impl FnOnce(&AsRegistry) -> T) -> T {
-        f(&self.registry.read().unwrap())
+        f(&self.registry_read())
     }
 
     /// Adds (or replaces) a host with the given round-trip time.
     pub fn add_host(&self, addr: Ipv4, rtt_micros: u32) {
-        self.hosts.write().unwrap().insert(
+        self.hosts_write().insert(
             addr.0,
             HostEntry {
                 services: HashMap::new(),
@@ -259,7 +281,7 @@ impl Internet {
         rtt_micros: u32,
         services: Vec<(u16, Arc<dyn Service>)>,
     ) {
-        self.hosts.write().unwrap().insert(
+        self.hosts_write().insert(
             addr.0,
             HostEntry {
                 services: services.into_iter().collect(),
@@ -270,28 +292,29 @@ impl Internet {
 
     /// Removes a host entirely (device went offline / changed IP).
     pub fn remove_host(&self, addr: Ipv4) {
-        self.hosts.write().unwrap().remove(&addr.0);
+        self.hosts_write().remove(&addr.0);
     }
 
     /// Binds a service to `(addr, port)`; the host must exist.
     pub fn bind(&self, addr: Ipv4, port: u16, service: Arc<dyn Service>) {
-        let mut hosts = self.hosts.write().unwrap();
+        let mut hosts = self.hosts_write();
         let host = hosts
             .get_mut(&addr.0)
+            // ua-lint: allow(panic-hygiene) -- binding to an unbound address is a caller bug
             .unwrap_or_else(|| panic!("bind on unknown host {addr}"));
         host.services.insert(port, service);
     }
 
     /// Unbinds a port.
     pub fn unbind(&self, addr: Ipv4, port: u16) {
-        if let Some(host) = self.hosts.write().unwrap().get_mut(&addr.0) {
+        if let Some(host) = self.hosts_write().get_mut(&addr.0) {
             host.services.remove(&port);
         }
     }
 
     /// True if a host exists at `addr` — bound or resolver-known.
     pub fn host_exists(&self, addr: Ipv4) -> bool {
-        if self.hosts.read().unwrap().contains_key(&addr.0) {
+        if self.hosts_read().contains_key(&addr.0) {
             return true;
         }
         self.resolver().is_some_and(|r| r.host_exists(addr))
@@ -305,7 +328,7 @@ impl Internet {
     /// itself never materializes anything.
     pub fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
         {
-            let hosts = self.hosts.read().unwrap();
+            let hosts = self.hosts_read();
             if let Some(h) = hosts.get(&addr.0) {
                 return h.services.contains_key(&port);
             }
@@ -315,19 +338,13 @@ impl Internet {
 
     /// Number of *bound* hosts (lazy worlds: materialized so far).
     pub fn host_count(&self) -> usize {
-        self.hosts.read().unwrap().len()
+        self.hosts_read().len()
     }
 
     /// All host addresses, ascending (deterministic iteration for
     /// tests/ground truth; a real scanner cannot do this).
     pub fn host_addresses(&self) -> Vec<Ipv4> {
-        let mut v: Vec<Ipv4> = self
-            .hosts
-            .read()
-            .unwrap()
-            .keys()
-            .map(|&ip| Ipv4(ip))
-            .collect();
+        let mut v: Vec<Ipv4> = self.hosts_read().keys().map(|&ip| Ipv4(ip)).collect();
         v.sort();
         v
     }
@@ -342,7 +359,7 @@ impl Internet {
     /// latency hint) is meant to be used.
     pub fn poll_connect(&self, to: Ipv4, port: u16) -> ConnectPoll {
         {
-            let hosts = self.hosts.read().unwrap();
+            let hosts = self.hosts_read();
             if let Some(host) = hosts.get(&to.0) {
                 let rtt_micros = Some(host.rtt_micros);
                 return if host.services.contains_key(&port) {
@@ -390,7 +407,7 @@ impl Internet {
                 Refused(u32),
             }
             let hit = {
-                let hosts = self.hosts.read().unwrap();
+                let hosts = self.hosts_read();
                 hosts.get(&to.0).map(|host| match host.services.get(&port) {
                     Some(service) => Hit::Conn(service.open_connection(from), host.rtt_micros),
                     None => Hit::Refused(host.rtt_micros),

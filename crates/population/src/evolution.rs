@@ -390,6 +390,7 @@ impl EvolvingWorld {
         self.week = week;
         let log = self.core.evolve_week(week, &self.churn);
         self.history.push(log);
+        // ua-lint: allow(panic-hygiene) -- the push on the previous line makes last() infallible
         self.history.last().expect("just pushed")
     }
 }

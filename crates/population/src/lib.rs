@@ -36,6 +36,7 @@ pub use world::{LazyWorld, MaterializationStats};
 use netsim::{AsKind, AsRegistry, Cidr, Internet, Ipv4};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+// ua-lint: allow(unordered-iteration) -- allocation membership checks only, never iterated
 use std::collections::HashSet;
 use std::sync::Arc;
 use ua_addrspace::{AddressSpace, NodeAccess, SpaceBuilder};
@@ -545,6 +546,7 @@ fn plan_referrals(classes: &[HostClass], addresses: &[Ipv4], ports: &[u16]) -> V
 pub(crate) fn pick_free_address(
     rng: &mut StdRng,
     universe: &[Cidr],
+    // ua-lint: allow(unordered-iteration) -- rejection-sampling membership only, never iterated
     used: &mut HashSet<u32>,
 ) -> Ipv4 {
     let sizes: Vec<u64> = universe.iter().map(Cidr::size).collect();

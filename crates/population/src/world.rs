@@ -32,6 +32,7 @@ use crate::{
 use netsim::{Cidr, HostResolver, Internet, Ipv4};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+// ua-lint: allow(unordered-iteration) -- maps/sets here are key-lookup only; every iterated collection is a Vec or BTreeSet
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, RwLock, Weak};
 use ua_addrspace::ids;
@@ -191,12 +192,15 @@ struct HostFate {
 struct CoreState {
     fates: Vec<HostFate>,
     /// Materialized hosts by id (the memo behind the resolver).
+    // ua-lint: allow(unordered-iteration) -- keyed memo: accessed by id lookup, never iterated
     deps: HashMap<u64, HostDeployment>,
     /// Address overrides on top of the week-0 permutation: only
     /// churned addresses appear here, so lookup stays O(1) with
     /// O(churn) memory.
+    // ua-lint: allow(unordered-iteration) -- O(1) occupancy lookup by address, never iterated
     overlay: HashMap<u32, Occupancy>,
     /// Every address ever allocated (moves/arrivals must not recycle).
+    // ua-lint: allow(unordered-iteration) -- membership checks only, never iterated
     used: HashSet<u32>,
     /// Epoch of each week seen so far (`week_nows[0]` = deployment).
     week_nows: Vec<i64>,
@@ -223,6 +227,7 @@ impl WorldCore {
         let spec = WorldSpec::new(cfg);
         let shared = SharedSecrets::generate(&mut Synthesizer::for_shared(cfg.seed), now);
         let mut fates = Vec::with_capacity(spec.len() as usize);
+        // ua-lint: allow(unordered-iteration) -- membership checks only, never iterated
         let mut used = HashSet::new();
         for id in 0..spec.len() {
             let class = spec.class_of(id);
@@ -253,7 +258,9 @@ impl WorldCore {
             lazy,
             state: RwLock::new(CoreState {
                 fates,
+                // ua-lint: allow(unordered-iteration) -- lookup-only map (see field docs)
                 deps: HashMap::new(),
+                // ua-lint: allow(unordered-iteration) -- lookup-only map (see field docs)
                 overlay: HashMap::new(),
                 used,
                 week_nows: vec![now],
@@ -275,23 +282,37 @@ impl WorldCore {
         &self.net
     }
 
+    /// Lock-poisoning policy, centralized: a poisoned state lock means
+    /// a probe worker panicked mid-materialization and the world memo
+    /// may be half-updated — propagating the panic is the only honest
+    /// answer.
+    fn state_read(&self) -> std::sync::RwLockReadGuard<'_, CoreState> {
+        // ua-lint: allow(panic-hygiene) -- poisoned world state: a worker panicked; propagate it
+        self.state.read().unwrap()
+    }
+
+    fn state_write(&self) -> std::sync::RwLockWriteGuard<'_, CoreState> {
+        // ua-lint: allow(panic-hygiene) -- poisoned world state: a worker panicked; propagate it
+        self.state.write().unwrap()
+    }
+
     pub(crate) fn stats(&self) -> MaterializationStats {
-        self.state.read().unwrap().stats
+        self.state_read().stats
     }
 
     pub(crate) fn roster_len(&self) -> usize {
-        self.state.read().unwrap().fates.len()
+        self.state_read().fates.len()
     }
 
     pub(crate) fn alive_count(&self) -> usize {
-        let st = self.state.read().unwrap();
+        let st = self.state_read();
         st.fates.iter().filter(|f| f.alive).count()
     }
 
     /// The host currently occupying `addr`, if any — overlay first,
     /// then the week-0 permutation. O(1), no allocation.
     fn lookup(&self, addr: Ipv4) -> Option<u64> {
-        let st = self.state.read().unwrap();
+        let st = self.state_read();
         match st.overlay.get(&addr.0) {
             Some(Occupancy::Occupied(id)) => Some(*id),
             Some(Occupancy::Vacated) => None,
@@ -306,11 +327,11 @@ impl WorldCore {
     /// state lock (they are pure, so a racing double-build is just
     /// discarded); bind + memo insert happen atomically under it.
     pub(crate) fn materialize(&self, id: u64) {
-        if self.state.read().unwrap().deps.contains_key(&id) {
+        if self.state_read().deps.contains_key(&id) {
             return;
         }
         let (dep, keygens) = self.build_current(id);
-        let mut st = self.state.write().unwrap();
+        let mut st = self.state_write();
         if st.deps.contains_key(&id) {
             return;
         }
@@ -332,7 +353,7 @@ impl WorldCore {
     /// order. Returns the deployment and the keygens performed.
     fn build_current(&self, id: u64) -> (HostDeployment, u64) {
         let (fate, referenced, week_nows) = {
-            let st = self.state.read().unwrap();
+            let st = self.state_read();
             (
                 st.fates[id as usize].clone(),
                 self.render_refs(&st, id),
@@ -388,7 +409,7 @@ impl WorldCore {
     /// it).
     pub(crate) fn materialize_alive(&self) {
         let pending: Vec<u64> = {
-            let st = self.state.read().unwrap();
+            let st = self.state_read();
             (0..st.fates.len() as u64)
                 .filter(|id| st.fates[*id as usize].alive && !st.deps.contains_key(id))
                 .collect()
@@ -402,7 +423,7 @@ impl WorldCore {
     /// Materializes the fleet first.
     pub(crate) fn alive_deps(&self) -> Vec<HostDeployment> {
         self.materialize_alive();
-        let st = self.state.read().unwrap();
+        let st = self.state_read();
         (0..st.fates.len() as u64)
             .filter(|id| st.fates[*id as usize].alive)
             .map(|id| st.deps[&id].clone())
@@ -421,7 +442,7 @@ impl WorldCore {
     /// hosts and logged for replay otherwise.
     pub(crate) fn evolve_week(&self, week: u32, churn: &ChurnConfig) -> WeekChurn {
         let now = self.net.clock().now_unix_seconds();
-        let mut st = self.state.write().unwrap();
+        let mut st = self.state_write();
         debug_assert_eq!(st.week_nows.len() as u32, week, "weeks must be consecutive");
         st.week_nows.push(now);
         let week_nows = st.week_nows.clone();
@@ -430,6 +451,7 @@ impl WorldCore {
             events: Vec::new(),
         };
         let mut rebind: BTreeSet<u64> = BTreeSet::new();
+        // ua-lint: allow(unordered-iteration) -- membership checks only, never iterated
         let mut moved_ids: HashSet<u64> = HashSet::new();
 
         for idx in 0..st.fates.len() {
@@ -603,9 +625,9 @@ impl WorldCore {
                 });
                 if mentions {
                     st.fates[idx].last_rebind_week = week;
-                    if st.deps.contains_key(&id) {
-                        let urls = self.render_refs(&st, id);
-                        st.deps.get_mut(&id).unwrap().config.referenced_endpoints = urls;
+                    let urls = st.deps.contains_key(&id).then(|| self.render_refs(&st, id));
+                    if let (Some(urls), Some(dep)) = (urls, st.deps.get_mut(&id)) {
+                        dep.config.referenced_endpoints = urls;
                         rebind.insert(id);
                     }
                 }
@@ -658,6 +680,7 @@ fn apply_event(
                 .config
                 .certificate
                 .as_ref()
+                // ua-lint: allow(panic-hygiene) -- renewal events are only recorded for cert-bearing fates
                 .expect("renewal requires a certificate");
             let subject = old.tbs.subject.clone();
             let hash = old.signature_hash();
@@ -665,6 +688,7 @@ fn apply_event(
                 .config
                 .private_key
                 .clone()
+                // ua-lint: allow(panic-hygiene) -- build_host always pairs a certificate with its key
                 .expect("certificate hosts carry their key");
             let builder = CertificateBuilder::new(subject)
                 .serial(serial_for(id, *week, SLOT_RENEWAL))
@@ -767,7 +791,7 @@ impl HostResolver for WorldResolver {
     fn has_listener(&self, addr: Ipv4, port: u16) -> bool {
         self.core.upgrade().is_some_and(|core| {
             core.lookup(addr)
-                .is_some_and(|id| core.state.read().unwrap().fates[id as usize].port == port)
+                .is_some_and(|id| core.state_read().fates[id as usize].port == port)
         })
     }
 

@@ -53,6 +53,7 @@ use netsim::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+// ua-lint: allow(unordered-iteration) -- dedup membership only; checkpoint export sorts before emitting
 use std::collections::HashSet;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
@@ -395,6 +396,7 @@ impl Scanner {
         let mut probe_micros: u64 = 0;
         let mut frontier: Vec<PendingReferral> = Vec::new();
         let mut ref_stats = ReferralStats::default();
+        // ua-lint: allow(unordered-iteration) -- dedup membership; checkpoint_probed sorts before export
         let mut probed: HashSet<(u32, u16)> = HashSet::new();
         let (epoch, started_unix) = match resume {
             None => (
@@ -447,6 +449,7 @@ impl Scanner {
                 })
                 .collect()
         };
+        // ua-lint: allow(unordered-iteration) -- sorted here before it ever reaches a checkpoint
         let checkpoint_probed = |probed: &HashSet<(u32, u16)>| {
             let mut v: Vec<(Ipv4, u16)> = probed.iter().map(|&(a, p)| (Ipv4(a), p)).collect();
             v.sort_by_key(|&(a, p)| (a.0, p));
@@ -469,6 +472,7 @@ impl Scanner {
             };
             let run = engine.run(&mut jobs, Some(cancel), &mut |_, record, micros| {
                 probe_micros += micros;
+                // ua-lint: allow(panic-hygiene) -- sweep admission only emits jobs with a listener
                 let record = record.expect("sweep jobs always have a listener");
                 if record.hello_ok {
                     opcua_hosts += 1;
@@ -606,6 +610,7 @@ impl Scanner {
         let mut stats = ReferralStats::default();
         // (address, port) pairs probed by the referral phase itself;
         // sweep coverage is checked structurally (port + universe).
+        // ua-lint: allow(unordered-iteration) -- dedup membership only, never iterated
         let mut probed: HashSet<(u32, u16)> = HashSet::new();
         while !frontier.is_empty() {
             let level = self.classify_level(universe, &mut frontier, &mut stats, &mut probed);
@@ -638,6 +643,7 @@ impl Scanner {
         universe: &[Cidr],
         frontier: &mut Vec<PendingReferral>,
         stats: &mut ReferralStats,
+        // ua-lint: allow(unordered-iteration) -- dedup membership only, never iterated
         probed: &mut HashSet<(u32, u16)>,
     ) -> Vec<ReferralTarget> {
         let mut level: Vec<ReferralTarget> = Vec::new();
@@ -815,6 +821,7 @@ impl Scanner {
                 .min()
                 .map(|(_, i)| i)
             {
+                // ua-lint: allow(panic-hygiene) -- `next` was selected because this head is Some
                 let (_pos, record, micros) = heads[next].take().expect("head present");
                 *probe_micros += micros;
                 emit(record);
@@ -822,6 +829,7 @@ impl Scanner {
             }
             handles
                 .into_iter()
+                // ua-lint: allow(panic-hygiene) -- re-raise a worker panic on the coordinating thread
                 .map(|h| h.join().expect("scan shard panicked"))
                 .fold(SweepStats::default(), |acc, s| acc + s)
         })
@@ -873,6 +881,7 @@ type ShardItem = (u64, ScanRecord, u64);
 /// fully re-probed).
 struct ResumeFilter {
     next_step: u64,
+    // ua-lint: allow(unordered-iteration) -- membership checks only, never iterated
     pending: HashSet<u64>,
 }
 
@@ -1020,8 +1029,10 @@ impl ScanStream {
         self.rx = None;
         self.handle
             .take()
+            // ua-lint: allow(panic-hygiene) -- finish() consumes self; the handle is present by construction
             .expect("finish called once")
             .join()
+            // ua-lint: allow(panic-hygiene) -- re-raise a worker panic on the coordinating thread
             .expect("scan worker panicked")
     }
 }

@@ -27,6 +27,7 @@ use crate::pipeline::ReferralStats;
 use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig};
 use crate::record::{DiscoveredVia, ScanRecord};
 use netsim::{Internet, Ipv4, SweepStats, TcpStreamSim, VirtualClock};
+// ua-lint: allow(unordered-iteration) -- wheel/engine maps are id-keyed lookups; emission order comes from the sequence cursor
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -210,6 +211,7 @@ pub struct TimerWheel<T> {
     now: u64,
     next_seq: u64,
     next_id: u64,
+    // ua-lint: allow(unordered-iteration) -- liveness membership only, never iterated
     live: HashSet<u64>,
     /// Cancelled entries not yet physically pruned from their slot.
     /// While zero (the common case) expiry skips the prune pass.
@@ -228,6 +230,7 @@ impl<T> TimerWheel<T> {
             now: 0,
             next_seq: 0,
             next_id: 0,
+            // ua-lint: allow(unordered-iteration) -- liveness membership only, never iterated
             live: HashSet::new(),
             cancelled_pending: 0,
             cascades: 0,
@@ -572,6 +575,9 @@ pub(crate) struct EventLoop<'a> {
     slots: Vec<Option<InFlight>>,
     free: Vec<usize>,
     pending: VecDeque<u64>,
+    /// Completion buffer keyed by admission sequence; records leave in
+    /// cursor order, so the map's own order never shows.
+    // ua-lint: allow(unordered-iteration) -- drained by sequence cursor, never iterated
     ready: HashMap<u64, (Option<ScanRecord>, u64)>,
     stats: EngineStats,
     cap: usize,
@@ -596,6 +602,7 @@ impl<'a> EventLoop<'a> {
             slots: Vec::new(),
             free: Vec::new(),
             pending: VecDeque::new(),
+            // ua-lint: allow(unordered-iteration) -- drained by sequence cursor, never iterated
             ready: HashMap::new(),
             stats: EngineStats::default(),
             cap: config.max_in_flight.max(1),

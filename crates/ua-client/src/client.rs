@@ -180,6 +180,7 @@ impl<S: ByteStream> UaClient<S> {
         let client_nonce = if policy == SecurityPolicy::None {
             None
         } else {
+            // ua-lint: allow(panic-hygiene) -- every policy except None has crypto parameters
             let params = policy_crypto(policy).expect("non-None policy");
             let nonce: Vec<u8> = (0..params.nonce_len)
                 .map(|_| rand::Rng::gen(&mut self.rng))
@@ -289,6 +290,7 @@ impl<S: ByteStream> UaClient<S> {
         if frames.is_empty() {
             return Err(ClientError::NoReply);
         }
+        // ua-lint: allow(panic-hygiene) -- the open-channel check above makes this infallible
         let channel = self.channel.as_mut().expect("channel still open");
         let mut assembled = None;
         for frame in &frames {

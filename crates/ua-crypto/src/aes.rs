@@ -239,8 +239,10 @@ pub fn cbc_encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, A
     data.extend_from_slice(plaintext);
     data.extend(std::iter::repeat_n(pad as u8, pad));
 
+    // ua-lint: allow(panic-hygiene) -- iv length was checked to be 16 above
     let mut prev: [u8; 16] = iv.try_into().unwrap();
     for chunk in data.chunks_exact_mut(16) {
+        // ua-lint: allow(panic-hygiene) -- chunks_exact_mut(16) yields 16-byte slices
         let mut block: [u8; 16] = chunk.try_into().unwrap();
         for i in 0..16 {
             block[i] ^= prev[i];
@@ -262,8 +264,10 @@ pub fn cbc_decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, 
         return Err(AesError::BadCiphertextLength(ciphertext.len()));
     }
     let mut out = ciphertext.to_vec();
+    // ua-lint: allow(panic-hygiene) -- iv length was checked to be 16 above
     let mut prev: [u8; 16] = iv.try_into().unwrap();
     for chunk in out.chunks_exact_mut(16) {
+        // ua-lint: allow(panic-hygiene) -- chunks_exact_mut(16) yields 16-byte slices
         let cipher_block: [u8; 16] = chunk.try_into().unwrap();
         let mut block = cipher_block;
         aes.decrypt_block(&mut block);
@@ -273,6 +277,7 @@ pub fn cbc_decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, 
         chunk.copy_from_slice(&block);
         prev = cipher_block;
     }
+    // ua-lint: allow(panic-hygiene) -- ciphertext was checked non-empty above
     let pad = *out.last().unwrap() as usize;
     if pad == 0 || pad > 16 || pad > out.len() {
         return Err(AesError::BadPadding);

@@ -61,7 +61,9 @@ impl ProductTree {
     /// Builds the tree bottom-up. Level 0 is `moduli` verbatim.
     pub fn build(moduli: &[BigUint]) -> ProductTree {
         let mut levels: Vec<Vec<BigUint>> = vec![moduli.to_vec()];
+        // ua-lint: allow(panic-hygiene) -- `levels` starts with one level and only grows
         while levels.last().expect("at least one level").len() > 1 {
+            // ua-lint: allow(panic-hygiene) -- `levels` starts with one level and only grows
             let prev = levels.last().expect("at least one level");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
@@ -78,6 +80,7 @@ impl ProductTree {
 
     /// The product of all moduli.
     pub fn root(&self) -> &BigUint {
+        // ua-lint: allow(panic-hygiene) -- `build` always leaves at least one level
         &self.levels.last().expect("at least one level")[0]
     }
 

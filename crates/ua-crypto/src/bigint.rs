@@ -149,6 +149,7 @@ impl BigUint {
             let limb = i / 16;
             let shift = (i % 16) * 4;
             let d = ((self.limbs[limb] >> shift) & 0xF) as u32;
+            // ua-lint: allow(panic-hygiene) -- `d` is masked to 0..=15, always a hex digit
             s.push(char::from_digit(d, 16).expect("nibble in range"));
         }
         s
@@ -385,6 +386,7 @@ impl BigUint {
     /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
     fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
         // Normalize so the divisor's top limb has its high bit set.
+        // ua-lint: allow(panic-hygiene) -- callers reach Knuth division only with multi-limb divisors
         let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
         let v = divisor.shl(shift);
         let mut u = self.shl(shift).limbs;

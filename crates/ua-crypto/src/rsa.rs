@@ -224,9 +224,11 @@ impl RsaPrivateKey {
     /// Signs `message` (hashed with `alg`) with PKCS#1 v1.5-style padding.
     pub fn sign(&self, alg: HashAlgorithm, message: &[u8]) -> Vec<u8> {
         let k = self.public.modulus_len();
+        // ua-lint: allow(panic-hygiene) -- generated keys are always wide enough for a digest block
         let em = pkcs1_sign_encode(alg, message, k).expect("modulus large enough for digest");
         let m = BigUint::from_bytes_be(&em);
         self.raw(&m)
+            // ua-lint: allow(panic-hygiene) -- the encoded block is k bytes with a zero top byte, below n
             .expect("encoded message below modulus")
             .to_bytes_be_padded(k)
     }

@@ -542,11 +542,20 @@ impl CertStore {
         Self::default()
     }
 
+    /// Single acquisition point for the store lock. Guard scopes are a
+    /// map probe or insert; a poisoned store means a sibling probe
+    /// worker panicked and the dedup counters can no longer be
+    /// trusted — propagate.
+    fn locked(&self) -> std::sync::MutexGuard<'_, CertStoreInner> {
+        // ua-lint: allow(panic-hygiene) -- poisoned cert store: a worker panicked; propagate it
+        self.inner.lock().expect("cert store poisoned")
+    }
+
     /// Interns `der`: parses and hashes on first sighting, hands out the
     /// shared handle on every later one.
     pub fn intern(&self, der: &[u8]) -> Arc<ParsedCert> {
         {
-            let mut inner = self.inner.lock().expect("cert store poisoned");
+            let mut inner = self.locked();
             inner.sightings += 1;
             if let Some(hit) = inner.by_der.get(der) {
                 return Arc::clone(hit);
@@ -555,13 +564,13 @@ impl CertStore {
         // Miss: parse without holding the lock, then insert
         // first-wins.
         let parsed = Arc::new(ParsedCert::parse(der.to_vec()));
-        let mut inner = self.inner.lock().expect("cert store poisoned");
+        let mut inner = self.locked();
         Arc::clone(inner.by_der.entry(der.to_vec()).or_insert(parsed))
     }
 
     /// Current sighting/distinct counters.
     pub fn stats(&self) -> CertStoreStats {
-        let inner = self.inner.lock().expect("cert store poisoned");
+        let inner = self.locked();
         CertStoreStats {
             sightings: inner.sightings,
             distinct: inner.by_der.len() as u64,

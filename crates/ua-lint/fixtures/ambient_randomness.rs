@@ -1,0 +1,18 @@
+//! Seeded violations for the `ambient-randomness` rule. NOT compiled.
+
+fn violations() {
+    let a = SmallRng::from_entropy();
+    let b = thread_rng();
+    let c = OsRng.next_u64();
+    let mut buf = [0u8; 16];
+    getrandom(&mut buf);
+    let _ = (a, b, c);
+}
+
+fn negatives(seed: u64) {
+    // Seed-derived streams are the sanctioned path.
+    let rng = SmallRng::seed_from_u64(seed);
+    let forked = rng.fork();
+    let doc = "never call thread_rng or OsRng in pipeline code";
+    let _ = (forked, doc);
+}

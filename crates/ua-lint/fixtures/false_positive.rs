@@ -1,0 +1,37 @@
+//! Pure-negative corpus: every banned token below hides inside a
+//! string, a raw string, a byte string, a char position, or a comment,
+//! and the `expect` calls are the DER parser's Result-returning
+//! method. A single finding on this file is a lexer bug. NOT compiled.
+
+// Comment mentions: Instant::now(), thread::sleep, SystemTime, OsRng,
+// HashMap, HashSet, .unwrap(), .expect("x"), panic!, .lock() twice.
+
+/* Block comment too: thread_rng() and from_entropy() and getrandom()
+   /* nested: SystemTime::now().unwrap() */ still one comment. */
+
+fn strings() -> Vec<String> {
+    vec![
+        "Instant::now()".to_string(),
+        "thread::sleep(Duration::ZERO)".to_string(),
+        r#"SystemTime::now().unwrap()"#.to_string(),
+        r##"raw with hashes: "#" HashMap::new() panic!()"##.to_string(),
+        String::from_utf8_lossy(b"OsRng HashSet .unwrap()").to_string(),
+        "a.lock(); b.lock();".to_string(),
+    ]
+}
+
+fn der_parser(seq: &mut Der) -> Result<Tbs, DerError> {
+    // `expect` with a non-string argument is the decoder API, not
+    // Option::expect — it must never trip panic-hygiene.
+    let tbs_raw = seq.expect(tag::OCTET_STRING)?;
+    let signature = seq.expect(tag::BIT_STRING)?.to_vec();
+    Ok(Tbs { tbs_raw, signature })
+}
+
+fn unwrap_family(opt: Option<u32>) -> u32 {
+    opt.unwrap_or(0) + opt.unwrap_or_else(|| 1) + opt.unwrap_or_default()
+}
+
+fn chars_and_lifetimes<'a>(s: &'a str) -> (&'a str, char, char) {
+    (s, 'x', '\'')
+}

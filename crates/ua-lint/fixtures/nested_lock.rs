@@ -1,0 +1,29 @@
+//! Seeded violations for the `nested-lock` rule. NOT compiled.
+
+fn hazard(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock();
+    let gb = b.lock();
+    *ga + *gb
+}
+
+fn single(a: &Mutex<u32>) -> u32 {
+    *a.lock()
+}
+
+fn also_single(b: &Mutex<u32>) -> u32 {
+    *b.lock()
+}
+
+trait Locking {
+    // A bodyless signature contributes nothing.
+    fn sig(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_double_lock() {
+        let (a, b) = (Mutex::new(1), Mutex::new(2));
+        assert_eq!(*a.lock() + *b.lock(), 3);
+    }
+}

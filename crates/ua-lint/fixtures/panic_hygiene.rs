@@ -1,0 +1,34 @@
+//! Seeded violations for the `panic-hygiene` rule. NOT compiled.
+
+fn violations(opt: Option<u32>, res: Result<u32, E>) -> u32 {
+    let a = opt.unwrap();
+    let b = res.expect("the caller always passes Ok");
+    if a + b == 0 {
+        panic!("sum vanished");
+    }
+    a + b
+}
+
+fn negatives(seq: &mut Der, opt: Option<u32>) -> Result<u32, E> {
+    // A `Result`-returning parser method named `expect` takes a tag
+    // argument, not a message string — not a panic site.
+    let tbs = seq.expect(tag::OCTET_STRING)?;
+    // The non-panicking unwrap_* family is fine.
+    let x = opt.unwrap_or(0);
+    let y = opt.unwrap_or_else(|| 1);
+    let z = opt.unwrap_or_default();
+    let doc = "docs may say .unwrap() and panic! freely";
+    Ok(tbs + x + y + z)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("test-only panic");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Suppression-comment cases: valid waivers silence findings (and are
+//! counted), malformed waivers are findings themselves. NOT compiled.
+
+fn waived(clock: &VirtualClock, opt: Option<u32>) -> u32 {
+    // ua-lint: allow(wall-clock) -- fixture: waiver on the line above the site
+    let t = Instant::now();
+    let v = opt.unwrap(); // ua-lint: allow(panic-hygiene) -- fixture: same-line waiver
+    let _ = t;
+    v
+}
+
+fn still_fires(opt: Option<u32>) -> u32 {
+    // A waiver two lines up is out of range.
+    // ua-lint: allow(panic-hygiene) -- fixture: too far away to cover
+
+    opt.unwrap()
+}
+
+// ua-lint: allow(panic-hygiene)
+fn missing_why() {}
+
+// ua-lint: allow(no-such-rule) -- the rule id has a typo
+fn unknown_rule() {}

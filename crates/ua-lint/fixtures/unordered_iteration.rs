@@ -1,0 +1,27 @@
+//! Seeded violations for the `unordered-iteration` rule (the fixture
+//! is linted as if it lived in crates/scanner/src). NOT compiled.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Summary {
+    by_policy: HashMap<String, u32>,
+    seen: HashSet<u32>,
+    ordered: BTreeMap<String, u32>, // fine: deterministic order
+}
+
+fn negatives() {
+    let prose = "a HashMap here is only a string";
+    // HashSet in a comment does not fire either.
+    let _ = prose;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_helpers_may_hash() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

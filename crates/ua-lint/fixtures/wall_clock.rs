@@ -1,0 +1,21 @@
+//! Seeded violations for the `wall-clock` rule. NOT compiled — this
+//! file is a lint fixture, read by tests/golden.rs and skipped by the
+//! workspace walk (any `fixtures/` directory is excluded).
+
+use std::time::{Duration, Instant, SystemTime};
+
+fn violations(d: Duration) {
+    let t0 = Instant::now();
+    std::thread::sleep(d);
+    let wall = SystemTime::now();
+    let _ = (t0, wall);
+}
+
+fn negatives(clock: &VirtualClock, deadline: Instant) {
+    // Banned names in comments must not fire: Instant::now(), thread::sleep.
+    let msg = "calling Instant::now() or thread::sleep here would be a bug";
+    let raw = r#"SystemTime in a raw string"#;
+    // Storing or comparing an Instant is fine; only ::now reads the clock.
+    let due = clock.now() >= deadline;
+    let _ = (msg, raw, due);
+}

@@ -1,0 +1,442 @@
+//! A minimal Rust lexer: just enough fidelity that rule matching never
+//! fires inside a string literal, a comment, or a raw string, and that
+//! suppression comments can be tied back to source lines.
+//!
+//! This is deliberately not a full grammar. It splits a source file
+//! into a token stream (identifiers, single-character punctuation,
+//! literals, lifetimes) plus a side channel of comments with their
+//! line numbers. Multi-character operators arrive as consecutive
+//! single-character punctuation tokens; rule patterns match them that
+//! way (`::` is `:`, `:`).
+
+/// What a token is, as far as the rule engine cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, `r#type`).
+    Ident,
+    /// One punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// String, byte-string, raw-string, or char/byte literal. The rule
+    /// engine never looks inside these — that is the whole point.
+    Str,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A single token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// A comment (line or block, doc or plain) with the line it starts on.
+/// Suppression annotations are parsed out of these.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Unterminated constructs (a
+/// string or block comment that runs to EOF) terminate the scan
+/// gracefully rather than erroring: a half-written file should produce
+/// diagnostics for what is there, not a parse failure.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' => self.maybe_prefixed_literal(line),
+                c if is_ident_start(c) => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    let c = self.bump().unwrap_or_default();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// A `"`-delimited string with escape handling.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped, including `"` and `\`
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// `'a` (lifetime), `'a'`/`'\n'` (char literal). The heuristic:
+    /// after the quote, an identifier character NOT followed by a
+    /// closing quote is a lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Str, String::new(), line);
+            }
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                let mut name = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line);
+            }
+            Some(_) => {
+                self.bump(); // the char itself
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Str, String::new(), line);
+            }
+            None => {}
+        }
+    }
+
+    /// Entry point for anything starting with `r` or `b`: raw strings
+    /// (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`), byte chars
+    /// (`b'x'`), raw identifiers (`r#type`), or a plain identifier that
+    /// happens to start with those letters.
+    fn maybe_prefixed_literal(&mut self, line: u32) {
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1) {
+            (Some('r'), Some('"')) => {
+                self.bump();
+                self.raw_string(line, 0);
+            }
+            (Some('r'), Some('#')) => {
+                // Count hashes: raw string if they lead to `"`, raw ident otherwise.
+                let mut hashes = 0;
+                while self.peek(1 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(1 + hashes) == Some('"') {
+                    self.bump(); // r
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(line, hashes);
+                } else {
+                    // Raw identifier r#name: lex as the identifier `name`.
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.ident(line);
+                }
+            }
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.string(line);
+            }
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                self.char_or_lifetime(line);
+            }
+            (Some('b'), Some('r')) if c2 == Some('"') || c2 == Some('#') => {
+                let mut hashes = 0;
+                while self.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(2 + hashes) == Some('"') {
+                    self.bump(); // b
+                    self.bump(); // r
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(line, hashes);
+                } else {
+                    self.ident(line);
+                }
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    /// Scan a raw string body after the opening hashes have been
+    /// consumed; `hashes` is the number of `#` needed to close it.
+    fn raw_string(&mut self, line: u32, hashes: usize) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            // Defensive: never loop forever on unexpected input.
+            self.bump();
+            return;
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// Numbers need just enough care that `0..10` stays a number, a
+    /// range operator, and a number — not a malformed float.
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        // Integer part, including 0x/0o/0b digits and `_` separators;
+        // type suffixes (u32, f64) ride along as identifier chars.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part only when `.` is followed by a digit (so `.`
+        // followed by `.` or an identifier is left for the next token).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // Instant::now() in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "Instant::now()";
+            let r = r#"thread::sleep"#;
+            let ok = real_ident;
+        "##;
+        let names = idents(src);
+        assert!(!names.iter().any(|n| n == "Instant" || n == "HashMap"));
+        assert!(names.iter().any(|n| n == "real_ident"));
+    }
+
+    #[test]
+    fn comments_carry_lines() {
+        let lexed = lex("let a = 1;\n// ua-lint: allow(wall-clock) -- test\nlet b = 2;\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("ua-lint"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let names = idents(r"let q = '\''; let after = ok;");
+        assert!(names.iter().any(|n| n == "after"));
+    }
+
+    #[test]
+    fn raw_identifier_lexes_as_ident() {
+        let names = idents("let r#type = 1; let x = r#fn;");
+        assert!(names.iter().any(|n| n == "type"));
+        assert!(names.iter().any(|n| n == "fn"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let names = idents(r###"let s = r##"a "#" Instant::now() b"##; let tail = ok;"###);
+        assert!(!names.iter().any(|n| n == "Instant"));
+        assert!(names.iter().any(|n| n == "tail"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let lexed = lex("for i in 0..10 { let x = 1.5; let y = 2.pow(3); }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "2", "3"]);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("pow")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let names = idents(r##"let a = b"Instant"; let b = b'x'; let c = br#"sleep"#; done"##);
+        assert!(!names.iter().any(|n| n == "Instant" || n == "sleep"));
+        assert!(names.iter().any(|n| n == "done"));
+    }
+}

@@ -1,0 +1,112 @@
+//! `ua-lint` CLI. `check` lints the workspace and exits non-zero on
+//! any unsuppressed finding; `rules` prints the rule table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ua_lint::{check_workspace, Rule};
+
+const USAGE: &str = "\
+usage: ua-lint <command> [options]
+
+commands:
+  check           lint every .rs and Cargo.toml in the workspace
+  rules           list the rules, what they protect, and how to suppress
+
+options for `check`:
+  --json          emit the machine-readable report instead of human text
+  --root <dir>    workspace root (default: the repo containing this crate)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("ua-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("ua-lint: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "ua-lint: `{}` does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match check_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("ua-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// When run via `cargo run -p ua-lint`, the manifest dir is
+/// `crates/ua-lint`; the workspace root is two levels up. Fall back to
+/// the current directory for a bare binary invocation.
+fn default_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let dir = PathBuf::from(dir);
+        if let Some(root) = dir.parent().and_then(|p| p.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn print_rules() {
+    println!("ua-lint rules (suppress per site with a leading-marker comment,");
+    println!("e.g. `ua-lint: allow(<rule>) -- <why>` — the why is mandatory):\n");
+    for rule in Rule::ALL {
+        if rule == Rule::BadSuppression {
+            continue;
+        }
+        println!("  {:<21} {}", rule.id(), rule.summary());
+        println!();
+    }
+    println!(
+        "  {:<21} {}",
+        Rule::BadSuppression.id(),
+        Rule::BadSuppression.summary()
+    );
+}

@@ -1,0 +1,252 @@
+//! The `hermeticity` rule: a minimal Cargo.toml scanner.
+//!
+//! Builds in this repo run with no registry access, so every
+//! dependency in every manifest must resolve inside the workspace:
+//! `path = "…"` or `workspace = true` (including the dotted
+//! `dep.workspace = true` form). Anything else — a bare version
+//! string, a `git = …` table, a `registry = …` table — is a finding.
+//!
+//! This is a line-oriented scanner, not a TOML parser: it understands
+//! exactly the manifest subset cargo workspaces use (section headers,
+//! `key = value` lines, inline tables, `[dependencies.name]`
+//! subsections, `#` comments) and nothing more.
+
+use crate::rules::{Finding, Rule};
+use crate::suppress::{self, Suppressions};
+
+/// Scan one manifest; returns raw findings plus any suppression
+/// directives found in `#` comments (applied by the caller alongside
+/// the Rust-side flow).
+pub fn lint_manifest(src: &str) -> (Vec<Finding>, Suppressions) {
+    let mut findings = Vec::new();
+    let mut sups = Suppressions::default();
+
+    // Accumulated state for a `[dependencies.name]`-style subsection.
+    let mut open_subsection: Option<(String, u32, bool)> = None; // (name, header line, satisfied)
+
+    let mut section = String::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let (code, comment) = split_comment(raw);
+        if let Some(text) = comment {
+            suppress::from_comment_text(text, line_no, &mut sups);
+        }
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+
+        if code.starts_with('[') {
+            // Close any open single-dep subsection before switching.
+            if let Some((name, header_line, satisfied)) = open_subsection.take() {
+                if !satisfied {
+                    findings.push(dep_finding(&name, header_line));
+                }
+            }
+            section = code.trim_matches(['[', ']']).trim().to_string();
+            if let Some(dep) = single_dep_subsection(&section) {
+                open_subsection = Some((dep.to_string(), line_no, false));
+            }
+            continue;
+        }
+
+        let Some((key, value)) = split_kv(code) else {
+            continue;
+        };
+
+        if let Some(sub) = open_subsection.as_mut() {
+            // Inside `[dependencies.name]`: any `path = …` or
+            // `workspace = true` key satisfies the rule.
+            if key == "path" || (key == "workspace" && value.trim() == "true") {
+                sub.2 = true;
+            }
+            continue;
+        }
+
+        if !is_dep_table(&section) {
+            continue;
+        }
+
+        // A dependency line inside a `[…dependencies]` table.
+        let (dep_name, sub_key) = match key.split_once('.') {
+            Some((name, rest)) => (name, Some(rest)),
+            None => (key, None),
+        };
+        let ok = match sub_key {
+            // `name.workspace = true` / `name.path = "…"` dotted form.
+            Some("workspace") => value.trim() == "true",
+            Some("path") => true,
+            Some(_) => false, // e.g. `name.version = "1"` alone
+            None => value_is_hermetic(value),
+        };
+        if !ok {
+            findings.push(dep_finding(dep_name.trim_matches('"'), line_no));
+        }
+    }
+    if let Some((name, header_line, satisfied)) = open_subsection {
+        if !satisfied {
+            findings.push(dep_finding(&name, header_line));
+        }
+    }
+    (findings, sups)
+}
+
+fn dep_finding(name: &str, line: u32) -> Finding {
+    Finding {
+        rule: Rule::Hermeticity,
+        line,
+        message: format!(
+            "dependency `{name}` does not resolve inside the workspace (needs `path = …` or \
+             `workspace = true`; registry/git dependencies break the hermetic build)"
+        ),
+    }
+}
+
+/// Is `section` a table whose entries are dependencies?
+fn is_dep_table(section: &str) -> bool {
+    section == "dependencies"
+        || section.ends_with(".dependencies")
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// For `[dependencies.foo]`-style headers, the single dependency name.
+fn single_dep_subsection(section: &str) -> Option<&str> {
+    for marker in [".dependencies.", "dependencies."] {
+        if let Some(pos) = section.find(marker) {
+            let name = &section[pos + marker.len()..];
+            if !name.is_empty()
+                && !name.contains('.')
+                && is_dep_table(&section[..pos + marker.len() - 1])
+            {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Does a dependency *value* pin the dep inside the workspace?
+/// `"1.0"` → no. `{ path = "…" }` → yes. `{ workspace = true }` → yes.
+/// `{ git = "…" }` / `{ version = "…" }` only → no.
+fn value_is_hermetic(value: &str) -> bool {
+    let v = value.trim();
+    if !v.starts_with('{') {
+        return false; // bare version string (or something stranger)
+    }
+    let body = v.trim_matches(['{', '}']);
+    body.split(',').any(|entry| {
+        let Some((k, val)) = split_kv(entry.trim()) else {
+            return false;
+        };
+        k == "path" || (k == "workspace" && val.trim() == "true")
+    })
+}
+
+/// Split a `key = value` line; key is trimmed and unquoted.
+fn split_kv(code: &str) -> Option<(&str, &str)> {
+    let (k, v) = code.split_once('=')?;
+    Some((k.trim().trim_matches('"'), v.trim()))
+}
+
+/// Split a manifest line into code and an optional `#` comment,
+/// respecting `#` inside quoted strings.
+fn split_comment(line: &str) -> (&str, Option<&str>) {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return (&line[..i], Some(&line[i..])),
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        lint_manifest(src).0
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = r#"
+[dependencies]
+netsim = { path = "../netsim" }
+scanner.workspace = true
+rand = { path = "crates/rand", version = "0.8.99" }
+"#;
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn registry_and_git_deps_fail() {
+        let src = r#"
+[dependencies]
+serde = "1.0"
+syn = { version = "2", features = ["full"] }
+tokio = { git = "https://github.com/tokio-rs/tokio" }
+"#;
+        let f = findings(src);
+        assert_eq!(f.len(), 3);
+        assert!(f[0].message.contains("serde"));
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn dev_and_build_dependencies_are_checked() {
+        let src = "[dev-dependencies]\nquickcheck = \"1\"\n[build-dependencies]\ncc = \"1\"\n";
+        assert_eq!(findings(src).len(), 2);
+    }
+
+    #[test]
+    fn dep_subsection_without_path_fails() {
+        let src = "[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn dep_subsection_with_path_passes() {
+        let src = "[dependencies.netsim]\npath = \"../netsim\"\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let src =
+            "[package]\nversion = \"1.0\"\nedition = \"2021\"\n[profile.release]\nlto = \"thin\"\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_table_is_checked() {
+        let src =
+            "[workspace.dependencies]\nanyhow = \"1\"\nnetsim = { path = \"crates/netsim\" }\n";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("anyhow"));
+    }
+
+    #[test]
+    fn suppression_comment_is_scanned() {
+        let src = "[dependencies]\n# ua-lint: allow(hermeticity) -- vendored at build time\nweird = \"1\"\n";
+        let (f, sups) = lint_manifest(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(sups.directives.len(), 1);
+        assert!(sups.directives[0].covers(Rule::Hermeticity, 3));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let src = "[package]\nrepository = \"https://example.com/#frag\"\n";
+        let (f, sups) = lint_manifest(src);
+        assert!(f.is_empty() && sups.directives.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-site suppression comments.
+//!
+//! A finding on line N is waived by a comment on line N or N-1 whose
+//! content (after comment markers) starts with the marker `ua-lint:`
+//! followed by, e.g., `allow(panic-hygiene) -- guard poisoning only
+//! happens after a prior panic`. The justification after `--` is
+//! mandatory: an allow without a why is itself a finding
+//! (`bad-suppression`), as is an unknown rule id. Prose that merely
+//! *mentions* the syntax mid-comment is ignored — only a comment that
+//! leads with the marker is a directive.
+
+use crate::lexer::Comment;
+use crate::rules::{Finding, Rule};
+
+/// A parsed, valid suppression directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub line: u32,
+    pub rules: Vec<Rule>,
+}
+
+impl Suppression {
+    /// Does this directive waive `rule` for a finding on `line`?
+    pub fn covers(&self, rule: Rule, line: u32) -> bool {
+        (self.line == line || self.line + 1 == line) && self.rules.contains(&rule)
+    }
+}
+
+/// Result of scanning one file's comments.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    pub directives: Vec<Suppression>,
+    /// Malformed directives, reported as `bad-suppression` findings.
+    pub bad: Vec<Finding>,
+}
+
+/// Scan lexed comments (Rust) for directives.
+pub fn from_comments(comments: &[Comment]) -> Suppressions {
+    let mut out = Suppressions::default();
+    for c in comments {
+        collect(strip_markers(&c.text), c.line, &mut out);
+    }
+    out
+}
+
+/// Scan one already-extracted comment string (used by the manifest
+/// scanner, where comments start with `#`).
+pub fn from_comment_text(text: &str, line: u32, out: &mut Suppressions) {
+    collect(strip_markers(text), line, out);
+}
+
+fn collect(content: &str, line: u32, out: &mut Suppressions) {
+    let Some(rest) = content.strip_prefix("ua-lint:") else {
+        return;
+    };
+    match parse_directive(rest.trim_start()) {
+        Ok(rules) => out.directives.push(Suppression { line, rules }),
+        Err(message) => out.bad.push(Finding {
+            rule: Rule::BadSuppression,
+            line,
+            message,
+        }),
+    }
+}
+
+/// Parse `allow(<rule>[, <rule>…]) -- <why>`.
+fn parse_directive(s: &str) -> Result<Vec<Rule>, String> {
+    let Some(args_on) = s.strip_prefix("allow(") else {
+        return Err(format!(
+            "unknown ua-lint directive `{}`: only `allow(<rule>) -- <why>` is supported",
+            s.split_whitespace().next().unwrap_or("")
+        ));
+    };
+    let Some(close) = args_on.find(')') else {
+        return Err("unclosed `allow(`".into());
+    };
+    let (args, tail) = (args_on[..close].trim(), args_on[close + 1..].trim());
+    let mut rules = Vec::new();
+    for raw in args.split(',') {
+        let id = raw.trim();
+        match Rule::from_id(id) {
+            Some(Rule::BadSuppression) => {
+                return Err("`bad-suppression` cannot be suppressed".into());
+            }
+            Some(rule) => rules.push(rule),
+            None => {
+                return Err(format!(
+                    "unknown rule `{id}` in allow(); known rules: {}",
+                    known_rule_ids()
+                ));
+            }
+        }
+    }
+    if rules.is_empty() {
+        return Err("empty allow()".into());
+    }
+    let why = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if why.is_empty() {
+        return Err("missing justification: append ` -- <why>` to the allow".into());
+    }
+    Ok(rules)
+}
+
+fn known_rule_ids() -> String {
+    Rule::ALL
+        .iter()
+        .filter(|r| **r != Rule::BadSuppression)
+        .map(|r| r.id())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Remove leading comment punctuation (`/`, `*`, `!`, `#`) and
+/// whitespace so the marker check sees the comment's content.
+fn strip_markers(text: &str) -> &str {
+    text.trim_start_matches(['/', '*', '!', '#', ' ', '\t'])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> Suppressions {
+        from_comments(&lex(src).comments)
+    }
+
+    #[test]
+    fn valid_directive_parses() {
+        let s = scan("// ua-lint: allow(panic-hygiene) -- poisoning is unreachable\nx.unwrap();\n");
+        assert_eq!(s.directives.len(), 1);
+        assert!(s.bad.is_empty());
+        assert!(s.directives[0].covers(Rule::PanicHygiene, 1));
+        assert!(s.directives[0].covers(Rule::PanicHygiene, 2));
+        assert!(!s.directives[0].covers(Rule::PanicHygiene, 3));
+        assert!(!s.directives[0].covers(Rule::WallClock, 2));
+    }
+
+    #[test]
+    fn multi_rule_directive() {
+        let s = scan("// ua-lint: allow(wall-clock, panic-hygiene) -- bench-only helper\n");
+        assert_eq!(s.directives[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_why_is_bad() {
+        let s = scan("// ua-lint: allow(panic-hygiene)\n");
+        assert!(s.directives.is_empty());
+        assert_eq!(s.bad.len(), 1);
+        assert!(s.bad[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_bad() {
+        let s = scan("// ua-lint: allow(no-such-rule) -- whatever\n");
+        assert_eq!(s.bad.len(), 1);
+        assert!(s.bad[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_ignored() {
+        let s = scan("// suppress with a comment like ua-lint: allow(x) -- y\n");
+        assert!(s.directives.is_empty() && s.bad.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_directive_counts() {
+        let s = scan("/// ua-lint: allow(nested-lock) -- guard dropped before second lock\n");
+        assert_eq!(s.directives.len(), 1);
+    }
+}

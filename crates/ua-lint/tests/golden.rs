@@ -1,0 +1,119 @@
+//! Golden-diagnostic tests: each fixture under `fixtures/` carries
+//! seeded violations (and deliberate negatives); its `.expected` file
+//! pins the exact diagnostics, line by line. A diff in either
+//! direction — a missed violation or a new false positive — fails.
+
+use std::path::{Path, PathBuf};
+
+use ua_lint::{check_workspace, classify, lint_manifest_source, lint_rust_source, Finding};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Render findings the way the `.expected` files record them.
+fn render(findings: &[Finding], suppressed: usize) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by_key(|f| (f.line, f.rule));
+    let mut out = String::new();
+    for f in sorted {
+        out.push_str(&format!("{}: [{}] {}\n", f.line, f.rule.id(), f.message));
+    }
+    out.push_str(&format!("suppressed: {suppressed}\n"));
+    out
+}
+
+fn check_rust_fixture(name: &str) {
+    // Fixtures are linted as if they lived in an output-producing
+    // crate's src tree, so every source rule is in scope.
+    let ctx = classify("crates/scanner/src/fixture.rs");
+    let src = std::fs::read_to_string(fixture_dir().join(name)).unwrap();
+    let (findings, suppressed) = lint_rust_source(&src, &ctx);
+    compare(name, render(&findings, suppressed));
+}
+
+fn compare(name: &str, actual: String) {
+    let expected_path = fixture_dir().join(format!("{name}.expected"));
+    // Bless mode: regenerate the goldens after a deliberate change to
+    // rule messages or fixtures, then review the diff.
+    if std::env::var_os("UA_LINT_BLESS").is_some() {
+        std::fs::write(&expected_path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).unwrap_or_default();
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "\ngolden mismatch for fixture `{name}`\n--- actual ---\n{actual}\n--- expected ({}) ---\n{expected}",
+        expected_path.display()
+    );
+}
+
+#[test]
+fn wall_clock_golden() {
+    check_rust_fixture("wall_clock.rs");
+}
+
+#[test]
+fn ambient_randomness_golden() {
+    check_rust_fixture("ambient_randomness.rs");
+}
+
+#[test]
+fn unordered_iteration_golden() {
+    check_rust_fixture("unordered_iteration.rs");
+}
+
+#[test]
+fn panic_hygiene_golden() {
+    check_rust_fixture("panic_hygiene.rs");
+}
+
+#[test]
+fn nested_lock_golden() {
+    check_rust_fixture("nested_lock.rs");
+}
+
+#[test]
+fn suppressed_golden() {
+    check_rust_fixture("suppressed.rs");
+}
+
+#[test]
+fn false_positive_corpus_is_silent() {
+    let ctx = classify("crates/scanner/src/fixture.rs");
+    let src = std::fs::read_to_string(fixture_dir().join("false_positive.rs")).unwrap();
+    let (findings, suppressed) = lint_rust_source(&src, &ctx);
+    assert_eq!(suppressed, 0);
+    assert!(
+        findings.is_empty(),
+        "false positives:\n{}",
+        render(&findings, 0)
+    );
+}
+
+#[test]
+fn hermeticity_golden() {
+    let src = std::fs::read_to_string(fixture_dir().join("hermeticity.toml")).unwrap();
+    let (findings, suppressed) = lint_manifest_source(&src);
+    compare("hermeticity.toml", render(&findings, suppressed));
+}
+
+/// The acceptance gate, enforced by `cargo test` itself: the real
+/// workspace must lint clean. Any new violation needs a fix or a
+/// justified per-site waiver before the suite passes again.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("ua-lint sits two levels under the workspace root")
+        .to_path_buf();
+    let report = check_workspace(&root).expect("workspace walk");
+    assert!(report.files_scanned > 50, "walk found too few files");
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed findings:\n{}",
+        report.render_human()
+    );
+}

@@ -171,6 +171,7 @@ impl Reassembler {
                     chunks: 0,
                     body: Vec::new(),
                 });
+                // ua-lint: allow(panic-hygiene) -- in_flight was assigned Some on the previous line
                 self.in_flight.as_mut().unwrap()
             }
         };
@@ -189,6 +190,7 @@ impl Reassembler {
         }
 
         if kind == ChunkKind::Final {
+            // ua-lint: allow(panic-hygiene) -- in_flight is Some: this fn either found it or created it above
             let flight = self.in_flight.take().unwrap();
             return Ok(Some(AssembledMessage {
                 request_id: flight.request_id,

@@ -208,6 +208,7 @@ impl ServerConnection {
         let (server_nonce, local_keys, remote_keys) = if policy == SecurityPolicy::None {
             (None, None, None)
         } else {
+            // ua-lint: allow(panic-hygiene) -- every policy except None has crypto parameters
             let params = policy_crypto(policy).expect("non-None policy has parameters");
             let client_nonce = match &request.client_nonce {
                 Some(n) if n.len() == params.nonce_len => n.clone(),
@@ -289,6 +290,7 @@ impl ServerConnection {
                     .transport_error(StatusCode::BAD_SECURE_CHANNEL_ID_INVALID, "MSG before OPN")
             }
         };
+        // ua-lint: allow(panic-hygiene) -- the MSG-before-OPN check above makes this infallible
         let channel = self.channel.as_mut().expect("checked above");
         let opened = match open_symmetric(policy, mode, channel.remote_keys.as_ref(), frame) {
             Ok(o) => o,
@@ -335,6 +337,7 @@ impl ServerConnection {
         let response = self.core.handle_service(request, &ctx);
         let body = response.encode_to_vec();
 
+        // ua-lint: allow(panic-hygiene) -- the channel was checked open at the top of this handler
         let channel = self.channel.as_mut().expect("still open");
         let first_seq = channel.next_sequence;
         let chunks = match chunk_message(

@@ -78,29 +78,51 @@ impl ServerCore {
         })
     }
 
+    /// Lock-poisoning policy, centralized: every guard scope in this
+    /// core is a short map/space operation, so a poisoned lock means a
+    /// sibling request handler already panicked — propagating it is
+    /// the only honest answer, and the four guard helpers below are
+    /// the only places a lock is acquired.
+    fn state(&self) -> std::sync::MutexGuard<'_, CoreState> {
+        // ua-lint: allow(panic-hygiene) -- poisoned session table: a handler panicked; propagate it
+        self.state.lock().unwrap()
+    }
+
+    fn space_read(&self) -> std::sync::RwLockReadGuard<'_, AddressSpace> {
+        // ua-lint: allow(panic-hygiene) -- poisoned address space: a handler panicked; propagate it
+        self.space.read().unwrap()
+    }
+
+    fn space_write(&self) -> std::sync::RwLockWriteGuard<'_, AddressSpace> {
+        // ua-lint: allow(panic-hygiene) -- poisoned address space: a handler panicked; propagate it
+        self.space.write().unwrap()
+    }
+
     /// Updates the server's notion of wall-clock time (driven by the
     /// simulation's virtual clock).
     pub fn set_time(&self, unix_seconds: i64) {
+        // ua-lint: allow(panic-hygiene) -- poisoned clock cell: a handler panicked; propagate it
         *self.clock_unix_seconds.lock().unwrap() = unix_seconds;
     }
 
     fn now(&self) -> UaDateTime {
+        // ua-lint: allow(panic-hygiene) -- poisoned clock cell: a handler panicked; propagate it
         UaDateTime::from_unix_seconds(*self.clock_unix_seconds.lock().unwrap())
     }
 
     /// Read access to the address space.
     pub fn with_space<T>(&self, f: impl FnOnce(&AddressSpace) -> T) -> T {
-        f(&self.space.read().unwrap())
+        f(&self.space_read())
     }
 
     /// Write access to the address space (population evolution, writes).
     pub fn with_space_mut<T>(&self, f: impl FnOnce(&mut AddressSpace) -> T) -> T {
-        f(&mut self.space.write().unwrap())
+        f(&mut self.space_write())
     }
 
     /// Allocates a fresh secure-channel id.
     pub fn next_channel_id(&self) -> u32 {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         let id = st.next_channel;
         st.next_channel += 1;
         id
@@ -108,6 +130,7 @@ impl ServerCore {
 
     /// Generates `len` random bytes (nonces, tokens).
     pub fn random_bytes(&self, len: usize) -> Vec<u8> {
+        // ua-lint: allow(panic-hygiene) -- poisoned RNG: a handler panicked; propagate it
         let mut rng = self.rng.lock().unwrap();
         (0..len).map(|_| rng.gen()).collect()
     }
@@ -188,7 +211,7 @@ impl ServerCore {
             ServiceBody::CreateSessionRequest(req) => self.create_session(req, ctx),
             ServiceBody::ActivateSessionRequest(req) => self.activate_session(req),
             ServiceBody::CloseSessionRequest(req) => {
-                let mut st = self.state.lock().unwrap();
+                let mut st = self.state();
                 st.sessions.remove(&req.request_header.authentication_token);
                 ServiceBody::CloseSessionResponse(CloseSessionResponse {
                     response_header: ResponseHeader::good(
@@ -229,7 +252,7 @@ impl ServerCore {
                 StatusCode::BAD_INTERNAL_ERROR,
             ));
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         let session_no = st.next_session;
         st.next_session += 1;
         drop(st);
@@ -259,7 +282,7 @@ impl ServerCore {
             _ => SignatureData::default(),
         };
 
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         st.sessions.insert(
             auth_token.clone(),
             Session {
@@ -287,7 +310,7 @@ impl ServerCore {
     fn activate_session(&self, req: ua_proto::services::ActivateSessionRequest) -> ServiceBody {
         let handle = req.request_header.request_handle;
         let token = &req.request_header.authentication_token;
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         let Some(session) = st.sessions.get_mut(token) else {
             return ServiceBody::ServiceFault(ServiceFault::new(
                 handle,
@@ -357,7 +380,7 @@ impl ServerCore {
 
     /// Resolves the active user of the session owning `token`.
     fn session_user(&self, token: &NodeId) -> Result<UserClass, StatusCode> {
-        let st = self.state.lock().unwrap();
+        let st = self.state();
         match st.sessions.get(token) {
             None => Err(StatusCode::BAD_SESSION_ID_INVALID),
             Some(Session {
@@ -386,7 +409,7 @@ impl ServerCore {
                 .min(self.config.max_references_per_browse as usize)
         };
 
-        let space = self.space.read().unwrap();
+        let space = self.space_read();
         let mut results = Vec::with_capacity(req.nodes_to_browse.len());
         let mut pending: Vec<(NodeId, usize)> = Vec::new();
         for desc in &req.nodes_to_browse {
@@ -424,7 +447,7 @@ impl ServerCore {
 
         // Register continuation points (needs the session lock).
         if !pending.is_empty() {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state();
             if let Some(session) = st
                 .sessions
                 .get_mut(&req.request_header.authentication_token)
@@ -432,6 +455,7 @@ impl ServerCore {
                 let mut iter = pending.into_iter();
                 for result in results.iter_mut() {
                     if result.continuation_point.is_some() {
+                        // ua-lint: allow(panic-hygiene) -- one pending entry was pushed per continuation placeholder
                         let (node, offset) = iter.next().expect("pending matches placeholders");
                         let id = session.next_continuation;
                         session.next_continuation += 1;
@@ -457,8 +481,8 @@ impl ServerCore {
             return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status));
         }
         let cap = self.config.max_references_per_browse as usize;
-        let space = self.space.read().unwrap();
-        let mut st = self.state.lock().unwrap();
+        let space = self.space_read();
+        let mut st = self.state();
         let Some(session) = st
             .sessions
             .get_mut(&req.request_header.authentication_token)
@@ -534,7 +558,7 @@ impl ServerCore {
                 return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status))
             }
         };
-        let space = self.space.read().unwrap();
+        let space = self.space_read();
         let results = req
             .nodes_to_read
             .iter()
@@ -557,7 +581,7 @@ impl ServerCore {
                 return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status))
             }
         };
-        let mut space = self.space.write().unwrap();
+        let mut space = self.space_write();
         let results = req
             .nodes_to_write
             .iter()
@@ -585,7 +609,7 @@ impl ServerCore {
                 return ServiceBody::ServiceFault(ServiceFault::new(handle, self.now(), status))
             }
         };
-        let space = self.space.read().unwrap();
+        let space = self.space_read();
         let results = req
             .methods_to_call
             .iter()

@@ -262,6 +262,12 @@ impl<'a> Decoder<'a> {
         Ok(out)
     }
 
+    /// Reads exactly `N` bytes as a fixed-size array.
+    fn fixed_bytes<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        // ua-lint: allow(panic-hygiene) -- raw(N) returned exactly N bytes; the conversion is infallible
+        Ok(self.raw(N)?.try_into().unwrap())
+    }
+
     /// Reads a `u8`.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.raw(1)?[0])
@@ -274,42 +280,42 @@ impl<'a> Decoder<'a> {
 
     /// Reads an `i16`.
     pub fn i16(&mut self) -> Result<i16, CodecError> {
-        Ok(i16::from_le_bytes(self.raw(2)?.try_into().unwrap()))
+        Ok(i16::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads a `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.raw(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads an `i32`.
     pub fn i32(&mut self) -> Result<i32, CodecError> {
-        Ok(i32::from_le_bytes(self.raw(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.raw(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads an `i64`.
     pub fn i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.raw(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.raw(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads an `f32`.
     pub fn f32(&mut self) -> Result<f32, CodecError> {
-        Ok(f32::from_le_bytes(self.raw(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads an `f64`.
     pub fn f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.raw(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Validates a declared length against sanity and remaining input.

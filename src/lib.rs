@@ -9,6 +9,17 @@
 //!
 //! ```text
 //!                 ┌─────────────────────────────────────────┐
+//!   tooling       │ ua-lint      workspace-native static    │
+//!                 │              analysis (zero deps, own   │
+//!                 │              lexer): wall-clock and     │
+//!                 │              ambient-randomness bans,   │
+//!                 │              unordered-iteration and    │
+//!                 │              panic hygiene, nested      │
+//!                 │              locks, manifest            │
+//!                 │              hermeticity; `cargo run -p │
+//!                 │              ua-lint -- check`, gated   │
+//!                 │              in CI and by `cargo test`  │
+//!                 ├─────────────────────────────────────────┤
 //!   analysis      │ assessment   incremental Assessor:      │
 //!                 │              fold records as they       │
 //!                 │              stream, batch-GCD at       │
@@ -167,6 +178,17 @@
 //!   byte-identical per seed at any worker count; CI replays the
 //!   seven-month study against planted ground truth and diffs a
 //!   1-worker vs 4-worker six-week mini-study.
+//! * **Invariant lints** — every determinism rule above is statically
+//!   checked by `crates/ua-lint`, a registry-dependency-free analyzer
+//!   with its own Rust lexer: no wall-clock reads or sleeps off the
+//!   `VirtualClock`, no entropy-seeded RNG, no `HashMap`/`HashSet`
+//!   iteration feeding campaign output, panic and lock-nesting
+//!   hygiene, and path-or-workspace-only manifests. `cargo run -p
+//!   ua-lint -- check` must exit clean; a golden test inside
+//!   `cargo test` and a CI job (JSON report artifact) enforce it.
+//!   Deliberate exceptions are waived per site with
+//!   `// ua-lint: allow(<rule>) -- <why>` (see
+//!   `examples/README.md` § Invariants & lints).
 //! * **Perf trail** — `cargo bench --bench sweep|protocol|crypto|`
 //!   `ablation|figures|longitudinal` measures the pipeline and writes
 //!   `BENCH_<name>.json` (see `crates/bench`); CI runs
