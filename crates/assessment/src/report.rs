@@ -3,7 +3,7 @@
 
 use crate::deficit::{host_deficits, Deficit};
 use netsim::Ipv4;
-use scanner::{DiscoveredVia, ScanRecord, SessionOutcome, DEFAULT_OPCUA_PORT};
+use scanner::{DiscoveredVia, HostOutcome, ScanRecord, SessionOutcome, DEFAULT_OPCUA_PORT};
 // ua-lint: allow(unordered-iteration) -- the one HashMap left is a lookup-only dedup index
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use ua_crypto::hash::to_hex;
@@ -70,6 +70,49 @@ pub struct SharedPrimePair {
     pub b: Ipv4,
 }
 
+/// Reachability tallies over *every* folded record — including hosts
+/// the probe stack never got a byte out of. On a polite (fault-free)
+/// network every record is [`HostOutcome::Ok`] and the tally is
+/// invisible in the rendered report; under middlebox fault injection it
+/// quantifies what the retry layer recovered and what it had to write
+/// off, per [`HostOutcome`] class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReachabilityTally {
+    /// Records that yielded a usable stream (OPC UA or not).
+    pub ok: usize,
+    /// Connection refused: a live address with no listener.
+    pub unreachable: usize,
+    /// Retry budget exhausted on silent SYN loss.
+    pub timed_out: usize,
+    /// Retry budget exhausted against a rate-limiting middlebox.
+    pub throttled: usize,
+    /// Accepted then stalled past the stage budget (tarpit).
+    pub tarpitted: usize,
+    /// Records whose host needed more than one connect attempt.
+    pub retried: usize,
+}
+
+impl ReachabilityTally {
+    /// Records written off without a usable stream.
+    pub fn unrecovered(&self) -> usize {
+        self.unreachable + self.timed_out + self.throttled + self.tarpitted
+    }
+
+    /// Folds one record's outcome into the tally.
+    fn observe(&mut self, record: &ScanRecord) {
+        match record.outcome {
+            HostOutcome::Ok => self.ok += 1,
+            HostOutcome::Unreachable => self.unreachable += 1,
+            HostOutcome::TimedOut => self.timed_out += 1,
+            HostOutcome::Throttled => self.throttled += 1,
+            HostOutcome::Tarpitted => self.tarpitted += 1,
+        }
+        if record.connect_attempts > 1 {
+            self.retried += 1;
+        }
+    }
+}
+
 /// Session-stage tallies (the paper's Table 2 columns).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SessionTally {
@@ -112,6 +155,8 @@ pub struct AssessmentReport {
     pub sessions: SessionTally,
     /// What following LDS referrals added on top of the sweep.
     pub referrals: ReferralSummary,
+    /// Per-[`HostOutcome`] reachability tallies over all records.
+    pub reachability: ReachabilityTally,
 }
 
 impl AssessmentReport {
@@ -161,6 +206,7 @@ pub struct Assessor {
     policy_distribution: BTreeMap<SecurityPolicy, usize>,
     token_distribution: BTreeMap<UserTokenType, usize>,
     sessions: SessionTally,
+    reachability: ReachabilityTally,
 }
 
 impl Assessor {
@@ -178,6 +224,10 @@ impl Assessor {
             // rather than assuming 4840.
             self.sweep_port.get_or_insert(record.port);
         }
+        // Reachability counts every record — faulted hosts never reach
+        // the hello stage, and writing them off silently is exactly the
+        // bias the retry layer exists to measure.
+        self.reachability.observe(record);
         if !record.hello_ok {
             self.non_opcua += 1;
             return;
@@ -289,6 +339,7 @@ impl Assessor {
             policy_distribution,
             token_distribution,
             sessions,
+            reachability,
         } = self;
 
         let mut reuse_clusters: Vec<ReuseCluster> = by_thumbprint
@@ -380,6 +431,7 @@ impl Assessor {
             shared_prime_pairs,
             sessions,
             referrals,
+            reachability,
         }
     }
 }
@@ -415,6 +467,21 @@ impl std::fmt::Display for AssessmentReport {
             "  referring hosts: {} ({} discovery servers announce referrals)",
             self.referrals.referring_hosts, self.referrals.referring_discovery_servers,
         )?;
+        // Rendered only when the network bit: polite-campaign output is
+        // byte-identical to the pre-fault-injection report.
+        let reach = &self.reachability;
+        if reach.unrecovered() > 0 || reach.retried > 0 {
+            writeln!(
+                f,
+                "  reachability: {} ok, {} unreachable, {} timed out, {} throttled, {} tarpitted ({} hosts needed retries)",
+                reach.ok,
+                reach.unreachable,
+                reach.timed_out,
+                reach.throttled,
+                reach.tarpitted,
+                reach.retried,
+            )?;
+        }
 
         writeln!(f, "\n  security modes offered (hosts):")?;
         for (mode, n) in &self.mode_distribution {

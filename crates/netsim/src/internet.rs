@@ -8,6 +8,7 @@
 use crate::asn::AsRegistry;
 use crate::cidr::Ipv4;
 use crate::clock::VirtualClock;
+use crate::faults::{ConnectFate, CutConn, NetProfile, ProfileProvider, TarpitConn};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
@@ -62,6 +63,14 @@ pub enum ConnectError {
     NoRoute,
     /// Host exists but nothing listens on the port (RST).
     Refused,
+    /// A rate-limiting middlebox dropped the SYN and penalized the
+    /// source — the scan-detection signature a retry layer should back
+    /// off on (see [`crate::faults::FirewallProfile`]).
+    Throttled,
+    /// The peer accepted and then stalled without ever sending a byte
+    /// (a silent tarpit): the connect burned the stall budget and never
+    /// yielded a usable stream.
+    Stalled,
 }
 
 impl std::fmt::Display for ConnectError {
@@ -69,6 +78,8 @@ impl std::fmt::Display for ConnectError {
         match self {
             ConnectError::NoRoute => write!(f, "no route to host (timeout)"),
             ConnectError::Refused => write!(f, "connection refused"),
+            ConnectError::Throttled => write!(f, "rate-limited (SYN dropped by middlebox)"),
+            ConnectError::Stalled => write!(f, "accepted then stalled (tarpit)"),
         }
     }
 }
@@ -116,6 +127,19 @@ pub enum ConnectPoll {
         /// How long the scanner will wait before giving up.
         timeout_micros: u64,
     },
+    /// A rate-limiting firewall will eat the SYN: no stream, only the
+    /// penalty wait ([`ConnectError::Throttled`]).
+    Throttled {
+        /// Virtual microseconds the penalty costs the scanner.
+        penalty_micros: u64,
+    },
+    /// A silent tarpit will accept and then stall
+    /// ([`ConnectError::Stalled`]).
+    Stalled {
+        /// Virtual microseconds until the scanner gives up on the
+        /// stalled connection (RTT plus the stall budget).
+        micros: u64,
+    },
 }
 
 impl ConnectPoll {
@@ -125,14 +149,17 @@ impl ConnectPoll {
     }
 
     /// How many virtual microseconds until the connect attempt resolves
-    /// (handshake completes, RST arrives, or the SYN times out). Used by
-    /// the event loop to arm completion timers.
+    /// (handshake completes, RST arrives, the SYN times out, or a fault
+    /// burns its budget). Used by the event loop to arm completion
+    /// timers.
     pub fn latency_hint_micros(&self) -> u64 {
         match self {
             ConnectPoll::Listening { rtt_micros } | ConnectPoll::Refused { rtt_micros } => {
                 rtt_micros.map_or(DEFAULT_RTT_HINT_MICROS, u64::from)
             }
             ConnectPoll::NoRoute { timeout_micros } => *timeout_micros,
+            ConnectPoll::Throttled { penalty_micros } => *penalty_micros,
+            ConnectPoll::Stalled { micros } => *micros,
         }
     }
 }
@@ -177,6 +204,7 @@ pub struct Internet {
     hosts: Arc<RwLock<HashMap<u32, HostEntry>>>,
     registry: Arc<RwLock<AsRegistry>>,
     resolver: Arc<RwLock<Option<Arc<dyn HostResolver>>>>,
+    profiles: Arc<RwLock<Option<Arc<dyn ProfileProvider>>>>,
 }
 
 impl Internet {
@@ -187,6 +215,7 @@ impl Internet {
             hosts: Arc::new(RwLock::new(HashMap::new())),
             registry: Arc::new(RwLock::new(AsRegistry::new())),
             resolver: Arc::new(RwLock::new(None)),
+            profiles: Arc::new(RwLock::new(None)),
         }
     }
 
@@ -225,6 +254,7 @@ impl Internet {
             hosts: Arc::clone(&self.hosts),
             registry: Arc::clone(&self.registry),
             resolver: Arc::clone(&self.resolver),
+            profiles: Arc::clone(&self.profiles),
         }
     }
 
@@ -242,6 +272,28 @@ impl Internet {
     fn resolver(&self) -> Option<Arc<dyn HostResolver>> {
         // ua-lint: allow(panic-hygiene) -- poisoned resolver slot: a peer panicked; propagate it
         self.resolver.read().unwrap().clone()
+    }
+
+    /// Installs a [`ProfileProvider`]: every subsequent connect consults
+    /// it for middlebox faults (loss, tarpits, rate limiting). Shared by
+    /// all clock views ([`Internet::with_clock`]), so sharded scan
+    /// workers face identical hostility. Without one the Internet stays
+    /// polite — every attempt [`ConnectFate::Deliver`]s.
+    pub fn set_profiles(&self, profiles: Arc<dyn ProfileProvider>) {
+        // ua-lint: allow(panic-hygiene) -- poisoned profile slot: a peer panicked; propagate it
+        *self.profiles.write().unwrap() = Some(profiles);
+    }
+
+    fn profiles(&self) -> Option<Arc<dyn ProfileProvider>> {
+        // ua-lint: allow(panic-hygiene) -- poisoned profile slot: a peer panicked; propagate it
+        self.profiles.read().unwrap().clone()
+    }
+
+    /// The network profile guarding `addr` (polite when no provider is
+    /// installed or the provider does not list the address).
+    pub fn profile_of(&self, addr: Ipv4) -> NetProfile {
+        self.profiles()
+            .map_or_else(NetProfile::polite, |p| p.profile_of(addr))
     }
 
     /// Replaces the AS registry.
@@ -358,33 +410,90 @@ impl Internet {
     /// event loop. See [`ConnectPoll`] for how the answer (and its
     /// latency hint) is meant to be used.
     pub fn poll_connect(&self, to: Ipv4, port: u16) -> ConnectPoll {
-        {
-            let hosts = self.hosts_read();
-            if let Some(host) = hosts.get(&to.0) {
-                let rtt_micros = Some(host.rtt_micros);
-                return if host.services.contains_key(&port) {
-                    ConnectPoll::Listening { rtt_micros }
-                } else {
-                    ConnectPoll::Refused { rtt_micros }
-                };
+        let base = 'route: {
+            {
+                let hosts = self.hosts_read();
+                if let Some(host) = hosts.get(&to.0) {
+                    let rtt_micros = Some(host.rtt_micros);
+                    break 'route if host.services.contains_key(&port) {
+                        ConnectPoll::Listening { rtt_micros }
+                    } else {
+                        ConnectPoll::Refused { rtt_micros }
+                    };
+                }
             }
-        }
-        if let Some(resolver) = self.resolver() {
-            if resolver.host_exists(to) {
-                return if resolver.has_listener(to, port) {
-                    ConnectPoll::Listening { rtt_micros: None }
-                } else {
-                    ConnectPoll::Refused { rtt_micros: None }
-                };
+            if let Some(resolver) = self.resolver() {
+                if resolver.host_exists(to) {
+                    break 'route if resolver.has_listener(to, port) {
+                        ConnectPoll::Listening { rtt_micros: None }
+                    } else {
+                        ConnectPoll::Refused { rtt_micros: None }
+                    };
+                }
             }
+            return ConnectPoll::NoRoute {
+                timeout_micros: SYN_TIMEOUT_MICROS,
+            };
+        };
+        // Routable: overlay the first attempt's middlebox fate, exactly
+        // as the blocking `connect` (attempt 0) will resolve it.
+        let profile = self.profile_of(to);
+        if profile.is_polite() {
+            return base;
         }
-        ConnectPoll::NoRoute {
-            timeout_micros: SYN_TIMEOUT_MICROS,
+        match profile.connect_fate(0) {
+            ConnectFate::Deliver => base,
+            ConnectFate::SynLost => ConnectPoll::NoRoute {
+                timeout_micros: SYN_TIMEOUT_MICROS,
+            },
+            ConnectFate::Throttled { penalty_micros } => ConnectPoll::Throttled { penalty_micros },
+            ConnectFate::Tarpit(tarpit) => match base {
+                // A silent tarpit (no dribble) fails the connect after
+                // RTT + stall; a dribbling one hands out a stream like
+                // any listener — it just never says anything useful.
+                ConnectPoll::Listening { rtt_micros } if tarpit.dribble_bytes == 0 => {
+                    ConnectPoll::Stalled {
+                        micros: rtt_micros.map_or(DEFAULT_RTT_HINT_MICROS, u64::from)
+                            + tarpit.stall_micros,
+                    }
+                }
+                other => other,
+            },
         }
     }
 
+    /// Route resolution, the fault-free half of a connect: what the
+    /// bound table (after lazy materialization) says lives at
+    /// `(to, port)`. A table miss here is *routing* truth — "nothing
+    /// answers" — and is deliberately kept apart from injected faults,
+    /// which make a perfectly routable host look dead for one attempt.
+    fn route_of(&self, to: Ipv4, port: u16) -> Route {
+        // One materialization pass: a table miss may just mean "not
+        // built yet". The hosts lock is never held across the resolver
+        // call — materialize() needs the write side to bind.
+        for pass in 0..2 {
+            let hit = {
+                let hosts = self.hosts_read();
+                hosts
+                    .get(&to.0)
+                    .map(|host| (host.services.contains_key(&port), host.rtt_micros))
+            };
+            match hit {
+                Some((true, rtt_micros)) => return Route::Listening { rtt_micros },
+                Some((false, rtt_micros)) => return Route::Refused { rtt_micros },
+                None if pass == 0 => match self.resolver() {
+                    Some(r) if r.host_exists(to) => r.materialize(self, to),
+                    _ => return Route::Dead,
+                },
+                None => return Route::Dead,
+            }
+        }
+        Route::Dead
+    }
+
     /// Opens a TCP-like connection, applying one RTT of virtual latency
-    /// for the handshake.
+    /// for the handshake. Equivalent to
+    /// [`connect_attempt`](Internet::connect_attempt) with attempt 0.
     ///
     /// With a resolver installed, a connect to an address the bound
     /// table misses but the resolver knows first materializes the host
@@ -398,48 +507,123 @@ impl Internet {
         to: Ipv4,
         port: u16,
     ) -> Result<crate::stream::TcpStreamSim, ConnectError> {
-        // One retry: a table miss may just mean "not materialized yet".
-        // The hosts lock is never held across the resolver call —
-        // materialize() needs the write side to bind.
-        for attempt in 0..2 {
-            enum Hit {
-                Conn(Box<dyn Connection>, u32),
-                Refused(u32),
+        self.connect_attempt(from, to, port, 0)
+    }
+
+    /// [`connect`](Internet::connect) with an explicit attempt index
+    /// for the middlebox fault layer: a retrying scanner passes 0, 1,
+    /// 2… so per-attempt fates (flaky windows, firewall strikes, the
+    /// loss coin) replay deterministically. Every fault advances this
+    /// view's clock honestly:
+    ///
+    /// * lost SYN — [`SYN_TIMEOUT_MICROS`], [`ConnectError::NoRoute`];
+    /// * firewall strike — the penalty wait, [`ConnectError::Throttled`];
+    /// * silent tarpit — RTT + stall, [`ConnectError::Stalled`];
+    /// * dribbling tarpit — RTT, then a stream whose every exchange
+    ///   stalls (the caller's stage budget is what ends it).
+    pub fn connect_attempt(
+        &self,
+        from: Ipv4,
+        to: Ipv4,
+        port: u16,
+        attempt: u32,
+    ) -> Result<crate::stream::TcpStreamSim, ConnectError> {
+        let route = self.route_of(to, port);
+        if matches!(route, Route::Dead) {
+            // SYN timeout: a scanner waits ~1s for silence. No profile
+            // consulted — faulting a host that does not exist would
+            // conflate routing truth with injected hostility.
+            self.clock.advance_micros(SYN_TIMEOUT_MICROS);
+            return Err(ConnectError::NoRoute);
+        }
+        let profile = self.profile_of(to);
+        match profile.connect_fate(attempt) {
+            ConnectFate::Deliver => {}
+            ConnectFate::SynLost => {
+                // Indistinguishable from a dead address on the wire.
+                self.clock.advance_micros(SYN_TIMEOUT_MICROS);
+                return Err(ConnectError::NoRoute);
             }
-            let hit = {
-                let hosts = self.hosts_read();
-                hosts.get(&to.0).map(|host| match host.services.get(&port) {
-                    Some(service) => Hit::Conn(service.open_connection(from), host.rtt_micros),
-                    None => Hit::Refused(host.rtt_micros),
-                })
-            };
-            match hit {
-                Some(Hit::Conn(conn, rtt)) => {
-                    self.clock.advance_micros(rtt as u64);
+            ConnectFate::Throttled { penalty_micros } => {
+                self.clock.advance_micros(penalty_micros);
+                return Err(ConnectError::Throttled);
+            }
+            ConnectFate::Tarpit(tarpit) => {
+                if let Route::Listening { rtt_micros } = route {
+                    if tarpit.dribble_bytes == 0 {
+                        self.clock
+                            .advance_micros(u64::from(rtt_micros) + tarpit.stall_micros);
+                        return Err(ConnectError::Stalled);
+                    }
+                    self.clock.advance_micros(u64::from(rtt_micros));
                     return Ok(crate::stream::TcpStreamSim::new(
                         self.clock.clone(),
-                        conn,
-                        rtt,
+                        Box::new(TarpitConn::new(self.clock.clone(), tarpit)),
+                        rtt_micros,
                     ));
                 }
-                Some(Hit::Refused(rtt)) => {
-                    // RST comes back after one RTT.
-                    self.clock.advance_micros(rtt as u64);
-                    return Err(ConnectError::Refused);
-                }
-                None if attempt == 0 => {
-                    match self.resolver() {
-                        Some(r) if r.host_exists(to) => r.materialize(self, to),
-                        _ => break,
-                    };
-                }
-                None => break,
+                // Nothing listens behind the tarpit: plain RST below.
             }
         }
-        // SYN timeout: a scanner waits ~1s for silence.
-        self.clock.advance_micros(SYN_TIMEOUT_MICROS);
-        Err(ConnectError::NoRoute)
+        match route {
+            Route::Listening { rtt_micros } => {
+                let conn = {
+                    let hosts = self.hosts_read();
+                    hosts
+                        .get(&to.0)
+                        .and_then(|host| host.services.get(&port))
+                        .map(|service| service.open_connection(from))
+                };
+                match conn {
+                    Some(conn) => {
+                        let conn: Box<dyn Connection> = if profile.cut_after_exchanges > 0 {
+                            Box::new(CutConn::new(conn, profile.cut_after_exchanges))
+                        } else {
+                            conn
+                        };
+                        self.clock.advance_micros(u64::from(rtt_micros));
+                        Ok(crate::stream::TcpStreamSim::new(
+                            self.clock.clone(),
+                            conn,
+                            rtt_micros,
+                        ))
+                    }
+                    // The host vanished between route resolution and
+                    // accept (world churn): same as a dead address.
+                    None => {
+                        self.clock.advance_micros(SYN_TIMEOUT_MICROS);
+                        Err(ConnectError::NoRoute)
+                    }
+                }
+            }
+            Route::Refused { rtt_micros } => {
+                // RST comes back after one RTT.
+                self.clock.advance_micros(u64::from(rtt_micros));
+                Err(ConnectError::Refused)
+            }
+            Route::Dead => {
+                self.clock.advance_micros(SYN_TIMEOUT_MICROS);
+                Err(ConnectError::NoRoute)
+            }
+        }
     }
+}
+
+/// What [`Internet::route_of`] concluded about `(addr, port)` before
+/// any middlebox fault is applied.
+enum Route {
+    /// A service is bound: a fault-free connect succeeds after one RTT.
+    Listening {
+        /// Round-trip time of the bound host.
+        rtt_micros: u32,
+    },
+    /// The host is up but the port is closed: RST after one RTT.
+    Refused {
+        /// Round-trip time of the bound host.
+        rtt_micros: u32,
+    },
+    /// Nothing answers (and the resolver disowns the address).
+    Dead,
 }
 
 #[cfg(test)]
@@ -685,6 +869,215 @@ mod tests {
                 rtt_micros: Some(5_000)
             }
         );
+    }
+
+    #[test]
+    fn fault_variants_pin_time_costs() {
+        use crate::faults::{FirewallProfile, NetProfile, StaticProfiles, TarpitProfile};
+        let clock = VirtualClock::starting_at(0);
+        let net = Internet::new(clock.clone());
+        let from = Ipv4::new(1, 1, 1, 1);
+        let rtt = 10_000_u32;
+
+        let throttled = Ipv4::new(10, 0, 0, 1);
+        let flaky = Ipv4::new(10, 0, 0, 2);
+        let silent_tarpit = Ipv4::new(10, 0, 0, 3);
+        let drip_tarpit = Ipv4::new(10, 0, 0, 4);
+        let walled = Ipv4::new(10, 0, 0, 5);
+        for ip in [throttled, flaky, silent_tarpit, drip_tarpit, walled] {
+            net.add_host(ip, rtt);
+            net.bind(ip, 4840, Arc::new(Echo));
+        }
+        let stall = 30_000_000_u64;
+        let penalty = 2_000_000_u64;
+        let profiles = StaticProfiles::new()
+            .with(
+                throttled,
+                NetProfile {
+                    firewall: Some(FirewallProfile {
+                        strikes: 1,
+                        penalty_micros: penalty,
+                    }),
+                    ..NetProfile::polite()
+                },
+            )
+            .with(
+                flaky,
+                NetProfile {
+                    flaky_connects: 2,
+                    ..NetProfile::polite()
+                },
+            )
+            .with(
+                silent_tarpit,
+                NetProfile {
+                    tarpit: Some(TarpitProfile {
+                        stall_micros: stall,
+                        dribble_bytes: 0,
+                    }),
+                    ..NetProfile::polite()
+                },
+            )
+            .with(
+                drip_tarpit,
+                NetProfile {
+                    tarpit: Some(TarpitProfile {
+                        stall_micros: stall,
+                        dribble_bytes: 4,
+                    }),
+                    ..NetProfile::polite()
+                },
+            )
+            .with(
+                walled,
+                NetProfile {
+                    firewall: Some(FirewallProfile::permanent(penalty)),
+                    ..NetProfile::polite()
+                },
+            );
+        net.set_profiles(Arc::new(profiles));
+
+        // Firewall strike: penalty wait, Throttled; next attempt clean.
+        let before = clock.now_micros();
+        assert_eq!(
+            net.connect_attempt(from, throttled, 4840, 0).err(),
+            Some(ConnectError::Throttled)
+        );
+        assert_eq!(clock.now_micros() - before, penalty);
+        let before = clock.now_micros();
+        assert!(net.connect_attempt(from, throttled, 4840, 1).is_ok());
+        assert_eq!(clock.now_micros() - before, u64::from(rtt));
+
+        // Flaky window: two SYN timeouts, then a clean RTT.
+        for attempt in 0..2 {
+            let before = clock.now_micros();
+            assert_eq!(
+                net.connect_attempt(from, flaky, 4840, attempt).err(),
+                Some(ConnectError::NoRoute)
+            );
+            assert_eq!(clock.now_micros() - before, SYN_TIMEOUT_MICROS);
+        }
+        let before = clock.now_micros();
+        assert!(net.connect_attempt(from, flaky, 4840, 2).is_ok());
+        assert_eq!(clock.now_micros() - before, u64::from(rtt));
+
+        // Silent tarpit: RTT + stall, Stalled — on every attempt.
+        for attempt in 0..2 {
+            let before = clock.now_micros();
+            assert_eq!(
+                net.connect_attempt(from, silent_tarpit, 4840, attempt)
+                    .err(),
+                Some(ConnectError::Stalled)
+            );
+            assert_eq!(clock.now_micros() - before, u64::from(rtt) + stall);
+        }
+
+        // Dribbling tarpit: the connect succeeds after one RTT, but the
+        // first exchange burns the stall and yields only zero dribble.
+        let before = clock.now_micros();
+        let mut s = net.connect_attempt(from, drip_tarpit, 4840, 0).unwrap();
+        assert_eq!(clock.now_micros() - before, u64::from(rtt));
+        let before = clock.now_micros();
+        s.send(b"HELLO").unwrap();
+        assert!(clock.now_micros() - before >= stall);
+        assert_eq!(s.recv().unwrap(), Some(vec![0u8; 4]));
+
+        // Permanent blocklisting: no attempt number gets through.
+        for attempt in [0, 5, 1_000] {
+            assert_eq!(
+                net.connect_attempt(from, walled, 4840, attempt).err(),
+                Some(ConnectError::Throttled)
+            );
+        }
+
+        // Faults never fire for dead addresses: routing truth first.
+        let before = clock.now_micros();
+        assert_eq!(
+            net.connect_attempt(from, Ipv4::new(9, 9, 9, 9), 4840, 3)
+                .err(),
+            Some(ConnectError::NoRoute)
+        );
+        assert_eq!(clock.now_micros() - before, SYN_TIMEOUT_MICROS);
+    }
+
+    #[test]
+    fn poll_connect_predicts_faulted_connects() {
+        use crate::faults::{FirewallProfile, NetProfile, StaticProfiles, TarpitProfile};
+        let clock = VirtualClock::starting_at(0);
+        let net = Internet::new(clock.clone());
+        let from = Ipv4::new(1, 1, 1, 1);
+        let rtt = 10_000_u32;
+        let throttled = Ipv4::new(10, 1, 0, 1);
+        let silent_tarpit = Ipv4::new(10, 1, 0, 2);
+        let lossy = Ipv4::new(10, 1, 0, 3);
+        for ip in [throttled, silent_tarpit, lossy] {
+            net.add_host(ip, rtt);
+            net.bind(ip, 4840, Arc::new(Echo));
+        }
+        let stall = 5_000_000_u64;
+        let penalty = 2_000_000_u64;
+        let profiles = StaticProfiles::new()
+            .with(
+                throttled,
+                NetProfile {
+                    firewall: Some(FirewallProfile {
+                        strikes: 1,
+                        penalty_micros: penalty,
+                    }),
+                    ..NetProfile::polite()
+                },
+            )
+            .with(
+                silent_tarpit,
+                NetProfile {
+                    tarpit: Some(TarpitProfile {
+                        stall_micros: stall,
+                        dribble_bytes: 0,
+                    }),
+                    ..NetProfile::polite()
+                },
+            )
+            .with(
+                lossy,
+                NetProfile {
+                    fault_seed: 7,
+                    syn_loss_permille: 1000,
+                    ..NetProfile::polite()
+                },
+            );
+        net.set_profiles(Arc::new(profiles));
+
+        // Each poll's hint equals the blocking attempt-0 cost, and the
+        // poll itself never advances the clock.
+        for (ip, want) in [
+            (
+                throttled,
+                ConnectPoll::Throttled {
+                    penalty_micros: penalty,
+                },
+            ),
+            (
+                silent_tarpit,
+                ConnectPoll::Stalled {
+                    micros: u64::from(rtt) + stall,
+                },
+            ),
+            (
+                lossy,
+                ConnectPoll::NoRoute {
+                    timeout_micros: SYN_TIMEOUT_MICROS,
+                },
+            ),
+        ] {
+            let before = clock.now_micros();
+            let poll = net.poll_connect(ip, 4840);
+            assert_eq!(clock.now_micros(), before);
+            assert_eq!(poll, want);
+            assert!(!poll.will_accept());
+            let before = clock.now_micros();
+            assert!(net.connect_attempt(from, ip, 4840, 0).is_err());
+            assert_eq!(clock.now_micros() - before, poll.latency_hint_micros());
+        }
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`asn`] — autonomous-system registry with longest-prefix lookup;
 //! * [`internet`] — hosts, listeners, and poll-driven connections
 //!   (smoltcp-style byte-level state machines);
+//! * [`faults`] — middlebox fault injection: per-host [`NetProfile`]s
+//!   (packet loss, tarpits, rate-limiting firewalls, flaky hosts) that
+//!   a retrying scanner must survive;
 //! * [`stream`] — TCP-like client streams with latency and traffic
 //!   accounting;
 //! * [`sweep`] — zmap's cyclic-group address permutation and a SYN
@@ -19,6 +22,7 @@
 pub mod asn;
 pub mod cidr;
 pub mod clock;
+pub mod faults;
 pub mod internet;
 pub mod stream;
 pub mod sweep;
@@ -26,6 +30,10 @@ pub mod sweep;
 pub use asn::{AsInfo, AsKind, AsRegistry};
 pub use cidr::{Blocklist, Cidr, CidrParseError, Ipv4};
 pub use clock::{Micros, Stopwatch, VirtualClock};
+pub use faults::{
+    ConnectFate, CutConn, FirewallProfile, NetProfile, ProfileProvider, StaticProfiles, TarpitConn,
+    TarpitProfile,
+};
 pub use internet::{
     ConnectError, ConnectPoll, Connection, ConnectionOutput, HostResolver, Internet, Service,
     SYN_TIMEOUT_MICROS,

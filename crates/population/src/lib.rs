@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 
 pub mod evolution;
+pub mod middlebox;
 mod spec;
 mod world;
 
 pub use evolution::{ChurnConfig, ChurnEvent, EvolvingWorld, TruthObservation, WeekChurn};
+pub use middlebox::{FaultStratum, HostFault, MiddleboxConfig, MiddleboxPlan};
 pub use world::{LazyWorld, MaterializationStats};
 
 use netsim::{AsKind, AsRegistry, Cidr, Internet, Ipv4};

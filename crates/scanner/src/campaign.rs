@@ -67,6 +67,9 @@ pub struct WeeklyScan {
 }
 
 /// How a resumable weekly campaign ended.
+// The size gap vs the boxed checkpoint is fine: the outcome is
+// destructured immediately by the caller, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum WeekOutcome {
     /// The week's sweep ran to completion.

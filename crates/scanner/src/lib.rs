@@ -35,13 +35,15 @@ pub mod sched;
 pub mod url;
 
 pub use campaign::{Campaign, CampaignConfig, WeekCheckpoint, WeekOutcome, WeeklyScan};
-pub use pipeline::{ReferralStats, ScanOutcome, ScanStream, ScanSummary, Scanner};
+pub use pipeline::{FaultStats, ReferralStats, ScanOutcome, ScanStream, ScanSummary, Scanner};
 pub use probe::{
     classify_session_error, default_stack, discovery_stack, merge_find_servers, DiscoveryProbe,
-    EndpointsProbe, FindServersProbe, Probe, ProbeContext, ProbeOutcome, ScanConfig, ScanEngine,
-    SessionProbe, UacpProbe,
+    EndpointsProbe, FindServersProbe, Probe, ProbeContext, ProbeOutcome, RetryPolicy, ScanConfig,
+    ScanEngine, SessionProbe, UacpProbe,
 };
-pub use record::{DiscoveredVia, EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+pub use record::{
+    DiscoveredVia, EndpointSnapshot, HostOutcome, ScanRecord, SessionOutcome, TraversalSummary,
+};
 pub use sched::{
     CancelGuard, CancelToken, EngineStats, PendingUrl, SweepCheckpoint, TimerId, TimerWheel,
 };

@@ -92,6 +92,56 @@ pub struct ReferralStats {
     pub max_depth: u32,
 }
 
+/// Connect-phase fault accounting across a campaign: one
+/// [`HostOutcome`](crate::record::HostOutcome) bucket increment per
+/// emitted record, plus the retry layer's cost telemetry. Dead referral
+/// targets (never connected) are counted by
+/// [`ReferralStats::dead`], not here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Records whose connect phase delivered a stream.
+    pub ok: u64,
+    /// Records refused (RST) — live host, closed port.
+    pub unreachable: u64,
+    /// Records that exhausted the retry budget on SYN timeouts.
+    pub timed_out: u64,
+    /// Records that exhausted the retry budget on rate-limit drops.
+    pub throttled: u64,
+    /// Records classified as tarpitted (silent stall or budget-burning
+    /// byte dribble).
+    pub tarpitted: u64,
+    /// Records that needed more than one connect attempt.
+    pub retried_hosts: u64,
+    /// Total connect attempts across all records.
+    pub connect_attempts: u64,
+    /// Total virtual microseconds spent in retry backoff.
+    pub backoff_micros: u64,
+}
+
+impl FaultStats {
+    /// Folds one emitted record into the tally.
+    pub fn observe(&mut self, record: &ScanRecord) {
+        match record.outcome {
+            crate::record::HostOutcome::Ok => self.ok += 1,
+            crate::record::HostOutcome::Unreachable => self.unreachable += 1,
+            crate::record::HostOutcome::TimedOut => self.timed_out += 1,
+            crate::record::HostOutcome::Throttled => self.throttled += 1,
+            crate::record::HostOutcome::Tarpitted => self.tarpitted += 1,
+        }
+        if record.connect_attempts > 1 {
+            self.retried_hosts += 1;
+        }
+        self.connect_attempts += u64::from(record.connect_attempts);
+        self.backoff_micros += record.backoff_micros;
+    }
+
+    /// Records the connect phase could not recover (everything but
+    /// `ok`).
+    pub fn unrecovered(&self) -> u64 {
+        self.unreachable + self.timed_out + self.throttled + self.tarpitted
+    }
+}
+
 /// Aggregate accounting of one scan campaign.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanSummary {
@@ -112,6 +162,9 @@ pub struct ScanSummary {
     pub started_unix: i64,
     /// Virtual unix time the campaign finished.
     pub finished_unix: i64,
+    /// Connect-phase fault/retry accounting (all zeros except `ok` on a
+    /// polite network).
+    pub faults: FaultStats,
 }
 
 /// How [`Scanner::scan_resumable`] ended.
@@ -286,12 +339,14 @@ impl Scanner {
         // Referral URLs harvested from emitted records, in emission
         // order — the deterministic seed of the referral queue.
         let mut frontier: Vec<PendingReferral> = Vec::new();
+        let mut fault_stats = FaultStats::default();
         let mut emit = |record: ScanRecord| {
             if record.hello_ok {
                 opcua_hosts += 1;
             } else {
                 non_opcua_hosts += 1;
             }
+            fault_stats.observe(&record);
             sink(record);
         };
         summary.sweep = {
@@ -341,6 +396,7 @@ impl Scanner {
         );
         summary.opcua_hosts = opcua_hosts;
         summary.non_opcua_hosts = non_opcua_hosts;
+        summary.faults = fault_stats;
         summary.certs = certs.stats();
         // Account campaign time once, from order-independent sums: SYN
         // pacing in micros — integer-second division would stall the
@@ -396,6 +452,7 @@ impl Scanner {
         let mut probe_micros: u64 = 0;
         let mut frontier: Vec<PendingReferral> = Vec::new();
         let mut ref_stats = ReferralStats::default();
+        let mut fault_stats = FaultStats::default();
         // ua-lint: allow(unordered-iteration) -- dedup membership; checkpoint_probed sorts before export
         let mut probed: HashSet<(u32, u16)> = HashSet::new();
         let (epoch, started_unix) = match resume {
@@ -426,6 +483,7 @@ impl Scanner {
                     })
                     .collect();
                 ref_stats = cp.referral_stats;
+                fault_stats = cp.fault_stats;
                 probed = cp
                     .probed_referrals
                     .iter()
@@ -479,6 +537,7 @@ impl Scanner {
                 } else {
                     non_opcua_hosts += 1;
                 }
+                fault_stats.observe(&record);
                 collect_referrals(&record, &mut frontier);
                 sink(record);
                 cancel.notch();
@@ -499,6 +558,7 @@ impl Scanner {
                             probe_micros,
                             frontier: checkpoint_frontier(&frontier),
                             referral_stats: ref_stats,
+                            fault_stats,
                             probed_referrals: checkpoint_probed(&probed),
                         }),
                     };
@@ -525,6 +585,7 @@ impl Scanner {
                         probe_micros,
                         frontier: checkpoint_frontier(&frontier),
                         referral_stats: ref_stats,
+                        fault_stats,
                         probed_referrals: checkpoint_probed(&probed),
                     }),
                 };
@@ -556,6 +617,7 @@ impl Scanner {
                             ref_stats.non_opcua_hosts += 1;
                             non_opcua_hosts += 1;
                         }
+                        fault_stats.observe(&record);
                         collect_referrals(&record, &mut frontier);
                         sink(record);
                         cancel.notch();
@@ -575,6 +637,7 @@ impl Scanner {
             certs: certs.stats(),
             started_unix,
             finished_unix: 0,
+            faults: fault_stats,
         };
         let paced_probes = summary.sweep.probes_sent + summary.referrals.followed;
         let pacing_micros =

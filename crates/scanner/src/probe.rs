@@ -7,9 +7,11 @@
 //! address-space traversal. Custom stacks can drop stages (discovery-only
 //! campaigns) or append new ones without touching the pipeline.
 
-use crate::record::{EndpointSnapshot, ScanRecord, SessionOutcome, TraversalSummary};
+use crate::record::{EndpointSnapshot, HostOutcome, ScanRecord, SessionOutcome, TraversalSummary};
 use crate::url::OpcUrl;
-use netsim::{Internet, Ipv4, TcpStreamSim};
+use netsim::{ConnectError, Internet, Ipv4, TcpStreamSim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ua_client::{traverse, ClientConfig, ClientError, TraversalBudget, UaClient};
 use ua_crypto::CertStore;
 use ua_proto::services::IdentityToken;
@@ -43,6 +45,67 @@ pub enum ScanEngine {
     /// ([`ScanConfig::workers`] is ignored), and campaigns become
     /// abortable/resumable via `scanner::sched`.
     EventLoop,
+}
+
+/// Connect-phase retry/backoff policy: how hard the scanner fights a
+/// hostile network before writing a host off.
+///
+/// The default is the polite scanner the paper runs — a single attempt,
+/// no backoff — so fault-free campaigns stay byte-identical to the
+/// pre-retry pipeline. All waiting happens on the probe's private clock
+/// fork and the backoff jitter derives from the per-target seed, so a
+/// hostile campaign is still a pure function of the campaign seed at
+/// any worker count, on either engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Connect attempts per target (0 is treated as 1). 1 = never
+    /// retry: the polite default.
+    pub max_attempts: u32,
+    /// Base wait before the second attempt; doubles (×
+    /// [`RetryPolicy::backoff_multiplier`]) per further attempt.
+    pub backoff_micros: u64,
+    /// Exponential backoff factor between attempts (0 treated as 1).
+    pub backoff_multiplier: u64,
+    /// Seed-derived jitter added to each backoff, as a permille of the
+    /// current backoff (200 = up to +20%), decorrelating retries
+    /// against rate-limit windows.
+    pub jitter_permille: u64,
+    /// Adaptive pacing: when the previous attempt hit a rate-limit
+    /// signature ([`netsim::ConnectError::Throttled`]), the next backoff
+    /// is stretched by this factor — backing off the prefix instead of
+    /// hammering the firewall (0 treated as 1).
+    pub throttle_pace_multiplier: u64,
+    /// Per-stage time budget: when the UACP stage (connect + handshake)
+    /// burns at least this much virtual time without completing, the
+    /// host is classified [`HostOutcome::Tarpitted`] — the defense
+    /// against byte-dribbling tarpits that keep a naive client reading
+    /// forever.
+    pub stage_budget_micros: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_micros: 250_000,
+            backoff_multiplier: 2,
+            jitter_permille: 200,
+            throttle_pace_multiplier: 4,
+            stage_budget_micros: 5_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The hostile-network preset: four attempts with jittered
+    /// exponential backoff — enough budget to recover flaky hosts and
+    /// outlast temporary rate limiting.
+    pub fn hostile() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        }
+    }
 }
 
 /// Scan-wide configuration shared by all probes.
@@ -83,6 +146,9 @@ pub struct ScanConfig {
     /// probe window (admission stalls when it is full — the engine's
     /// backpressure against a slow record sink). 0 is treated as 1.
     pub max_in_flight: usize,
+    /// Connect-phase retry/backoff policy (defaults to a single polite
+    /// attempt — see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ScanConfig {
@@ -100,6 +166,7 @@ impl Default for ScanConfig {
             referral_budget: 4096,
             engine: ScanEngine::default(),
             max_in_flight: 256,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -149,6 +216,76 @@ impl<'a> ProbeContext<'a> {
             seed,
         }
     }
+
+    /// Runs the connect phase under [`ScanConfig::retry`]: up to
+    /// `max_attempts` SYNs with jittered exponential backoff between
+    /// them, throttle-aware pacing, and a [`HostOutcome`] verdict (plus
+    /// attempt/backoff accounting) written to `record`.
+    ///
+    /// Both engines call this through the shared probe stack, and every
+    /// wait lands on this probe's clock fork — exactly like probe
+    /// latency — so hostile campaigns stay byte-identical across
+    /// engines, worker counts, and in-flight caps.
+    pub fn connect_with_retry(&self, record: &mut ScanRecord) -> Option<TcpStreamSim> {
+        /// Salt for the per-target backoff-jitter stream ("RETRY"),
+        /// keeping it independent of the nonce stream sharing the seed.
+        const RETRY_JITTER_SALT: u64 = 0x0052_4554_5259;
+        let policy = &self.config.retry;
+        let mut jitter = StdRng::seed_from_u64(self.seed ^ RETRY_JITTER_SALT);
+        let mut backoff = policy.backoff_micros;
+        let mut throttled = false;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                let span = backoff.saturating_mul(policy.jitter_permille) / 1_000;
+                let mut wait = backoff
+                    + if span > 0 {
+                        jitter.gen_range(0..span)
+                    } else {
+                        0
+                    };
+                if throttled {
+                    // Rate-limit signature: stretch the wait instead of
+                    // hammering the firewall's detection window.
+                    wait = wait.saturating_mul(policy.throttle_pace_multiplier.max(1));
+                }
+                self.internet.clock().advance_micros(wait);
+                record.backoff_micros += wait;
+                backoff = backoff.saturating_mul(policy.backoff_multiplier.max(1));
+            }
+            record.connect_attempts = attempt + 1;
+            match self.internet.connect_attempt(
+                self.config.scanner_address,
+                self.target,
+                self.port,
+                attempt,
+            ) {
+                Ok(stream) => {
+                    record.outcome = HostOutcome::Ok;
+                    return Some(stream);
+                }
+                // RST is an answer: retrying a refusal is pointless.
+                Err(ConnectError::Refused) => {
+                    record.outcome = HostOutcome::Unreachable;
+                    return None;
+                }
+                Err(ConnectError::NoRoute) => {
+                    throttled = false;
+                    record.outcome = HostOutcome::TimedOut;
+                }
+                Err(ConnectError::Throttled) => {
+                    throttled = true;
+                    record.outcome = HostOutcome::Throttled;
+                }
+                // A silent tarpit stalls every attempt identically; one
+                // burned stall budget is enough evidence.
+                Err(ConnectError::Stalled) => {
+                    record.outcome = HostOutcome::Tarpitted;
+                    return None;
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Whether the pipeline continues with the next stage for this target.
@@ -179,13 +316,13 @@ impl Probe for UacpProbe {
     }
 
     fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
-        let stream = match ctx
-            .internet
-            .connect(ctx.config.scanner_address, ctx.target, ctx.port)
-        {
-            Ok(s) => s,
-            Err(_) => return ProbeOutcome::Stop,
+        let Some(stream) = ctx.connect_with_retry(record) else {
+            return ProbeOutcome::Stop;
         };
+        // Budget the post-connect conversation only: retry timeouts are
+        // already classified, but a delivered stream can still be a
+        // byte-dribbling tarpit that stalls the handshake forever.
+        let stage_start = ctx.internet.clock().now_micros();
         let mut client = UaClient::new(
             stream,
             ctx.internet.clock().clone(),
@@ -198,7 +335,19 @@ impl Probe for UacpProbe {
                 ctx.client = Some(client);
                 ProbeOutcome::Continue
             }
-            Err(_) => ProbeOutcome::Stop,
+            Err(_) => {
+                // A peer that accepted and then dribbled the stage
+                // budget away is a tarpit, not a non-OPC-UA speaker.
+                let elapsed = ctx
+                    .internet
+                    .clock()
+                    .now_micros()
+                    .saturating_sub(stage_start);
+                if elapsed >= ctx.config.retry.stage_budget_micros {
+                    record.outcome = HostOutcome::Tarpitted;
+                }
+                ProbeOutcome::Stop
+            }
         }
     }
 }

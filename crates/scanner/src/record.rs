@@ -168,6 +168,44 @@ impl TraversalSummary {
     }
 }
 
+/// Network-level reachability verdict for one probed target: what the
+/// connect/retry phase concluded before any protocol stage ran. The
+/// paper's sweep contends with loss, scan-detecting firewalls, and
+/// tarpits — without this taxonomy those hosts would silently vanish
+/// into the non-OPC-UA bucket and deficit rates would undercount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HostOutcome {
+    /// The connect phase delivered a usable stream (whether or not the
+    /// peer then spoke OPC UA).
+    #[default]
+    Ok,
+    /// The peer refused the connection (RST): live host, closed port —
+    /// nothing a retry can recover.
+    Unreachable,
+    /// Every connect attempt ended in a SYN timeout: packet loss or a
+    /// silent drop beyond the retry budget.
+    TimedOut,
+    /// A rate-limiting middlebox was still eating SYNs when the retry
+    /// budget ran out (temporary or sweep-permanent blocklisting).
+    Throttled,
+    /// The peer accepted and then stalled — a silent tarpit, or a
+    /// byte-dribbler that burned the whole stage budget.
+    Tarpitted,
+}
+
+impl HostOutcome {
+    /// Short stable label for reports and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            HostOutcome::Ok => "ok",
+            HostOutcome::Unreachable => "unreachable",
+            HostOutcome::TimedOut => "timed_out",
+            HostOutcome::Throttled => "throttled",
+            HostOutcome::Tarpitted => "tarpitted",
+        }
+    }
+}
+
 /// Everything the scanner learned about one responsive host.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScanRecord {
@@ -209,6 +247,13 @@ pub struct ScanRecord {
     pub tx_bytes: u64,
     /// Bytes received from this host.
     pub rx_bytes: u64,
+    /// What the connect/retry phase concluded about reachability.
+    pub outcome: HostOutcome,
+    /// Connect attempts spent (1 = the first SYN got through; 0 = no
+    /// connect was ever issued, e.g. a dead referral target).
+    pub connect_attempts: u32,
+    /// Virtual microseconds spent waiting in retry backoff.
+    pub backoff_micros: u64,
 }
 
 impl ScanRecord {
@@ -252,6 +297,9 @@ impl ScanRecord {
             requests: 0,
             tx_bytes: 0,
             rx_bytes: 0,
+            outcome: HostOutcome::default(),
+            connect_attempts: 0,
+            backoff_micros: 0,
         }
     }
 

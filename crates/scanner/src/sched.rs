@@ -481,6 +481,10 @@ pub struct SweepCheckpoint {
     pub frontier: Vec<PendingUrl>,
     /// Referral-phase counters so far.
     pub referral_stats: ReferralStats,
+    /// Connect-phase fault/retry counters over emitted records so far —
+    /// resumed hostile sweeps stitch their [`crate::FaultStats`] exactly
+    /// like the host counts.
+    pub fault_stats: crate::pipeline::FaultStats,
     /// `(address, port)` pairs already probed via referral, sorted for
     /// reproducible printing.
     pub probed_referrals: Vec<(Ipv4, u16)>,

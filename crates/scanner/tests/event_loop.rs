@@ -3,11 +3,13 @@
 //! a fixed seed — at any in-flight cap, through `scan_stream`'s bounded
 //! channel, and across an abort/resume cycle stitched back together.
 
+use std::sync::Arc;
+
 use netsim::{Blocklist, Cidr, Internet, VirtualClock};
-use population::{synthesize, PopulationConfig, StrataMix};
+use population::{synthesize, MiddleboxConfig, MiddleboxPlan, PopulationConfig, StrataMix};
 use scanner::{
-    CancelToken, ScanConfig, ScanEngine, ScanOutcome, ScanRecord, ScanSummary, Scanner,
-    SweepCheckpoint, WeekOutcome,
+    CancelToken, RetryPolicy, ScanConfig, ScanEngine, ScanOutcome, ScanRecord, ScanSummary,
+    Scanner, SweepCheckpoint, WeekOutcome,
 };
 
 const SEED: u64 = 20_200_209;
@@ -62,6 +64,48 @@ fn assert_summary_matches_modulo_sightings(actual: &ScanSummary, expected: &Scan
     assert_eq!(actual.finished_unix, expected.finished_unix);
     assert_eq!(actual.certs.distinct, expected.certs.distinct);
     assert!(actual.certs.sightings >= expected.certs.sightings);
+    assert_eq!(actual.faults, expected.faults);
+}
+
+/// Same world as [`scanner_with`], but fronted by a seeded
+/// [`MiddleboxPlan`] and scanned with the hostile retry policy — the
+/// determinism contract must survive packet loss, tarpits and
+/// rate-limiting firewalls.
+fn hostile_scanner_with(
+    engine: ScanEngine,
+    workers: usize,
+    max_in_flight: usize,
+) -> (Scanner, Vec<Cidr>) {
+    let net = Internet::new(VirtualClock::default());
+    let universe: Vec<Cidr> = ["10.40.0.0/22", "172.28.0.0/23"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let cfg = PopulationConfig::new(SEED, universe.clone(), StrataMix::paper_like(60));
+    let pop = synthesize(&net, &cfg);
+    let plan = MiddleboxPlan::plan(&pop, &MiddleboxConfig::hostile(), SEED);
+    net.set_profiles(Arc::new(plan));
+    let mut blocklist = Blocklist::new();
+    blocklist.add_str("10.40.3.0/24").unwrap();
+    let config = ScanConfig {
+        engine,
+        workers,
+        max_in_flight,
+        retry: RetryPolicy::hostile(),
+        ..ScanConfig::default()
+    };
+    (Scanner::new(net, blocklist, config), universe)
+}
+
+fn hostile_scan(
+    engine: ScanEngine,
+    workers: usize,
+    max_in_flight: usize,
+) -> (ScanSummary, Vec<ScanRecord>) {
+    let (scanner, universe) = hostile_scanner_with(engine, workers, max_in_flight);
+    let mut records = Vec::new();
+    let summary = scanner.scan_with(&universe, SEED, |r| records.push(r));
+    (summary, records)
 }
 
 #[test]
@@ -194,6 +238,68 @@ fn abort_resume_stitches_byte_identical() {
         SEED,
         &certs,
         Some(checkpoint),
+        &CancelToken::new(),
+        |r| stitched.push(r),
+    );
+    let ScanOutcome::Complete { summary, .. } = outcome else {
+        panic!("unbudgeted resume must complete");
+    };
+    assert_eq!(stitched, expected);
+    assert_summary_matches_modulo_sightings(&summary, &expected_summary);
+}
+
+/// The tentpole contract under fire: with middleboxes injecting loss,
+/// tarpits and rate limits, both engines at any worker count must still
+/// emit byte-identical streams — and an abort/resume cycle must stitch
+/// exactly, fault counters included.
+#[test]
+fn hostile_abort_resume_stitches_byte_identical() {
+    let (expected_summary, expected) = hostile_scan(ScanEngine::EventLoop, 1, 16);
+    assert!(expected.len() > 10, "need a meaningful record stream");
+    // The hostile plan must actually bite: every non-Ok outcome class
+    // the retry layer distinguishes has to appear in the stream.
+    let faults = expected_summary.faults;
+    assert!(faults.throttled > 0, "no throttled hosts: {faults:?}");
+    assert!(faults.tarpitted > 0, "no tarpitted hosts: {faults:?}");
+    assert!(faults.timed_out > 0, "no timed-out hosts: {faults:?}");
+    assert!(
+        faults.retried_hosts > 0,
+        "retries never engaged: {faults:?}"
+    );
+    assert!(faults.backoff_micros > 0);
+
+    // Threaded engine, multi-worker: same bytes.
+    for workers in [1usize, 4] {
+        let (summary, records) = hostile_scan(ScanEngine::Threaded, workers, 256);
+        assert_eq!(summary, expected_summary, "workers={workers}");
+        assert_eq!(records, expected, "workers={workers}");
+    }
+
+    // Abort mid-sweep under fire, then resume to completion.
+    let (scanner, universe) = hostile_scanner_with(ScanEngine::EventLoop, 1, 16);
+    let certs = scanner::CertStore::new();
+    let mut stitched: Vec<ScanRecord> = Vec::new();
+    let token = CancelToken::after_records(expected.len() as u64 / 2);
+    let outcome =
+        scanner.scan_resumable(&universe, SEED, &certs, None, &token, |r| stitched.push(r));
+    let ScanOutcome::Aborted { checkpoint } = outcome else {
+        panic!("budgeted token must abort mid-scan");
+    };
+    let emitted_at_abort = stitched.len();
+    assert!(emitted_at_abort < expected.len());
+    assert_eq!(stitched[..], expected[..emitted_at_abort]);
+    // Fault tallies for emitted records ride the checkpoint.
+    let mut at_abort = scanner::FaultStats::default();
+    for r in &stitched {
+        at_abort.observe(r);
+    }
+    assert_eq!(checkpoint.fault_stats, at_abort);
+
+    let outcome = scanner.scan_resumable(
+        &universe,
+        SEED,
+        &certs,
+        Some(*checkpoint),
         &CancelToken::new(),
         |r| stitched.push(r),
     );

@@ -52,7 +52,10 @@
 //!                 │              distinct DER); Campaign:   │
 //!                 │              N weekly sweeps on one     │
 //!                 │              advancing clock, one       │
-//!                 │              CertStore per study        │
+//!                 │              CertStore per study;       │
+//!                 │              RetryPolicy: seeded        │
+//!                 │              backoff/pacing, HostOutcome│
+//!                 │              taxonomy, FaultStats       │
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
 //!                 │              configured deployments;    │
@@ -68,7 +71,11 @@
 //!                 │              departures, cert renewal,  │
 //!                 │              up/downgrades, deficit     │
 //!                 │              remediation/regression),   │
-//!                 │              eager or lazy              │
+//!                 │              eager or lazy;             │
+//!                 │              MiddleboxPlan: planted     │
+//!                 │              fault strata with ground   │
+//!                 │              truth (terminal-fate       │
+//!                 │              replay)                    │
 //!                 ├──────────────┬──────────────────────────┤
 //!   protocol      │ ua-client    │ ua-server                │
 //!                 ├──────────────┴──────────────────────────┤
@@ -83,7 +90,9 @@
 //!   substrate     │ netsim       virtual clock, CIDR/ASN,   │
 //!                 │              connections, zmap sweeps,  │
 //!                 │              HostResolver hook (lazy    │
-//!                 │              host materialization)      │
+//!                 │              host materialization),     │
+//!                 │              NetProfile fault injection │
+//!                 │              (loss, tarpits, firewalls) │
 //!                 └─────────────────────────────────────────┘
 //! ```
 //!
@@ -178,6 +187,25 @@
 //!   byte-identical per seed at any worker count; CI replays the
 //!   seven-month study against planted ground truth and diffs a
 //!   1-worker vs 4-worker six-week mini-study.
+//! * **Hostile-network realism** — `netsim::NetProfile` injects
+//!   middlebox faults under any world: per-SYN loss coins, flaky
+//!   stacks that drop their first N connects, accept-then-stall
+//!   tarpits (silent or byte-dribbling), and rate-limiting firewalls
+//!   (temporary or sweep-permanent), every fault a pure function of
+//!   `(profile, attempt)` charged honestly to the virtual clock.
+//!   `population::MiddleboxPlan` plants those profiles over a
+//!   synthesized fleet per /24 and doubles as checkable ground truth
+//!   (it replays the fate sequence a retrying scanner sees). The
+//!   scanner answers with `ScanConfig::retry` — bounded attempts,
+//!   seeded exponential backoff with jitter, adaptive pacing on
+//!   rate-limit signatures, per-stage budgets — classifies every
+//!   write-off (`HostOutcome`: unreachable / timed out / throttled /
+//!   tarpitted), and tallies the cost (`FaultStats`). Default policy
+//!   is one attempt: polite campaigns are byte-identical to the
+//!   pre-retry pipeline. Hostile sweeps stay byte-identical across
+//!   engines, worker counts, and abort/resume; CI replays
+//!   `examples/hostile_sweep.rs` against the planted truth and diffs
+//!   1-vs-4-worker hostile campaigns.
 //! * **Invariant lints** — every determinism rule above is statically
 //!   checked by `crates/ua-lint`, a registry-dependency-free analyzer
 //!   with its own Rust lexer: no wall-clock reads or sleeps off the
@@ -219,17 +247,19 @@ pub use ua_types;
 pub mod prelude {
     pub use assessment::{
         assess, AssessmentReport, Assessor, Deficit, LongitudinalAssessor, LongitudinalReport,
-        WeekDelta,
+        ReachabilityTally, WeekDelta,
     };
-    pub use netsim::{Blocklist, Cidr, Internet, Ipv4, VirtualClock};
+    pub use netsim::{Blocklist, Cidr, Internet, Ipv4, NetProfile, VirtualClock};
     pub use population::{
-        synthesize, ChurnConfig, EvolvingWorld, HostClass, LazyWorld, MaterializationStats,
-        Population, PopulationConfig, StrataMix,
+        synthesize, ChurnConfig, EvolvingWorld, FaultStratum, HostClass, LazyWorld,
+        MaterializationStats, MiddleboxConfig, MiddleboxPlan, Population, PopulationConfig,
+        StrataMix,
     };
     pub use scanner::{
-        Campaign, CampaignConfig, CancelToken, CertStore, DiscoveredVia, EngineStats, OpcUrl,
-        ReferralStats, ScanConfig, ScanEngine, ScanOutcome, ScanRecord, ScanSummary, Scanner,
-        SessionOutcome, SweepCheckpoint, WeekCheckpoint, WeekOutcome, WeeklyScan,
+        Campaign, CampaignConfig, CancelToken, CertStore, DiscoveredVia, EngineStats, FaultStats,
+        HostOutcome, OpcUrl, ReferralStats, RetryPolicy, ScanConfig, ScanEngine, ScanOutcome,
+        ScanRecord, ScanSummary, Scanner, SessionOutcome, SweepCheckpoint, WeekCheckpoint,
+        WeekOutcome, WeeklyScan,
     };
     pub use ua_crypto::Thumbprint;
     pub use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
