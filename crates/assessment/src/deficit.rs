@@ -51,11 +51,19 @@ pub enum Deficit {
     DataWritable,
     /// An anonymous session succeeded and methods were executable.
     MethodsExecutable,
+    /// A TLS-wrapped host (uat-tls) completed its TLS handshake but
+    /// still advertises anonymous authentication inside the tunnel —
+    /// transport encryption without user authentication ("Missed
+    /// Opportunities", §5).
+    TlsButAnonymous,
+    /// A TLS-wrapped host presented a certificate outside its validity
+    /// window in the TLS prologue itself.
+    TlsExpiredCert,
 }
 
 impl Deficit {
     /// All deficits in report order.
-    pub const ALL: [Deficit; 13] = [
+    pub const ALL: [Deficit; 15] = [
         Deficit::OnlyNoneMode,
         Deficit::NoneModeOffered,
         Deficit::DeprecatedPolicy,
@@ -69,6 +77,8 @@ impl Deficit {
         Deficit::DataReadable,
         Deficit::DataWritable,
         Deficit::MethodsExecutable,
+        Deficit::TlsButAnonymous,
+        Deficit::TlsExpiredCert,
     ];
 
     /// Short label used in report tables.
@@ -87,6 +97,8 @@ impl Deficit {
             Deficit::DataReadable => "data readable anonymously",
             Deficit::DataWritable => "data writable anonymously",
             Deficit::MethodsExecutable => "methods executable anonymously",
+            Deficit::TlsButAnonymous => "TLS but anonymous",
+            Deficit::TlsExpiredCert => "TLS cert expired",
         }
     }
 }
@@ -104,7 +116,21 @@ fn hash_to_policy_hash(h: HashAlgorithm) -> PolicyHash {
 /// added by the population-level pass.
 pub fn host_deficits(record: &ScanRecord) -> BTreeSet<Deficit> {
     let mut out = BTreeSet::new();
-    if record.endpoints.is_empty() {
+
+    // --- TLS-wrapper rules ("Missed Opportunities"). ---
+    if let Some(tls) = record.uat_tls() {
+        if tls.tls_ok {
+            if tls.cert_expired {
+                out.insert(Deficit::TlsExpiredCert);
+            }
+            if record.advertises_anonymous() {
+                out.insert(Deficit::TlsButAnonymous);
+            }
+        }
+    }
+
+    let endpoints = record.endpoints();
+    if endpoints.is_empty() {
         return out;
     }
 
@@ -112,14 +138,13 @@ pub fn host_deficits(record: &ScanRecord) -> BTreeSet<Deficit> {
     if record.offers_mode(MessageSecurityMode::None) {
         out.insert(Deficit::NoneModeOffered);
     }
-    if record
-        .endpoints
+    if endpoints
         .iter()
         .all(|e| e.security_mode == MessageSecurityMode::None)
     {
         out.insert(Deficit::OnlyNoneMode);
     }
-    if record.endpoints.iter().any(|e| {
+    if endpoints.iter().any(|e| {
         e.security_policy
             .is_some_and(|p| p.class() == PolicyClass::Deprecated)
     }) {
@@ -127,7 +152,7 @@ pub fn host_deficits(record: &ScanRecord) -> BTreeSet<Deficit> {
     }
 
     // --- Certificate hygiene (§5.2). ---
-    for ep in &record.endpoints {
+    for ep in endpoints {
         let Some(handle) = ep.certificate.as_ref() else {
             continue;
         };
@@ -163,7 +188,7 @@ pub fn host_deficits(record: &ScanRecord) -> BTreeSet<Deficit> {
     if record.advertises_anonymous() {
         out.insert(Deficit::AnonymousAccess);
         if matches!(
-            record.session,
+            record.session(),
             SessionOutcome::AuthRejected | SessionOutcome::ChannelRejected
         ) {
             out.insert(Deficit::BrokenSessionConfig);
@@ -173,8 +198,8 @@ pub fn host_deficits(record: &ScanRecord) -> BTreeSet<Deficit> {
     // --- Accessible data (Figure 7). ---
     // Discovery servers expose only the standard server metadata, so the
     // paper's data-access analysis does not apply to them.
-    if record.session == SessionOutcome::AnonymousActivated && !record.is_discovery_server() {
-        if let Some(t) = &record.traversal {
+    if record.session() == SessionOutcome::AnonymousActivated && !record.is_discovery_server() {
+        if let Some(t) = record.traversal() {
             if t.readable > 0 {
                 out.insert(Deficit::DataReadable);
             }
@@ -218,8 +243,8 @@ mod tests {
 
     fn record(endpoints: Vec<EndpointSnapshot>) -> ScanRecord {
         let mut r = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 1_581_206_400);
-        r.hello_ok = true;
-        r.endpoints = endpoints;
+        r.opcua_mut().hello_ok = true;
+        r.opcua_mut().endpoints = endpoints;
         r
     }
 
@@ -275,7 +300,7 @@ mod tests {
             SecurityPolicy::None,
             true,
         )]);
-        r.session = SessionOutcome::AuthRejected;
+        r.opcua_mut().session = SessionOutcome::AuthRejected;
         assert!(host_deficits(&r).contains(&Deficit::BrokenSessionConfig));
 
         let mut no_anon = record(vec![snapshot(
@@ -283,7 +308,7 @@ mod tests {
             SecurityPolicy::None,
             false,
         )]);
-        no_anon.session = SessionOutcome::AuthRejected;
+        no_anon.opcua_mut().session = SessionOutcome::AuthRejected;
         let d = host_deficits(&no_anon);
         assert!(!d.contains(&Deficit::BrokenSessionConfig));
         assert!(!d.contains(&Deficit::AnonymousAccess));
@@ -296,8 +321,8 @@ mod tests {
             SecurityPolicy::None,
             true,
         )]);
-        r.session = SessionOutcome::AnonymousActivated;
-        r.traversal = Some(TraversalSummary {
+        r.opcua_mut().session = SessionOutcome::AnonymousActivated;
+        r.opcua_mut().traversal = Some(TraversalSummary {
             nodes: 5,
             variables: 3,
             readable: 3,
@@ -314,9 +339,41 @@ mod tests {
 
         // Same traversal numbers but no activated session: no data flags.
         let mut not_active = r.clone();
-        not_active.session = SessionOutcome::NotAttempted;
+        not_active.opcua_mut().session = SessionOutcome::NotAttempted;
         let d2 = host_deficits(&not_active);
         assert!(!d2.contains(&Deficit::DataReadable));
+    }
+
+    #[test]
+    fn tls_wrapper_rules() {
+        use scanner::{ProtocolPayload, UatTlsPayload};
+        let mut r = record(vec![snapshot(
+            MessageSecurityMode::None,
+            SecurityPolicy::None,
+            true,
+        )]);
+        // Re-wrap the opcua payload in a uat-tls one with the same inner.
+        let inner = r.opcua().clone();
+        r.payload = ProtocolPayload::UatTls(UatTlsPayload {
+            tls_ok: true,
+            cert_expired: true,
+            inner,
+            ..UatTlsPayload::default()
+        });
+        let d = host_deficits(&r);
+        assert!(d.contains(&Deficit::TlsButAnonymous));
+        assert!(d.contains(&Deficit::TlsExpiredCert));
+        // The inner opcua rules still apply through the wrapper.
+        assert!(d.contains(&Deficit::AnonymousAccess));
+
+        // A failed TLS handshake reports no wrapper deficits.
+        let Some(tls) = r.uat_tls_mut() else {
+            unreachable!()
+        };
+        tls.tls_ok = false;
+        let d = host_deficits(&r);
+        assert!(!d.contains(&Deficit::TlsButAnonymous));
+        assert!(!d.contains(&Deficit::TlsExpiredCert));
     }
 
     #[test]

@@ -64,12 +64,12 @@ impl WeekSnapshot {
             week,
             hosts: records
                 .iter()
-                .filter(|r| r.hello_ok)
+                .filter(|r| r.speaks())
                 .map(|r| HostObservation {
                     address: r.address,
                     port: r.port,
                     thumbprint: r.certificates().first().map(|c| c.identity()),
-                    software_version: r.software_version.clone(),
+                    software_version: r.software_version().map(str::to_string),
                 })
                 .collect(),
         }

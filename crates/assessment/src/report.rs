@@ -157,6 +157,14 @@ pub struct AssessmentReport {
     pub referrals: ReferralSummary,
     /// Per-[`HostOutcome`] reachability tallies over all records.
     pub reachability: ReachabilityTally,
+    /// Assessed hosts per protocol suite (`"opcua"`, `"uat-tls"`, …).
+    pub protocol_hosts: BTreeMap<&'static str, usize>,
+    /// Vendor breakdown recovered by the fingerprint stage (hosts per
+    /// identified vendor). Empty when no fingerprint stage ran.
+    pub vendor_counts: BTreeMap<&'static str, usize>,
+    /// Assessed hosts the fingerprint stage could not attribute (no
+    /// known quirk, or the stage did not run).
+    pub unfingerprinted: usize,
 }
 
 impl AssessmentReport {
@@ -207,6 +215,9 @@ pub struct Assessor {
     token_distribution: BTreeMap<UserTokenType, usize>,
     sessions: SessionTally,
     reachability: ReachabilityTally,
+    protocol_hosts: BTreeMap<&'static str, usize>,
+    vendor_counts: BTreeMap<&'static str, usize>,
+    unfingerprinted: usize,
 }
 
 impl Assessor {
@@ -228,9 +239,17 @@ impl Assessor {
         // the hello stage, and writing them off silently is exactly the
         // bias the retry layer exists to measure.
         self.reachability.observe(record);
-        if !record.hello_ok {
+        if !record.speaks() {
             self.non_opcua += 1;
             return;
+        }
+        *self
+            .protocol_hosts
+            .entry(record.payload.protocol())
+            .or_default() += 1;
+        match record.vendor_fingerprint() {
+            Some(vendor) => *self.vendor_counts.entry(vendor).or_default() += 1,
+            None => self.unfingerprinted += 1,
         }
         let deficits = host_deficits(record);
         for &d in &deficits {
@@ -242,7 +261,7 @@ impl Assessor {
             via: record.via,
             asn: record.asn,
             is_discovery_server: record.is_discovery_server(),
-            announced_referrals: record.referred_urls.len(),
+            announced_referrals: record.referred_urls().len(),
             deficits,
         });
 
@@ -279,7 +298,7 @@ impl Assessor {
         let mut modes: BTreeSet<MessageSecurityMode> = BTreeSet::new();
         let mut policies: BTreeSet<SecurityPolicy> = BTreeSet::new();
         let mut tokens: BTreeSet<UserTokenType> = BTreeSet::new();
-        for ep in &record.endpoints {
+        for ep in record.endpoints() {
             modes.insert(ep.security_mode);
             if let Some(p) = ep.security_policy {
                 policies.insert(p);
@@ -295,7 +314,7 @@ impl Assessor {
         for t in tokens {
             *self.token_distribution.entry(t).or_default() += 1;
         }
-        match record.session {
+        match record.session() {
             SessionOutcome::NotAttempted => self.sessions.not_attempted += 1,
             SessionOutcome::ChannelRejected => self.sessions.channel_rejected += 1,
             SessionOutcome::AuthRejected => self.sessions.auth_rejected += 1,
@@ -340,6 +359,9 @@ impl Assessor {
             token_distribution,
             sessions,
             reachability,
+            protocol_hosts,
+            vendor_counts,
+            unfingerprinted,
         } = self;
 
         let mut reuse_clusters: Vec<ReuseCluster> = by_thumbprint
@@ -432,6 +454,9 @@ impl Assessor {
             sessions,
             referrals,
             reachability,
+            protocol_hosts,
+            vendor_counts,
+            unfingerprinted,
         }
     }
 }
@@ -467,6 +492,20 @@ impl std::fmt::Display for AssessmentReport {
             "  referring hosts: {} ({} discovery servers announce referrals)",
             self.referrals.referring_hosts, self.referrals.referring_discovery_servers,
         )?;
+        // Rendered only for multi-suite campaigns: OPC-UA-only output
+        // stays byte-identical to the single-protocol report.
+        if self.protocol_hosts.keys().any(|p| *p != "opcua") {
+            writeln!(f, "  protocol suites (hosts):")?;
+            for (proto, n) in &self.protocol_hosts {
+                writeln!(
+                    f,
+                    "    {:<16} {:>6}  ({:>5.1} %)",
+                    proto,
+                    n,
+                    pct(*n, self.hosts)
+                )?;
+            }
+        }
         // Rendered only when the network bit: polite-campaign output is
         // byte-identical to the pre-fault-injection report.
         let reach = &self.reachability;
@@ -527,6 +566,28 @@ impl std::fmt::Display for AssessmentReport {
                 pct(n, self.hosts),
                 r,
                 pct(r, referred),
+            )?;
+        }
+
+        // Vendor breakdown (Table-6 style) — only when the fingerprint
+        // stage attributed at least one host.
+        if !self.vendor_counts.is_empty() {
+            writeln!(f, "\n  vendor fingerprints (hosts):")?;
+            for (vendor, n) in &self.vendor_counts {
+                writeln!(
+                    f,
+                    "    {:<30} {:>6}  ({:>5.1} %)",
+                    vendor,
+                    n,
+                    pct(*n, self.hosts)
+                )?;
+            }
+            writeln!(
+                f,
+                "    {:<30} {:>6}  ({:>5.1} %)",
+                "(unidentified)",
+                self.unfingerprinted,
+                pct(self.unfingerprinted, self.hosts)
             )?;
         }
 

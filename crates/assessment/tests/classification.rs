@@ -216,7 +216,7 @@ fn discovery_servers_classified_and_exempt_from_data_rules() {
         let record = records.iter().find(|r| r.address == host.address).unwrap();
         assert!(record.is_discovery_server());
         assert!(
-            !record.referred_urls.is_empty(),
+            !record.referred_urls().is_empty(),
             "LDS must reference other deployments"
         );
         let hr = report
@@ -344,7 +344,7 @@ fn referral_port_novelty_judged_against_campaign_port_not_4840() {
     // novel, while one on 4840 is.
     let mut swept =
         ScanRecord::for_target(Ipv4::new(10, 0, 0, 1), 4841, DiscoveredVia::Sweep, 0, 0);
-    swept.hello_ok = true;
+    swept.opcua_mut().hello_ok = true;
     let referrer = swept.address;
     let mut same_port = ScanRecord::for_target(
         Ipv4::new(10, 0, 0, 2),
@@ -356,7 +356,7 @@ fn referral_port_novelty_judged_against_campaign_port_not_4840() {
         0,
         0,
     );
-    same_port.hello_ok = true;
+    same_port.opcua_mut().hello_ok = true;
     let mut odd_port = ScanRecord::for_target(
         Ipv4::new(10, 0, 0, 3),
         4840,
@@ -367,7 +367,7 @@ fn referral_port_novelty_judged_against_campaign_port_not_4840() {
         0,
         0,
     );
-    odd_port.hello_ok = true;
+    odd_port.opcua_mut().hello_ok = true;
 
     let report = assess(&[swept, same_port, odd_port]);
     assert_eq!(report.referrals.referral_only_hosts, 2);

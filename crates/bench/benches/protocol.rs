@@ -11,7 +11,8 @@
 //! Emits `BENCH_protocol.json`.
 
 use bench::{time, write_bench_json, BenchConfig, Json, Stats};
-use scanner::{default_stack, discovery_stack, Probe, UacpProbe};
+use scanner::probe::{default_stack, discovery_stack, UacpProbe};
+use scanner::Probe;
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -45,7 +46,7 @@ fn main() {
             let (t_disc, _) = time(|| scanner.probe_host(&mut discovery, addr, port, seed));
             let mut full = default_stack();
             let (t_full, record) = time(|| scanner.probe_host(&mut full, addr, port, seed));
-            if !record.hello_ok {
+            if !record.hello_ok() {
                 continue;
             }
             uacp_us.push(t_uacp * 1e6);

@@ -255,7 +255,7 @@ pub fn campaign_moduli(records: &[ScanRecord]) -> Vec<ua_crypto::BigUint> {
 pub fn campaign_modulus_sightings(records: &[ScanRecord]) -> Vec<ua_crypto::BigUint> {
     let mut moduli = Vec::new();
     for record in records {
-        for ep in &record.endpoints {
+        for ep in record.endpoints() {
             if let Some(n) = ep.certificate.as_ref().and_then(|c| c.modulus()) {
                 moduli.push(n.clone());
             }
@@ -408,7 +408,7 @@ mod tests {
         let (summary, records) = scanner.scan_collect(&cfg.universe, cfg.seed);
         assert_eq!(summary.opcua_hosts as usize, population.len());
         assert_eq!(
-            records.iter().filter(|r| r.hello_ok).count(),
+            records.iter().filter(|r| r.hello_ok()).count(),
             population.len()
         );
     }

@@ -28,11 +28,15 @@
 
 pub mod evolution;
 pub mod middlebox;
+pub mod multiproto;
 mod spec;
 mod world;
 
 pub use evolution::{ChurnConfig, ChurnEvent, EvolvingWorld, TruthObservation, WeekChurn};
 pub use middlebox::{FaultStratum, HostFault, MiddleboxConfig, MiddleboxPlan};
+pub use multiproto::{
+    population_vendor_counts, MultiProtoConfig, MultiProtoPlan, TlsClass, TlsHostTruth,
+};
 pub use world::{LazyWorld, MaterializationStats};
 
 use netsim::{AsKind, AsRegistry, Cidr, Internet, Ipv4};

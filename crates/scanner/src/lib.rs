@@ -7,6 +7,11 @@
 //! * [`probe`] — the composable [`Probe`] stage API: UACP hello →
 //!   discovery (GetEndpoints + FindServers) → anonymous session with
 //!   budgeted traversal;
+//! * [`suite`] — the protocol layer: a [`ProtocolSuite`] bundles the
+//!   default port, the probe-stage ladder, the connect-error taxonomy,
+//!   and the typed [`ProtocolPayload`] for one protocol;
+//!   [`SuiteRegistry`] maps ports to suites so one campaign sweeps
+//!   several protocols over the same engines;
 //! * [`url`] — `opc.tcp://host:port/path` parsing and normalization,
 //!   the canonical form referral deduplication relies on;
 //! * [`pipeline`] — the campaign driver: zmap-style sweep streamed
@@ -32,20 +37,28 @@ pub mod pipeline;
 pub mod probe;
 pub mod record;
 pub mod sched;
+pub mod suite;
 pub mod url;
 
 pub use campaign::{Campaign, CampaignConfig, WeekCheckpoint, WeekOutcome, WeeklyScan};
 pub use pipeline::{FaultStats, ReferralStats, ScanOutcome, ScanStream, ScanSummary, Scanner};
+// Per-stage probe types (UacpProbe, EndpointsProbe, …) deliberately stay
+// behind the `probe::` path: suites are the unit callers compose with;
+// individual stages are an implementation detail of a suite's ladder.
 pub use probe::{
-    classify_session_error, default_stack, discovery_stack, merge_find_servers, DiscoveryProbe,
-    EndpointsProbe, FindServersProbe, Probe, ProbeContext, ProbeOutcome, RetryPolicy, ScanConfig,
-    ScanEngine, SessionProbe, UacpProbe,
+    default_stack, ConfigError, Probe, ProbeContext, ProbeOutcome, RetryPolicy, ScanConfig,
+    ScanConfigBuilder, ScanEngine,
 };
 pub use record::{
-    DiscoveredVia, EndpointSnapshot, HostOutcome, ScanRecord, SessionOutcome, TraversalSummary,
+    DiscoveredVia, EndpointSnapshot, HostOutcome, OpcUaPayload, ProtocolPayload, ScanRecord,
+    SessionOutcome, TraversalSummary, UatTlsPayload,
 };
 pub use sched::{
     CancelGuard, CancelToken, EngineStats, PendingUrl, SweepCheckpoint, TimerId, TimerWheel,
+};
+pub use suite::{
+    classify_connect_error, OpcUaSuite, ProtocolSuite, SuiteRegistry, UatTlsSuite,
+    VendorFingerprintProbe, DEFAULT_UATLS_PORT,
 };
 pub use ua_crypto::{CertStore, CertStoreStats, ParsedCert, Thumbprint};
 pub use url::{OpcUrl, UrlError, UrlHost, DEFAULT_OPCUA_PORT};

@@ -42,11 +42,12 @@
 //! emitted after the sweep records, in deterministic queue order — so the
 //! full output stream stays byte-identical per seed at any worker count.
 
-use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig, ScanEngine};
+use crate::probe::{Probe, ProbeContext, ProbeOutcome, ScanConfig, ScanEngine};
 use crate::record::{DiscoveredVia, ScanRecord};
 use crate::sched::{
     CancelToken, EngineRun, EngineStats, EventLoop, Job, PendingUrl, SweepCheckpoint,
 };
+use crate::suite::{OpcUaSuite, ProtocolSuite};
 use crate::url::OpcUrl;
 use netsim::{
     Blocklist, Cidr, Internet, Ipv4, SweepConfig, SweepStats, SweepWalk, SynScanner, VirtualClock,
@@ -56,6 +57,7 @@ use rand::SeedableRng;
 // ua-lint: allow(unordered-iteration) -- dedup membership only; checkpoint export sorts before emitting
 use std::collections::HashSet;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use ua_crypto::{CertStore, CertStoreStats};
 
@@ -90,6 +92,24 @@ pub struct ReferralStats {
     /// Deepest referral chain actually probed (0 when nothing was
     /// followed).
     pub max_depth: u32,
+}
+
+impl ReferralStats {
+    /// Folds another phase's counters in. Multi-suite campaigns run one
+    /// referral phase per referral-capable suite and sum them; depths
+    /// take the max (the deepest chain any suite followed).
+    pub fn absorb(&mut self, other: ReferralStats) {
+        self.urls_announced += other.urls_announced;
+        self.unfollowable += other.unfollowable;
+        self.already_probed += other.already_probed;
+        self.blocklisted += other.blocklisted;
+        self.truncated += other.truncated;
+        self.followed += other.followed;
+        self.dead += other.dead;
+        self.opcua_hosts += other.opcua_hosts;
+        self.non_opcua_hosts += other.non_opcua_hosts;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
 }
 
 /// Connect-phase fault accounting across a campaign: one
@@ -251,10 +271,12 @@ impl Scanner {
         // Standalone probes intern into a throwaway store; campaign
         // scans share one store across every probe (see scan_with).
         let certs = CertStore::new();
+        let suite: Arc<dyn ProtocolSuite> = Arc::new(OpcUaSuite::new());
         probe_host_on(
             &self.internet,
             &self.config,
             &certs,
+            &suite,
             stack,
             addr,
             port,
@@ -272,6 +294,7 @@ impl Scanner {
         &self,
         epoch: &VirtualClock,
         certs: &CertStore,
+        suite: &Arc<dyn ProtocolSuite>,
         stack: &mut [Box<dyn Probe>],
         addr: netsim::Ipv4,
         port: u16,
@@ -281,7 +304,17 @@ impl Scanner {
         let clock = epoch.fork();
         let start = clock.now_micros();
         let internet = self.internet.with_clock(clock.clone());
-        let record = probe_host_on(&internet, &self.config, certs, stack, addr, port, via, seed);
+        let record = probe_host_on(
+            &internet,
+            &self.config,
+            certs,
+            suite,
+            stack,
+            addr,
+            port,
+            via,
+            seed,
+        );
         (record, clock.now_micros().saturating_sub(start))
     }
 
@@ -332,16 +365,13 @@ impl Scanner {
         // Every probed host gets a clock forked from this frozen epoch,
         // so records cannot observe each other through shared time.
         let epoch = self.internet.clock().fork();
-        let workers = self.config.workers.max(1);
+        let workers = self.config.effective_workers();
         let mut probe_micros: u64 = 0;
         let mut opcua_hosts: u64 = 0;
         let mut non_opcua_hosts: u64 = 0;
-        // Referral URLs harvested from emitted records, in emission
-        // order — the deterministic seed of the referral queue.
-        let mut frontier: Vec<PendingReferral> = Vec::new();
         let mut fault_stats = FaultStats::default();
         let mut emit = |record: ScanRecord| {
-            if record.hello_ok {
+            if record.speaks() {
                 opcua_hosts += 1;
             } else {
                 non_opcua_hosts += 1;
@@ -349,51 +379,81 @@ impl Scanner {
             fault_stats.observe(&record);
             sink(record);
         };
-        summary.sweep = {
-            let mut sweep_emit = |record: ScanRecord| {
-                collect_referrals(&record, &mut frontier);
-                emit(record);
-            };
-            if workers == 1 {
-                // Single shard runs inline: the sweep streams responsive
-                // addresses straight into the probe stack, no threads.
-                let syn = SynScanner::new(&self.internet, &self.blocklist, self.sweep_config());
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mut stack = default_stack();
-                syn.sweep_shard(universe, &mut rng, 0, 1, |_pos, addr| {
-                    let (record, micros) = self.probe_host_at_epoch(
+        // One full phase (sweep, then referral following for suites that
+        // have it) per registered suite, in ascending port order. Phases
+        // are independent — per-phase frontier and dedup state — so a
+        // mixed registry emits exactly the concatenation of the
+        // single-suite runs.
+        let mut sweep_total = SweepStats::default();
+        let mut referral_total = ReferralStats::default();
+        for (sweep_port, suite) in self.config.effective_suites() {
+            let follows = suite.follows_referrals();
+            // Referral URLs harvested from emitted records, in emission
+            // order — the deterministic seed of the referral queue.
+            let mut frontier: Vec<PendingReferral> = Vec::new();
+            let phase_sweep = {
+                let mut sweep_emit = |record: ScanRecord| {
+                    if follows {
+                        collect_referrals(suite.as_ref(), &record, &mut frontier);
+                    }
+                    emit(record);
+                };
+                if workers == 1 {
+                    // Single shard runs inline: the sweep streams
+                    // responsive addresses straight into the probe
+                    // stack, no threads.
+                    let syn = SynScanner::new(
+                        &self.internet,
+                        &self.blocklist,
+                        self.sweep_config(sweep_port),
+                    );
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut stack = suite.stack();
+                    syn.sweep_shard(universe, &mut rng, 0, 1, |_pos, addr| {
+                        let (record, micros) = self.probe_host_at_epoch(
+                            &epoch,
+                            certs,
+                            &suite,
+                            &mut stack,
+                            addr,
+                            sweep_port,
+                            DiscoveredVia::Sweep,
+                            seed ^ u64::from(addr.0),
+                        );
+                        probe_micros += micros;
+                        sweep_emit(record);
+                    })
+                } else {
+                    self.scan_sharded(
+                        universe,
+                        seed,
+                        workers,
                         &epoch,
                         certs,
-                        &mut stack,
-                        addr,
-                        self.config.port,
-                        DiscoveredVia::Sweep,
-                        seed ^ u64::from(addr.0),
-                    );
-                    probe_micros += micros;
-                    sweep_emit(record);
-                })
-            } else {
-                self.scan_sharded(
+                        sweep_port,
+                        &suite,
+                        &mut probe_micros,
+                        &mut sweep_emit,
+                    )
+                }
+            };
+            sweep_total = sweep_total + phase_sweep;
+            if follows {
+                referral_total.absorb(self.follow_referrals(
                     universe,
                     seed,
-                    workers,
                     &epoch,
                     certs,
+                    sweep_port,
+                    &suite,
+                    frontier,
                     &mut probe_micros,
-                    &mut sweep_emit,
-                )
+                    &mut emit,
+                ));
             }
-        };
-        summary.referrals = self.follow_referrals(
-            universe,
-            seed,
-            &epoch,
-            certs,
-            frontier,
-            &mut probe_micros,
-            &mut emit,
-        );
+        }
+        summary.sweep = sweep_total;
+        summary.referrals = referral_total;
         summary.opcua_hosts = opcua_hosts;
         summary.non_opcua_hosts = non_opcua_hosts;
         summary.faults = fault_stats;
@@ -445,6 +505,7 @@ impl Scanner {
         // checkpointed is carried forward; a fresh scan starts from the
         // shared campaign clock like the threaded engine does.
         let mut sweep_done = false;
+        let mut suite_cursor: usize = 0;
         let mut resume_filter: Option<ResumeFilter> = None;
         let mut carried_sweep = SweepStats::default();
         let mut opcua_hosts: u64 = 0;
@@ -463,6 +524,7 @@ impl Scanner {
             Some(cp) => {
                 assert_eq!(cp.seed, seed, "resume must use the checkpoint's seed");
                 sweep_done = cp.sweep_done;
+                suite_cursor = cp.suite_cursor;
                 if !cp.sweep_done {
                     resume_filter = Some(ResumeFilter {
                         next_step: cp.next_step,
@@ -514,118 +576,151 @@ impl Scanner {
             v
         };
 
-        let sweep_stats = if sweep_done {
-            carried_sweep
-        } else {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut jobs = SweepJobs {
-                walk: SweepWalk::new(universe, &mut rng, 0, 1),
-                internet: &self.internet,
-                blocklist: &self.blocklist,
-                port: self.config.port,
-                seed,
-                stats: SweepStats::default(),
-                cursor: 0,
-                resume: resume_filter,
-            };
-            let run = engine.run(&mut jobs, Some(cancel), &mut |_, record, micros| {
-                probe_micros += micros;
-                // ua-lint: allow(panic-hygiene) -- sweep admission only emits jobs with a listener
-                let record = record.expect("sweep jobs always have a listener");
-                if record.hello_ok {
-                    opcua_hosts += 1;
-                } else {
-                    non_opcua_hosts += 1;
-                }
-                fault_stats.observe(&record);
-                collect_referrals(&record, &mut frontier);
-                sink(record);
-                cancel.notch();
-            });
-            match run {
-                EngineRun::Cancelled { unemitted } => {
-                    return ScanOutcome::Aborted {
-                        checkpoint: Box::new(SweepCheckpoint {
-                            seed,
-                            epoch_micros,
-                            started_unix,
-                            sweep_done: false,
-                            next_step: jobs.cursor,
-                            in_flight: unemitted,
-                            sweep_stats: carried_sweep + jobs.stats,
-                            opcua_hosts,
-                            non_opcua_hosts,
-                            probe_micros,
-                            frontier: checkpoint_frontier(&frontier),
-                            referral_stats: ref_stats,
-                            fault_stats,
-                            probed_referrals: checkpoint_probed(&probed),
-                        }),
-                    };
-                }
-                EngineRun::Complete => carried_sweep + jobs.stats,
-            }
-        };
-
-        // Referral phase: levels are atomic (cancellation lands on
-        // level boundaries), targets within a level run on the wheel.
-        loop {
-            if cancel.is_cancelled() {
-                return ScanOutcome::Aborted {
-                    checkpoint: Box::new(SweepCheckpoint {
-                        seed,
-                        epoch_micros,
-                        started_unix,
-                        sweep_done: true,
-                        next_step: 0,
-                        in_flight: Vec::new(),
-                        sweep_stats,
-                        opcua_hosts,
-                        non_opcua_hosts,
-                        probe_micros,
-                        frontier: checkpoint_frontier(&frontier),
-                        referral_stats: ref_stats,
-                        fault_stats,
-                        probed_referrals: checkpoint_probed(&probed),
-                    }),
+        // One full phase (sweep, then referral levels for suites that
+        // have them) per registered suite, in ascending port order —
+        // mirroring the threaded engine exactly. Phases already behind
+        // `suite_cursor` were completed by the aborted run.
+        let suites = self.config.effective_suites();
+        let start_cursor = suite_cursor.min(suites.len());
+        let mut sweep_total = carried_sweep;
+        for (idx, (sweep_port, suite)) in suites.iter().enumerate().skip(start_cursor) {
+            let sweep_port = *sweep_port;
+            engine.set_suite(Arc::clone(suite));
+            let follows = suite.follows_referrals();
+            let phase_sweep_done = idx == start_cursor && sweep_done;
+            if !phase_sweep_done {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut jobs = SweepJobs {
+                    walk: SweepWalk::new(universe, &mut rng, 0, 1),
+                    internet: &self.internet,
+                    blocklist: &self.blocklist,
+                    port: sweep_port,
+                    seed,
+                    stats: SweepStats::default(),
+                    cursor: 0,
+                    resume: if idx == start_cursor {
+                        resume_filter.take()
+                    } else {
+                        None
+                    },
                 };
-            }
-            if frontier.is_empty() {
-                break;
-            }
-            let level = self.classify_level(universe, &mut frontier, &mut ref_stats, &mut probed);
-            let mut jobs = level.iter().enumerate().map(|(i, t)| Job {
-                ordinal: i as u64,
-                addr: t.addr,
-                port: t.port,
-                via: DiscoveredVia::Referral {
-                    from: t.from,
-                    depth: t.depth,
-                },
-                seed: referral_seed(seed, t.addr, t.port),
-                listening: self.internet.has_listener(t.addr, t.port),
-            });
-            let run = engine.run(&mut jobs, None, &mut |_, record, micros| {
-                probe_micros += micros;
-                match record {
-                    None => ref_stats.dead += 1,
-                    Some(record) => {
-                        if record.hello_ok {
-                            ref_stats.opcua_hosts += 1;
-                            opcua_hosts += 1;
-                        } else {
-                            ref_stats.non_opcua_hosts += 1;
-                            non_opcua_hosts += 1;
-                        }
-                        fault_stats.observe(&record);
-                        collect_referrals(&record, &mut frontier);
-                        sink(record);
-                        cancel.notch();
+                let run = engine.run(&mut jobs, Some(cancel), &mut |_, record, micros| {
+                    probe_micros += micros;
+                    // ua-lint: allow(panic-hygiene) -- sweep admission only emits jobs with a listener
+                    let record = record.expect("sweep jobs always have a listener");
+                    if record.speaks() {
+                        opcua_hosts += 1;
+                    } else {
+                        non_opcua_hosts += 1;
                     }
+                    fault_stats.observe(&record);
+                    if follows {
+                        collect_referrals(suite.as_ref(), &record, &mut frontier);
+                    }
+                    sink(record);
+                    cancel.notch();
+                });
+                match run {
+                    EngineRun::Cancelled { unemitted } => {
+                        return ScanOutcome::Aborted {
+                            checkpoint: Box::new(SweepCheckpoint {
+                                seed,
+                                epoch_micros,
+                                started_unix,
+                                suite_cursor: idx,
+                                sweep_done: false,
+                                next_step: jobs.cursor,
+                                in_flight: unemitted,
+                                sweep_stats: sweep_total + jobs.stats,
+                                opcua_hosts,
+                                non_opcua_hosts,
+                                probe_micros,
+                                frontier: checkpoint_frontier(&frontier),
+                                referral_stats: ref_stats,
+                                fault_stats,
+                                probed_referrals: checkpoint_probed(&probed),
+                            }),
+                        };
+                    }
+                    EngineRun::Complete => sweep_total = sweep_total + jobs.stats,
                 }
-            });
-            debug_assert!(matches!(run, EngineRun::Complete));
+            }
+
+            // Referral phase: levels are atomic (cancellation lands on
+            // level boundaries), targets within a level run on the wheel.
+            // Suites without referral following skip straight to the
+            // next phase — their frontier is never populated.
+            if follows {
+                loop {
+                    if cancel.is_cancelled() {
+                        return ScanOutcome::Aborted {
+                            checkpoint: Box::new(SweepCheckpoint {
+                                seed,
+                                epoch_micros,
+                                started_unix,
+                                suite_cursor: idx,
+                                sweep_done: true,
+                                next_step: 0,
+                                in_flight: Vec::new(),
+                                sweep_stats: sweep_total,
+                                opcua_hosts,
+                                non_opcua_hosts,
+                                probe_micros,
+                                frontier: checkpoint_frontier(&frontier),
+                                referral_stats: ref_stats,
+                                fault_stats,
+                                probed_referrals: checkpoint_probed(&probed),
+                            }),
+                        };
+                    }
+                    if frontier.is_empty() {
+                        break;
+                    }
+                    let level = self.classify_level(
+                        universe,
+                        sweep_port,
+                        &mut frontier,
+                        &mut ref_stats,
+                        &mut probed,
+                    );
+                    let mut jobs = level.iter().enumerate().map(|(i, t)| Job {
+                        ordinal: i as u64,
+                        addr: t.addr,
+                        port: t.port,
+                        via: DiscoveredVia::Referral {
+                            from: t.from,
+                            depth: t.depth,
+                        },
+                        seed: referral_seed(seed, t.addr, t.port),
+                        listening: self.internet.has_listener(t.addr, t.port),
+                    });
+                    let run = engine.run(&mut jobs, None, &mut |_, record, micros| {
+                        probe_micros += micros;
+                        match record {
+                            None => ref_stats.dead += 1,
+                            Some(record) => {
+                                if record.speaks() {
+                                    ref_stats.opcua_hosts += 1;
+                                    opcua_hosts += 1;
+                                } else {
+                                    ref_stats.non_opcua_hosts += 1;
+                                    non_opcua_hosts += 1;
+                                }
+                                fault_stats.observe(&record);
+                                collect_referrals(suite.as_ref(), &record, &mut frontier);
+                                sink(record);
+                                cancel.notch();
+                            }
+                        }
+                    });
+                    debug_assert!(matches!(run, EngineRun::Complete));
+                }
+            }
+            // The next phase deduplicates referrals afresh, exactly like
+            // the threaded engine's per-phase `follow_referrals` state.
+            probed.clear();
         }
+        let sweep_stats = sweep_total;
 
         // Completion: account campaign time exactly as the threaded
         // engine does, from the same order-independent sums.
@@ -663,6 +758,8 @@ impl Scanner {
         seed: u64,
         epoch: &VirtualClock,
         certs: &CertStore,
+        sweep_port: u16,
+        suite: &Arc<dyn ProtocolSuite>,
         mut frontier: Vec<PendingReferral>,
         probe_micros: &mut u64,
         mut emit: F,
@@ -676,18 +773,21 @@ impl Scanner {
         // ua-lint: allow(unordered-iteration) -- dedup membership only, never iterated
         let mut probed: HashSet<(u32, u16)> = HashSet::new();
         while !frontier.is_empty() {
-            let level = self.classify_level(universe, &mut frontier, &mut stats, &mut probed);
-            for (maybe_record, micros) in self.probe_referral_level(&level, epoch, certs, seed) {
+            let level =
+                self.classify_level(universe, sweep_port, &mut frontier, &mut stats, &mut probed);
+            for (maybe_record, micros) in
+                self.probe_referral_level(&level, epoch, certs, suite, seed)
+            {
                 *probe_micros += micros;
                 match maybe_record {
                     None => stats.dead += 1,
                     Some(record) => {
-                        if record.hello_ok {
+                        if record.speaks() {
                             stats.opcua_hosts += 1;
                         } else {
                             stats.non_opcua_hosts += 1;
                         }
-                        collect_referrals(&record, &mut frontier);
+                        collect_referrals(suite.as_ref(), &record, &mut frontier);
                         emit(record);
                     }
                 }
@@ -704,6 +804,7 @@ impl Scanner {
     fn classify_level(
         &self,
         universe: &[Cidr],
+        sweep_port: u16,
         frontier: &mut Vec<PendingReferral>,
         stats: &mut ReferralStats,
         // ua-lint: allow(unordered-iteration) -- dedup membership only, never iterated
@@ -721,12 +822,12 @@ impl Scanner {
                 stats.blocklisted += 1;
                 continue;
             }
-            // Deduplicate against the sweep (which SYN-probed every
-            // non-blocklisted universe address on the campaign
+            // Deduplicate against this phase's sweep (which SYN-probed
+            // every non-blocklisted universe address on the phase's
             // port, responsive or not) and against earlier
             // referral probes — this is what terminates A→B→A
             // loops.
-            let swept = port == self.config.port && universe.iter().any(|c| c.contains(addr));
+            let swept = port == sweep_port && universe.iter().any(|c| c.contains(addr));
             if swept || probed.contains(&(addr.0, port)) {
                 stats.already_probed += 1;
                 continue;
@@ -761,9 +862,10 @@ impl Scanner {
         targets: &[ReferralTarget],
         epoch: &VirtualClock,
         certs: &CertStore,
+        suite: &Arc<dyn ProtocolSuite>,
         seed: u64,
     ) -> Vec<(Option<ScanRecord>, u64)> {
-        let workers = self.config.workers.max(1).min(targets.len().max(1));
+        let workers = self.config.effective_workers().min(targets.len().max(1));
         let probe_one = |stack: &mut Vec<Box<dyn Probe>>, t: &ReferralTarget| {
             if !self.internet.has_listener(t.addr, t.port) {
                 // Dead target: charge exactly what the failed connect
@@ -786,6 +888,7 @@ impl Scanner {
             let (record, micros) = self.probe_host_at_epoch(
                 epoch,
                 certs,
+                suite,
                 stack,
                 t.addr,
                 t.port,
@@ -795,7 +898,7 @@ impl Scanner {
             (Some(record), micros)
         };
         if workers == 1 {
-            let mut stack = default_stack();
+            let mut stack = suite.stack();
             return targets.iter().map(|t| probe_one(&mut stack, t)).collect();
         }
         let mut results: Vec<(Option<ScanRecord>, u64)> = Vec::new();
@@ -806,7 +909,7 @@ impl Scanner {
                 let tx = tx.clone();
                 let probe_one = &probe_one;
                 scope.spawn(move || {
-                    let mut stack = default_stack();
+                    let mut stack = suite.stack();
                     for (i, t) in targets.iter().enumerate().skip(shard).step_by(workers) {
                         let _ = tx.send((i, probe_one(&mut stack, t)));
                     }
@@ -831,13 +934,15 @@ impl Scanner {
         workers: usize,
         epoch: &VirtualClock,
         certs: &CertStore,
+        sweep_port: u16,
+        suite: &Arc<dyn ProtocolSuite>,
         probe_micros: &mut u64,
         mut emit: F,
     ) -> SweepStats
     where
         F: FnMut(ScanRecord),
     {
-        let capacity = self.config.channel_capacity.max(1);
+        let capacity = self.config.effective_channel_capacity();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             let mut rxs = Vec::with_capacity(workers);
@@ -845,10 +950,15 @@ impl Scanner {
                 let (tx, rx) = mpsc::sync_channel::<ShardItem>(capacity);
                 rxs.push(rx);
                 let epoch = epoch.clone();
+                let suite = Arc::clone(suite);
                 handles.push(scope.spawn(move || {
-                    let syn = SynScanner::new(&self.internet, &self.blocklist, self.sweep_config());
+                    let syn = SynScanner::new(
+                        &self.internet,
+                        &self.blocklist,
+                        self.sweep_config(sweep_port),
+                    );
                     let mut rng = StdRng::seed_from_u64(seed);
-                    let mut stack = default_stack();
+                    let mut stack = suite.stack();
                     syn.sweep_shard(
                         universe,
                         &mut rng,
@@ -858,9 +968,10 @@ impl Scanner {
                             let (record, micros) = self.probe_host_at_epoch(
                                 &epoch,
                                 certs,
+                                &suite,
                                 &mut stack,
                                 addr,
-                                self.config.port,
+                                sweep_port,
                                 DiscoveredVia::Sweep,
                                 seed ^ u64::from(addr.0),
                             );
@@ -898,10 +1009,10 @@ impl Scanner {
         })
     }
 
-    fn sweep_config(&self) -> SweepConfig {
+    fn sweep_config(&self, port: u16) -> SweepConfig {
         SweepConfig {
             probes_per_second: self.config.probes_per_second,
-            port: self.config.port,
+            port,
         }
     }
 
@@ -1014,11 +1125,16 @@ impl Iterator for SweepJobs<'_> {
     }
 }
 
-/// Harvests a record's referred URLs into the referral frontier, one
-/// chain level deeper than the record itself.
-fn collect_referrals(record: &ScanRecord, frontier: &mut Vec<PendingReferral>) {
+/// Harvests a record's referred URLs — as the probing suite interprets
+/// them — into the referral frontier, one chain level deeper than the
+/// record itself.
+fn collect_referrals(
+    suite: &dyn ProtocolSuite,
+    record: &ScanRecord,
+    frontier: &mut Vec<PendingReferral>,
+) {
     let depth = record.via.depth() + 1;
-    for url in &record.referred_urls {
+    for url in suite.referrals(record) {
         frontier.push(PendingReferral {
             from: record.address,
             url: url.clone(),
@@ -1035,12 +1151,14 @@ fn referral_seed(seed: u64, addr: Ipv4, port: u16) -> u64 {
 }
 
 /// Probes a `(addr, port)` target through `internet` (whichever clock it
-/// carries) with `stack`, filling in the transport accounting.
+/// carries) with `suite`'s payload template and `stack`, filling in the
+/// transport accounting.
 #[allow(clippy::too_many_arguments)]
 fn probe_host_on(
     internet: &Internet,
     config: &ScanConfig,
     certs: &CertStore,
+    suite: &Arc<dyn ProtocolSuite>,
     stack: &mut [Box<dyn Probe>],
     addr: netsim::Ipv4,
     port: u16,
@@ -1054,17 +1172,22 @@ fn probe_host_on(
         internet.as_number(addr),
         internet.clock().now_unix_seconds(),
     );
+    record.payload = suite.payload();
     let mut ctx = ProbeContext::for_target(internet, config, certs, addr, port, seed);
+    ctx.suite = Arc::clone(suite);
     for probe in stack.iter_mut() {
         if probe.run(&mut ctx, &mut record) == ProbeOutcome::Stop {
             break;
         }
     }
+    // Added, not assigned: stages that opened side connections (the
+    // vendor-fingerprint stage) have already folded their traffic in via
+    // `ScanRecord::account`.
     if let Some(client) = &ctx.client {
-        record.requests = client.requests_sent();
+        record.requests += client.requests_sent();
         let stats = client.stats();
-        record.tx_bytes = stats.tx_bytes;
-        record.rx_bytes = stats.rx_bytes;
+        record.tx_bytes += stats.tx_bytes;
+        record.rx_bytes += stats.rx_bytes;
     }
     record
 }
@@ -1148,12 +1271,12 @@ mod tests {
         assert_eq!(records.len(), 1);
         let r = &records[0];
         assert_eq!(r.address, addr);
-        assert!(r.hello_ok);
-        assert_eq!(r.application_uri.as_deref(), Some("urn:test:dev0"));
-        assert_eq!(r.endpoints.len(), 1);
+        assert!(r.hello_ok());
+        assert_eq!(r.application_uri(), Some("urn:test:dev0"));
+        assert_eq!(r.endpoints().len(), 1);
         assert!(r.advertises_anonymous());
-        assert_eq!(r.session, SessionOutcome::AnonymousActivated);
-        let t = r.traversal.expect("traversal ran");
+        assert_eq!(r.session(), SessionOutcome::AnonymousActivated);
+        let t = r.traversal().expect("traversal ran");
         assert!(t.nodes > 3);
         assert_eq!(t.writable, 1);
         assert_eq!(t.executable, 1);
@@ -1186,8 +1309,8 @@ mod tests {
         assert_eq!(streamed.len(), sync_records.len());
         for (a, b) in streamed.iter().zip(&sync_records) {
             assert_eq!(a.address, b.address);
-            assert_eq!(a.endpoints, b.endpoints);
-            assert_eq!(a.session, b.session);
+            assert_eq!(a.endpoints(), b.endpoints());
+            assert_eq!(a.session(), b.session());
         }
     }
 
@@ -1233,7 +1356,7 @@ mod tests {
         assert_eq!(summary.opcua_hosts, 0);
         assert_eq!(summary.non_opcua_hosts, 1);
         assert_eq!(records.len(), 1);
-        assert!(!records[0].hello_ok);
+        assert!(!records[0].hello_ok());
     }
 
     /// Binds an OPC UA server (optionally an LDS with referrals) at
@@ -1290,8 +1413,8 @@ mod tests {
                 depth: 1
             }
         );
-        assert!(r.hello_ok);
-        assert!(!r.endpoints.is_empty());
+        assert!(r.hello_ok());
+        assert!(!r.endpoints().is_empty());
     }
 
     #[test]

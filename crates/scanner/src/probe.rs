@@ -8,10 +8,12 @@
 //! campaigns) or append new ones without touching the pipeline.
 
 use crate::record::{EndpointSnapshot, HostOutcome, ScanRecord, SessionOutcome, TraversalSummary};
+use crate::suite::{OpcUaSuite, ProtocolSuite, SuiteRegistry};
 use crate::url::OpcUrl;
 use netsim::{ConnectError, Internet, Ipv4, TcpStreamSim};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use ua_client::{traverse, ClientConfig, ClientError, TraversalBudget, UaClient};
 use ua_crypto::CertStore;
 use ua_proto::services::IdentityToken;
@@ -111,7 +113,9 @@ impl RetryPolicy {
 /// Scan-wide configuration shared by all probes.
 #[derive(Clone)]
 pub struct ScanConfig {
-    /// TCP port to probe (OPC UA's registered port).
+    /// TCP port to probe (OPC UA's registered port) when
+    /// [`ScanConfig::suites`] is empty — the single-protocol
+    /// configuration every pre-redesign campaign used.
     pub port: u16,
     /// SYN probes per second for the sweep stage.
     pub probes_per_second: u64,
@@ -149,6 +153,11 @@ pub struct ScanConfig {
     /// Connect-phase retry/backoff policy (defaults to a single polite
     /// attempt — see [`RetryPolicy`]).
     pub retry: RetryPolicy,
+    /// Registered protocol suites, port → suite. Empty (the default)
+    /// means "OPC UA on [`ScanConfig::port`]" — byte-identical to the
+    /// pre-suite pipeline. A non-empty registry makes the sweep walk
+    /// the union of registered ports, driving each port's suite.
+    pub suites: SuiteRegistry,
 }
 
 impl Default for ScanConfig {
@@ -167,7 +176,198 @@ impl Default for ScanConfig {
             engine: ScanEngine::default(),
             max_in_flight: 256,
             retry: RetryPolicy::default(),
+            suites: SuiteRegistry::new(),
         }
+    }
+}
+
+impl ScanConfig {
+    /// A validating builder over the default configuration — the
+    /// literal-free way to assemble the (by now) 14-field config. Plain
+    /// struct literals over [`ScanConfig::default`] keep working; the
+    /// builder adds up-front validation and does the zero-normalization
+    /// once instead of at every use site.
+    pub fn builder() -> ScanConfigBuilder {
+        ScanConfigBuilder {
+            cfg: ScanConfig::default(),
+        }
+    }
+
+    /// Worker thread count with the "0 is treated as 1" normalization
+    /// applied — the single place both engines get it from.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    /// In-flight cap with zero-normalization applied (see
+    /// [`ScanConfig::effective_workers`]).
+    pub fn effective_max_in_flight(&self) -> usize {
+        self.max_in_flight.max(1)
+    }
+
+    /// Record-channel capacity with zero-normalization applied.
+    pub fn effective_channel_capacity(&self) -> usize {
+        self.channel_capacity.max(1)
+    }
+
+    /// The suites a campaign drives, in ascending port order: the
+    /// registry when non-empty, else the classic single-suite view —
+    /// OPC UA on [`ScanConfig::port`].
+    pub fn effective_suites(&self) -> Vec<(u16, Arc<dyn ProtocolSuite>)> {
+        if self.suites.is_empty() {
+            vec![(
+                self.port,
+                Arc::new(OpcUaSuite::new()) as Arc<dyn ProtocolSuite>,
+            )]
+        } else {
+            self.suites
+                .iter()
+                .map(|(port, suite)| (port, Arc::clone(suite)))
+                .collect()
+        }
+    }
+}
+
+/// Why [`ScanConfigBuilder::build`] rejected a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `referral_depth > 0` but no registered suite follows referrals —
+    /// the depth budget could never be spent.
+    ReferralDepthWithoutReferralSuite,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ReferralDepthWithoutReferralSuite => write!(
+                f,
+                "referral_depth > 0 requires a registered suite with referral support \
+                 (set referral_depth to 0, or register a suite that follows referrals)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`ScanConfig`]: fluent setters, then a validating
+/// [`ScanConfigBuilder::build`] that normalizes the zero-means-one
+/// knobs exactly once.
+#[derive(Clone)]
+pub struct ScanConfigBuilder {
+    cfg: ScanConfig,
+}
+
+impl ScanConfigBuilder {
+    /// Sweep port for the classic single-suite configuration.
+    pub fn port(mut self, port: u16) -> Self {
+        self.cfg.port = port;
+        self
+    }
+
+    /// SYN probes per second for the sweep stage.
+    pub fn probes_per_second(mut self, pps: u64) -> Self {
+        self.cfg.probes_per_second = pps;
+        self
+    }
+
+    /// Source address the scanner connects from.
+    pub fn scanner_address(mut self, addr: Ipv4) -> Self {
+        self.cfg.scanner_address = addr;
+        self
+    }
+
+    /// OPC UA client identity/politeness configuration.
+    pub fn client(mut self, client: ClientConfig) -> Self {
+        self.cfg.client = client;
+        self
+    }
+
+    /// Budget for the traversal stage.
+    pub fn budget(mut self, budget: TraversalBudget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// Whether to attempt anonymous sessions at all.
+    pub fn attempt_session(mut self, attempt: bool) -> Self {
+        self.cfg.attempt_session = attempt;
+        self
+    }
+
+    /// Record-channel capacity (0 normalized to 1 at build).
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.channel_capacity = capacity;
+        self
+    }
+
+    /// Worker thread count (0 normalized to 1 at build).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Maximum referral-chain depth (0 disables referral following).
+    pub fn referral_depth(mut self, depth: u32) -> Self {
+        self.cfg.referral_depth = depth;
+        self
+    }
+
+    /// Maximum referral targets probed per campaign.
+    pub fn referral_budget(mut self, budget: usize) -> Self {
+        self.cfg.referral_budget = budget;
+        self
+    }
+
+    /// Which probe engine drives the campaign.
+    pub fn engine(mut self, engine: ScanEngine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Event-loop in-flight cap (0 normalized to 1 at build).
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        self.cfg.max_in_flight = cap;
+        self
+    }
+
+    /// Connect-phase retry/backoff policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Registers `suite` on `port` (replacing any suite already there).
+    pub fn suite(mut self, port: u16, suite: Arc<dyn ProtocolSuite>) -> Self {
+        self.cfg.suites.register(port, suite);
+        self
+    }
+
+    /// Replaces the whole suite registry.
+    pub fn suites(mut self, suites: SuiteRegistry) -> Self {
+        self.cfg.suites = suites;
+        self
+    }
+
+    /// Validates and finishes the configuration. The zero-means-one
+    /// knobs (`workers`, `max_in_flight`, `channel_capacity`,
+    /// `retry.max_attempts`) are normalized here, once, so engines can
+    /// rely on the invariant instead of re-checking at every use.
+    pub fn build(self) -> Result<ScanConfig, ConfigError> {
+        let mut cfg = self.cfg;
+        cfg.workers = cfg.workers.max(1);
+        cfg.max_in_flight = cfg.max_in_flight.max(1);
+        cfg.channel_capacity = cfg.channel_capacity.max(1);
+        cfg.retry.max_attempts = cfg.retry.max_attempts.max(1);
+        if cfg.referral_depth > 0
+            && !cfg
+                .effective_suites()
+                .iter()
+                .any(|(_, suite)| suite.follows_referrals())
+        {
+            return Err(ConfigError::ReferralDepthWithoutReferralSuite);
+        }
+        Ok(cfg)
     }
 }
 
@@ -191,6 +391,10 @@ pub struct ProbeContext<'a> {
     pub client: Option<UaClient<TcpStreamSim>>,
     /// Per-target nonce seed.
     pub seed: u64,
+    /// The protocol suite driving this probe — owns the connect-error
+    /// classification (defaults to plain OPC UA; engines install the
+    /// registered suite before the first stage runs).
+    pub suite: Arc<dyn ProtocolSuite>,
 }
 
 impl<'a> ProbeContext<'a> {
@@ -214,6 +418,7 @@ impl<'a> ProbeContext<'a> {
             endpoint_url: format!("opc.tcp://{target}:{port}/"),
             client: None,
             seed,
+            suite: Arc::new(OpcUaSuite::new()),
         }
     }
 
@@ -263,24 +468,19 @@ impl<'a> ProbeContext<'a> {
                     record.outcome = HostOutcome::Ok;
                     return Some(stream);
                 }
-                // RST is an answer: retrying a refusal is pointless.
-                Err(ConnectError::Refused) => {
-                    record.outcome = HostOutcome::Unreachable;
-                    return None;
-                }
-                Err(ConnectError::NoRoute) => {
-                    throttled = false;
-                    record.outcome = HostOutcome::TimedOut;
-                }
-                Err(ConnectError::Throttled) => {
-                    throttled = true;
-                    record.outcome = HostOutcome::Throttled;
-                }
-                // A silent tarpit stalls every attempt identically; one
-                // burned stall budget is enough evidence.
-                Err(ConnectError::Stalled) => {
-                    record.outcome = HostOutcome::Tarpitted;
-                    return None;
+                Err(err) => {
+                    // The suite owns the error→outcome taxonomy; the
+                    // retry ladder only decides what is worth retrying.
+                    record.outcome = self.suite.classify_connect_error(err);
+                    match err {
+                        // RST is an answer: retrying is pointless. A
+                        // silent tarpit stalls every attempt
+                        // identically; one burned stall budget is
+                        // enough evidence.
+                        ConnectError::Refused | ConnectError::Stalled => return None,
+                        ConnectError::NoRoute => throttled = false,
+                        ConnectError::Throttled => throttled = true,
+                    }
                 }
             }
         }
@@ -331,7 +531,7 @@ impl Probe for UacpProbe {
         );
         match client.handshake(&ctx.endpoint_url) {
             Ok(()) => {
-                record.hello_ok = true;
+                record.opcua_mut().hello_ok = true;
                 ctx.client = Some(client);
                 ProbeOutcome::Continue
             }
@@ -378,12 +578,13 @@ impl Probe for EndpointsProbe {
             Ok(eps) => eps,
             Err(_) => return ProbeOutcome::Stop,
         };
+        let payload = record.opcua_mut();
         if let Some(first) = endpoints.first() {
-            record.application_uri = first.server.application_uri.clone();
-            record.application_name = first.server.application_name.text.clone();
-            record.application_type = Some(first.server.application_type);
+            payload.application_uri = first.server.application_uri.clone();
+            payload.application_name = first.server.application_name.text.clone();
+            payload.application_type = Some(first.server.application_type);
         }
-        record.endpoints = endpoints
+        payload.endpoints = endpoints
             .iter()
             .map(|ep| EndpointSnapshot::from_description(ep, certs))
             .collect();
@@ -459,15 +660,16 @@ pub fn merge_find_servers(
     own_url: &OpcUrl,
     servers: &[ApplicationDescription],
 ) {
+    let payload = record.opcua_mut();
     for app in servers {
-        let is_self = (record.application_uri.is_some()
-            && app.application_uri == record.application_uri)
+        let is_self = (payload.application_uri.is_some()
+            && app.application_uri == payload.application_uri)
             || app
                 .discovery_urls
                 .iter()
                 .any(|u| OpcUrl::parse(u).is_ok_and(|p| p.same_target(own_url)));
         if is_self && app.application_type == ApplicationType::DiscoveryServer {
-            record.application_type = Some(ApplicationType::DiscoveryServer);
+            payload.application_type = Some(ApplicationType::DiscoveryServer);
         }
         for referred in &app.discovery_urls {
             let stored = match OpcUrl::parse(referred) {
@@ -481,8 +683,8 @@ pub fn merge_find_servers(
                 // referral engine counts them as unfollowable.
                 Err(_) => referred.clone(),
             };
-            if !record.referred_urls.contains(&stored) {
-                record.referred_urls.push(stored);
+            if !payload.referred_urls.contains(&stored) {
+                payload.referred_urls.push(stored);
             }
         }
     }
@@ -500,7 +702,7 @@ impl Probe for SessionProbe {
 
     fn run(&mut self, ctx: &mut ProbeContext<'_>, record: &mut ScanRecord) -> ProbeOutcome {
         if !ctx.config.attempt_session || !record.advertises_anonymous() {
-            record.session = SessionOutcome::NotAttempted;
+            record.opcua_mut().session = SessionOutcome::NotAttempted;
             return ProbeOutcome::Continue;
         }
         let url = ctx.endpoint_url.clone();
@@ -516,7 +718,7 @@ impl Probe for SessionProbe {
         });
         match attempt {
             Ok(()) => {
-                record.session = SessionOutcome::AnonymousActivated;
+                record.opcua_mut().session = SessionOutcome::AnonymousActivated;
                 // BuildInfo → SoftwareVersion (OPC UA NodeId i=2264):
                 // one cheap read before the traversal. Longitudinal
                 // campaigns diff this field week over week to detect
@@ -531,16 +733,16 @@ impl Probe for SessionProbe {
                         .filter(DataValue::is_good)
                         .and_then(|dv| dv.value)
                     {
-                        record.software_version = Some(v);
+                        record.opcua_mut().software_version = Some(v);
                     }
                 }
                 if let Ok(t) = traverse(client, &budget) {
-                    record.traversal = Some(TraversalSummary::from_traversal(&t));
+                    record.opcua_mut().traversal = Some(TraversalSummary::from_traversal(&t));
                 }
                 let _ = client.close_session();
             }
             Err(err) => {
-                record.session = classify_session_error(&err);
+                record.opcua_mut().session = classify_session_error(&err);
             }
         }
         ProbeOutcome::Continue
@@ -590,9 +792,10 @@ mod tests {
 
     fn base_record(uri: &str) -> ScanRecord {
         let mut r = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
-        r.hello_ok = true;
-        r.application_uri = Some(uri.into());
-        r.application_type = Some(ApplicationType::Server);
+        let payload = r.opcua_mut();
+        payload.hello_ok = true;
+        payload.application_uri = Some(uri.into());
+        payload.application_type = Some(ApplicationType::Server);
         r
     }
 
@@ -623,7 +826,10 @@ mod tests {
             )],
         );
         // Only the genuinely-foreign URL survives, canonicalized.
-        assert_eq!(record.referred_urls, vec!["opc.tcp://10.0.0.2:4840/"]);
+        assert_eq!(
+            record.opcua().referred_urls,
+            vec!["opc.tcp://10.0.0.2:4840/"]
+        );
     }
 
     #[test]
@@ -639,7 +845,10 @@ mod tests {
                 &["opc.tcp://10.0.0.1:4841/"],
             )],
         );
-        assert_eq!(record.referred_urls, vec!["opc.tcp://10.0.0.1:4841/"]);
+        assert_eq!(
+            record.opcua().referred_urls,
+            vec!["opc.tcp://10.0.0.1:4841/"]
+        );
     }
 
     #[test]
@@ -658,7 +867,7 @@ mod tests {
             )],
         );
         assert_eq!(
-            record.application_type,
+            record.application_type(),
             Some(ApplicationType::DiscoveryServer)
         );
     }
@@ -685,8 +894,11 @@ mod tests {
                 ),
             ],
         );
-        assert_eq!(record.application_type, Some(ApplicationType::Server));
-        assert_eq!(record.referred_urls, vec!["opc.tcp://10.9.9.9:4840/"]);
+        assert_eq!(record.application_type(), Some(ApplicationType::Server));
+        assert_eq!(
+            record.opcua().referred_urls,
+            vec!["opc.tcp://10.9.9.9:4840/"]
+        );
     }
 
     #[test]
@@ -695,7 +907,7 @@ mod tests {
         // still recognized via a discovery URL naming the probed target.
         let own = OpcUrl::parse("opc.tcp://10.0.0.1:4840/").unwrap();
         let mut record = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
-        record.hello_ok = true;
+        record.opcua_mut().hello_ok = true;
         merge_find_servers(
             &mut record,
             &own,
@@ -706,10 +918,10 @@ mod tests {
             )],
         );
         assert_eq!(
-            record.application_type,
+            record.application_type(),
             Some(ApplicationType::DiscoveryServer)
         );
-        assert!(record.referred_urls.is_empty());
+        assert!(record.referred_urls().is_empty());
     }
 
     #[test]
@@ -730,7 +942,7 @@ mod tests {
         ];
         merge_find_servers(&mut record, &own, &apps);
         assert_eq!(
-            record.referred_urls,
+            record.opcua().referred_urls,
             vec!["http://not-opcua.example/", "opc.tcp://10.0.0.3:4845/"]
         );
     }
@@ -759,5 +971,69 @@ mod tests {
         let stack = default_stack();
         let names: Vec<&str> = stack.iter().map(|p| p.name()).collect();
         assert_eq!(names, vec!["uacp", "endpoints", "find_servers", "session"]);
+    }
+
+    #[test]
+    fn builder_normalizes_and_keeps_defaults() {
+        let cfg = ScanConfig::builder()
+            .workers(0)
+            .max_in_flight(0)
+            .channel_capacity(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.max_in_flight, 1);
+        assert_eq!(cfg.channel_capacity, 1);
+        assert_eq!(cfg.retry.max_attempts, 1);
+        // Defaults survive untouched knobs; the empty registry means
+        // classic OPC UA on the configured port.
+        assert_eq!(cfg.port, 4840);
+        let suites = cfg.effective_suites();
+        assert_eq!(suites.len(), 1);
+        assert_eq!(suites[0].0, 4840);
+        assert_eq!(suites[0].1.name(), "opcua");
+    }
+
+    #[test]
+    fn builder_rejects_referral_depth_without_referral_suite() {
+        use crate::suite::UatTlsSuite;
+        let err = match ScanConfig::builder()
+            .suite(4843, Arc::new(UatTlsSuite::new()))
+            .referral_depth(2)
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("expected rejection"),
+        };
+        assert_eq!(err, ConfigError::ReferralDepthWithoutReferralSuite);
+        // Zero depth makes the same registry valid.
+        let cfg = ScanConfig::builder()
+            .suite(4843, Arc::new(UatTlsSuite::new()))
+            .referral_depth(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.effective_suites()[0].1.name(), "uat-tls");
+        // And adding a referral-capable suite does too.
+        let cfg = ScanConfig::builder()
+            .suite(4843, Arc::new(UatTlsSuite::new()))
+            .suite(4840, Arc::new(OpcUaSuite::new()))
+            .referral_depth(2)
+            .build()
+            .unwrap();
+        let ports: Vec<u16> = cfg.effective_suites().iter().map(|(p, _)| *p).collect();
+        assert_eq!(ports, vec![4840, 4843]);
+    }
+
+    #[test]
+    fn effective_knobs_centralize_zero_normalization() {
+        let cfg = ScanConfig {
+            workers: 0,
+            max_in_flight: 0,
+            channel_capacity: 0,
+            ..ScanConfig::default()
+        };
+        assert_eq!(cfg.effective_workers(), 1);
+        assert_eq!(cfg.effective_max_in_flight(), 1);
+        assert_eq!(cfg.effective_channel_capacity(), 1);
     }
 }

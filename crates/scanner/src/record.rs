@@ -1,11 +1,13 @@
 //! Per-target scan records — the data the measurement pipeline streams.
 //!
-//! One [`ScanRecord`] is produced per responsive host. It captures
-//! everything the paper's scanner extracts: the UACP handshake outcome,
-//! every advertised endpoint (mode, policy, identity tokens, certificate),
-//! referred discovery URLs, and — where anonymous sessions are permitted —
-//! a summary of the budgeted address-space traversal. The `assessment`
-//! crate consumes these records without ever touching the network layer.
+//! One [`ScanRecord`] is produced per responsive host. The network-level
+//! envelope (address, port, provenance, reachability, byte counters) is
+//! protocol-agnostic; everything a protocol suite extracts lives in a
+//! typed [`ProtocolPayload`] — the OPC UA snapshot (handshake outcome,
+//! advertised endpoints, referred discovery URLs, traversal summary) is
+//! one variant, the TLS-wrapped `uat-tls` transcript another. The
+//! `assessment` crate consumes these records without ever touching the
+//! network layer.
 
 use netsim::Ipv4;
 use std::sync::Arc;
@@ -102,10 +104,11 @@ impl DiscoveredVia {
 
 /// Outcome of the session-establishment stage (the paper's Table 2
 /// distinguishes exactly these failure stages).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SessionOutcome {
     /// No session was attempted (no anonymous token advertised, or the
     /// stage is disabled in the scan configuration).
+    #[default]
     NotAttempted,
     /// The secure-channel stage rejected us (Table 2 "Secure Channel").
     ChannelRejected,
@@ -172,11 +175,11 @@ impl TraversalSummary {
 /// connect/retry phase concluded before any protocol stage ran. The
 /// paper's sweep contends with loss, scan-detecting firewalls, and
 /// tarpits — without this taxonomy those hosts would silently vanish
-/// into the non-OPC-UA bucket and deficit rates would undercount.
+/// into the non-speaker bucket and deficit rates would undercount.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HostOutcome {
     /// The connect phase delivered a usable stream (whether or not the
-    /// peer then spoke OPC UA).
+    /// peer then spoke the probed protocol).
     #[default]
     Ok,
     /// The peer refused the connection (RST): live host, closed port —
@@ -206,20 +209,10 @@ impl HostOutcome {
     }
 }
 
-/// Everything the scanner learned about one responsive host.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ScanRecord {
-    /// Target address.
-    pub address: Ipv4,
-    /// TCP port the host was probed on (referral targets frequently
-    /// live on non-default ports).
-    pub port: u16,
-    /// How the scanner found this target.
-    pub via: DiscoveredVia,
-    /// Autonomous system announcing the address (0 if unannounced).
-    pub asn: u32,
-    /// Virtual unix time the probe started.
-    pub discovered_unix: i64,
+/// Everything the OPC UA probe ladder extracts from one host — the
+/// paper's per-host measurement, as one [`ProtocolPayload`] variant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpcUaPayload {
     /// UACP HEL/ACK succeeded — the host actually speaks OPC UA.
     pub hello_ok: bool,
     /// ApplicationUri from discovery (manufacturer clustering, §4).
@@ -241,6 +234,76 @@ pub struct ScanRecord {
     pub software_version: Option<String>,
     /// Traversal summary when an anonymous session succeeded.
     pub traversal: Option<TraversalSummary>,
+    /// Implementation recovered from the vendor-fingerprint stage
+    /// (error-taxonomy quirks on a malformed Hello), when that opt-in
+    /// stage ran and the quirk matched a known implementation.
+    pub vendor_fingerprint: Option<&'static str>,
+}
+
+/// What the `uat-tls` suite (the TLS-wrapped opc.tcp variant from
+/// "Missed Opportunities", Dahlmanns et al. 2022) extracts: the TLS
+/// prologue transcript plus the standard OPC UA measurement carried
+/// over the wrapped stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UatTlsPayload {
+    /// The TLS prologue completed — the host speaks uat-tls.
+    pub tls_ok: bool,
+    /// The certificate presented in the TLS prologue, interned
+    /// campaign-wide like endpoint certificates.
+    pub server_cert: Option<Arc<ParsedCert>>,
+    /// The prologue certificate was outside its validity window at
+    /// probe time (the "TLS-with-expired-cert" deficit).
+    pub cert_expired: bool,
+    /// The OPC UA measurement taken over the TLS-wrapped stream.
+    pub inner: OpcUaPayload,
+}
+
+/// The typed per-protocol measurement carried on every [`ScanRecord`].
+///
+/// Each registered `ProtocolSuite` installs its own variant as the
+/// record template before any stage runs; adding a suite means adding a
+/// variant here (payload matches stay exhaustive — `ua-lint` flags
+/// `_ =>` arms that would silently swallow a future suite).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolPayload {
+    /// The plain opc.tcp measurement (the 2020 paper's study).
+    OpcUa(OpcUaPayload),
+    /// The TLS-wrapped opc.tcp measurement ("Missed Opportunities").
+    UatTls(UatTlsPayload),
+}
+
+impl Default for ProtocolPayload {
+    fn default() -> Self {
+        ProtocolPayload::OpcUa(OpcUaPayload::default())
+    }
+}
+
+impl ProtocolPayload {
+    /// Stable suite label for reports and bench JSON.
+    pub fn protocol(&self) -> &'static str {
+        match self {
+            ProtocolPayload::OpcUa(_) => "opcua",
+            ProtocolPayload::UatTls(_) => "uat-tls",
+        }
+    }
+}
+
+/// Everything the scanner learned about one responsive host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanRecord {
+    /// Target address.
+    pub address: Ipv4,
+    /// TCP port the host was probed on (referral targets frequently
+    /// live on non-default ports).
+    pub port: u16,
+    /// How the scanner found this target.
+    pub via: DiscoveredVia,
+    /// Autonomous system announcing the address (0 if unannounced).
+    pub asn: u32,
+    /// Virtual unix time the probe started.
+    pub discovered_unix: i64,
+    /// The protocol suite's typed measurement.
+    pub payload: ProtocolPayload,
     /// Total requests issued against this host.
     pub requests: u64,
     /// Bytes sent to this host.
@@ -257,9 +320,9 @@ pub struct ScanRecord {
 }
 
 impl ScanRecord {
-    /// A fresh record for a sweep-discovered `address` on the default
-    /// port, before any probe ran. Targeted probes (referrals) use
-    /// [`Self::for_target`].
+    /// A fresh OPC UA record for a sweep-discovered `address` on the
+    /// default port, before any probe ran. Targeted probes (referrals)
+    /// use [`Self::for_target`].
     pub fn new(address: Ipv4, asn: u32, discovered_unix: i64) -> Self {
         Self::for_target(
             address,
@@ -271,7 +334,9 @@ impl ScanRecord {
     }
 
     /// A fresh record for an arbitrary `(address, port)` target with
-    /// explicit discovery provenance.
+    /// explicit discovery provenance. The payload defaults to the OPC
+    /// UA variant; engines driving another suite install that suite's
+    /// template ([`ProtocolPayload`]) before the first stage runs.
     pub fn for_target(
         address: Ipv4,
         port: u16,
@@ -285,15 +350,7 @@ impl ScanRecord {
             via,
             asn,
             discovered_unix,
-            hello_ok: false,
-            application_uri: None,
-            application_name: None,
-            application_type: None,
-            endpoints: Vec::new(),
-            referred_urls: Vec::new(),
-            session: SessionOutcome::NotAttempted,
-            software_version: None,
-            traversal: None,
+            payload: ProtocolPayload::default(),
             requests: 0,
             tx_bytes: 0,
             rx_bytes: 0,
@@ -303,10 +360,123 @@ impl ScanRecord {
         }
     }
 
+    /// The OPC UA measurement, total over every suite: the `uat-tls`
+    /// variant delegates to the measurement taken over its wrapped
+    /// stream, so OPC UA probe stages and assessment rules operate on
+    /// any record without matching the payload.
+    pub fn opcua(&self) -> &OpcUaPayload {
+        match &self.payload {
+            ProtocolPayload::OpcUa(p) => p,
+            ProtocolPayload::UatTls(t) => &t.inner,
+        }
+    }
+
+    /// Mutable access to the OPC UA measurement (total, like
+    /// [`Self::opcua`]) — what the shared probe stages write through.
+    pub fn opcua_mut(&mut self) -> &mut OpcUaPayload {
+        match &mut self.payload {
+            ProtocolPayload::OpcUa(p) => p,
+            ProtocolPayload::UatTls(t) => &mut t.inner,
+        }
+    }
+
+    /// The `uat-tls` transcript, when this record was probed by that
+    /// suite.
+    pub fn uat_tls(&self) -> Option<&UatTlsPayload> {
+        match &self.payload {
+            ProtocolPayload::OpcUa(_) => None,
+            ProtocolPayload::UatTls(t) => Some(t),
+        }
+    }
+
+    /// Mutable `uat-tls` transcript access (None for other suites).
+    pub fn uat_tls_mut(&mut self) -> Option<&mut UatTlsPayload> {
+        match &mut self.payload {
+            ProtocolPayload::OpcUa(_) => None,
+            ProtocolPayload::UatTls(t) => Some(t),
+        }
+    }
+
+    /// True when the host spoke the probed suite's protocol — the
+    /// suite-generic version of the old `hello_ok` gate: OPC UA records
+    /// require the UACP handshake, `uat-tls` records the TLS prologue.
+    pub fn speaks(&self) -> bool {
+        match &self.payload {
+            ProtocolPayload::OpcUa(p) => p.hello_ok,
+            ProtocolPayload::UatTls(t) => t.tls_ok,
+        }
+    }
+
+    /// Stable label of the suite that probed this record.
+    pub fn protocol(&self) -> &'static str {
+        self.payload.protocol()
+    }
+
+    /// UACP HEL/ACK succeeded (over the TLS wrap for `uat-tls`).
+    pub fn hello_ok(&self) -> bool {
+        self.opcua().hello_ok
+    }
+
+    /// ApplicationUri from discovery.
+    pub fn application_uri(&self) -> Option<&str> {
+        self.opcua().application_uri.as_deref()
+    }
+
+    /// Application display name from discovery.
+    pub fn application_name(&self) -> Option<&str> {
+        self.opcua().application_name.as_deref()
+    }
+
+    /// Application type from discovery.
+    pub fn application_type(&self) -> Option<ApplicationType> {
+        self.opcua().application_type
+    }
+
+    /// Advertised endpoints.
+    pub fn endpoints(&self) -> &[EndpointSnapshot] {
+        &self.opcua().endpoints
+    }
+
+    /// Discovery URLs of *other* servers announced via FindServers.
+    pub fn referred_urls(&self) -> &[String] {
+        &self.opcua().referred_urls
+    }
+
+    /// Outcome of the session stage.
+    pub fn session(&self) -> SessionOutcome {
+        self.opcua().session
+    }
+
+    /// Reported `SoftwareVersion`, where an anonymous session read it.
+    pub fn software_version(&self) -> Option<&str> {
+        self.opcua().software_version.as_deref()
+    }
+
+    /// Traversal summary when an anonymous session succeeded.
+    pub fn traversal(&self) -> Option<TraversalSummary> {
+        self.opcua().traversal
+    }
+
+    /// Implementation recovered by the vendor-fingerprint stage.
+    pub fn vendor_fingerprint(&self) -> Option<&'static str> {
+        self.opcua().vendor_fingerprint
+    }
+
+    /// Folds a side-connection's traffic into the record's accounting.
+    /// Stages that open extra connections beyond the main client (the
+    /// vendor-fingerprint probe) call this; the engine separately folds
+    /// the main client's stats when the stack finishes.
+    pub fn account(&mut self, stream: &netsim::TcpStreamSim) {
+        let stats = stream.stats();
+        self.requests += 1;
+        self.tx_bytes += stats.tx_bytes;
+        self.rx_bytes += stats.rx_bytes;
+    }
+
     /// The strongest (mode, policy) pairing advertised, by the paper's
     /// strength ranking (Figure 3 "most secure configuration").
     pub fn best_endpoint(&self) -> Option<&EndpointSnapshot> {
-        self.endpoints.iter().max_by_key(|e| {
+        self.endpoints().iter().max_by_key(|e| {
             (
                 e.security_policy.map_or(0, |p| p.strength()),
                 e.security_mode.strength(),
@@ -317,7 +487,7 @@ impl ScanRecord {
     /// The weakest (mode, policy) pairing advertised (Figure 3 "least
     /// secure configuration").
     pub fn worst_endpoint(&self) -> Option<&EndpointSnapshot> {
-        self.endpoints.iter().min_by_key(|e| {
+        self.endpoints().iter().min_by_key(|e| {
             (
                 e.security_policy.map_or(0, |p| p.strength()),
                 e.security_mode.strength(),
@@ -327,37 +497,44 @@ impl ScanRecord {
 
     /// True if any endpoint offers the given security mode.
     pub fn offers_mode(&self, mode: MessageSecurityMode) -> bool {
-        self.endpoints.iter().any(|e| e.security_mode == mode)
+        self.endpoints().iter().any(|e| e.security_mode == mode)
     }
 
     /// True if any endpoint offers the given policy.
     pub fn offers_policy(&self, policy: SecurityPolicy) -> bool {
-        self.endpoints
+        self.endpoints()
             .iter()
             .any(|e| e.security_policy == Some(policy))
     }
 
     /// True if any endpoint advertises anonymous authentication.
     pub fn advertises_anonymous(&self) -> bool {
-        self.endpoints
+        self.endpoints()
             .iter()
             .any(EndpointSnapshot::allows_anonymous)
     }
 
     /// Distinct certificates delivered by this host, as interned
-    /// handles (parsed fields and thumbprint precomputed).
+    /// handles (parsed fields and thumbprint precomputed). Includes the
+    /// `uat-tls` prologue certificate, when one was presented.
     pub fn certificates(&self) -> Vec<&Arc<ParsedCert>> {
         let mut seen: Vec<&Arc<ParsedCert>> = Vec::new();
-        for ep in &self.endpoints {
-            if let Some(cert) = ep.certificate.as_ref() {
-                // Pointer equality is the common case (one store per
-                // campaign); DER equality covers mixed-store records.
-                if !seen
-                    .iter()
-                    .any(|s| Arc::ptr_eq(s, cert) || s.der() == cert.der())
-                {
-                    seen.push(cert);
-                }
+        let prologue = match &self.payload {
+            ProtocolPayload::OpcUa(_) => None,
+            ProtocolPayload::UatTls(t) => t.server_cert.as_ref(),
+        };
+        for cert in prologue.into_iter().chain(
+            self.endpoints()
+                .iter()
+                .filter_map(|ep| ep.certificate.as_ref()),
+        ) {
+            // Pointer equality is the common case (one store per
+            // campaign); DER equality covers mixed-store records.
+            if !seen
+                .iter()
+                .any(|s| Arc::ptr_eq(s, cert) || s.der() == cert.der())
+            {
+                seen.push(cert);
             }
         }
         seen
@@ -365,7 +542,7 @@ impl ScanRecord {
 
     /// True if this host is a discovery server (LDS).
     pub fn is_discovery_server(&self) -> bool {
-        self.application_type == Some(ApplicationType::DiscoveryServer)
+        self.application_type() == Some(ApplicationType::DiscoveryServer)
     }
 }
 
@@ -392,7 +569,7 @@ mod tests {
 
     fn record_with(endpoints: Vec<EndpointSnapshot>) -> ScanRecord {
         let mut r = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
-        r.endpoints = endpoints;
+        r.opcua_mut().endpoints = endpoints;
         r
     }
 
@@ -501,6 +678,55 @@ mod tests {
         assert_eq!(referred.port, 4842);
         assert!(referred.via.is_referral());
         assert_eq!(referred.via.depth(), 2);
+    }
+
+    #[test]
+    fn payload_accessors_are_total_over_suites() {
+        let mut opcua = ScanRecord::new(Ipv4::new(10, 0, 0, 1), 0, 0);
+        assert_eq!(opcua.protocol(), "opcua");
+        assert!(!opcua.speaks());
+        opcua.opcua_mut().hello_ok = true;
+        assert!(opcua.speaks());
+        assert!(opcua.hello_ok());
+        assert!(opcua.uat_tls().is_none());
+        assert!(opcua.uat_tls_mut().is_none());
+
+        // The uat-tls variant delegates the OPC UA accessors to the
+        // wrapped measurement — `speaks` keys on the TLS prologue.
+        let mut tls =
+            ScanRecord::for_target(Ipv4::new(10, 0, 0, 2), 4843, DiscoveredVia::Sweep, 0, 0);
+        tls.payload = ProtocolPayload::UatTls(UatTlsPayload::default());
+        assert_eq!(tls.protocol(), "uat-tls");
+        tls.opcua_mut().hello_ok = true;
+        assert!(tls.hello_ok());
+        assert!(!tls.speaks());
+        tls.uat_tls_mut().unwrap().tls_ok = true;
+        assert!(tls.speaks());
+        assert!(tls.uat_tls().unwrap().inner.hello_ok);
+        assert!(!tls.uat_tls().unwrap().cert_expired);
+    }
+
+    #[test]
+    fn uat_tls_prologue_cert_joins_certificates() {
+        let certs = CertStore::new();
+        let mut r =
+            ScanRecord::for_target(Ipv4::new(10, 0, 0, 3), 4843, DiscoveredVia::Sweep, 0, 0);
+        r.payload = ProtocolPayload::UatTls(UatTlsPayload {
+            tls_ok: true,
+            server_cert: Some(certs.intern(&[5, 5])),
+            cert_expired: false,
+            inner: OpcUaPayload::default(),
+        });
+        // The prologue cert alone.
+        assert_eq!(r.certificates().len(), 1);
+        // An endpoint serving the same DER deduplicates against it.
+        let mut ep = EndpointSnapshot::from_description(
+            &endpoint(MessageSecurityMode::None, SecurityPolicy::None),
+            &certs,
+        );
+        ep.certificate = Some(certs.intern(&[5, 5]));
+        r.opcua_mut().endpoints = vec![ep];
+        assert_eq!(r.certificates().len(), 1);
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //!   reported so a [`SweepCheckpoint`] can resume deterministically.
 
 use crate::pipeline::ReferralStats;
-use crate::probe::{default_stack, Probe, ProbeContext, ProbeOutcome, ScanConfig};
+use crate::probe::{Probe, ProbeContext, ProbeOutcome, ScanConfig};
 use crate::record::{DiscoveredVia, ScanRecord};
+use crate::suite::{OpcUaSuite, ProtocolSuite};
 use netsim::{Internet, Ipv4, SweepStats, TcpStreamSim, VirtualClock};
 // ua-lint: allow(unordered-iteration) -- wheel/engine maps are id-keyed lookups; emission order comes from the sequence cursor
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -458,7 +459,12 @@ pub struct SweepCheckpoint {
     pub epoch_micros: u64,
     /// `started_unix` the final summary must report.
     pub started_unix: i64,
-    /// True when the sweep finished and only referral levels remain.
+    /// Index (into [`crate::probe::ScanConfig::effective_suites`]) of
+    /// the suite phase the abort landed in; earlier phases are complete
+    /// and resume skips them entirely.
+    pub suite_cursor: usize,
+    /// True when the current phase's sweep finished and only its
+    /// referral levels remain.
     pub sweep_done: bool,
     /// First permutation-walk step the aborted run never examined.
     /// Resume re-walks the permutation and treats earlier steps as
@@ -574,6 +580,9 @@ pub(crate) struct EventLoop<'a> {
     /// virtual microsecond past the epoch.
     engine_clock: VirtualClock,
     epoch_micros: u64,
+    /// The suite whose phase the engine is currently driving; its stack
+    /// and payload template are installed by [`EventLoop::set_suite`].
+    suite: Arc<dyn ProtocolSuite>,
     stack: Vec<Box<dyn Probe>>,
     wheel: TimerWheel<usize>,
     slots: Vec<Option<InFlight>>,
@@ -594,6 +603,7 @@ impl<'a> EventLoop<'a> {
         certs: &'a CertStore,
         epoch: &'a VirtualClock,
     ) -> Self {
+        let suite: Arc<dyn ProtocolSuite> = Arc::new(OpcUaSuite::new());
         EventLoop {
             internet,
             config,
@@ -601,7 +611,8 @@ impl<'a> EventLoop<'a> {
             epoch,
             engine_clock: epoch.fork(),
             epoch_micros: epoch.now_micros(),
-            stack: default_stack(),
+            stack: suite.stack(),
+            suite,
             wheel: TimerWheel::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -609,8 +620,21 @@ impl<'a> EventLoop<'a> {
             // ua-lint: allow(unordered-iteration) -- drained by sequence cursor, never iterated
             ready: HashMap::new(),
             stats: EngineStats::default(),
-            cap: config.max_in_flight.max(1),
+            cap: config.effective_max_in_flight(),
         }
+    }
+
+    /// Installs the suite whose phase the next [`EventLoop::run`] calls
+    /// drive: its stage ladder replaces the current one and its payload
+    /// template goes onto every subsequently admitted record. Must only
+    /// be called between runs (no probes in flight).
+    pub fn set_suite(&mut self, suite: Arc<dyn ProtocolSuite>) {
+        debug_assert!(
+            self.pending.is_empty(),
+            "suite change with probes in flight"
+        );
+        self.stack = suite.stack();
+        self.suite = suite;
     }
 
     pub fn stats(&self) -> EngineStats {
@@ -709,13 +733,14 @@ impl<'a> EventLoop<'a> {
             .latency_hint_micros();
         let clock = self.epoch.fork();
         let net = self.internet.with_clock(clock.clone());
-        let record = ScanRecord::for_target(
+        let mut record = ScanRecord::for_target(
             job.addr,
             job.port,
             job.via,
             net.as_number(job.addr),
             clock.now_unix_seconds(),
         );
+        record.payload = self.suite.payload();
         let flight = InFlight {
             ordinal: job.ordinal,
             addr: job.addr,
@@ -761,6 +786,7 @@ impl<'a> EventLoop<'a> {
             flight.port,
             flight.seed,
         );
+        ctx.suite = Arc::clone(&self.suite);
         ctx.client = flight.client.take();
         let outcome = self.stack[flight.stage].run(&mut ctx, &mut flight.record);
         flight.client = ctx.client.take();
@@ -771,11 +797,14 @@ impl<'a> EventLoop<'a> {
             .now_micros()
             .saturating_sub(flight.start_micros);
         if outcome == ProbeOutcome::Stop || flight.stage >= self.stack.len() {
+            // Added, not assigned: side-connection stages (vendor
+            // fingerprinting) fold their traffic in via
+            // `ScanRecord::account` as they run.
             if let Some(client) = &flight.client {
-                flight.record.requests = client.requests_sent();
+                flight.record.requests += client.requests_sent();
                 let stats = client.stats();
-                flight.record.tx_bytes = stats.tx_bytes;
-                flight.record.rx_bytes = stats.rx_bytes;
+                flight.record.tx_bytes += stats.tx_bytes;
+                flight.record.rx_bytes += stats.rx_bytes;
             }
             self.stats.completed += 1;
             self.ready

@@ -1,0 +1,55 @@
+//! Seeded violations for the `payload-exhaustive` rule. NOT compiled.
+
+fn swallows_future_suites(r: &ScanRecord) -> usize {
+    match &r.payload {
+        ProtocolPayload::OpcUa(p) => p.endpoints.len(),
+        _ => 0,
+    }
+}
+
+fn guarded_wildcard(r: &ScanRecord) -> &'static str {
+    match &r.payload {
+        ProtocolPayload::OpcUa(_) => "opcua",
+        _ if r.port == 4843 => "probably-tls",
+        ProtocolPayload::UatTls(_) => "uat-tls",
+    }
+}
+
+fn exhaustive_is_fine(r: &ScanRecord) -> &'static str {
+    match &r.payload {
+        ProtocolPayload::OpcUa(_) => "opcua",
+        ProtocolPayload::UatTls(_) => "uat-tls",
+    }
+}
+
+fn inner_underscores_are_patterns_not_arms(r: &ScanRecord) -> usize {
+    match &r.payload {
+        ProtocolPayload::OpcUa(OpcUaPayload { endpoints, .. }) => endpoints.len(),
+        ProtocolPayload::UatTls(_) => 0,
+    }
+}
+
+fn unrelated_matches_may_wildcard(outcome: HostOutcome) -> u8 {
+    match outcome {
+        HostOutcome::Ok => 0,
+        _ => 1,
+    }
+}
+
+fn nested_unrelated_match_may_wildcard(r: &ScanRecord) -> u8 {
+    match &r.payload {
+        ProtocolPayload::OpcUa(p) => match p.session {
+            SessionOutcome::AnonymousActivated => 1,
+            _ => 0,
+        },
+        ProtocolPayload::UatTls(_) => 2,
+    }
+}
+
+fn waived_wildcard(r: &ScanRecord) -> bool {
+    match &r.payload {
+        ProtocolPayload::OpcUa(p) => p.hello_ok,
+        // ua-lint: allow(payload-exhaustive) -- label-only dispatch, suite-independent
+        _ => false,
+    }
+}

@@ -70,6 +70,9 @@ pub fn applicable_rules(ctx: &FileCtx) -> Vec<Rule> {
     if ctx.crate_name != RAND_CRATE {
         rules.push(Rule::AmbientRandomness);
     }
+    // Exhaustiveness over the payload enum matters wherever records are
+    // consumed — library, test, example, and bench code alike.
+    rules.push(Rule::PayloadExhaustive);
     if ctx.kind == FileKind::Lib {
         if OUTPUT_PRODUCING.contains(&ctx.crate_name.as_str()) {
             rules.push(Rule::UnorderedIteration);
@@ -190,6 +193,7 @@ pub fn lint_rust_source(src: &str, ctx: &FileCtx) -> (Vec<Finding>, usize) {
             }
             Rule::PanicHygiene => findings.extend(rules::panic_hygiene(&lexed, &regions)),
             Rule::NestedLock => findings.extend(rules::nested_lock(&lexed, &regions)),
+            Rule::PayloadExhaustive => findings.extend(rules::payload_exhaustive(&lexed)),
             Rule::Hermeticity | Rule::BadSuppression => {}
         }
     }

@@ -16,6 +16,7 @@ pub enum Rule {
     PanicHygiene,
     NestedLock,
     Hermeticity,
+    PayloadExhaustive,
     /// Fired when a suppression comment itself is malformed: unknown
     /// rule id or missing the `-- <why>` justification. Cannot be
     /// suppressed.
@@ -23,13 +24,14 @@ pub enum Rule {
 }
 
 impl Rule {
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::WallClock,
         Rule::AmbientRandomness,
         Rule::UnorderedIteration,
         Rule::PanicHygiene,
         Rule::NestedLock,
         Rule::Hermeticity,
+        Rule::PayloadExhaustive,
         Rule::BadSuppression,
     ];
 
@@ -41,6 +43,7 @@ impl Rule {
             Rule::PanicHygiene => "panic-hygiene",
             Rule::NestedLock => "nested-lock",
             Rule::Hermeticity => "hermeticity",
+            Rule::PayloadExhaustive => "payload-exhaustive",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -76,6 +79,11 @@ impl Rule {
             Rule::Hermeticity => {
                 "non-path, non-workspace entries in any Cargo.toml dependency table; builds run \
                  hermetically with no registry access"
+            }
+            Rule::PayloadExhaustive => {
+                "`_` arms in matches over ProtocolPayload; a wildcard silently swallows the \
+                 records of any protocol suite added later, so consumers undercount instead of \
+                 failing to compile"
             }
             Rule::BadSuppression => {
                 "suppression comments that name an unknown rule or omit the `-- <why>` \
@@ -114,6 +122,11 @@ impl Rule {
                 "vendor the crate under crates/ and depend on it by path, or inherit a \
                  workspace dependency; to keep it, annotate in the manifest: \
                  # ua-lint: allow(hermeticity) -- <why>"
+            }
+            Rule::PayloadExhaustive => {
+                "spell out every ProtocolPayload variant so a new suite is a compile error at \
+                 this site; if the wildcard is provably variant-independent, annotate: \
+                 // ua-lint: allow(payload-exhaustive) -- <why>"
             }
             Rule::BadSuppression => {
                 "write `ua-lint: allow(<rule-id>) -- <why>` with a real justification after `--`"
@@ -461,6 +474,103 @@ pub fn nested_lock(lexed: &Lexed, regions: &[(usize, usize)]) -> Vec<Finding> {
                 ),
             });
         }
+    }
+    out
+}
+
+/// `payload-exhaustive`: a `match` that names `ProtocolPayload` (in
+/// its scrutinee or arms) must not carry a top-level `_` arm. The
+/// payload enum is the extension point of the probe layer: every
+/// consumer spelling its variants out is what turns "add a suite" into
+/// a compile error at each consumption site instead of a silent
+/// undercount.
+pub fn payload_exhaustive(lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("match") {
+            i += 1;
+            continue;
+        }
+        // The match body: the first `{` after the scrutinee, at paren/
+        // bracket depth zero. (Struct literals cannot appear bare in a
+        // match scrutinee, so this brace is unambiguous.)
+        let mut j = i + 1;
+        let (mut paren, mut bracket) = (0i32, 0i32);
+        let mut body = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if paren == 0 && bracket == 0 {
+                if t.is_punct('{') {
+                    body = Some(j);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body else {
+            i += 1;
+            continue;
+        };
+        let close = match matching(toks, open, '{', '}') {
+            Some(c) => c,
+            None => break,
+        };
+        let mentions_payload = toks[i..=close]
+            .iter()
+            .any(|t| t.is_ident("ProtocolPayload"));
+        if mentions_payload {
+            // A wildcard arm is a bare `_` at the top level of the
+            // body (outside any nested delimiters), starting a pattern:
+            // `_ =>` or `_ if guard =>`. Underscores inside patterns
+            // (`OpcUa(_)`, `Foo { x: _ }`) sit at deeper delimiter
+            // depth and are fine.
+            let (mut p, mut bk, mut br) = (0i32, 0i32, 0i32);
+            for k in open + 1..close {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    p += 1;
+                } else if t.is_punct(')') {
+                    p -= 1;
+                } else if t.is_punct('[') {
+                    bk += 1;
+                } else if t.is_punct(']') {
+                    bk -= 1;
+                } else if t.is_punct('{') {
+                    br += 1;
+                } else if t.is_punct('}') {
+                    br -= 1;
+                } else if p == 0
+                    && bk == 0
+                    && br == 0
+                    && t.is_ident("_")
+                    && toks
+                        .get(k + 1)
+                        .is_some_and(|n| n.is_ident("if") || n.is_punct('='))
+                {
+                    out.push(Finding {
+                        rule: Rule::PayloadExhaustive,
+                        line: t.line,
+                        message: "`_` arm in a match over `ProtocolPayload`: a wildcard swallows \
+                                  future protocol suites silently"
+                            .into(),
+                    });
+                }
+            }
+        }
+        i = open + 1;
     }
     out
 }

@@ -75,6 +75,11 @@ fn nested_lock_golden() {
 }
 
 #[test]
+fn payload_exhaustive_golden() {
+    check_rust_fixture("payload_exhaustive.rs");
+}
+
+#[test]
 fn suppressed_golden() {
     check_rust_fixture("suppressed.rs");
 }

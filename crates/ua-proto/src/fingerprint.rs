@@ -1,0 +1,97 @@
+//! Vendor fingerprinting via transport-error taxonomy.
+//!
+//! Erba et al. (2021) showed OPC UA implementations are distinguishable
+//! by how they *fail*: the status code a stack returns for a malformed
+//! hello is an implementation detail no specification pins down, so each
+//! vendor's choice is a stable fingerprint. The scanner's fingerprint
+//! stage sends a `HEL` with an absurd protocol version
+//! ([`PROBE_PROTOCOL_VERSION`]) and reads the `ERR` taxonomy off the
+//! answer; this module is the shared quirk table — `ua-server` consults
+//! it to plant the quirks, the scanner to recover them.
+
+use ua_types::StatusCode;
+
+/// The deliberately-invalid protocol version the fingerprint probe
+/// sends (real clients always send 0).
+pub const PROBE_PROTOCOL_VERSION: u32 = 0xFFFF_FFFF;
+
+/// The suffix every simulated vendor appends to its application name.
+const APPLICATION_NAME_SUFFIX: &str = " OPC UA Server";
+
+/// Vendor → the `ERR` status its stack returns for a bad-version hello.
+/// Keyed by the vendor prefix of the server's application name; the
+/// codes are pairwise distinct (asserted in tests) so the taxonomy is
+/// an injective fingerprint.
+pub const VENDOR_QUIRKS: [(&str, StatusCode); 6] = [
+    ("Bachfeld", StatusCode::BAD_TCP_ENDPOINT_URL_INVALID),
+    ("Siegwart", StatusCode::BAD_TCP_MESSAGE_TOO_LARGE),
+    ("Acme Automation", StatusCode::BAD_TCP_INTERNAL_ERROR),
+    ("Hydrotec", StatusCode::BAD_COMMUNICATION_ERROR),
+    ("Voltaris", StatusCode::BAD_SERVICE_UNSUPPORTED),
+    ("Ferrum Works", StatusCode::BAD_UNEXPECTED_ERROR),
+];
+
+/// The error status `vendor`'s stack answers a bad-version hello with,
+/// or `None` for vendors (or non-vendor names) without a known quirk —
+/// those stacks ignore the version field entirely, the lenient default.
+pub fn quirk_for_vendor(vendor: &str) -> Option<StatusCode> {
+    VENDOR_QUIRKS
+        .iter()
+        .find(|(v, _)| *v == vendor)
+        .map(|&(_, status)| status)
+}
+
+/// Reverse lookup: the vendor whose stack signs its bad-version `ERR`
+/// with `status`, if the taxonomy knows it.
+pub fn vendor_for_quirk(status: StatusCode) -> Option<&'static str> {
+    VENDOR_QUIRKS
+        .iter()
+        .find(|&&(_, s)| s == status)
+        .map(|&(v, _)| v)
+}
+
+/// Extracts the vendor prefix from a simulated application name
+/// (`"Hydrotec OPC UA Server"` → `Some("Hydrotec")`). Returns the
+/// table's `'static` spelling so callers can compare by identity.
+pub fn vendor_of_application_name(application_name: &str) -> Option<&'static str> {
+    let vendor = application_name.strip_suffix(APPLICATION_NAME_SUFFIX)?;
+    VENDOR_QUIRKS
+        .iter()
+        .find(|(v, _)| *v == vendor)
+        .map(|&(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_injective() {
+        for (i, (_, a)) in VENDOR_QUIRKS.iter().enumerate() {
+            for (_, b) in &VENDOR_QUIRKS[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn quirk_roundtrip() {
+        for &(vendor, status) in &VENDOR_QUIRKS {
+            assert_eq!(quirk_for_vendor(vendor), Some(status));
+            assert_eq!(vendor_for_quirk(status), Some(vendor));
+        }
+        assert_eq!(quirk_for_vendor("Unknown Corp"), None);
+        assert_eq!(vendor_for_quirk(StatusCode::GOOD), None);
+    }
+
+    #[test]
+    fn application_name_parsing() {
+        assert_eq!(
+            vendor_of_application_name("Hydrotec OPC UA Server"),
+            Some("Hydrotec")
+        );
+        // The plain presets carry no vendor prefix.
+        assert_eq!(vendor_of_application_name("OPC UA Server"), None);
+        assert_eq!(vendor_of_application_name("Mystery OPC UA Server"), None);
+    }
+}

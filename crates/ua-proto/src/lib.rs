@@ -10,7 +10,11 @@
 //!   [`services::ServiceBody`] dispatcher;
 //! * [`secure`] — asymmetric (`OPN`, RSA) and symmetric (`MSG`,
 //!   HMAC + AES-CBC) chunk protection with `P_SHA` key derivation;
-//! * [`chunk`] — chunking and bounded reassembly.
+//! * [`chunk`] — chunking and bounded reassembly;
+//! * [`uatls`] — the `uat-tls` prologue framing (TLS-wrapped opc.tcp,
+//!   after "Missed Opportunities");
+//! * [`fingerprint`] — the vendor error-taxonomy quirk table the
+//!   fingerprint probe recovers.
 //!
 //! The crate is transport-agnostic: it turns byte slices into messages
 //! and back. `ua-server` and `ua-client` drive it over `netsim` streams.
@@ -19,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod chunk;
+pub mod fingerprint;
 pub mod secure;
 pub mod services;
 pub mod transport;
+pub mod uatls;
 
 pub use chunk::{chunk_message, AssembledMessage, Reassembler, ReassemblyError};
 pub use secure::{

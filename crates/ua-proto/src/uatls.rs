@@ -1,0 +1,120 @@
+//! The `uat-tls` prologue: a deliberately tiny stand-in for a TLS
+//! handshake in front of opc.tcp, modeled on the TLS-wrapped IIoT
+//! deployments of "Missed Opportunities" (Dahlmanns et al., 2022).
+//!
+//! The simulation does not re-implement TLS; it reproduces what the
+//! *measurement* observes: one handshake round-trip in which the server
+//! presents (or fails to present) a certificate, followed by an opaque
+//! byte-passthrough carrying ordinary UACP. The prologue is two fixed
+//! frames:
+//!
+//! ```text
+//! client → server   "UATLSCH1"                                (8 bytes)
+//! server → client   "UATLSSH1" ‖ flags:u8 ‖ cert_len:u32le ‖ cert DER
+//! ```
+//!
+//! `flags` bit 0 ([`FLAG_CERT_PRESENT`]) says whether a certificate
+//! follows; servers running without one (a deficit the assessment
+//! reports) clear it and send `cert_len = 0`. After the prologue both
+//! sides speak plain UACP on the same connection.
+
+use ua_types::CodecError;
+
+/// The client's prologue frame (a stand-in for ClientHello).
+pub const CLIENT_HELLO: [u8; 8] = *b"UATLSCH1";
+
+/// Magic prefix of the server's prologue reply (ServerHello +
+/// Certificate in one frame).
+pub const SERVER_HELLO: [u8; 8] = *b"UATLSSH1";
+
+/// Flags bit 0: a certificate DER follows the length field.
+pub const FLAG_CERT_PRESENT: u8 = 0x01;
+
+/// The parsed server prologue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// The certificate the server presented, if any (DER).
+    pub cert_der: Option<Vec<u8>>,
+}
+
+/// Encodes the server's prologue reply.
+pub fn encode_server_hello(cert_der: Option<&[u8]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + cert_der.map_or(0, <[u8]>::len));
+    out.extend_from_slice(&SERVER_HELLO);
+    match cert_der {
+        Some(der) => {
+            out.push(FLAG_CERT_PRESENT);
+            out.extend_from_slice(&(der.len() as u32).to_le_bytes());
+            out.extend_from_slice(der);
+        }
+        None => {
+            out.push(0);
+            out.extend_from_slice(&0u32.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes the server's prologue reply. The frame must be exact: any
+/// trailing bytes mean the peer is not speaking the prologue (UACP data
+/// must never be smuggled into it).
+pub fn decode_server_hello(data: &[u8]) -> Result<ServerHello, CodecError> {
+    if data.len() < 13 || data[..8] != SERVER_HELLO {
+        return Err(CodecError::Invalid("not a uat-tls server hello"));
+    }
+    let flags = data[8];
+    let len = u32::from_le_bytes([data[9], data[10], data[11], data[12]]) as usize;
+    if data.len() != 13 + len {
+        return Err(CodecError::BadLength(len as i64));
+    }
+    let cert_der = if flags & FLAG_CERT_PRESENT != 0 {
+        if len == 0 {
+            return Err(CodecError::Invalid("cert flag set but no certificate"));
+        }
+        Some(data[13..].to_vec())
+    } else {
+        if len != 0 {
+            return Err(CodecError::Invalid("certificate without cert flag"));
+        }
+        None
+    };
+    Ok(ServerHello { cert_der })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_cert() {
+        let der = vec![0x30, 0x82, 0x01, 0x0a, 0xff];
+        let bytes = encode_server_hello(Some(&der));
+        let hello = decode_server_hello(&bytes).unwrap();
+        assert_eq!(hello.cert_der.as_deref(), Some(der.as_slice()));
+    }
+
+    #[test]
+    fn roundtrip_without_cert() {
+        let bytes = encode_server_hello(None);
+        assert_eq!(bytes.len(), 13);
+        let hello = decode_server_hello(&bytes).unwrap();
+        assert_eq!(hello.cert_der, None);
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_bad_lengths() {
+        assert!(decode_server_hello(b"GARBAGE!GARBAGE!").is_err());
+        assert!(decode_server_hello(&SERVER_HELLO).is_err());
+        // Length field longer than the frame.
+        let mut bytes = encode_server_hello(Some(&[1, 2, 3]));
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_server_hello(&bytes).is_err());
+        // Flag/length disagreement both ways.
+        let mut bytes = encode_server_hello(Some(&[1]));
+        bytes[8] = 0; // cert present on the wire, flag cleared
+        assert!(decode_server_hello(&bytes).is_err());
+        let mut bytes = encode_server_hello(None);
+        bytes[8] = FLAG_CERT_PRESENT; // flag set, no cert
+        assert!(decode_server_hello(&bytes).is_err());
+    }
+}

@@ -135,7 +135,25 @@ impl ServerConnection {
             return self.transport_error(StatusCode::BAD_TCP_MESSAGE_TYPE_INVALID, "double hello");
         }
         match TransportMessage::decode(frame) {
-            Ok(TransportMessage::Hello(_)) => {
+            Ok(TransportMessage::Hello(hello)) => {
+                // Vendor quirk (Erba et al.): stacks diverge on how they
+                // fail a nonzero protocol version. Vendors in the quirk
+                // table answer with their taxonomy `ERR` and hang up;
+                // everyone else ignores the field — the lenient default.
+                if hello.protocol_version != 0 {
+                    let vendor = ua_proto::fingerprint::vendor_of_application_name(
+                        &self.core.config.application_name,
+                    );
+                    if let Some(status) = vendor.and_then(ua_proto::fingerprint::quirk_for_vendor) {
+                        return FrameResult::Close(
+                            TransportMessage::Error(ErrorMessage::new(
+                                status,
+                                "unsupported protocol version",
+                            ))
+                            .encode(),
+                        );
+                    }
+                }
                 self.got_hello = true;
                 FrameResult::Reply(TransportMessage::Acknowledge(Acknowledge::default()).encode())
             }

@@ -9,7 +9,10 @@
 //! * [`config::ServerConfig`] — everything an operator can get wrong;
 //! * [`core::ServerCore`] — shared state and service dispatch;
 //! * [`connection`] — the per-connection byte-level state machine
-//!   plugged into [`netsim::Service`].
+//!   plugged into [`netsim::Service`];
+//! * [`tls`] — the `uat-tls` wrapper planting the TLS-fronted
+//!   deployments of "Missed Opportunities" (expired or absent wrapper
+//!   certificates over an unchanged inner server).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,10 +20,12 @@
 pub mod config;
 pub mod connection;
 pub mod core;
+pub mod tls;
 
 pub use config::{EndpointConfig, ServerConfig, UserAccount};
 pub use connection::{ServerConnection, UaServerService};
 pub use core::{ChannelContext, ServerCore};
+pub use tls::{TlsWrapConn, TlsWrapService};
 
 #[cfg(test)]
 mod tests {

@@ -53,7 +53,7 @@ fn main() {
         summary.referrals.opcua_hosts,
         records
             .iter()
-            .filter(|r| r.session == SessionOutcome::AnonymousActivated)
+            .filter(|r| r.session() == SessionOutcome::AnonymousActivated)
             .count(),
     );
 
@@ -113,7 +113,7 @@ fn main() {
     );
     let traversed: usize = records
         .iter()
-        .filter_map(|r| r.traversal.as_ref())
+        .filter_map(|r| r.traversal())
         .map(|t| t.nodes)
         .sum();
     println!("    ({traversed} nodes traversed across all activated sessions)");

@@ -55,7 +55,12 @@
 //!                 │              CertStore per study;       │
 //!                 │              RetryPolicy: seeded        │
 //!                 │              backoff/pacing, HostOutcome│
-//!                 │              taxonomy, FaultStats       │
+//!                 │              taxonomy, FaultStats;      │
+//!                 │              ProtocolSuite registry     │
+//!                 │              (port → suite): opc.tcp +  │
+//!                 │              uat-tls ladders, typed     │
+//!                 │              ProtocolPayload records,   │
+//!                 │              vendor fingerprinting      │
 //!                 ├─────────────────────────────────────────┤
 //!   fleet         │ population   seeded strata of (mis-)    │
 //!                 │              configured deployments;    │
@@ -206,6 +211,23 @@
 //!   engines, worker counts, and abort/resume; CI replays
 //!   `examples/hostile_sweep.rs` against the planted truth and diffs
 //!   1-vs-4-worker hostile campaigns.
+//! * **Protocol suites** — `ScanConfig::suites` (or
+//!   `ScanConfig::builder().suite(port, …)`) registers a
+//!   `scanner::ProtocolSuite` per port: the suite names its probe
+//!   ladder, classifies connect faults, and emits a typed
+//!   `ProtocolPayload` on every record. The sweep walks the union of
+//!   registered ports, one isolated phase per suite, so a mixed
+//!   registry equals the concatenation of single-suite campaigns —
+//!   and an empty registry stays byte-identical to the pre-suite
+//!   OPC UA pipeline. Shipped suites: `OpcUaSuite` (opc.tcp, referral
+//!   following, optional vendor fingerprinting via the error-taxonomy
+//!   quirk each stack betrays) and `UatTlsSuite` (TLS-wrapped opc.tcp
+//!   on 4843, surfacing the wrapper-specific deficits: TLS-but-
+//!   anonymous inner servers and expired wrapper certificates —
+//!   `population::MultiProtoPlan` plants those strata with checkable
+//!   ground truth). CI replays `examples/multi_protocol_audit.rs`
+//!   against the planted truth and diffs it across engines and worker
+//!   counts.
 //! * **Invariant lints** — every determinism rule above is statically
 //!   checked by `crates/ua-lint`, a registry-dependency-free analyzer
 //!   with its own Rust lexer: no wall-clock reads or sleeps off the
@@ -251,15 +273,16 @@ pub mod prelude {
     };
     pub use netsim::{Blocklist, Cidr, Internet, Ipv4, NetProfile, VirtualClock};
     pub use population::{
-        synthesize, ChurnConfig, EvolvingWorld, FaultStratum, HostClass, LazyWorld,
-        MaterializationStats, MiddleboxConfig, MiddleboxPlan, Population, PopulationConfig,
-        StrataMix,
+        population_vendor_counts, synthesize, ChurnConfig, EvolvingWorld, FaultStratum, HostClass,
+        LazyWorld, MaterializationStats, MiddleboxConfig, MiddleboxPlan, MultiProtoConfig,
+        MultiProtoPlan, Population, PopulationConfig, StrataMix, TlsClass,
     };
     pub use scanner::{
         Campaign, CampaignConfig, CancelToken, CertStore, DiscoveredVia, EngineStats, FaultStats,
-        HostOutcome, OpcUrl, ReferralStats, RetryPolicy, ScanConfig, ScanEngine, ScanOutcome,
-        ScanRecord, ScanSummary, Scanner, SessionOutcome, SweepCheckpoint, WeekCheckpoint,
-        WeekOutcome, WeeklyScan,
+        HostOutcome, OpcUaSuite, OpcUrl, ProtocolPayload, ProtocolSuite, ReferralStats,
+        RetryPolicy, ScanConfig, ScanEngine, ScanOutcome, ScanRecord, ScanSummary, Scanner,
+        SessionOutcome, SuiteRegistry, SweepCheckpoint, UatTlsSuite, WeekCheckpoint, WeekOutcome,
+        WeeklyScan, DEFAULT_OPCUA_PORT, DEFAULT_UATLS_PORT,
     };
     pub use ua_crypto::Thumbprint;
     pub use ua_types::{MessageSecurityMode, SecurityPolicy, UserTokenType};
